@@ -1,0 +1,43 @@
+//! Wall-time benches of the device cost model — the experiment harness
+//! evaluates it once per (batch × device), so it must be O(ns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use gpusim::{catalog, CostModel, WorkBatch};
+
+fn cost_model_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cost_model");
+    group.sample_size(50);
+    let model = CostModel::default();
+    let devices = [
+        catalog::xeon_e5_2620_dual(),
+        catalog::geforce_gtx_590(),
+        catalog::tesla_k40c(),
+    ];
+    let batch = WorkBatch::conformations(4096, 45 * 3264);
+    for d in &devices {
+        group.bench_function(d.name.replace(' ', "_"), |b| {
+            b.iter(|| black_box(model.execution_time(d, &batch)))
+        });
+    }
+    group.finish();
+}
+
+fn occupancy_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("occupancy");
+    group.sample_size(50);
+    let k40 = catalog::tesla_k40c();
+    group.bench_function("occupancy_efficiency", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for items in [1u64, 64, 512, 4096] {
+                acc += gpusim::launch::occupancy_efficiency(&k40, black_box(items));
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, cost_model_eval, occupancy_eval);
+criterion_main!(benches);

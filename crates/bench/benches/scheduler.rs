@@ -1,0 +1,71 @@
+//! Wall-time benches of the scheduling machinery: partitioning, warm-up,
+//! trace replay under each strategy, and cluster job assignment. These
+//! costs must be negligible next to scoring for the paper's design to make
+//! sense — the benches quantify that.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use gpusim::{catalog, SimDevice};
+use vsched::{equal_split, proportional_split, schedule_trace, Strategy, WarmupConfig};
+
+fn partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(50);
+    let weights = [2.34, 1.0, 1.7, 0.9, 3.1, 1.2];
+    for items in [1_000u64, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("equal_6dev", items), &items, |b, &n| {
+            b.iter(|| black_box(equal_split(n, 6)))
+        });
+        group.bench_with_input(BenchmarkId::new("proportional_6dev", items), &items, |b, &n| {
+            b.iter(|| black_box(proportional_split(n, &weights)))
+        });
+    }
+    group.finish();
+}
+
+fn trace_replay_by_strategy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(20);
+    let cpu = Arc::new(SimDevice::new(0, catalog::xeon_e3_1220()));
+    let gpus = vec![
+        Arc::new(SimDevice::new(1, catalog::tesla_k40c())),
+        Arc::new(SimDevice::new(2, catalog::geforce_gtx_580())),
+    ];
+    let trace: Vec<u64> = std::iter::repeat(64 * 64).take(120).collect();
+    let pairs = (45 * 3264) as u64;
+    let strategies = [
+        ("cpu_only", Strategy::CpuOnly),
+        ("homogeneous", Strategy::HomogeneousSplit),
+        ("heterogeneous", Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() }),
+        ("dynamic_q512", Strategy::DynamicQueue { chunk: 512 }),
+    ];
+    for (label, strat) in strategies {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(schedule_trace(&cpu, &gpus, &trace, pairs, strat)))
+        });
+    }
+    group.finish();
+}
+
+fn cluster_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster");
+    group.sample_size(10);
+    let jobs = vscluster::synthetic_library(64, &metaheur::m3(1.0), 3);
+    for nodes in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("screen_library", nodes), &nodes, |b, &n| {
+            let cluster = vscluster::SimCluster::uniform(
+                n,
+                vscluster::NetModel::infiniband(),
+                vscreen::platform::hertz,
+            );
+            b.iter(|| {
+                black_box(cluster.screen_library(3264, 32, &jobs, Strategy::HomogeneousSplit))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partitioning, trace_replay_by_strategy, cluster_assignment);
+criterion_main!(benches);

@@ -1,0 +1,208 @@
+//! Ablation studies for the design choices DESIGN.md §6 calls out, plus
+//! the energy-to-solution experiment motivated by the paper's §1 energy
+//! discussion and Table 1's performance-per-watt row.
+
+use crate::experiment::spot_count;
+use crate::platform;
+use crate::trace::synthetic_trace;
+use serde::{Deserialize, Serialize};
+use vsched::{schedule_trace, Strategy, WarmupConfig};
+use vsmol::Dataset;
+
+/// One point of the warm-up-length ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WarmupPoint {
+    pub iterations: usize,
+    /// Makespan under the heterogeneous algorithm with this warm-up.
+    pub het_makespan: f64,
+    /// Gain over the homogeneous algorithm.
+    pub gain: f64,
+}
+
+/// Sweep the warm-up length (the paper fixes 5–10 iterations; this shows
+/// why): too short measures noise-free virtual devices fine, but on the
+/// real system would be noisy; too long delays the proportional split and
+/// erodes the gain. Run on Hertz with the M1 workload.
+pub fn warmup_sweep(dataset: Dataset, iterations: &[usize]) -> Vec<WarmupPoint> {
+    let node = platform::hertz();
+    let n_spots = spot_count(dataset);
+    let pairs = (dataset.ligand_atoms() * dataset.receptor_atoms()) as u64;
+    let trace = synthetic_trace(&metaheur::m1(1.0), n_spots);
+    let hom =
+        schedule_trace(node.cpu(), node.gpus(), &trace, pairs, Strategy::HomogeneousSplit).makespan;
+    iterations
+        .iter()
+        .map(|&iterations| {
+            let strat = Strategy::HeterogeneousSplit {
+                warmup: WarmupConfig { iterations, ..Default::default() },
+            };
+            let het = schedule_trace(node.cpu(), node.gpus(), &trace, pairs, strat).makespan;
+            WarmupPoint { iterations, het_makespan: het, gain: hom / het }
+        })
+        .collect()
+}
+
+/// One point of the dynamic-queue chunk-size ablation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChunkPoint {
+    pub chunk: u64,
+    pub makespan: f64,
+    /// Relative to the heterogeneous static split.
+    pub vs_heterogeneous: f64,
+}
+
+/// Sweep the dynamic queue's chunk size: small chunks balance perfectly
+/// but destroy GPU occupancy and multiply launch overhead; large chunks
+/// quantize badly. The static Equation 1 split avoids the trade-off, which
+/// is the paper's implicit argument for it.
+pub fn chunk_sweep(dataset: Dataset, chunks: &[u64]) -> Vec<ChunkPoint> {
+    let node = platform::hertz();
+    let n_spots = spot_count(dataset);
+    let pairs = (dataset.ligand_atoms() * dataset.receptor_atoms()) as u64;
+    let trace = synthetic_trace(&metaheur::m1(1.0), n_spots);
+    let het = schedule_trace(
+        node.cpu(),
+        node.gpus(),
+        &trace,
+        pairs,
+        Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+    )
+    .makespan;
+    chunks
+        .iter()
+        .map(|&chunk| {
+            let m = schedule_trace(
+                node.cpu(),
+                node.gpus(),
+                &trace,
+                pairs,
+                Strategy::DynamicQueue { chunk },
+            )
+            .makespan;
+            ChunkPoint { chunk, makespan: m, vs_heterogeneous: m / het }
+        })
+        .collect()
+}
+
+/// One row of the energy experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnergyRow {
+    pub metaheuristic: String,
+    pub openmp_joules: f64,
+    pub hom_joules: f64,
+    pub het_joules: f64,
+}
+
+impl EnergyRow {
+    /// Energy saved by the heterogeneous algorithm over the homogeneous.
+    pub fn het_saving(&self) -> f64 {
+        1.0 - self.het_joules / self.hom_joules
+    }
+}
+
+/// Energy-to-solution on Hertz for the M1–M4 suite: the whole-node joule
+/// cost of the OpenMP baseline vs the two GPU schedules. The heterogeneous
+/// algorithm saves energy twice over — it finishes sooner *and* idles the
+/// fast GPU less.
+pub fn energy_table(dataset: Dataset) -> Vec<EnergyRow> {
+    let node = platform::hertz();
+    let n_spots = spot_count(dataset);
+    let pairs = (dataset.ligand_atoms() * dataset.receptor_atoms()) as u64;
+    metaheur::paper_suite(1.0)
+        .into_iter()
+        .map(|params| {
+            let trace = synthetic_trace(&params, n_spots);
+            let e = |s: Strategy| {
+                schedule_trace(node.cpu(), node.gpus(), &trace, pairs, s).energy_joules
+            };
+            EnergyRow {
+                metaheuristic: params.name,
+                openmp_joules: e(Strategy::CpuOnly),
+                hom_joules: e(Strategy::HomogeneousSplit),
+                het_joules: e(Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() }),
+            }
+        })
+        .collect()
+}
+
+/// Render the energy table.
+pub fn render_energy_table(dataset: Dataset, rows: &[EnergyRow]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "Energy to solution (J), PDB:{} on Hertz (whole-node accounting)",
+        dataset.pdb_id()
+    );
+    let _ = writeln!(
+        s,
+        "{:<6} {:>14} {:>14} {:>14} {:>12}",
+        "Meta", "OpenMP", "Hom.Alg", "Het.Alg", "Het saving"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<6} {:>14.1} {:>14.1} {:>14.1} {:>11.1}%",
+            r.metaheuristic,
+            r.openmp_joules,
+            r.hom_joules,
+            r.het_joules,
+            100.0 * r.het_saving()
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_sweep_has_a_sweet_spot() {
+        let pts = warmup_sweep(Dataset::TwoBsm, &[1, 5, 10, 25, 33]);
+        assert_eq!(pts.len(), 5);
+        // The paper's 5-10 band gains more than warming up the entire run
+        // (33 batches = the whole M1 trace under equal split).
+        let at = |n: usize| pts.iter().find(|p| p.iterations == n).unwrap().gain;
+        assert!(at(5) > at(33), "5-iter warm-up {} vs full-run {}", at(5), at(33));
+        assert!(at(10) > at(33));
+        // And every configuration still at least matches the hom split.
+        for p in &pts {
+            assert!(p.gain > 0.99, "iterations {}: gain {}", p.iterations, p.gain);
+        }
+    }
+
+    #[test]
+    fn chunk_sweep_penalizes_tiny_chunks() {
+        let pts = chunk_sweep(Dataset::TwoBsm, &[8, 64, 512, 2048]);
+        let tiny = &pts[0];
+        let big = pts.iter().find(|p| p.chunk == 512).unwrap();
+        assert!(
+            tiny.makespan > big.makespan,
+            "8-item chunks {} should lose to 512 {}",
+            tiny.makespan,
+            big.makespan
+        );
+    }
+
+    #[test]
+    fn energy_rows_ordered_like_time_rows() {
+        let rows = energy_table(Dataset::TwoBsm);
+        assert_eq!(rows.len(), 4);
+        for r in &rows {
+            // GPU runs cost far less energy than the OpenMP baseline.
+            assert!(r.hom_joules < r.openmp_joules / 3.0, "{}", r.metaheuristic);
+            // The heterogeneous algorithm saves energy over the homogeneous.
+            assert!(r.het_saving() > 0.0, "{}: saving {}", r.metaheuristic, r.het_saving());
+        }
+    }
+
+    #[test]
+    fn energy_render_contains_rows() {
+        let rows = energy_table(Dataset::TwoBsm);
+        let s = render_energy_table(Dataset::TwoBsm, &rows);
+        for m in ["M1", "M2", "M3", "M4"] {
+            assert!(s.contains(m));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # vscreen — metaheuristic-based virtual screening for heterogeneous systems
+//!
+//! The top-level engine reproducing Imbernón, Cecilia & Giménez,
+//! *Enhancing Metaheuristic-based Virtual Screening Methods on Massively
+//! Parallel and Heterogeneous Systems* (PMAM'16): BINDSURF-style
+//! whole-surface virtual screening driven by the parameterized
+//! metaheuristic template, scheduled across heterogeneous
+//! multicore + multi-GPU nodes.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vscreen::prelude::*;
+//!
+//! // Synthetic benchmark compounds with the paper's atom counts (Table 5);
+//! // real PDB files load through vsmol::pdb::parse.
+//! let screen = VirtualScreen::builder(Dataset::TwoBsm)
+//!     .max_spots(4)
+//!     .seed(42)
+//!     .build();
+//!
+//! // Run the M3 metaheuristic on the simulated Hertz node with the
+//! // paper's heterogeneity-aware scheduling.
+//! let node = platform::hertz();
+//! let outcome = screen.run_on_node(&metaheur::m3(0.05), &node, Strategy::HeterogeneousSplit {
+//!     warmup: WarmupConfig::default(),
+//! });
+//! assert!(outcome.best.is_scored());
+//! println!("best score {:.2} at spot {} in {:.3} virtual s",
+//!          outcome.best.score, outcome.best.spot_id, outcome.virtual_time);
+//! ```
+//!
+//! ## Crate map
+//!
+//! - [`platform`] — the paper's two experimental systems as simulated
+//!   nodes: Jupiter (12-core Xeon + 4×GTX 590 + 2×Tesla C2075) and Hertz
+//!   (4-core Xeon + Tesla K40c + GTX 580);
+//! - [`screen`] — the [`screen::VirtualScreen`] pipeline: surface spot
+//!   detection → scorer preparation → metaheuristic execution;
+//! - [`trace`] — analytic scoring-batch traces (proven equal to the
+//!   engine's recorded traces) used to replay workloads under every
+//!   scheduling strategy;
+//! - [`experiment`] — the reproduction harness for the paper's Tables 6–9.
+
+pub mod ablation;
+pub mod experiment;
+pub mod library;
+pub mod platform;
+pub mod quality;
+pub mod report;
+pub mod scaling;
+pub mod screen;
+pub mod trace;
+
+pub use screen::{ScreenOutcome, VirtualScreen, VirtualScreenBuilder};
+
+/// Convenient single-import surface for downstream code and examples.
+pub mod prelude {
+    pub use crate::ablation;
+    pub use crate::experiment::{self, ExperimentScale};
+    pub use crate::library::{screen_library, LibraryRanking};
+    pub use crate::platform;
+    pub use crate::quality;
+    pub use crate::scaling;
+    pub use crate::screen::{ScreenOutcome, VirtualScreen, VirtualScreenBuilder};
+    pub use crate::trace::synthetic_trace;
+    pub use metaheur::{self, MetaheuristicParams};
+    pub use vsched::{Strategy, WarmupConfig};
+    pub use vsmol::{Dataset, Molecule};
+}

@@ -1,0 +1,87 @@
+//! The paper's experimental systems (§4.1, Tables 2–3) as simulated nodes.
+
+use gpusim::{catalog, SimNode};
+
+/// Jupiter: two hexa-core Intel Xeon E5-2620 (12 cores) @ 2 GHz, 32 GB RAM,
+/// four GeForce GTX 590 and two Tesla C2075 (all Fermi).
+///
+/// GPU ordinals 0–3 are the GTX 590s, 4–5 the Tesla C2075s, so
+/// [`jupiter_homogeneous`]'s subset `[0,1,2,3]` is the paper's
+/// "homogeneous system".
+pub fn jupiter() -> SimNode {
+    SimNode::new(
+        "Jupiter",
+        catalog::xeon_e5_2620_dual(),
+        vec![
+            catalog::geforce_gtx_590(),
+            catalog::geforce_gtx_590(),
+            catalog::geforce_gtx_590(),
+            catalog::geforce_gtx_590(),
+            catalog::tesla_c2075(),
+            catalog::tesla_c2075(),
+        ],
+    )
+}
+
+/// Jupiter restricted to the four GTX 590s — the "Homogeneous System"
+/// column of Tables 6–7.
+pub fn jupiter_homogeneous() -> SimNode {
+    jupiter().subset(&[0, 1, 2, 3])
+}
+
+/// Hertz: Intel Xeon E3-1220 (4 cores @ 3.1 GHz), 8 GB RAM, one Tesla K40c
+/// (Kepler) and one GeForce GTX 580 (Fermi) — the strongly heterogeneous
+/// node of Tables 8–9.
+pub fn hertz() -> SimNode {
+    SimNode::new(
+        "Hertz",
+        catalog::xeon_e3_1220(),
+        vec![catalog::tesla_k40c(), catalog::geforce_gtx_580()],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jupiter_configuration() {
+        let j = jupiter();
+        assert_eq!(j.device_count(), 6);
+        assert_eq!(j.cpu().spec().lanes(), 12);
+        for i in 0..4 {
+            assert_eq!(j.properties(i).name, "GeForce GTX 590");
+        }
+        for i in 4..6 {
+            assert_eq!(j.properties(i).name, "Tesla C2075");
+        }
+    }
+
+    #[test]
+    fn jupiter_homogeneous_subset() {
+        let h = jupiter_homogeneous();
+        assert_eq!(h.device_count(), 4);
+        assert!(h.gpus().iter().all(|g| g.spec().name == "GeForce GTX 590"));
+    }
+
+    #[test]
+    fn hertz_configuration() {
+        let h = hertz();
+        assert_eq!(h.device_count(), 2);
+        assert_eq!(h.cpu().spec().lanes(), 4);
+        assert_eq!(h.properties(0).name, "Tesla K40c");
+        assert_eq!(h.properties(1).name, "GeForce GTX 580");
+    }
+
+    #[test]
+    fn hertz_two_gpus_rival_jupiter_six() {
+        // §5: "the speed-up factors reported here with two GPUs are
+        // equivalent to those reported with 6 GPUs in Jupiter" — total
+        // sustained GPU throughput of the two nodes is comparable.
+        let sum = |n: &SimNode| -> f64 { n.gpus().iter().map(|g| g.spec().sustained_lane_hz()).sum() };
+        let j = sum(&jupiter());
+        let h = sum(&hertz());
+        let ratio = j.max(h) / j.min(h);
+        assert!(ratio < 1.6, "nodes should be within ~1.6x: {ratio}");
+    }
+}

@@ -1,0 +1,128 @@
+//! GPU-count scaling — the paper's scalability claim ("the multiGPU
+//! versions prove to be scalable", §5) as an explicit sweep: the same
+//! workload on 1..=6 GPUs of the Jupiter pool.
+
+use crate::experiment::spot_count;
+use crate::platform;
+use crate::trace::synthetic_trace;
+use serde::{Deserialize, Serialize};
+use vsched::{schedule_trace, Strategy, WarmupConfig};
+use vsmol::Dataset;
+
+/// One point of the GPU-count sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingPoint {
+    pub gpus: usize,
+    pub makespan: f64,
+    /// Speed-up over the single-GPU configuration.
+    pub speedup: f64,
+    /// Parallel efficiency: `speedup / gpus` is misleading on heterogeneous
+    /// pools, so this is speed-up over the *throughput-weighted* ideal.
+    pub efficiency: f64,
+}
+
+/// Sweep the Jupiter GPU pool from 1 to all 6 devices (GTX 590 ×4 then
+/// Tesla C2075 ×2, in ordinal order) under the heterogeneous algorithm.
+pub fn gpu_scaling(dataset: Dataset, metaheuristic: &metaheur::MetaheuristicParams) -> Vec<ScalingPoint> {
+    let node = platform::jupiter();
+    let n_spots = spot_count(dataset);
+    let pairs = (dataset.ligand_atoms() * dataset.receptor_atoms()) as u64;
+    let trace = synthetic_trace(metaheuristic, n_spots);
+
+    let mut points = Vec::new();
+    let mut t1 = 0.0;
+    let rate = |i: usize| node.properties(i).sustained_lane_hz();
+    let total_rate_1 = rate(0);
+    for n in 1..=node.device_count() {
+        let subset: Vec<usize> = (0..n).collect();
+        let sub = node.subset(&subset);
+        let makespan = schedule_trace(
+            node.cpu(),
+            sub.gpus(),
+            &trace,
+            pairs,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        )
+        .makespan;
+        if n == 1 {
+            t1 = makespan;
+        }
+        let speedup = t1 / makespan;
+        let ideal: f64 = (0..n).map(rate).sum::<f64>() / total_rate_1;
+        points.push(ScalingPoint { gpus: n, makespan, speedup, efficiency: speedup / ideal });
+    }
+    points
+}
+
+/// Render the sweep.
+pub fn render_scaling(dataset: Dataset, points: &[ScalingPoint]) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "GPU scaling, PDB:{} on the Jupiter pool (heterogeneous algorithm)",
+        dataset.pdb_id()
+    );
+    let _ = writeln!(s, "{:>6} {:>14} {:>10} {:>12}", "GPUs", "makespan (s)", "speedup", "efficiency");
+    for p in points {
+        let _ = writeln!(
+            s,
+            "{:>6} {:>14.4} {:>9.2}x {:>11.1}%",
+            p.gpus,
+            p.makespan,
+            p.speedup,
+            100.0 * p.efficiency
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn makespan_decreases_with_gpus() {
+        let pts = gpu_scaling(Dataset::TwoBsm, &metaheur::m1(1.0));
+        assert_eq!(pts.len(), 6);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].makespan < w[0].makespan,
+                "adding a GPU must help: {} -> {}",
+                w[0].makespan,
+                w[1].makespan
+            );
+        }
+    }
+
+    #[test]
+    fn speedup_reasonable_at_full_pool() {
+        let pts = gpu_scaling(Dataset::TwoBxg, &metaheur::m1(1.0));
+        let last = pts.last().unwrap();
+        // 4x GTX590 + 2x C2075 ≈ 5.65x the single-GTX590 throughput.
+        assert!(last.speedup > 3.0, "6-GPU speedup {}", last.speedup);
+        assert!(last.speedup < 6.0, "superlinear: {}", last.speedup);
+    }
+
+    #[test]
+    fn efficiency_degrades_gracefully() {
+        // Occupancy loss with more devices reduces efficiency, but the big
+        // 2BXG workload keeps it above 60%.
+        let pts = gpu_scaling(Dataset::TwoBxg, &metaheur::m4(1.0));
+        for p in &pts {
+            assert!(
+                p.efficiency > 0.6 && p.efficiency <= 1.05,
+                "{} GPUs: efficiency {}",
+                p.gpus,
+                p.efficiency
+            );
+        }
+    }
+
+    #[test]
+    fn render_has_all_rows() {
+        let pts = gpu_scaling(Dataset::TwoBsm, &metaheur::m3(1.0));
+        let s = render_scaling(Dataset::TwoBsm, &pts);
+        assert_eq!(s.lines().count(), 2 + 6);
+    }
+}

@@ -1,0 +1,399 @@
+//! The whole-surface virtual-screening pipeline.
+
+use gpusim::{SimNode, WorkBatch};
+use metaheur::{BatchEvaluator, CpuEvaluator, MetaheuristicParams};
+use std::sync::Arc;
+use vsched::{DeviceEvaluator, Strategy};
+use vsmol::{surface, Conformation, Dataset, Molecule, Spot, SurfaceOptions};
+use vsscore::{Scorer, ScorerOptions};
+
+/// A prepared screening problem: receptor + ligand + detected surface spots
+/// + scoring context. Build with [`VirtualScreen::builder`].
+#[derive(Debug, Clone)]
+pub struct VirtualScreen {
+    receptor: Molecule,
+    ligand: Molecule,
+    spots: Vec<Spot>,
+    scorer: Arc<Scorer>,
+    seed: u64,
+}
+
+/// Builder for [`VirtualScreen`].
+pub struct VirtualScreenBuilder {
+    receptor: Molecule,
+    ligand: Molecule,
+    surface: SurfaceOptions,
+    scorer_opts: ScorerOptions,
+    seed: u64,
+}
+
+impl VirtualScreen {
+    /// Start from one of the paper's benchmark datasets (Table 5).
+    pub fn builder(dataset: Dataset) -> VirtualScreenBuilder {
+        VirtualScreenBuilder::new(dataset.receptor(), dataset.ligand())
+    }
+
+    /// Start from arbitrary molecules (e.g. parsed from real PDB files).
+    pub fn from_molecules(receptor: Molecule, ligand: Molecule) -> VirtualScreenBuilder {
+        VirtualScreenBuilder::new(receptor, ligand)
+    }
+
+    pub fn receptor(&self) -> &Molecule {
+        &self.receptor
+    }
+
+    pub fn ligand(&self) -> &Molecule {
+        &self.ligand
+    }
+
+    /// The independent surface regions being screened (§3.1).
+    pub fn spots(&self) -> &[Spot] {
+        &self.spots
+    }
+
+    pub fn scorer(&self) -> Arc<Scorer> {
+        self.scorer.clone()
+    }
+
+    /// Pair interactions per conformation evaluation.
+    pub fn pairs_per_eval(&self) -> u64 {
+        self.scorer.pairs_per_eval()
+    }
+
+    /// Run a metaheuristic on the host CPU only (real threads, no virtual
+    /// timing) — the quality-measurement path.
+    pub fn run_cpu(&self, params: &MetaheuristicParams, threads: usize) -> ScreenOutcome {
+        let mut ev = CpuEvaluator::with_threads((*self.scorer).clone(), threads);
+        let run = metaheur::run(params, &self.spots, &mut ev, self.seed);
+        ScreenOutcome::from_run(run, f64::NAN)
+    }
+
+    /// Run a metaheuristic over an AutoDock-style precomputed potential
+    /// grid ([`vsscore::GridScorer`]) instead of exact pair scoring:
+    /// `O(ligand)` per evaluation after a one-time grid build — the classic
+    /// speed/accuracy trade-off as a product option. Final poses should be
+    /// re-scored exactly (e.g. via [`VirtualScreen::scorer`]).
+    pub fn run_cpu_gridded(
+        &self,
+        params: &MetaheuristicParams,
+        grid_opts: vsscore::GridOptions,
+    ) -> ScreenOutcome {
+        let grid = vsscore::GridScorer::new(&self.receptor, &self.ligand, grid_opts);
+        let mut ev = metaheur::GridEvaluator::new(grid);
+        let run = metaheur::run(params, &self.spots, &mut ev, self.seed);
+        ScreenOutcome::from_run(run, f64::NAN)
+    }
+
+    /// Run a metaheuristic on a simulated node under a scheduling strategy
+    /// (§3.2–3.3). Scores are computed for real on host threads; the
+    /// returned [`ScreenOutcome::virtual_time`] is the modeled node
+    /// makespan, including the heterogeneous strategy's warm-up.
+    pub fn run_on_node(
+        &self,
+        params: &MetaheuristicParams,
+        node: &SimNode,
+        strategy: Strategy,
+    ) -> ScreenOutcome {
+        node.reset();
+        match strategy {
+            Strategy::CpuOnly => {
+                let threads = node.cpu().spec().lanes() as usize;
+                let mut ev = CpuNodeEvaluator {
+                    inner: CpuEvaluator::with_threads((*self.scorer).clone(), threads),
+                    node: node.clone(),
+                };
+                let run = metaheur::run(params, &self.spots, &mut ev, self.seed);
+                ScreenOutcome::from_run(run, node.cpu().clock())
+            }
+            _ => {
+                let mut ev =
+                    DeviceEvaluator::new(node.gpus().to_vec(), self.scorer.clone(), strategy);
+                let run = metaheur::run(params, &self.spots, &mut ev, self.seed);
+                ScreenOutcome::from_run(run, ev.makespan())
+            }
+        }
+    }
+
+    /// Render a docked pose as PDB text (ligand atoms transformed into
+    /// receptor space) — the Figure 1 analog, loadable in any molecular
+    /// viewer alongside the receptor.
+    pub fn pose_pdb(&self, conf: &Conformation) -> String {
+        let posed = self.ligand.centered().transformed(&conf.pose);
+        vsmol::pdb::write(&posed)
+    }
+
+    /// Render the whole complex — receptor plus docked ligand — as one PDB
+    /// file (chains A and B): the exact Figure 1 rendering, for any
+    /// molecular viewer.
+    pub fn complex_pdb(&self, conf: &Conformation) -> String {
+        let posed = self.ligand.centered().transformed(&conf.pose);
+        vsmol::pdb::write_complex(&self.receptor, &posed)
+    }
+
+    /// Greedy RMSD clustering of an outcome's per-spot best poses
+    /// (AutoDock-style): clusters of spots whose best poses are within
+    /// `rmsd_cutoff` Å of each other, best cluster first. Distinct clusters
+    /// correspond to distinct candidate binding sites.
+    pub fn cluster_poses(&self, outcome: &ScreenOutcome, rmsd_cutoff: f64) -> Vec<Vec<usize>> {
+        vsmol::rmsd::cluster_poses(&self.ligand, &outcome.ranked, rmsd_cutoff)
+    }
+}
+
+impl VirtualScreenBuilder {
+    fn new(receptor: Molecule, ligand: Molecule) -> VirtualScreenBuilder {
+        assert!(!receptor.is_empty() && !ligand.is_empty(), "empty molecule");
+        VirtualScreenBuilder {
+            receptor,
+            ligand,
+            surface: SurfaceOptions::default(),
+            scorer_opts: ScorerOptions::default(),
+            seed: 0xD0C5,
+        }
+    }
+
+    /// Replace the surface/spot-detection options wholesale.
+    pub fn surface_options(mut self, opts: SurfaceOptions) -> Self {
+        self.surface = opts;
+        self
+    }
+
+    /// Cap the number of detected spots (0 = unlimited).
+    pub fn max_spots(mut self, n: usize) -> Self {
+        self.surface.max_spots = n;
+        self
+    }
+
+    /// Replace the scoring options (model/kernel).
+    pub fn scorer_options(mut self, opts: ScorerOptions) -> Self {
+        self.scorer_opts = opts;
+        self
+    }
+
+    /// Root seed for the stochastic search.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Detect spots and prepare the scorer.
+    ///
+    /// # Panics
+    /// Panics if no spots are found (e.g. a degenerate receptor).
+    pub fn build(self) -> VirtualScreen {
+        let spots = surface::detect_spots(&self.receptor, &self.surface);
+        assert!(!spots.is_empty(), "no surface spots detected on {}", self.receptor.name);
+        let scorer = Arc::new(Scorer::new(&self.receptor, &self.ligand, self.scorer_opts));
+        VirtualScreen { receptor: self.receptor, ligand: self.ligand, spots, scorer, seed: self.seed }
+    }
+}
+
+/// Result of one screening run.
+#[derive(Debug, Clone)]
+pub struct ScreenOutcome {
+    /// Best pose over the whole surface.
+    pub best: Conformation,
+    /// Best pose per spot, ranked best-first — the paper's "ranking of
+    /// chemical compounds according to the estimated affinity".
+    pub ranked: Vec<Conformation>,
+    /// Total scoring evaluations.
+    pub evaluations: u64,
+    /// Generations executed.
+    pub generations_run: usize,
+    /// Modeled node execution time in seconds (`NaN` for host-only runs).
+    pub virtual_time: f64,
+}
+
+impl ScreenOutcome {
+    fn from_run(run: metaheur::RunResult, virtual_time: f64) -> ScreenOutcome {
+        let mut ranked = run.best_per_spot.clone();
+        ranked.sort_by(vsmol::conformation::score_cmp);
+        ScreenOutcome {
+            best: run.best,
+            ranked,
+            evaluations: run.evaluations,
+            generations_run: run.generations_run,
+            virtual_time,
+        }
+    }
+
+    /// Distribution of best scores over the protein surface — BINDSURF's
+    /// spot-discovery analysis ("the distribution of scoring function
+    /// values over the entire protein surface", §2.1). `None` when no spot
+    /// has a finite score.
+    pub fn score_histogram(&self, bins: usize) -> Option<vsmath::Histogram> {
+        let scores: Vec<f64> =
+            self.ranked.iter().map(|c| c.score).filter(|s| s.is_finite()).collect();
+        vsmath::Histogram::auto(&scores, bins)
+    }
+}
+
+/// CPU-only evaluator that also charges the node's CPU virtual clock — the
+/// paper's OpenMP baseline with timing.
+struct CpuNodeEvaluator {
+    inner: CpuEvaluator,
+    node: SimNode,
+}
+
+impl BatchEvaluator for CpuNodeEvaluator {
+    fn evaluate(&mut self, confs: &mut [Conformation]) {
+        self.inner.evaluate(confs);
+        self.node
+            .cpu()
+            .execute(&WorkBatch::conformations(confs.len() as u64, self.inner.pairs_per_eval()));
+    }
+
+    fn pairs_per_eval(&self) -> u64 {
+        self.inner.pairs_per_eval()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform;
+    use vsched::WarmupConfig;
+
+    fn quick_screen() -> VirtualScreen {
+        VirtualScreen::builder(Dataset::TwoBsm).max_spots(3).seed(7).build()
+    }
+
+    #[test]
+    fn builder_detects_spots_and_prepares_scorer() {
+        let s = quick_screen();
+        assert_eq!(s.spots().len(), 3);
+        assert_eq!(s.pairs_per_eval(), (45 * 3264) as u64);
+        assert_eq!(s.receptor().len(), 3264);
+        assert_eq!(s.ligand().len(), 45);
+    }
+
+    #[test]
+    fn cpu_run_produces_ranked_spots() {
+        let s = quick_screen();
+        let out = s.run_cpu(&metaheur::m1(0.03), 4);
+        assert_eq!(out.ranked.len(), 3);
+        for w in out.ranked.windows(2) {
+            assert!(w[0].score <= w[1].score, "ranking out of order");
+        }
+        assert_eq!(out.best.score, out.ranked[0].score);
+        assert!(out.virtual_time.is_nan());
+    }
+
+    #[test]
+    fn node_run_reports_virtual_time() {
+        let s = quick_screen();
+        let node = platform::hertz();
+        let out = s.run_on_node(
+            &metaheur::m1(0.03),
+            &node,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig { iterations: 2, ..Default::default() } },
+        );
+        assert!(out.virtual_time > 0.0);
+        assert!(out.best.is_scored());
+    }
+
+    #[test]
+    fn cpu_only_strategy_charges_cpu_clock() {
+        let s = quick_screen();
+        let node = platform::hertz();
+        let out = s.run_on_node(&metaheur::m1(0.03), &node, Strategy::CpuOnly);
+        assert!(out.virtual_time > 0.0);
+        assert_eq!(node.cpu().clock(), out.virtual_time);
+        assert_eq!(node.gpu(0).clock(), 0.0, "GPUs must stay idle");
+    }
+
+    #[test]
+    fn gpu_beats_cpu_virtual_time() {
+        let s = quick_screen();
+        let node = platform::hertz();
+        let t_cpu = s.run_on_node(&metaheur::m1(0.03), &node, Strategy::CpuOnly).virtual_time;
+        let t_gpu =
+            s.run_on_node(&metaheur::m1(0.03), &node, Strategy::HomogeneousSplit).virtual_time;
+        assert!(t_cpu / t_gpu > 5.0, "GPU speedup only {}", t_cpu / t_gpu);
+    }
+
+    #[test]
+    fn same_seed_same_result_across_strategies() {
+        // Scheduling must not change the search trajectory (per-spot RNG
+        // streams): identical best scores on CPU and on the node.
+        let s = quick_screen();
+        let node = platform::hertz();
+        let a = s.run_on_node(&metaheur::m1(0.03), &node, Strategy::CpuOnly);
+        let b = s.run_on_node(&metaheur::m1(0.03), &node, Strategy::HomogeneousSplit);
+        assert_eq!(a.best.score, b.best.score);
+        assert_eq!(a.best.pose, b.best.pose);
+    }
+
+    #[test]
+    fn pose_pdb_is_parseable_and_in_receptor_frame() {
+        let s = quick_screen();
+        let out = s.run_cpu(&metaheur::m1(0.02), 2);
+        let pdb = s.pose_pdb(&out.best);
+        let reparsed = vsmol::pdb::parse(&pdb, "pose").unwrap();
+        assert_eq!(reparsed.len(), s.ligand().len());
+        // The posed ligand sits near its spot, not at the origin.
+        let spot = s.spots()[out.best.spot_id];
+        assert!(reparsed.centroid().dist(spot.center) <= spot.radius + 1e-6);
+    }
+
+    #[test]
+    fn gridded_search_agrees_with_exact_search() {
+        let s = quick_screen();
+        let exact = s.run_cpu(&metaheur::m1(0.05), 4);
+        let gridded = s.run_cpu_gridded(
+            &metaheur::m1(0.05),
+            vsscore::GridOptions { spacing: 0.75, ..Default::default() },
+        );
+        assert!(exact.best.score < 0.0);
+        assert!(gridded.best.score < 0.0, "gridded search found no binding");
+        // Re-score the gridded winner exactly: still a genuine binding.
+        let rescore = s.scorer().score(&gridded.best.pose);
+        assert!(rescore < 0.0, "gridded winner rescored to {rescore}");
+    }
+
+    #[test]
+    fn complex_pdb_holds_receptor_and_ligand() {
+        let s = quick_screen();
+        let out = s.run_cpu(&metaheur::m1(0.02), 2);
+        let text = s.complex_pdb(&out.best);
+        let complex = vsmol::pdb::parse_structure(&text, "complex").unwrap();
+        assert_eq!(complex.protein().len(), s.receptor().len());
+        let ligs = complex.ligands();
+        assert_eq!(ligs.len(), 1);
+        assert_eq!(ligs[0].len(), s.ligand().len());
+    }
+
+    #[test]
+    fn score_histogram_covers_all_spots() {
+        let s = quick_screen();
+        let out = s.run_cpu(&metaheur::m1(0.03), 4);
+        let h = out.score_histogram(4).expect("scored spots");
+        assert_eq!(h.total() as usize, s.spots().len());
+    }
+
+    #[test]
+    fn pose_clustering_partitions_spots() {
+        let s = quick_screen();
+        let out = s.run_cpu(&metaheur::m1(0.03), 4);
+        let clusters = s.cluster_poses(&out, 4.0);
+        let covered: usize = clusters.iter().map(|c| c.len()).sum();
+        assert_eq!(covered, out.ranked.len());
+        // Best cluster is seeded by the best pose.
+        assert_eq!(out.ranked[clusters[0][0]].score, out.best.score);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_ligand_rejected() {
+        VirtualScreen::from_molecules(Dataset::TwoBsm.receptor(), Molecule::new("x", vec![]));
+    }
+
+    #[test]
+    fn custom_molecules_roundtrip() {
+        let rec = vsmol::synth::synth_receptor("custom", 500, 11);
+        let lig = vsmol::synth::synth_ligand("lig", 10, 12);
+        let s = VirtualScreen::from_molecules(rec, lig).max_spots(2).build();
+        assert!(!s.spots().is_empty());
+        let out = s.run_cpu(&metaheur::m1(0.02), 2);
+        assert!(out.best.is_scored());
+    }
+}

@@ -1,0 +1,167 @@
+//! GPU hardware generations — the data of the paper's Table 1.
+
+use serde::{Deserialize, Serialize};
+
+/// CUDA hardware generations covered by Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GpuGeneration {
+    /// "Tesla" G80/GT200 generation (2007).
+    Tesla,
+    /// Fermi (2010) — GTX 590/580, Tesla C2075.
+    Fermi,
+    /// Kepler (2012) — Tesla K20/K40.
+    Kepler,
+    /// Maxwell (2014).
+    Maxwell,
+}
+
+/// One row-set of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenerationInfo {
+    pub generation: GpuGeneration,
+    pub starting_year: u32,
+    pub max_multiprocessors: u32,
+    pub cores_per_multiprocessor: u32,
+    pub max_shared_memory_kb: u32,
+    /// CUDA Compute Capability major version ("1.x", "2.x", ...).
+    pub ccc_major: u32,
+    pub peak_sp_gflops: u32,
+    /// Approximate performance per watt, normalized to Tesla = 1.
+    pub perf_per_watt: u32,
+    /// Architectural lane efficiency: the fraction of peak per-lane
+    /// throughput a well-tuned arithmetic kernel sustains. Kepler's
+    /// 192-core SMX needs instruction-level parallelism the docking kernel
+    /// does not expose, so it sustains a lower fraction than Fermi — the
+    /// effect behind the paper's moderate (not spec-ratio) K40c advantage.
+    pub lane_efficiency: f64,
+}
+
+impl GpuGeneration {
+    pub const ALL: [GpuGeneration; 4] = [
+        GpuGeneration::Tesla,
+        GpuGeneration::Fermi,
+        GpuGeneration::Kepler,
+        GpuGeneration::Maxwell,
+    ];
+
+    /// Table 1 data for this generation.
+    pub fn info(self) -> GenerationInfo {
+        match self {
+            GpuGeneration::Tesla => GenerationInfo {
+                generation: self,
+                starting_year: 2007,
+                max_multiprocessors: 30,
+                cores_per_multiprocessor: 8,
+                max_shared_memory_kb: 16,
+                ccc_major: 1,
+                peak_sp_gflops: 672,
+                perf_per_watt: 1,
+                lane_efficiency: 0.70,
+            },
+            GpuGeneration::Fermi => GenerationInfo {
+                generation: self,
+                starting_year: 2010,
+                max_multiprocessors: 16,
+                cores_per_multiprocessor: 32,
+                max_shared_memory_kb: 48,
+                ccc_major: 2,
+                peak_sp_gflops: 1178,
+                perf_per_watt: 2,
+                lane_efficiency: 0.75,
+            },
+            GpuGeneration::Kepler => GenerationInfo {
+                generation: self,
+                starting_year: 2012,
+                max_multiprocessors: 15,
+                cores_per_multiprocessor: 192,
+                max_shared_memory_kb: 48,
+                ccc_major: 3,
+                peak_sp_gflops: 4290,
+                perf_per_watt: 6,
+                lane_efficiency: 0.55,
+            },
+            GpuGeneration::Maxwell => GenerationInfo {
+                generation: self,
+                starting_year: 2014,
+                max_multiprocessors: 16,
+                cores_per_multiprocessor: 128,
+                max_shared_memory_kb: 64,
+                ccc_major: 5,
+                peak_sp_gflops: 4980,
+                perf_per_watt: 12,
+                lane_efficiency: 0.70,
+            },
+        }
+    }
+
+    /// Max total core count for the generation (Table 1 row 3).
+    pub fn max_total_cores(self) -> u32 {
+        let i = self.info();
+        i.max_multiprocessors * i.cores_per_multiprocessor
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuGeneration::Tesla => "Tesla",
+            GpuGeneration::Fermi => "Fermi",
+            GpuGeneration::Kepler => "Kepler",
+            GpuGeneration::Maxwell => "Maxwell",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_total_cores() {
+        // Table 1 row "Total number of cores (up to)".
+        assert_eq!(GpuGeneration::Tesla.max_total_cores(), 240);
+        assert_eq!(GpuGeneration::Fermi.max_total_cores(), 512);
+        assert_eq!(GpuGeneration::Kepler.max_total_cores(), 2880);
+        assert_eq!(GpuGeneration::Maxwell.max_total_cores(), 2048);
+    }
+
+    #[test]
+    fn table1_years_monotonic() {
+        let years: Vec<u32> = GpuGeneration::ALL.iter().map(|g| g.info().starting_year).collect();
+        assert!(years.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn table1_perf_per_watt_doubles_roughly() {
+        // "power consumption has been reduced by a factor of 2 at each new
+        // generation" — perf/watt 1, 2, 6, 12.
+        let ppw: Vec<u32> = GpuGeneration::ALL.iter().map(|g| g.info().perf_per_watt).collect();
+        assert_eq!(ppw, vec![1, 2, 6, 12]);
+        assert!(ppw.windows(2).all(|w| w[1] >= 2 * w[0]));
+    }
+
+    #[test]
+    fn table1_peak_gflops_increase() {
+        let g: Vec<u32> = GpuGeneration::ALL.iter().map(|x| x.info().peak_sp_gflops).collect();
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn ccc_majors_match_table() {
+        assert_eq!(GpuGeneration::Tesla.info().ccc_major, 1);
+        assert_eq!(GpuGeneration::Fermi.info().ccc_major, 2);
+        assert_eq!(GpuGeneration::Kepler.info().ccc_major, 3);
+        assert_eq!(GpuGeneration::Maxwell.info().ccc_major, 5);
+    }
+
+    #[test]
+    fn lane_efficiency_in_unit_interval() {
+        for g in GpuGeneration::ALL {
+            let e = g.info().lane_efficiency;
+            assert!((0.0..=1.0).contains(&e));
+        }
+        // Kepler is the hardest to saturate.
+        assert!(
+            GpuGeneration::Kepler.info().lane_efficiency
+                < GpuGeneration::Fermi.info().lane_efficiency
+        );
+    }
+}

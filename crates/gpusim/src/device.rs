@@ -1,0 +1,207 @@
+//! A simulated device with a virtual clock.
+
+use crate::cost::{CostModel, WorkBatch};
+use crate::spec::DeviceSpec;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative execution statistics for one device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct DeviceStats {
+    pub batches: u64,
+    pub items: u64,
+    pub units: u64,
+    /// Total modeled busy time, seconds.
+    pub busy_s: f64,
+}
+
+/// A compute device with a virtual clock.
+///
+/// Executing a [`WorkBatch`] advances the device's clock by the modeled
+/// time. The clock is thread-safe: the scheduler drives each device from
+/// its own OS thread (the paper's one-OpenMP-thread-per-GPU structure).
+#[derive(Debug)]
+pub struct SimDevice {
+    id: usize,
+    spec: DeviceSpec,
+    model: CostModel,
+    state: Mutex<DeviceState>,
+}
+
+#[derive(Debug, Default)]
+struct DeviceState {
+    clock_s: f64,
+    stats: DeviceStats,
+}
+
+impl SimDevice {
+    pub fn new(id: usize, spec: DeviceSpec) -> SimDevice {
+        SimDevice::with_model(id, spec, CostModel::default())
+    }
+
+    pub fn with_model(id: usize, spec: DeviceSpec, model: CostModel) -> SimDevice {
+        SimDevice { id, spec, model, state: Mutex::new(DeviceState::default()) }
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Execute a batch: advances the virtual clock and returns the modeled
+    /// elapsed time in seconds.
+    pub fn execute(&self, batch: &WorkBatch) -> f64 {
+        let dt = self.model.execution_time(&self.spec, batch);
+        let mut st = self.state.lock();
+        st.clock_s += dt;
+        st.stats.batches += 1;
+        st.stats.items += batch.items;
+        st.stats.units += batch.total_units();
+        st.stats.busy_s += dt;
+        dt
+    }
+
+    /// Modeled time for a batch *without* executing it (used by planners).
+    pub fn estimate(&self, batch: &WorkBatch) -> f64 {
+        self.model.execution_time(&self.spec, batch)
+    }
+
+    /// Current virtual time, seconds.
+    pub fn clock(&self) -> f64 {
+        self.state.lock().clock_s
+    }
+
+    /// Advance the clock to at least `t` (idle wait / barrier sync).
+    pub fn sync_to(&self, t: f64) {
+        let mut st = self.state.lock();
+        if t > st.clock_s {
+            st.clock_s = t;
+        }
+    }
+
+    /// Add idle time (e.g. host-side serial section attributed to this
+    /// device's controlling thread).
+    pub fn advance(&self, dt: f64) {
+        assert!(dt >= 0.0, "cannot advance clock backwards");
+        self.state.lock().clock_s += dt;
+    }
+
+    /// Reset clock and statistics (between experiments).
+    pub fn reset(&self) {
+        *self.state.lock() = DeviceState::default();
+    }
+
+    pub fn stats(&self) -> DeviceStats {
+        self.state.lock().stats
+    }
+
+    /// Fraction of the device's virtual lifetime spent busy.
+    pub fn utilization(&self) -> f64 {
+        let st = self.state.lock();
+        if st.clock_s <= 0.0 {
+            0.0
+        } else {
+            st.stats.busy_s / st.clock_s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn dev() -> SimDevice {
+        SimDevice::new(0, catalog::geforce_gtx_580())
+    }
+
+    #[test]
+    fn execute_advances_clock() {
+        let d = dev();
+        assert_eq!(d.clock(), 0.0);
+        let dt = d.execute(&WorkBatch::conformations(1000, 1000));
+        assert!(dt > 0.0);
+        assert_eq!(d.clock(), dt);
+        let dt2 = d.execute(&WorkBatch::conformations(1000, 1000));
+        assert!((d.clock() - (dt + dt2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn estimate_matches_execute_without_side_effects() {
+        let d = dev();
+        let b = WorkBatch::conformations(512, 2048);
+        let est = d.estimate(&b);
+        assert_eq!(d.clock(), 0.0, "estimate must not advance the clock");
+        assert_eq!(d.execute(&b), est);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let d = dev();
+        d.execute(&WorkBatch::conformations(10, 100));
+        d.execute(&WorkBatch::conformations(20, 100));
+        let s = d.stats();
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.items, 30);
+        assert_eq!(s.units, 3000);
+        assert!(s.busy_s > 0.0);
+    }
+
+    #[test]
+    fn sync_to_only_moves_forward() {
+        let d = dev();
+        d.sync_to(5.0);
+        assert_eq!(d.clock(), 5.0);
+        d.sync_to(3.0);
+        assert_eq!(d.clock(), 5.0);
+    }
+
+    #[test]
+    fn advance_and_utilization() {
+        let d = dev();
+        d.execute(&WorkBatch::conformations(100_000, 1000));
+        let busy = d.clock();
+        d.advance(busy); // equal idle time
+        assert!((d.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_advance_panics() {
+        dev().advance(-1.0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let d = dev();
+        d.execute(&WorkBatch::conformations(10, 10));
+        d.reset();
+        assert_eq!(d.clock(), 0.0);
+        assert_eq!(d.stats(), DeviceStats::default());
+    }
+
+    #[test]
+    fn concurrent_execution_is_safe() {
+        let d = std::sync::Arc::new(dev());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let d = d.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    d.execute(&WorkBatch::conformations(10, 10));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(d.stats().batches, 800);
+    }
+}

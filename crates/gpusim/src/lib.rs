@@ -1,0 +1,46 @@
+//! # gpusim — simulated heterogeneous compute devices
+//!
+//! The paper evaluates on multicore + multi-GPU nodes with heterogeneous
+//! cards (Tables 1–3): Fermi GeForce GTX 590/580, Fermi Tesla C2075 and a
+//! Kepler Tesla K40c. This crate models those devices so the scheduling
+//! strategy (the paper's contribution) can be exercised without CUDA
+//! hardware:
+//!
+//! - [`arch`] — GPU hardware generations (Table 1);
+//! - [`spec`] — device descriptors: SM count, cores/SM, clock, memory,
+//!   CUDA compute capability, plus CPU descriptors for the OpenMP baseline;
+//! - [`catalog`] — the concrete cards and CPUs of the paper's two systems
+//!   (Jupiter, Hertz);
+//! - [`launch`] — warp/block/grid decomposition and the occupancy
+//!   calculator (each candidate solution maps to one CUDA warp, §3.2);
+//! - [`cost`] — the roofline-style timing model: compute time vs memory
+//!   time, kernel-launch overhead, PCIe transfers;
+//! - [`device`] — [`device::SimDevice`]: a device with a *virtual clock*
+//!   that advances by modeled time as work batches execute;
+//! - [`node`] — [`node::SimNode`]: a multicore + multi-GPU node with the
+//!   runtime device-query API (the `cudaGetDeviceCount`/NVML analog) the
+//!   heterogeneous scheduler is written against.
+//!
+//! Timing is *virtual*: batches advance per-device clocks deterministically;
+//! the actual numeric work (scoring) runs on host threads owned by the
+//! scheduler in `vsched`. See DESIGN.md §1 for why this substitution
+//! preserves the paper's experimental behaviour.
+
+pub mod arch;
+pub mod catalog;
+pub mod cost;
+pub mod device;
+pub mod energy;
+pub mod launch;
+pub mod node;
+pub mod spec;
+pub mod timeline;
+
+pub use arch::GpuGeneration;
+pub use cost::{CostModel, WorkBatch};
+pub use device::SimDevice;
+pub use energy::{DeviceEnergy, EnergyModel};
+pub use launch::{occupancy, LaunchConfig};
+pub use node::SimNode;
+pub use spec::{DeviceKind, DeviceSpec};
+pub use timeline::{Segment, Timeline};

@@ -1,0 +1,179 @@
+//! A simulated multicore + multi-GPU node.
+//!
+//! This is the `cudaGetDeviceCount` + NVML analog the heterogeneous
+//! scheduler queries at run time (§3.3: the master thread "creates as many
+//! OpenMP threads as GPUs available on a node, which is easily attained by
+//! querying the GPU properties at runtime").
+
+use crate::cost::CostModel;
+use crate::device::SimDevice;
+use crate::spec::DeviceSpec;
+use std::sync::Arc;
+
+/// A heterogeneous node: one CPU (hosting the OpenMP baseline and the
+/// controlling threads) plus zero or more GPUs.
+///
+/// ```
+/// use gpusim::{catalog, SimNode, WorkBatch};
+///
+/// let node = SimNode::new("hertz", catalog::xeon_e3_1220(),
+///     vec![catalog::tesla_k40c(), catalog::geforce_gtx_580()]);
+/// assert_eq!(node.device_count(), 2);             // cudaGetDeviceCount
+/// assert_eq!(node.properties(0).lanes(), 2880);   // NVML-style query
+///
+/// node.gpu(0).execute(&WorkBatch::conformations(4096, 146_880));
+/// assert!(node.makespan() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimNode {
+    name: String,
+    cpu: Arc<SimDevice>,
+    gpus: Vec<Arc<SimDevice>>,
+}
+
+impl SimNode {
+    /// Build a node from a CPU spec and the GPU specs it hosts.
+    pub fn new(name: impl Into<String>, cpu: DeviceSpec, gpu_specs: Vec<DeviceSpec>) -> SimNode {
+        SimNode::with_model(name, cpu, gpu_specs, CostModel::default())
+    }
+
+    /// Build a node with a custom cost model (applied to every device).
+    pub fn with_model(
+        name: impl Into<String>,
+        cpu: DeviceSpec,
+        gpu_specs: Vec<DeviceSpec>,
+        model: CostModel,
+    ) -> SimNode {
+        let cpu = Arc::new(SimDevice::with_model(0, cpu, model));
+        let gpus = gpu_specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Arc::new(SimDevice::with_model(i + 1, s, model)))
+            .collect();
+        SimNode { name: name.into(), cpu, gpus }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// `cudaGetDeviceCount` analog: number of GPUs.
+    pub fn device_count(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// The host CPU device.
+    pub fn cpu(&self) -> &Arc<SimDevice> {
+        &self.cpu
+    }
+
+    /// GPU `i` (0-based, like CUDA device ordinals).
+    pub fn gpu(&self, i: usize) -> &Arc<SimDevice> {
+        &self.gpus[i]
+    }
+
+    /// All GPUs.
+    pub fn gpus(&self) -> &[Arc<SimDevice>] {
+        &self.gpus
+    }
+
+    /// NVML analog: device properties by ordinal.
+    pub fn properties(&self, i: usize) -> &DeviceSpec {
+        self.gpus[i].spec()
+    }
+
+    /// Reset every device clock (between experiments).
+    pub fn reset(&self) {
+        self.cpu.reset();
+        for g in &self.gpus {
+            g.reset();
+        }
+    }
+
+    /// The node-level makespan: the latest virtual clock across devices.
+    /// With one controlling thread per GPU running concurrently, the
+    /// slowest device determines overall execution time (§3.3).
+    pub fn makespan(&self) -> f64 {
+        let mut t = self.cpu.clock();
+        for g in &self.gpus {
+            t = t.max(g.clock());
+        }
+        t
+    }
+
+    /// Restrict to a subset of GPUs (e.g. Jupiter's "homogeneous system" =
+    /// only the four GTX 590s). Devices are shared, not copied: clocks
+    /// carry over.
+    pub fn subset(&self, gpu_indices: &[usize]) -> SimNode {
+        SimNode {
+            name: format!("{}[{:?}]", self.name, gpu_indices),
+            cpu: self.cpu.clone(),
+            gpus: gpu_indices.iter().map(|&i| self.gpus[i].clone()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::cost::WorkBatch;
+
+    fn hertz_like() -> SimNode {
+        SimNode::new(
+            "hertz",
+            catalog::xeon_e3_1220(),
+            vec![catalog::tesla_k40c(), catalog::geforce_gtx_580()],
+        )
+    }
+
+    #[test]
+    fn device_count_and_ordinals() {
+        let n = hertz_like();
+        assert_eq!(n.device_count(), 2);
+        assert_eq!(n.gpu(0).spec().name, "Tesla K40c");
+        assert_eq!(n.gpu(1).spec().name, "GeForce GTX 580");
+        assert_eq!(n.properties(0).lanes(), 2880);
+        assert!(!n.cpu().spec().is_gpu());
+    }
+
+    #[test]
+    fn device_ids_are_unique() {
+        let n = hertz_like();
+        let mut ids = vec![n.cpu().id()];
+        ids.extend(n.gpus().iter().map(|g| g.id()));
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn makespan_is_max_clock() {
+        let n = hertz_like();
+        n.gpu(0).execute(&WorkBatch::conformations(1000, 1000));
+        n.gpu(1).execute(&WorkBatch::conformations(1000, 1000));
+        let m = n.makespan();
+        assert_eq!(m, n.gpu(0).clock().max(n.gpu(1).clock()));
+        // GTX 580 is slower, so it dominates.
+        assert_eq!(m, n.gpu(1).clock());
+    }
+
+    #[test]
+    fn reset_clears_all_devices() {
+        let n = hertz_like();
+        n.cpu().execute(&WorkBatch::conformations(10, 10));
+        n.gpu(0).execute(&WorkBatch::conformations(10, 10));
+        n.reset();
+        assert_eq!(n.makespan(), 0.0);
+    }
+
+    #[test]
+    fn subset_shares_devices() {
+        let n = hertz_like();
+        let sub = n.subset(&[1]);
+        assert_eq!(sub.device_count(), 1);
+        sub.gpu(0).execute(&WorkBatch::conformations(10, 10));
+        // Clock visible through the parent node: same device object.
+        assert!(n.gpu(1).clock() > 0.0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Device descriptors — the per-card data of the paper's Tables 2 and 3.
+
+use crate::arch::GpuGeneration;
+use serde::{Deserialize, Serialize};
+
+/// GPU or CPU? The scheduler treats both uniformly as compute devices (the
+/// paper's OpenMP baseline runs the same workload on the multicore side).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeviceKind {
+    Gpu {
+        generation: GpuGeneration,
+        multiprocessors: u32,
+        cores_per_multiprocessor: u32,
+        /// Max resident threads per multiprocessor (occupancy limit).
+        max_threads_per_sm: u32,
+        max_threads_per_block: u32,
+        shared_memory_kb: u32,
+        registers_per_sm: u32,
+        /// CUDA compute capability, e.g. (2, 0) or (3, 5).
+        ccc: (u32, u32),
+    },
+    Cpu {
+        cores: u32,
+        /// Effective SIMD speedup factor of the compiled scalar-ish OpenMP
+        /// scoring loop (auto-vectorization gives ~2× on these Xeons).
+        simd_factor: f64,
+    },
+}
+
+/// A compute device of one of the paper's systems.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceSpec {
+    /// Human-readable model name, e.g. "GeForce GTX 590".
+    pub name: String,
+    pub kind: DeviceKind,
+    /// Core clock in MHz.
+    pub clock_mhz: f64,
+    /// DRAM size in megabytes.
+    pub memory_mb: u64,
+    /// DRAM bandwidth in GB/s.
+    pub memory_bandwidth_gbs: f64,
+    /// Release year (Tables 2–3).
+    pub year: u32,
+    /// Thermal design power in watts (board/package), for the energy model.
+    pub tdp_watts: f64,
+}
+
+impl DeviceSpec {
+    /// Number of hardware lanes: CUDA cores for GPUs, cores for CPUs.
+    pub fn lanes(&self) -> u32 {
+        match self.kind {
+            DeviceKind::Gpu { multiprocessors, cores_per_multiprocessor, .. } => {
+                multiprocessors * cores_per_multiprocessor
+            }
+            DeviceKind::Cpu { cores, .. } => cores,
+        }
+    }
+
+    pub fn is_gpu(&self) -> bool {
+        matches!(self.kind, DeviceKind::Gpu { .. })
+    }
+
+    /// Warp size (32 on every CUDA generation; 1 for CPUs).
+    pub fn warp_size(&self) -> u32 {
+        if self.is_gpu() {
+            32
+        } else {
+            1
+        }
+    }
+
+    /// Peak lane-cycles per second: `lanes × clock`. The cost model derates
+    /// this by occupancy and architectural lane efficiency.
+    pub fn peak_lane_hz(&self) -> f64 {
+        self.lanes() as f64 * self.clock_mhz * 1e6
+    }
+
+    /// Architectural lane efficiency (see [`GpuGeneration`]); CPUs fold the
+    /// SIMD factor in here instead.
+    pub fn lane_efficiency(&self) -> f64 {
+        match self.kind {
+            DeviceKind::Gpu { generation, .. } => generation.info().lane_efficiency,
+            DeviceKind::Cpu { simd_factor, .. } => simd_factor,
+        }
+    }
+
+    /// Sustained pair-interaction throughput ceiling in lane-Hz terms
+    /// (before occupancy effects): `lanes × clock × efficiency`.
+    pub fn sustained_lane_hz(&self) -> f64 {
+        self.peak_lane_hz() * self.lane_efficiency()
+    }
+
+    /// CUDA compute capability string, or "n/a" for CPUs.
+    pub fn ccc_string(&self) -> String {
+        match self.kind {
+            DeviceKind::Gpu { ccc: (maj, min), .. } => format!("{maj}.{min}"),
+            DeviceKind::Cpu { .. } => "n/a".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fermi_gpu() -> DeviceSpec {
+        DeviceSpec {
+            name: "Test Fermi".into(),
+            kind: DeviceKind::Gpu {
+                generation: GpuGeneration::Fermi,
+                multiprocessors: 16,
+                cores_per_multiprocessor: 32,
+                max_threads_per_sm: 1536,
+                max_threads_per_block: 1024,
+                shared_memory_kb: 48,
+                registers_per_sm: 32768,
+                ccc: (2, 0),
+            },
+            clock_mhz: 1215.0,
+            memory_mb: 1536,
+            memory_bandwidth_gbs: 163.85,
+            tdp_watts: 244.0,
+        year: 2011,
+        }
+    }
+
+    fn cpu() -> DeviceSpec {
+        DeviceSpec {
+            name: "Test Xeon".into(),
+            kind: DeviceKind::Cpu { cores: 12, simd_factor: 2.0 },
+            clock_mhz: 2000.0,
+            memory_mb: 32143,
+            memory_bandwidth_gbs: 42.66,
+            tdp_watts: 95.0,
+        year: 2012,
+        }
+    }
+
+    #[test]
+    fn lanes_multiply_for_gpu() {
+        assert_eq!(fermi_gpu().lanes(), 512);
+        assert_eq!(cpu().lanes(), 12);
+    }
+
+    #[test]
+    fn warp_size_by_kind() {
+        assert_eq!(fermi_gpu().warp_size(), 32);
+        assert_eq!(cpu().warp_size(), 1);
+    }
+
+    #[test]
+    fn peak_lane_hz() {
+        let g = fermi_gpu();
+        assert!((g.peak_lane_hz() - 512.0 * 1215.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn sustained_below_peak_for_gpu() {
+        let g = fermi_gpu();
+        assert!(g.sustained_lane_hz() < g.peak_lane_hz());
+    }
+
+    #[test]
+    fn cpu_simd_factor_scales_sustained() {
+        let c = cpu();
+        assert!((c.sustained_lane_hz() - 2.0 * c.peak_lane_hz()).abs() < 1.0);
+    }
+
+    #[test]
+    fn ccc_strings() {
+        assert_eq!(fermi_gpu().ccc_string(), "2.0");
+        assert_eq!(cpu().ccc_string(), "n/a");
+    }
+
+    #[test]
+    fn gpu_outclasses_cpu_in_lane_throughput() {
+        // The premise of the paper: the GPU side dwarfs the multicore side
+        // (a single Fermi card vs a 12-core dual-socket Xeon).
+        assert!(fermi_gpu().sustained_lane_hz() > 5.0 * cpu().sustained_lane_hz());
+    }
+}

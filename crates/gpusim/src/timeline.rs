@@ -1,0 +1,196 @@
+//! Execution timelines — Gantt-style records of what each device ran when.
+//!
+//! The schedulers in `vsched` are judged by makespans, but *why* a schedule
+//! is slow (idle gaps, imbalance, launch storms) is easiest to see on a
+//! timeline. [`Timeline`] collects per-device execution segments and
+//! renders an ASCII Gantt chart; `vsched::schedule_trace` callers can
+//! record into one via [`Timeline::record`].
+
+use crate::cost::WorkBatch;
+use crate::device::SimDevice;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One executed segment on one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    pub device: usize,
+    pub device_name: String,
+    /// Virtual start/end times, seconds.
+    pub start: f64,
+    pub end: f64,
+    pub items: u64,
+}
+
+/// A thread-safe collection of execution segments.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    segments: Mutex<Vec<Segment>>,
+}
+
+impl Timeline {
+    pub fn new() -> Timeline {
+        Timeline::default()
+    }
+
+    /// Execute `batch` on `dev` and record the segment.
+    pub fn record(&self, dev: &SimDevice, batch: &WorkBatch) -> f64 {
+        let start = dev.clock();
+        let dt = dev.execute(batch);
+        self.segments.lock().push(Segment {
+            device: dev.id(),
+            device_name: dev.spec().name.clone(),
+            start,
+            end: start + dt,
+            items: batch.items,
+        });
+        dt
+    }
+
+    /// All segments, ordered by (device, start).
+    pub fn segments(&self) -> Vec<Segment> {
+        let mut v = self.segments.lock().clone();
+        v.sort_by(|a, b| {
+            a.device.cmp(&b.device).then(a.start.partial_cmp(&b.start).unwrap())
+        });
+        v
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.segments.lock().is_empty()
+    }
+
+    /// Latest segment end over all devices.
+    pub fn makespan(&self) -> f64 {
+        self.segments.lock().iter().map(|s| s.end).fold(0.0, f64::max)
+    }
+
+    /// Total idle time of a device within `[0, makespan]`: gaps between its
+    /// segments plus the tail after its last segment.
+    pub fn idle_time(&self, device: usize) -> f64 {
+        let segs = self.segments();
+        let horizon = self.makespan();
+        let mine: Vec<&Segment> = segs.iter().filter(|s| s.device == device).collect();
+        if mine.is_empty() {
+            return horizon;
+        }
+        let mut idle = mine[0].start;
+        for w in mine.windows(2) {
+            idle += (w[1].start - w[0].end).max(0.0);
+        }
+        idle + (horizon - mine.last().unwrap().end).max(0.0)
+    }
+
+    /// ASCII Gantt chart: one row per device, `width` columns spanning
+    /// `[0, makespan]`; `#` marks busy columns.
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write;
+        let segs = self.segments();
+        let horizon = self.makespan();
+        if segs.is_empty() || horizon <= 0.0 {
+            return String::from("(empty timeline)\n");
+        }
+        let mut device_ids: Vec<usize> = segs.iter().map(|s| s.device).collect();
+        device_ids.sort_unstable();
+        device_ids.dedup();
+
+        let mut out = String::new();
+        for d in device_ids {
+            let name = segs
+                .iter()
+                .find(|s| s.device == d)
+                .map(|s| s.device_name.clone())
+                .unwrap_or_default();
+            let mut row = vec![b'.'; width];
+            for s in segs.iter().filter(|s| s.device == d) {
+                let a = ((s.start / horizon) * width as f64) as usize;
+                let b = (((s.end / horizon) * width as f64).ceil() as usize).min(width);
+                for c in row.iter_mut().take(b).skip(a.min(width.saturating_sub(1))) {
+                    *c = b'#';
+                }
+            }
+            let _ = writeln!(
+                out,
+                "dev {d:<2} {name:<20} |{}| idle {:5.1}%",
+                String::from_utf8(row).expect("ascii"),
+                100.0 * self.idle_time(d) / horizon
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn devices() -> (SimDevice, SimDevice) {
+        (
+            SimDevice::new(0, catalog::tesla_k40c()),
+            SimDevice::new(1, catalog::geforce_gtx_580()),
+        )
+    }
+
+    #[test]
+    fn record_captures_segments_in_order() {
+        let (a, _) = devices();
+        let tl = Timeline::new();
+        tl.record(&a, &WorkBatch::conformations(100, 1000));
+        tl.record(&a, &WorkBatch::conformations(200, 1000));
+        let segs = tl.segments();
+        assert_eq!(segs.len(), 2);
+        assert_eq!(segs[0].items, 100);
+        assert!((segs[0].end - segs[1].start).abs() < 1e-15, "segments must be contiguous");
+        assert!((tl.makespan() - a.clock()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn idle_time_accounts_gaps_and_tail() {
+        let (a, b) = devices();
+        let tl = Timeline::new();
+        // Device 0 works twice as much as device 1.
+        tl.record(&a, &WorkBatch::conformations(100_000, 10_000));
+        tl.record(&b, &WorkBatch::conformations(100_000, 2_500));
+        let horizon = tl.makespan();
+        assert_eq!(tl.idle_time(0), 0.0);
+        let idle1 = tl.idle_time(1);
+        assert!(idle1 > 0.0 && idle1 < horizon);
+        // Busy + idle = horizon for every device.
+        let busy1: f64 = tl
+            .segments()
+            .iter()
+            .filter(|s| s.device == 1)
+            .map(|s| s.end - s.start)
+            .sum();
+        assert!((busy1 + idle1 - horizon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_device_is_fully_idle() {
+        let (a, _) = devices();
+        let tl = Timeline::new();
+        tl.record(&a, &WorkBatch::conformations(10, 10));
+        assert_eq!(tl.idle_time(99), tl.makespan());
+    }
+
+    #[test]
+    fn render_shape() {
+        let (a, b) = devices();
+        let tl = Timeline::new();
+        tl.record(&a, &WorkBatch::conformations(1000, 1000));
+        tl.record(&b, &WorkBatch::conformations(1000, 1000));
+        let s = tl.render(40);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.contains('#'));
+        assert!(s.contains("K40c"));
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        let tl = Timeline::new();
+        assert!(tl.is_empty());
+        assert!(tl.render(40).contains("empty"));
+        assert_eq!(tl.makespan(), 0.0);
+    }
+}

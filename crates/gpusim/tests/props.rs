@@ -1,0 +1,117 @@
+//! Property-based tests for the device model.
+
+use proptest::prelude::*;
+use gpusim::{catalog, CostModel, DeviceSpec, EnergyModel, SimDevice, WorkBatch};
+
+fn arb_device() -> impl Strategy<Value = DeviceSpec> {
+    (0usize..6).prop_map(|i| match i {
+        0 => catalog::xeon_e3_1220(),
+        1 => catalog::xeon_e5_2620_dual(),
+        2 => catalog::tesla_c2075(),
+        3 => catalog::geforce_gtx_590(),
+        4 => catalog::geforce_gtx_580(),
+        _ => catalog::tesla_k40c(),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn execution_time_positive_and_finite(
+        d in arb_device(),
+        items in 1u64..1_000_000,
+        pairs in 1u64..10_000_000,
+    ) {
+        let t = CostModel::default().execution_time(&d, &WorkBatch::conformations(items, pairs));
+        prop_assert!(t.is_finite());
+        prop_assert!(t > 0.0);
+    }
+
+    #[test]
+    fn execution_time_monotone_in_items(
+        d in arb_device(),
+        items in 1u64..100_000,
+        pairs in 1u64..1_000_000,
+        extra in 1u64..100_000,
+    ) {
+        let m = CostModel::default();
+        let t1 = m.execution_time(&d, &WorkBatch::conformations(items, pairs));
+        let t2 = m.execution_time(&d, &WorkBatch::conformations(items + extra, pairs));
+        prop_assert!(t2 >= t1, "{t2} < {t1}");
+    }
+
+    #[test]
+    fn execution_time_monotone_in_pairs(
+        d in arb_device(),
+        items in 1u64..100_000,
+        pairs in 1u64..1_000_000,
+        extra in 1u64..1_000_000,
+    ) {
+        let m = CostModel::default();
+        let t1 = m.execution_time(&d, &WorkBatch::conformations(items, pairs));
+        let t2 = m.execution_time(&d, &WorkBatch::conformations(items, pairs + extra));
+        prop_assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn occupancy_in_unit_interval(d in arb_device(), items in 0u64..10_000_000) {
+        let o = gpusim::occupancy(&d, items);
+        prop_assert!((0.0..=1.0).contains(&o));
+        let e = gpusim::launch::occupancy_efficiency(&d, items);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&e));
+    }
+
+    #[test]
+    fn splitting_work_never_slower_on_second_device(
+        items in 2u64..100_000,
+        pairs in 1_000u64..1_000_000,
+    ) {
+        // Makespan of an even split across two identical devices ≤ one
+        // device doing everything (superlinear anomalies are model bugs).
+        let m = CostModel::default();
+        let d = catalog::geforce_gtx_580();
+        let whole = m.execution_time(&d, &WorkBatch::conformations(items, pairs));
+        let half = m.execution_time(&d, &WorkBatch::conformations(items.div_ceil(2), pairs));
+        prop_assert!(half <= whole + 1e-12);
+    }
+
+    #[test]
+    fn device_clock_equals_sum_of_batches(
+        seeds in proptest::collection::vec((1u64..5_000, 1u64..100_000), 1..20),
+    ) {
+        let dev = SimDevice::new(0, catalog::tesla_k40c());
+        let mut sum = 0.0;
+        for (items, pairs) in seeds {
+            sum += dev.execute(&WorkBatch::conformations(items, pairs));
+        }
+        prop_assert!((dev.clock() - sum).abs() < 1e-12 * sum.max(1.0));
+        prop_assert!((dev.stats().busy_s - sum).abs() < 1e-12 * sum.max(1.0));
+    }
+
+    #[test]
+    fn energy_nonnegative_and_monotone_in_horizon(
+        d in arb_device(),
+        items in 1u64..100_000,
+        slack in 0.0..100.0f64,
+    ) {
+        let dev = SimDevice::new(0, d);
+        dev.execute(&WorkBatch::conformations(items, 10_000));
+        let model = EnergyModel::default();
+        let e1 = model.device_energy(&dev, dev.clock()).joules;
+        let e2 = model.device_energy(&dev, dev.clock() + slack).joules;
+        prop_assert!(e1 >= 0.0);
+        prop_assert!(e2 >= e1);
+    }
+
+    #[test]
+    fn launch_config_covers_items(
+        d in arb_device(),
+        items in 0u64..1_000_000,
+        tpb in 1u32..2048,
+    ) {
+        let lc = gpusim::LaunchConfig::for_items(&d, items, tpb);
+        prop_assert!(lc.total_warps() >= items.max(1) || d.warp_size() == 1);
+        prop_assert!(lc.threads_per_block >= 1);
+    }
+}

@@ -1,0 +1,812 @@
+//! The Algorithm 1 engine: one independent population per spot, with all
+//! scoring requests batched across spots.
+
+use crate::evaluator::BatchEvaluator;
+use crate::params::{improved_count, EndCondition, ImproveStrategy, MetaheuristicParams, SelectStrategy};
+use vsmath::RngStream;
+use vsmol::{conformation::score_cmp, Conformation, Spot};
+
+/// Outcome of one metaheuristic execution.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Best conformation found anywhere on the surface.
+    pub best: Conformation,
+    /// Best conformation per spot (index-aligned with the input spots).
+    pub best_per_spot: Vec<Conformation>,
+    /// Total scoring evaluations performed.
+    pub evaluations: u64,
+    /// Generations actually run (≤ the configured maximum; 0 for M4).
+    pub generations_run: usize,
+    /// Items per scoring batch, in submission order. This is the workload
+    /// trace the device schedulers in `vsched` partition and replay.
+    pub batch_trace: Vec<u64>,
+    /// Global best score after initialization and after each generation.
+    pub best_history: Vec<f64>,
+    /// Mean per-spot translation diversity (Å) after initialization and
+    /// after each generation — the premature-convergence diagnostic
+    /// ([`crate::diversity`]). Engines without populations (Tabu) or with
+    /// implicit ones leave this empty.
+    pub diversity_history: Vec<f64>,
+}
+
+/// Execute a parameterized metaheuristic (Algorithm 1) over `spots`.
+///
+/// Deterministic: each spot draws from its own RNG stream derived from
+/// `seed`, so results do not depend on how work is later partitioned across
+/// devices.
+///
+/// ```
+/// use metaheur::{m1, run, SyntheticEvaluator};
+/// use vsmath::Vec3;
+/// use vsmol::Spot;
+///
+/// let spots = vec![Spot {
+///     id: 0, center: Vec3::ZERO, normal: Vec3::Z, radius: 5.0, anchor_atom: 0,
+/// }];
+/// let mut eval = SyntheticEvaluator::new(vec![Vec3::new(1.0, 1.0, 0.0)]);
+/// let result = run(&m1(0.2), &spots, &mut eval, 42);
+/// assert_eq!(result.evaluations, m1(0.2).evals_per_spot());
+/// assert!(result.best.score < result.best_history[0]);
+/// ```
+pub fn run<E: BatchEvaluator>(
+    params: &MetaheuristicParams,
+    spots: &[Spot],
+    evaluator: &mut E,
+    seed: u64,
+) -> RunResult {
+    run_seeded(params, spots, evaluator, seed, &[])
+}
+
+/// Like [`run`], but injects already-scored `seed_confs` into the initial
+/// populations (each replaces the worst member of its spot's population).
+/// This is the warm-start hook the cooperative job scheduler in `vsched`
+/// uses to share incumbent solutions between independent executions.
+pub fn run_seeded<E: BatchEvaluator>(
+    params: &MetaheuristicParams,
+    spots: &[Spot],
+    evaluator: &mut E,
+    seed: u64,
+    seed_confs: &[Conformation],
+) -> RunResult {
+    params.validate().expect("invalid metaheuristic parameters");
+    assert!(!spots.is_empty(), "need at least one spot");
+
+    let mut state = Engine {
+        params,
+        spots,
+        rngs: spots.iter().map(|s| RngStream::derive(seed, s.id as u64 + 1)).collect(),
+        populations: Vec::new(),
+        evaluations: 0,
+        batch_trace: Vec::new(),
+    };
+
+    state.initialize(evaluator);
+    state.inject_seeds(spots, seed_confs);
+    let mut best_history = vec![state.global_best().score];
+    let mut diversity_history = vec![state.mean_diversity()];
+
+    let mut generations_run = 0;
+    if params.single_pass {
+        // M4: one Improve pass over the large initial set; no Select /
+        // Combine / Include loop.
+        state.improve_populations(evaluator);
+        diversity_history.push(state.mean_diversity());
+    } else {
+        let max_gens = params.end.max_generations();
+        let mut stale = 0usize;
+        let mut best_so_far = state.global_best().score;
+        for _ in 0..max_gens {
+            state.generation(evaluator);
+            generations_run += 1;
+            let now_best = state.global_best().score;
+            best_history.push(now_best);
+            diversity_history.push(state.mean_diversity());
+            if let EndCondition::Convergence { patience, .. } = params.end {
+                if now_best < best_so_far - 1e-12 {
+                    best_so_far = now_best;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= patience {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let best_per_spot: Vec<Conformation> =
+        state.populations.iter().map(|pop| pop[0]).collect();
+    let best = *best_per_spot
+        .iter()
+        .min_by(|a, b| score_cmp(a, b))
+        .expect("non-empty spots");
+
+    RunResult {
+        best,
+        best_per_spot,
+        evaluations: state.evaluations,
+        generations_run,
+        batch_trace: state.batch_trace,
+        best_history,
+        diversity_history,
+    }
+}
+
+struct Engine<'a> {
+    params: &'a MetaheuristicParams,
+    spots: &'a [Spot],
+    rngs: Vec<RngStream>,
+    /// One population per spot, kept sorted by ascending score.
+    populations: Vec<Vec<Conformation>>,
+    evaluations: u64,
+    batch_trace: Vec<u64>,
+}
+
+impl Engine<'_> {
+    fn evaluate_batch<E: BatchEvaluator>(&mut self, evaluator: &mut E, confs: &mut [Conformation]) {
+        if confs.is_empty() {
+            return;
+        }
+        evaluator.evaluate(confs);
+        self.evaluations += confs.len() as u64;
+        self.batch_trace.push(confs.len() as u64);
+    }
+
+    /// Like [`Engine::evaluate_batch`] but also asks for gradients (one
+    /// batch of evaluations either way).
+    fn evaluate_batch_gradients<E: BatchEvaluator>(
+        &mut self,
+        evaluator: &mut E,
+        confs: &mut [Conformation],
+    ) -> Option<Vec<vsscore::RigidGradient>> {
+        if confs.is_empty() {
+            return Some(Vec::new());
+        }
+        let grads = evaluator.evaluate_with_gradients(confs);
+        if grads.is_none() {
+            // Fallback path still needs the scores.
+            evaluator.evaluate(confs);
+        }
+        self.evaluations += confs.len() as u64;
+        self.batch_trace.push(confs.len() as u64);
+        grads
+    }
+
+    /// `Initialize(S)`: random conformations at every spot, scored in one
+    /// batch.
+    fn initialize<E: BatchEvaluator>(&mut self, evaluator: &mut E) {
+        let p = self.params.population_per_spot;
+        let mut flat: Vec<Conformation> = Vec::with_capacity(p * self.spots.len());
+        for (si, spot) in self.spots.iter().enumerate() {
+            for _ in 0..p {
+                flat.push(Conformation::random_at(spot, &mut self.rngs[si]));
+            }
+        }
+        self.evaluate_batch(evaluator, &mut flat);
+        self.populations = flat.chunks(p).map(|c| c.to_vec()).collect();
+        for pop in &mut self.populations {
+            pop.sort_by(score_cmp);
+        }
+    }
+
+    /// Replace the worst member of each targeted spot's population with a
+    /// shared (already-scored) conformation.
+    fn inject_seeds(&mut self, spots: &[Spot], seed_confs: &[Conformation]) {
+        for c in seed_confs {
+            if !c.is_scored() {
+                continue;
+            }
+            if let Some(si) = spots.iter().position(|s| s.id == c.spot_id) {
+                let pop = &mut self.populations[si];
+                let last = pop.len() - 1;
+                if c.score < pop[last].score {
+                    pop[last] = *c;
+                    pop.sort_by(score_cmp);
+                }
+            }
+        }
+    }
+
+    /// One full Select → Combine → Improve → Include generation.
+    fn generation<E: BatchEvaluator>(&mut self, evaluator: &mut E) {
+        // Select + Combine, per spot, into one flat offspring batch.
+        let o = self.params.offspring_per_spot;
+        let mut offspring: Vec<Conformation> = Vec::with_capacity(o * self.spots.len());
+        for si in 0..self.spots.len() {
+            let spot = &self.spots[si];
+            for _ in 0..o {
+                let (a, b) = self.pick_parents(si);
+                let rng = &mut self.rngs[si];
+                let mut child = Conformation::crossover(&a, &b, rng);
+                if rng.chance(self.params.mutation_prob) {
+                    child = child.perturbed(self.params.max_shift, self.params.max_angle, rng);
+                }
+                offspring.push(child.clamped_to(spot));
+            }
+        }
+        self.evaluate_batch(evaluator, &mut offspring);
+
+        // Improve the best fraction of each spot's offspring.
+        let mut groups: Vec<Vec<Conformation>> = offspring.chunks(o).map(|c| c.to_vec()).collect();
+        for g in &mut groups {
+            g.sort_by(score_cmp);
+        }
+        let k = improved_count(o, self.params.improve_fraction);
+        if k > 0 && self.params.improve.evals_per_element() > 0 {
+            self.local_search(evaluator, &mut groups, k);
+        }
+
+        // Include: merge offspring and keep the best `population_per_spot`.
+        let p = self.params.population_per_spot;
+        for (pop, group) in self.populations.iter_mut().zip(groups) {
+            pop.extend(group);
+            pop.sort_by(score_cmp);
+            pop.truncate(p);
+        }
+    }
+
+    /// `Improve` over the whole populations (M4 single-pass mode).
+    fn improve_populations<E: BatchEvaluator>(&mut self, evaluator: &mut E) {
+        let k = improved_count(self.params.population_per_spot, self.params.improve_fraction);
+        if k == 0 || self.params.improve.evals_per_element() == 0 {
+            return;
+        }
+        let mut groups = std::mem::take(&mut self.populations);
+        self.local_search(evaluator, &mut groups, k);
+        for pop in &mut groups {
+            pop.sort_by(score_cmp);
+        }
+        self.populations = groups;
+    }
+
+    /// Batched local search: improve the best `k` elements of each group in
+    /// lockstep; each step scores one perturbation per improving element
+    /// across all spots in a single batch.
+    fn local_search<E: BatchEvaluator>(
+        &mut self,
+        evaluator: &mut E,
+        groups: &mut [Vec<Conformation>],
+        k: usize,
+    ) {
+        if let ImproveStrategy::Lamarckian { steps, step_size, angle_step } = self.params.improve {
+            self.lamarckian_search(evaluator, groups, k, steps, step_size, angle_step);
+            return;
+        }
+        let steps = self.params.improve.evals_per_element();
+        let (sa_t0, sa_cooling) = match self.params.improve {
+            ImproveStrategy::SimulatedAnnealing { t0, cooling, .. } => (t0, cooling),
+            _ => (0.0, 1.0),
+        };
+
+        for step in 0..steps {
+            // Propose one perturbation per improving element.
+            let mut proposals: Vec<Conformation> = Vec::new();
+            let mut slots: Vec<(usize, usize)> = Vec::new();
+            for (si, group) in groups.iter().enumerate() {
+                let spot = &self.spots[si];
+                let kk = k.min(group.len());
+                for ei in 0..kk {
+                    let rng = &mut self.rngs[si];
+                    let cand = group[ei]
+                        .perturbed(self.params.max_shift, self.params.max_angle, rng)
+                        .clamped_to(spot);
+                    proposals.push(cand);
+                    slots.push((si, ei));
+                }
+            }
+            self.evaluate_batch(evaluator, &mut proposals);
+
+            // Accept per hill-climb or SA rule.
+            let temp = sa_t0 * sa_cooling.powi(step as i32);
+            for (cand, (si, ei)) in proposals.into_iter().zip(slots) {
+                let cur = &mut groups[si][ei];
+                let accept = if cand.score < cur.score {
+                    true
+                } else if temp > 0.0 {
+                    let delta = cand.score - cur.score;
+                    self.rngs[si].chance((-delta / temp).exp())
+                } else {
+                    false
+                };
+                if accept {
+                    *cur = cand;
+                }
+            }
+        }
+    }
+
+    /// Lamarckian descent: each step evaluates gradients at the current
+    /// points, takes one force/torque-directed trial move per element, and
+    /// keeps improvements (acquired traits are written back into the
+    /// genotype — the defining Lamarckian property).
+    fn lamarckian_search<E: BatchEvaluator>(
+        &mut self,
+        evaluator: &mut E,
+        groups: &mut [Vec<Conformation>],
+        k: usize,
+        steps: usize,
+        step_size: f64,
+        angle_step: f64,
+    ) {
+        use vsmath::{Quat, RigidTransform};
+        for _ in 0..steps {
+            // Gather the improving elements across all spots.
+            let mut current: Vec<Conformation> = Vec::new();
+            let mut slots: Vec<(usize, usize)> = Vec::new();
+            for (si, group) in groups.iter().enumerate() {
+                for ei in 0..k.min(group.len()) {
+                    current.push(group[ei]);
+                    slots.push((si, ei));
+                }
+            }
+            let grads = self.evaluate_batch_gradients(evaluator, &mut current);
+
+            // Trial points: along the gradient when available, stochastic
+            // perturbation otherwise.
+            let mut proposals: Vec<Conformation> = Vec::with_capacity(current.len());
+            match grads {
+                Some(gs) => {
+                    for ((c, g), &(si, _)) in current.iter().zip(&gs).zip(&slots) {
+                        let spot = &self.spots[si];
+                        let dir = g.force.normalized().unwrap_or(vsmath::Vec3::ZERO);
+                        let t = c.pose.translation + dir * step_size;
+                        let rot = match g.torque.normalized() {
+                            Some(axis) => {
+                                (Quat::from_axis_angle(axis, angle_step) * c.pose.rotation)
+                                    .renormalize()
+                            }
+                            None => c.pose.rotation,
+                        };
+                        proposals.push(
+                            Conformation::new(RigidTransform::new(rot, t), c.spot_id)
+                                .clamped_to(spot),
+                        );
+                    }
+                }
+                None => {
+                    for (c, &(si, _)) in current.iter().zip(&slots) {
+                        let spot = &self.spots[si];
+                        let rng = &mut self.rngs[si];
+                        proposals.push(
+                            c.perturbed(self.params.max_shift, self.params.max_angle, rng)
+                                .clamped_to(spot),
+                        );
+                    }
+                }
+            }
+            self.evaluate_batch(evaluator, &mut proposals);
+            for ((cand, cur), (si, ei)) in proposals.into_iter().zip(current).zip(slots) {
+                // `cur` carries the freshly evaluated score of the original.
+                if cand.score < cur.score {
+                    groups[si][ei] = cand;
+                } else {
+                    groups[si][ei] = cur;
+                }
+            }
+        }
+    }
+
+    /// Two parents from spot `si`'s population per the selection strategy.
+    fn pick_parents(&mut self, si: usize) -> (Conformation, Conformation) {
+        let pop = &self.populations[si];
+        let rng = &mut self.rngs[si];
+        match self.params.select {
+            SelectStrategy::TruncationBest { fraction } => {
+                let pool = ((pop.len() as f64 * fraction).ceil() as usize).clamp(1, pop.len());
+                let i = rng.index(pool);
+                let j = rng.index(pool);
+                (pop[i], pop[j])
+            }
+            SelectStrategy::Tournament { k } => {
+                let pick = |rng: &mut RngStream, pop: &[Conformation]| {
+                    let mut best = pop[rng.index(pop.len())];
+                    for _ in 1..k {
+                        let c = pop[rng.index(pop.len())];
+                        if c.score < best.score {
+                            best = c;
+                        }
+                    }
+                    best
+                };
+                (pick(rng, pop), pick(rng, pop))
+            }
+        }
+    }
+
+    /// Mean translation diversity across the per-spot populations.
+    fn mean_diversity(&self) -> f64 {
+        if self.populations.is_empty() {
+            return 0.0;
+        }
+        self.populations
+            .iter()
+            .map(|p| crate::diversity::translation_diversity(p))
+            .sum::<f64>()
+            / self.populations.len() as f64
+    }
+
+    fn global_best(&self) -> Conformation {
+        *self
+            .populations
+            .iter()
+            .map(|p| &p[0])
+            .min_by(|a, b| score_cmp(a, b))
+            .expect("non-empty populations")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SyntheticEvaluator;
+    use crate::params::{EndCondition, ImproveStrategy, MetaheuristicParams, SelectStrategy};
+    use vsmath::Vec3;
+
+    fn spots(n: usize) -> Vec<Spot> {
+        (0..n)
+            .map(|i| Spot {
+                id: i,
+                center: Vec3::new(10.0 * i as f64, 0.0, 0.0),
+                normal: Vec3::Z,
+                radius: 5.0,
+                anchor_atom: 0,
+            })
+            .collect()
+    }
+
+    fn ga(gens: usize) -> MetaheuristicParams {
+        MetaheuristicParams {
+            name: "test-ga".into(),
+            population_per_spot: 32,
+            select: SelectStrategy::TruncationBest { fraction: 0.5 },
+            offspring_per_spot: 32,
+            improve_fraction: 0.0,
+            improve: ImproveStrategy::None,
+            mutation_prob: 0.3,
+            max_shift: 1.0,
+            max_angle: 0.4,
+            end: EndCondition::Generations(gens),
+            single_pass: false,
+        }
+    }
+
+    /// Optima placed inside each spot's search ball.
+    fn evaluator_for(spots: &[Spot]) -> SyntheticEvaluator {
+        SyntheticEvaluator::new(
+            spots.iter().map(|s| s.center + Vec3::new(1.0, 1.0, 0.5)).collect(),
+        )
+    }
+
+    #[test]
+    fn ga_improves_over_generations() {
+        let sp = spots(4);
+        let mut ev = evaluator_for(&sp);
+        let r = run(&ga(30), &sp, &mut ev, 7);
+        assert!(
+            r.best_history.last().unwrap() < &(r.best_history[0] * 0.5),
+            "history {:?}",
+            r.best_history
+        );
+        assert_eq!(r.generations_run, 30);
+    }
+
+    #[test]
+    fn evaluation_count_matches_params() {
+        let sp = spots(3);
+        let mut ev = evaluator_for(&sp);
+        let p = ga(10);
+        let r = run(&p, &sp, &mut ev, 1);
+        assert_eq!(r.evaluations, p.evals_per_spot() * 3);
+        assert_eq!(ev.evaluations, r.evaluations);
+        assert_eq!(r.batch_trace.iter().sum::<u64>(), r.evaluations);
+    }
+
+    #[test]
+    fn evaluation_count_with_improvement() {
+        let sp = spots(2);
+        let mut ev = evaluator_for(&sp);
+        let p = MetaheuristicParams {
+            improve_fraction: 0.25,
+            improve: ImproveStrategy::HillClimb { steps: 3 },
+            ..ga(5)
+        };
+        let r = run(&p, &sp, &mut ev, 1);
+        assert_eq!(r.evaluations, p.evals_per_spot() * 2);
+    }
+
+    #[test]
+    fn single_pass_counts_and_runs_no_generations() {
+        let sp = spots(2);
+        let mut ev = evaluator_for(&sp);
+        let p = MetaheuristicParams {
+            population_per_spot: 128,
+            improve_fraction: 1.0,
+            improve: ImproveStrategy::HillClimb { steps: 20 },
+            single_pass: true,
+            ..ga(0)
+        };
+        let r = run(&p, &sp, &mut ev, 3);
+        assert_eq!(r.generations_run, 0);
+        assert_eq!(r.evaluations, p.evals_per_spot() * 2);
+        // Pure local search still optimizes.
+        assert!(r.best.score < 5.0, "best {}", r.best.score);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let sp = spots(3);
+        let p = MetaheuristicParams {
+            improve_fraction: 0.5,
+            improve: ImproveStrategy::HillClimb { steps: 2 },
+            ..ga(8)
+        };
+        let mut e1 = evaluator_for(&sp);
+        let mut e2 = evaluator_for(&sp);
+        let r1 = run(&p, &sp, &mut e1, 42);
+        let r2 = run(&p, &sp, &mut e2, 42);
+        assert_eq!(r1.best.score, r2.best.score);
+        assert_eq!(r1.best.pose, r2.best.pose);
+        assert_eq!(r1.batch_trace, r2.batch_trace);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let sp = spots(2);
+        let mut e1 = evaluator_for(&sp);
+        let mut e2 = evaluator_for(&sp);
+        let r1 = run(&ga(5), &sp, &mut e1, 1);
+        let r2 = run(&ga(5), &sp, &mut e2, 2);
+        assert_ne!(r1.best.score, r2.best.score);
+    }
+
+    #[test]
+    fn hill_climb_beats_no_improvement() {
+        let sp = spots(4);
+        let mut e1 = evaluator_for(&sp);
+        let mut e2 = evaluator_for(&sp);
+        let plain = ga(10);
+        let improved = MetaheuristicParams {
+            improve_fraction: 1.0,
+            improve: ImproveStrategy::HillClimb { steps: 4 },
+            ..ga(10)
+        };
+        let r_plain = run(&plain, &sp, &mut e1, 5);
+        let r_imp = run(&improved, &sp, &mut e2, 5);
+        assert!(
+            r_imp.best.score <= r_plain.best.score,
+            "LS {} vs plain {}",
+            r_imp.best.score,
+            r_plain.best.score
+        );
+    }
+
+    #[test]
+    fn best_per_spot_belongs_to_spot() {
+        let sp = spots(5);
+        let mut ev = evaluator_for(&sp);
+        let r = run(&ga(5), &sp, &mut ev, 9);
+        assert_eq!(r.best_per_spot.len(), 5);
+        for (i, c) in r.best_per_spot.iter().enumerate() {
+            assert_eq!(c.spot_id, i);
+            // Stays within the spot's search ball.
+            assert!(c.pose.translation.dist(sp[i].center) <= sp[i].radius + 1e-9);
+        }
+    }
+
+    #[test]
+    fn best_is_min_of_best_per_spot() {
+        let sp = spots(3);
+        let mut ev = evaluator_for(&sp);
+        let r = run(&ga(6), &sp, &mut ev, 11);
+        let min = r.best_per_spot.iter().map(|c| c.score).fold(f64::INFINITY, f64::min);
+        assert_eq!(r.best.score, min);
+    }
+
+    #[test]
+    fn convergence_end_stops_early() {
+        let sp = spots(1);
+        let mut ev = evaluator_for(&sp);
+        let p = MetaheuristicParams {
+            end: EndCondition::Convergence { patience: 3, max: 500 },
+            mutation_prob: 0.0, // converges fast without mutation noise
+            ..ga(0)
+        };
+        let r = run(&p, &sp, &mut ev, 13);
+        assert!(r.generations_run < 500, "never converged");
+    }
+
+    #[test]
+    fn tournament_selection_works() {
+        let sp = spots(2);
+        let mut ev = evaluator_for(&sp);
+        let p = MetaheuristicParams { select: SelectStrategy::Tournament { k: 3 }, ..ga(10) };
+        let r = run(&p, &sp, &mut ev, 17);
+        assert!(r.best_history.last().unwrap() <= &r.best_history[0]);
+    }
+
+    #[test]
+    fn lamarckian_descends_synthetic_gradient() {
+        // On the smooth synthetic landscape, gradient descent must converge
+        // much tighter than blind hill climbing at the same budget.
+        let sp = spots(2);
+        let lam = MetaheuristicParams {
+            improve_fraction: 1.0,
+            improve: ImproveStrategy::Lamarckian { steps: 15, step_size: 0.25, angle_step: 0.05 },
+            mutation_prob: 0.0,
+            ..ga(4)
+        };
+        let hc = MetaheuristicParams {
+            improve_fraction: 1.0,
+            improve: ImproveStrategy::HillClimb { steps: 30 }, // same eval budget
+            mutation_prob: 0.0,
+            ..ga(4)
+        };
+        assert_eq!(lam.evals_per_spot(), hc.evals_per_spot(), "budgets must match");
+        let mut e1 = evaluator_for(&sp);
+        let mut e2 = evaluator_for(&sp);
+        let r_lam = run(&lam, &sp, &mut e1, 51);
+        let r_hc = run(&hc, &sp, &mut e2, 51);
+        assert!(
+            r_lam.best.score < r_hc.best.score,
+            "Lamarckian {} should beat hill climb {}",
+            r_lam.best.score,
+            r_hc.best.score
+        );
+    }
+
+    #[test]
+    fn lamarckian_eval_accounting() {
+        let sp = spots(2);
+        let p = MetaheuristicParams {
+            improve_fraction: 0.5,
+            improve: ImproveStrategy::Lamarckian { steps: 3, step_size: 0.2, angle_step: 0.05 },
+            ..ga(4)
+        };
+        let mut ev = evaluator_for(&sp);
+        let r = run(&p, &sp, &mut ev, 53);
+        assert_eq!(r.evaluations, p.evals_per_spot() * 2);
+        assert_eq!(ev.evaluations, r.evaluations);
+    }
+
+    #[test]
+    fn lamarckian_never_accepts_worse() {
+        let sp = spots(3);
+        let p = MetaheuristicParams {
+            improve_fraction: 1.0,
+            improve: ImproveStrategy::Lamarckian { steps: 8, step_size: 0.5, angle_step: 0.1 },
+            ..ga(6)
+        };
+        let mut ev = evaluator_for(&sp);
+        let r = run(&p, &sp, &mut ev, 57);
+        for w in r.best_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    /// An evaluator that scores like the synthetic landscape but reports no
+    /// gradient support, exercising the fallback path.
+    struct NoGradient(SyntheticEvaluator);
+    impl crate::evaluator::BatchEvaluator for NoGradient {
+        fn evaluate(&mut self, confs: &mut [Conformation]) {
+            self.0.evaluate(confs)
+        }
+        fn pairs_per_eval(&self) -> u64 {
+            1
+        }
+        // evaluate_with_gradients: default None.
+    }
+
+    #[test]
+    fn lamarckian_falls_back_without_gradients() {
+        let sp = spots(2);
+        let p = MetaheuristicParams {
+            improve_fraction: 1.0,
+            improve: ImproveStrategy::Lamarckian { steps: 5, step_size: 0.3, angle_step: 0.1 },
+            ..ga(3)
+        };
+        let mut ev = NoGradient(evaluator_for(&sp));
+        let r = run(&p, &sp, &mut ev, 59);
+        assert!(r.best.is_scored());
+        assert_eq!(r.evaluations, p.evals_per_spot() * 2, "fallback keeps the same budget");
+        // Still optimizes (stochastically).
+        assert!(r.best_history.last().unwrap() <= &r.best_history[0]);
+    }
+
+    #[test]
+    fn simulated_annealing_improver_runs() {
+        let sp = spots(2);
+        let mut ev = evaluator_for(&sp);
+        let p = MetaheuristicParams {
+            improve_fraction: 1.0,
+            improve: ImproveStrategy::SimulatedAnnealing { steps: 5, t0: 1.0, cooling: 0.8 },
+            ..ga(5)
+        };
+        let r = run(&p, &sp, &mut ev, 19);
+        assert_eq!(r.evaluations, p.evals_per_spot() * 2);
+    }
+
+    #[test]
+    fn diversity_history_shows_contraction() {
+        // Elitist selection on a single-basin landscape must contract the
+        // populations over generations.
+        let sp = spots(2);
+        let mut ev = evaluator_for(&sp);
+        let p = MetaheuristicParams { mutation_prob: 0.05, ..ga(25) };
+        let r = run(&p, &sp, &mut ev, 61);
+        assert_eq!(r.diversity_history.len(), 1 + r.generations_run);
+        let first = r.diversity_history[0];
+        let last = *r.diversity_history.last().unwrap();
+        assert!(last < first * 0.6, "no contraction: {first} -> {last}");
+        assert!(r.diversity_history.iter().all(|&d| d >= 0.0));
+    }
+
+    #[test]
+    fn population_never_regresses() {
+        // Elitist include: generation bests are non-increasing.
+        let sp = spots(3);
+        let mut ev = evaluator_for(&sp);
+        let r = run(&ga(20), &sp, &mut ev, 23);
+        for w in r.best_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "best regressed: {:?}", w);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_spots_panics() {
+        let mut ev = SyntheticEvaluator::new(vec![Vec3::ZERO]);
+        run(&ga(1), &[], &mut ev, 1);
+    }
+
+    #[test]
+    fn seeded_run_injects_good_solution() {
+        let sp = spots(2);
+        // A perfect solution for spot 0, pre-scored.
+        let mut seed_conf = Conformation::new(
+            vsmath::RigidTransform::from_translation(sp[0].center + Vec3::new(1.0, 1.0, 0.5)),
+            0,
+        );
+        seed_conf.score = 0.0;
+        let p = ga(0); // no generations: initial population only
+        let mut e1 = evaluator_for(&sp);
+        let r_plain = run(&p, &sp, &mut e1, 31);
+        let mut e2 = evaluator_for(&sp);
+        let r_seeded = crate::engine::run_seeded(&p, &sp, &mut e2, 31, &[seed_conf]);
+        assert_eq!(r_seeded.best.score, 0.0);
+        assert!(r_plain.best.score > 0.0);
+    }
+
+    #[test]
+    fn unscored_seeds_are_ignored() {
+        let sp = spots(1);
+        let unscored = Conformation::new(vsmath::RigidTransform::IDENTITY, 0);
+        let mut ev = evaluator_for(&sp);
+        // Must not panic or inject NaN into the population.
+        let r = crate::engine::run_seeded(&ga(2), &sp, &mut ev, 37, &[unscored]);
+        assert!(r.best.is_scored());
+    }
+
+    #[test]
+    fn seeds_for_unknown_spots_are_ignored() {
+        let sp = spots(1);
+        let mut foreign = Conformation::new(vsmath::RigidTransform::IDENTITY, 99);
+        foreign.score = -1e9;
+        let mut ev = evaluator_for(&sp);
+        let r = crate::engine::run_seeded(&ga(1), &sp, &mut ev, 41, &[foreign]);
+        assert!(r.best.score > -1e9);
+    }
+
+    #[test]
+    fn batch_trace_structure_for_plain_ga() {
+        // init batch + one offspring batch per generation.
+        let sp = spots(2);
+        let mut ev = evaluator_for(&sp);
+        let r = run(&ga(4), &sp, &mut ev, 29);
+        assert_eq!(r.batch_trace.len(), 1 + 4);
+        assert_eq!(r.batch_trace[0], 32 * 2);
+        for &b in &r.batch_trace[1..] {
+            assert_eq!(b, 32 * 2);
+        }
+    }
+}

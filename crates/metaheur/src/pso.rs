@@ -1,0 +1,326 @@
+//! Particle Swarm Optimization over docking poses.
+//!
+//! §2.2 lists PSO among the distributed metaheuristics and §1 singles out
+//! population-based, nature-inspired methods as "better suited for the
+//! current massively parallel landscape"; this engine adds a PSO instance
+//! beside the Algorithm 1 template. One independent swarm per spot; every
+//! velocity/position update is batched across spots like the template
+//! engine, so the same schedulers drive it.
+//!
+//! Pose space is ℝ³ × SO(3); velocities live in the tangent space:
+//! a translation velocity plus a rotation-vector (axis × angle) velocity
+//! applied as a small rotation each step.
+
+use crate::engine::RunResult;
+use crate::evaluator::BatchEvaluator;
+use serde::{Deserialize, Serialize};
+use vsmath::{Quat, RigidTransform, RngStream, Vec3};
+use vsmol::{conformation::score_cmp, Conformation, Spot};
+
+/// PSO parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsoParams {
+    pub name: String,
+    /// Particles per spot.
+    pub swarm_per_spot: usize,
+    /// Velocity-update iterations.
+    pub iterations: usize,
+    /// Inertia weight `w`.
+    pub inertia: f64,
+    /// Cognitive coefficient `c1` (pull toward the particle's own best).
+    pub cognitive: f64,
+    /// Social coefficient `c2` (pull toward the swarm's best).
+    pub social: f64,
+    /// Translation speed clamp, Å per iteration.
+    pub max_speed: f64,
+    /// Angular speed clamp, radians per iteration.
+    pub max_angular_speed: f64,
+}
+
+impl Default for PsoParams {
+    fn default() -> Self {
+        PsoParams {
+            name: "PSO".into(),
+            swarm_per_spot: 64,
+            iterations: 40,
+            inertia: 0.72,
+            cognitive: 1.49,
+            social: 1.49,
+            max_speed: 1.5,
+            max_angular_speed: 0.5,
+        }
+    }
+}
+
+impl PsoParams {
+    pub fn validate(&self) -> Result<(), String> {
+        if self.swarm_per_spot == 0 {
+            return Err("swarm_per_spot must be > 0".into());
+        }
+        if self.inertia < 0.0 || self.inertia >= 1.0 {
+            return Err("inertia must be in [0,1)".into());
+        }
+        if self.cognitive < 0.0 || self.social < 0.0 {
+            return Err("coefficients must be non-negative".into());
+        }
+        if self.max_speed <= 0.0 || self.max_angular_speed <= 0.0 {
+            return Err("speed clamps must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Exact scoring evaluations per spot.
+    pub fn evals_per_spot(&self) -> u64 {
+        self.swarm_per_spot as u64 * (1 + self.iterations) as u64
+    }
+}
+
+struct Particle {
+    current: Conformation,
+    velocity: Vec3,
+    angular_velocity: Vec3,
+    personal_best: Conformation,
+}
+
+/// Run PSO over `spots`. Deterministic per (seed, spot id), like the
+/// template engine.
+pub fn run_pso<E: BatchEvaluator>(
+    params: &PsoParams,
+    spots: &[Spot],
+    evaluator: &mut E,
+    seed: u64,
+) -> RunResult {
+    params.validate().expect("invalid PSO parameters");
+    assert!(!spots.is_empty(), "need at least one spot");
+
+    let mut rngs: Vec<RngStream> =
+        spots.iter().map(|s| RngStream::derive(seed, s.id as u64 + 1)).collect();
+    let mut evaluations = 0u64;
+    let mut batch_trace = Vec::new();
+
+    // Initialize swarms and score them in one batch.
+    let mut flat: Vec<Conformation> = Vec::with_capacity(params.swarm_per_spot * spots.len());
+    for (si, spot) in spots.iter().enumerate() {
+        for _ in 0..params.swarm_per_spot {
+            flat.push(Conformation::random_at(spot, &mut rngs[si]));
+        }
+    }
+    evaluator.evaluate(&mut flat);
+    evaluations += flat.len() as u64;
+    batch_trace.push(flat.len() as u64);
+
+    let mut swarms: Vec<Vec<Particle>> = flat
+        .chunks(params.swarm_per_spot)
+        .enumerate()
+        .map(|(si, chunk)| {
+            chunk
+                .iter()
+                .map(|&c| Particle {
+                    current: c,
+                    velocity: rngs[si].in_ball(params.max_speed * 0.5),
+                    angular_velocity: rngs[si].in_ball(params.max_angular_speed * 0.5),
+                    personal_best: c,
+                })
+                .collect()
+        })
+        .collect();
+    let mut global_best: Vec<Conformation> = swarms
+        .iter()
+        .map(|sw| *sw.iter().map(|p| &p.personal_best).min_by(|a, b| score_cmp(a, b)).unwrap())
+        .collect();
+
+    let overall = |gb: &[Conformation]| -> f64 {
+        gb.iter().map(|c| c.score).fold(f64::INFINITY, f64::min)
+    };
+    let mut best_history = vec![overall(&global_best)];
+
+    for _ in 0..params.iterations {
+        // Velocity + position update, then one flat scoring batch.
+        let mut proposals: Vec<Conformation> = Vec::with_capacity(flat.len());
+        for (si, swarm) in swarms.iter_mut().enumerate() {
+            let spot = &spots[si];
+            let gbest = global_best[si];
+            let rng = &mut rngs[si];
+            for p in swarm.iter_mut() {
+                let r1 = rng.uniform();
+                let r2 = rng.uniform();
+                p.velocity = p.velocity * params.inertia
+                    + (p.personal_best.pose.translation - p.current.pose.translation)
+                        * (params.cognitive * r1)
+                    + (gbest.pose.translation - p.current.pose.translation)
+                        * (params.social * r2);
+                if p.velocity.norm() > params.max_speed {
+                    p.velocity = p.velocity.normalized().unwrap() * params.max_speed;
+                }
+
+                // Rotational pull: rotation vectors toward the bests.
+                let r3 = rng.uniform();
+                let r4 = rng.uniform();
+                let to_pbest = rotation_vector(p.current.pose.rotation, p.personal_best.pose.rotation);
+                let to_gbest = rotation_vector(p.current.pose.rotation, gbest.pose.rotation);
+                p.angular_velocity = p.angular_velocity * params.inertia
+                    + to_pbest * (params.cognitive * r3)
+                    + to_gbest * (params.social * r4);
+                if p.angular_velocity.norm() > params.max_angular_speed {
+                    p.angular_velocity =
+                        p.angular_velocity.normalized().unwrap() * params.max_angular_speed;
+                }
+
+                let t = p.current.pose.translation + p.velocity;
+                let dq = Quat::from_axis_angle(
+                    p.angular_velocity.normalized().unwrap_or(Vec3::Z),
+                    p.angular_velocity.norm(),
+                );
+                let rot = (dq * p.current.pose.rotation).renormalize();
+                let cand = Conformation::new(RigidTransform::new(rot, t), p.current.spot_id)
+                    .clamped_to(spot);
+                proposals.push(cand);
+            }
+        }
+        evaluator.evaluate(&mut proposals);
+        evaluations += proposals.len() as u64;
+        batch_trace.push(proposals.len() as u64);
+
+        // Write back and update bests.
+        let mut it = proposals.into_iter();
+        for (si, swarm) in swarms.iter_mut().enumerate() {
+            for p in swarm.iter_mut() {
+                let cand = it.next().expect("proposal per particle");
+                p.current = cand;
+                if cand.score < p.personal_best.score {
+                    p.personal_best = cand;
+                }
+                if cand.score < global_best[si].score {
+                    global_best[si] = cand;
+                }
+            }
+        }
+        best_history.push(overall(&global_best));
+    }
+
+    let best = *global_best.iter().min_by(|a, b| score_cmp(a, b)).expect("non-empty");
+    RunResult {
+        best,
+        best_per_spot: global_best,
+        evaluations,
+        generations_run: params.iterations,
+        batch_trace,
+        best_history,
+        diversity_history: Vec::new(),
+    }
+}
+
+/// Rotation vector (axis × angle) taking `from` to `to`, for the tangent
+/// space velocity update.
+fn rotation_vector(from: Quat, to: Quat) -> Vec3 {
+    let d = (to * from.conjugate()).renormalize();
+    let angle = d.angle();
+    let axis = Vec3::new(d.x, d.y, d.z).normalized().unwrap_or(Vec3::ZERO);
+    // Quaternion double-cover: take the short way.
+    let sign = if d.w >= 0.0 { 1.0 } else { -1.0 };
+    axis * (angle * sign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SyntheticEvaluator;
+
+    fn spots(n: usize) -> Vec<Spot> {
+        (0..n)
+            .map(|i| Spot {
+                id: i,
+                center: Vec3::new(14.0 * i as f64, 0.0, 0.0),
+                normal: Vec3::Z,
+                radius: 5.0,
+                anchor_atom: 0,
+            })
+            .collect()
+    }
+
+    fn ev(spots: &[Spot]) -> SyntheticEvaluator {
+        SyntheticEvaluator::new(spots.iter().map(|s| s.center + Vec3::new(1.0, 1.0, 0.0)).collect())
+    }
+
+    fn quick() -> PsoParams {
+        PsoParams { swarm_per_spot: 24, iterations: 30, ..Default::default() }
+    }
+
+    #[test]
+    fn pso_converges_on_synthetic_landscape() {
+        let sp = spots(3);
+        let mut e = ev(&sp);
+        let r = run_pso(&quick(), &sp, &mut e, 5);
+        assert!(
+            r.best_history.last().unwrap() < &(r.best_history[0] * 0.2),
+            "history {:?}",
+            r.best_history
+        );
+        assert!(r.best.score < 3.0, "best {}", r.best.score);
+    }
+
+    #[test]
+    fn pso_eval_accounting() {
+        let sp = spots(2);
+        let mut e = ev(&sp);
+        let p = quick();
+        let r = run_pso(&p, &sp, &mut e, 1);
+        assert_eq!(r.evaluations, p.evals_per_spot() * 2);
+        assert_eq!(e.evaluations, r.evaluations);
+        assert_eq!(r.batch_trace.len(), 1 + p.iterations);
+    }
+
+    #[test]
+    fn pso_is_deterministic() {
+        let sp = spots(2);
+        let mut e1 = ev(&sp);
+        let mut e2 = ev(&sp);
+        let a = run_pso(&quick(), &sp, &mut e1, 9);
+        let b = run_pso(&quick(), &sp, &mut e2, 9);
+        assert_eq!(a.best.score, b.best.score);
+        assert_eq!(a.best.pose, b.best.pose);
+    }
+
+    #[test]
+    fn pso_best_history_monotone() {
+        let sp = spots(2);
+        let mut e = ev(&sp);
+        let r = run_pso(&quick(), &sp, &mut e, 3);
+        for w in r.best_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn pso_particles_respect_spot_bounds() {
+        let sp = spots(1);
+        let mut e = ev(&sp);
+        let r = run_pso(&quick(), &sp, &mut e, 7);
+        assert!(r.best.pose.translation.dist(sp[0].center) <= sp[0].radius + 1e-9);
+    }
+
+    #[test]
+    fn rotation_vector_roundtrip() {
+        let mut rng = RngStream::from_seed(11);
+        for _ in 0..30 {
+            let from = rng.rotation();
+            let to = rng.rotation();
+            let rv = rotation_vector(from, to);
+            let back = (Quat::from_axis_angle(
+                rv.normalized().unwrap_or(Vec3::Z),
+                rv.norm(),
+            ) * from)
+                .renormalize();
+            assert!(back.angle_to(to) < 1e-9, "drift {}", back.angle_to(to));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(PsoParams { swarm_per_spot: 0, ..Default::default() }.validate().is_err());
+        assert!(PsoParams { inertia: 1.0, ..Default::default() }.validate().is_err());
+        assert!(PsoParams { cognitive: -0.1, ..Default::default() }.validate().is_err());
+        assert!(PsoParams { max_speed: 0.0, ..Default::default() }.validate().is_err());
+        assert!(PsoParams::default().validate().is_ok());
+    }
+}

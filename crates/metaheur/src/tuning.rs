@@ -1,0 +1,239 @@
+//! Parameter tuning.
+//!
+//! §1: "for any particular metaheuristic, a tuning process is traditionally
+//! conducted to select appropriate values of some parameters in the
+//! metaheuristic. The experimentation with several metaheuristics and their
+//! tuning process drastically increases the computational cost" — which is
+//! precisely why the engine batches everything for GPUs. This module is
+//! that tuning process: a replicated grid search over the stochastic-search
+//! knobs.
+
+use crate::engine::run;
+use crate::evaluator::BatchEvaluator;
+use crate::params::MetaheuristicParams;
+use serde::{Deserialize, Serialize};
+use vsmol::Spot;
+
+/// The tuning grid: candidate values for the three stochastic-move knobs.
+/// Empty axes keep the base value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuningGrid {
+    pub mutation_probs: Vec<f64>,
+    pub max_shifts: Vec<f64>,
+    pub max_angles: Vec<f64>,
+}
+
+impl Default for TuningGrid {
+    fn default() -> Self {
+        TuningGrid {
+            mutation_probs: vec![0.1, 0.25, 0.5],
+            max_shifts: vec![0.6, 1.2, 2.4],
+            max_angles: vec![0.25, 0.5, 1.0],
+        }
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TunePoint {
+    pub mutation_prob: f64,
+    pub max_shift: f64,
+    pub max_angle: f64,
+    /// Mean best score over the replicas (lower is better).
+    pub mean_best: f64,
+}
+
+/// Grid-search outcome: every point plus the winner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TuneReport {
+    pub points: Vec<TunePoint>,
+    pub best: TunePoint,
+    pub total_evaluations: u64,
+}
+
+impl TuneReport {
+    /// The base configuration with the winning knob values applied.
+    pub fn apply_to(&self, base: &MetaheuristicParams) -> MetaheuristicParams {
+        MetaheuristicParams {
+            mutation_prob: self.best.mutation_prob,
+            max_shift: self.best.max_shift,
+            max_angle: self.best.max_angle,
+            ..base.clone()
+        }
+    }
+}
+
+/// Replicated grid search: every grid point runs `replicas` independent
+/// searches (distinct seeds) and is ranked by mean best score.
+///
+/// `make_evaluator` supplies a fresh evaluator per run.
+pub fn tune<E, F>(
+    base: &MetaheuristicParams,
+    grid: &TuningGrid,
+    spots: &[Spot],
+    mut make_evaluator: F,
+    seed: u64,
+    replicas: usize,
+) -> TuneReport
+where
+    E: BatchEvaluator,
+    F: FnMut() -> E,
+{
+    assert!(replicas > 0, "need at least one replica");
+    let axis = |v: &Vec<f64>, default: f64| -> Vec<f64> {
+        if v.is_empty() {
+            vec![default]
+        } else {
+            v.clone()
+        }
+    };
+    let probs = axis(&grid.mutation_probs, base.mutation_prob);
+    let shifts = axis(&grid.max_shifts, base.max_shift);
+    let angles = axis(&grid.max_angles, base.max_angle);
+
+    let mut points = Vec::new();
+    let mut total_evaluations = 0;
+    for &mp in &probs {
+        for &ms in &shifts {
+            for &ma in &angles {
+                let params = MetaheuristicParams {
+                    mutation_prob: mp,
+                    max_shift: ms,
+                    max_angle: ma,
+                    ..base.clone()
+                };
+                let mut sum = 0.0;
+                for rep in 0..replicas {
+                    let mut ev = make_evaluator();
+                    let r = run(
+                        &params,
+                        spots,
+                        &mut ev,
+                        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(rep as u64),
+                    );
+                    total_evaluations += r.evaluations;
+                    sum += r.best.score;
+                }
+                points.push(TunePoint {
+                    mutation_prob: mp,
+                    max_shift: ms,
+                    max_angle: ma,
+                    mean_best: sum / replicas as f64,
+                });
+            }
+        }
+    }
+
+    let best = points
+        .iter()
+        .min_by(|a, b| a.mean_best.partial_cmp(&b.mean_best).expect("finite scores"))
+        .expect("non-empty grid")
+        .clone();
+    TuneReport { points, best, total_evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SyntheticEvaluator;
+    use crate::suite::m1;
+    use vsmath::Vec3;
+
+    fn spots(n: usize) -> Vec<Spot> {
+        (0..n)
+            .map(|i| Spot {
+                id: i,
+                center: Vec3::new(14.0 * i as f64, 0.0, 0.0),
+                normal: Vec3::Z,
+                radius: 5.0,
+                anchor_atom: 0,
+            })
+            .collect()
+    }
+
+    fn ev_for(sp: &[Spot]) -> impl Fn() -> SyntheticEvaluator + '_ {
+        move || SyntheticEvaluator::new(sp.iter().map(|s| s.center).collect())
+    }
+
+    #[test]
+    fn grid_explores_all_points() {
+        let sp = spots(1);
+        let grid = TuningGrid {
+            mutation_probs: vec![0.1, 0.3],
+            max_shifts: vec![0.5, 1.5],
+            max_angles: vec![0.3],
+        };
+        let r = tune(&m1(0.05), &grid, &sp, ev_for(&sp), 1, 2);
+        assert_eq!(r.points.len(), 4);
+        assert_eq!(r.total_evaluations, m1(0.05).evals_per_spot() * 4 * 2);
+    }
+
+    #[test]
+    fn best_is_minimum_of_points() {
+        let sp = spots(2);
+        let r = tune(&m1(0.05), &TuningGrid::default(), &sp, ev_for(&sp), 2, 1);
+        let min = r.points.iter().map(|p| p.mean_best).fold(f64::INFINITY, f64::min);
+        assert_eq!(r.best.mean_best, min);
+    }
+
+    #[test]
+    fn empty_axes_use_base_values() {
+        let sp = spots(1);
+        let base = m1(0.05);
+        let grid = TuningGrid {
+            mutation_probs: vec![],
+            max_shifts: vec![],
+            max_angles: vec![0.2, 0.8],
+        };
+        let r = tune(&base, &grid, &sp, ev_for(&sp), 3, 1);
+        assert_eq!(r.points.len(), 2);
+        assert!(r.points.iter().all(|p| p.mutation_prob == base.mutation_prob));
+        assert!(r.points.iter().all(|p| p.max_shift == base.max_shift));
+    }
+
+    #[test]
+    fn apply_to_overrides_knobs_only() {
+        let sp = spots(1);
+        let base = m1(0.05);
+        let r = tune(&base, &TuningGrid::default(), &sp, ev_for(&sp), 4, 1);
+        let tuned = r.apply_to(&base);
+        assert_eq!(tuned.mutation_prob, r.best.mutation_prob);
+        assert_eq!(tuned.max_shift, r.best.max_shift);
+        assert_eq!(tuned.population_per_spot, base.population_per_spot);
+        assert_eq!(tuned.end, base.end);
+    }
+
+    #[test]
+    fn tuning_is_deterministic() {
+        let sp = spots(1);
+        let a = tune(&m1(0.05), &TuningGrid::default(), &sp, ev_for(&sp), 5, 2);
+        let b = tune(&m1(0.05), &TuningGrid::default(), &sp, ev_for(&sp), 5, 2);
+        assert_eq!(a.best, b.best);
+    }
+
+    #[test]
+    fn tuned_config_not_worse_than_default_knobs() {
+        // The winner of a grid that includes the base point can't lose to it.
+        let sp = spots(2);
+        let base = m1(0.1);
+        let grid = TuningGrid {
+            mutation_probs: vec![base.mutation_prob, 0.05, 0.6],
+            max_shifts: vec![base.max_shift],
+            max_angles: vec![base.max_angle],
+        };
+        let r = tune(&base, &grid, &sp, ev_for(&sp), 6, 2);
+        let base_point = r
+            .points
+            .iter()
+            .find(|p| p.mutation_prob == base.mutation_prob)
+            .expect("base in grid");
+        assert!(r.best.mean_best <= base_point.mean_best);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_replicas_panics() {
+        let sp = spots(1);
+        tune(&m1(0.05), &TuningGrid::default(), &sp, ev_for(&sp), 1, 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Job-level scheduling and cooperation.
+//!
+//! Abstract: "Our solution finds a good workload balance via dynamic
+//! assignment of jobs to heterogeneous resources which perform independent
+//! metaheuristic executions under different molecular interactions. A
+//! cooperative scheduling of jobs optimizes the quality of the solution and
+//! the overall performance of the simulation."
+//!
+//! Two pieces:
+//!
+//! - [`assign_jobs_dynamic`] — a whole metaheuristic execution (a *job*,
+//!   e.g. one ligand × one spot set) is the assignment unit; jobs are dealt
+//!   LPT-greedily to the device that frees up first.
+//! - [`cooperative_search`] — several independent executions of the same
+//!   docking problem run in epochs; after each epoch the per-spot incumbent
+//!   bests are shared, seeding every job's next epoch ("the final solution
+//!   is chosen from all independent executions", §3.3 — cooperation makes
+//!   the independent executions exchange incumbents instead of only
+//!   reducing at the end).
+
+use gpusim::{SimDevice, WorkBatch};
+use metaheur::{run_seeded, BatchEvaluator, MetaheuristicParams};
+use std::sync::Arc;
+use vsmol::{conformation::score_cmp, Conformation, Spot};
+
+/// A job: a self-contained workload of `items` conformation evaluations at
+/// `pairs_per_item` pair interactions each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobCost {
+    pub id: usize,
+    pub items: u64,
+    pub pairs_per_item: u64,
+}
+
+/// Result of dynamically assigning jobs to devices.
+#[derive(Debug, Clone)]
+pub struct JobSchedule {
+    /// `assignment[j]` = device index that ran job `j`.
+    pub assignment: Vec<usize>,
+    /// Final per-device virtual clocks.
+    pub device_times: Vec<f64>,
+    pub makespan: f64,
+}
+
+/// Dynamically assign whole jobs to heterogeneous devices: jobs are sorted
+/// longest-processing-time-first and each goes to the device with the
+/// earliest virtual clock (greedy list scheduling). Device clocks advance.
+pub fn assign_jobs_dynamic(devices: &[Arc<SimDevice>], jobs: &[JobCost]) -> JobSchedule {
+    assert!(!devices.is_empty(), "need devices");
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    // LPT by estimated cost on the fastest device (any consistent measure
+    // works for ordering).
+    order.sort_by(|&a, &b| {
+        let ka = jobs[a].items * jobs[a].pairs_per_item;
+        let kb = jobs[b].items * jobs[b].pairs_per_item;
+        kb.cmp(&ka).then(a.cmp(&b))
+    });
+
+    let mut assignment = vec![usize::MAX; jobs.len()];
+    for &j in &order {
+        let (di, dev) = devices
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.clock().partial_cmp(&b.1.clock()).unwrap())
+            .expect("non-empty");
+        dev.execute(&WorkBatch::conformations(jobs[j].items, jobs[j].pairs_per_item));
+        assignment[j] = di;
+    }
+    let device_times: Vec<f64> = devices.iter().map(|d| d.clock()).collect();
+    let makespan = device_times.iter().cloned().fold(0.0, f64::max);
+    JobSchedule { assignment, device_times, makespan }
+}
+
+/// Outcome of a cooperative multi-job search.
+#[derive(Debug, Clone)]
+pub struct CoopResult {
+    /// Best conformation found by any job.
+    pub best: Conformation,
+    /// Incumbent best per spot after the final epoch.
+    pub best_per_spot: Vec<Conformation>,
+    /// Global best after each epoch.
+    pub epoch_history: Vec<f64>,
+    /// Total scoring evaluations across all jobs and epochs.
+    pub evaluations: u64,
+}
+
+/// Run `n_jobs` independent executions of `params` for `epochs` rounds,
+/// sharing the per-spot incumbent bests between rounds.
+///
+/// `make_evaluator` supplies a fresh evaluator per (job, epoch) — in tests
+/// a synthetic landscape, in production a [`crate::DeviceEvaluator`].
+pub fn cooperative_search<E, F>(
+    params: &MetaheuristicParams,
+    spots: &[Spot],
+    mut make_evaluator: F,
+    n_jobs: usize,
+    epochs: usize,
+    seed: u64,
+) -> CoopResult
+where
+    E: BatchEvaluator,
+    F: FnMut() -> E,
+{
+    assert!(n_jobs > 0 && epochs > 0, "need at least one job and one epoch");
+    let mut incumbents: Vec<Option<Conformation>> = vec![None; spots.len()];
+    let mut epoch_history = Vec::with_capacity(epochs);
+    let mut evaluations = 0;
+
+    for epoch in 0..epochs {
+        let seeds: Vec<Conformation> = incumbents.iter().flatten().copied().collect();
+        for job in 0..n_jobs {
+            let mut ev = make_evaluator();
+            let job_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((epoch * n_jobs + job) as u64 + 1);
+            let r = run_seeded(params, spots, &mut ev, job_seed, &seeds);
+            evaluations += r.evaluations;
+            for (slot, found) in incumbents.iter_mut().zip(&r.best_per_spot) {
+                let better = match slot {
+                    Some(cur) => found.score < cur.score,
+                    None => true,
+                };
+                if better {
+                    *slot = Some(*found);
+                }
+            }
+        }
+        let best_now = incumbents
+            .iter()
+            .flatten()
+            .map(|c| c.score)
+            .fold(f64::INFINITY, f64::min);
+        epoch_history.push(best_now);
+    }
+
+    let best_per_spot: Vec<Conformation> =
+        incumbents.into_iter().map(|c| c.expect("every spot searched")).collect();
+    let best = *best_per_spot.iter().min_by(|a, b| score_cmp(a, b)).expect("non-empty");
+    CoopResult { best, best_per_spot, epoch_history, evaluations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::catalog;
+    use metaheur::{m1, SyntheticEvaluator};
+    use vsmath::Vec3;
+
+    fn devices() -> Vec<Arc<SimDevice>> {
+        vec![
+            Arc::new(SimDevice::new(0, catalog::tesla_k40c())),
+            Arc::new(SimDevice::new(1, catalog::geforce_gtx_580())),
+        ]
+    }
+
+    fn jobs(n: usize) -> Vec<JobCost> {
+        (0..n)
+            .map(|i| JobCost { id: i, items: 2048 + 512 * (i as u64 % 5), pairs_per_item: 100_000 })
+            .collect()
+    }
+
+    #[test]
+    fn all_jobs_assigned() {
+        let devs = devices();
+        let js = jobs(12);
+        let sched = assign_jobs_dynamic(&devs, &js);
+        assert_eq!(sched.assignment.len(), 12);
+        assert!(sched.assignment.iter().all(|&d| d < 2));
+        assert!(sched.makespan > 0.0);
+    }
+
+    #[test]
+    fn fast_device_takes_more_jobs() {
+        let devs = devices();
+        let sched = assign_jobs_dynamic(&devs, &jobs(20));
+        let to_k40 = sched.assignment.iter().filter(|&&d| d == 0).count();
+        let to_580 = 20 - to_k40;
+        assert!(to_k40 > to_580, "K40c got {to_k40}, GTX 580 got {to_580}");
+    }
+
+    #[test]
+    fn dynamic_beats_round_robin() {
+        // Round-robin: assign alternately regardless of device speed.
+        let devs_rr = devices();
+        let js = jobs(16);
+        for (i, j) in js.iter().enumerate() {
+            devs_rr[i % 2].execute(&WorkBatch::conformations(j.items, j.pairs_per_item));
+        }
+        let rr_makespan = devs_rr.iter().map(|d| d.clock()).fold(0.0, f64::max);
+
+        let devs_dyn = devices();
+        let dyn_makespan = assign_jobs_dynamic(&devs_dyn, &js).makespan;
+        assert!(
+            dyn_makespan < rr_makespan,
+            "dynamic {dyn_makespan} should beat round-robin {rr_makespan}"
+        );
+    }
+
+    #[test]
+    fn job_schedule_balances_clocks() {
+        let devs = devices();
+        let sched = assign_jobs_dynamic(&devs, &jobs(40));
+        let imb = (sched.device_times[0] - sched.device_times[1]).abs() / sched.makespan;
+        assert!(imb < 0.25, "imbalance {imb}");
+    }
+
+    fn coop_spots(n: usize) -> Vec<Spot> {
+        (0..n)
+            .map(|i| Spot {
+                id: i,
+                center: Vec3::new(12.0 * i as f64, 0.0, 0.0),
+                normal: Vec3::Z,
+                radius: 5.0,
+                anchor_atom: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cooperative_history_is_monotone() {
+        let sp = coop_spots(3);
+        let optima: Vec<Vec3> = sp.iter().map(|s| s.center + Vec3::new(1.0, 0.5, 0.0)).collect();
+        let r = cooperative_search(
+            &m1(0.2),
+            &sp,
+            || SyntheticEvaluator::new(optima.clone()),
+            3,
+            4,
+            99,
+        );
+        for w in r.epoch_history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "incumbent regressed: {:?}", r.epoch_history);
+        }
+        assert_eq!(r.best_per_spot.len(), 3);
+    }
+
+    #[test]
+    fn cooperation_beats_independent_runs_at_equal_budget() {
+        // 3 jobs × 2 epochs WITH incumbent sharing vs 6 independent jobs
+        // (1 epoch: nothing is ever shared). Same width, same evaluation
+        // budget; sharing lets second-epoch jobs refine the incumbents, so
+        // it must not be worse.
+        let sp = coop_spots(2);
+        let optima: Vec<Vec3> = sp.iter().map(|s| s.center + Vec3::new(1.5, 1.0, 0.0)).collect();
+        let coop = cooperative_search(
+            &m1(0.2),
+            &sp,
+            || SyntheticEvaluator::new(optima.clone()),
+            3,
+            2,
+            7,
+        );
+        let indep = cooperative_search(
+            &m1(0.2),
+            &sp,
+            || SyntheticEvaluator::new(optima.clone()),
+            6,
+            1,
+            7,
+        );
+        assert_eq!(coop.evaluations, indep.evaluations, "budgets must match");
+        assert!(
+            coop.best.score <= indep.best.score + 1e-9,
+            "cooperative {} vs independent {}",
+            coop.best.score,
+            indep.best.score
+        );
+    }
+
+    #[test]
+    fn evaluations_accumulate_across_jobs() {
+        let sp = coop_spots(1);
+        let p = m1(0.1);
+        let r = cooperative_search(
+            &p,
+            &sp,
+            || SyntheticEvaluator::new(vec![sp[0].center]),
+            2,
+            3,
+            1,
+        );
+        assert_eq!(r.evaluations, p.evals_per_spot() * 2 * 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_jobs_panics() {
+        let sp = coop_spots(1);
+        cooperative_search(&m1(0.1), &sp, || SyntheticEvaluator::new(vec![Vec3::ZERO]), 0, 1, 1);
+    }
+}

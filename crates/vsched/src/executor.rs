@@ -1,0 +1,365 @@
+//! The real-compute execution path: scoring batches are partitioned across
+//! simulated devices, *numerically computed* on one host OS thread per
+//! device (mirroring the paper's one-OpenMP-thread-per-GPU design,
+//! Algorithm 2), and each device's virtual clock is charged the modeled
+//! kernel time.
+
+use crate::partition::proportional_split;
+use crate::strategy::Strategy;
+use gpusim::{SimDevice, WorkBatch};
+use metaheur::BatchEvaluator;
+use std::sync::Arc;
+use vsmol::Conformation;
+use vsscore::Scorer;
+
+/// A [`BatchEvaluator`] that executes scoring on a set of simulated devices.
+///
+/// Construction resolves the strategy to static per-device weights (running
+/// the warm-up for the heterogeneous strategy — its cost lands on the
+/// device clocks, as in the paper). Each `evaluate` call then:
+///
+/// 1. splits the batch into contiguous per-device shares;
+/// 2. spawns one scoped host thread per device, which scores its share with
+///    the real Lennard-Jones scorer and calls [`SimDevice::execute`] to
+///    advance the device's virtual clock;
+/// 3. joins — scores land back in the caller's slice in order.
+enum Mode {
+    /// Fixed proportional weights.
+    Static(Vec<f64>),
+    /// The paper's warm-up phase in progress: the next `left` batches run
+    /// under the equal split while per-device times accumulate; Equation 1
+    /// then fixes the weights.
+    WarmingUp { left: usize, times: Vec<f64> },
+    /// Greedy self-scheduling by virtual clock.
+    Dynamic,
+}
+
+pub struct DeviceEvaluator {
+    devices: Vec<Arc<SimDevice>>,
+    scorer: Arc<Scorer>,
+    mode: Mode,
+    timeline: Option<Arc<gpusim::Timeline>>,
+}
+
+impl DeviceEvaluator {
+    /// Build an evaluator over `devices` using `strategy` to fix shares.
+    ///
+    /// For [`Strategy::HeterogeneousSplit`], the first `warmup.iterations`
+    /// batches of real work execute under the equal split while being
+    /// timed (the paper's warm-up phase, §3.3); Equation 1 then fixes the
+    /// proportional split for the rest of the run.
+    ///
+    /// # Panics
+    /// Panics if `devices` is empty or the strategy is [`Strategy::CpuOnly`]
+    /// (use [`metaheur::CpuEvaluator`] for the baseline).
+    pub fn new(devices: Vec<Arc<SimDevice>>, scorer: Arc<Scorer>, strategy: Strategy) -> DeviceEvaluator {
+        assert!(!devices.is_empty(), "need at least one device");
+        let n = devices.len();
+        let mode = match strategy {
+            Strategy::CpuOnly => panic!("use CpuEvaluator for the CPU-only baseline"),
+            Strategy::DynamicQueue { .. } | Strategy::GuidedQueue { .. } => Mode::Dynamic,
+            Strategy::HomogeneousSplit => Mode::Static(vec![1.0; n]),
+            Strategy::HeterogeneousSplit { warmup } => {
+                Mode::WarmingUp { left: warmup.iterations.max(1), times: vec![0.0; n] }
+            }
+            // The adaptive ablation re-measures continuously; in the
+            // real-compute executor it starts like the heterogeneous
+            // warm-up and then keeps the latest window's weights.
+            Strategy::AdaptiveSplit { warmup, .. } => {
+                Mode::WarmingUp { left: warmup.iterations.max(1), times: vec![0.0; n] }
+            }
+        };
+        DeviceEvaluator { devices, scorer, mode, timeline: None }
+    }
+
+    /// Record every device execution into `timeline` (Gantt introspection
+    /// of the real-compute path).
+    pub fn with_timeline(mut self, timeline: Arc<gpusim::Timeline>) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    pub fn devices(&self) -> &[Arc<SimDevice>] {
+        &self.devices
+    }
+
+    /// The overall virtual execution time so far (slowest device).
+    pub fn makespan(&self) -> f64 {
+        self.devices.iter().map(|d| d.clock()).fold(0.0, f64::max)
+    }
+
+    /// Static shares in use (empty while warming up or in dynamic mode).
+    pub fn weights(&self) -> &[f64] {
+        match &self.mode {
+            Mode::Static(w) => w,
+            _ => &[],
+        }
+    }
+
+    fn shares_for(&self, items: u64) -> Vec<u64> {
+        match &self.mode {
+            Mode::Static(w) => proportional_split(items, w),
+            Mode::WarmingUp { .. } => equal_weights_split(items, self.devices.len()),
+            Mode::Dynamic => {
+                // Greedy chunking by current virtual clock, coalesced into
+                // one contiguous share per device to keep host scoring
+                // cache-friendly.
+                let mut clocks: Vec<f64> = self.devices.iter().map(|d| d.clock()).collect();
+                let mut shares = vec![0u64; self.devices.len()];
+                let chunk = (items / (self.devices.len() as u64 * 8)).max(1);
+                let mut remaining = items;
+                while remaining > 0 {
+                    let take = chunk.min(remaining);
+                    remaining -= take;
+                    let (idx, _) = clocks
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .expect("non-empty");
+                    shares[idx] += take;
+                    clocks[idx] += self.devices[idx]
+                        .estimate(&WorkBatch::conformations(take, self.scorer.pairs_per_eval()));
+                }
+                shares
+            }
+        }
+    }
+}
+
+fn equal_weights_split(items: u64, n: usize) -> Vec<u64> {
+    proportional_split(items, &vec![1.0; n])
+}
+
+impl BatchEvaluator for DeviceEvaluator {
+    fn evaluate(&mut self, confs: &mut [Conformation]) {
+        if confs.is_empty() {
+            return;
+        }
+        let shares = self.shares_for(confs.len() as u64);
+        let pairs = self.scorer.pairs_per_eval();
+        let clocks_before: Vec<f64> = self.devices.iter().map(|d| d.clock()).collect();
+
+        // Slice the batch contiguously by share.
+        let mut rest = confs;
+        let mut chunks: Vec<(&mut [Conformation], &Arc<SimDevice>)> = Vec::new();
+        for (dev, &share) in self.devices.iter().zip(&shares) {
+            let (head, tail) = rest.split_at_mut(share as usize);
+            if !head.is_empty() {
+                chunks.push((head, dev));
+            }
+            rest = tail;
+        }
+        debug_assert!(rest.is_empty());
+
+        let scorer = &self.scorer;
+        let timeline = self.timeline.as_ref();
+        crossbeam::scope(|s| {
+            for (chunk, dev) in chunks {
+                s.spawn(move |_| {
+                    let poses: Vec<_> = chunk.iter().map(|c| c.pose).collect();
+                    let scores = scorer.score_batch(&poses);
+                    for (c, sc) in chunk.iter_mut().zip(scores) {
+                        c.score = sc;
+                    }
+                    let batch = WorkBatch::conformations(chunk.len() as u64, pairs);
+                    match timeline {
+                        Some(tl) => {
+                            tl.record(dev, &batch);
+                        }
+                        None => {
+                            dev.execute(&batch);
+                        }
+                    }
+                });
+            }
+        })
+        .expect("device scoring thread panicked");
+
+        // Warm-up bookkeeping: accumulate measured per-device times and
+        // switch to the Equation 1 split once enough iterations ran.
+        if let Mode::WarmingUp { left, times } = &mut self.mode {
+            for ((t, d), before) in times.iter_mut().zip(&self.devices).zip(&clocks_before) {
+                *t += d.clock() - before;
+            }
+            *left -= 1;
+            if *left == 0 {
+                let weights = if times.iter().all(|&t| t > 0.0) {
+                    crate::warmup::shares_from_times(times)
+                } else {
+                    vec![1.0; self.devices.len()]
+                };
+                self.mode = Mode::Static(weights);
+            }
+        }
+    }
+
+    fn pairs_per_eval(&self) -> u64 {
+        self.scorer.pairs_per_eval()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warmup::WarmupConfig;
+    use gpusim::catalog;
+    use metaheur::CpuEvaluator;
+    use vsmath::{RigidTransform, RngStream};
+    use vsmol::synth;
+
+    fn scorer() -> Arc<Scorer> {
+        let rec = synth::synth_receptor("r", 400, 1);
+        let lig = synth::synth_ligand("l", 12, 2);
+        Arc::new(Scorer::new(&rec, &lig, Default::default()))
+    }
+
+    fn hertz_devices() -> Vec<Arc<SimDevice>> {
+        vec![
+            Arc::new(SimDevice::new(0, catalog::tesla_k40c())),
+            Arc::new(SimDevice::new(1, catalog::geforce_gtx_580())),
+        ]
+    }
+
+    fn confs(n: usize, seed: u64) -> Vec<Conformation> {
+        let mut rng = RngStream::from_seed(seed);
+        (0..n)
+            .map(|_| Conformation::new(RigidTransform::new(rng.rotation(), rng.in_ball(25.0)), 0))
+            .collect()
+    }
+
+    #[test]
+    fn scores_match_cpu_evaluator() {
+        let sc = scorer();
+        let mut dev_eval =
+            DeviceEvaluator::new(hertz_devices(), sc.clone(), Strategy::HomogeneousSplit);
+        let mut cpu_eval = CpuEvaluator::new((*sc).clone());
+        let mut a = confs(50, 3);
+        let mut b = a.clone();
+        dev_eval.evaluate(&mut a);
+        cpu_eval.evaluate(&mut b);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.score, y.score, "device path must compute identical scores");
+        }
+    }
+
+    #[test]
+    fn clocks_advance_per_batch() {
+        let devs = hertz_devices();
+        let mut ev = DeviceEvaluator::new(devs.clone(), scorer(), Strategy::HomogeneousSplit);
+        let mut c = confs(64, 4);
+        ev.evaluate(&mut c);
+        assert!(devs[0].clock() > 0.0);
+        assert!(devs[1].clock() > 0.0);
+        assert_eq!(ev.makespan(), devs[0].clock().max(devs[1].clock()));
+    }
+
+    #[test]
+    fn heterogeneous_strategy_warms_up_then_favors_k40() {
+        let devs = hertz_devices();
+        let warmup = WarmupConfig { iterations: 3, ..Default::default() };
+        let mut ev =
+            DeviceEvaluator::new(devs.clone(), scorer(), Strategy::HeterogeneousSplit { warmup });
+        // During warm-up: no static weights yet, equal split in force.
+        assert!(ev.weights().is_empty());
+        for i in 0..3 {
+            let mut c = confs(1000, 5 + i);
+            ev.evaluate(&mut c);
+        }
+        // Warm-up complete: Equation 1 weights favor the K40c.
+        let w = ev.weights().to_vec();
+        assert_eq!(w.len(), 2);
+        assert!(w[0] > w[1], "K40c share must dominate: {w:?}");
+
+        let before = (devs[0].stats().items, devs[1].stats().items);
+        let mut c = confs(1000, 9);
+        ev.evaluate(&mut c);
+        let d0 = devs[0].stats().items - before.0;
+        let d1 = devs[1].stats().items - before.1;
+        assert!(d0 > d1, "post-warm-up batch split {d0}/{d1}");
+    }
+
+    #[test]
+    fn dynamic_strategy_balances_clocks() {
+        let devs = hertz_devices();
+        let mut ev =
+            DeviceEvaluator::new(devs.clone(), scorer(), Strategy::DynamicQueue { chunk: 16 });
+        let mut c = confs(512, 6);
+        ev.evaluate(&mut c);
+        let (t0, t1) = (devs[0].clock(), devs[1].clock());
+        let imbalance = (t0 - t1).abs() / t0.max(t1);
+        assert!(imbalance < 0.35, "dynamic imbalance {imbalance}: {t0} vs {t1}");
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let devs = hertz_devices();
+        let mut ev = DeviceEvaluator::new(devs.clone(), scorer(), Strategy::HomogeneousSplit);
+        ev.evaluate(&mut []);
+        assert_eq!(devs[0].clock(), 0.0);
+    }
+
+    #[test]
+    fn single_device_gets_everything() {
+        let devs = vec![Arc::new(SimDevice::new(0, catalog::geforce_gtx_590()))];
+        let mut ev = DeviceEvaluator::new(devs.clone(), scorer(), Strategy::HomogeneousSplit);
+        let mut c = confs(33, 7);
+        ev.evaluate(&mut c);
+        assert_eq!(devs[0].stats().items, 33);
+        assert!(c.iter().all(|x| x.is_scored()));
+    }
+
+    #[test]
+    fn timeline_records_real_compute_path() {
+        let devs = hertz_devices();
+        let tl = Arc::new(gpusim::Timeline::new());
+        let mut ev = DeviceEvaluator::new(devs.clone(), scorer(), Strategy::HomogeneousSplit)
+            .with_timeline(tl.clone());
+        let mut c = confs(40, 8);
+        ev.evaluate(&mut c);
+        ev.evaluate(&mut c);
+        assert_eq!(tl.segments().len(), 4, "2 batches x 2 devices");
+        assert!((tl.makespan() - ev.makespan()).abs() < 1e-15);
+        let recorded: u64 = tl.segments().iter().map(|s| s.items).sum();
+        assert_eq!(recorded, 80);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cpu_only_strategy_rejected() {
+        DeviceEvaluator::new(hertz_devices(), scorer(), Strategy::CpuOnly);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_device_list_rejected() {
+        DeviceEvaluator::new(Vec::new(), scorer(), Strategy::HomogeneousSplit);
+    }
+
+    #[test]
+    fn full_metaheuristic_run_through_devices() {
+        // End-to-end: Algorithm 1 driving the heterogeneous executor.
+        let sc = scorer();
+        let spots = vec![vsmol::Spot {
+            id: 0,
+            center: vsmath::Vec3::new(18.0, 0.0, 0.0),
+            normal: vsmath::Vec3::X,
+            radius: 4.0,
+            anchor_atom: 0,
+        }];
+        let devs = hertz_devices();
+        let mut ev = DeviceEvaluator::new(
+            devs.clone(),
+            sc,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        );
+        let params = metaheur::m3(0.5);
+        let r = metaheur::run(&params, &spots, &mut ev, 11);
+        assert!(r.best.is_scored());
+        assert!(ev.makespan() > 0.0);
+        assert_eq!(
+            r.evaluations,
+            params.evals_per_spot(),
+            "evaluation accounting must survive the device path"
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! # vsched — heterogeneity-aware scheduling
+//!
+//! The paper's contribution (§3): distribute the conformations of a
+//! metaheuristic-based virtual screen across a heterogeneous
+//! multicore + multi-GPU node so the slowest device no longer determines
+//! execution time.
+//!
+//! - [`partition`] — equal splits (the *homogeneous algorithm*,
+//!   Algorithm 2) and proportional splits;
+//! - [`warmup`] — the run-time performance-monitoring phase: 5–10
+//!   metaheuristic iterations per device establish performance
+//!   differences, reduced to `Percent = t_device / t_slowest` (Equation 1,
+//!   the *heterogeneous algorithm*);
+//! - [`strategy`] — the scheduling strategies the experiments compare:
+//!   CPU-only (OpenMP baseline), homogeneous split, heterogeneous split,
+//!   dynamic work queue;
+//! - [`replay`] — schedule a recorded metaheuristic batch trace onto a
+//!   simulated node and report per-device virtual times and makespan (the
+//!   mechanism behind Tables 6–9);
+//! - [`executor`] — the real-compute path: a
+//!   [`metaheur::BatchEvaluator`] that partitions every scoring batch
+//!   across devices, computes scores on one host thread per device (the
+//!   paper's one-OpenMP-thread-per-GPU structure) and advances the
+//!   devices' virtual clocks;
+//! - [`cooperative`] — dynamic assignment of independent metaheuristic
+//!   *jobs* to devices plus cooperative solution sharing between jobs
+//!   (abstract §: "A cooperative scheduling of jobs optimizes the quality
+//!   of the solution and the overall performance").
+
+pub mod cooperative;
+pub mod executor;
+pub mod partition;
+pub mod replay;
+pub mod strategy;
+pub mod warmup;
+
+pub use executor::DeviceEvaluator;
+pub use partition::{equal_split, proportional_split};
+pub use replay::{schedule_trace, schedule_trace_timeline, ScheduleReport};
+pub use strategy::Strategy;
+pub use warmup::{percent_factors, shares_from_times, warmup_times, WarmupConfig};

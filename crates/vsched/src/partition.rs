@@ -1,0 +1,147 @@
+//! Work partitioning: equal and proportional integer splits.
+
+/// Equal split of `items` across `n` devices — the *homogeneous algorithm*
+/// of Algorithm 2, which assumes all devices have the same computational
+/// capability. Remainder items go to the first devices, so shares differ by
+/// at most one.
+pub fn equal_split(items: u64, n: usize) -> Vec<u64> {
+    assert!(n > 0, "need at least one device");
+    let base = items / n as u64;
+    let rem = (items % n as u64) as usize;
+    (0..n).map(|i| base + u64::from(i < rem)).collect()
+}
+
+/// Proportional split of `items` by `weights` (largest-remainder method):
+/// the *heterogeneous algorithm*, where each device's share follows its
+/// measured throughput. Deterministic; shares sum exactly to `items`.
+///
+/// # Panics
+/// Panics on an empty weight slice, non-finite/negative weights, or an
+/// all-zero weight vector.
+pub fn proportional_split(items: u64, weights: &[f64]) -> Vec<u64> {
+    assert!(!weights.is_empty(), "need at least one device");
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be finite and non-negative: {weights:?}"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "at least one weight must be positive");
+
+    let exact: Vec<f64> = weights.iter().map(|w| items as f64 * w / total).collect();
+    let mut shares: Vec<u64> = exact.iter().map(|e| e.floor() as u64).collect();
+    let assigned: u64 = shares.iter().sum();
+    let mut leftover = (items - assigned) as usize;
+
+    // Distribute the remainder to the largest fractional parts; ties break
+    // toward lower device index (deterministic).
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = exact[a] - exact[a].floor();
+        let fb = exact[b] - exact[b].floor();
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    for &i in order.iter().cycle().take(leftover.min(items as usize)) {
+        shares[i] += 1;
+        leftover -= 1;
+        if leftover == 0 {
+            break;
+        }
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_split_exact_division() {
+        assert_eq!(equal_split(12, 4), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn equal_split_remainder_to_front() {
+        assert_eq!(equal_split(14, 4), vec![4, 4, 3, 3]);
+        assert_eq!(equal_split(1, 3), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn equal_split_zero_items() {
+        assert_eq!(equal_split(0, 3), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn equal_split_no_devices_panics() {
+        equal_split(5, 0);
+    }
+
+    #[test]
+    fn proportional_sums_to_items() {
+        for items in [0u64, 1, 7, 100, 12345] {
+            let s = proportional_split(items, &[1.0, 2.5, 0.3, 4.2]);
+            assert_eq!(s.iter().sum::<u64>(), items, "items={items}");
+        }
+    }
+
+    #[test]
+    fn proportional_two_to_one() {
+        let s = proportional_split(30, &[2.0, 1.0]);
+        assert_eq!(s, vec![20, 10]);
+    }
+
+    #[test]
+    fn proportional_equal_weights_matches_equal_split() {
+        let s = proportional_split(14, &[1.0, 1.0, 1.0, 1.0]);
+        let mut sorted = s.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let mut eq = equal_split(14, 4);
+        eq.sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(sorted, eq);
+    }
+
+    #[test]
+    fn proportional_zero_weight_gets_nothing() {
+        let s = proportional_split(100, &[1.0, 0.0, 1.0]);
+        assert_eq!(s[1], 0);
+        assert_eq!(s.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn proportional_shares_close_to_exact() {
+        let weights = [3.7, 1.1, 9.9, 0.4];
+        let items = 1000u64;
+        let total: f64 = weights.iter().sum();
+        let s = proportional_split(items, &weights);
+        for (share, w) in s.iter().zip(&weights) {
+            let exact = items as f64 * w / total;
+            assert!((*share as f64 - exact).abs() <= 1.0, "{share} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn proportional_deterministic_tiebreak() {
+        let a = proportional_split(3, &[1.0, 1.0]);
+        let b = proportional_split(3, &[1.0, 1.0]);
+        assert_eq!(a, b);
+        assert_eq!(a.iter().sum::<u64>(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn proportional_all_zero_panics() {
+        proportional_split(10, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn proportional_negative_weight_panics() {
+        proportional_split(10, &[1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn proportional_nan_weight_panics() {
+        proportional_split(10, &[1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,650 @@
+//! Trace replay: schedule a recorded metaheuristic batch stream onto a
+//! simulated node.
+//!
+//! The engine in `metaheur` is deterministic, so the *search trajectory*
+//! (and therefore the sequence of scoring-batch sizes) is identical no
+//! matter which devices execute the scoring. That lets the experiment
+//! harness run the search once, record its [`metaheur::RunResult::batch_trace`],
+//! and then replay the same workload under every scheduling strategy to
+//! obtain virtual execution times — the mechanism behind Tables 6–9.
+//!
+//! Replay semantics follow the paper's execution model: devices run
+//! *independent* executions of their conformation shares (§3.3 "Parallel
+//! runs do not incur any communication overhead"), so there is no
+//! cross-device synchronization until the final reduction; the slowest
+//! device determines overall time.
+
+use crate::partition::proportional_split;
+use crate::strategy::Strategy;
+use gpusim::{EnergyModel, SimDevice, WorkBatch};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Outcome of replaying one workload under one strategy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    pub strategy_label: String,
+    pub device_names: Vec<String>,
+    /// Final virtual clock per device (seconds).
+    pub device_times: Vec<f64>,
+    /// Overall execution time: the slowest device's clock.
+    pub makespan: f64,
+    /// Normalized static shares used (None for CPU-only / dynamic).
+    pub shares: Option<Vec<f64>>,
+    /// Total conformations scheduled.
+    pub total_items: u64,
+    /// Whole-configuration energy to solution (joules): every device in
+    /// the configuration — including the host CPU — is powered for the
+    /// whole makespan, busy or idle ([`gpusim::EnergyModel`]).
+    pub energy_joules: f64,
+}
+
+/// Replay `trace` (batch sizes, in order) under `strategy`.
+///
+/// Device clocks are reset first, so the report's `makespan` is the full
+/// cost of this workload, including the heterogeneous strategy's warm-up.
+///
+/// ```
+/// use std::sync::Arc;
+/// use gpusim::{catalog, SimDevice};
+/// use vsched::{schedule_trace, Strategy, WarmupConfig};
+///
+/// let cpu = Arc::new(SimDevice::new(0, catalog::xeon_e3_1220()));
+/// let gpus = vec![
+///     Arc::new(SimDevice::new(1, catalog::tesla_k40c())),
+///     Arc::new(SimDevice::new(2, catalog::geforce_gtx_580())),
+/// ];
+/// // 33 generations of 2048 conformations, 45x3264 pairs each.
+/// let trace: Vec<u64> = std::iter::repeat(2048).take(33).collect();
+///
+/// let hom = schedule_trace(&cpu, &gpus, &trace, 45 * 3264, Strategy::HomogeneousSplit);
+/// let het = schedule_trace(&cpu, &gpus, &trace, 45 * 3264,
+///     Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() });
+/// // Equation 1's proportional split beats the equal split on Kepler+Fermi.
+/// assert!(het.makespan < hom.makespan);
+/// ```
+pub fn schedule_trace(
+    cpu: &Arc<SimDevice>,
+    gpus: &[Arc<SimDevice>],
+    trace: &[u64],
+    pairs_per_item: u64,
+    strategy: Strategy,
+) -> ScheduleReport {
+    cpu.reset();
+    for g in gpus {
+        g.reset();
+    }
+    let total_items: u64 = trace.iter().sum();
+
+    match strategy {
+        Strategy::CpuOnly => {
+            for &items in trace {
+                cpu.execute(&WorkBatch::conformations(items, pairs_per_item));
+            }
+            ScheduleReport {
+                strategy_label: strategy.label().into(),
+                device_names: vec![cpu.spec().name.clone()],
+                device_times: vec![cpu.clock()],
+                makespan: cpu.clock(),
+                shares: None,
+                total_items,
+                energy_joules: config_energy(cpu, gpus, cpu.clock()),
+            }
+        }
+        Strategy::HomogeneousSplit => {
+            assert!(!gpus.is_empty(), "GPU strategies need GPUs");
+            let weights = vec![1.0; gpus.len()];
+            for &items in trace {
+                execute_split(gpus, items, &weights, pairs_per_item);
+            }
+            finish_gpu_report(strategy, cpu, gpus, Some(normalize(&weights)), total_items)
+        }
+        Strategy::HeterogeneousSplit { warmup } => {
+            assert!(!gpus.is_empty(), "GPU strategies need GPUs");
+            // Warm-up phase (§3.3): the first few iterations of the actual
+            // run execute under the equal split while their per-device
+            // times are measured; Equation 1 then fixes the proportional
+            // split for the remainder. The warm-up work counts toward the
+            // job — it is the start of the real execution.
+            let warm_iters = warmup.iterations.min(trace.len());
+            let equal = vec![1.0; gpus.len()];
+            let mut measured = vec![0.0f64; gpus.len()];
+            for &items in &trace[..warm_iters] {
+                let shares = proportional_split(items, &equal);
+                for ((g, &share), t) in gpus.iter().zip(&shares).zip(measured.iter_mut()) {
+                    if share > 0 {
+                        *t += g.execute(&WorkBatch::conformations(share, pairs_per_item));
+                    }
+                }
+            }
+            let weights = if measured.iter().all(|&t| t > 0.0) {
+                crate::warmup::shares_from_times(&measured)
+            } else {
+                equal
+            };
+            for &items in &trace[warm_iters..] {
+                execute_split(gpus, items, &weights, pairs_per_item);
+            }
+            finish_gpu_report(strategy, cpu, gpus, Some(normalize(&weights)), total_items)
+        }
+        Strategy::AdaptiveSplit { rebalance_every, .. } => {
+            assert!(!gpus.is_empty(), "GPU strategies need GPUs");
+            let every = rebalance_every.max(1);
+            let mut weights = vec![1.0; gpus.len()];
+            let mut window_items = vec![0u64; gpus.len()];
+            let mut window_times = vec![0.0f64; gpus.len()];
+            let mut in_window = 0usize;
+            for &items in trace {
+                let shares = proportional_split(items, &weights);
+                for ((g, &share), (wi, wt)) in gpus
+                    .iter()
+                    .zip(&shares)
+                    .zip(window_items.iter_mut().zip(window_times.iter_mut()))
+                {
+                    if share > 0 {
+                        *wt += g.execute(&WorkBatch::conformations(share, pairs_per_item));
+                        *wi += share;
+                    }
+                }
+                in_window += 1;
+                if in_window >= every {
+                    // Re-estimate weights from the window's measured
+                    // throughputs (items per second).
+                    if window_times.iter().all(|&t| t > 0.0) {
+                        weights = window_items
+                            .iter()
+                            .zip(&window_times)
+                            .map(|(&i, &t)| i as f64 / t)
+                            .collect();
+                    }
+                    window_items.iter_mut().for_each(|x| *x = 0);
+                    window_times.iter_mut().for_each(|x| *x = 0.0);
+                    in_window = 0;
+                }
+            }
+            finish_gpu_report(strategy, cpu, gpus, Some(normalize(&weights)), total_items)
+        }
+        Strategy::DynamicQueue { chunk } => {
+            assert!(!gpus.is_empty(), "GPU strategies need GPUs");
+            let chunk = chunk.max(1);
+            for &items in trace {
+                let mut remaining = items;
+                while remaining > 0 {
+                    let take = chunk.min(remaining);
+                    remaining -= take;
+                    // Self-scheduling: the device that is free first takes
+                    // the next chunk.
+                    let g = gpus
+                        .iter()
+                        .min_by(|a, b| a.clock().partial_cmp(&b.clock()).unwrap())
+                        .expect("non-empty");
+                    g.execute(&WorkBatch::conformations(take, pairs_per_item));
+                }
+            }
+            finish_gpu_report(strategy, cpu, gpus, None, total_items)
+        }
+        Strategy::GuidedQueue { divisor } => {
+            assert!(!gpus.is_empty(), "GPU strategies need GPUs");
+            let k = divisor.max(1);
+            let n = gpus.len() as u64;
+            for &items in trace {
+                let mut remaining = items;
+                while remaining > 0 {
+                    // GSS chunk: a 1/(k·n) share of what's left, so chunks
+                    // start large (occupancy) and shrink toward the tail
+                    // (balance).
+                    let take = (remaining / (k * n)).max(1).min(remaining);
+                    remaining -= take;
+                    let g = gpus
+                        .iter()
+                        .min_by(|a, b| a.clock().partial_cmp(&b.clock()).unwrap())
+                        .expect("non-empty");
+                    g.execute(&WorkBatch::conformations(take, pairs_per_item));
+                }
+            }
+            finish_gpu_report(strategy, cpu, gpus, None, total_items)
+        }
+    }
+}
+
+fn execute_split(
+    gpus: &[Arc<SimDevice>],
+    items: u64,
+    weights: &[f64],
+    pairs_per_item: u64,
+) {
+    let shares = proportional_split(items, weights);
+    for (g, &share) in gpus.iter().zip(&shares) {
+        if share > 0 {
+            g.execute(&WorkBatch::conformations(share, pairs_per_item));
+        }
+    }
+}
+
+/// Replay a trace under a *static* split while recording an execution
+/// timeline (Gantt view) — the introspection companion to
+/// [`schedule_trace`]. Supports the CPU-only, homogeneous and
+/// heterogeneous strategies; the heterogeneous warm-up phase is recorded
+/// too.
+pub fn schedule_trace_timeline(
+    cpu: &Arc<SimDevice>,
+    gpus: &[Arc<SimDevice>],
+    trace: &[u64],
+    pairs_per_item: u64,
+    strategy: Strategy,
+) -> (ScheduleReport, gpusim::Timeline) {
+    cpu.reset();
+    for g in gpus {
+        g.reset();
+    }
+    let tl = gpusim::Timeline::new();
+    let total_items: u64 = trace.iter().sum();
+
+    let report = match strategy {
+        Strategy::CpuOnly => {
+            for &items in trace {
+                tl.record(cpu, &WorkBatch::conformations(items, pairs_per_item));
+            }
+            ScheduleReport {
+                strategy_label: strategy.label().into(),
+                device_names: vec![cpu.spec().name.clone()],
+                device_times: vec![cpu.clock()],
+                makespan: cpu.clock(),
+                shares: None,
+                total_items,
+                energy_joules: config_energy(cpu, gpus, cpu.clock()),
+            }
+        }
+        Strategy::HomogeneousSplit | Strategy::HeterogeneousSplit { .. } => {
+            assert!(!gpus.is_empty(), "GPU strategies need GPUs");
+            let (warm_iters, mut weights) = match strategy {
+                Strategy::HeterogeneousSplit { warmup } => {
+                    (warmup.iterations.min(trace.len()), vec![1.0; gpus.len()])
+                }
+                _ => (0, vec![1.0; gpus.len()]),
+            };
+            let mut measured = vec![0.0f64; gpus.len()];
+            for (bi, &items) in trace.iter().enumerate() {
+                if bi == warm_iters && warm_iters > 0 && measured.iter().all(|&t| t > 0.0) {
+                    weights = crate::warmup::shares_from_times(&measured);
+                }
+                let shares = proportional_split(items, &weights);
+                for ((g, &share), t) in gpus.iter().zip(&shares).zip(measured.iter_mut()) {
+                    if share > 0 {
+                        let dt = tl.record(g, &WorkBatch::conformations(share, pairs_per_item));
+                        if bi < warm_iters {
+                            *t += dt;
+                        }
+                    }
+                }
+            }
+            finish_gpu_report(strategy, cpu, gpus, Some(normalize(&weights)), total_items)
+        }
+        _ => panic!("timeline replay supports CpuOnly / Homogeneous / Heterogeneous"),
+    };
+    (report, tl)
+}
+
+fn normalize(w: &[f64]) -> Vec<f64> {
+    let s: f64 = w.iter().sum();
+    w.iter().map(|x| x / s).collect()
+}
+
+fn finish_gpu_report(
+    strategy: Strategy,
+    cpu: &Arc<SimDevice>,
+    gpus: &[Arc<SimDevice>],
+    shares: Option<Vec<f64>>,
+    total_items: u64,
+) -> ScheduleReport {
+    let device_times: Vec<f64> = gpus.iter().map(|g| g.clock()).collect();
+    let makespan = device_times.iter().cloned().fold(0.0, f64::max);
+    ScheduleReport {
+        strategy_label: strategy.label().into(),
+        device_names: gpus.iter().map(|g| g.spec().name.clone()).collect(),
+        device_times,
+        makespan,
+        shares,
+        total_items,
+        energy_joules: config_energy(cpu, gpus, makespan),
+    }
+}
+
+/// Whole-configuration energy: CPU plus every listed GPU, powered for the
+/// full makespan.
+fn config_energy(cpu: &Arc<SimDevice>, gpus: &[Arc<SimDevice>], makespan: f64) -> f64 {
+    let model = EnergyModel::default();
+    let mut e = model.device_energy(cpu, makespan).joules;
+    for g in gpus {
+        e += model.device_energy(g, makespan).joules;
+    }
+    e
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warmup::WarmupConfig;
+    use gpusim::catalog;
+
+    const PAIRS: u64 = 45 * 3264;
+
+    fn hertz() -> (Arc<SimDevice>, Vec<Arc<SimDevice>>) {
+        (
+            Arc::new(SimDevice::new(0, catalog::xeon_e3_1220())),
+            vec![
+                Arc::new(SimDevice::new(1, catalog::tesla_k40c())),
+                Arc::new(SimDevice::new(2, catalog::geforce_gtx_580())),
+            ],
+        )
+    }
+
+    /// A plausible M1-like trace: init + 32 generations of 64×32 spots —
+    /// big enough per batch to put the GPUs in the saturated-occupancy
+    /// regime the paper's workloads run in.
+    fn trace() -> Vec<u64> {
+        std::iter::repeat(64 * 32).take(33).collect()
+    }
+
+    #[test]
+    fn cpu_only_uses_cpu() {
+        let (cpu, gpus) = hertz();
+        let r = schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::CpuOnly);
+        assert_eq!(r.device_times.len(), 1);
+        assert!(r.makespan > 0.0);
+        assert_eq!(gpus[0].clock(), 0.0);
+        assert_eq!(r.total_items, 33 * 2048);
+    }
+
+    #[test]
+    fn gpu_strategies_beat_cpu_by_a_lot() {
+        let (cpu, gpus) = hertz();
+        let t_cpu = schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::CpuOnly).makespan;
+        let t_hom = schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::HomogeneousSplit).makespan;
+        let speedup = t_cpu / t_hom;
+        assert!(speedup > 10.0, "GPU speedup only {speedup}");
+    }
+
+    #[test]
+    fn heterogeneous_beats_homogeneous_on_hertz() {
+        // The paper's headline result: up to 1.56× on the Kepler+Fermi node.
+        let (cpu, gpus) = hertz();
+        let t_hom = schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::HomogeneousSplit).makespan;
+        let t_het = schedule_trace(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        )
+        .makespan;
+        let gain = t_hom / t_het;
+        assert!(gain > 1.25, "heterogeneous gain only {gain}");
+        assert!(gain < 2.0, "gain suspiciously large: {gain}");
+    }
+
+    #[test]
+    fn homogeneous_split_bottlenecked_by_slow_gpu() {
+        let (cpu, gpus) = hertz();
+        let r = schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::HomogeneousSplit);
+        // GTX 580 (index 1) is slower and determines the makespan.
+        assert!(r.device_times[1] > r.device_times[0]);
+        assert_eq!(r.makespan, r.device_times[1]);
+    }
+
+    #[test]
+    fn heterogeneous_balances_completion_times() {
+        // Long run: the warm-up's equal-split imbalance amortizes away and
+        // the Equation 1 split keeps both devices finishing together.
+        let (cpu, gpus) = hertz();
+        let long_trace: Vec<u64> = std::iter::repeat(64 * 32).take(200).collect();
+        let r = schedule_trace(
+            &cpu,
+            &gpus,
+            &long_trace,
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        );
+        let imbalance = (r.device_times[0] - r.device_times[1]).abs() / r.makespan;
+        assert!(imbalance < 0.10, "imbalance {imbalance}: {:?}", r.device_times);
+    }
+
+    #[test]
+    fn heterogeneous_shares_sum_to_one() {
+        let (cpu, gpus) = hertz();
+        let r = schedule_trace(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        );
+        let s = r.shares.unwrap();
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(s[0] > s[1], "K40c share must dominate: {s:?}");
+    }
+
+    #[test]
+    fn dynamic_queue_close_to_heterogeneous() {
+        let (cpu, gpus) = hertz();
+        let t_het = schedule_trace(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        )
+        .makespan;
+        let t_dyn =
+            schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::DynamicQueue { chunk: 512 }).makespan;
+        // Dynamic self-scheduling also balances, but pays an occupancy
+        // penalty for its smaller kernels (an ablation finding: static
+        // Eq. 1 splits keep launches large).
+        assert!((t_dyn / t_het) < 1.4, "dynamic {t_dyn} vs het {t_het}");
+    }
+
+    #[test]
+    fn replay_resets_clocks() {
+        let (cpu, gpus) = hertz();
+        gpus[0].advance(100.0);
+        let r = schedule_trace(&cpu, &gpus, &[64], PAIRS, Strategy::HomogeneousSplit);
+        assert!(r.makespan < 100.0, "stale clock leaked into report");
+    }
+
+    #[test]
+    fn identical_gpus_make_strategies_equivalent() {
+        // On a truly homogeneous pair the heterogeneous algorithm's split
+        // converges to the equal split (paper §5: "minimal differences" on
+        // near-identical Fermi cards).
+        let cpu = Arc::new(SimDevice::new(0, catalog::xeon_e3_1220()));
+        let gpus = vec![
+            Arc::new(SimDevice::new(1, catalog::geforce_gtx_590())),
+            Arc::new(SimDevice::new(2, catalog::geforce_gtx_590())),
+        ];
+        let t_hom = schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::HomogeneousSplit).makespan;
+        let t_het = schedule_trace(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        )
+        .makespan;
+        let gain = t_hom / t_het;
+        assert!((0.95..1.05).contains(&gain), "gain {gain} should be ≈1");
+    }
+
+    #[test]
+    fn adaptive_matches_heterogeneous_on_stable_devices() {
+        // With device speeds constant, re-measuring converges to the same
+        // split as the one-shot warm-up; makespans agree within a few %.
+        let (cpu, gpus) = hertz();
+        let t_het = schedule_trace(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        )
+        .makespan;
+        let t_ad = schedule_trace(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::AdaptiveSplit { warmup: WarmupConfig::default(), rebalance_every: 4 },
+        )
+        .makespan;
+        let ratio = t_ad / t_het;
+        assert!((0.9..1.1).contains(&ratio), "adaptive {t_ad} vs het {t_het}");
+    }
+
+    #[test]
+    fn adaptive_shares_favor_fast_device() {
+        let (cpu, gpus) = hertz();
+        let r = schedule_trace(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::AdaptiveSplit { warmup: WarmupConfig::default(), rebalance_every: 4 },
+        );
+        let s = r.shares.unwrap();
+        assert!(s[0] > s[1], "K40c share must dominate after re-measurement: {s:?}");
+    }
+
+    #[test]
+    fn energy_reported_and_sane() {
+        let (cpu, gpus) = hertz();
+        let r_cpu = schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::CpuOnly);
+        let r_het = schedule_trace(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        );
+        assert!(r_cpu.energy_joules > 0.0 && r_het.energy_joules > 0.0);
+        // The paper's energy argument: the GPU configuration finishes so
+        // much sooner that whole-node energy-to-solution plummets even
+        // though the GPUs burn more power while busy.
+        assert!(
+            r_het.energy_joules < r_cpu.energy_joules / 5.0,
+            "GPU energy {} vs CPU energy {}",
+            r_het.energy_joules,
+            r_cpu.energy_joules
+        );
+    }
+
+    #[test]
+    fn heterogeneous_saves_energy_over_homogeneous() {
+        let (cpu, gpus) = hertz();
+        let e_hom =
+            schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::HomogeneousSplit).energy_joules;
+        let e_het = schedule_trace(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        )
+        .energy_joules;
+        assert!(e_het < e_hom, "balanced schedule should cut idle energy: {e_het} vs {e_hom}");
+    }
+
+    #[test]
+    fn guided_queue_beats_small_fixed_chunks() {
+        // GSS keeps early chunks large (occupancy) while a small fixed
+        // chunk destroys it.
+        let (cpu, gpus) = hertz();
+        let fixed =
+            schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::DynamicQueue { chunk: 64 })
+                .makespan;
+        let guided =
+            schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::GuidedQueue { divisor: 2 })
+                .makespan;
+        assert!(guided < fixed, "GSS {guided} should beat fixed-64 {fixed}");
+    }
+
+    #[test]
+    fn guided_queue_loses_to_static_split_on_gpus() {
+        // The ablation finding: GSS was designed for CPU loop scheduling;
+        // its geometrically shrinking tail chunks destroy GPU occupancy,
+        // so the paper's one-shot Equation 1 split — one large launch per
+        // device per batch — wins on occupancy-sensitive hardware.
+        let (cpu, gpus) = hertz();
+        let het = schedule_trace(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        )
+        .makespan;
+        let guided =
+            schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::GuidedQueue { divisor: 2 })
+                .makespan;
+        assert!(guided > het, "expected GSS tail chunks to cost occupancy");
+        assert!(guided < het * 5.0, "GSS should still be in the same decade: {guided} vs {het}");
+    }
+
+    #[test]
+    fn timeline_replay_matches_plain_replay() {
+        let (cpu, gpus) = hertz();
+        let strat = Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() };
+        let plain = schedule_trace(&cpu, &gpus, &trace(), PAIRS, strat).makespan;
+        let (report, tl) = super::schedule_trace_timeline(&cpu, &gpus, &trace(), PAIRS, strat);
+        assert!((report.makespan - plain).abs() < 1e-12 * plain, "{} vs {plain}", report.makespan);
+        assert!((tl.makespan() - report.makespan).abs() < 1e-12 * plain);
+        // One segment per (batch, device).
+        assert_eq!(tl.segments().len(), trace().len() * 2);
+    }
+
+    #[test]
+    fn timeline_shows_homogeneous_imbalance() {
+        // Under the homogeneous split, the K40c idles while the GTX 580
+        // finishes — visible as idle time on device 0.
+        let (cpu, gpus) = hertz();
+        let (_, tl) = super::schedule_trace_timeline(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HomogeneousSplit,
+        );
+        let idle_k40 = tl.idle_time(gpus[0].id());
+        let idle_580 = tl.idle_time(gpus[1].id());
+        assert!(idle_k40 > idle_580, "K40c should idle more: {idle_k40} vs {idle_580}");
+        assert!(idle_k40 / tl.makespan() > 0.3, "imbalance should be large");
+        let chart = tl.render(60);
+        assert!(chart.contains("K40c") && chart.contains('#'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn timeline_rejects_dynamic_strategy() {
+        let (cpu, gpus) = hertz();
+        super::schedule_trace_timeline(
+            &cpu,
+            &gpus,
+            &[64],
+            PAIRS,
+            Strategy::DynamicQueue { chunk: 8 },
+        );
+    }
+
+    #[test]
+    fn empty_trace_zero_makespan_cpu() {
+        let (cpu, gpus) = hertz();
+        let r = schedule_trace(&cpu, &gpus, &[], PAIRS, Strategy::CpuOnly);
+        assert_eq!(r.makespan, 0.0);
+        assert_eq!(r.total_items, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gpu_strategy_without_gpus_panics() {
+        let cpu = Arc::new(SimDevice::new(0, catalog::xeon_e3_1220()));
+        schedule_trace(&cpu, &[], &[64], PAIRS, Strategy::HomogeneousSplit);
+    }
+}

@@ -1,0 +1,170 @@
+//! The warm-up phase and Equation 1.
+//!
+//! §3.3: "a warm-up phase is performed to establish performance differences
+//! among all targeted GPUs, running the scoring function for a few
+//! candidate solutions. This phase measures, at run-time, the execution
+//! time of a small number of iterations of the metaheuristic (five to ten)
+//! [...] The execution times in this warm-up phase on all GPUs are reduced
+//! to obtain the maximum value [...] Thus, the Percent parameter is
+//! eventually determined as
+//!
+//! ```text
+//! Percent = t_actualGPU / t_slowestGPU                (Equation 1)
+//! ```
+//!
+//! The slowest GPU has Percent = 1; a GPU twice as fast has Percent = 0.5."
+
+use gpusim::{SimDevice, WorkBatch};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Warm-up parameters. The paper uses five to ten iterations of the
+/// metaheuristic over a small set of candidate solutions.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WarmupConfig {
+    /// Metaheuristic iterations to time (paper: 5–10).
+    pub iterations: usize,
+    /// Candidate solutions scored per iteration per device.
+    pub items_per_iteration: u64,
+}
+
+impl Default for WarmupConfig {
+    fn default() -> Self {
+        WarmupConfig { iterations: 8, items_per_iteration: 64 }
+    }
+}
+
+/// Run the warm-up on every device and return the measured per-device
+/// times. The warm-up batches *really execute* (they advance the device
+/// clocks), exactly as the paper's warm-up spends real runtime. The runs
+/// are not trying to solve the docking problem — they only expose the
+/// performance differences.
+pub fn warmup_times(
+    devices: &[Arc<SimDevice>],
+    pairs_per_item: u64,
+    config: WarmupConfig,
+) -> Vec<f64> {
+    assert!(!devices.is_empty(), "warm-up needs devices");
+    assert!(config.iterations > 0 && config.items_per_iteration > 0, "degenerate warm-up");
+    devices
+        .iter()
+        .map(|d| {
+            let mut t = 0.0;
+            for _ in 0..config.iterations {
+                t += d.execute(&WorkBatch::conformations(config.items_per_iteration, pairs_per_item));
+            }
+            t
+        })
+        .collect()
+}
+
+/// Equation 1: `Percent_d = t_d / max_i t_i`. The slowest device gets 1.0.
+pub fn percent_factors(times: &[f64]) -> Vec<f64> {
+    assert!(!times.is_empty(), "no measurements");
+    assert!(times.iter().all(|t| t.is_finite() && *t > 0.0), "bad warm-up times: {times:?}");
+    let t_max = times.iter().cloned().fold(f64::MIN, f64::max);
+    times.iter().map(|t| t / t_max).collect()
+}
+
+/// Throughput weights from warm-up times: a device's share of the
+/// conformations is proportional to `1 / Percent` (equivalently `1 / t`),
+/// so every device finishes its share at the same time.
+pub fn shares_from_times(times: &[f64]) -> Vec<f64> {
+    percent_factors(times).iter().map(|p| 1.0 / p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpusim::catalog;
+
+    fn devices() -> Vec<Arc<SimDevice>> {
+        vec![
+            Arc::new(SimDevice::new(0, catalog::tesla_k40c())),
+            Arc::new(SimDevice::new(1, catalog::geforce_gtx_580())),
+        ]
+    }
+
+    #[test]
+    fn warmup_measures_slower_device_slower() {
+        let devs = devices();
+        let times = warmup_times(&devs, 45 * 3264, WarmupConfig::default());
+        assert_eq!(times.len(), 2);
+        assert!(times[0] < times[1], "K40c must beat GTX 580: {times:?}");
+    }
+
+    #[test]
+    fn warmup_advances_clocks() {
+        let devs = devices();
+        let times = warmup_times(&devs, 1000, WarmupConfig::default());
+        for (d, t) in devs.iter().zip(&times) {
+            assert!((d.clock() - t).abs() < 1e-15, "warm-up cost must be charged");
+        }
+    }
+
+    #[test]
+    fn percent_slowest_is_one() {
+        let p = percent_factors(&[2.0, 4.0, 1.0]);
+        assert_eq!(p[1], 1.0);
+        assert_eq!(p[0], 0.5);
+        assert_eq!(p[2], 0.25);
+    }
+
+    #[test]
+    fn percent_identical_devices() {
+        let p = percent_factors(&[3.0, 3.0, 3.0]);
+        assert!(p.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn percent_in_unit_interval() {
+        let p = percent_factors(&[0.123, 7.7, 3.14, 0.5]);
+        assert!(p.iter().all(|&x| x > 0.0 && x <= 1.0));
+    }
+
+    #[test]
+    fn paper_example_twice_as_fast_is_half() {
+        // "a GPU two times faster than slowest GPU would have Percent = 0.5"
+        let p = percent_factors(&[1.0, 2.0]);
+        assert_eq!(p[0], 0.5);
+        assert_eq!(p[1], 1.0);
+    }
+
+    #[test]
+    fn shares_inverse_of_times() {
+        let s = shares_from_times(&[1.0, 2.0, 4.0]);
+        // Weights 4:2:1 after normalizing by the max.
+        assert!((s[0] / s[1] - 2.0).abs() < 1e-12);
+        assert!((s[1] / s[2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_balance_completion_time() {
+        // If device rates are r_d = 1/t_d, assigning n_d ∝ 1/t_d items
+        // makes n_d × t_d equal across devices.
+        let times = [0.8, 1.9, 3.3];
+        let shares = shares_from_times(&times);
+        let completion: Vec<f64> = shares.iter().zip(&times).map(|(s, t)| s * t).collect();
+        for w in completion.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn percent_rejects_zero_time() {
+        percent_factors(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn percent_rejects_empty() {
+        percent_factors(&[]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn warmup_zero_iterations_panics() {
+        warmup_times(&devices(), 10, WarmupConfig { iterations: 0, items_per_iteration: 1 });
+    }
+}

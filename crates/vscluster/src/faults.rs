@@ -1,0 +1,211 @@
+//! Fault and straggler injection.
+//!
+//! Production clusters degrade: thermal throttling, contention, failing
+//! fans. The paper's dynamic job assignment is motivated exactly by such
+//! run-time variability ("the underlying GPU each metaheuristic instance
+//! runs on ... is actually unknown at compile-time", §3.3). This module
+//! injects per-node slowdowns and compares *static* (plan by nominal
+//! speeds, ignore reality) against *dynamic* (observe actual finish times)
+//! job scheduling under them.
+
+use crate::cluster::SimCluster;
+use crate::library::LigandJob;
+use serde::{Deserialize, Serialize};
+use vsched::{schedule_trace, Strategy};
+use vscreen::trace::synthetic_trace;
+
+/// A degradation plan: per-node compute slowdown factors (1.0 = healthy;
+/// 3.0 = node runs 3× slower; `f64::INFINITY` = node effectively dead).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    pub slowdowns: Vec<f64>,
+}
+
+impl FaultPlan {
+    /// All nodes healthy.
+    pub fn healthy(n_nodes: usize) -> FaultPlan {
+        FaultPlan { slowdowns: vec![1.0; n_nodes] }
+    }
+
+    /// One straggler: node `victim` runs `factor`× slower.
+    pub fn straggler(n_nodes: usize, victim: usize, factor: f64) -> FaultPlan {
+        assert!(victim < n_nodes, "victim out of range");
+        assert!(factor >= 1.0, "slowdown factor must be ≥ 1");
+        let mut slowdowns = vec![1.0; n_nodes];
+        slowdowns[victim] = factor;
+        FaultPlan { slowdowns }
+    }
+
+    pub fn factor(&self, node: usize) -> f64 {
+        self.slowdowns[node]
+    }
+}
+
+/// Outcome of a faulty campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultReport {
+    pub makespan: f64,
+    pub node_times: Vec<f64>,
+    pub assignment: Vec<usize>,
+}
+
+/// Run a campaign under a fault plan.
+///
+/// `dynamic = true`: jobs go (LPT order) to the node with the earliest
+/// *observed* finish time — degraded nodes naturally receive less work.
+/// `dynamic = false`: the assignment is fixed up front from *nominal*
+/// (healthy) cost estimates, as a static partitioner would; degradation is
+/// only felt at execution time.
+pub fn screen_library_faulty(
+    cluster: &SimCluster,
+    receptor_atoms: usize,
+    n_spots: usize,
+    jobs: &[LigandJob],
+    strategy: Strategy,
+    faults: &FaultPlan,
+    dynamic: bool,
+) -> FaultReport {
+    assert_eq!(faults.slowdowns.len(), cluster.node_count(), "fault plan size mismatch");
+    assert!(faults.slowdowns.iter().all(|&f| f >= 1.0), "factors must be ≥ 1");
+
+    let nominal_cost = |ni: usize, job: &LigandJob| -> f64 {
+        let node = &cluster.nodes()[ni];
+        let trace = synthetic_trace(&job.params, n_spots);
+        schedule_trace(node.cpu(), node.gpus(), &trace, job.pairs_per_eval(receptor_atoms), strategy)
+            .makespan
+    };
+
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by_key(|&j| {
+        std::cmp::Reverse(jobs[j].total_items(n_spots) * jobs[j].pairs_per_eval(receptor_atoms))
+    });
+
+    let n = cluster.node_count();
+    let mut node_times = vec![0.0f64; n];
+    let mut assignment = vec![usize::MAX; jobs.len()];
+
+    if dynamic {
+        for &j in &order {
+            let (ni, _) = node_times
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .expect("non-empty");
+            node_times[ni] += nominal_cost(ni, &jobs[j]) * faults.factor(ni);
+            assignment[j] = ni;
+        }
+    } else {
+        // Static plan: balance by *nominal* estimates, then execute with
+        // the true (degraded) costs.
+        let mut planned = vec![0.0f64; n];
+        for &j in &order {
+            let (ni, _) = planned
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .expect("non-empty");
+            planned[ni] += nominal_cost(ni, &jobs[j]);
+            assignment[j] = ni;
+        }
+        for (&j, &ni) in order.iter().zip(order.iter().map(|&j| &assignment[j])) {
+            node_times[ni] += nominal_cost(ni, &jobs[j]) * faults.factor(ni);
+        }
+    }
+
+    let makespan = node_times.iter().cloned().fold(0.0, f64::max);
+    FaultReport { makespan, node_times, assignment }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::synthetic_library;
+    use crate::net::NetModel;
+    use vscreen::platform;
+
+    fn setup() -> (SimCluster, Vec<LigandJob>) {
+        let cluster = SimCluster::uniform(3, NetModel::infiniband(), platform::hertz);
+        let jobs = synthetic_library(24, &metaheur::m1(0.3), 5);
+        (cluster, jobs)
+    }
+
+    #[test]
+    fn healthy_static_equals_dynamic() {
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan::healthy(3);
+        let d = screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, true);
+        let s = screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, false);
+        assert!((d.makespan - s.makespan).abs() / d.makespan < 1e-9);
+    }
+
+    #[test]
+    fn dynamic_absorbs_straggler() {
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan::straggler(3, 1, 4.0);
+        let dynamic =
+            screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, true);
+        let static_ =
+            screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, false);
+        assert!(
+            dynamic.makespan < static_.makespan / 1.5,
+            "dynamic {} should absorb the 4x straggler vs static {}",
+            dynamic.makespan,
+            static_.makespan
+        );
+        // The degraded node got fewer jobs under dynamic scheduling.
+        let count = |r: &FaultReport| r.assignment.iter().filter(|&&n| n == 1).count();
+        assert!(count(&dynamic) < count(&static_));
+    }
+
+    #[test]
+    fn static_makespan_scales_with_straggler_factor() {
+        let (cluster, jobs) = setup();
+        let m = |f: f64| {
+            let plan = FaultPlan::straggler(3, 0, f);
+            screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, false)
+                .makespan
+        };
+        let healthy = m(1.0);
+        let slow = m(3.0);
+        assert!((slow / healthy - 3.0).abs() < 0.5, "static suffers ~3x: {}", slow / healthy);
+    }
+
+    #[test]
+    fn dead_node_starved_by_dynamic() {
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan::straggler(3, 2, 1e6);
+        let r =
+            screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, true);
+        let to_dead = r.assignment.iter().filter(|&&n| n == 2).count();
+        // LPT gives the dead node at most its first pick before its clock
+        // explodes past everyone else.
+        assert!(to_dead <= 1, "dead node got {to_dead} jobs");
+    }
+
+    #[test]
+    fn all_jobs_still_complete_under_faults() {
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan::straggler(3, 0, 10.0);
+        for dynamic in [true, false] {
+            let r = screen_library_faulty(
+                &cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, dynamic,
+            );
+            assert!(r.assignment.iter().all(|&n| n < 3));
+            assert_eq!(r.assignment.len(), jobs.len());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn plan_size_mismatch_panics() {
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan::healthy(2);
+        screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, true);
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_unity_factor_panics() {
+        FaultPlan::straggler(2, 0, 0.5);
+    }
+}

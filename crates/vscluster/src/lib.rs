@@ -1,0 +1,29 @@
+//! # vscluster — multi-node cluster extension
+//!
+//! The paper's future work (§6): "it could be convenient to adapt our
+//! virtual screening method to more complex systems comprising several
+//! computational nodes working together with the message-passing paradigm,
+//! and each node with several computational components".
+//!
+//! This crate implements that extension over the simulated substrate:
+//!
+//! - [`net`] — a latency/bandwidth message-cost model (the MPI analog);
+//! - [`cluster`] — [`cluster::SimCluster`]: several heterogeneous
+//!   [`gpusim::SimNode`]s joined by an interconnect, plus the library
+//!   screening driver that distributes ligand *jobs* across nodes
+//!   (dynamic earliest-finish assignment, the cluster-level version of
+//!   the paper's job scheduling) and accounts communication costs;
+//! - [`library`] — synthetic ligand-library generation for
+//!   screening-campaign workloads.
+
+pub mod cluster;
+pub mod crossdock;
+pub mod faults;
+pub mod library;
+pub mod net;
+
+pub use cluster::{ClusterReport, SimCluster};
+pub use crossdock::{schedule_cross_docking, CrossDockReport, ReceptorTarget};
+pub use faults::{screen_library_faulty, FaultPlan, FaultReport};
+pub use library::{synthetic_library, LigandJob};
+pub use net::NetModel;

@@ -1,0 +1,94 @@
+//! Ligand-library workloads for screening campaigns.
+//!
+//! Virtual screening libraries hold "hundreds of thousands of ligands"
+//! (§2.1); a cluster campaign screens each against the same receptor. A
+//! [`LigandJob`] is the cluster scheduling unit: one ligand × one
+//! metaheuristic execution over the receptor surface.
+
+use metaheur::MetaheuristicParams;
+use serde::{Deserialize, Serialize};
+use vsmath::RngStream;
+
+/// One ligand's screening job, reduced to the quantities the cost model
+/// needs (the search trajectory itself is ligand-independent in shape).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LigandJob {
+    pub id: usize,
+    /// Atom count of this ligand (drives pair interactions per eval).
+    pub ligand_atoms: usize,
+    /// Serialized ligand size in bytes (atom records), the scatter payload.
+    pub bytes: u64,
+    /// The metaheuristic to run for this ligand.
+    pub params: MetaheuristicParams,
+}
+
+impl LigandJob {
+    /// Pair interactions per conformation evaluation against a receptor.
+    pub fn pairs_per_eval(&self, receptor_atoms: usize) -> u64 {
+        (self.ligand_atoms * receptor_atoms) as u64
+    }
+
+    /// Total conformations this job evaluates over `n_spots` spots.
+    pub fn total_items(&self, n_spots: usize) -> u64 {
+        self.params.evals_per_spot() * n_spots as u64
+    }
+}
+
+/// Generate a deterministic synthetic library of `n` drug-like ligands with
+/// atom counts in the 20–60 range typical of screening databases, all
+/// running `params`.
+pub fn synthetic_library(n: usize, params: &MetaheuristicParams, seed: u64) -> Vec<LigandJob> {
+    let mut rng = RngStream::derive(seed, 0);
+    (0..n)
+        .map(|id| {
+            let ligand_atoms = 20 + rng.index(41); // 20..=60
+            LigandJob {
+                id,
+                ligand_atoms,
+                // ~48 B per atom record (position + element + charge).
+                bytes: ligand_atoms as u64 * 48,
+                params: params.clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_is_deterministic() {
+        let p = metaheur::m1(0.1);
+        let a = synthetic_library(20, &p, 5);
+        let b = synthetic_library(20, &p, 5);
+        assert_eq!(a, b);
+        let c = synthetic_library(20, &p, 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ligand_sizes_in_drug_like_range() {
+        let lib = synthetic_library(200, &metaheur::m1(0.1), 1);
+        assert!(lib.iter().all(|j| (20..=60).contains(&j.ligand_atoms)));
+        // Variety, not a constant.
+        let first = lib[0].ligand_atoms;
+        assert!(lib.iter().any(|j| j.ligand_atoms != first));
+    }
+
+    #[test]
+    fn job_ids_sequential() {
+        let lib = synthetic_library(5, &metaheur::m1(0.1), 1);
+        for (i, j) in lib.iter().enumerate() {
+            assert_eq!(j.id, i);
+        }
+    }
+
+    #[test]
+    fn workload_accessors() {
+        let p = metaheur::m1(0.1);
+        let j = LigandJob { id: 0, ligand_atoms: 30, bytes: 1440, params: p.clone() };
+        assert_eq!(j.pairs_per_eval(1000), 30_000);
+        assert_eq!(j.total_items(4), p.evals_per_spot() * 4);
+    }
+}

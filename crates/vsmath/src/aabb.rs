@@ -1,0 +1,159 @@
+//! Axis-aligned bounding boxes.
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box, used for molecule extents, spot search
+/// regions and spatial-grid sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    pub min: Vec3,
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// An "empty" box that absorbs any point on the first `grow`.
+    pub const EMPTY: Aabb = Aabb {
+        min: Vec3::splat(f64::INFINITY),
+        max: Vec3::splat(f64::NEG_INFINITY),
+    };
+
+    #[inline]
+    pub fn new(min: Vec3, max: Vec3) -> Self {
+        Aabb { min, max }
+    }
+
+    /// Smallest box containing all `points`; [`Aabb::EMPTY`] for none.
+    pub fn from_points(points: &[Vec3]) -> Aabb {
+        points.iter().fold(Aabb::EMPTY, |bb, &p| bb.grown(p))
+    }
+
+    /// The box expanded to contain `p`.
+    #[inline]
+    pub fn grown(self, p: Vec3) -> Aabb {
+        Aabb { min: self.min.min(p), max: self.max.max(p) }
+    }
+
+    /// The box inflated by `margin` on every side.
+    pub fn inflated(self, margin: f64) -> Aabb {
+        Aabb {
+            min: self.min - Vec3::splat(margin),
+            max: self.max + Vec3::splat(margin),
+        }
+    }
+
+    /// Union of two boxes.
+    pub fn union(self, o: Aabb) -> Aabb {
+        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Vec3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// True when the box contains no points (min > max on any axis).
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// Edge lengths; zero vector for an empty box.
+    pub fn extent(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::ZERO
+        } else {
+            self.max - self.min
+        }
+    }
+
+    /// Geometric center; `Vec3::ZERO` for an empty box.
+    pub fn center(&self) -> Vec3 {
+        if self.is_empty() {
+            Vec3::ZERO
+        } else {
+            (self.min + self.max) * 0.5
+        }
+    }
+
+    /// Length of the space diagonal.
+    pub fn diagonal(&self) -> f64 {
+        self.extent().norm()
+    }
+}
+
+impl Default for Aabb {
+    fn default() -> Self {
+        Aabb::EMPTY
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_box_properties() {
+        let bb = Aabb::EMPTY;
+        assert!(bb.is_empty());
+        assert_eq!(bb.extent(), Vec3::ZERO);
+        assert_eq!(bb.center(), Vec3::ZERO);
+        assert!(!bb.contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn from_points_tight_bounds() {
+        let pts = [Vec3::new(1.0, 5.0, -2.0), Vec3::new(-1.0, 2.0, 3.0), Vec3::new(0.0, 0.0, 0.0)];
+        let bb = Aabb::from_points(&pts);
+        assert_eq!(bb.min, Vec3::new(-1.0, 0.0, -2.0));
+        assert_eq!(bb.max, Vec3::new(1.0, 5.0, 3.0));
+        for p in pts {
+            assert!(bb.contains(p));
+        }
+    }
+
+    #[test]
+    fn single_point_box() {
+        let bb = Aabb::from_points(&[Vec3::X]);
+        assert!(!bb.is_empty());
+        assert_eq!(bb.extent(), Vec3::ZERO);
+        assert_eq!(bb.center(), Vec3::X);
+        assert!(bb.contains(Vec3::X));
+    }
+
+    #[test]
+    fn grow_absorbs_point() {
+        let bb = Aabb::EMPTY.grown(Vec3::new(2.0, 2.0, 2.0));
+        assert!(bb.contains(Vec3::new(2.0, 2.0, 2.0)));
+        assert!(!bb.contains(Vec3::ZERO));
+    }
+
+    #[test]
+    fn inflated_margin() {
+        let bb = Aabb::from_points(&[Vec3::ZERO, Vec3::splat(1.0)]).inflated(0.5);
+        assert_eq!(bb.min, Vec3::splat(-0.5));
+        assert_eq!(bb.max, Vec3::splat(1.5));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Aabb::from_points(&[Vec3::ZERO, Vec3::splat(1.0)]);
+        let b = Aabb::from_points(&[Vec3::splat(2.0), Vec3::splat(3.0)]);
+        let u = a.union(b);
+        assert!(u.contains(Vec3::splat(0.5)));
+        assert!(u.contains(Vec3::splat(2.5)));
+        assert_eq!(u.extent(), Vec3::splat(3.0));
+    }
+
+    #[test]
+    fn center_and_diagonal() {
+        let bb = Aabb::new(Vec3::ZERO, Vec3::new(2.0, 2.0, 1.0));
+        assert_eq!(bb.center(), Vec3::new(1.0, 1.0, 0.5));
+        assert!((bb.diagonal() - 3.0) < 1e-12);
+    }
+}

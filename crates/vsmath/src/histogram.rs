@@ -1,0 +1,186 @@
+//! Fixed-bin histograms.
+//!
+//! BINDSURF finds new binding spots "after the examination of the
+//! distribution of scoring function values over the entire protein
+//! surface" (§2.1); the screening pipeline uses these histograms to report
+//! that distribution.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins plus underflow and
+/// overflow counters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// # Panics
+    /// Panics if `lo >= hi` or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Histogram {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        assert!(bins > 0, "need at least one bin");
+        Histogram { lo, hi, bins: vec![0; bins], underflow: 0, overflow: 0 }
+    }
+
+    /// Build with bounds taken from the data (single pass over `xs` twice).
+    /// Returns `None` for empty or non-finite input.
+    pub fn auto(xs: &[f64], bins: usize) -> Option<Histogram> {
+        if xs.is_empty() || xs.iter().any(|x| !x.is_finite()) {
+            return None;
+        }
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = if hi > lo { hi } else { lo + 1.0 };
+        // Nudge the top edge so the max lands in the last bin, not overflow.
+        let mut h = Histogram::new(lo, hi + (hi - lo) * 1e-9, bins);
+        xs.iter().for_each(|&x| h.push(x));
+        Some(h)
+    }
+
+    pub fn push(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let n = self.bins.len();
+            let i = ((x - self.lo) / (self.hi - self.lo) * n as f64) as usize;
+            self.bins[i.min(n - 1)] += 1;
+        }
+    }
+
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// The modal bin index (ties break low).
+    pub fn mode_bin(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            if c > self.bins[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// ASCII rendering, one row per bin, bars scaled to `width` columns.
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write;
+        let max = self.bins.iter().cloned().max().unwrap_or(0).max(1);
+        let mut s = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (lo, hi) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            let _ = writeln!(s, "[{lo:>10.2}, {hi:>10.2}) {c:>8} {bar}");
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_lands_in_right_bin() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.push(0.0);
+        h.push(4.999);
+        h.push(5.0);
+        h.push(9.999);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.push(-0.1);
+        h.push(1.0); // hi edge is exclusive
+        h.push(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn auto_covers_all_data() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64 * 0.37 - 5.0).collect();
+        let h = Histogram::auto(&xs, 8).unwrap();
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+        assert_eq!(h.counts().iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn auto_rejects_bad_input() {
+        assert!(Histogram::auto(&[], 4).is_none());
+        assert!(Histogram::auto(&[1.0, f64::NAN], 4).is_none());
+    }
+
+    #[test]
+    fn auto_constant_data() {
+        let h = Histogram::auto(&[3.0, 3.0, 3.0], 4).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn bin_edges_partition_range() {
+        let h = Histogram::new(-2.0, 2.0, 4);
+        assert_eq!(h.bin_edges(0), (-2.0, -1.0));
+        assert_eq!(h.bin_edges(3), (1.0, 2.0));
+    }
+
+    #[test]
+    fn mode_bin_finds_peak() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        for x in [0.5, 1.5, 1.6, 1.7, 2.5] {
+            h.push(x);
+        }
+        assert_eq!(h.mode_bin(), 1);
+    }
+
+    #[test]
+    fn render_has_one_row_per_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        h.push(0.5);
+        let out = h.render(20);
+        assert_eq!(out.lines().count(), 5);
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverted_range_panics() {
+        Histogram::new(1.0, 0.0, 3);
+    }
+}

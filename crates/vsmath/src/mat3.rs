@@ -1,0 +1,341 @@
+//! 3×3 matrices: rotation conversion, covariance accumulation and the
+//! symmetric eigen-solver behind Kabsch alignment (`vsmol::rmsd`).
+
+use crate::{Quat, Vec3};
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Mul, Sub};
+
+/// A row-major 3×3 matrix of `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    /// Rows × columns: `m[r][c]`.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
+    pub const IDENTITY: Mat3 =
+        Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+
+    #[inline]
+    pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
+        Mat3 { m: [[r0.x, r0.y, r0.z], [r1.x, r1.y, r1.z], [r2.x, r2.y, r2.z]] }
+    }
+
+    /// Outer product `a bᵀ`.
+    pub fn outer(a: Vec3, b: Vec3) -> Mat3 {
+        Mat3 {
+            m: [
+                [a.x * b.x, a.x * b.y, a.x * b.z],
+                [a.y * b.x, a.y * b.y, a.y * b.z],
+                [a.z * b.x, a.z * b.y, a.z * b.z],
+            ],
+        }
+    }
+
+    /// Rotation matrix of a unit quaternion.
+    pub fn from_quat(q: Quat) -> Mat3 {
+        let (w, x, y, z) = (q.w, q.x, q.y, q.z);
+        Mat3 {
+            m: [
+                [1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z), 2.0 * (x * z + w * y)],
+                [2.0 * (x * y + w * z), 1.0 - 2.0 * (x * x + z * z), 2.0 * (y * z - w * x)],
+                [2.0 * (x * z - w * y), 2.0 * (y * z + w * x), 1.0 - 2.0 * (x * x + y * y)],
+            ],
+        }
+    }
+
+    /// Convert a (proper) rotation matrix back to a unit quaternion
+    /// (Shepperd's method, numerically stable branch selection).
+    pub fn to_quat(&self) -> Quat {
+        let m = &self.m;
+        let tr = m[0][0] + m[1][1] + m[2][2];
+        let q = if tr > 0.0 {
+            let s = (tr + 1.0).sqrt() * 2.0;
+            Quat::new(0.25 * s, (m[2][1] - m[1][2]) / s, (m[0][2] - m[2][0]) / s, (m[1][0] - m[0][1]) / s)
+        } else if m[0][0] > m[1][1] && m[0][0] > m[2][2] {
+            let s = (1.0 + m[0][0] - m[1][1] - m[2][2]).sqrt() * 2.0;
+            Quat::new((m[2][1] - m[1][2]) / s, 0.25 * s, (m[0][1] + m[1][0]) / s, (m[0][2] + m[2][0]) / s)
+        } else if m[1][1] > m[2][2] {
+            let s = (1.0 + m[1][1] - m[0][0] - m[2][2]).sqrt() * 2.0;
+            Quat::new((m[0][2] - m[2][0]) / s, (m[0][1] + m[1][0]) / s, 0.25 * s, (m[1][2] + m[2][1]) / s)
+        } else {
+            let s = (1.0 + m[2][2] - m[0][0] - m[1][1]).sqrt() * 2.0;
+            Quat::new((m[1][0] - m[0][1]) / s, (m[0][2] + m[2][0]) / s, (m[1][2] + m[2][1]) / s, 0.25 * s)
+        };
+        q.renormalize()
+    }
+
+    #[inline]
+    pub fn transpose(&self) -> Mat3 {
+        let m = &self.m;
+        Mat3 {
+            m: [
+                [m[0][0], m[1][0], m[2][0]],
+                [m[0][1], m[1][1], m[2][1]],
+                [m[0][2], m[1][2], m[2][2]],
+            ],
+        }
+    }
+
+    pub fn determinant(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    #[inline]
+    pub fn mul_vec(&self, v: Vec3) -> Vec3 {
+        let m = &self.m;
+        Vec3::new(
+            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z,
+        )
+    }
+
+    pub fn scale(&self, s: f64) -> Mat3 {
+        let mut out = *self;
+        for r in &mut out.m {
+            for v in r {
+                *v *= s;
+            }
+        }
+        out
+    }
+
+    /// Eigen-decomposition of a *symmetric* matrix by cyclic Jacobi
+    /// rotations. Returns `(eigenvalues, eigenvectors)` with eigenvalues
+    /// descending and `eigenvectors.mul_vec(e_i)`-columns orthonormal
+    /// (column `i` of the returned matrix pairs with eigenvalue `i`).
+    pub fn symmetric_eigen(&self) -> ([f64; 3], Mat3) {
+        let mut a = self.m;
+        let mut v = Mat3::IDENTITY.m;
+        for _sweep in 0..64 {
+            // Off-diagonal magnitude.
+            let off = a[0][1] * a[0][1] + a[0][2] * a[0][2] + a[1][2] * a[1][2];
+            if off < 1e-24 {
+                break;
+            }
+            for (p, q) in [(0usize, 1usize), (0, 2), (1, 2)] {
+                if a[p][q].abs() < 1e-300 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the Jacobi rotation G(p,q,θ) on both sides.
+                for k in 0..3 {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..3 {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..3 {
+                    let vkp = v[k][p];
+                    let vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+        // Sort eigenpairs descending.
+        let mut pairs: Vec<(f64, [f64; 3])> =
+            (0..3).map(|i| (a[i][i], [v[0][i], v[1][i], v[2][i]])).collect();
+        pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
+        let vals = [pairs[0].0, pairs[1].0, pairs[2].0];
+        let mut vecs = Mat3::ZERO;
+        for (i, (_, col)) in pairs.iter().enumerate() {
+            for r in 0..3 {
+                vecs.m[r][i] = col[r];
+            }
+        }
+        (vals, vecs)
+    }
+
+    /// Column `i` as a vector.
+    pub fn col(&self, i: usize) -> Vec3 {
+        Vec3::new(self.m[0][i], self.m[1][i], self.m[2][i])
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, o: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] + o.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    fn sub(self, o: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] = self.m[r][c] - o.m[r][c];
+            }
+        }
+        out
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, o: Mat3) -> Mat3 {
+        let mut out = Mat3::ZERO;
+        for r in 0..3 {
+            for c in 0..3 {
+                out.m[r][c] =
+                    self.m[r][0] * o.m[0][c] + self.m[r][1] * o.m[1][c] + self.m[r][2] * o.m[2][c];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{approx_eq, RngStream};
+
+    #[test]
+    fn identity_is_noop() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_eq!(Mat3::IDENTITY.mul_vec(v), v);
+        assert_eq!(Mat3::IDENTITY.determinant(), 1.0);
+    }
+
+    #[test]
+    fn quat_matrix_roundtrip() {
+        let mut rng = RngStream::from_seed(1);
+        for _ in 0..50 {
+            let q = rng.rotation();
+            let m = Mat3::from_quat(q);
+            let q2 = m.to_quat();
+            assert!(q.angle_to(q2) < 1e-9, "roundtrip drift {}", q.angle_to(q2));
+        }
+    }
+
+    #[test]
+    fn rotation_matrix_matches_quaternion_rotation() {
+        let mut rng = RngStream::from_seed(2);
+        for _ in 0..30 {
+            let q = rng.rotation();
+            let m = Mat3::from_quat(q);
+            let v = rng.in_ball(10.0);
+            assert!((m.mul_vec(v) - q.rotate(v)).max_abs_component() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rotation_matrix_has_unit_determinant() {
+        let mut rng = RngStream::from_seed(3);
+        for _ in 0..20 {
+            let m = Mat3::from_quat(rng.rotation());
+            assert!(approx_eq(m.determinant(), 1.0, 1e-10));
+        }
+    }
+
+    #[test]
+    fn transpose_and_product() {
+        let a = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(4.0, 5.0, 6.0),
+            Vec3::new(7.0, 8.0, 10.0),
+        );
+        assert_eq!(a.transpose().transpose(), a);
+        let i = a * Mat3::IDENTITY;
+        assert_eq!(i, a);
+        // (AB)ᵀ = BᵀAᵀ
+        let b = Mat3::outer(Vec3::new(1.0, 0.5, -1.0), Vec3::new(2.0, 1.0, 0.0));
+        assert_eq!((a * b).transpose(), b.transpose() * a.transpose());
+    }
+
+    #[test]
+    fn outer_product_rank_one() {
+        let o = Mat3::outer(Vec3::X, Vec3::Y);
+        assert_eq!(o.m[0][1], 1.0);
+        assert_eq!(o.determinant(), 0.0);
+    }
+
+    #[test]
+    fn symmetric_eigen_diagonal() {
+        let d = Mat3::from_rows(
+            Vec3::new(3.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 2.0),
+        );
+        let (vals, _) = d.symmetric_eigen();
+        assert!(approx_eq(vals[0], 3.0, 1e-12));
+        assert!(approx_eq(vals[1], 2.0, 1e-12));
+        assert!(approx_eq(vals[2], 1.0, 1e-12));
+    }
+
+    #[test]
+    fn symmetric_eigen_reconstructs_matrix() {
+        // A = V Λ Vᵀ for a random symmetric matrix.
+        let mut rng = RngStream::from_seed(4);
+        for _ in 0..20 {
+            let a = rng.in_ball(2.0);
+            let b = rng.in_ball(2.0);
+            let sym = Mat3::outer(a, a) + Mat3::outer(b, b);
+            let (vals, vecs) = sym.symmetric_eigen();
+            let lambda = Mat3::from_rows(
+                Vec3::new(vals[0], 0.0, 0.0),
+                Vec3::new(0.0, vals[1], 0.0),
+                Vec3::new(0.0, 0.0, vals[2]),
+            );
+            let back = vecs * lambda * vecs.transpose();
+            for r in 0..3 {
+                for c in 0..3 {
+                    assert!(
+                        (back.m[r][c] - sym.m[r][c]).abs() < 1e-9,
+                        "reconstruction failed at ({r},{c})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let sym = Mat3::outer(Vec3::new(1.0, 2.0, 3.0), Vec3::new(1.0, 2.0, 3.0))
+            + Mat3::outer(Vec3::new(-1.0, 0.5, 0.0), Vec3::new(-1.0, 0.5, 0.0));
+        let (_, vecs) = sym.symmetric_eigen();
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = vecs.col(i).dot(vecs.col(j));
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-9, "col {i}·col {j} = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvalues_of_psd_are_nonnegative() {
+        let mut rng = RngStream::from_seed(5);
+        for _ in 0..10 {
+            let mut s = Mat3::ZERO;
+            for _ in 0..5 {
+                let v = rng.in_ball(3.0);
+                s = s + Mat3::outer(v, v);
+            }
+            let (vals, _) = s.symmetric_eigen();
+            assert!(vals.iter().all(|&l| l > -1e-9), "{vals:?}");
+        }
+    }
+}

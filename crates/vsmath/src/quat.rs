@@ -1,0 +1,279 @@
+//! Unit quaternions for ligand orientation.
+//!
+//! A docking *conformation* in this stack is a rigid pose: a translation plus
+//! a unit quaternion. Quaternions are the standard parameterization in
+//! docking codes (AutoDock, BINDSURF) because they compose cheaply and have
+//! no gimbal lock, which matters for the local-search move operators.
+
+use crate::Vec3;
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A quaternion `w + xi + yj + zk`. Rotation quaternions are kept unit-norm
+/// by construction; [`Quat::renormalize`] guards against drift after long
+/// chains of composition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    pub w: f64,
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Quat {
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    #[inline]
+    pub const fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
+        Quat { w, x, y, z }
+    }
+
+    /// Rotation of `angle` radians about `axis`. A zero axis yields the
+    /// identity rotation.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Quat {
+        match axis.normalized() {
+            None => Quat::IDENTITY,
+            Some(u) => {
+                let (s, c) = (angle * 0.5).sin_cos();
+                Quat::new(c, u.x * s, u.y * s, u.z * s)
+            }
+        }
+    }
+
+    /// Rotation from intrinsic Euler angles (ZYX convention: yaw, pitch,
+    /// roll), handy for test fixtures.
+    pub fn from_euler(yaw: f64, pitch: f64, roll: f64) -> Quat {
+        let qz = Quat::from_axis_angle(Vec3::Z, yaw);
+        let qy = Quat::from_axis_angle(Vec3::Y, pitch);
+        let qx = Quat::from_axis_angle(Vec3::X, roll);
+        qz * qy * qx
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Rescale to unit norm, falling back to the identity for degenerate
+    /// (near-zero) quaternions.
+    pub fn renormalize(self) -> Quat {
+        let n = self.norm();
+        if n < 1e-12 {
+            Quat::IDENTITY
+        } else {
+            Quat::new(self.w / n, self.x / n, self.y / n, self.z / n)
+        }
+    }
+
+    /// The inverse rotation (conjugate, assuming unit norm).
+    #[inline]
+    pub fn conjugate(self) -> Quat {
+        Quat::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Rotate a vector by this quaternion using the optimized
+    /// `v + 2 t×(t×v + w v)` form (fewer multiplies than `q v q*`).
+    #[inline]
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        let t = Vec3::new(self.x, self.y, self.z);
+        let u = t.cross(v) * 2.0;
+        v + u * self.w + t.cross(u)
+    }
+
+    /// Angle (radians, in `[0, π]`) of the rotation this quaternion encodes.
+    pub fn angle(self) -> f64 {
+        2.0 * self.w.abs().clamp(0.0, 1.0).acos()
+    }
+
+    /// Geodesic distance between two rotations, in radians — the rotation
+    /// metric used by the tabu/diversity checks in `metaheur`.
+    pub fn angle_to(self, other: Quat) -> f64 {
+        (self.conjugate() * other).renormalize().angle()
+    }
+
+    /// Dot product of the two quaternions viewed as 4-vectors.
+    #[inline]
+    pub fn dot(self, o: Quat) -> f64 {
+        self.w * o.w + self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Spherical linear interpolation between two unit quaternions,
+    /// taking the short arc.
+    pub fn slerp(self, other: Quat, t: f64) -> Quat {
+        let mut d = self.dot(other);
+        let mut o = other;
+        if d < 0.0 {
+            // Take the short way around the 4-sphere.
+            d = -d;
+            o = Quat::new(-other.w, -other.x, -other.y, -other.z);
+        }
+        if d > 1.0 - 1e-9 {
+            // Nearly parallel: fall back to nlerp to avoid division by ~0.
+            return Quat::new(
+                self.w + (o.w - self.w) * t,
+                self.x + (o.x - self.x) * t,
+                self.y + (o.y - self.y) * t,
+                self.z + (o.z - self.z) * t,
+            )
+            .renormalize();
+        }
+        let theta = d.acos();
+        let s = theta.sin();
+        let a = ((1.0 - t) * theta).sin() / s;
+        let b = (t * theta).sin() / s;
+        Quat::new(
+            a * self.w + b * o.w,
+            a * self.x + b * o.x,
+            a * self.y + b * o.y,
+            a * self.z + b * o.z,
+        )
+        .renormalize()
+    }
+
+    /// True when all components are finite.
+    pub fn is_finite(self) -> bool {
+        self.w.is_finite() && self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl Mul for Quat {
+    type Output = Quat;
+    /// Hamilton product: `(a * b).rotate(v) == a.rotate(b.rotate(v))`.
+    #[inline]
+    fn mul(self, o: Quat) -> Quat {
+        Quat::new(
+            self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
+            self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
+            self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
+            self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_vec_eq(a: Vec3, b: Vec3) {
+        assert!((a - b).max_abs_component() < 1e-9, "{a:?} != {b:?}");
+    }
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_vec_eq(Quat::IDENTITY.rotate(v), v);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let q = Quat::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert_vec_eq(q.rotate(Vec3::X), Vec3::Y);
+        assert_vec_eq(q.rotate(Vec3::Y), -Vec3::X);
+        assert_vec_eq(q.rotate(Vec3::Z), Vec3::Z);
+    }
+
+    #[test]
+    fn half_turn_about_arbitrary_axis() {
+        let axis = Vec3::new(1.0, 1.0, 0.0);
+        let q = Quat::from_axis_angle(axis, PI);
+        // A vector on the axis is unchanged.
+        assert_vec_eq(q.rotate(axis), axis);
+        // A perpendicular vector is negated.
+        let perp = Vec3::new(1.0, -1.0, 0.0);
+        assert_vec_eq(q.rotate(perp), -perp);
+    }
+
+    #[test]
+    fn zero_axis_gives_identity() {
+        assert_eq!(Quat::from_axis_angle(Vec3::ZERO, 1.0), Quat::IDENTITY);
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let a = Quat::from_axis_angle(Vec3::X, 0.3);
+        let b = Quat::from_axis_angle(Vec3::Y, 1.1);
+        let v = Vec3::new(0.2, -0.5, 0.9);
+        assert_vec_eq((a * b).rotate(v), a.rotate(b.rotate(v)));
+    }
+
+    #[test]
+    fn conjugate_inverts_rotation() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, 3.0), 0.77);
+        let v = Vec3::new(4.0, -1.0, 0.5);
+        assert_vec_eq(q.conjugate().rotate(q.rotate(v)), v);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let q = Quat::from_axis_angle(Vec3::new(0.3, -1.0, 2.0), 2.2);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert!(approx_eq(q.rotate(v).norm(), v.norm(), 1e-12));
+    }
+
+    #[test]
+    fn angle_extraction() {
+        let q = Quat::from_axis_angle(Vec3::Z, 1.25);
+        assert!(approx_eq(q.angle(), 1.25, 1e-12));
+        assert!(approx_eq(Quat::IDENTITY.angle(), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn angle_between_rotations() {
+        let a = Quat::from_axis_angle(Vec3::Z, 0.5);
+        let b = Quat::from_axis_angle(Vec3::Z, 1.3);
+        assert!(approx_eq(a.angle_to(b), 0.8, 1e-9));
+        assert!(approx_eq(a.angle_to(a), 0.0, 1e-9));
+    }
+
+    #[test]
+    fn slerp_endpoints() {
+        let a = Quat::from_axis_angle(Vec3::X, 0.2);
+        let b = Quat::from_axis_angle(Vec3::Y, 1.5);
+        assert!(a.slerp(b, 0.0).angle_to(a) < 1e-9);
+        assert!(a.slerp(b, 1.0).angle_to(b) < 1e-9);
+    }
+
+    #[test]
+    fn slerp_midpoint_is_half_angle() {
+        let a = Quat::IDENTITY;
+        let b = Quat::from_axis_angle(Vec3::Z, 1.0);
+        let m = a.slerp(b, 0.5);
+        assert!(approx_eq(m.angle(), 0.5, 1e-9));
+    }
+
+    #[test]
+    fn slerp_takes_short_arc() {
+        let a = Quat::from_axis_angle(Vec3::Z, 0.1);
+        // Same rotation, opposite 4-vector sign.
+        let b_rot = Quat::from_axis_angle(Vec3::Z, 0.3);
+        let b = Quat::new(-b_rot.w, -b_rot.x, -b_rot.y, -b_rot.z);
+        let m = a.slerp(b, 0.5);
+        assert!(approx_eq(m.angle(), 0.2, 1e-9));
+    }
+
+    #[test]
+    fn renormalize_degenerate_is_identity() {
+        assert_eq!(Quat::new(0.0, 0.0, 0.0, 0.0).renormalize(), Quat::IDENTITY);
+    }
+
+    #[test]
+    fn euler_yaw_only_matches_axis_angle() {
+        let q = Quat::from_euler(0.7, 0.0, 0.0);
+        let r = Quat::from_axis_angle(Vec3::Z, 0.7);
+        assert!(q.angle_to(r) < 1e-9);
+    }
+
+    #[test]
+    fn unit_norm_after_construction() {
+        let q = Quat::from_axis_angle(Vec3::new(3.0, -2.0, 0.5), 2.9);
+        assert!(approx_eq(q.norm(), 1.0, 1e-12));
+    }
+}

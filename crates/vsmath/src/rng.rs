@@ -1,0 +1,346 @@
+//! Deterministic seeded RNG streams.
+//!
+//! Metaheuristics are stochastic (paper §1), but reproduction requires
+//! determinism: every independent metaheuristic execution — one per device,
+//! per spot — draws from its own *stream* derived from a root seed and a
+//! stream id, so results are identical regardless of which simulated device
+//! a job lands on or in what order threads run.
+
+use crate::{Quat, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A deterministic random stream: `StdRng` seeded from a (root, stream-id)
+/// pair via SplitMix64 mixing, so sibling streams are decorrelated.
+///
+/// ```
+/// use vsmath::RngStream;
+///
+/// // Streams with the same (root, id) replay identically...
+/// let mut a = RngStream::derive(42, 7);
+/// let mut b = RngStream::derive(42, 7);
+/// assert_eq!(a.uniform(), b.uniform());
+/// // ...and different ids are independent.
+/// let mut c = RngStream::derive(42, 8);
+/// assert_ne!(a.uniform(), c.uniform());
+/// ```
+#[derive(Debug, Clone)]
+pub struct RngStream {
+    rng: StdRng,
+    root_seed: u64,
+    stream_id: u64,
+}
+
+/// SplitMix64 finalizer — the standard cheap mixer for turning correlated
+/// integers into decorrelated seeds.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl RngStream {
+    /// The stream with id 0 for a root seed.
+    pub fn from_seed(root_seed: u64) -> Self {
+        Self::derive(root_seed, 0)
+    }
+
+    /// Derive stream `stream_id` of the root seed. Streams with different
+    /// ids are statistically independent.
+    pub fn derive(root_seed: u64, stream_id: u64) -> Self {
+        let mixed = splitmix64(splitmix64(root_seed) ^ splitmix64(stream_id.wrapping_mul(0xA24B_AED4_963E_E407)));
+        let mut key = [0u8; 32];
+        let mut s = mixed;
+        for chunk in key.chunks_exact_mut(8) {
+            s = splitmix64(s);
+            chunk.copy_from_slice(&s.to_le_bytes());
+        }
+        RngStream { rng: StdRng::from_seed(key), root_seed, stream_id }
+    }
+
+    /// Derive a child stream; children of distinct `(root, id)` pairs are
+    /// disjoint. Used to hand each spot/individual its own substream.
+    pub fn child(&self, child_id: u64) -> RngStream {
+        RngStream::derive(
+            splitmix64(self.root_seed ^ splitmix64(self.stream_id)),
+            child_id,
+        )
+    }
+
+    pub fn root_seed(&self) -> u64 {
+        self.root_seed
+    }
+
+    pub fn stream_id(&self) -> u64 {
+        self.stream_id
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.gen::<f64>()
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`; panics if `n == 0`.
+    #[inline]
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Standard-normal sample (Box–Muller; one value per call).
+    pub fn normal(&mut self) -> f64 {
+        // Rejection-free polar-form Box–Muller would cache a value; the
+        // simple form is plenty for mutation operators.
+        let u1: f64 = self.uniform().max(1e-300);
+        let u2: f64 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Uniformly distributed point on the unit sphere (Marsaglia).
+    pub fn unit_vector(&mut self) -> Vec3 {
+        loop {
+            let x = self.uniform_range(-1.0, 1.0);
+            let y = self.uniform_range(-1.0, 1.0);
+            let s = x * x + y * y;
+            if s < 1.0 && s > 1e-12 {
+                let f = 2.0 * (1.0 - s).sqrt();
+                return Vec3::new(x * f, y * f, 1.0 - 2.0 * s);
+            }
+        }
+    }
+
+    /// Uniformly distributed point inside the ball of radius `r`.
+    pub fn in_ball(&mut self, r: f64) -> Vec3 {
+        // Inverse-CDF radius: u^(1/3) is uniform-in-volume.
+        let dir = self.unit_vector();
+        dir * (r * self.uniform().cbrt())
+    }
+
+    /// Uniform random rotation (Shoemake's subgroup algorithm).
+    pub fn rotation(&mut self) -> Quat {
+        let u1 = self.uniform();
+        let u2 = self.uniform() * std::f64::consts::TAU;
+        let u3 = self.uniform() * std::f64::consts::TAU;
+        let a = (1.0 - u1).sqrt();
+        let b = u1.sqrt();
+        Quat::new(a * u2.sin(), a * u2.cos(), b * u3.sin(), b * u3.cos()).renormalize()
+    }
+
+    /// Small random rotation of at most `max_angle` radians — the rotational
+    /// component of a local-search move.
+    pub fn small_rotation(&mut self, max_angle: f64) -> Quat {
+        let axis = self.unit_vector();
+        let angle = self.uniform_range(-max_angle, max_angle);
+        Quat::from_axis_angle(axis, angle)
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.index(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// Sample `k` distinct indices from `[0, n)` (partial Fisher–Yates).
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} from {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl RngCore for RngStream {
+    fn next_u32(&mut self) -> u32 {
+        self.rng.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.rng.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.rng.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = RngStream::from_seed(42);
+        let mut b = RngStream::from_seed(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_streams_differ() {
+        let mut a = RngStream::derive(42, 0);
+        let mut b = RngStream::derive(42, 1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn child_streams_are_deterministic() {
+        let parent = RngStream::derive(7, 3);
+        let mut c1 = parent.child(5);
+        let mut c2 = parent.child(5);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut c3 = parent.child(6);
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = RngStream::from_seed(1);
+        for _ in 0..1000 {
+            let v = r.uniform();
+            assert!((0.0..1.0).contains(&v));
+            let w = r.uniform_range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_reasonable() {
+        let mut r = RngStream::from_seed(2);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| r.uniform()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn index_bounds() {
+        let mut r = RngStream::from_seed(3);
+        for _ in 0..1000 {
+            assert!(r.index(7) < 7);
+        }
+        assert_eq!(r.index(1), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_zero_panics() {
+        RngStream::from_seed(0).index(0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = RngStream::from_seed(4);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = RngStream::from_seed(5);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn unit_vector_is_unit() {
+        let mut r = RngStream::from_seed(6);
+        for _ in 0..100 {
+            let v = r.unit_vector();
+            assert!((v.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_vector_covers_octants() {
+        let mut r = RngStream::from_seed(7);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            let v = r.unit_vector();
+            let o = (v.x > 0.0) as usize | ((v.y > 0.0) as usize) << 1 | ((v.z > 0.0) as usize) << 2;
+            seen[o] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "octant coverage {seen:?}");
+    }
+
+    #[test]
+    fn in_ball_respects_radius() {
+        let mut r = RngStream::from_seed(8);
+        for _ in 0..500 {
+            assert!(r.in_ball(2.5).norm() <= 2.5 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn rotation_is_unit_quaternion() {
+        let mut r = RngStream::from_seed(9);
+        for _ in 0..100 {
+            assert!((r.rotation().norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn small_rotation_angle_bounded() {
+        let mut r = RngStream::from_seed(10);
+        for _ in 0..200 {
+            assert!(r.small_rotation(0.2).angle() <= 0.2 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = RngStream::from_seed(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left identity (vanishingly unlikely)");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = RngStream::from_seed(12);
+        let s = r.sample_indices(20, 8);
+        assert_eq!(s.len(), 8);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 8);
+        assert!(s.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn sample_all_indices() {
+        let mut r = RngStream::from_seed(13);
+        let mut s = r.sample_indices(5, 5);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,206 @@
+//! Streaming and batch statistics used by the benchmark harness and the
+//! warm-up performance-monitoring phase of the heterogeneous scheduler.
+
+use serde::{Deserialize, Serialize};
+
+/// Welford online mean/variance accumulator.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, o: &OnlineStats) {
+        if o.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = o.clone();
+            return;
+        }
+        let n = self.n + o.n;
+        let delta = o.mean - self.mean;
+        let mean = self.mean + delta * o.n as f64 / n as f64;
+        let m2 = self.m2 + o.m2 + delta * delta * (self.n as f64 * o.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+}
+
+/// Median of a slice (averages the two central elements for even lengths).
+/// Returns 0.0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Geometric mean of strictly positive values; 0.0 for an empty slice.
+/// Used to summarize speed-up ratios across experiments.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(1e-300).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn known_mean_and_variance() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!(approx_eq(s.mean(), 5.0, 1e-12));
+        assert!(approx_eq(s.variance(), 4.0, 1e-12));
+        assert!(approx_eq(s.stddev(), 2.0, 1e-12));
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64) * 0.37 - 5.0).collect();
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        xs[..33].iter().for_each(|&x| a.push(x));
+        xs[33..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+
+        assert_eq!(a.count(), whole.count());
+        assert!(approx_eq(a.mean(), whole.mean(), 1e-10));
+        assert!(approx_eq(a.variance(), whole.variance(), 1e-10));
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = OnlineStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.mean();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a.mean(), before);
+
+        let mut e = OnlineStats::new();
+        e.merge(&a);
+        assert_eq!(e.mean(), a.mean());
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[7.0]), 7.0);
+    }
+
+    #[test]
+    fn mean_and_geomean() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert!(approx_eq(geomean(&[1.0, 4.0]), 2.0, 1e-12));
+        assert!(approx_eq(geomean(&[2.0, 8.0]), 4.0, 1e-12));
+        assert_eq!(geomean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Rigid-body transforms (rotation followed by translation).
+
+use crate::{Quat, Vec3};
+use serde::{Deserialize, Serialize};
+use std::ops::Mul;
+
+/// A rigid transform `p ↦ R·p + t`, the pose representation for docking
+/// conformations: the ligand's local coordinates are rotated by `rotation`
+/// and then shifted by `translation` into receptor space.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RigidTransform {
+    pub rotation: Quat,
+    pub translation: Vec3,
+}
+
+impl RigidTransform {
+    pub const IDENTITY: RigidTransform =
+        RigidTransform { rotation: Quat::IDENTITY, translation: Vec3::ZERO };
+
+    #[inline]
+    pub const fn new(rotation: Quat, translation: Vec3) -> Self {
+        RigidTransform { rotation, translation }
+    }
+
+    /// Pure translation.
+    #[inline]
+    pub const fn from_translation(t: Vec3) -> Self {
+        RigidTransform { rotation: Quat::IDENTITY, translation: t }
+    }
+
+    /// Pure rotation about the origin.
+    #[inline]
+    pub const fn from_rotation(r: Quat) -> Self {
+        RigidTransform { rotation: r, translation: Vec3::ZERO }
+    }
+
+    /// Apply to a point.
+    #[inline]
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.rotation.rotate(p) + self.translation
+    }
+
+    /// Apply to a point slice, writing results into `out`.
+    ///
+    /// This is the batch form the scoring kernels use to materialize a
+    /// conformation's atom positions without per-atom allocation.
+    pub fn apply_all(&self, points: &[Vec3], out: &mut Vec<Vec3>) {
+        out.clear();
+        out.reserve(points.len());
+        out.extend(points.iter().map(|&p| self.apply(p)));
+    }
+
+    /// The inverse transform: `p ↦ R⁻¹·(p − t)`.
+    pub fn inverse(&self) -> RigidTransform {
+        let rinv = self.rotation.conjugate();
+        RigidTransform { rotation: rinv, translation: -rinv.rotate(self.translation) }
+    }
+
+    /// Renormalize the rotation component; call after long chains of
+    /// composition (e.g. many local-search steps) to cancel drift.
+    pub fn renormalized(&self) -> RigidTransform {
+        RigidTransform { rotation: self.rotation.renormalize(), translation: self.translation }
+    }
+
+    /// True when all components are finite.
+    pub fn is_finite(&self) -> bool {
+        self.rotation.is_finite() && self.translation.is_finite()
+    }
+}
+
+impl Mul for RigidTransform {
+    type Output = RigidTransform;
+    /// Composition: `(a * b).apply(p) == a.apply(b.apply(p))`.
+    fn mul(self, b: RigidTransform) -> RigidTransform {
+        RigidTransform {
+            rotation: self.rotation * b.rotation,
+            translation: self.rotation.rotate(b.translation) + self.translation,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn assert_vec_eq(a: Vec3, b: Vec3) {
+        assert!((a - b).max_abs_component() < 1e-9, "{a:?} != {b:?}");
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let p = Vec3::new(1.0, -2.0, 3.0);
+        assert_vec_eq(RigidTransform::IDENTITY.apply(p), p);
+    }
+
+    #[test]
+    fn translation_only() {
+        let t = RigidTransform::from_translation(Vec3::new(1.0, 2.0, 3.0));
+        assert_vec_eq(t.apply(Vec3::ZERO), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn rotation_then_translation_order() {
+        // p=X, rotate 90° about Z → Y, then translate by X → (1,1,0).
+        let tf = RigidTransform::new(
+            Quat::from_axis_angle(Vec3::Z, FRAC_PI_2),
+            Vec3::X,
+        );
+        assert_vec_eq(tf.apply(Vec3::X), Vec3::new(1.0, 1.0, 0.0));
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let tf = RigidTransform::new(
+            Quat::from_axis_angle(Vec3::new(1.0, 2.0, -0.5), 1.1),
+            Vec3::new(4.0, -3.0, 2.0),
+        );
+        let p = Vec3::new(0.3, 0.7, -1.9);
+        assert_vec_eq(tf.inverse().apply(tf.apply(p)), p);
+        assert_vec_eq(tf.apply(tf.inverse().apply(p)), p);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let a = RigidTransform::new(Quat::from_axis_angle(Vec3::X, 0.4), Vec3::new(1.0, 0.0, 0.0));
+        let b = Quat::from_axis_angle(Vec3::Y, -0.9);
+        let b = RigidTransform::new(b, Vec3::new(0.0, 2.0, 0.0));
+        let p = Vec3::new(0.5, 0.5, 0.5);
+        assert_vec_eq((a * b).apply(p), a.apply(b.apply(p)));
+    }
+
+    #[test]
+    fn apply_all_matches_apply() {
+        let tf = RigidTransform::new(Quat::from_axis_angle(Vec3::Z, 0.8), Vec3::new(1.0, 1.0, 1.0));
+        let pts = vec![Vec3::ZERO, Vec3::X, Vec3::new(1.0, 2.0, 3.0)];
+        let mut out = Vec::new();
+        tf.apply_all(&pts, &mut out);
+        assert_eq!(out.len(), pts.len());
+        for (p, q) in pts.iter().zip(&out) {
+            assert_vec_eq(tf.apply(*p), *q);
+        }
+    }
+
+    #[test]
+    fn apply_all_reuses_buffer() {
+        let tf = RigidTransform::IDENTITY;
+        let mut out = vec![Vec3::ZERO; 100];
+        tf.apply_all(&[Vec3::X], &mut out);
+        assert_eq!(out, vec![Vec3::X]);
+    }
+}

@@ -1,0 +1,335 @@
+//! 3-component double-precision vector.
+
+use serde::{Deserialize, Serialize};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-component vector of `f64`, used for atom coordinates, translations
+/// and directions throughout the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Vector with all three components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3::new(v, v, v)
+    }
+
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`. The scoring hot loops use the
+    /// squared form to avoid the `sqrt` until needed.
+    #[inline]
+    pub fn dist_sq(self, other: Vec3) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    #[inline]
+    pub fn dist(self, other: Vec3) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Unit vector in the direction of `self`.
+    ///
+    /// Returns `None` for (near-)zero vectors instead of producing NaNs.
+    #[inline]
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-12 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, other: Vec3, t: f64) -> Vec3 {
+        self + (other - self) * t
+    }
+
+    /// Largest absolute component, useful for tolerance checks.
+    #[inline]
+    pub fn max_abs_component(self) -> f64 {
+        self.x.abs().max(self.y.abs()).max(self.z.abs())
+    }
+
+    /// True when all components are finite (no NaN/inf).
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Arithmetic mean of a point set; `Vec3::ZERO` for an empty slice.
+    pub fn centroid(points: &[Vec3]) -> Vec3 {
+        if points.is_empty() {
+            return Vec3::ZERO;
+        }
+        points.iter().copied().sum::<Vec3>() / points.len() as f64
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        *self = *self * s;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        *self = *self / s;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, Add::add)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Vec3 {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    #[inline]
+    fn from(v: Vec3) -> [f64; 3] {
+        [v.x, v.y, v.z]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(a + b, Vec3::new(5.0, 7.0, 9.0));
+        assert_eq!(b - a, Vec3::new(3.0, 3.0, 3.0));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(2.0 * a, a * 2.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Vec3::new(1.0, 1.0, 1.0);
+        v += Vec3::X;
+        v -= Vec3::Y;
+        v *= 3.0;
+        v /= 2.0;
+        assert_eq!(v, Vec3::new(3.0, 0.0, 1.5));
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        assert_eq!(Vec3::Z.cross(Vec3::X), Vec3::Y);
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(a.dot(a), a.norm_sq());
+    }
+
+    #[test]
+    fn norms_and_distance() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert!(approx_eq(v.norm(), 5.0, 1e-12));
+        assert!(approx_eq(v.dist(Vec3::ZERO), 5.0, 1e-12));
+        assert!(approx_eq(v.dist_sq(Vec3::ZERO), 25.0, 1e-12));
+    }
+
+    #[test]
+    fn normalized_unit_and_zero() {
+        let v = Vec3::new(0.0, 0.0, 2.0);
+        assert_eq!(v.normalized(), Some(Vec3::Z));
+        assert_eq!(Vec3::ZERO.normalized(), None);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::ZERO;
+        let b = Vec3::new(2.0, 4.0, 6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn centroid_of_points() {
+        let pts = [Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 0.0, 2.0)];
+        assert_eq!(Vec3::centroid(&pts), Vec3::splat(0.5));
+        assert_eq!(Vec3::centroid(&[]), Vec3::ZERO);
+    }
+
+    #[test]
+    fn component_min_max_and_index() {
+        let a = Vec3::new(1.0, 5.0, -3.0);
+        let b = Vec3::new(2.0, 4.0, -1.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 4.0, -3.0));
+        assert_eq!(a.max(b), Vec3::new(2.0, 5.0, -1.0));
+        assert_eq!(a[0], 1.0);
+        assert_eq!(a[1], 5.0);
+        assert_eq!(a[2], -3.0);
+        assert_eq!(a.max_abs_component(), 5.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn index_out_of_range_panics() {
+        let _ = Vec3::ZERO[3];
+    }
+
+    #[test]
+    fn array_conversions_roundtrip() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let a: [f64; 3] = v.into();
+        assert_eq!(Vec3::from(a), v);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Vec3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Vec3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Vec3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let vs = vec![Vec3::X, Vec3::Y, Vec3::Z];
+        assert_eq!(vs.into_iter().sum::<Vec3>(), Vec3::splat(1.0));
+    }
+}

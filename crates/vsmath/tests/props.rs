@@ -1,0 +1,106 @@
+//! Property-based tests for the math substrate.
+
+use proptest::prelude::*;
+use vsmath::{approx_eq, Histogram, Mat3, OnlineStats, Quat, RngStream, Vec3};
+
+fn arb_vec3(r: f64) -> impl Strategy<Value = Vec3> {
+    (-r..r, -r..r, -r..r).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_quat() -> impl Strategy<Value = Quat> {
+    (arb_vec3(1.0), -3.0..3.0f64).prop_map(|(a, ang)| {
+        Quat::from_axis_angle(if a.norm() < 1e-6 { Vec3::Y } else { a }, ang)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn cross_product_is_orthogonal(a in arb_vec3(50.0), b in arb_vec3(50.0)) {
+        let c = a.cross(b);
+        prop_assert!(c.dot(a).abs() < 1e-6 * a.norm() * b.norm() + 1e-9);
+        prop_assert!(c.dot(b).abs() < 1e-6 * a.norm() * b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_vec3(50.0), b in arb_vec3(50.0)) {
+        prop_assert!((a + b).norm() <= a.norm() + b.norm() + 1e-9);
+    }
+
+    #[test]
+    fn lerp_stays_on_segment(a in arb_vec3(10.0), b in arb_vec3(10.0), t in 0.0..1.0f64) {
+        let p = a.lerp(b, t);
+        prop_assert!(p.dist(a) + p.dist(b) <= a.dist(b) + 1e-9);
+    }
+
+    #[test]
+    fn quat_mat_roundtrip(q in arb_quat()) {
+        let back = Mat3::from_quat(q).to_quat();
+        prop_assert!(q.angle_to(back) < 1e-8);
+    }
+
+    #[test]
+    fn slerp_angle_interpolates_monotonically(a in arb_quat(), b in arb_quat()) {
+        let total = a.angle_to(b);
+        let quarter = a.angle_to(a.slerp(b, 0.25));
+        let half = a.angle_to(a.slerp(b, 0.5));
+        prop_assert!(quarter <= half + 1e-9);
+        prop_assert!(half <= total + 1e-9);
+    }
+
+    #[test]
+    fn histogram_conserves_count(
+        xs in proptest::collection::vec(-1e3..1e3f64, 1..200),
+        bins in 1usize..32,
+    ) {
+        let h = Histogram::auto(&xs, bins).unwrap();
+        prop_assert_eq!(h.total() as usize, xs.len());
+    }
+
+    #[test]
+    fn online_stats_merge_any_split(
+        xs in proptest::collection::vec(-1e3..1e3f64, 2..100),
+        cut_frac in 0.0..1.0f64,
+    ) {
+        let cut = ((xs.len() as f64 * cut_frac) as usize).min(xs.len());
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.push(x));
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        xs[..cut].iter().for_each(|&x| a.push(x));
+        xs[cut..].iter().for_each(|&x| b.push(x));
+        a.merge(&b);
+        prop_assert!(approx_eq(a.mean(), whole.mean(), 1e-9));
+        prop_assert!(approx_eq(a.variance().max(1e-12), whole.variance().max(1e-12), 1e-6));
+    }
+
+    #[test]
+    fn rng_in_ball_radius_respected(seed in any::<u64>(), r in 0.001..100.0f64) {
+        let mut rng = RngStream::from_seed(seed);
+        for _ in 0..8 {
+            prop_assert!(rng.in_ball(r).norm() <= r + 1e-9);
+        }
+    }
+
+    #[test]
+    fn rng_sample_indices_distinct(seed in any::<u64>(), n in 1usize..50, frac in 0.0..1.0f64) {
+        let k = ((n as f64 * frac) as usize).min(n);
+        let mut rng = RngStream::from_seed(seed);
+        let mut s = rng.sample_indices(n, k);
+        s.sort_unstable();
+        let len_before = s.len();
+        s.dedup();
+        prop_assert_eq!(s.len(), len_before);
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn mat3_determinant_multiplicative(q1 in arb_quat(), q2 in arb_quat(), s in 0.1..3.0f64) {
+        let a = Mat3::from_quat(q1).scale(s);
+        let b = Mat3::from_quat(q2);
+        let lhs = (a * b).determinant();
+        let rhs = a.determinant() * b.determinant();
+        prop_assert!(approx_eq(lhs, rhs, 1e-8));
+    }
+}

@@ -1,0 +1,59 @@
+//! Atoms: position + element + partial charge.
+
+use crate::Element;
+use serde::{Deserialize, Serialize};
+use vsmath::Vec3;
+
+/// A single atom. Partial charges drive the Coulomb term of the extended
+/// scoring function; the paper's baseline scoring uses only Lennard-Jones,
+/// for which `element` alone suffices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    pub position: Vec3,
+    pub element: Element,
+    /// Partial charge in elementary-charge units.
+    pub charge: f64,
+}
+
+impl Atom {
+    pub fn new(position: Vec3, element: Element) -> Atom {
+        Atom { position, element, charge: 0.0 }
+    }
+
+    pub fn with_charge(position: Vec3, element: Element, charge: f64) -> Atom {
+        Atom { position, element, charge }
+    }
+
+    /// The atom translated by `delta`.
+    pub fn translated(mut self, delta: Vec3) -> Atom {
+        self.position += delta;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_atom_is_neutral() {
+        let a = Atom::new(Vec3::X, Element::C);
+        assert_eq!(a.charge, 0.0);
+        assert_eq!(a.element, Element::C);
+        assert_eq!(a.position, Vec3::X);
+    }
+
+    #[test]
+    fn with_charge_sets_charge() {
+        let a = Atom::with_charge(Vec3::ZERO, Element::O, -0.4);
+        assert_eq!(a.charge, -0.4);
+    }
+
+    #[test]
+    fn translated_moves_position_only() {
+        let a = Atom::with_charge(Vec3::X, Element::N, 0.2).translated(Vec3::Y);
+        assert_eq!(a.position, Vec3::new(1.0, 1.0, 0.0));
+        assert_eq!(a.element, Element::N);
+        assert_eq!(a.charge, 0.2);
+    }
+}

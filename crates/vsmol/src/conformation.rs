@@ -1,0 +1,191 @@
+//! Docking conformations — the individuals of the metaheuristic populations.
+//!
+//! "The computation places copies of the same ligand at each of those spots.
+//! These copies (a.k.a. individual or conformation) are different from each
+//! other as they have a different position and orientation with respect to
+//! each spot." (§3.1)
+
+use crate::Spot;
+use serde::{Deserialize, Serialize};
+use vsmath::{RigidTransform, RngStream};
+
+/// A rigid ligand pose anchored at a surface spot, with its cached score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Conformation {
+    /// Pose mapping the centered ligand's local frame into receptor space.
+    pub pose: RigidTransform,
+    /// The spot this conformation belongs to.
+    pub spot_id: usize,
+    /// Scoring-function value (lower is better); `NAN` until evaluated.
+    pub score: f64,
+}
+
+impl Conformation {
+    /// Unevaluated conformation.
+    pub fn new(pose: RigidTransform, spot_id: usize) -> Conformation {
+        Conformation { pose, spot_id, score: f64::NAN }
+    }
+
+    /// Whether the scoring function has been evaluated for this pose.
+    pub fn is_scored(&self) -> bool {
+        !self.score.is_nan()
+    }
+
+    /// Random conformation in a spot's search region: translation uniform in
+    /// the spot ball, orientation uniform over SO(3).
+    pub fn random_at(spot: &Spot, rng: &mut RngStream) -> Conformation {
+        let t = spot.center + rng.in_ball(spot.radius);
+        Conformation::new(RigidTransform::new(rng.rotation(), t), spot.id)
+    }
+
+    /// Local-search move: perturb position by at most `max_shift` Å and
+    /// orientation by at most `max_angle` radians ("moving, translating
+    /// and/or rotating with respect to each spot", §3.1).
+    pub fn perturbed(&self, max_shift: f64, max_angle: f64, rng: &mut RngStream) -> Conformation {
+        let dq = rng.small_rotation(max_angle);
+        let dt = rng.in_ball(max_shift);
+        Conformation::new(
+            RigidTransform::new(
+                (dq * self.pose.rotation).renormalize(),
+                self.pose.translation + dt,
+            ),
+            self.spot_id,
+        )
+    }
+
+    /// Recombine two parent poses: translation is a random convex blend,
+    /// orientation a slerp at the same blend factor. Used by the combine
+    /// step of the population metaheuristics.
+    pub fn crossover(a: &Conformation, b: &Conformation, rng: &mut RngStream) -> Conformation {
+        debug_assert_eq!(a.spot_id, b.spot_id, "crossover across spots");
+        let t = rng.uniform();
+        Conformation::new(
+            RigidTransform::new(
+                a.pose.rotation.slerp(b.pose.rotation, t),
+                a.pose.translation.lerp(b.pose.translation, t),
+            ),
+            a.spot_id,
+        )
+    }
+
+    /// Clamp the translation back inside the spot ball; keeps local search
+    /// from drifting away from the region this spot owns.
+    pub fn clamped_to(&self, spot: &Spot) -> Conformation {
+        let d = self.pose.translation - spot.center;
+        let n = d.norm();
+        if n <= spot.radius {
+            *self
+        } else {
+            Conformation::new(
+                RigidTransform::new(self.pose.rotation, spot.center + d * (spot.radius / n)),
+                self.spot_id,
+            )
+        }
+    }
+
+    /// Distance between two conformations' translations.
+    pub fn translation_distance(&self, o: &Conformation) -> f64 {
+        self.pose.translation.dist(o.pose.translation)
+    }
+
+    /// Geodesic angle between two conformations' orientations (radians).
+    pub fn rotation_distance(&self, o: &Conformation) -> f64 {
+        self.pose.rotation.angle_to(o.pose.rotation)
+    }
+}
+
+/// Order conformations by score, unevaluated (NaN) last.
+pub fn score_cmp(a: &Conformation, b: &Conformation) -> std::cmp::Ordering {
+    match (a.score.is_nan(), b.score.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.score.partial_cmp(&b.score).unwrap(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsmath::Vec3;
+
+    fn spot() -> Spot {
+        Spot { id: 3, center: Vec3::new(10.0, 0.0, 0.0), normal: Vec3::X, radius: 5.0, anchor_atom: 0 }
+    }
+
+    #[test]
+    fn new_is_unscored() {
+        let c = Conformation::new(RigidTransform::IDENTITY, 0);
+        assert!(!c.is_scored());
+        let mut d = c;
+        d.score = -1.5;
+        assert!(d.is_scored());
+    }
+
+    #[test]
+    fn random_at_inside_spot() {
+        let s = spot();
+        let mut rng = RngStream::from_seed(5);
+        for _ in 0..200 {
+            let c = Conformation::random_at(&s, &mut rng);
+            assert_eq!(c.spot_id, 3);
+            assert!(c.pose.translation.dist(s.center) <= s.radius + 1e-9);
+            assert!((c.pose.rotation.norm() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perturbed_stays_within_bounds() {
+        let s = spot();
+        let mut rng = RngStream::from_seed(6);
+        let c = Conformation::random_at(&s, &mut rng);
+        for _ in 0..100 {
+            let p = c.perturbed(0.5, 0.1, &mut rng);
+            assert!(c.translation_distance(&p) <= 0.5 + 1e-9);
+            assert!(c.rotation_distance(&p) <= 0.1 + 1e-9);
+            assert_eq!(p.spot_id, c.spot_id);
+            assert!(!p.is_scored(), "perturbed pose must be re-scored");
+        }
+    }
+
+    #[test]
+    fn crossover_blends_translation() {
+        let mut rng = RngStream::from_seed(7);
+        let a = Conformation::new(RigidTransform::from_translation(Vec3::ZERO), 1);
+        let b = Conformation::new(RigidTransform::from_translation(Vec3::new(4.0, 0.0, 0.0)), 1);
+        for _ in 0..50 {
+            let c = Conformation::crossover(&a, &b, &mut rng);
+            assert!(c.pose.translation.x >= -1e-9 && c.pose.translation.x <= 4.0 + 1e-9);
+            assert!(c.pose.translation.y.abs() < 1e-9);
+            assert_eq!(c.spot_id, 1);
+        }
+    }
+
+    #[test]
+    fn clamp_pulls_back_into_ball() {
+        let s = spot();
+        let outside =
+            Conformation::new(RigidTransform::from_translation(Vec3::new(100.0, 0.0, 0.0)), 3);
+        let clamped = outside.clamped_to(&s);
+        assert!((clamped.pose.translation.dist(s.center) - s.radius).abs() < 1e-9);
+        // Already-inside poses are untouched.
+        let inside =
+            Conformation::new(RigidTransform::from_translation(Vec3::new(11.0, 0.0, 0.0)), 3);
+        // Compare pose fields: whole-struct equality would fail on NaN score.
+        assert_eq!(inside.clamped_to(&s).pose, inside.pose);
+    }
+
+    #[test]
+    fn score_ordering_puts_nan_last() {
+        let mut a = Conformation::new(RigidTransform::IDENTITY, 0);
+        a.score = -2.0;
+        let mut b = a;
+        b.score = 1.0;
+        let c = Conformation::new(RigidTransform::IDENTITY, 0); // NaN
+        let mut v = vec![c, b, a];
+        v.sort_by(score_cmp);
+        assert_eq!(v[0].score, -2.0);
+        assert_eq!(v[1].score, 1.0);
+        assert!(v[2].score.is_nan());
+    }
+}

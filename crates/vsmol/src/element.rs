@@ -1,0 +1,211 @@
+//! Chemical elements relevant to protein–ligand systems.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The element set covering protein receptors and drug-like ligands.
+///
+/// `Other` is a catch-all for exotic HETATM species in real PDB files; it
+/// carries carbon-like force-field parameters so screening still proceeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Element {
+    H,
+    C,
+    N,
+    O,
+    S,
+    P,
+    F,
+    Cl,
+    Br,
+    I,
+    /// Metals and anything else (Zn, Fe, Mg, ...).
+    Other,
+}
+
+impl Element {
+    /// All distinct variants, in a fixed order (used to index parameter tables).
+    pub const ALL: [Element; 11] = [
+        Element::H,
+        Element::C,
+        Element::N,
+        Element::O,
+        Element::S,
+        Element::P,
+        Element::F,
+        Element::Cl,
+        Element::Br,
+        Element::I,
+        Element::Other,
+    ];
+
+    /// Dense index into per-element tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Element::H => 0,
+            Element::C => 1,
+            Element::N => 2,
+            Element::O => 3,
+            Element::S => 4,
+            Element::P => 5,
+            Element::F => 6,
+            Element::Cl => 7,
+            Element::Br => 8,
+            Element::I => 9,
+            Element::Other => 10,
+        }
+    }
+
+    pub const COUNT: usize = 11;
+
+    /// Parse a PDB element symbol (case-insensitive, trimmed).
+    pub fn from_symbol(sym: &str) -> Element {
+        match sym.trim().to_ascii_uppercase().as_str() {
+            "H" | "D" => Element::H,
+            "C" => Element::C,
+            "N" => Element::N,
+            "O" => Element::O,
+            "S" => Element::S,
+            "P" => Element::P,
+            "F" => Element::F,
+            "CL" => Element::Cl,
+            "BR" => Element::Br,
+            "I" => Element::I,
+            _ => Element::Other,
+        }
+    }
+
+    /// Canonical symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::S => "S",
+            Element::P => "P",
+            Element::F => "F",
+            Element::Cl => "Cl",
+            Element::Br => "Br",
+            Element::I => "I",
+            Element::Other => "X",
+        }
+    }
+
+    /// Van der Waals radius in Å (Bondi radii; `Other` uses a metal-ish value).
+    pub fn vdw_radius(self) -> f64 {
+        match self {
+            Element::H => 1.20,
+            Element::C => 1.70,
+            Element::N => 1.55,
+            Element::O => 1.52,
+            Element::S => 1.80,
+            Element::P => 1.80,
+            Element::F => 1.47,
+            Element::Cl => 1.75,
+            Element::Br => 1.85,
+            Element::I => 1.98,
+            Element::Other => 1.60,
+        }
+    }
+
+    /// Atomic mass in Dalton (rounded standard weights).
+    pub fn mass(self) -> f64 {
+        match self {
+            Element::H => 1.008,
+            Element::C => 12.011,
+            Element::N => 14.007,
+            Element::O => 15.999,
+            Element::S => 32.06,
+            Element::P => 30.974,
+            Element::F => 18.998,
+            Element::Cl => 35.45,
+            Element::Br => 79.904,
+            Element::I => 126.904,
+            Element::Other => 55.85, // iron-like default
+        }
+    }
+
+    /// Whether this element type anchors a binding spot in the BINDSURF-style
+    /// surface search. The paper identifies spots "by finding out a specific
+    /// type of atoms in the protein"; polar heteroatoms (N, O, S) are the
+    /// natural choice since they mediate hydrogen bonding.
+    pub fn is_spot_anchor(self) -> bool {
+        matches!(self, Element::N | Element::O | Element::S)
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; Element::COUNT];
+        for e in Element::ALL {
+            assert!(!seen[e.index()], "duplicate index for {e}");
+            seen[e.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn symbol_roundtrip() {
+        for e in Element::ALL {
+            if e != Element::Other {
+                assert_eq!(Element::from_symbol(e.symbol()), e);
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_parsing_flexibility() {
+        assert_eq!(Element::from_symbol(" c "), Element::C);
+        assert_eq!(Element::from_symbol("cl"), Element::Cl);
+        assert_eq!(Element::from_symbol("CL"), Element::Cl);
+        assert_eq!(Element::from_symbol("ZN"), Element::Other);
+        assert_eq!(Element::from_symbol("D"), Element::H); // deuterium
+        assert_eq!(Element::from_symbol(""), Element::Other);
+    }
+
+    #[test]
+    fn radii_are_physical() {
+        for e in Element::ALL {
+            let r = e.vdw_radius();
+            assert!((1.0..2.5).contains(&r), "{e}: {r}");
+        }
+        // Hydrogen is the smallest.
+        assert!(Element::ALL.iter().all(|e| e.vdw_radius() >= Element::H.vdw_radius()));
+    }
+
+    #[test]
+    fn masses_positive_and_ordered() {
+        assert!(Element::H.mass() < Element::C.mass());
+        assert!(Element::C.mass() < Element::S.mass());
+        for e in Element::ALL {
+            assert!(e.mass() > 0.0);
+        }
+    }
+
+    #[test]
+    fn spot_anchors_are_polar_heteroatoms() {
+        assert!(Element::N.is_spot_anchor());
+        assert!(Element::O.is_spot_anchor());
+        assert!(Element::S.is_spot_anchor());
+        assert!(!Element::C.is_spot_anchor());
+        assert!(!Element::H.is_spot_anchor());
+    }
+
+    #[test]
+    fn display_matches_symbol() {
+        assert_eq!(Element::Cl.to_string(), "Cl");
+        assert_eq!(Element::Other.to_string(), "X");
+    }
+}

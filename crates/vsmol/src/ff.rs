@@ -1,0 +1,210 @@
+//! Force-field parameters for the non-bonded potentials.
+//!
+//! The paper's scoring function is based on the Lennard-Jones potential
+//! (§3.1); the LJ well depth ε and collision diameter σ are tabulated per
+//! element and combined per atom pair with Lorentz–Berthelot rules:
+//! `σ_ij = (σ_i + σ_j)/2`, `ε_ij = sqrt(ε_i ε_j)`. The pair table is
+//! precomputed and flattened so the scoring hot loop is two loads and a
+//! handful of FLOPs per pair.
+
+use crate::Element;
+use serde::{Deserialize, Serialize};
+
+/// Lennard-Jones parameters for one atom pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LjParams {
+    /// Collision diameter σ in Å (potential crosses zero at r = σ).
+    pub sigma: f64,
+    /// Well depth ε in kcal/mol.
+    pub epsilon: f64,
+}
+
+impl LjParams {
+    /// Per-element parameters (OPLS-like magnitudes: σ in Å, ε in kcal/mol).
+    pub fn of(e: Element) -> LjParams {
+        let (sigma, epsilon) = match e {
+            Element::H => (2.50, 0.030),
+            Element::C => (3.40, 0.086),
+            Element::N => (3.25, 0.170),
+            Element::O => (3.00, 0.210),
+            Element::S => (3.55, 0.250),
+            Element::P => (3.74, 0.200),
+            Element::F => (2.95, 0.061),
+            Element::Cl => (3.52, 0.276),
+            Element::Br => (3.73, 0.389),
+            Element::I => (3.96, 0.550),
+            Element::Other => (3.40, 0.100),
+        };
+        LjParams { sigma, epsilon }
+    }
+
+    /// Lorentz–Berthelot combination of two single-element parameter sets.
+    pub fn combine(a: LjParams, b: LjParams) -> LjParams {
+        LjParams {
+            sigma: 0.5 * (a.sigma + b.sigma),
+            epsilon: (a.epsilon * b.epsilon).sqrt(),
+        }
+    }
+
+    /// The pair energy `4ε[(σ/r)¹² − (σ/r)⁶]` at squared distance `r²`.
+    ///
+    /// Kept on the params struct for tests and references; the batch kernels
+    /// in `vsscore` inline the same math over flattened tables.
+    #[inline]
+    pub fn energy_at_sq(self, r_sq: f64) -> f64 {
+        let s2 = self.sigma * self.sigma / r_sq;
+        let s6 = s2 * s2 * s2;
+        4.0 * self.epsilon * (s6 * s6 - s6)
+    }
+}
+
+/// Precomputed all-pairs LJ table, indexed by `Element::index()` pairs.
+///
+/// Stores `(sigma², 4ε)` so the kernel computes `s6 = (σ²/r²)³` directly
+/// from squared distances without any square roots.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LjTable {
+    /// `sigma_sq[i * COUNT + j]`
+    sigma_sq: Vec<f64>,
+    /// `four_eps[i * COUNT + j]`
+    four_eps: Vec<f64>,
+}
+
+impl LjTable {
+    pub fn standard() -> LjTable {
+        let n = Element::COUNT;
+        let mut sigma_sq = vec![0.0; n * n];
+        let mut four_eps = vec![0.0; n * n];
+        for a in Element::ALL {
+            for b in Element::ALL {
+                let p = LjParams::combine(LjParams::of(a), LjParams::of(b));
+                let k = a.index() * n + b.index();
+                sigma_sq[k] = p.sigma * p.sigma;
+                four_eps[k] = 4.0 * p.epsilon;
+            }
+        }
+        LjTable { sigma_sq, four_eps }
+    }
+
+    /// `(σ², 4ε)` for an element pair.
+    #[inline]
+    pub fn pair(&self, a: Element, b: Element) -> (f64, f64) {
+        let k = a.index() * Element::COUNT + b.index();
+        (self.sigma_sq[k], self.four_eps[k])
+    }
+
+    /// Raw rows for the flattened kernels: `(σ², 4ε)` slices of length
+    /// `Element::COUNT` for a fixed first element.
+    #[inline]
+    pub fn row(&self, a: Element) -> (&[f64], &[f64]) {
+        let n = Element::COUNT;
+        let s = a.index() * n;
+        (&self.sigma_sq[s..s + n], &self.four_eps[s..s + n])
+    }
+
+    /// LJ pair energy at squared distance `r_sq`.
+    #[inline]
+    pub fn energy(&self, a: Element, b: Element, r_sq: f64) -> f64 {
+        let (s2, e4) = self.pair(a, b);
+        let q = s2 / r_sq;
+        let s6 = q * q * q;
+        e4 * (s6 * s6 - s6)
+    }
+}
+
+impl Default for LjTable {
+    fn default() -> Self {
+        LjTable::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsmath::approx_eq;
+
+    #[test]
+    fn energy_zero_at_sigma() {
+        let p = LjParams::of(Element::C);
+        let e = p.energy_at_sq(p.sigma * p.sigma);
+        assert!(e.abs() < 1e-12, "LJ must vanish at r = sigma, got {e}");
+    }
+
+    #[test]
+    fn minimum_at_r_min() {
+        // LJ minimum is at r = 2^(1/6) σ with energy exactly -ε.
+        let p = LjParams::of(Element::O);
+        let r_min = 2f64.powf(1.0 / 6.0) * p.sigma;
+        let e = p.energy_at_sq(r_min * r_min);
+        assert!(approx_eq(e, -p.epsilon, 1e-12), "{e} vs {}", -p.epsilon);
+        // Slightly off the minimum is higher energy.
+        assert!(p.energy_at_sq((r_min * 1.05).powi(2)) > e);
+        assert!(p.energy_at_sq((r_min * 0.95).powi(2)) > e);
+    }
+
+    #[test]
+    fn strongly_repulsive_at_short_range() {
+        let p = LjParams::of(Element::C);
+        assert!(p.energy_at_sq((0.5 * p.sigma).powi(2)) > 100.0 * p.epsilon);
+    }
+
+    #[test]
+    fn attractive_tail_decays() {
+        let p = LjParams::of(Element::N);
+        let e1 = p.energy_at_sq((2.0 * p.sigma).powi(2));
+        let e2 = p.energy_at_sq((4.0 * p.sigma).powi(2));
+        assert!(e1 < 0.0 && e2 < 0.0);
+        assert!(e2 > e1, "tail must decay toward zero: {e1} -> {e2}");
+    }
+
+    #[test]
+    fn combine_is_symmetric() {
+        let a = LjParams::of(Element::C);
+        let b = LjParams::of(Element::O);
+        let ab = LjParams::combine(a, b);
+        let ba = LjParams::combine(b, a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn combine_identical_is_identity() {
+        let a = LjParams::of(Element::S);
+        let aa = LjParams::combine(a, a);
+        assert!(approx_eq(aa.sigma, a.sigma, 1e-15));
+        assert!(approx_eq(aa.epsilon, a.epsilon, 1e-15));
+    }
+
+    #[test]
+    fn table_matches_params() {
+        let t = LjTable::standard();
+        for a in Element::ALL {
+            for b in Element::ALL {
+                let p = LjParams::combine(LjParams::of(a), LjParams::of(b));
+                let r_sq = 10.0;
+                assert!(
+                    approx_eq(t.energy(a, b, r_sq), p.energy_at_sq(r_sq), 1e-12),
+                    "mismatch for {a}-{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_is_symmetric() {
+        let t = LjTable::standard();
+        for a in Element::ALL {
+            for b in Element::ALL {
+                assert_eq!(t.pair(a, b), t.pair(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn row_matches_pair() {
+        let t = LjTable::standard();
+        let (s2, e4) = t.row(Element::C);
+        for b in Element::ALL {
+            assert_eq!((s2[b.index()], e4[b.index()]), t.pair(Element::C, b));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # vsmol — molecular substrate
+//!
+//! Everything the virtual-screening engine needs to know about molecules:
+//!
+//! - [`element::Element`] and per-element force-field parameters ([`ff`]);
+//! - [`atom::Atom`] and [`molecule::Molecule`] (receptors and ligands);
+//! - a PDB-format reader/writer ([`pdb`]) for real Protein Data Bank files;
+//! - a deterministic synthetic structure generator ([`synth`]) reproducing
+//!   the paper's benchmark compounds (Table 5: 2BSM receptor 3264 atoms /
+//!   ligand 45 atoms; 2BXG receptor 8609 atoms / ligand 32 atoms) for
+//!   environments without the original crystal structures;
+//! - BINDSURF-style surface extraction and spot detection ([`surface`]):
+//!   the whole protein surface is divided into independent regions (spots),
+//!   each screened simultaneously;
+//! - docking [`conformation::Conformation`]s — rigid ligand poses anchored
+//!   at a spot, the *individuals* of the metaheuristic populations.
+
+pub mod atom;
+pub mod conformation;
+pub mod element;
+pub mod ff;
+pub mod molecule;
+pub mod pdb;
+pub mod rmsd;
+pub mod sdf;
+pub mod surface;
+pub mod synth;
+
+pub use atom::Atom;
+pub use conformation::Conformation;
+pub use element::Element;
+pub use ff::{LjParams, LjTable};
+pub use molecule::Molecule;
+pub use surface::{Spot, SurfaceOptions};
+pub use synth::Dataset;

@@ -1,0 +1,243 @@
+//! Molecules: named collections of atoms with geometric helpers.
+
+use crate::{Atom, Element};
+use serde::{Deserialize, Serialize};
+use vsmath::{Aabb, RigidTransform, Vec3};
+
+/// A molecule — receptor protein or small-molecule ligand.
+///
+/// Structure-of-arrays accessors ([`Molecule::positions`],
+/// [`Molecule::elements`]) feed the flattened scoring kernels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Molecule {
+    pub name: String,
+    atoms: Vec<Atom>,
+    // Cached SoA views, rebuilt on mutation.
+    positions: Vec<Vec3>,
+    elements: Vec<Element>,
+}
+
+impl Molecule {
+    pub fn new(name: impl Into<String>, atoms: Vec<Atom>) -> Molecule {
+        let positions = atoms.iter().map(|a| a.position).collect();
+        let elements = atoms.iter().map(|a| a.element).collect();
+        Molecule { name: name.into(), atoms, positions, elements }
+    }
+
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Atom positions as a dense slice (SoA view for kernels).
+    pub fn positions(&self) -> &[Vec3] {
+        &self.positions
+    }
+
+    /// Atom elements as a dense slice (SoA view for kernels).
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Partial charges as a freshly collected vector.
+    pub fn charges(&self) -> Vec<f64> {
+        self.atoms.iter().map(|a| a.charge).collect()
+    }
+
+    /// Unweighted geometric centroid.
+    pub fn centroid(&self) -> Vec3 {
+        Vec3::centroid(&self.positions)
+    }
+
+    /// Mass-weighted center of mass.
+    pub fn center_of_mass(&self) -> Vec3 {
+        if self.atoms.is_empty() {
+            return Vec3::ZERO;
+        }
+        let mut sum = Vec3::ZERO;
+        let mut total = 0.0;
+        for a in &self.atoms {
+            let m = a.element.mass();
+            sum += a.position * m;
+            total += m;
+        }
+        sum / total
+    }
+
+    /// Tight axis-aligned bounding box of the atom centers.
+    pub fn bounding_box(&self) -> Aabb {
+        Aabb::from_points(&self.positions)
+    }
+
+    /// Radius of gyration about the centroid (size measure used to pick
+    /// search-space extents per spot).
+    pub fn radius_of_gyration(&self) -> f64 {
+        if self.atoms.is_empty() {
+            return 0.0;
+        }
+        let c = self.centroid();
+        let msd: f64 =
+            self.positions.iter().map(|p| p.dist_sq(c)).sum::<f64>() / self.len() as f64;
+        msd.sqrt()
+    }
+
+    /// Radius of the smallest origin-centered sphere containing all atoms of
+    /// the *centered* molecule (max distance from centroid).
+    pub fn bounding_radius(&self) -> f64 {
+        let c = self.centroid();
+        self.positions.iter().map(|p| p.dist(c)).fold(0.0, f64::max)
+    }
+
+    /// A copy translated so the centroid sits at the origin. Ligands are
+    /// centered before screening so a conformation's translation is the
+    /// world-space position of the ligand center.
+    pub fn centered(&self) -> Molecule {
+        let c = self.centroid();
+        self.transformed(&RigidTransform::from_translation(-c))
+    }
+
+    /// A copy with `tf` applied to every atom position.
+    pub fn transformed(&self, tf: &RigidTransform) -> Molecule {
+        let atoms = self
+            .atoms
+            .iter()
+            .map(|a| Atom { position: tf.apply(a.position), ..*a })
+            .collect();
+        Molecule::new(self.name.clone(), atoms)
+    }
+
+    /// Count of atoms of a given element.
+    pub fn count_element(&self, e: Element) -> usize {
+        self.elements.iter().filter(|&&x| x == e).count()
+    }
+
+    /// A copy with all hydrogens removed — NMR/computed PDB structures
+    /// carry explicit hydrogens, but the scoring parameterization (like the
+    /// paper's, whose Table 5 counts are heavy atoms) is heavy-atom based.
+    pub fn without_hydrogens(&self) -> Molecule {
+        Molecule::new(
+            self.name.clone(),
+            self.atoms.iter().filter(|a| a.element != Element::H).copied().collect(),
+        )
+    }
+
+    /// Total charge.
+    pub fn total_charge(&self) -> f64 {
+        self.atoms.iter().map(|a| a.charge).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsmath::{approx_eq, Quat};
+
+    fn water() -> Molecule {
+        // Geometry is approximate; only topology matters for these tests.
+        Molecule::new(
+            "water",
+            vec![
+                Atom::with_charge(Vec3::ZERO, Element::O, -0.8),
+                Atom::with_charge(Vec3::new(0.96, 0.0, 0.0), Element::H, 0.4),
+                Atom::with_charge(Vec3::new(-0.24, 0.93, 0.0), Element::H, 0.4),
+            ],
+        )
+    }
+
+    #[test]
+    fn soa_views_match_atoms() {
+        let m = water();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.positions().len(), 3);
+        assert_eq!(m.elements(), &[Element::O, Element::H, Element::H]);
+        for (a, p) in m.atoms().iter().zip(m.positions()) {
+            assert_eq!(a.position, *p);
+        }
+    }
+
+    #[test]
+    fn centroid_and_com_differ_for_heterogeneous_molecule() {
+        let m = water();
+        let c = m.centroid();
+        let com = m.center_of_mass();
+        // COM is pulled toward the heavy oxygen at the origin.
+        assert!(com.norm() < c.norm());
+    }
+
+    #[test]
+    fn centered_molecule_has_zero_centroid() {
+        let m = water().centered();
+        assert!(m.centroid().norm() < 1e-12);
+    }
+
+    #[test]
+    fn empty_molecule_geometry() {
+        let m = Molecule::new("empty", vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.centroid(), Vec3::ZERO);
+        assert_eq!(m.center_of_mass(), Vec3::ZERO);
+        assert_eq!(m.radius_of_gyration(), 0.0);
+        assert_eq!(m.bounding_radius(), 0.0);
+    }
+
+    #[test]
+    fn transform_preserves_internal_distances() {
+        let m = water();
+        let tf = RigidTransform::new(
+            Quat::from_axis_angle(Vec3::new(1.0, 1.0, 0.2), 1.3),
+            Vec3::new(5.0, -2.0, 7.0),
+        );
+        let t = m.transformed(&tf);
+        for i in 0..m.len() {
+            for j in 0..m.len() {
+                assert!(approx_eq(
+                    m.positions()[i].dist(m.positions()[j]),
+                    t.positions()[i].dist(t.positions()[j]),
+                    1e-10
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn bounding_box_contains_all_atoms() {
+        let m = water();
+        let bb = m.bounding_box();
+        for p in m.positions() {
+            assert!(bb.contains(*p));
+        }
+    }
+
+    #[test]
+    fn gyration_le_bounding_radius() {
+        let m = water();
+        assert!(m.radius_of_gyration() <= m.bounding_radius() + 1e-12);
+    }
+
+    #[test]
+    fn hydrogen_stripping() {
+        let m = water();
+        let heavy = m.without_hydrogens();
+        assert_eq!(heavy.len(), 1);
+        assert_eq!(heavy.elements(), &[Element::O]);
+        assert_eq!(heavy.name, m.name);
+        // Idempotent.
+        assert_eq!(heavy.without_hydrogens().len(), 1);
+    }
+
+    #[test]
+    fn element_count_and_charge() {
+        let m = water();
+        assert_eq!(m.count_element(Element::H), 2);
+        assert_eq!(m.count_element(Element::O), 1);
+        assert_eq!(m.count_element(Element::C), 0);
+        assert!(approx_eq(m.total_charge(), 0.0, 1e-12));
+    }
+}

@@ -1,0 +1,443 @@
+//! Minimal PDB-format reader and writer.
+//!
+//! Supports the fixed-column `ATOM`/`HETATM` records needed to load real
+//! Protein Data Bank structures (the paper screens PDB:2BSM and PDB:2BXG)
+//! and to dump docked poses for visualization (Figure 1 analog). Everything
+//! else (`REMARK`, `TER`, `CONECT`, ...) is skipped on read.
+
+use crate::{Atom, Element, Molecule};
+use std::fmt::Write as _;
+use vsmath::Vec3;
+
+/// Errors from PDB parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdbError {
+    /// A coordinate field failed to parse as a float.
+    BadCoordinate { line_no: usize, field: &'static str },
+    /// An ATOM/HETATM line is too short to hold coordinates.
+    TruncatedRecord { line_no: usize },
+}
+
+impl std::fmt::Display for PdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdbError::BadCoordinate { line_no, field } => {
+                write!(f, "line {line_no}: bad {field} coordinate")
+            }
+            PdbError::TruncatedRecord { line_no } => {
+                write!(f, "line {line_no}: truncated ATOM/HETATM record")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PdbError {}
+
+fn slice_cols(line: &str, start: usize, end: usize) -> &str {
+    // PDB columns are 1-based inclusive; lines are ASCII so byte slicing is safe.
+    let bytes = line.as_bytes();
+    let s = (start - 1).min(bytes.len());
+    let e = end.min(bytes.len());
+    std::str::from_utf8(&bytes[s..e]).unwrap_or("").trim()
+}
+
+/// Parse PDB text into a molecule. Both `ATOM` and `HETATM` records are
+/// collected; the element is taken from columns 77–78 when present, falling
+/// back to the first letter of the atom name.
+pub fn parse(text: &str, name: impl Into<String>) -> Result<Molecule, PdbError> {
+    let mut atoms = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        if !(line.starts_with("ATOM") || line.starts_with("HETATM")) {
+            continue;
+        }
+        if line.len() < 54 {
+            return Err(PdbError::TruncatedRecord { line_no });
+        }
+        let x: f64 = slice_cols(line, 31, 38)
+            .parse()
+            .map_err(|_| PdbError::BadCoordinate { line_no, field: "x" })?;
+        let y: f64 = slice_cols(line, 39, 46)
+            .parse()
+            .map_err(|_| PdbError::BadCoordinate { line_no, field: "y" })?;
+        let z: f64 = slice_cols(line, 47, 54)
+            .parse()
+            .map_err(|_| PdbError::BadCoordinate { line_no, field: "z" })?;
+
+        let elem_field = slice_cols(line, 77, 78);
+        let element = if elem_field.is_empty() {
+            // Fall back to the first alphabetic character of the atom name.
+            let atom_name = slice_cols(line, 13, 16);
+            match atom_name.chars().find(|c| c.is_ascii_alphabetic()) {
+                Some(c) => Element::from_symbol(&c.to_string()),
+                None => Element::Other,
+            }
+        } else {
+            Element::from_symbol(elem_field)
+        };
+
+        atoms.push(Atom::new(Vec3::new(x, y, z), element));
+    }
+    Ok(Molecule::new(name, atoms))
+}
+
+/// One parsed `ATOM`/`HETATM` record with its residue/chain context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PdbRecord {
+    pub serial: u32,
+    pub atom_name: String,
+    pub res_name: String,
+    pub chain: char,
+    pub res_seq: i32,
+    pub atom: Atom,
+    /// True for `HETATM` records.
+    pub het: bool,
+}
+
+/// A fully parsed PDB structure, retaining residue and chain context so
+/// protein and ligand can be separated — how real 2BSM/2BXG files are
+/// prepared for screening.
+#[derive(Debug, Clone, Default)]
+pub struct PdbStructure {
+    pub name: String,
+    pub records: Vec<PdbRecord>,
+}
+
+/// Water residue names excluded from ligand extraction.
+const WATER_NAMES: [&str; 3] = ["HOH", "WAT", "DOD"];
+
+impl PdbStructure {
+    /// The receptor: all `ATOM` records as one molecule.
+    pub fn protein(&self) -> Molecule {
+        Molecule::new(
+            format!("{}-protein", self.name),
+            self.records.iter().filter(|r| !r.het).map(|r| r.atom).collect(),
+        )
+    }
+
+    /// Candidate ligands: `HETATM` records grouped by
+    /// (chain, residue number, residue name), with waters removed, largest
+    /// group first.
+    pub fn ligands(&self) -> Vec<Molecule> {
+        let mut groups: Vec<((char, i32, String), Vec<Atom>)> = Vec::new();
+        for r in self.records.iter().filter(|r| r.het) {
+            if WATER_NAMES.contains(&r.res_name.as_str()) {
+                continue;
+            }
+            let key = (r.chain, r.res_seq, r.res_name.clone());
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, atoms)) => atoms.push(r.atom),
+                None => groups.push((key, vec![r.atom])),
+            }
+        }
+        groups.sort_by_key(|(_, atoms)| std::cmp::Reverse(atoms.len()));
+        groups
+            .into_iter()
+            .map(|((chain, seq, res), atoms)| {
+                Molecule::new(format!("{}-{res}-{chain}{seq}", self.name), atoms)
+            })
+            .collect()
+    }
+
+    /// Distinct chain identifiers, in order of first appearance.
+    pub fn chains(&self) -> Vec<char> {
+        let mut out = Vec::new();
+        for r in &self.records {
+            if !out.contains(&r.chain) {
+                out.push(r.chain);
+            }
+        }
+        out
+    }
+
+    /// Number of distinct (chain, residue) pairs among `ATOM` records.
+    pub fn residue_count(&self) -> usize {
+        let mut seen: Vec<(char, i32)> = Vec::new();
+        for r in self.records.iter().filter(|r| !r.het) {
+            let key = (r.chain, r.res_seq);
+            if !seen.contains(&key) {
+                seen.push(key);
+            }
+        }
+        seen.len()
+    }
+}
+
+/// Parse PDB text keeping full residue/chain context.
+pub fn parse_structure(text: &str, name: impl Into<String>) -> Result<PdbStructure, PdbError> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let het = line.starts_with("HETATM");
+        if !(line.starts_with("ATOM") || het) {
+            continue;
+        }
+        if line.len() < 54 {
+            return Err(PdbError::TruncatedRecord { line_no });
+        }
+        let coord = |a: usize, b: usize, field: &'static str| -> Result<f64, PdbError> {
+            slice_cols(line, a, b)
+                .parse()
+                .map_err(|_| PdbError::BadCoordinate { line_no, field })
+        };
+        let x = coord(31, 38, "x")?;
+        let y = coord(39, 46, "y")?;
+        let z = coord(47, 54, "z")?;
+
+        let elem_field = slice_cols(line, 77, 78);
+        let atom_name = slice_cols(line, 13, 16).to_string();
+        let element = if elem_field.is_empty() {
+            match atom_name.chars().find(|c| c.is_ascii_alphabetic()) {
+                Some(c) => Element::from_symbol(&c.to_string()),
+                None => Element::Other,
+            }
+        } else {
+            Element::from_symbol(elem_field)
+        };
+
+        records.push(PdbRecord {
+            serial: slice_cols(line, 7, 11).parse().unwrap_or(0),
+            atom_name,
+            res_name: slice_cols(line, 18, 20).to_string(),
+            chain: line.as_bytes().get(21).map(|&b| b as char).unwrap_or(' '),
+            res_seq: slice_cols(line, 23, 26).parse().unwrap_or(0),
+            atom: Atom::new(Vec3::new(x, y, z), element),
+            het,
+        });
+    }
+    Ok(PdbStructure { name: name.into(), records })
+}
+
+/// Serialize a molecule as `HETATM` records plus `END`, suitable for pose
+/// dumps consumed by standard molecular viewers.
+pub fn write(mol: &Molecule) -> String {
+    let mut out = String::with_capacity(mol.len() * 82 + 16);
+    for (i, a) in mol.atoms().iter().enumerate() {
+        let serial = (i + 1) % 100_000;
+        let sym = a.element.symbol();
+        // Atom name = element symbol; residue LIG 1, chain A.
+        let _ = writeln!(
+            out,
+            "HETATM{serial:>5} {name:<4} {res:<3} {chain}{resseq:>4}    {x:>8.3}{y:>8.3}{z:>8.3}{occ:>6.2}{b:>6.2}          {el:>2}",
+            serial = serial,
+            name = sym,
+            res = "LIG",
+            chain = 'A',
+            resseq = 1,
+            x = a.position.x,
+            y = a.position.y,
+            z = a.position.z,
+            occ = 1.0,
+            b = 0.0,
+            el = sym.to_ascii_uppercase(),
+        );
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Serialize a receptor–ligand complex: the receptor as `ATOM` records
+/// (residue `REC`, chain A), the posed ligand as `HETATM` records (residue
+/// `LIG`, chain B), plus `TER`/`END` — one file a molecular viewer renders
+/// exactly like the paper's Figure 1.
+pub fn write_complex(receptor: &Molecule, posed_ligand: &Molecule) -> String {
+    let mut out = String::with_capacity((receptor.len() + posed_ligand.len()) * 82 + 32);
+    let mut serial = 0usize;
+    let mut record = |out: &mut String, kind: &str, a: &Atom, res: &str, chain: char| {
+        serial = (serial + 1) % 100_000;
+        let sym = a.element.symbol();
+        let _ = writeln!(
+            out,
+            "{kind:<6}{serial:>5} {name:<4} {res:<3} {chain}{resseq:>4}    {x:>8.3}{y:>8.3}{z:>8.3}{occ:>6.2}{b:>6.2}          {el:>2}",
+            serial = serial,
+            name = sym,
+            res = res,
+            chain = chain,
+            resseq = 1,
+            x = a.position.x,
+            y = a.position.y,
+            z = a.position.z,
+            occ = 1.0,
+            b = 0.0,
+            el = sym.to_ascii_uppercase(),
+        );
+    };
+    for a in receptor.atoms() {
+        record(&mut out, "ATOM", a, "REC", 'A');
+    }
+    out.push_str("TER\n");
+    for a in posed_ligand.atoms() {
+        record(&mut out, "HETATM", a, "LIG", 'B');
+    }
+    out.push_str("END\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+HEADER    TEST
+REMARK    a remark line
+ATOM      1  N   ALA A   1      11.104   6.134  -6.504  1.00  0.00           N
+ATOM      2  CA  ALA A   1      11.639   6.071  -5.147  1.00  0.00           C
+HETATM    3  O   HOH A   2       1.000   2.000   3.000  1.00  0.00           O
+TER
+END
+";
+
+    #[test]
+    fn parses_atom_and_hetatm() {
+        let m = parse(SAMPLE, "test").unwrap();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.elements(), &[Element::N, Element::C, Element::O]);
+        assert!((m.positions()[0].x - 11.104).abs() < 1e-9);
+        assert!((m.positions()[2].z - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn skips_non_atom_records() {
+        let m = parse("REMARK hi\nEND\n", "empty").unwrap();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn element_fallback_from_atom_name() {
+        // No element columns (line ends at coordinate field + occupancy).
+        let line = "ATOM      1  CA  ALA A   1      11.639   6.071  -5.147";
+        let m = parse(line, "fb").unwrap();
+        assert_eq!(m.elements(), &[Element::C]);
+    }
+
+    #[test]
+    fn negative_coordinates() {
+        let line = "ATOM      1  O   ALA A   1     -11.639  -6.071  -5.147  1.00  0.00           O";
+        let m = parse(line, "neg").unwrap();
+        assert_eq!(m.positions()[0], Vec3::new(-11.639, -6.071, -5.147));
+    }
+
+    #[test]
+    fn truncated_record_is_error() {
+        let err = parse("ATOM      1  N   ALA A   1      11.104", "t").unwrap_err();
+        assert_eq!(err, PdbError::TruncatedRecord { line_no: 1 });
+    }
+
+    #[test]
+    fn bad_coordinate_is_error() {
+        let line = "ATOM      1  N   ALA A   1      xx.xxx   6.134  -6.504  1.00  0.00           N";
+        let err = parse(line, "t").unwrap_err();
+        assert_eq!(err, PdbError::BadCoordinate { line_no: 1, field: "x" });
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let m = parse(SAMPLE, "orig").unwrap();
+        let text = write(&m);
+        let m2 = parse(&text, "rt").unwrap();
+        assert_eq!(m.len(), m2.len());
+        for (a, b) in m.atoms().iter().zip(m2.atoms()) {
+            assert_eq!(a.element, b.element);
+            assert!((a.position - b.position).max_abs_component() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn written_records_have_fixed_width_coords() {
+        let m = parse(SAMPLE, "w").unwrap();
+        for line in write(&m).lines() {
+            if line.starts_with("HETATM") {
+                assert!(line.len() >= 78, "short record: {line:?}");
+                // x field occupies columns 31-38.
+                let x = slice_cols(line, 31, 38);
+                assert!(x.parse::<f64>().is_ok(), "bad x field {x:?}");
+            }
+        }
+    }
+
+    const COMPLEX: &str = "\
+ATOM      1  N   ALA A   1      11.104   6.134  -6.504  1.00  0.00           N
+ATOM      2  CA  ALA A   1      11.639   6.071  -5.147  1.00  0.00           C
+ATOM      3  N   GLY A   2      12.000   7.000  -4.000  1.00  0.00           N
+ATOM      4  CA  GLY B   5      13.000   8.000  -3.000  1.00  0.00           C
+HETATM    5  C1  LIG A 100       1.000   2.000   3.000  1.00  0.00           C
+HETATM    6  O1  LIG A 100       2.000   2.000   3.000  1.00  0.00           O
+HETATM    7  O   HOH A 200       9.000   9.000   9.000  1.00  0.00           O
+HETATM    8  C1  FRG B 300       5.000   5.000   5.000  1.00  0.00           C
+END
+";
+
+    #[test]
+    fn structure_separates_protein_and_ligands() {
+        let s = parse_structure(COMPLEX, "test").unwrap();
+        assert_eq!(s.records.len(), 8);
+        let protein = s.protein();
+        assert_eq!(protein.len(), 4);
+        let ligands = s.ligands();
+        // Water excluded; LIG (2 atoms) before FRG (1 atom).
+        assert_eq!(ligands.len(), 2);
+        assert_eq!(ligands[0].len(), 2);
+        assert!(ligands[0].name.contains("LIG"));
+        assert_eq!(ligands[1].len(), 1);
+        assert!(ligands[1].name.contains("FRG"));
+    }
+
+    #[test]
+    fn structure_chains_and_residues() {
+        let s = parse_structure(COMPLEX, "test").unwrap();
+        assert_eq!(s.chains(), vec!['A', 'B']);
+        // ATOM residues: A1, A2, B5.
+        assert_eq!(s.residue_count(), 3);
+    }
+
+    #[test]
+    fn structure_record_fields() {
+        let s = parse_structure(COMPLEX, "test").unwrap();
+        let r = &s.records[0];
+        assert_eq!(r.serial, 1);
+        assert_eq!(r.atom_name, "N");
+        assert_eq!(r.res_name, "ALA");
+        assert_eq!(r.chain, 'A');
+        assert_eq!(r.res_seq, 1);
+        assert!(!r.het);
+        assert!(s.records[4].het);
+        assert_eq!(s.records[4].res_seq, 100);
+    }
+
+    #[test]
+    fn structure_parse_matches_flat_parse() {
+        let s = parse_structure(SAMPLE, "t").unwrap();
+        let flat = parse(SAMPLE, "t").unwrap();
+        assert_eq!(s.records.len(), flat.len());
+        for (r, a) in s.records.iter().zip(flat.atoms()) {
+            assert_eq!(r.atom.position, a.position);
+            assert_eq!(r.atom.element, a.element);
+        }
+    }
+
+    #[test]
+    fn complex_separates_chains_on_reparse() {
+        let rec = crate::synth::synth_receptor("r", 50, 1);
+        let lig = crate::synth::synth_ligand("l", 8, 2);
+        let text = write_complex(&rec, &lig);
+        let s = parse_structure(&text, "complex").unwrap();
+        assert_eq!(s.protein().len(), 50);
+        let ligands = s.ligands();
+        assert_eq!(ligands.len(), 1);
+        assert_eq!(ligands[0].len(), 8);
+        assert_eq!(s.chains(), vec!['A', 'B']);
+        assert!(text.contains("TER\n"));
+    }
+
+    #[test]
+    fn structure_errors_propagate() {
+        assert!(parse_structure("ATOM      1  N   ALA A   1      11.104", "t").is_err());
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PdbError::BadCoordinate { line_no: 3, field: "y" };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains('y'));
+    }
+}

@@ -1,0 +1,293 @@
+//! RMSD metrics and Kabsch superposition — the standard docking-pose
+//! comparison tools (AutoDock-family codes cluster results by ligand RMSD).
+
+use crate::{Conformation, Molecule};
+use vsmath::{Mat3, Quat, RigidTransform, Vec3};
+
+/// Root-mean-square deviation between two equal-length point sets, with no
+/// alignment (coordinates compared as-is).
+///
+/// # Panics
+/// Panics on length mismatch or empty input.
+pub fn rmsd(a: &[Vec3], b: &[Vec3]) -> f64 {
+    assert_eq!(a.len(), b.len(), "point sets must match");
+    assert!(!a.is_empty(), "empty point sets");
+    let msd: f64 =
+        a.iter().zip(b).map(|(p, q)| p.dist_sq(*q)).sum::<f64>() / a.len() as f64;
+    msd.sqrt()
+}
+
+/// RMSD between the ligand poses of two conformations: the centered ligand
+/// coordinates are placed by each pose and compared atom-by-atom. This is
+/// the metric pose clustering uses.
+pub fn pose_rmsd(ligand: &Molecule, a: &Conformation, b: &Conformation) -> f64 {
+    let local = ligand.centered();
+    let pa: Vec<Vec3> = local.positions().iter().map(|&p| a.pose.apply(p)).collect();
+    let pb: Vec<Vec3> = local.positions().iter().map(|&p| b.pose.apply(p)).collect();
+    rmsd(&pa, &pb)
+}
+
+/// Kabsch superposition: the rigid transform minimizing the RMSD of
+/// `mobile` onto `target`, plus the residual RMSD after alignment.
+///
+/// Uses the quaternion eigen formulation (Horn): builds the 3×3 covariance,
+/// promotes it to the Davenport K-matrix... here implemented via the
+/// classic covariance-SVD route using the symmetric eigen-solver on
+/// `HᵀH`, with the proper-rotation (det = +1) correction.
+pub fn kabsch(mobile: &[Vec3], target: &[Vec3]) -> (RigidTransform, f64) {
+    assert_eq!(mobile.len(), target.len(), "point sets must match");
+    assert!(mobile.len() >= 3, "need at least 3 points for a unique alignment");
+
+    let cm = Vec3::centroid(mobile);
+    let ct = Vec3::centroid(target);
+
+    // Covariance H = Σ (m_i - cm)(t_i - ct)ᵀ.
+    let mut h = Mat3::ZERO;
+    for (m, t) in mobile.iter().zip(target) {
+        h = h + Mat3::outer(*m - cm, *t - ct);
+    }
+
+    // SVD via eigen-decomposition: HᵀH = V Σ² Vᵀ, U = H V Σ⁻¹. Point sets
+    // are often (near-)planar — any 3-point set is — so U is rebuilt with
+    // Gram–Schmidt against a *relative* rank tolerance instead of trusting
+    // noise-amplified `H v / σ` columns for tiny σ.
+    let (vals, v) = (h.transpose() * h).symmetric_eigen();
+    let s_max = vals[0].max(0.0).sqrt().max(1e-300);
+    let tol = 1e-8 * s_max;
+    let col_u = |i: usize| -> Option<Vec3> {
+        let s = vals[i].max(0.0).sqrt();
+        if s > tol {
+            (h.mul_vec(v.col(i)) / s).normalized()
+        } else {
+            None
+        }
+    };
+    let u0 = col_u(0).expect("largest singular direction must be valid");
+    let u1 = match col_u(1) {
+        Some(c) => {
+            // Orthonormalize against u0 (defensive for near-degenerate σ₁).
+            (c - u0 * c.dot(u0)).normalized().unwrap_or_else(|| orthogonal_to(u0))
+        }
+        None => orthogonal_to(u0),
+    };
+    let mut u_cols = [u0, u1, u0.cross(u1)];
+    let build_u = |cols: &[Vec3; 3]| {
+        Mat3::from_rows(
+            Vec3::new(cols[0].x, cols[1].x, cols[2].x),
+            Vec3::new(cols[0].y, cols[1].y, cols[2].y),
+            Vec3::new(cols[0].z, cols[1].z, cols[2].z),
+        )
+    };
+    // With H = U S Vᵀ and t ≈ R m, the optimal rotation is R = V Uᵀ
+    // (for t = R₀ m exactly: H = A R₀ᵀ with A symmetric PSD, so U holds
+    // A's eigenvectors, V = R₀ U, and V Uᵀ = R₀). Reflections are
+    // corrected by flipping the smallest-singular-value column of U.
+    let mut r = v * build_u(&u_cols).transpose();
+    if r.determinant() < 0.0 {
+        u_cols[2] = -u_cols[2];
+        r = v * build_u(&u_cols).transpose();
+    }
+
+    let rot: Quat = r.to_quat();
+    let translation = ct - rot.rotate(cm);
+    let tf = RigidTransform::new(rot, translation);
+
+    let aligned: Vec<Vec3> = mobile.iter().map(|&p| tf.apply(p)).collect();
+    let residual = rmsd(&aligned, target);
+    (tf, residual)
+}
+
+/// An arbitrary unit vector orthogonal to `v` (assumed unit).
+fn orthogonal_to(v: Vec3) -> Vec3 {
+    let trial = if v.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+    (trial - v * trial.dot(v)).normalized().expect("non-parallel trial axis")
+}
+
+/// Greedy RMSD clustering of scored conformations (AutoDock-style): sort by
+/// score, take the best unclustered pose as a cluster seed, absorb every
+/// pose within `cutoff` RMSD of the seed. Returns clusters as index lists
+/// into the input, best cluster first; each cluster is seeded by its best
+/// member.
+pub fn cluster_poses(ligand: &Molecule, poses: &[Conformation], cutoff: f64) -> Vec<Vec<usize>> {
+    assert!(cutoff >= 0.0, "cutoff must be non-negative");
+    let mut order: Vec<usize> = (0..poses.len()).collect();
+    order.sort_by(|&a, &b| crate::conformation::score_cmp(&poses[a], &poses[b]));
+
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut assigned = vec![false; poses.len()];
+    for &i in &order {
+        if assigned[i] {
+            continue;
+        }
+        let mut members = vec![i];
+        assigned[i] = true;
+        for &j in &order {
+            if !assigned[j] && pose_rmsd(ligand, &poses[i], &poses[j]) <= cutoff {
+                members.push(j);
+                assigned[j] = true;
+            }
+        }
+        clusters.push(members);
+    }
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+    use vsmath::RngStream;
+
+    fn cloud(n: usize, seed: u64) -> Vec<Vec3> {
+        let mut rng = RngStream::from_seed(seed);
+        (0..n).map(|_| rng.in_ball(10.0)).collect()
+    }
+
+    #[test]
+    fn rmsd_identical_is_zero() {
+        let a = cloud(20, 1);
+        assert_eq!(rmsd(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn rmsd_uniform_shift() {
+        let a = cloud(20, 2);
+        let b: Vec<Vec3> = a.iter().map(|&p| p + Vec3::new(3.0, 0.0, 4.0)).collect();
+        assert!((rmsd(&a, &b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rmsd_mismatched_lengths_panic() {
+        rmsd(&cloud(3, 1), &cloud(4, 1));
+    }
+
+    #[test]
+    fn kabsch_recovers_known_transform() {
+        let mut rng = RngStream::from_seed(3);
+        for trial in 0..20 {
+            let a = cloud(15, 100 + trial);
+            let tf_true = RigidTransform::new(rng.rotation(), rng.in_ball(20.0));
+            let b: Vec<Vec3> = a.iter().map(|&p| tf_true.apply(p)).collect();
+            let (tf, residual) = kabsch(&a, &b);
+            assert!(residual < 1e-8, "trial {trial}: residual {residual}");
+            // Recovered transform maps a onto b.
+            for (p, q) in a.iter().zip(&b) {
+                assert!((tf.apply(*p) - *q).max_abs_component() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn kabsch_rotation_is_proper() {
+        let mut rng = RngStream::from_seed(4);
+        for trial in 0..10 {
+            let a = cloud(8, 200 + trial);
+            let b: Vec<Vec3> = a
+                .iter()
+                .map(|&p| p + rng.in_ball(0.5)) // noisy copy
+                .collect();
+            let (tf, _) = kabsch(&a, &b);
+            let m = Mat3::from_quat(tf.rotation);
+            assert!((m.determinant() - 1.0).abs() < 1e-6, "det {}", m.determinant());
+        }
+    }
+
+    #[test]
+    fn kabsch_noisy_alignment_reduces_rmsd() {
+        let mut rng = RngStream::from_seed(5);
+        let a = cloud(30, 6);
+        let tf_true = RigidTransform::new(rng.rotation(), Vec3::new(5.0, -2.0, 1.0));
+        let b: Vec<Vec3> = a.iter().map(|&p| tf_true.apply(p) + rng.in_ball(0.3)).collect();
+        let before = rmsd(&a, &b);
+        let (_, after) = kabsch(&a, &b);
+        assert!(after < before * 0.2, "alignment {before} -> {after}");
+        assert!(after < 0.4, "residual should be noise-level: {after}");
+    }
+
+    #[test]
+    fn pose_rmsd_zero_for_same_pose() {
+        let lig = synth::synth_ligand("l", 10, 1);
+        let mut rng = RngStream::from_seed(7);
+        let pose = RigidTransform::new(rng.rotation(), rng.in_ball(10.0));
+        let a = Conformation::new(pose, 0);
+        assert!(pose_rmsd(&lig, &a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn pose_rmsd_translation_equals_shift() {
+        let lig = synth::synth_ligand("l", 10, 1);
+        let a = Conformation::new(RigidTransform::from_translation(Vec3::ZERO), 0);
+        let b = Conformation::new(RigidTransform::from_translation(Vec3::new(2.0, 0.0, 0.0)), 0);
+        assert!((pose_rmsd(&lig, &a, &b) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clustering_groups_nearby_poses() {
+        let lig = synth::synth_ligand("l", 8, 2);
+        let mut rng = RngStream::from_seed(8);
+        let base_rot = rng.rotation();
+        let mk = |t: Vec3, score: f64| {
+            let mut c = Conformation::new(RigidTransform::new(base_rot, t), 0);
+            c.score = score;
+            c
+        };
+        let poses = vec![
+            mk(Vec3::ZERO, -5.0),
+            mk(Vec3::new(0.3, 0.0, 0.0), -4.0),  // near pose 0
+            mk(Vec3::new(20.0, 0.0, 0.0), -3.0), // far
+            mk(Vec3::new(20.2, 0.0, 0.0), -6.0), // near pose 2, best overall
+        ];
+        let clusters = cluster_poses(&lig, &poses, 1.0);
+        assert_eq!(clusters.len(), 2);
+        // Best cluster is seeded by index 3 (score -6).
+        assert_eq!(clusters[0][0], 3);
+        assert!(clusters[0].contains(&2));
+        assert!(clusters[1].contains(&0) && clusters[1].contains(&1));
+    }
+
+    #[test]
+    fn clustering_zero_cutoff_singletons() {
+        let lig = synth::synth_ligand("l", 6, 3);
+        let mut rng = RngStream::from_seed(9);
+        let poses: Vec<Conformation> = (0..5)
+            .map(|i| {
+                let mut c = Conformation::new(
+                    RigidTransform::new(rng.rotation(), rng.in_ball(30.0)),
+                    0,
+                );
+                c.score = i as f64;
+                c
+            })
+            .collect();
+        let clusters = cluster_poses(&lig, &poses, 0.0);
+        assert_eq!(clusters.len(), 5);
+        assert!(clusters.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn clustering_covers_every_pose_exactly_once() {
+        let lig = synth::synth_ligand("l", 6, 3);
+        let mut rng = RngStream::from_seed(10);
+        let poses: Vec<Conformation> = (0..30)
+            .map(|i| {
+                let mut c = Conformation::new(
+                    RigidTransform::new(rng.rotation(), rng.in_ball(15.0)),
+                    0,
+                );
+                c.score = -(i as f64);
+                c
+            })
+            .collect();
+        let clusters = cluster_poses(&lig, &poses, 3.0);
+        let mut seen: Vec<usize> = clusters.concat();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_pose_set_clusters_empty() {
+        let lig = synth::synth_ligand("l", 5, 4);
+        assert!(cluster_poses(&lig, &[], 1.0).is_empty());
+    }
+}

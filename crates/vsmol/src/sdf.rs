@@ -1,0 +1,253 @@
+//! Minimal SDF/MDL-molfile (V2000) reader and writer.
+//!
+//! Screening libraries ("many databases comprise hundreds of thousands of
+//! ligands", §2.1) ship as multi-record SDF files; this module reads the
+//! atom blocks of V2000 records — coordinates, element symbols and charge
+//! fields — and writes them back, so real libraries drive
+//! `vscreen::library::screen_library` directly.
+
+use crate::{Atom, Element, Molecule};
+use std::fmt::Write as _;
+use vsmath::Vec3;
+
+/// Errors from SDF parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SdfError {
+    /// The counts line (line 4) is malformed.
+    BadCountsLine { record: usize },
+    /// An atom line failed to parse.
+    BadAtomLine { record: usize, line: usize },
+    /// Record truncated before its atom block finished.
+    Truncated { record: usize },
+}
+
+impl std::fmt::Display for SdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SdfError::BadCountsLine { record } => write!(f, "record {record}: bad counts line"),
+            SdfError::BadAtomLine { record, line } => {
+                write!(f, "record {record}, atom line {line}: parse failure")
+            }
+            SdfError::Truncated { record } => write!(f, "record {record}: truncated atom block"),
+        }
+    }
+}
+
+impl std::error::Error for SdfError {}
+
+/// MDL charge-field code → partial charge (the molfile convention stores
+/// formal charges as 4 - code for codes 1..=7, 0 otherwise).
+fn charge_from_code(code: i32) -> f64 {
+    match code {
+        1..=7 => (4 - code) as f64,
+        _ => 0.0,
+    }
+}
+
+fn code_from_charge(q: f64) -> i32 {
+    let rounded = q.round() as i32;
+    if (1 - rounded..=3).contains(&rounded) && rounded != 0 && (-3..=3).contains(&rounded) {
+        4 - rounded
+    } else if rounded != 0 && (-3..=3).contains(&rounded) {
+        4 - rounded
+    } else {
+        0
+    }
+}
+
+/// Parse a (possibly multi-record) SDF file into molecules. Record names
+/// come from each record's title line (line 1), falling back to
+/// `name-<index>`.
+pub fn parse(text: &str, fallback_name: &str) -> Result<Vec<Molecule>, SdfError> {
+    let mut molecules = Vec::new();
+    // Split on the record delimiter; ignore trailing empty chunk.
+    for (rec_idx, chunk) in text.split("$$$$").enumerate() {
+        // Strip only the delimiter's trailing newline (records after the
+        // first) — a record's title line may legitimately be blank.
+        let chunk = if rec_idx > 0 {
+            chunk.strip_prefix("\r\n").or_else(|| chunk.strip_prefix('\n')).unwrap_or(chunk)
+        } else {
+            chunk
+        };
+        let lines: Vec<&str> = chunk.lines().collect();
+        if lines.len() < 4 {
+            if lines.iter().all(|l| l.trim().is_empty()) {
+                continue; // trailing whitespace chunk
+            }
+            return Err(SdfError::Truncated { record: rec_idx });
+        }
+        let title = lines[0].trim();
+        let counts = lines[3];
+        if counts.len() < 6 {
+            return Err(SdfError::BadCountsLine { record: rec_idx });
+        }
+        let n_atoms: usize = counts[0..3]
+            .trim()
+            .parse()
+            .map_err(|_| SdfError::BadCountsLine { record: rec_idx })?;
+        if lines.len() < 4 + n_atoms {
+            return Err(SdfError::Truncated { record: rec_idx });
+        }
+
+        let mut atoms = Vec::with_capacity(n_atoms);
+        for (ai, line) in lines[4..4 + n_atoms].iter().enumerate() {
+            let bad = || SdfError::BadAtomLine { record: rec_idx, line: ai };
+            if line.len() < 34 {
+                return Err(bad());
+            }
+            let x: f64 = line[0..10].trim().parse().map_err(|_| bad())?;
+            let y: f64 = line[10..20].trim().parse().map_err(|_| bad())?;
+            let z: f64 = line[20..30].trim().parse().map_err(|_| bad())?;
+            let sym = line[31..34].trim();
+            let element = Element::from_symbol(sym);
+            let charge_code: i32 = line
+                .get(36..39)
+                .map(|s| s.trim().parse().unwrap_or(0))
+                .unwrap_or(0);
+            atoms.push(Atom::with_charge(
+                Vec3::new(x, y, z),
+                element,
+                charge_from_code(charge_code),
+            ));
+        }
+        let name = if title.is_empty() {
+            format!("{fallback_name}-{rec_idx}")
+        } else {
+            title.to_string()
+        };
+        molecules.push(Molecule::new(name, atoms));
+    }
+    Ok(molecules)
+}
+
+/// Write molecules as a multi-record V2000 SDF (atom blocks only, no
+/// bonds — docking treats ligands as rigid atom clouds here).
+pub fn write(molecules: &[Molecule]) -> String {
+    let mut out = String::new();
+    for m in molecules {
+        let _ = writeln!(out, "{}", m.name);
+        let _ = writeln!(out, "  vscreen");
+        let _ = writeln!(out);
+        let _ = writeln!(out, "{:>3}{:>3}  0  0  0  0  0  0  0  0999 V2000", m.len(), 0);
+        for a in m.atoms() {
+            let _ = writeln!(
+                out,
+                "{:>10.4}{:>10.4}{:>10.4} {:<3}{:>2}{:>3}",
+                a.position.x,
+                a.position.y,
+                a.position.z,
+                a.element.symbol(),
+                0,
+                code_from_charge(a.charge),
+            );
+        }
+        let _ = writeln!(out, "M  END");
+        let _ = writeln!(out, "$$$$");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    const SAMPLE: &str = "\
+aspirin-ish
+  test
+
+  3  2  0  0  0  0  0  0  0  0999 V2000
+    1.2000    0.0000    0.0000 C   0  0
+   -1.2000    0.5000    0.0000 O   0  5
+    0.0000   -1.0000    0.3000 N   0  3
+  1  2  1  0
+  2  3  1  0
+M  END
+$$$$
+";
+
+    #[test]
+    fn parses_single_record() {
+        let mols = parse(SAMPLE, "fb").unwrap();
+        assert_eq!(mols.len(), 1);
+        let m = &mols[0];
+        assert_eq!(m.name, "aspirin-ish");
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.elements(), &[Element::C, Element::O, Element::N]);
+        assert!((m.positions()[0].x - 1.2).abs() < 1e-9);
+        // Charge codes: 0 -> 0, 5 -> -1, 3 -> +1.
+        assert_eq!(m.atoms()[0].charge, 0.0);
+        assert_eq!(m.atoms()[1].charge, -1.0);
+        assert_eq!(m.atoms()[2].charge, 1.0);
+    }
+
+    #[test]
+    fn parses_multi_record() {
+        let text = format!("{SAMPLE}{SAMPLE}");
+        let mols = parse(&text, "fb").unwrap();
+        assert_eq!(mols.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let lib: Vec<Molecule> = (0..3)
+            .map(|i| synth::synth_ligand(&format!("lig{i}"), 10 + i, 50 + i as u64))
+            .collect();
+        let text = write(&lib);
+        let back = parse(&text, "fb").unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in lib.iter().zip(&back) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.atoms().iter().zip(b.atoms()) {
+                assert!((x.position - y.position).max_abs_component() < 1e-3);
+                assert_eq!(x.element, y.element);
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_record_errors() {
+        let text = "name\n  prog\n\n  5  0  0 V2000\n    0.0       0.0       0.0      C\n";
+        assert!(matches!(parse(text, "fb"), Err(SdfError::Truncated { .. })));
+    }
+
+    #[test]
+    fn bad_counts_line_errors() {
+        let text = "name\n  prog\n\nxxx\n";
+        assert!(matches!(parse(text, "fb"), Err(SdfError::BadCountsLine { .. })));
+    }
+
+    #[test]
+    fn bad_atom_line_errors() {
+        let text = "name\n  prog\n\n  1  0  0  0  0  0  0  0  0  0999 V2000\n    abc       0.0       0.0 C\n";
+        assert!(matches!(parse(text, "fb"), Err(SdfError::BadAtomLine { .. })));
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert_eq!(parse("", "fb").unwrap().len(), 0);
+        assert_eq!(parse("\n\n", "fb").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn untitled_record_gets_fallback_name() {
+        let text = "\n  prog\n\n  1  0  0  0  0  0  0  0  0  0999 V2000\n    0.0000    0.0000    0.0000 C   0  0\nM  END\n$$$$\n";
+        let mols = parse(text, "lib").unwrap();
+        assert_eq!(mols[0].name, "lib-0");
+    }
+
+    #[test]
+    fn charge_code_roundtrip() {
+        for q in [-3.0, -1.0, 0.0, 1.0, 3.0] {
+            let code = code_from_charge(q);
+            assert_eq!(charge_from_code(code), q, "charge {q} via code {code}");
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = SdfError::BadAtomLine { record: 2, line: 5 };
+        assert!(e.to_string().contains("record 2"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the molecular substrate.
+
+use proptest::prelude::*;
+use vsmath::{RigidTransform, RngStream, Vec3};
+use vsmol::{pdb, rmsd, synth, Atom, Element, Molecule};
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    (0..Element::COUNT).prop_map(|i| Element::ALL[i])
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (
+        (-500.0..500.0f64, -500.0..500.0f64, -500.0..500.0f64),
+        arb_element(),
+        -1.0..1.0f64,
+    )
+        .prop_map(|((x, y, z), e, q)| Atom::with_charge(Vec3::new(x, y, z), e, q))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pdb_roundtrip_preserves_geometry(atoms in proptest::collection::vec(arb_atom(), 1..60)) {
+        let m = Molecule::new("prop", atoms);
+        let text = pdb::write(&m);
+        let back = pdb::parse(&text, "back").unwrap();
+        prop_assert_eq!(back.len(), m.len());
+        for (a, b) in m.atoms().iter().zip(back.atoms()) {
+            // PDB coordinates carry 3 decimals.
+            prop_assert!((a.position - b.position).max_abs_component() < 1.5e-3);
+            prop_assert_eq!(a.element, b.element);
+        }
+    }
+
+    #[test]
+    fn centered_molecule_centroid_is_origin(atoms in proptest::collection::vec(arb_atom(), 1..40)) {
+        let m = Molecule::new("prop", atoms).centered();
+        prop_assert!(m.centroid().norm() < 1e-6);
+    }
+
+    #[test]
+    fn bounding_radius_dominates_gyration(atoms in proptest::collection::vec(arb_atom(), 1..40)) {
+        let m = Molecule::new("prop", atoms);
+        prop_assert!(m.radius_of_gyration() <= m.bounding_radius() + 1e-9);
+    }
+
+    #[test]
+    fn synth_receptor_exact_count(n in 1usize..600, seed in any::<u64>()) {
+        let m = synth::synth_receptor("p", n, seed);
+        prop_assert_eq!(m.len(), n);
+    }
+
+    #[test]
+    fn synth_ligand_exact_count(n in 1usize..40, seed in any::<u64>()) {
+        let m = synth::synth_ligand("p", n, seed);
+        prop_assert_eq!(m.len(), n);
+        prop_assert!(m.centroid().norm() < 1e-9);
+    }
+
+    #[test]
+    fn kabsch_recovers_arbitrary_rigid_motion(
+        seed in any::<u64>(),
+        n in 3usize..30,
+        angle in -3.0..3.0f64,
+        (tx, ty, tz) in (-50.0..50.0f64, -50.0..50.0f64, -50.0..50.0f64),
+    ) {
+        let mut rng = RngStream::from_seed(seed);
+        let pts: Vec<Vec3> = (0..n).map(|_| rng.in_ball(10.0)).collect();
+        let axis = rng.unit_vector();
+        let tf = RigidTransform::new(
+            vsmath::Quat::from_axis_angle(axis, angle),
+            Vec3::new(tx, ty, tz),
+        );
+        let moved: Vec<Vec3> = pts.iter().map(|&p| tf.apply(p)).collect();
+        let (_, residual) = rmsd::kabsch(&pts, &moved);
+        prop_assert!(residual < 1e-6, "residual {}", residual);
+    }
+
+    #[test]
+    fn rmsd_is_a_metric_on_translations(
+        (ax, ay, az) in (-20.0..20.0f64, -20.0..20.0f64, -20.0..20.0f64),
+        (bx, by, bz) in (-20.0..20.0f64, -20.0..20.0f64, -20.0..20.0f64),
+    ) {
+        let lig = synth::synth_ligand("m", 8, 1);
+        let a = vsmol::Conformation::new(
+            RigidTransform::from_translation(Vec3::new(ax, ay, az)), 0);
+        let b = vsmol::Conformation::new(
+            RigidTransform::from_translation(Vec3::new(bx, by, bz)), 0);
+        let d_ab = rmsd::pose_rmsd(&lig, &a, &b);
+        let d_ba = rmsd::pose_rmsd(&lig, &b, &a);
+        prop_assert!((d_ab - d_ba).abs() < 1e-9, "symmetry");
+        prop_assert!(d_ab >= 0.0);
+        // Pure translations: RMSD equals the translation distance exactly.
+        let want = Vec3::new(ax - bx, ay - by, az - bz).norm();
+        prop_assert!((d_ab - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clustering_partitions_any_pose_set(
+        seed in any::<u64>(),
+        n in 0usize..25,
+        cutoff in 0.0..10.0f64,
+    ) {
+        let lig = synth::synth_ligand("m", 6, 2);
+        let mut rng = RngStream::from_seed(seed);
+        let poses: Vec<vsmol::Conformation> = (0..n)
+            .map(|i| {
+                let mut c = vsmol::Conformation::new(
+                    RigidTransform::new(rng.rotation(), rng.in_ball(20.0)),
+                    0,
+                );
+                c.score = i as f64;
+                c
+            })
+            .collect();
+        let clusters = rmsd::cluster_poses(&lig, &poses, cutoff);
+        let mut all: Vec<usize> = clusters.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        // Cluster seeds are ordered by score.
+        for w in clusters.windows(2) {
+            prop_assert!(poses[w[0][0]].score <= poses[w[1][0]].score);
+        }
+    }
+
+    #[test]
+    fn element_symbol_roundtrip_via_parser(e in arb_element()) {
+        if e != Element::Other {
+            prop_assert_eq!(Element::from_symbol(e.symbol()), e);
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Precomputed potential grids — the AutoDock-style scoring optimization.
+//!
+//! The paper's kernels recompute all `ligand × receptor` pair interactions
+//! per conformation. Production docking codes (AutoDock, the paper's ref
+//! [24]) instead precompute, once per receptor, a 3-D grid of interaction
+//! potentials per ligand atom *type*; scoring a pose then costs one
+//! trilinear interpolation per ligand atom — `O(ligand)` instead of
+//! `O(ligand × receptor)`, at the price of grid-resolution error and an
+//! upfront build. This module implements that trade-off as an extension
+//! (§6: scoring-function variants as future work) and the benches quantify
+//! it.
+
+use crate::lj::{lj_pair, Frame, PairTable, MIN_DIST_SQ};
+use crate::coulomb::COULOMB_K;
+use vsmath::{Aabb, RigidTransform, SpatialGrid, Vec3};
+use vsmol::{Element, LjTable, Molecule};
+
+/// Grid build options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridOptions {
+    /// Node spacing in Å (AutoDock default is 0.375; coarser is faster).
+    pub spacing: f64,
+    /// Margin beyond the receptor bounding box, Å (covers surface spots).
+    pub margin: f64,
+    /// Pair cutoff while accumulating node potentials, Å.
+    pub cutoff: f64,
+    /// Include the electrostatic grid (distance-dependent dielectric).
+    pub dielectric: Option<f64>,
+}
+
+impl Default for GridOptions {
+    fn default() -> Self {
+        GridOptions { spacing: 0.75, margin: 8.0, cutoff: 12.0, dielectric: None }
+    }
+}
+
+/// Cap on stored node potentials: inside the repulsive core the true LJ
+/// value diverges and trilinear interpolation of it is meaningless; any
+/// pose touching such a node is a rejected clash either way. AutoDock's
+/// grid maps clamp identically.
+pub const MAX_NODE_POTENTIAL: f32 = 1.0e4;
+
+/// A precomputed potential field over the receptor: one LJ grid per element
+/// type present in the ligand, plus an optional electrostatic grid.
+#[derive(Debug, Clone)]
+pub struct GridScorer {
+    origin: Vec3,
+    spacing: f64,
+    dims: [usize; 3],
+    /// `lj[t][node]` for ligand element-type slot `t`.
+    lj: Vec<Vec<f32>>,
+    /// Electrostatic potential per unit charge (empty when disabled).
+    elec: Vec<f32>,
+    /// Slot per `Element::index()`, usize::MAX when absent from the ligand.
+    type_slot: [usize; Element::COUNT],
+    lig_local: Vec<Vec3>,
+    lig_elem: Vec<Element>,
+    lig_charge: Vec<f64>,
+    opts: GridOptions,
+}
+
+impl GridScorer {
+    /// Build the grids for a receptor/ligand pair. Cost:
+    /// `nodes × avg-neighbors × ligand-element-types`, paid once.
+    pub fn new(receptor: &Molecule, ligand: &Molecule, opts: GridOptions) -> GridScorer {
+        assert!(opts.spacing > 0.0, "spacing must be positive");
+        assert!(opts.cutoff > 0.0, "cutoff must be positive");
+        let lig = ligand.centered();
+
+        // Distinct ligand element types get grid slots.
+        let mut type_slot = [usize::MAX; Element::COUNT];
+        let mut types: Vec<Element> = Vec::new();
+        for &e in lig.elements() {
+            if type_slot[e.index()] == usize::MAX {
+                type_slot[e.index()] = types.len();
+                types.push(e);
+            }
+        }
+
+        let bb = Aabb::from_points(receptor.positions()).inflated(opts.margin);
+        let extent = bb.extent();
+        let dims = [
+            (extent.x / opts.spacing).ceil() as usize + 1,
+            (extent.y / opts.spacing).ceil() as usize + 1,
+            (extent.z / opts.spacing).ceil() as usize + 1,
+        ];
+        let n_nodes = dims[0] * dims[1] * dims[2];
+
+        let rec_grid = SpatialGrid::build(receptor.positions(), opts.cutoff);
+        let table = PairTable::new(&LjTable::standard());
+        let rec_elem: Vec<u8> = receptor.elements().iter().map(|e| e.index() as u8).collect();
+        let rec_charge = receptor.charges();
+
+        let mut lj = vec![vec![0f32; n_nodes]; types.len()];
+        let mut elec = if opts.dielectric.is_some() { vec![0f32; n_nodes] } else { Vec::new() };
+
+        for iz in 0..dims[2] {
+            for iy in 0..dims[1] {
+                for ix in 0..dims[0] {
+                    let node = (iz * dims[1] + iy) * dims[0] + ix;
+                    let p = bb.min
+                        + Vec3::new(ix as f64, iy as f64, iz as f64) * opts.spacing;
+                    rec_grid.for_each_within(p, opts.cutoff, |j, _, r_sq| {
+                        for (t, &te) in types.iter().enumerate() {
+                            let (s2, e4) = table.lookup(te.index() as u8, rec_elem[j]);
+                            lj[t][node] += lj_pair(s2, e4, r_sq) as f32;
+                        }
+                        if let Some(eps) = opts.dielectric {
+                            let r2 = r_sq.max(MIN_DIST_SQ);
+                            elec[node] += (COULOMB_K * rec_charge[j] / (eps * r2)) as f32;
+                        }
+                    });
+                    for grid_t in lj.iter_mut() {
+                        grid_t[node] = grid_t[node].min(MAX_NODE_POTENTIAL);
+                    }
+                }
+            }
+        }
+
+        GridScorer {
+            origin: bb.min,
+            spacing: opts.spacing,
+            dims,
+            lj,
+            elec,
+            type_slot,
+            lig_local: lig.positions().to_vec(),
+            lig_elem: lig.elements().to_vec(),
+            lig_charge: lig.charges(),
+            opts,
+        }
+    }
+
+    pub fn options(&self) -> GridOptions {
+        self.opts
+    }
+
+    pub fn ligand_atoms(&self) -> usize {
+        self.lig_local.len()
+    }
+
+    /// Grid memory footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        let nodes = self.dims[0] * self.dims[1] * self.dims[2];
+        (self.lj.len() * nodes + self.elec.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Trilinear interpolation of field `f` at `p`; positions outside the
+    /// grid clamp to the boundary (far from the receptor the potential is
+    /// ~0 anyway, given the build cutoff).
+    fn interpolate(&self, f: &[f32], p: Vec3) -> f64 {
+        let g = (p - self.origin) / self.spacing;
+        let clampf =
+            |v: f64, hi: usize| -> f64 { v.max(0.0).min(hi as f64 - 1.000001) };
+        let gx = clampf(g.x, self.dims[0]);
+        let gy = clampf(g.y, self.dims[1]);
+        let gz = clampf(g.z, self.dims[2]);
+        let (x0, y0, z0) = (gx as usize, gy as usize, gz as usize);
+        let (fx, fy, fz) = (gx - x0 as f64, gy - y0 as f64, gz - z0 as f64);
+        let at = |x: usize, y: usize, z: usize| -> f64 {
+            f[(z * self.dims[1] + y) * self.dims[0] + x] as f64
+        };
+        let c00 = at(x0, y0, z0) * (1.0 - fx) + at(x0 + 1, y0, z0) * fx;
+        let c10 = at(x0, y0 + 1, z0) * (1.0 - fx) + at(x0 + 1, y0 + 1, z0) * fx;
+        let c01 = at(x0, y0, z0 + 1) * (1.0 - fx) + at(x0 + 1, y0, z0 + 1) * fx;
+        let c11 = at(x0, y0 + 1, z0 + 1) * (1.0 - fx) + at(x0 + 1, y0 + 1, z0 + 1) * fx;
+        let c0 = c00 * (1.0 - fy) + c10 * fy;
+        let c1 = c01 * (1.0 - fy) + c11 * fy;
+        c0 * (1.0 - fz) + c1 * fz
+    }
+
+    /// Score a pose by interpolation: `O(ligand_atoms)`.
+    pub fn score(&self, pose: &RigidTransform) -> f64 {
+        let mut total = 0.0;
+        for (i, &local) in self.lig_local.iter().enumerate() {
+            let p = pose.apply(local);
+            let slot = self.type_slot[self.lig_elem[i].index()];
+            total += self.interpolate(&self.lj[slot], p);
+            if !self.elec.is_empty() {
+                total += self.lig_charge[i] * self.interpolate(&self.elec, p);
+            }
+        }
+        total
+    }
+
+    /// Score a batch of poses.
+    pub fn score_batch(&self, poses: &[RigidTransform]) -> Vec<f64> {
+        poses.iter().map(|p| self.score(p)).collect()
+    }
+}
+
+/// Reference: the exact cutoff score the grid approximates (same cutoff,
+/// same terms), for accuracy tests and benches.
+pub fn exact_cutoff_score(
+    receptor: &Molecule,
+    ligand: &Molecule,
+    pose: &RigidTransform,
+    opts: GridOptions,
+) -> f64 {
+    let lig = ligand.centered().transformed(pose);
+    let lf = Frame::from_molecule(&lig);
+    let rf = Frame::from_molecule(receptor);
+    let table = PairTable::new(&LjTable::standard());
+    let mut total = crate::lj::lj_naive_cutoff(&lf, &rf, &table, opts.cutoff);
+    if let Some(eps) = opts.dielectric {
+        let c2 = opts.cutoff * opts.cutoff;
+        for i in 0..lf.len() {
+            for j in 0..rf.len() {
+                let dx = lf.x[i] - rf.x[j];
+                let dy = lf.y[i] - rf.y[j];
+                let dz = lf.z[i] - rf.z[j];
+                let r_sq = dx * dx + dy * dy + dz * dz;
+                if r_sq <= c2 {
+                    total += crate::coulomb::coulomb_pair(lf.charge[i], rf.charge[j], r_sq, eps);
+                }
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsmath::RngStream;
+    use vsmol::synth;
+
+    fn setup(spacing: f64) -> (Molecule, Molecule, GridScorer) {
+        let rec = synth::synth_receptor("r", 300, 3);
+        let lig = synth::synth_ligand("l", 10, 4);
+        let grid = GridScorer::new(&rec, &lig, GridOptions { spacing, ..Default::default() });
+        (rec, lig, grid)
+    }
+
+    /// Surface poses for the 300-atom test receptor (radius ≈ 11.7 Å).
+    fn surface_poses(n: usize, seed: u64) -> Vec<RigidTransform> {
+        let mut rng = RngStream::from_seed(seed);
+        (0..n)
+            .map(|_| {
+                RigidTransform::new(rng.rotation(), rng.unit_vector() * rng.uniform_range(13.0, 17.0))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_tracks_exact_scores_on_surface_poses() {
+        let (rec, lig, grid) = setup(0.6);
+        let mut checked = 0;
+        for (k, pose) in surface_poses(12, 5).iter().enumerate() {
+            let exact = exact_cutoff_score(&rec, &lig, pose, grid.options());
+            if exact > 0.0 {
+                // Repulsive pose: near and inside the clamped core the grid
+                // only guarantees "bad", not the exact value.
+                assert!(grid.score(pose) > 0.0, "pose {k}: clash not flagged");
+                continue;
+            }
+            let approx = grid.score(pose);
+            // Grid error scales with the potential's local curvature; on
+            // non-clashing surface poses a 0.6 Å grid stays within
+            // ~15% + 1.0 absolute.
+            let tol = 0.15 * exact.abs() + 1.0;
+            assert!(
+                (approx - exact).abs() < tol,
+                "pose {k}: grid {approx} vs exact {exact}"
+            );
+            checked += 1;
+        }
+        assert!(checked >= 5, "too few non-clashing poses ({checked})");
+    }
+
+    #[test]
+    fn finer_grids_are_more_accurate() {
+        let (rec, lig, _) = setup(0.6);
+        let coarse = GridScorer::new(&rec, &lig, GridOptions { spacing: 1.5, ..Default::default() });
+        let fine = GridScorer::new(&rec, &lig, GridOptions { spacing: 0.5, ..Default::default() });
+        let poses = surface_poses(20, 7);
+        let err = |g: &GridScorer| -> f64 {
+            poses
+                .iter()
+                .map(|p| (g.score(p) - exact_cutoff_score(&rec, &lig, p, g.options())).abs())
+                .sum::<f64>()
+        };
+        let (ec, ef) = (err(&coarse), err(&fine));
+        assert!(ef < ec, "fine {ef} should beat coarse {ec}");
+    }
+
+    #[test]
+    fn grid_preserves_pose_ranking() {
+        // What the metaheuristic needs is the *ordering* of scores, not the
+        // values: check rank agreement between grid and exact on a pose set.
+        let (rec, lig, grid) = setup(0.6);
+        let poses = surface_poses(15, 9);
+        let approx: Vec<f64> = poses.iter().map(|p| grid.score(p)).collect();
+        let exact: Vec<f64> =
+            poses.iter().map(|p| exact_cutoff_score(&rec, &lig, p, grid.options())).collect();
+        // Count concordant pairs (Kendall-style).
+        let mut concordant = 0;
+        let mut total = 0;
+        for i in 0..poses.len() {
+            for j in (i + 1)..poses.len() {
+                if (exact[i] - exact[j]).abs() < 0.2 {
+                    continue; // near-ties don't count
+                }
+                total += 1;
+                if (approx[i] < approx[j]) == (exact[i] < exact[j]) {
+                    concordant += 1;
+                }
+            }
+        }
+        assert!(
+            concordant as f64 >= 0.85 * total as f64,
+            "rank agreement {concordant}/{total}"
+        );
+    }
+
+    #[test]
+    fn far_outside_grid_scores_near_zero() {
+        let (_, _, grid) = setup(1.0);
+        let far = RigidTransform::from_translation(Vec3::new(500.0, 0.0, 0.0));
+        assert!(grid.score(&far).abs() < 1.0, "boundary clamp leaked: {}", grid.score(&far));
+    }
+
+    #[test]
+    fn electrostatic_grid_contributes() {
+        let rec = synth::synth_receptor("r", 200, 8);
+        let lig = synth::synth_ligand("l", 8, 9);
+        let no_elec = GridScorer::new(&rec, &lig, GridOptions { spacing: 1.0, ..Default::default() });
+        let with_elec = GridScorer::new(
+            &rec,
+            &lig,
+            GridOptions { spacing: 1.0, dielectric: Some(4.0), ..Default::default() },
+        );
+        let pose = RigidTransform::from_translation(Vec3::new(12.0, 0.0, 0.0));
+        assert_ne!(no_elec.score(&pose), with_elec.score(&pose));
+    }
+
+    #[test]
+    fn batch_matches_singles() {
+        let (_, _, grid) = setup(1.0);
+        let poses = surface_poses(6, 11);
+        let batch = grid.score_batch(&poses);
+        for (p, &b) in poses.iter().zip(&batch) {
+            assert_eq!(grid.score(p), b);
+        }
+    }
+
+    #[test]
+    fn footprint_scales_with_types_and_volume() {
+        let (_, _, grid) = setup(1.0);
+        assert!(grid.footprint_bytes() > 0);
+        let (_, _, fine) = setup(0.5);
+        assert!(fine.footprint_bytes() > 4 * grid.footprint_bytes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_spacing_panics() {
+        let rec = synth::synth_receptor("r", 50, 1);
+        let lig = synth::synth_ligand("l", 5, 2);
+        GridScorer::new(&rec, &lig, GridOptions { spacing: 0.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,47 @@
+//! # vsscore — scoring functions and batch kernels
+//!
+//! The scoring function measures the strength of the non-covalent
+//! interaction between receptor and ligand; the paper's VS technique "uses
+//! a scoring function based on the Lennard-Jones potential" (§3.1), the
+//! most time-consuming kernel in virtual screening (up to 80% of execution
+//! time in molecular dynamics, §2.1).
+//!
+//! This crate provides:
+//!
+//! - [`lj`] — the Lennard-Jones pair potential over flattened
+//!   structure-of-arrays layouts, in a *naive* all-pairs kernel and a
+//!   *tiled* kernel (the CPU analog of the paper's CUDA shared-memory
+//!   tiling, §5: "Our CUDA implementations take advantage of data-locality
+//!   through tiling implementation via shared memory");
+//! - [`coulomb`] — the electrostatic term (paper §2.1 names Coulomb as the
+//!   other relevant non-bonded potential; §6 lists richer scoring functions
+//!   as future work);
+//! - [`scorer`] — the [`scorer::Scorer`] facade that prepares a
+//!   receptor/ligand pair once and scores arbitrary poses, including
+//!   cutoff+grid accelerated and multi-threaded batch variants.
+
+pub mod coulomb;
+pub mod forces;
+pub mod grid_potential;
+pub mod hbond;
+pub mod lj;
+pub mod scorer;
+
+pub use forces::RigidGradient;
+pub use grid_potential::{GridOptions, GridScorer};
+pub use scorer::{Scorer, ScorerOptions, ScoringModel};
+
+/// Number of atom-pair interactions one pose evaluation computes — the
+/// workload unit the GPU cost model in `gpusim` charges for.
+pub fn pairs_per_eval(ligand_atoms: usize, receptor_atoms: usize) -> u64 {
+    ligand_atoms as u64 * receptor_atoms as u64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pairs_per_eval_multiplies() {
+        assert_eq!(super::pairs_per_eval(45, 3264), 45 * 3264);
+        assert_eq!(super::pairs_per_eval(0, 100), 0);
+    }
+}

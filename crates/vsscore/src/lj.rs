@@ -1,0 +1,330 @@
+//! Lennard-Jones kernels over flattened structure-of-arrays layouts.
+//!
+//! The kernels operate on a [`Frame`] — receptor atoms flattened into
+//! coordinate and element-index arrays — so the hot loop touches dense
+//! memory only. Two variants:
+//!
+//! - [`lj_naive`]: ligand-outer/receptor-inner all-pairs loop. Streams the
+//!   whole receptor through cache once per ligand atom.
+//! - [`lj_tiled`]: receptor-outer blocked loop; a receptor *tile* stays
+//!   resident in L1/L2 while every ligand atom consumes it. This is the CPU
+//!   analog of the paper's CUDA shared-memory tiling and is measurably
+//!   faster for receptors that exceed cache (see `bench/benches/scoring.rs`).
+//!
+//! Distances are clamped below by [`MIN_DIST_SQ`] so overlapping atoms
+//! produce a large-but-finite repulsion instead of `inf`, which keeps the
+//! metaheuristics' score comparisons total.
+
+use vsmol::{Element, LjTable, Molecule};
+use vsmath::Vec3;
+
+/// Squared-distance clamp: pairs closer than 0.5 Å are treated as 0.5 Å.
+pub const MIN_DIST_SQ: f64 = 0.25;
+
+/// Receptor tile size for [`lj_tiled`], in atoms. 512 atoms × 32 B ≈ 16 KB,
+/// matching both an L1 slice and the 16–48 KB shared-memory budget of the
+/// paper's GPUs (Tables 2–3).
+pub const TILE: usize = 512;
+
+/// A molecule flattened for kernel consumption.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    pub x: Vec<f64>,
+    pub y: Vec<f64>,
+    pub z: Vec<f64>,
+    /// `Element::index()` per atom.
+    pub elem: Vec<u8>,
+    /// Partial charge per atom (used by the Coulomb kernel).
+    pub charge: Vec<f64>,
+}
+
+impl Frame {
+    pub fn from_molecule(mol: &Molecule) -> Frame {
+        let n = mol.len();
+        let mut f = Frame {
+            x: Vec::with_capacity(n),
+            y: Vec::with_capacity(n),
+            z: Vec::with_capacity(n),
+            elem: Vec::with_capacity(n),
+            charge: Vec::with_capacity(n),
+        };
+        for a in mol.atoms() {
+            f.x.push(a.position.x);
+            f.y.push(a.position.y);
+            f.z.push(a.position.z);
+            f.elem.push(a.element.index() as u8);
+            f.charge.push(a.charge);
+        }
+        f
+    }
+
+    /// Build directly from parallel arrays (used for transformed ligands).
+    pub fn from_parts(positions: &[Vec3], elements: &[Element], charges: &[f64]) -> Frame {
+        assert_eq!(positions.len(), elements.len());
+        assert_eq!(positions.len(), charges.len());
+        Frame {
+            x: positions.iter().map(|p| p.x).collect(),
+            y: positions.iter().map(|p| p.y).collect(),
+            z: positions.iter().map(|p| p.z).collect(),
+            elem: elements.iter().map(|e| e.index() as u8).collect(),
+            charge: charges.to_vec(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+}
+
+/// Flattened `(σ², 4ε)` lookup: `idx = lig_elem * Element::COUNT + rec_elem`.
+#[derive(Debug, Clone)]
+pub struct PairTable {
+    sigma_sq: Vec<f64>,
+    four_eps: Vec<f64>,
+}
+
+impl PairTable {
+    pub fn new(table: &LjTable) -> PairTable {
+        let n = Element::COUNT;
+        let mut sigma_sq = vec![0.0; n * n];
+        let mut four_eps = vec![0.0; n * n];
+        for a in Element::ALL {
+            for b in Element::ALL {
+                let (s2, e4) = table.pair(a, b);
+                sigma_sq[a.index() * n + b.index()] = s2;
+                four_eps[a.index() * n + b.index()] = e4;
+            }
+        }
+        PairTable { sigma_sq, four_eps }
+    }
+
+    #[inline]
+    fn at(&self, lig_elem: u8, rec_elem: u8) -> (f64, f64) {
+        let k = lig_elem as usize * Element::COUNT + rec_elem as usize;
+        (self.sigma_sq[k], self.four_eps[k])
+    }
+
+    /// Public `(σ², 4ε)` lookup by element indices.
+    #[inline]
+    pub fn lookup(&self, lig_elem: u8, rec_elem: u8) -> (f64, f64) {
+        self.at(lig_elem, rec_elem)
+    }
+}
+
+/// LJ pair energy from `(σ², 4ε)` at squared distance `r_sq` (clamped).
+#[inline(always)]
+pub fn lj_pair(sigma_sq: f64, four_eps: f64, r_sq: f64) -> f64 {
+    let r2 = if r_sq < MIN_DIST_SQ { MIN_DIST_SQ } else { r_sq };
+    let q = sigma_sq / r2;
+    let s6 = q * q * q;
+    four_eps * (s6 * s6 - s6)
+}
+
+/// Naive all-pairs kernel: for each ligand atom, stream all receptor atoms.
+pub fn lj_naive(lig: &Frame, rec: &Frame, table: &PairTable) -> f64 {
+    let mut total = 0.0;
+    for i in 0..lig.len() {
+        let (lx, ly, lz, le) = (lig.x[i], lig.y[i], lig.z[i], lig.elem[i]);
+        let mut acc = 0.0;
+        for j in 0..rec.len() {
+            let dx = lx - rec.x[j];
+            let dy = ly - rec.y[j];
+            let dz = lz - rec.z[j];
+            let r_sq = dx * dx + dy * dy + dz * dz;
+            let (s2, e4) = table.at(le, rec.elem[j]);
+            acc += lj_pair(s2, e4, r_sq);
+        }
+        total += acc;
+    }
+    total
+}
+
+/// Tiled kernel: receptor is processed in [`TILE`]-atom blocks; each block
+/// stays cache-resident while every ligand atom consumes it.
+pub fn lj_tiled(lig: &Frame, rec: &Frame, table: &PairTable) -> f64 {
+    let mut total = 0.0;
+    let n_rec = rec.len();
+    let mut start = 0;
+    while start < n_rec {
+        let end = (start + TILE).min(n_rec);
+        for i in 0..lig.len() {
+            let (lx, ly, lz, le) = (lig.x[i], lig.y[i], lig.z[i], lig.elem[i]);
+            let mut acc = 0.0;
+            for j in start..end {
+                let dx = lx - rec.x[j];
+                let dy = ly - rec.y[j];
+                let dz = lz - rec.z[j];
+                let r_sq = dx * dx + dy * dy + dz * dz;
+                let (s2, e4) = table.at(le, rec.elem[j]);
+                acc += lj_pair(s2, e4, r_sq);
+            }
+            total += acc;
+        }
+        start = end;
+    }
+    total
+}
+
+/// Naive kernel with a spherical cutoff: pairs beyond `cutoff` contribute
+/// nothing. Bit-exact against grid-accelerated cutoff scoring.
+pub fn lj_naive_cutoff(lig: &Frame, rec: &Frame, table: &PairTable, cutoff: f64) -> f64 {
+    let c2 = cutoff * cutoff;
+    let mut total = 0.0;
+    for i in 0..lig.len() {
+        let (lx, ly, lz, le) = (lig.x[i], lig.y[i], lig.z[i], lig.elem[i]);
+        for j in 0..rec.len() {
+            let dx = lx - rec.x[j];
+            let dy = ly - rec.y[j];
+            let dz = lz - rec.z[j];
+            let r_sq = dx * dx + dy * dy + dz * dz;
+            if r_sq <= c2 {
+                let (s2, e4) = table.at(le, rec.elem[j]);
+                total += lj_pair(s2, e4, r_sq);
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsmol::{synth, Atom, LjParams};
+    use vsmath::RngStream;
+
+    fn frames(n_rec: usize, n_lig: usize, seed: u64) -> (Frame, Frame, PairTable) {
+        let rec = synth::synth_receptor("r", n_rec, seed);
+        let lig = synth::synth_ligand("l", n_lig, seed + 1);
+        let table = PairTable::new(&LjTable::standard());
+        (Frame::from_molecule(&lig), Frame::from_molecule(&rec), table)
+    }
+
+    #[test]
+    fn single_pair_matches_reference() {
+        let table = PairTable::new(&LjTable::standard());
+        let lig = Frame::from_parts(&[Vec3::ZERO], &[Element::C], &[0.0]);
+        let rec = Frame::from_parts(&[Vec3::new(4.0, 0.0, 0.0)], &[Element::O], &[0.0]);
+        let got = lj_naive(&lig, &rec, &table);
+        let want = LjParams::combine(LjParams::of(Element::C), LjParams::of(Element::O))
+            .energy_at_sq(16.0);
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn tiled_matches_naive() {
+        let (lig, rec, table) = frames(1500, 30, 11);
+        let a = lj_naive(&lig, &rec, &table);
+        let b = lj_tiled(&lig, &rec, &table);
+        // Different summation order: allow tiny FP slack.
+        assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    #[test]
+    fn tiled_matches_naive_at_tile_boundaries() {
+        // Receptor sizes straddling multiples of TILE.
+        for n in [TILE - 1, TILE, TILE + 1, 2 * TILE, 2 * TILE + 7] {
+            let (lig, rec, table) = frames(n, 10, 13);
+            let a = lj_naive(&lig, &rec, &table);
+            let b = lj_tiled(&lig, &rec, &table);
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "n={n}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn empty_frames_score_zero() {
+        let table = PairTable::new(&LjTable::standard());
+        let empty = Frame::from_parts(&[], &[], &[]);
+        let one = Frame::from_parts(&[Vec3::ZERO], &[Element::C], &[0.0]);
+        assert_eq!(lj_naive(&empty, &one, &table), 0.0);
+        assert_eq!(lj_naive(&one, &empty, &table), 0.0);
+        assert_eq!(lj_tiled(&empty, &empty, &table), 0.0);
+    }
+
+    #[test]
+    fn overlapping_atoms_finite_and_repulsive() {
+        let table = PairTable::new(&LjTable::standard());
+        let lig = Frame::from_parts(&[Vec3::ZERO], &[Element::C], &[0.0]);
+        let rec = Frame::from_parts(&[Vec3::ZERO], &[Element::C], &[0.0]);
+        let e = lj_naive(&lig, &rec, &table);
+        assert!(e.is_finite());
+        assert!(e > 1e3, "overlap must be strongly repulsive, got {e}");
+    }
+
+    #[test]
+    fn clamp_kicks_in_below_threshold() {
+        let table = PairTable::new(&LjTable::standard());
+        let (s2, e4) = (9.0, 1.0);
+        assert_eq!(lj_pair(s2, e4, 0.0), lj_pair(s2, e4, MIN_DIST_SQ));
+        assert_eq!(lj_pair(s2, e4, 0.1), lj_pair(s2, e4, MIN_DIST_SQ));
+        assert_ne!(lj_pair(s2, e4, 0.3), lj_pair(s2, e4, MIN_DIST_SQ));
+        let _ = table;
+    }
+
+    #[test]
+    fn cutoff_inf_matches_all_pairs() {
+        let (lig, rec, table) = frames(400, 12, 17);
+        let a = lj_naive(&lig, &rec, &table);
+        let b = lj_naive_cutoff(&lig, &rec, &table, 1e9);
+        assert!((a - b).abs() < 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn cutoff_zero_scores_nothing_at_distance() {
+        let table = PairTable::new(&LjTable::standard());
+        let lig = Frame::from_parts(&[Vec3::ZERO], &[Element::C], &[0.0]);
+        let rec = Frame::from_parts(&[Vec3::new(5.0, 0.0, 0.0)], &[Element::C], &[0.0]);
+        assert_eq!(lj_naive_cutoff(&lig, &rec, &table, 1.0), 0.0);
+    }
+
+    #[test]
+    fn cutoff_approximation_converges() {
+        // Larger cutoffs approach the all-pairs score monotonically-ish.
+        let (lig, rec, table) = frames(800, 20, 23);
+        let full = lj_naive(&lig, &rec, &table);
+        let e8 = lj_naive_cutoff(&lig, &rec, &table, 8.0);
+        let e16 = lj_naive_cutoff(&lig, &rec, &table, 16.0);
+        assert!((e16 - full).abs() < (e8 - full).abs() + 1e-9);
+    }
+
+    #[test]
+    fn frame_from_molecule_roundtrip() {
+        let m = vsmol::Molecule::new(
+            "m",
+            vec![
+                Atom::with_charge(Vec3::new(1.0, 2.0, 3.0), Element::N, -0.3),
+                Atom::with_charge(Vec3::new(-1.0, 0.0, 0.5), Element::C, 0.1),
+            ],
+        );
+        let f = Frame::from_molecule(&m);
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.x, vec![1.0, -1.0]);
+        assert_eq!(f.elem, vec![Element::N.index() as u8, Element::C.index() as u8]);
+        assert_eq!(f.charge, vec![-0.3, 0.1]);
+    }
+
+    #[test]
+    fn score_is_rotation_invariant_for_symmetric_system() {
+        // Rotating BOTH frames together must not change the score.
+        let mut rng = RngStream::from_seed(31);
+        let rot = rng.rotation();
+        let lig_m = synth::synth_ligand("l", 8, 3);
+        let rec_m = synth::synth_receptor("r", 200, 4);
+        let table = PairTable::new(&LjTable::standard());
+        let tf = vsmath::RigidTransform::from_rotation(rot);
+        let a = lj_naive(
+            &Frame::from_molecule(&lig_m),
+            &Frame::from_molecule(&rec_m),
+            &table,
+        );
+        let b = lj_naive(
+            &Frame::from_molecule(&lig_m.transformed(&tf)),
+            &Frame::from_molecule(&rec_m.transformed(&tf)),
+            &table,
+        );
+        assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "{a} vs {b}");
+    }
+}

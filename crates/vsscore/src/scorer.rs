@@ -1,0 +1,477 @@
+//! The [`Scorer`] facade: prepare a receptor/ligand pair once, then score
+//! arbitrary poses cheaply, serially or in parallel batches.
+
+use crate::coulomb::{coulomb_naive, coulomb_pair};
+use crate::lj::{lj_naive, lj_pair, lj_tiled, Frame, PairTable};
+use serde::{Deserialize, Serialize};
+use vsmath::{RigidTransform, SpatialGrid, Vec3};
+use vsmol::{Element, LjTable, Molecule};
+
+/// Which physical terms the score includes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScoringModel {
+    /// The paper's baseline: Lennard-Jones only (§3.1).
+    LennardJones,
+    /// Extension (§6 future work): LJ plus Coulomb with a
+    /// distance-dependent dielectric.
+    LennardJonesCoulomb { dielectric: f64 },
+    /// Full extension: LJ + Coulomb + the 10–12 hydrogen-bond term
+    /// ([`crate::hbond`]).
+    Full { dielectric: f64, hbond_epsilon: f64 },
+}
+
+impl ScoringModel {
+    /// The dielectric scale, if the model has an electrostatic term.
+    pub fn dielectric(&self) -> Option<f64> {
+        match *self {
+            ScoringModel::LennardJones => None,
+            ScoringModel::LennardJonesCoulomb { dielectric }
+            | ScoringModel::Full { dielectric, .. } => Some(dielectric),
+        }
+    }
+
+    /// The H-bond well depth, if the model has an H-bond term.
+    pub fn hbond_epsilon(&self) -> Option<f64> {
+        match *self {
+            ScoringModel::Full { hbond_epsilon, .. } => Some(hbond_epsilon),
+            _ => None,
+        }
+    }
+}
+
+impl Default for ScoringModel {
+    fn default() -> Self {
+        ScoringModel::LennardJones
+    }
+}
+
+/// Which kernel executes the pair loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Kernel {
+    /// All-pairs, ligand-outer loop.
+    Naive,
+    /// All-pairs, receptor-tile-outer loop (cache-blocking; the CUDA
+    /// shared-memory tiling analog). Default.
+    Tiled,
+    /// Spherical cutoff accelerated by a receptor spatial grid. An
+    /// approximation: pairs beyond `cutoff` Å contribute nothing.
+    GridCutoff { cutoff: f64 },
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::Tiled
+    }
+}
+
+/// Scorer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScorerOptions {
+    pub model: ScoringModel,
+    pub kernel: Kernel,
+}
+
+/// Per-thread scratch for transformed ligand coordinates.
+#[derive(Debug, Default, Clone)]
+struct Scratch {
+    positions: Vec<Vec3>,
+}
+
+/// A prepared receptor/ligand scoring context.
+///
+/// Construction flattens the receptor once ([`Frame`]); each [`Scorer::score`]
+/// call applies a pose to the centered ligand and runs the configured kernel.
+#[derive(Debug, Clone)]
+pub struct Scorer {
+    rec_frame: Frame,
+    rec_grid: Option<SpatialGrid>,
+    lig_local: Vec<Vec3>,
+    lig_elem: Vec<Element>,
+    lig_charge: Vec<f64>,
+    table: PairTable,
+    opts: ScorerOptions,
+}
+
+impl Scorer {
+    /// Prepare a scorer. The ligand is re-centered at its centroid so pose
+    /// translations place the ligand *center*.
+    pub fn new(receptor: &Molecule, ligand: &Molecule, opts: ScorerOptions) -> Scorer {
+        let lig = ligand.centered();
+        let rec_grid = match opts.kernel {
+            Kernel::GridCutoff { cutoff } => {
+                assert!(cutoff > 0.0, "cutoff must be positive");
+                Some(SpatialGrid::build(receptor.positions(), cutoff.max(1.0)))
+            }
+            _ => None,
+        };
+        Scorer {
+            rec_frame: Frame::from_molecule(receptor),
+            rec_grid,
+            lig_local: lig.positions().to_vec(),
+            lig_elem: lig.elements().to_vec(),
+            lig_charge: lig.charges(),
+            table: PairTable::new(&LjTable::standard()),
+            opts,
+        }
+    }
+
+    pub fn receptor_atoms(&self) -> usize {
+        self.rec_frame.len()
+    }
+
+    pub fn ligand_atoms(&self) -> usize {
+        self.lig_local.len()
+    }
+
+    /// Pair interactions per evaluation (the `gpusim` workload unit).
+    pub fn pairs_per_eval(&self) -> u64 {
+        crate::pairs_per_eval(self.ligand_atoms(), self.receptor_atoms())
+    }
+
+    pub fn options(&self) -> ScorerOptions {
+        self.opts
+    }
+
+    /// Score a single pose (lower is better).
+    pub fn score(&self, pose: &RigidTransform) -> f64 {
+        let mut scratch = Scratch::default();
+        self.score_with(pose, &mut scratch)
+    }
+
+    fn score_with(&self, pose: &RigidTransform, scratch: &mut Scratch) -> f64 {
+        pose.apply_all(&self.lig_local, &mut scratch.positions);
+        match self.opts.kernel {
+            Kernel::GridCutoff { cutoff } => self.score_grid(&scratch.positions, cutoff),
+            kernel => {
+                let lig = Frame::from_parts(&scratch.positions, &self.lig_elem, &self.lig_charge);
+                let lj = match kernel {
+                    Kernel::Naive => lj_naive(&lig, &self.rec_frame, &self.table),
+                    Kernel::Tiled => lj_tiled(&lig, &self.rec_frame, &self.table),
+                    Kernel::GridCutoff { .. } => unreachable!(),
+                };
+                let mut total = lj;
+                if let Some(dielectric) = self.opts.model.dielectric() {
+                    total += coulomb_naive(&lig, &self.rec_frame, dielectric);
+                }
+                if let Some(eps) = self.opts.model.hbond_epsilon() {
+                    total += crate::hbond::hbond_naive(&lig, &self.rec_frame, eps);
+                }
+                total
+            }
+        }
+    }
+
+    fn score_grid(&self, lig_pos: &[Vec3], cutoff: f64) -> f64 {
+        let grid = self.rec_grid.as_ref().expect("grid kernel without grid");
+        let dielectric = self.opts.model.dielectric();
+        let hbond_eps = self.opts.model.hbond_epsilon();
+        let mut total = 0.0;
+        for (i, &p) in lig_pos.iter().enumerate() {
+            let le = self.lig_elem[i].index() as u8;
+            let lig_capable = crate::hbond::is_hbond_capable(self.lig_elem[i]);
+            let qi = self.lig_charge[i];
+            grid.for_each_within(p, cutoff, |j, _, r_sq| {
+                let (s2, e4) = self.pair_at(le, self.rec_frame.elem[j]);
+                total += lj_pair(s2, e4, r_sq);
+                if let Some(eps) = dielectric {
+                    total += coulomb_pair(qi, self.rec_frame.charge[j], r_sq, eps);
+                }
+                if let Some(hb) = hbond_eps {
+                    let rec_e = Element::ALL[self.rec_frame.elem[j] as usize];
+                    if lig_capable && crate::hbond::is_hbond_capable(rec_e) {
+                        total += crate::hbond::hbond_pair(hb, r_sq);
+                    }
+                }
+            });
+        }
+        total
+    }
+
+    /// Score a pose and compute the net force/torque on the rigid ligand —
+    /// the gradient the Lamarckian improver in `metaheur` descends. The
+    /// gradient covers the LJ and Coulomb terms (the H-bond term, when
+    /// enabled, contributes to the score but not the descent direction).
+    pub fn score_and_gradient(&self, pose: &RigidTransform) -> (f64, crate::forces::RigidGradient) {
+        let mut scratch = Scratch::default();
+        let score = self.score_with(pose, &mut scratch);
+        let lig = Frame::from_parts(&scratch.positions, &self.lig_elem, &self.lig_charge);
+        let grad = crate::forces::rigid_gradient(
+            &lig,
+            &self.rec_frame,
+            &self.table,
+            pose.translation,
+            self.opts.model.dielectric(),
+        );
+        (score, grad)
+    }
+
+    #[inline]
+    fn pair_at(&self, lig_elem: u8, rec_elem: u8) -> (f64, f64) {
+        self.table.lookup(lig_elem, rec_elem)
+    }
+
+    /// Score a batch of poses serially.
+    pub fn score_batch(&self, poses: &[RigidTransform]) -> Vec<f64> {
+        let mut scratch = Scratch::default();
+        poses.iter().map(|p| self.score_with(p, &mut scratch)).collect()
+    }
+
+    /// Score a batch of poses on `n_threads` OS threads (crossbeam scoped),
+    /// preserving output order. This is the "OpenMP" CPU path of the paper's
+    /// baseline implementation.
+    pub fn score_batch_parallel(&self, poses: &[RigidTransform], n_threads: usize) -> Vec<f64> {
+        let n_threads = n_threads.max(1).min(poses.len().max(1));
+        if n_threads <= 1 || poses.len() < 2 {
+            return self.score_batch(poses);
+        }
+        let mut out = vec![0.0f64; poses.len()];
+        let chunk = poses.len().div_ceil(n_threads);
+        crossbeam::scope(|s| {
+            for (pose_chunk, out_chunk) in poses.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move |_| {
+                    let mut scratch = Scratch::default();
+                    for (p, o) in pose_chunk.iter().zip(out_chunk.iter_mut()) {
+                        *o = self.score_with(p, &mut scratch);
+                    }
+                });
+            }
+        })
+        .expect("scoring thread panicked");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsmath::{Quat, RngStream};
+    use vsmol::synth;
+
+    fn setup(kernel: Kernel) -> Scorer {
+        let rec = synth::synth_receptor("r", 600, 5);
+        let lig = synth::synth_ligand("l", 16, 6);
+        Scorer::new(&rec, &lig, ScorerOptions { model: ScoringModel::LennardJones, kernel })
+    }
+
+    fn random_poses(n: usize, seed: u64, spread: f64) -> Vec<RigidTransform> {
+        let mut rng = RngStream::from_seed(seed);
+        (0..n)
+            .map(|_| RigidTransform::new(rng.rotation(), rng.in_ball(spread)))
+            .collect()
+    }
+
+    #[test]
+    fn naive_and_tiled_scorers_agree() {
+        let a = setup(Kernel::Naive);
+        let b = setup(Kernel::Tiled);
+        for pose in random_poses(10, 1, 30.0) {
+            let sa = a.score(&pose);
+            let sb = b.score(&pose);
+            assert!((sa - sb).abs() <= 1e-9 * sa.abs().max(1.0), "{sa} vs {sb}");
+        }
+    }
+
+    #[test]
+    fn grid_cutoff_matches_naive_cutoff() {
+        let rec = synth::synth_receptor("r", 600, 5);
+        let lig = synth::synth_ligand("l", 16, 6);
+        let cutoff = 10.0;
+        let grid = Scorer::new(
+            &rec,
+            &lig,
+            ScorerOptions { model: ScoringModel::LennardJones, kernel: Kernel::GridCutoff { cutoff } },
+        );
+        // Reference: naive cutoff over the same transformed ligand.
+        let table = PairTable::new(&LjTable::standard());
+        let rec_frame = Frame::from_molecule(&rec);
+        let lig_centered = lig.centered();
+        for pose in random_poses(8, 2, 25.0) {
+            let lig_t = lig_centered.transformed(&pose);
+            let lf = Frame::from_molecule(&lig_t);
+            let want = crate::lj::lj_naive_cutoff(&lf, &rec_frame, &table, cutoff);
+            let got = grid.score(&pose);
+            assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0), "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let s = setup(Kernel::Tiled);
+        let poses = random_poses(12, 3, 20.0);
+        let batch = s.score_batch(&poses);
+        for (p, &b) in poses.iter().zip(&batch) {
+            assert_eq!(s.score(p), b);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let s = setup(Kernel::Tiled);
+        let poses = random_poses(37, 4, 20.0);
+        let serial = s.score_batch(&poses);
+        for n_threads in [1, 2, 3, 8, 64] {
+            let par = s.score_batch_parallel(&poses, n_threads);
+            assert_eq!(serial, par, "n_threads={n_threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_empty_and_single() {
+        let s = setup(Kernel::Tiled);
+        assert!(s.score_batch_parallel(&[], 4).is_empty());
+        let one = random_poses(1, 5, 10.0);
+        assert_eq!(s.score_batch_parallel(&one, 4), s.score_batch(&one));
+    }
+
+    #[test]
+    fn coulomb_model_changes_score() {
+        let rec = synth::synth_receptor("r", 300, 7);
+        let lig = synth::synth_ligand("l", 10, 8);
+        let lj = Scorer::new(&rec, &lig, ScorerOptions::default());
+        let ljc = Scorer::new(
+            &rec,
+            &lig,
+            ScorerOptions {
+                model: ScoringModel::LennardJonesCoulomb { dielectric: 4.0 },
+                kernel: Kernel::Tiled,
+            },
+        );
+        let pose = RigidTransform::from_translation(Vec3::new(25.0, 0.0, 0.0));
+        assert_ne!(lj.score(&pose), ljc.score(&pose));
+    }
+
+    #[test]
+    fn far_away_ligand_scores_near_zero() {
+        let s = setup(Kernel::Tiled);
+        let far = RigidTransform::from_translation(Vec3::new(1e5, 0.0, 0.0));
+        assert!(s.score(&far).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ligand_inside_receptor_is_unfavorable() {
+        let s = setup(Kernel::Tiled);
+        let inside = RigidTransform::IDENTITY; // ligand at receptor center
+        let surface = RigidTransform::from_translation(Vec3::new(19.0, 0.0, 0.0));
+        assert!(
+            s.score(&inside) > s.score(&surface),
+            "buried clash must score worse than surface contact"
+        );
+    }
+
+    #[test]
+    fn there_exists_a_favorable_pose() {
+        // Somewhere near the surface the LJ attraction wins: score < 0.
+        let s = setup(Kernel::Tiled);
+        let mut best = f64::INFINITY;
+        let mut rng = RngStream::from_seed(9);
+        for _ in 0..300 {
+            let r = rng.uniform_range(16.0, 24.0);
+            let dir = rng.unit_vector();
+            let pose = RigidTransform::new(rng.rotation(), dir * r);
+            best = best.min(s.score(&pose));
+        }
+        assert!(best < 0.0, "no favorable pose found, best {best}");
+    }
+
+    #[test]
+    fn rotation_changes_score() {
+        let s = setup(Kernel::Tiled);
+        let t = Vec3::new(18.0, 2.0, 1.0);
+        let a = s.score(&RigidTransform::new(Quat::IDENTITY, t));
+        let b = s.score(&RigidTransform::new(Quat::from_axis_angle(Vec3::X, 1.5), t));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn pairs_per_eval_exposed() {
+        let s = setup(Kernel::Tiled);
+        assert_eq!(s.pairs_per_eval(), (s.ligand_atoms() * s.receptor_atoms()) as u64);
+    }
+
+    #[test]
+    fn full_model_adds_hbond_term() {
+        let rec = synth::synth_receptor("r", 300, 7);
+        let lig = synth::synth_ligand("l", 10, 8);
+        let ljc = Scorer::new(
+            &rec,
+            &lig,
+            ScorerOptions {
+                model: ScoringModel::LennardJonesCoulomb { dielectric: 4.0 },
+                kernel: Kernel::Tiled,
+            },
+        );
+        let full = Scorer::new(
+            &rec,
+            &lig,
+            ScorerOptions {
+                model: ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 },
+                kernel: Kernel::Tiled,
+            },
+        );
+        // Scan poses until one differs (N/O contact); a zero-eps Full model
+        // must equal LJC everywhere.
+        let zero = Scorer::new(
+            &rec,
+            &lig,
+            ScorerOptions {
+                model: ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 0.0 },
+                kernel: Kernel::Tiled,
+            },
+        );
+        let mut rng = RngStream::from_seed(21);
+        let mut any_diff = false;
+        for _ in 0..40 {
+            let pose = RigidTransform::new(rng.rotation(), rng.unit_vector() * 19.0);
+            let a = ljc.score(&pose);
+            let b = full.score(&pose);
+            let c = zero.score(&pose);
+            assert!((a - c).abs() < 1e-12, "zero-eps H-bond must be inert");
+            if (a - b).abs() > 1e-9 {
+                any_diff = true;
+            }
+        }
+        assert!(any_diff, "H-bond term never engaged across 40 contact poses");
+    }
+
+    #[test]
+    fn full_model_grid_matches_dense_within_cutoff_tolerance() {
+        let rec = synth::synth_receptor("r", 300, 7);
+        let lig = synth::synth_ligand("l", 10, 8);
+        let model = ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 };
+        let dense = Scorer::new(&rec, &lig, ScorerOptions { model, kernel: Kernel::Tiled });
+        let grid = Scorer::new(
+            &rec,
+            &lig,
+            ScorerOptions { model, kernel: Kernel::GridCutoff { cutoff: 25.0 } },
+        );
+        let mut rng = RngStream::from_seed(23);
+        let pose = RigidTransform::new(rng.rotation(), rng.unit_vector() * 18.0);
+        let a = dense.score(&pose);
+        let b = grid.score(&pose);
+        // 25 Å truncates the slow 1/r² Coulomb tail; allow a sub-kcal/mol
+        // absolute discrepancy.
+        assert!((a - b).abs() < 0.5, "{a} vs {b}");
+    }
+
+    #[test]
+    fn model_accessors() {
+        assert_eq!(ScoringModel::LennardJones.dielectric(), None);
+        assert_eq!(ScoringModel::LennardJonesCoulomb { dielectric: 2.0 }.dielectric(), Some(2.0));
+        let f = ScoringModel::Full { dielectric: 3.0, hbond_epsilon: 0.5 };
+        assert_eq!(f.dielectric(), Some(3.0));
+        assert_eq!(f.hbond_epsilon(), Some(0.5));
+        assert_eq!(ScoringModel::LennardJones.hbond_epsilon(), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_cutoff_panics() {
+        let rec = synth::synth_receptor("r", 50, 1);
+        let lig = synth::synth_ligand("l", 5, 2);
+        Scorer::new(
+            &rec,
+            &lig,
+            ScorerOptions { model: ScoringModel::LennardJones, kernel: Kernel::GridCutoff { cutoff: 0.0 } },
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! The paper's future-work extension (§6): a ligand-library screening
+//! campaign across a message-passing cluster of heterogeneous nodes, each
+//! running the intra-node heterogeneous schedule.
+//!
+//! Run with: `cargo run --release -p vs-examples --example cluster_screening`
+
+use vscluster::{synthetic_library, NetModel, SimCluster};
+use vscreen::prelude::*;
+
+fn main() {
+    let receptor_atoms = Dataset::TwoBsm.receptor_atoms();
+    let n_spots = 16;
+    let library = synthetic_library(48, &metaheur::m3(1.0), 11);
+    println!(
+        "campaign: {} ligands ({}-{} atoms) vs a {}-atom receptor over {} spots\n",
+        library.len(),
+        library.iter().map(|j| j.ligand_atoms).min().unwrap(),
+        library.iter().map(|j| j.ligand_atoms).max().unwrap(),
+        receptor_atoms,
+        n_spots
+    );
+
+    let strategy = Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() };
+
+    println!("{:>6} {:>14} {:>10} {:>10}", "nodes", "makespan (s)", "speedup", "comm %");
+    for n in [1usize, 2, 4, 8] {
+        let cluster = SimCluster::uniform(n, NetModel::infiniband(), vscreen::platform::hertz);
+        let r = cluster.screen_library(receptor_atoms, n_spots, &library, strategy);
+        println!(
+            "{:>6} {:>14.3} {:>9.2}x {:>9.2}%",
+            n,
+            r.makespan,
+            r.speedup(),
+            100.0 * r.comm_fraction()
+        );
+    }
+
+    // A heterogeneous cluster: Hertz + Jupiter nodes working together.
+    let mixed = SimCluster::new(
+        vec![vscreen::platform::hertz(), vscreen::platform::jupiter()],
+        NetModel::infiniband(),
+    );
+    let r = mixed.screen_library(receptor_atoms, n_spots, &library, strategy);
+    let jupiter_jobs = r.assignment.iter().filter(|&&x| x == 1).count();
+    println!(
+        "\nmixed Hertz+Jupiter cluster: makespan {:.3}s, {} of {} jobs went to Jupiter",
+        r.makespan,
+        jupiter_jobs,
+        library.len()
+    );
+
+    // Slow interconnect ablation.
+    let slow = SimCluster::uniform(4, NetModel::gigabit_ethernet(), vscreen::platform::hertz)
+        .screen_library(receptor_atoms, n_spots, &library, strategy);
+    println!(
+        "gigabit-ethernet 4-node cluster: comm share {:.2}% (vs InfiniBand {:.2}%)",
+        100.0 * slow.comm_fraction(),
+        100.0
+            * SimCluster::uniform(4, NetModel::infiniband(), vscreen::platform::hertz)
+                .screen_library(receptor_atoms, n_spots, &library, strategy)
+                .comm_fraction()
+    );
+}

@@ -1,0 +1,49 @@
+//! Straggler injection: what happens to a screening campaign when one
+//! cluster node degrades mid-life (thermal throttling, contention)?
+//! Dynamic job assignment — the paper's "dynamic assignment of jobs to
+//! heterogeneous resources" — absorbs the straggler; a static plan eats
+//! the full slowdown.
+//!
+//! Run with: `cargo run --release -p vs-examples --example fault_tolerance`
+
+use vscluster::{screen_library_faulty, synthetic_library, FaultPlan, NetModel, SimCluster};
+use vscreen::prelude::*;
+
+fn main() {
+    let cluster = SimCluster::uniform(4, NetModel::infiniband(), platform::hertz);
+    let jobs = synthetic_library(32, &metaheur::m3(1.0), 7);
+    let strategy = Strategy::HomogeneousSplit;
+
+    println!("campaign: {} ligand jobs over 4 Hertz nodes\n", jobs.len());
+    println!(
+        "{:<26} {:>10} {:>10} {:>14}",
+        "fault scenario", "static", "dynamic", "dynamic gain"
+    );
+
+    for (label, plan) in [
+        ("healthy", FaultPlan::healthy(4)),
+        ("node 2 at 2x slowdown", FaultPlan::straggler(4, 2, 2.0)),
+        ("node 2 at 4x slowdown", FaultPlan::straggler(4, 2, 4.0)),
+        ("node 2 at 10x slowdown", FaultPlan::straggler(4, 2, 10.0)),
+        ("node 2 dead", FaultPlan::straggler(4, 2, 1e9)),
+    ] {
+        let s = screen_library_faulty(&cluster, 3264, 16, &jobs, strategy, &plan, false);
+        let d = screen_library_faulty(&cluster, 3264, 16, &jobs, strategy, &plan, true);
+        println!(
+            "{:<26} {:>9.3}s {:>9.3}s {:>13.2}x",
+            label,
+            s.makespan,
+            d.makespan,
+            s.makespan / d.makespan
+        );
+    }
+
+    println!("\njob placement under the 4x straggler (node 2 degraded):");
+    let plan = FaultPlan::straggler(4, 2, 4.0);
+    for (label, dynamic) in [("static", false), ("dynamic", true)] {
+        let r = screen_library_faulty(&cluster, 3264, 16, &jobs, strategy, &plan, dynamic);
+        let counts: Vec<usize> =
+            (0..4).map(|n| r.assignment.iter().filter(|&&x| x == n).count()).collect();
+        println!("  {label:<8} jobs per node: {counts:?}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: screen the paper's 2BSM benchmark compound on the simulated
+//! Hertz node (Tesla K40c + GTX 580) with the heterogeneity-aware schedule.
+//!
+//! Run with: `cargo run --release -p vs-examples --example quickstart`
+
+use vscreen::prelude::*;
+
+fn main() {
+    // Synthetic structures with the paper's Table 5 atom counts; real PDB
+    // files load via vsmol::pdb::parse instead.
+    let screen = VirtualScreen::builder(Dataset::TwoBsm)
+        .max_spots(8) // cap the surface regions for a quick demo
+        .seed(2016)
+        .build();
+
+    println!(
+        "receptor {} atoms, ligand {} atoms, {} surface spots, {} pair interactions/eval",
+        screen.receptor().len(),
+        screen.ligand().len(),
+        screen.spots().len(),
+        screen.pairs_per_eval()
+    );
+
+    // The M3 metaheuristic (light local search) at 20% of the calibrated
+    // paper workload — a few seconds of real compute.
+    let params = metaheur::m3(0.2);
+    let node = platform::hertz();
+    let outcome = screen.run_on_node(
+        &params,
+        &node,
+        Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+    );
+
+    println!(
+        "\n{} finished: {} scoring evaluations, {} generations",
+        params.name, outcome.evaluations, outcome.generations_run
+    );
+    println!(
+        "best binding: score {:.2} kcal/mol at spot {}",
+        outcome.best.score, outcome.best.spot_id
+    );
+    println!("modeled node execution time: {:.4} virtual seconds", outcome.virtual_time);
+
+    println!("\ntop spots by affinity:");
+    for c in outcome.ranked.iter().take(5) {
+        println!("  spot {:>3}: {:>10.2}", c.spot_id, c.score);
+    }
+}

@@ -1,0 +1,55 @@
+//! Integration of the cluster extension with the full screening stack.
+
+use vscluster::{synthetic_library, NetModel, SimCluster};
+use vscreen::prelude::*;
+
+#[test]
+fn campaign_composes_cluster_and_intra_node_scheduling() {
+    let library = synthetic_library(12, &metaheur::m3(0.5), 1);
+    let cluster = SimCluster::uniform(2, NetModel::infiniband(), platform::hertz);
+    let strategies = [
+        Strategy::HomogeneousSplit,
+        Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+    ];
+    let mut makespans = Vec::new();
+    for s in strategies {
+        let r = cluster.screen_library(3264, 32, &library, s);
+        assert!(r.makespan > 0.0);
+        assert!(r.speedup() > 1.3, "{}: {}", s.label(), r.speedup());
+        makespans.push(r.makespan);
+    }
+    // The intra-node heterogeneous algorithm also helps at cluster scale.
+    assert!(
+        makespans[1] < makespans[0],
+        "het intra-node schedule should shorten the campaign: {makespans:?}"
+    );
+}
+
+#[test]
+fn mixed_metaheuristic_campaign() {
+    // Jobs of different metaheuristics (the "different molecular
+    // interactions" of the abstract) share one cluster.
+    let mut jobs = synthetic_library(6, &metaheur::m1(0.5), 2);
+    jobs.extend({
+        let mut heavy = synthetic_library(2, &metaheur::m4(0.1), 3);
+        for (i, j) in heavy.iter_mut().enumerate() {
+            j.id = 6 + i;
+        }
+        heavy
+    });
+    let cluster = SimCluster::uniform(2, NetModel::infiniband(), platform::hertz);
+    let r = cluster.screen_library(3264, 16, &jobs, Strategy::HomogeneousSplit);
+    assert_eq!(r.assignment.len(), 8);
+    // LPT assignment: the two heavy M4 jobs must land on different nodes.
+    assert_ne!(r.assignment[6], r.assignment[7], "heavy jobs not spread: {:?}", r.assignment);
+}
+
+#[test]
+fn cluster_of_jupiters_screens_faster_than_one() {
+    let library = synthetic_library(16, &metaheur::m2(0.5), 4);
+    let one = SimCluster::uniform(1, NetModel::infiniband(), platform::jupiter)
+        .screen_library(8609, 32, &library, Strategy::HomogeneousSplit);
+    let four = SimCluster::uniform(4, NetModel::infiniband(), platform::jupiter)
+        .screen_library(8609, 32, &library, Strategy::HomogeneousSplit);
+    assert!(four.makespan < one.makespan / 2.5, "{} vs {}", four.makespan, one.makespan);
+}

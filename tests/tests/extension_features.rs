@@ -1,0 +1,149 @@
+//! Integration coverage for the extension features: SDF libraries, the
+//! extension search engines on real scoring, timelines, energy accounting
+//! and the machine-readable report.
+
+use vscreen::prelude::*;
+
+#[test]
+fn sdf_library_roundtrips_into_campaign() {
+    // Build a library, serialize to SDF, parse it back, screen it.
+    let lib: Vec<Molecule> = (0..3)
+        .map(|i| vsmol::synth::synth_ligand(&format!("sdf-lig-{i}"), 10 + i, 900 + i as u64))
+        .collect();
+    let text = vsmol::sdf::write(&lib);
+    let parsed = vsmol::sdf::parse(&text, "lib").expect("valid SDF");
+    assert_eq!(parsed.len(), 3);
+
+    let receptor = vsmol::synth::synth_receptor("r", 400, 4);
+    let node = platform::hertz();
+    let ranking = vscreen::library::screen_library(
+        &receptor,
+        &parsed,
+        &metaheur::m1(0.03),
+        &node,
+        Strategy::HomogeneousSplit,
+        2,
+        5,
+    );
+    assert_eq!(ranking.hits.len(), 3);
+    assert!(ranking.hits[0].ligand_name.starts_with("sdf-lig-"));
+}
+
+#[test]
+fn pso_and_tabu_run_on_real_scorer() {
+    let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(2).seed(6).build();
+    let spots = screen.spots().to_vec();
+    let scorer = screen.scorer();
+
+    let pso = metaheur::PsoParams { swarm_per_spot: 16, iterations: 8, ..Default::default() };
+    let mut ev = metaheur::CpuEvaluator::with_threads((*scorer).clone(), 4);
+    let r_pso = metaheur::run_pso(&pso, &spots, &mut ev, 1);
+    assert!(r_pso.best.score < 0.0, "PSO found no binding: {}", r_pso.best.score);
+
+    let tabu = metaheur::TabuParams { iterations: 15, neighbors: 8, ..Default::default() };
+    let mut ev = metaheur::CpuEvaluator::with_threads((*scorer).clone(), 4);
+    let r_tabu = metaheur::run_tabu(&tabu, &spots, &mut ev, 1);
+    assert!(r_tabu.best.score < 0.0, "Tabu found no binding: {}", r_tabu.best.score);
+}
+
+#[test]
+fn memetic_hybrid_on_real_scorer() {
+    let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(2).seed(8).build();
+    let spots = screen.spots().to_vec();
+    let p = metaheur::MemeticParams {
+        name: "GA+Tabu".into(),
+        ga: metaheur::m1(0.05),
+        tabu: metaheur::TabuParams { iterations: 6, neighbors: 8, ..Default::default() },
+        epochs: 2,
+    };
+    let mut ev = metaheur::CpuEvaluator::with_threads((*screen.scorer()).clone(), 4);
+    let r = metaheur::run_memetic(&p, &spots, &mut ev, 2);
+    assert_eq!(r.evaluations, p.evals_per_spot() * 2);
+    assert!(r.best.score < 0.0);
+}
+
+#[test]
+fn lamarckian_improves_real_docking() {
+    // Gradient descent on the real LJ landscape must not lose to the same
+    // budget spent on random perturbation.
+    let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(2).seed(9).build();
+    let lam = metaheur::MetaheuristicParams {
+        name: "M3-lam".into(),
+        improve: metaheur::ImproveStrategy::Lamarckian { steps: 1, step_size: 0.3, angle_step: 0.08 },
+        improve_fraction: 1.0,
+        ..metaheur::m3(0.1)
+    };
+    let out = screen.run_cpu(&lam, 4);
+    assert!(out.best.score < 0.0);
+    assert_eq!(out.evaluations, lam.evals_per_spot() as u64 * 2);
+}
+
+#[test]
+fn energy_and_timeline_cohere_with_times() {
+    use vsched::{schedule_trace, schedule_trace_timeline};
+    let node = platform::hertz();
+    let trace: Vec<u64> = std::iter::repeat(64 * 32).take(20).collect();
+    let pairs = 45 * 3264;
+    let strat = Strategy::HomogeneousSplit;
+    let plain = schedule_trace(node.cpu(), node.gpus(), &trace, pairs, strat);
+    let (tl_report, tl) = schedule_trace_timeline(node.cpu(), node.gpus(), &trace, pairs, strat);
+    assert!((plain.makespan - tl_report.makespan).abs() < 1e-12);
+    assert!((plain.energy_joules - tl_report.energy_joules).abs() < 1e-9);
+    // Timeline idle + busy = makespan per device.
+    for g in node.gpus() {
+        let busy: f64 = tl
+            .segments()
+            .iter()
+            .filter(|s| s.device == g.id())
+            .map(|s| s.end - s.start)
+            .sum();
+        assert!((busy + tl.idle_time(g.id()) - tl.makespan()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn full_report_reflects_paper_shape() {
+    let r = vscreen::report::full_report(experiment::ExperimentScale::Full);
+    // Hertz tables carry larger heterogeneous gains than Jupiter tables.
+    let gain = |system: &str| -> f64 {
+        r.tables
+            .iter()
+            .filter(|t| t.system == system)
+            .flat_map(|t| t.rows.iter())
+            .map(|row| row.speedup_het_vs_hom())
+            .sum::<f64>()
+            / 8.0
+    };
+    assert!(gain("Hertz") > gain("Jupiter") + 0.2, "Hertz {} vs Jupiter {}", gain("Hertz"), gain("Jupiter"));
+    let json = vscreen::report::to_json(&r);
+    assert!(json.len() > 1000);
+}
+
+#[test]
+fn tuning_on_real_scorer_improves_or_matches_base() {
+    let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(2).seed(12).build();
+    let spots = screen.spots().to_vec();
+    let scorer = screen.scorer();
+    let base = metaheur::m1(0.03);
+    let grid = metaheur::TuningGrid {
+        mutation_probs: vec![base.mutation_prob, 0.5],
+        max_shifts: vec![base.max_shift],
+        max_angles: vec![base.max_angle],
+    };
+    let report = metaheur::tune(
+        &base,
+        &grid,
+        &spots,
+        || metaheur::CpuEvaluator::with_threads((*scorer).clone(), 4),
+        3,
+        1,
+    );
+    let base_point = report
+        .points
+        .iter()
+        .find(|p| p.mutation_prob == base.mutation_prob)
+        .expect("base evaluated");
+    assert!(report.best.mean_best <= base_point.mean_best);
+    let tuned = report.apply_to(&base);
+    assert_eq!(tuned.population_per_spot, base.population_per_spot);
+}

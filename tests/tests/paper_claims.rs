@@ -1,0 +1,171 @@
+//! The paper's quantitative claims, validated against the full-scale
+//! reproduction (Tables 6–9 analogs). Paper reference values:
+//!
+//! | claim | paper | band asserted here |
+//! |---|---|---|
+//! | Jupiter het-alg gain (T6–7) | 1.01–1.06× | 1.00–1.20× |
+//! | Hertz het-alg gain (T8–9) | 1.31–1.56× | 1.25–1.70× |
+//! | GPU vs OpenMP speed-up | ~50–120× | > 25× |
+//! | speed-up grows with receptor | 2BXG > 2BSM | monotone |
+//! | Hertz 2 GPUs ≈ Jupiter 6 GPUs | "equivalent" | within 35% |
+//! | M4 best speed-up, M3 cheapest | §5 | exact ordering |
+
+use vscreen::experiment::{hertz_table, jupiter_table, ExperimentScale, TableResult};
+use vsmol::Dataset;
+
+fn jt(d: Dataset) -> TableResult {
+    jupiter_table(d, ExperimentScale::Full)
+}
+
+fn ht(d: Dataset) -> TableResult {
+    hertz_table(d, ExperimentScale::Full)
+}
+
+#[test]
+fn jupiter_heterogeneous_gains_are_small() {
+    for d in Dataset::ALL {
+        for r in &jt(d).rows {
+            let g = r.speedup_het_vs_hom();
+            assert!(
+                (1.0..1.20).contains(&g),
+                "{} {}: Jupiter het/hom {g} outside paper band",
+                d.pdb_id(),
+                r.metaheuristic
+            );
+        }
+    }
+}
+
+#[test]
+fn hertz_heterogeneous_gains_are_large() {
+    for d in Dataset::ALL {
+        for r in &ht(d).rows {
+            let g = r.speedup_het_vs_hom();
+            assert!(
+                (1.25..1.70).contains(&g),
+                "{} {}: Hertz het/hom {g} outside paper band (1.31-1.56)",
+                d.pdb_id(),
+                r.metaheuristic
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_speedups_in_the_tens() {
+    for d in Dataset::ALL {
+        for t in [jt(d), ht(d)] {
+            for r in &t.rows {
+                let s = r.speedup_openmp_vs_het();
+                assert!(
+                    s > 25.0 && s < 300.0,
+                    "{} {} {}: OpenMP/het {s}",
+                    t.system,
+                    d.pdb_id(),
+                    r.metaheuristic
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn speedup_grows_with_receptor_size_on_both_systems() {
+    // §5: "the speed-up increases with the problem size, and so the
+    // multiGPU versions prove to be scalable" (2BXG is 2.7x larger).
+    let mean = |t: &TableResult| {
+        t.rows.iter().map(|r| r.speedup_openmp_vs_het()).sum::<f64>() / t.rows.len() as f64
+    };
+    assert!(mean(&jt(Dataset::TwoBxg)) > mean(&jt(Dataset::TwoBsm)), "Jupiter");
+    assert!(mean(&ht(Dataset::TwoBxg)) > mean(&ht(Dataset::TwoBsm)), "Hertz");
+}
+
+#[test]
+fn hertz_two_gpus_equivalent_to_jupiter_six() {
+    // §5: "the speed-up factors reported here with two GPUs are equivalent
+    // to those reported with 6 GPUs in Jupiter".
+    for d in Dataset::ALL {
+        let j = jt(d);
+        let h = ht(d);
+        for (rj, rh) in j.rows.iter().zip(&h.rows) {
+            let ratio = rj.het_sys_het_comp_s / rh.het_sys_het_comp_s;
+            assert!(
+                (0.65..1.55).contains(&ratio),
+                "{} {}: Jupiter/Hertz het time ratio {ratio}",
+                d.pdb_id(),
+                rj.metaheuristic
+            );
+        }
+    }
+}
+
+#[test]
+fn adding_c2075s_helps_jupiter() {
+    // Het system (6 GPUs) under the homogeneous algorithm still beats the
+    // 4-GPU homogeneous system (paper T6: 7.01 -> 5.13 etc.).
+    for d in Dataset::ALL {
+        for r in &jt(d).rows {
+            let hom4 = r.homogeneous_system_s.expect("Jupiter rows carry the 4-GPU column");
+            assert!(
+                r.het_sys_hom_comp_s < hom4,
+                "{} {}: 6 GPUs {} not faster than 4 GPUs {}",
+                d.pdb_id(),
+                r.metaheuristic,
+                r.het_sys_hom_comp_s,
+                hom4
+            );
+            // But at most ~1.5x (only 2 modest cards were added).
+            assert!(hom4 / r.het_sys_hom_comp_s < 1.6);
+        }
+    }
+}
+
+#[test]
+fn workload_ordering_matches_paper_columns() {
+    // Within every table: M3 < M1 < M2 << M4 in absolute time, every
+    // configuration (paper Tables 6-9 column order).
+    for t in [jt(Dataset::TwoBsm), jt(Dataset::TwoBxg), ht(Dataset::TwoBsm), ht(Dataset::TwoBxg)] {
+        let by_name = |n: &str| t.rows.iter().find(|r| r.metaheuristic == n).unwrap();
+        let (m1, m2, m3, m4) = (by_name("M1"), by_name("M2"), by_name("M3"), by_name("M4"));
+        for get in [
+            |r: &vscreen::experiment::TableRow| r.openmp_s,
+            |r: &vscreen::experiment::TableRow| r.het_sys_hom_comp_s,
+            |r: &vscreen::experiment::TableRow| r.het_sys_het_comp_s,
+        ] {
+            assert!(get(m3) < get(m1), "{}: M3 !< M1", t.title);
+            assert!(get(m1) < get(m2), "{}: M1 !< M2", t.title);
+            assert!(get(m2) < get(m4), "{}: M2 !< M4", t.title);
+            assert!(get(m4) > 10.0 * get(m1), "{}: M4 not dominant", t.title);
+        }
+    }
+}
+
+#[test]
+fn m4_reaches_best_speedup_m3_lowest() {
+    // §5: more intensive local search => higher speed-up; M4 the extreme.
+    for t in [ht(Dataset::TwoBsm), ht(Dataset::TwoBxg)] {
+        let sp: Vec<(String, f64)> = t
+            .rows
+            .iter()
+            .map(|r| (r.metaheuristic.clone(), r.speedup_openmp_vs_het()))
+            .collect();
+        let m4 = sp.iter().find(|(n, _)| n == "M4").unwrap().1;
+        let m3 = sp.iter().find(|(n, _)| n == "M3").unwrap().1;
+        for (n, s) in &sp {
+            assert!(m4 >= *s, "{}: M4 {m4} < {n} {s}", t.title);
+            assert!(m3 <= *s, "{}: M3 {m3} > {n} {s}", t.title);
+        }
+    }
+}
+
+#[test]
+fn workload_ratios_track_paper_times() {
+    // OpenMP column ratios vs paper Table 6 (2BSM, Jupiter):
+    // M2/M1 = 1.62, M3/M1 = 0.507, M4/M1 = 50.3.
+    let t = jt(Dataset::TwoBsm);
+    let by = |n: &str| t.rows.iter().find(|r| r.metaheuristic == n).unwrap().openmp_s;
+    let m1 = by("M1");
+    assert!((by("M2") / m1 - 1.62).abs() < 0.25, "M2/M1 {}", by("M2") / m1);
+    assert!((by("M3") / m1 - 0.507).abs() < 0.15, "M3/M1 {}", by("M3") / m1);
+    assert!((by("M4") / m1 - 50.3).abs() < 7.0, "M4/M1 {}", by("M4") / m1);
+}
