@@ -2,18 +2,14 @@
 //! evaluates it once per (batch × device), so it must be O(ns).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use gpusim::{catalog, CostModel, WorkBatch};
+use std::hint::black_box;
 
 fn cost_model_eval(c: &mut Criterion) {
     let mut group = c.benchmark_group("cost_model");
     group.sample_size(50);
     let model = CostModel::default();
-    let devices = [
-        catalog::xeon_e5_2620_dual(),
-        catalog::geforce_gtx_590(),
-        catalog::tesla_k40c(),
-    ];
+    let devices = [catalog::xeon_e5_2620_dual(), catalog::geforce_gtx_590(), catalog::tesla_k40c()];
     let batch = WorkBatch::conformations(4096, 45 * 3264);
     for d in &devices {
         group.bench_function(d.name.replace(' ', "_"), |b| {

@@ -4,9 +4,9 @@
 //! sense — the benches quantify that.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpusim::{catalog, SimDevice};
 use std::hint::black_box;
 use std::sync::Arc;
-use gpusim::{catalog, SimDevice};
 use vsched::{equal_split, proportional_split, schedule_trace, Strategy, WarmupConfig};
 
 fn partitioning(c: &mut Criterion) {

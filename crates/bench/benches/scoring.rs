@@ -109,9 +109,7 @@ fn grid_potential_tradeoff(c: &mut Criterion) {
         &lig,
         vsscore::GridOptions { spacing: 1.0, ..Default::default() },
     );
-    group.bench_function("grid_interpolated_per_pose", |b| {
-        b.iter(|| black_box(grid.score(&pose)))
-    });
+    group.bench_function("grid_interpolated_per_pose", |b| b.iter(|| black_box(grid.score(&pose))));
     group.bench_function("grid_build_300atom_receptor", |b| {
         let small_rec = synth::synth_receptor("r", 300, 5);
         b.iter(|| {

@@ -97,12 +97,9 @@ fn load_molecule(path: &str, what: &str) -> Result<Molecule, String> {
                 vsmol::pdb::parse(&text, what).map_err(|e| format!("{path}: {e}"))
             }
         } else {
-            s.ligands()
-                .into_iter()
-                .next()
-                .filter(|m| !m.is_empty())
-                .map(Ok)
-                .unwrap_or_else(|| vsmol::pdb::parse(&text, what).map_err(|e| format!("{path}: {e}")))
+            s.ligands().into_iter().next().filter(|m| !m.is_empty()).map(Ok).unwrap_or_else(|| {
+                vsmol::pdb::parse(&text, what).map_err(|e| format!("{path}: {e}"))
+            })
         }
     }
 }

@@ -10,9 +10,9 @@
 //! (who wins, by roughly what factor) reproduces the paper — see
 //! EXPERIMENTS.md for the paper-vs-measured record.
 
+use vsched::{percent_factors, warmup_times};
 use vscreen::experiment::{hertz_table, jupiter_table, render_table, ExperimentScale};
 use vscreen::prelude::*;
-use vsched::{percent_factors, warmup_times};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -153,8 +153,7 @@ fn timeline() {
         Strategy::HomogeneousSplit,
         Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
     ] {
-        let (report, tl) =
-            schedule_trace_timeline(node.cpu(), node.gpus(), &trace, pairs, strat);
+        let (report, tl) = schedule_trace_timeline(node.cpu(), node.gpus(), &trace, pairs, strat);
         println!("{} (makespan {:.4}s):", report.strategy_label, report.makespan);
         print!("{}", tl.render(64));
         println!();
@@ -225,12 +224,7 @@ fn eq1() {
     let pairs = (Dataset::TwoBsm.ligand_atoms() * Dataset::TwoBsm.receptor_atoms()) as u64;
     let times = warmup_times(node.gpus(), pairs, WarmupConfig::default());
     for (i, (t, p)) in times.iter().zip(percent_factors(&times)).enumerate() {
-        println!(
-            "  GPU {i} {:<18} warm-up {:.5}s  Percent = {:.3}",
-            node.properties(i).name,
-            t,
-            p
-        );
+        println!("  GPU {i} {:<18} warm-up {:.5}s  Percent = {:.3}", node.properties(i).name, t, p);
     }
     println!();
 }

@@ -23,17 +23,11 @@ use vsmol::Dataset;
 pub fn render_table1() -> String {
     let mut s = String::new();
     let _ = writeln!(s, "Table 1: CUDA summary by generation");
-    let _ = writeln!(
-        s,
-        "{:<46} {:>8} {:>8} {:>8} {:>8}",
-        "", "Tesla", "Fermi", "Kepler", "Maxwell"
-    );
+    let _ =
+        writeln!(s, "{:<46} {:>8} {:>8} {:>8} {:>8}", "", "Tesla", "Fermi", "Kepler", "Maxwell");
     let infos: Vec<_> = GpuGeneration::ALL.iter().map(|g| g.info()).collect();
     let row = |label: &str, vals: Vec<String>| -> String {
-        format!(
-            "{:<46} {:>8} {:>8} {:>8} {:>8}\n",
-            label, vals[0], vals[1], vals[2], vals[3]
-        )
+        format!("{:<46} {:>8} {:>8} {:>8} {:>8}\n", label, vals[0], vals[1], vals[2], vals[3])
     };
     s.push_str(&row("Starting year", infos.iter().map(|i| i.starting_year.to_string()).collect()));
     s.push_str(&row(

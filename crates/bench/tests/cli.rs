@@ -17,10 +17,8 @@ fn run(bin: &str, args: &[&str]) -> (bool, String, String) {
 
 #[test]
 fn dock_runs_builtin_benchmark() {
-    let (ok, stdout, stderr) = run(
-        env!("CARGO_BIN_EXE_dock"),
-        &["--spots", "3", "--scale", "0.03", "--meta", "m1"],
-    );
+    let (ok, stdout, stderr) =
+        run(env!("CARGO_BIN_EXE_dock"), &["--spots", "3", "--scale", "0.03", "--meta", "m1"]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("best score"), "{stdout}");
     assert!(stdout.contains("spot ranking"), "{stdout}");
@@ -36,10 +34,20 @@ fn dock_writes_pose_files() {
     let (ok, _, stderr) = run(
         env!("CARGO_BIN_EXE_dock"),
         &[
-            "--spots", "2", "--scale", "0.03", "--meta", "m3",
-            "--strategy", "hom", "--node", "jupiter",
-            "--out", pose.to_str().unwrap(),
-            "--complex", complex.to_str().unwrap(),
+            "--spots",
+            "2",
+            "--scale",
+            "0.03",
+            "--meta",
+            "m3",
+            "--strategy",
+            "hom",
+            "--node",
+            "jupiter",
+            "--out",
+            pose.to_str().unwrap(),
+            "--complex",
+            complex.to_str().unwrap(),
         ],
     );
     assert!(ok, "stderr: {stderr}");
@@ -65,9 +73,16 @@ fn dock_accepts_file_inputs() {
     let (ok, stdout, stderr) = run(
         env!("CARGO_BIN_EXE_dock"),
         &[
-            "--receptor", rec_path.to_str().unwrap(),
-            "--ligand", lig_path.to_str().unwrap(),
-            "--spots", "2", "--scale", "0.03", "--meta", "m1",
+            "--receptor",
+            rec_path.to_str().unwrap(),
+            "--ligand",
+            lig_path.to_str().unwrap(),
+            "--spots",
+            "2",
+            "--scale",
+            "0.03",
+            "--meta",
+            "m1",
         ],
     );
     assert!(ok, "stderr: {stderr}");
@@ -86,18 +101,15 @@ fn dock_rejects_bad_flags() {
     assert!(!ok2);
     assert!(stderr2.contains("unknown metaheuristic"));
 
-    let (ok3, _, stderr3) =
-        run(env!("CARGO_BIN_EXE_dock"), &["--receptor", "only-one-given.pdb"]);
+    let (ok3, _, stderr3) = run(env!("CARGO_BIN_EXE_dock"), &["--receptor", "only-one-given.pdb"]);
     assert!(!ok3);
     assert!(stderr3.contains("both"));
 }
 
 #[test]
 fn tables_emits_requested_tables() {
-    let (ok, stdout, _) = run(
-        env!("CARGO_BIN_EXE_tables"),
-        &["table1", "table5", "table8", "--scale", "quick"],
-    );
+    let (ok, stdout, _) =
+        run(env!("CARGO_BIN_EXE_tables"), &["table1", "table5", "table8", "--scale", "quick"]);
     assert!(ok);
     assert!(stdout.contains("CUDA summary"));
     assert!(stdout.contains("8609"));

@@ -85,9 +85,8 @@ pub struct TableResult {
 pub fn spot_count(dataset: Dataset) -> usize {
     static CACHE: OnceLock<[usize; 2]> = OnceLock::new();
     let cache = CACHE.get_or_init(|| {
-        let count = |d: Dataset| {
-            surface::detect_spots(&d.receptor(), &SurfaceOptions::default()).len()
-        };
+        let count =
+            |d: Dataset| surface::detect_spots(&d.receptor(), &SurfaceOptions::default()).len();
         [count(Dataset::TwoBsm), count(Dataset::TwoBxg)]
     });
     match dataset {
@@ -114,9 +113,14 @@ pub fn jupiter_table(dataset: Dataset, scale: ExperimentScale) -> TableResult {
             let trace = synthetic_trace(&params, n_spots);
             let openmp =
                 schedule_trace(node.cpu(), node.gpus(), &trace, pairs, Strategy::CpuOnly).makespan;
-            let hom_sys =
-                schedule_trace(node.cpu(), hom_node.gpus(), &trace, pairs, Strategy::HomogeneousSplit)
-                    .makespan;
+            let hom_sys = schedule_trace(
+                node.cpu(),
+                hom_node.gpus(),
+                &trace,
+                pairs,
+                Strategy::HomogeneousSplit,
+            )
+            .makespan;
             let het_hom =
                 schedule_trace(node.cpu(), node.gpus(), &trace, pairs, Strategy::HomogeneousSplit)
                     .makespan;
@@ -287,12 +291,7 @@ mod tests {
         let mean = |t: &TableResult| -> f64 {
             t.rows.iter().map(|r| r.speedup_openmp_vs_het()).sum::<f64>() / t.rows.len() as f64
         };
-        assert!(
-            mean(&big) > mean(&small),
-            "2BXG {} should beat 2BSM {}",
-            mean(&big),
-            mean(&small)
-        );
+        assert!(mean(&big) > mean(&small), "2BXG {} should beat 2BSM {}", mean(&big), mean(&small));
     }
 
     #[test]

@@ -78,7 +78,8 @@ mod tests {
         // §5: "the speed-up factors reported here with two GPUs are
         // equivalent to those reported with 6 GPUs in Jupiter" — total
         // sustained GPU throughput of the two nodes is comparable.
-        let sum = |n: &SimNode| -> f64 { n.gpus().iter().map(|g| g.spec().sustained_lane_hz()).sum() };
+        let sum =
+            |n: &SimNode| -> f64 { n.gpus().iter().map(|g| g.spec().sustained_lane_hz()).sum() };
         let j = sum(&jupiter());
         let h = sum(&hertz());
         let ratio = j.max(h) / j.min(h);

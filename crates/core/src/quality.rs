@@ -51,11 +51,7 @@ pub fn quality_comparison(
     // Lamarckian variant of M2 (gradient-informed local search).
     let lam = MetaheuristicParams {
         name: "M2+Lamarckian".into(),
-        improve: ImproveStrategy::Lamarckian {
-            steps: 1,
-            step_size: 0.3,
-            angle_step: 0.08,
-        },
+        improve: ImproveStrategy::Lamarckian { steps: 1, step_size: 0.3, angle_step: 0.08 },
         ..metaheur::m2(scale)
     };
     let mut ev = mk_eval();
@@ -131,7 +127,12 @@ mod tests {
         }
         for r in &rows {
             assert!(r.best_score.is_finite());
-            assert!(r.best_score < 0.0, "{}: {} not a favorable binding", r.algorithm, r.best_score);
+            assert!(
+                r.best_score < 0.0,
+                "{}: {} not a favorable binding",
+                r.algorithm,
+                r.best_score
+            );
             assert!(r.clusters >= 1 && r.clusters <= 3);
             assert!(r.evaluations > 0);
         }

@@ -34,10 +34,7 @@ pub fn full_report(scale: ExperimentScale) -> FullReport {
             hertz_table(Dataset::TwoBsm, scale),
             hertz_table(Dataset::TwoBxg, scale),
         ],
-        energy: Dataset::ALL
-            .iter()
-            .map(|&d| (d.pdb_id().to_string(), energy_table(d)))
-            .collect(),
+        energy: Dataset::ALL.iter().map(|&d| (d.pdb_id().to_string(), energy_table(d))).collect(),
         scaling: Dataset::ALL
             .iter()
             .map(|&d| (d.pdb_id().to_string(), gpu_scaling(d, &metaheur::m1(1.0))))
@@ -69,10 +66,8 @@ pub fn to_json(report: &FullReport) -> String {
         let _ = writeln!(s, "      \"spots\": {},", t.n_spots);
         let _ = writeln!(s, "      \"rows\": [");
         for (j, r) in t.rows.iter().enumerate() {
-            let hom = r
-                .homogeneous_system_s
-                .map(|v| format!("{v:.6}"))
-                .unwrap_or_else(|| "null".into());
+            let hom =
+                r.homogeneous_system_s.map(|v| format!("{v:.6}")).unwrap_or_else(|| "null".into());
             let _ = writeln!(
                 s,
                 "        {{\"meta\": \"{}\", \"openmp_s\": {:.6}, \"hom_system_s\": {}, \"het_hom_s\": {:.6}, \"het_het_s\": {:.6}, \"gain\": {:.4}, \"speedup\": {:.2}}}{}",
@@ -162,7 +157,8 @@ mod tests {
         // Cheap structural checks without a JSON parser dependency.
         assert_eq!(j.matches('{').count(), j.matches('}').count(), "brace balance");
         assert_eq!(j.matches('[').count(), j.matches(']').count(), "bracket balance");
-        for key in ["\"tables\"", "\"energy\"", "\"scaling\"", "\"workload_calibration\"", "\"M4\""] {
+        for key in ["\"tables\"", "\"energy\"", "\"scaling\"", "\"workload_calibration\"", "\"M4\""]
+        {
             assert!(j.contains(key), "missing {key}");
         }
         assert!(!j.contains("NaN") && !j.contains("inf"), "non-finite values leaked");

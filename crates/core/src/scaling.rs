@@ -23,7 +23,10 @@ pub struct ScalingPoint {
 
 /// Sweep the Jupiter GPU pool from 1 to all 6 devices (GTX 590 ×4 then
 /// Tesla C2075 ×2, in ordinal order) under the heterogeneous algorithm.
-pub fn gpu_scaling(dataset: Dataset, metaheuristic: &metaheur::MetaheuristicParams) -> Vec<ScalingPoint> {
+pub fn gpu_scaling(
+    dataset: Dataset,
+    metaheuristic: &metaheur::MetaheuristicParams,
+) -> Vec<ScalingPoint> {
     let node = platform::jupiter();
     let n_spots = spot_count(dataset);
     let pairs = (dataset.ligand_atoms() * dataset.receptor_atoms()) as u64;
@@ -63,7 +66,8 @@ pub fn render_scaling(dataset: Dataset, points: &[ScalingPoint]) -> String {
         "GPU scaling, PDB:{} on the Jupiter pool (heterogeneous algorithm)",
         dataset.pdb_id()
     );
-    let _ = writeln!(s, "{:>6} {:>14} {:>10} {:>12}", "GPUs", "makespan (s)", "speedup", "efficiency");
+    let _ =
+        writeln!(s, "{:>6} {:>14} {:>10} {:>12}", "GPUs", "makespan (s)", "speedup", "efficiency");
     for p in points {
         let _ = writeln!(
             s,

@@ -183,7 +183,13 @@ impl VirtualScreenBuilder {
         let spots = surface::detect_spots(&self.receptor, &self.surface);
         assert!(!spots.is_empty(), "no surface spots detected on {}", self.receptor.name);
         let scorer = Arc::new(Scorer::new(&self.receptor, &self.ligand, self.scorer_opts));
-        VirtualScreen { receptor: self.receptor, ligand: self.ligand, spots, scorer, seed: self.seed }
+        VirtualScreen {
+            receptor: self.receptor,
+            ligand: self.ligand,
+            spots,
+            scorer,
+            seed: self.seed,
+        }
     }
 }
 
@@ -285,7 +291,9 @@ mod tests {
         let out = s.run_on_node(
             &metaheur::m1(0.03),
             &node,
-            Strategy::HeterogeneousSplit { warmup: WarmupConfig { iterations: 2, ..Default::default() } },
+            Strategy::HeterogeneousSplit {
+                warmup: WarmupConfig { iterations: 2, ..Default::default() },
+            },
         );
         assert!(out.virtual_time > 0.0);
         assert!(out.best.is_scored());

@@ -31,18 +31,19 @@ pub fn synthetic_trace(params: &MetaheuristicParams, n_spots: usize) -> Vec<u64>
             improved_count(params.population_per_spot, params.improve_fraction) as u64 * spots;
         let steps = params.improve.evals_per_element();
         if improved > 0 {
-            trace.extend(std::iter::repeat(improved).take(steps));
+            trace.extend(std::iter::repeat_n(improved, steps));
         }
         return trace;
     }
 
     let offspring = params.offspring_per_spot as u64 * spots;
-    let improved = improved_count(params.offspring_per_spot, params.improve_fraction) as u64 * spots;
+    let improved =
+        improved_count(params.offspring_per_spot, params.improve_fraction) as u64 * spots;
     let steps = params.improve.evals_per_element();
     for _ in 0..params.end.max_generations() {
         trace.push(offspring);
         if improved > 0 {
-            trace.extend(std::iter::repeat(improved).take(steps));
+            trace.extend(std::iter::repeat_n(improved, steps));
         }
     }
     trace
@@ -87,11 +88,7 @@ mod tests {
                 for n_spots in [1usize, 3, 8] {
                     let analytic = synthetic_trace(&params, n_spots);
                     let recorded = engine_trace(&params, n_spots);
-                    assert_eq!(
-                        analytic, recorded,
-                        "{} scale {scale} spots {n_spots}",
-                        params.name
-                    );
+                    assert_eq!(analytic, recorded, "{} scale {scale} spots {n_spots}", params.name);
                 }
             }
         }

@@ -37,12 +37,8 @@ pub struct GenerationInfo {
 }
 
 impl GpuGeneration {
-    pub const ALL: [GpuGeneration; 4] = [
-        GpuGeneration::Tesla,
-        GpuGeneration::Fermi,
-        GpuGeneration::Kepler,
-        GpuGeneration::Maxwell,
-    ];
+    pub const ALL: [GpuGeneration; 4] =
+        [GpuGeneration::Tesla, GpuGeneration::Fermi, GpuGeneration::Kepler, GpuGeneration::Maxwell];
 
     /// Table 1 data for this generation.
     pub fn info(self) -> GenerationInfo {

@@ -121,7 +121,15 @@ pub fn tesla_k40c() -> DeviceSpec {
     }
 }
 
-fn kepler(name: &str, sms: u32, clock_mhz: f64, mem_mb: u64, bw: f64, tdp: f64, year: u32) -> DeviceSpec {
+fn kepler(
+    name: &str,
+    sms: u32,
+    clock_mhz: f64,
+    mem_mb: u64,
+    bw: f64,
+    tdp: f64,
+    year: u32,
+) -> DeviceSpec {
     DeviceSpec {
         name: name.into(),
         kind: DeviceKind::Gpu {

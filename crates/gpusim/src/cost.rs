@@ -96,7 +96,11 @@ impl CostModel {
     pub fn execution_time(&self, spec: &DeviceSpec, batch: &WorkBatch) -> f64 {
         if batch.items == 0 || batch.units_per_item == 0 {
             // Empty launches still pay the fixed overheads on a GPU.
-            return if spec.is_gpu() { self.launch_overhead_s + 2.0 * self.pcie_latency_s } else { 0.0 };
+            return if spec.is_gpu() {
+                self.launch_overhead_s + 2.0 * self.pcie_latency_s
+            } else {
+                0.0
+            };
         }
         let units = batch.total_units() as f64;
 
@@ -280,13 +284,12 @@ mod tests {
         let d = catalog::geforce_gtx_590();
         // Kernel ≈ transfer time: overlap hides nearly half the total.
         let balanced = WorkBatch::conformations(100_000, 800);
-        let gain =
-            sync.execution_time(&d, &balanced) / overlap.execution_time(&d, &balanced);
+        let gain = sync.execution_time(&d, &balanced) / overlap.execution_time(&d, &balanced);
         assert!(gain > 1.5, "balanced-batch overlap gain {gain}");
         // Compute-bound batches barely change.
         let compute_bound = WorkBatch::conformations(10_000, 1_000_000);
-        let gain2 = sync.execution_time(&d, &compute_bound)
-            / overlap.execution_time(&d, &compute_bound);
+        let gain2 =
+            sync.execution_time(&d, &compute_bound) / overlap.execution_time(&d, &compute_bound);
         assert!(gain2 < 1.01, "compute-bound overlap gain {gain2}");
     }
 

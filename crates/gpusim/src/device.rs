@@ -2,8 +2,8 @@
 
 use crate::cost::{CostModel, WorkBatch};
 use crate::spec::DeviceSpec;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Cumulative execution statistics for one device.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
@@ -59,7 +59,7 @@ impl SimDevice {
     /// elapsed time in seconds.
     pub fn execute(&self, batch: &WorkBatch) -> f64 {
         let dt = self.model.execution_time(&self.spec, batch);
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().expect("device state mutex poisoned");
         st.clock_s += dt;
         st.stats.batches += 1;
         st.stats.items += batch.items;
@@ -75,12 +75,12 @@ impl SimDevice {
 
     /// Current virtual time, seconds.
     pub fn clock(&self) -> f64 {
-        self.state.lock().clock_s
+        self.state.lock().expect("device state mutex poisoned").clock_s
     }
 
     /// Advance the clock to at least `t` (idle wait / barrier sync).
     pub fn sync_to(&self, t: f64) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().expect("device state mutex poisoned");
         if t > st.clock_s {
             st.clock_s = t;
         }
@@ -90,21 +90,21 @@ impl SimDevice {
     /// device's controlling thread).
     pub fn advance(&self, dt: f64) {
         assert!(dt >= 0.0, "cannot advance clock backwards");
-        self.state.lock().clock_s += dt;
+        self.state.lock().expect("device state mutex poisoned").clock_s += dt;
     }
 
     /// Reset clock and statistics (between experiments).
     pub fn reset(&self) {
-        *self.state.lock() = DeviceState::default();
+        *self.state.lock().expect("device state mutex poisoned") = DeviceState::default();
     }
 
     pub fn stats(&self) -> DeviceStats {
-        self.state.lock().stats
+        self.state.lock().expect("device state mutex poisoned").stats
     }
 
     /// Fraction of the device's virtual lifetime spent busy.
     pub fn utilization(&self) -> f64 {
-        let st = self.state.lock();
+        let st = self.state.lock().expect("device state mutex poisoned");
         if st.clock_s <= 0.0 {
             0.0
         } else {

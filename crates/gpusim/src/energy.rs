@@ -42,10 +42,7 @@ impl EnergyModel {
     /// Panics if `horizon` is shorter than the device's busy time.
     pub fn device_energy(&self, dev: &SimDevice, horizon: f64) -> DeviceEnergy {
         let busy = dev.stats().busy_s;
-        assert!(
-            horizon + 1e-12 >= busy,
-            "horizon {horizon} shorter than busy time {busy}"
-        );
+        assert!(horizon + 1e-12 >= busy, "horizon {horizon} shorter than busy time {busy}");
         let idle = (horizon - busy).max(0.0);
         let tdp = dev.spec().tdp_watts;
         DeviceEnergy {

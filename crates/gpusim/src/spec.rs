@@ -120,7 +120,7 @@ mod tests {
             memory_mb: 1536,
             memory_bandwidth_gbs: 163.85,
             tdp_watts: 244.0,
-        year: 2011,
+            year: 2011,
         }
     }
 
@@ -132,7 +132,7 @@ mod tests {
             memory_mb: 32143,
             memory_bandwidth_gbs: 42.66,
             tdp_watts: 95.0,
-        year: 2012,
+            year: 2012,
         }
     }
 

@@ -8,8 +8,8 @@
 
 use crate::cost::WorkBatch;
 use crate::device::SimDevice;
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// One executed segment on one device.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,7 +37,7 @@ impl Timeline {
     pub fn record(&self, dev: &SimDevice, batch: &WorkBatch) -> f64 {
         let start = dev.clock();
         let dt = dev.execute(batch);
-        self.segments.lock().push(Segment {
+        self.segments.lock().expect("timeline mutex poisoned").push(Segment {
             device: dev.id(),
             device_name: dev.spec().name.clone(),
             start,
@@ -49,20 +49,23 @@ impl Timeline {
 
     /// All segments, ordered by (device, start).
     pub fn segments(&self) -> Vec<Segment> {
-        let mut v = self.segments.lock().clone();
-        v.sort_by(|a, b| {
-            a.device.cmp(&b.device).then(a.start.partial_cmp(&b.start).unwrap())
-        });
+        let mut v = self.segments.lock().expect("timeline mutex poisoned").clone();
+        v.sort_by(|a, b| a.device.cmp(&b.device).then(a.start.partial_cmp(&b.start).unwrap()));
         v
     }
 
     pub fn is_empty(&self) -> bool {
-        self.segments.lock().is_empty()
+        self.segments.lock().expect("timeline mutex poisoned").is_empty()
     }
 
     /// Latest segment end over all devices.
     pub fn makespan(&self) -> f64 {
-        self.segments.lock().iter().map(|s| s.end).fold(0.0, f64::max)
+        self.segments
+            .lock()
+            .expect("timeline mutex poisoned")
+            .iter()
+            .map(|s| s.end)
+            .fold(0.0, f64::max)
     }
 
     /// Total idle time of a device within `[0, makespan]`: gaps between its
@@ -126,10 +129,7 @@ mod tests {
     use crate::catalog;
 
     fn devices() -> (SimDevice, SimDevice) {
-        (
-            SimDevice::new(0, catalog::tesla_k40c()),
-            SimDevice::new(1, catalog::geforce_gtx_580()),
-        )
+        (SimDevice::new(0, catalog::tesla_k40c()), SimDevice::new(1, catalog::geforce_gtx_580()))
     }
 
     #[test]
@@ -157,12 +157,8 @@ mod tests {
         let idle1 = tl.idle_time(1);
         assert!(idle1 > 0.0 && idle1 < horizon);
         // Busy + idle = horizon for every device.
-        let busy1: f64 = tl
-            .segments()
-            .iter()
-            .filter(|s| s.device == 1)
-            .map(|s| s.end - s.start)
-            .sum();
+        let busy1: f64 =
+            tl.segments().iter().filter(|s| s.device == 1).map(|s| s.end - s.start).sum();
         assert!((busy1 + idle1 - horizon).abs() < 1e-12);
     }
 

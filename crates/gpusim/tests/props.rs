@@ -1,7 +1,7 @@
 //! Property-based tests for the device model.
 
-use proptest::prelude::*;
 use gpusim::{catalog, CostModel, DeviceSpec, EnergyModel, SimDevice, WorkBatch};
+use proptest::prelude::*;
 
 fn arb_device() -> impl Strategy<Value = DeviceSpec> {
     (0usize..6).prop_map(|i| match i {

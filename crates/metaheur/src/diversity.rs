@@ -84,10 +84,8 @@ mod tests {
         let mut rng = RngStream::from_seed(3);
         let pop: Vec<Conformation> = (0..10)
             .map(|i| {
-                let mut c = Conformation::new(
-                    RigidTransform::new(rng.rotation(), rng.in_ball(5.0)),
-                    0,
-                );
+                let mut c =
+                    Conformation::new(RigidTransform::new(rng.rotation(), rng.in_ball(5.0)), 0);
                 c.score = -(i as f64);
                 c
             })
@@ -122,22 +120,14 @@ mod tests {
         // An elitist GA on a single-basin landscape must contract its
         // population around the optimum.
         use crate::evaluator::SyntheticEvaluator;
-        let spot = vsmol::Spot {
-            id: 0,
-            center: Vec3::ZERO,
-            normal: Vec3::Z,
-            radius: 5.0,
-            anchor_atom: 0,
-        };
+        let spot =
+            vsmol::Spot { id: 0, center: Vec3::ZERO, normal: Vec3::Z, radius: 5.0, anchor_atom: 0 };
         let mut rng = RngStream::from_seed(5);
         let initial: Vec<Conformation> =
             (0..32).map(|_| Conformation::random_at(&spot, &mut rng)).collect();
         let initial_div = translation_diversity(&initial);
 
-        let params = crate::MetaheuristicParams {
-            mutation_prob: 0.05,
-            ..crate::m1(0.6)
-        };
+        let params = crate::MetaheuristicParams { mutation_prob: 0.05, ..crate::m1(0.6) };
         let mut ev = SyntheticEvaluator::new(vec![Vec3::new(1.0, 0.5, 0.0)]);
         let r = crate::run(&params, &[spot], &mut ev, 5);
         let final_div = translation_diversity(&r.best_per_spot);

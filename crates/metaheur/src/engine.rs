@@ -2,7 +2,9 @@
 //! scoring requests batched across spots.
 
 use crate::evaluator::BatchEvaluator;
-use crate::params::{improved_count, EndCondition, ImproveStrategy, MetaheuristicParams, SelectStrategy};
+use crate::params::{
+    improved_count, EndCondition, ImproveStrategy, MetaheuristicParams, SelectStrategy,
+};
 use vsmath::RngStream;
 use vsmol::{conformation::score_cmp, Conformation, Spot};
 
@@ -115,12 +117,8 @@ pub fn run_seeded<E: BatchEvaluator>(
         }
     }
 
-    let best_per_spot: Vec<Conformation> =
-        state.populations.iter().map(|pop| pop[0]).collect();
-    let best = *best_per_spot
-        .iter()
-        .min_by(|a, b| score_cmp(a, b))
-        .expect("non-empty spots");
+    let best_per_spot: Vec<Conformation> = state.populations.iter().map(|pop| pop[0]).collect();
+    let best = *best_per_spot.iter().min_by(|a, b| score_cmp(a, b)).expect("non-empty spots");
 
     RunResult {
         best,
@@ -285,10 +283,9 @@ impl Engine<'_> {
             let mut slots: Vec<(usize, usize)> = Vec::new();
             for (si, group) in groups.iter().enumerate() {
                 let spot = &self.spots[si];
-                let kk = k.min(group.len());
-                for ei in 0..kk {
+                for (ei, elem) in group.iter().take(k).enumerate() {
                     let rng = &mut self.rngs[si];
-                    let cand = group[ei]
+                    let cand = elem
                         .perturbed(self.params.max_shift, self.params.max_angle, rng)
                         .clamped_to(spot);
                     proposals.push(cand);
@@ -335,8 +332,8 @@ impl Engine<'_> {
             let mut current: Vec<Conformation> = Vec::new();
             let mut slots: Vec<(usize, usize)> = Vec::new();
             for (si, group) in groups.iter().enumerate() {
-                for ei in 0..k.min(group.len()) {
-                    current.push(group[ei]);
+                for (ei, &elem) in group.iter().take(k).enumerate() {
+                    current.push(elem);
                     slots.push((si, ei));
                 }
             }
@@ -352,10 +349,9 @@ impl Engine<'_> {
                         let dir = g.force.normalized().unwrap_or(vsmath::Vec3::ZERO);
                         let t = c.pose.translation + dir * step_size;
                         let rot = match g.torque.normalized() {
-                            Some(axis) => {
-                                (Quat::from_axis_angle(axis, angle_step) * c.pose.rotation)
-                                    .renormalize()
-                            }
+                            Some(axis) => (Quat::from_axis_angle(axis, angle_step)
+                                * c.pose.rotation)
+                                .renormalize(),
                             None => c.pose.rotation,
                         };
                         proposals.push(
@@ -419,10 +415,7 @@ impl Engine<'_> {
         if self.populations.is_empty() {
             return 0.0;
         }
-        self.populations
-            .iter()
-            .map(|p| crate::diversity::translation_diversity(p))
-            .sum::<f64>()
+        self.populations.iter().map(|p| crate::diversity::translation_diversity(p)).sum::<f64>()
             / self.populations.len() as f64
     }
 
@@ -473,9 +466,7 @@ mod tests {
 
     /// Optima placed inside each spot's search ball.
     fn evaluator_for(spots: &[Spot]) -> SyntheticEvaluator {
-        SyntheticEvaluator::new(
-            spots.iter().map(|s| s.center + Vec3::new(1.0, 1.0, 0.5)).collect(),
-        )
+        SyntheticEvaluator::new(spots.iter().map(|s| s.center + Vec3::new(1.0, 1.0, 0.5)).collect())
     }
 
     #[test]

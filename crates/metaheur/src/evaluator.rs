@@ -6,9 +6,10 @@
 //! implementation. This is the seam the paper's parallelization strategy
 //! plugs into.
 
+use std::sync::Arc;
 use vsmath::Vec3;
 use vsmol::Conformation;
-use vsscore::{RigidGradient, Scorer};
+use vsscore::{CpuPool, PoseScratch, RigidGradient, Scorer};
 
 /// A batch scoring backend. Implementations fill `score` for every
 /// conformation in the slice.
@@ -35,20 +36,29 @@ pub trait BatchEvaluator {
 
 /// CPU evaluator over the real scoring function, optionally multithreaded —
 /// the paper's OpenMP baseline path.
+///
+/// The multithreaded form draws its workers from the process-wide
+/// persistent pool ([`vsscore::shared_pool`]), matching the paper's
+/// long-lived OpenMP thread team: no threads are spawned per batch, and
+/// each worker reuses its own [`PoseScratch`]. The serial form keeps a
+/// private scratch, so repeated `evaluate` calls allocate nothing.
 pub struct CpuEvaluator {
     scorer: Scorer,
-    threads: usize,
+    pool: Option<Arc<CpuPool>>,
+    scratch: PoseScratch,
 }
 
 impl CpuEvaluator {
     /// Serial CPU evaluator.
     pub fn new(scorer: Scorer) -> CpuEvaluator {
-        CpuEvaluator { scorer, threads: 1 }
+        CpuEvaluator { scorer, pool: None, scratch: PoseScratch::new() }
     }
 
-    /// Multithreaded CPU evaluator with `threads` OS threads.
+    /// Multithreaded CPU evaluator backed by the shared persistent pool of
+    /// `threads` workers.
     pub fn with_threads(scorer: Scorer, threads: usize) -> CpuEvaluator {
-        CpuEvaluator { scorer, threads: threads.max(1) }
+        let pool = (threads.max(1) > 1).then(|| vsscore::shared_pool(threads));
+        CpuEvaluator { scorer, pool, scratch: PoseScratch::new() }
     }
 
     pub fn scorer(&self) -> &Scorer {
@@ -58,14 +68,9 @@ impl CpuEvaluator {
 
 impl BatchEvaluator for CpuEvaluator {
     fn evaluate(&mut self, confs: &mut [Conformation]) {
-        let poses: Vec<_> = confs.iter().map(|c| c.pose).collect();
-        let scores = if self.threads > 1 {
-            self.scorer.score_batch_parallel(&poses, self.threads)
-        } else {
-            self.scorer.score_batch(&poses)
-        };
-        for (c, s) in confs.iter_mut().zip(scores) {
-            c.score = s;
+        match (&self.pool, confs.len()) {
+            (Some(pool), n) if n >= 2 => pool.score_conformations(&self.scorer, confs),
+            _ => self.scorer.score_conformations_into(confs, &mut self.scratch),
         }
     }
 
@@ -79,7 +84,7 @@ impl BatchEvaluator for CpuEvaluator {
     ) -> Option<Vec<RigidGradient>> {
         let mut grads = Vec::with_capacity(confs.len());
         for c in confs.iter_mut() {
-            let (score, g) = self.scorer.score_and_gradient(&c.pose);
+            let (score, g) = self.scorer.score_and_gradient_with(&c.pose, &mut self.scratch);
             c.score = score;
             grads.push(g);
         }
@@ -137,9 +142,7 @@ impl BatchEvaluator for SyntheticEvaluator {
                 let force = (target - c.pose.translation) * 2.0;
                 let q = c.pose.rotation;
                 let theta = q.angle();
-                let axis = Vec3::new(q.x, q.y, q.z)
-                    .normalized()
-                    .unwrap_or(Vec3::ZERO)
+                let axis = Vec3::new(q.x, q.y, q.z).normalized().unwrap_or(Vec3::ZERO)
                     * if q.w >= 0.0 { 1.0 } else { -1.0 };
                 let torque = -axis * (2.0 * self.angle_weight * theta);
                 RigidGradient { force, torque }
@@ -210,11 +213,7 @@ impl RuggedEvaluator {
     /// The global minimum value of one spot's landscape (approximately the
     /// deepest well's depth, negated).
     pub fn global_min(&self) -> f64 {
-        -self
-            .wells
-            .iter()
-            .flat_map(|ws| ws.iter().map(|&(_, d, _)| d))
-            .fold(0.0, f64::max)
+        -self.wells.iter().flat_map(|ws| ws.iter().map(|&(_, d, _)| d)).fold(0.0, f64::max)
     }
 }
 
@@ -332,8 +331,7 @@ mod tests {
         assert!(r_exact.best.score < 0.0);
         // Re-score the grid-search winner with the exact function: it must
         // also be a genuine binding (the grid didn't hallucinate a minimum).
-        let exact_rescore =
-            Scorer::new(&rec, &lig, Default::default()).score(&r_grid.best.pose);
+        let exact_rescore = Scorer::new(&rec, &lig, Default::default()).score(&r_grid.best.pose);
         assert!(exact_rescore < 0.0, "grid winner rescored to {exact_rescore}");
     }
 
@@ -370,17 +368,12 @@ mod tests {
         let ga = crate::suite::m2(0.5);
         let r = crate::engine::run(&ga, &spots, &mut ev, 4);
         let global = RuggedEvaluator::standard(&centers).global_min();
-        assert!(
-            r.best.score < global * 0.8,
-            "GA best {} vs global {global}",
-            r.best.score
-        );
+        assert!(r.best.score < global * 0.8, "GA best {} vs global {global}", r.best.score);
     }
 
     #[test]
     fn synthetic_per_spot_optima() {
-        let mut ev =
-            SyntheticEvaluator::new(vec![Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)]);
+        let mut ev = SyntheticEvaluator::new(vec![Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0)]);
         let mut confs = vec![
             Conformation::new(RigidTransform::from_translation(Vec3::new(10.0, 0.0, 0.0)), 1),
             Conformation::new(RigidTransform::from_translation(Vec3::new(10.0, 0.0, 0.0)), 0),

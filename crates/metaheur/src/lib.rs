@@ -42,7 +42,9 @@ pub mod tabu;
 pub mod tuning;
 
 pub use engine::{run, run_seeded, RunResult};
-pub use evaluator::{BatchEvaluator, CpuEvaluator, GridEvaluator, RuggedEvaluator, SyntheticEvaluator};
+pub use evaluator::{
+    BatchEvaluator, CpuEvaluator, GridEvaluator, RuggedEvaluator, SyntheticEvaluator,
+};
 pub use hybrid::{run_memetic, MemeticParams};
 pub use params::{EndCondition, ImproveStrategy, MetaheuristicParams, SelectStrategy};
 pub use pso::{run_pso, PsoParams};

@@ -129,9 +129,8 @@ pub fn run_pso<E: BatchEvaluator>(
         .map(|sw| *sw.iter().map(|p| &p.personal_best).min_by(|a, b| score_cmp(a, b)).unwrap())
         .collect();
 
-    let overall = |gb: &[Conformation]| -> f64 {
-        gb.iter().map(|c| c.score).fold(f64::INFINITY, f64::min)
-    };
+    let overall =
+        |gb: &[Conformation]| -> f64 { gb.iter().map(|c| c.score).fold(f64::INFINITY, f64::min) };
     let mut best_history = vec![overall(&global_best)];
 
     for _ in 0..params.iterations {
@@ -147,8 +146,7 @@ pub fn run_pso<E: BatchEvaluator>(
                 p.velocity = p.velocity * params.inertia
                     + (p.personal_best.pose.translation - p.current.pose.translation)
                         * (params.cognitive * r1)
-                    + (gbest.pose.translation - p.current.pose.translation)
-                        * (params.social * r2);
+                    + (gbest.pose.translation - p.current.pose.translation) * (params.social * r2);
                 if p.velocity.norm() > params.max_speed {
                     p.velocity = p.velocity.normalized().unwrap() * params.max_speed;
                 }
@@ -156,7 +154,8 @@ pub fn run_pso<E: BatchEvaluator>(
                 // Rotational pull: rotation vectors toward the bests.
                 let r3 = rng.uniform();
                 let r4 = rng.uniform();
-                let to_pbest = rotation_vector(p.current.pose.rotation, p.personal_best.pose.rotation);
+                let to_pbest =
+                    rotation_vector(p.current.pose.rotation, p.personal_best.pose.rotation);
                 let to_gbest = rotation_vector(p.current.pose.rotation, gbest.pose.rotation);
                 p.angular_velocity = p.angular_velocity * params.inertia
                     + to_pbest * (params.cognitive * r3)
@@ -306,10 +305,8 @@ mod tests {
             let from = rng.rotation();
             let to = rng.rotation();
             let rv = rotation_vector(from, to);
-            let back = (Quat::from_axis_angle(
-                rv.normalized().unwrap_or(Vec3::Z),
-                rv.norm(),
-            ) * from)
+            let back = (Quat::from_axis_angle(rv.normalized().unwrap_or(Vec3::Z), rv.norm())
+                * from)
                 .renormalize();
             assert!(back.angle_to(to) < 1e-9, "drift {}", back.angle_to(to));
         }

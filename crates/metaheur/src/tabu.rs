@@ -144,9 +144,7 @@ pub fn run_tabu_from<E: BatchEvaluator>(
             let rng = &mut rngs[si];
             for _ in 0..params.neighbors {
                 candidates.push(
-                    w.current
-                        .perturbed(params.max_shift, params.max_angle, rng)
-                        .clamped_to(spot),
+                    w.current.perturbed(params.max_shift, params.max_angle, rng).clamped_to(spot),
                 );
             }
         }
@@ -164,7 +162,7 @@ pub fn run_tabu_from<E: BatchEvaluator>(
                 if !aspirated && w.is_tabu(cand, params) {
                     continue;
                 }
-                if chosen.map_or(true, |c| cand.score < c.score) {
+                if chosen.is_none_or(|c| cand.score < c.score) {
                     chosen = Some(*cand);
                 }
             }

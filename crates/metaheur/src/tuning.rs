@@ -180,11 +180,8 @@ mod tests {
     fn empty_axes_use_base_values() {
         let sp = spots(1);
         let base = m1(0.05);
-        let grid = TuningGrid {
-            mutation_probs: vec![],
-            max_shifts: vec![],
-            max_angles: vec![0.2, 0.8],
-        };
+        let grid =
+            TuningGrid { mutation_probs: vec![], max_shifts: vec![], max_angles: vec![0.2, 0.8] };
         let r = tune(&base, &grid, &sp, ev_for(&sp), 3, 1);
         assert_eq!(r.points.len(), 2);
         assert!(r.points.iter().all(|p| p.mutation_prob == base.mutation_prob));
@@ -222,11 +219,8 @@ mod tests {
             max_angles: vec![base.max_angle],
         };
         let r = tune(&base, &grid, &sp, ev_for(&sp), 6, 2);
-        let base_point = r
-            .points
-            .iter()
-            .find(|p| p.mutation_prob == base.mutation_prob)
-            .expect("base in grid");
+        let base_point =
+            r.points.iter().find(|p| p.mutation_prob == base.mutation_prob).expect("base in grid");
         assert!(r.best.mean_best <= base_point.mean_best);
     }
 

@@ -1,10 +1,10 @@
 //! Property-based tests for the metaheuristic engines.
 
-use proptest::prelude::*;
 use metaheur::{
     run, run_pso, run_tabu, EndCondition, ImproveStrategy, MetaheuristicParams, PsoParams,
     SelectStrategy, SyntheticEvaluator, TabuParams,
 };
+use proptest::prelude::*;
 use vsmath::Vec3;
 use vsmol::Spot;
 
@@ -28,21 +28,23 @@ fn arb_improve() -> impl Strategy<Value = ImproveStrategy> {
     prop_oneof![
         Just(ImproveStrategy::None),
         (1usize..5).prop_map(|steps| ImproveStrategy::HillClimb { steps }),
-        (1usize..4, 0.1..3.0f64, 0.5..0.99f64)
-            .prop_map(|(steps, t0, cooling)| ImproveStrategy::SimulatedAnnealing { steps, t0, cooling }),
-        (1usize..3, 0.05..1.0f64, 0.01..0.3f64)
-            .prop_map(|(steps, s, a)| ImproveStrategy::Lamarckian { steps, step_size: s, angle_step: a }),
+        (1usize..4, 0.1..3.0f64, 0.5..0.99f64).prop_map(|(steps, t0, cooling)| {
+            ImproveStrategy::SimulatedAnnealing { steps, t0, cooling }
+        }),
+        (1usize..3, 0.05..1.0f64, 0.01..0.3f64).prop_map(|(steps, s, a)| {
+            ImproveStrategy::Lamarckian { steps, step_size: s, angle_step: a }
+        }),
     ]
 }
 
 fn arb_params() -> impl Strategy<Value = MetaheuristicParams> {
     (
-        2usize..24,          // population
-        1usize..16,          // offspring
-        0.0..1.0f64,         // improve fraction
+        2usize..24,  // population
+        1usize..16,  // offspring
+        0.0..1.0f64, // improve fraction
         arb_improve(),
-        0.0..1.0f64,         // mutation prob
-        1usize..6,           // generations
+        0.0..1.0f64, // mutation prob
+        1usize..6,   // generations
         prop_oneof![
             (0.01..1.0f64).prop_map(|f| SelectStrategy::TruncationBest { fraction: f }),
             (1usize..5).prop_map(|k| SelectStrategy::Tournament { k }),

@@ -125,11 +125,7 @@ where
                 }
             }
         }
-        let best_now = incumbents
-            .iter()
-            .flatten()
-            .map(|c| c.score)
-            .fold(f64::INFINITY, f64::min);
+        let best_now = incumbents.iter().flatten().map(|c| c.score).fold(f64::INFINITY, f64::min);
         epoch_history.push(best_now);
     }
 
@@ -220,14 +216,8 @@ mod tests {
     fn cooperative_history_is_monotone() {
         let sp = coop_spots(3);
         let optima: Vec<Vec3> = sp.iter().map(|s| s.center + Vec3::new(1.0, 0.5, 0.0)).collect();
-        let r = cooperative_search(
-            &m1(0.2),
-            &sp,
-            || SyntheticEvaluator::new(optima.clone()),
-            3,
-            4,
-            99,
-        );
+        let r =
+            cooperative_search(&m1(0.2), &sp, || SyntheticEvaluator::new(optima.clone()), 3, 4, 99);
         for w in r.epoch_history.windows(2) {
             assert!(w[1] <= w[0] + 1e-12, "incumbent regressed: {:?}", r.epoch_history);
         }
@@ -242,22 +232,10 @@ mod tests {
         // it must not be worse.
         let sp = coop_spots(2);
         let optima: Vec<Vec3> = sp.iter().map(|s| s.center + Vec3::new(1.5, 1.0, 0.0)).collect();
-        let coop = cooperative_search(
-            &m1(0.2),
-            &sp,
-            || SyntheticEvaluator::new(optima.clone()),
-            3,
-            2,
-            7,
-        );
-        let indep = cooperative_search(
-            &m1(0.2),
-            &sp,
-            || SyntheticEvaluator::new(optima.clone()),
-            6,
-            1,
-            7,
-        );
+        let coop =
+            cooperative_search(&m1(0.2), &sp, || SyntheticEvaluator::new(optima.clone()), 3, 2, 7);
+        let indep =
+            cooperative_search(&m1(0.2), &sp, || SyntheticEvaluator::new(optima.clone()), 6, 1, 7);
         assert_eq!(coop.evaluations, indep.evaluations, "budgets must match");
         assert!(
             coop.best.score <= indep.best.score + 1e-9,
@@ -271,14 +249,8 @@ mod tests {
     fn evaluations_accumulate_across_jobs() {
         let sp = coop_spots(1);
         let p = m1(0.1);
-        let r = cooperative_search(
-            &p,
-            &sp,
-            || SyntheticEvaluator::new(vec![sp[0].center]),
-            2,
-            3,
-            1,
-        );
+        let r =
+            cooperative_search(&p, &sp, || SyntheticEvaluator::new(vec![sp[0].center]), 2, 3, 1);
         assert_eq!(r.evaluations, p.evals_per_spot() * 2 * 3);
     }
 

@@ -1,28 +1,44 @@
 //! The real-compute execution path: scoring batches are partitioned across
-//! simulated devices, *numerically computed* on one host OS thread per
-//! device (mirroring the paper's one-OpenMP-thread-per-GPU design,
-//! Algorithm 2), and each device's virtual clock is charged the modeled
-//! kernel time.
+//! simulated devices and *numerically computed* on one persistent host OS
+//! thread per device (mirroring the paper's one-OpenMP-thread-per-GPU
+//! design, Algorithm 2), and each device's virtual clock is charged the
+//! modeled kernel time.
+//!
+//! # Persistent workers
+//!
+//! [`DeviceEvaluator::new`] spawns one long-lived worker thread per device.
+//! Each worker owns its device handle, a scorer handle, and a reusable
+//! [`vsscore::PoseScratch`]; `evaluate` publishes per-device work
+//! descriptors and blocks until all workers signal completion. The hot
+//! loop therefore performs no thread spawning and no per-pose allocation —
+//! the host-side overhead the paper's pipelined design eliminates.
+//! Dropping the evaluator shuts the workers down and joins them.
+//!
+//! # Determinism
+//!
+//! Shares are contiguous and scored serially per worker with the same
+//! kernel as [`vsscore::Scorer::score_batch`], so scores are bit-identical
+//! to the serial CPU path for every strategy and device count (DESIGN §7
+//! schedule-invariance).
 
 use crate::partition::proportional_split;
 use crate::strategy::Strategy;
 use gpusim::{SimDevice, WorkBatch};
 use metaheur::BatchEvaluator;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use vsmol::Conformation;
 use vsscore::Scorer;
 
-/// A [`BatchEvaluator`] that executes scoring on a set of simulated devices.
-///
-/// Construction resolves the strategy to static per-device weights (running
-/// the warm-up for the heterogeneous strategy — its cost lands on the
-/// device clocks, as in the paper). Each `evaluate` call then:
-///
-/// 1. splits the batch into contiguous per-device shares;
-/// 2. spawns one scoped host thread per device, which scores its share with
-///    the real Lennard-Jones scorer and calls [`SimDevice::execute`] to
-///    advance the device's virtual clock;
-/// 3. joins — scores land back in the caller's slice in order.
+/// How the dynamic (self-scheduling) mode sizes its greedy chunks.
+enum DynamicChunking {
+    /// [`Strategy::DynamicQueue`]: fixed chunk size per grab.
+    Fixed(u64),
+    /// [`Strategy::GuidedQueue`]: chunk shrinks with the remaining work,
+    /// `remaining / (divisor × n_devices)`, floored at 1.
+    Guided { divisor: u64 },
+}
+
 enum Mode {
     /// Fixed proportional weights.
     Static(Vec<f64>),
@@ -31,14 +47,56 @@ enum Mode {
     /// then fixes the weights.
     WarmingUp { left: usize, times: Vec<f64> },
     /// Greedy self-scheduling by virtual clock.
-    Dynamic,
+    Dynamic(DynamicChunking),
 }
 
+/// Work descriptor consumed by one device worker: a contiguous sub-slice
+/// of the caller's conformation batch.
+struct DevJob {
+    confs: *mut Conformation,
+    len: usize,
+    timeline: Option<Arc<gpusim::Timeline>>,
+}
+
+// SAFETY: the pointer is only dereferenced between job publication and the
+// completion signal, during which the submitting thread is blocked in
+// `evaluate` keeping the `&mut [Conformation]` borrow alive; per-device
+// jobs cover disjoint ranges of that slice.
+unsafe impl Send for DevJob {}
+
+struct DevState {
+    generation: u64,
+    shutdown: bool,
+    jobs: Vec<Option<DevJob>>,
+    remaining: usize,
+}
+
+struct DevShared {
+    state: Mutex<DevState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A [`BatchEvaluator`] that executes scoring on a set of simulated devices.
+///
+/// Construction resolves the strategy to static per-device weights (running
+/// the warm-up for the heterogeneous strategy — its cost lands on the
+/// device clocks, as in the paper) and spawns the persistent per-device
+/// worker threads. Each `evaluate` call then:
+///
+/// 1. splits the batch into contiguous per-device shares;
+/// 2. hands each persistent worker its share; the worker scores it with
+///    the real Lennard-Jones scorer (reusing its thread-local scratch) and
+///    calls [`SimDevice::execute`] to advance the device's virtual clock;
+/// 3. blocks until all workers finish — scores land back in the caller's
+///    slice in order.
 pub struct DeviceEvaluator {
     devices: Vec<Arc<SimDevice>>,
     scorer: Arc<Scorer>,
     mode: Mode,
     timeline: Option<Arc<gpusim::Timeline>>,
+    shared: Arc<DevShared>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl DeviceEvaluator {
@@ -52,12 +110,19 @@ impl DeviceEvaluator {
     /// # Panics
     /// Panics if `devices` is empty or the strategy is [`Strategy::CpuOnly`]
     /// (use [`metaheur::CpuEvaluator`] for the baseline).
-    pub fn new(devices: Vec<Arc<SimDevice>>, scorer: Arc<Scorer>, strategy: Strategy) -> DeviceEvaluator {
+    pub fn new(
+        devices: Vec<Arc<SimDevice>>,
+        scorer: Arc<Scorer>,
+        strategy: Strategy,
+    ) -> DeviceEvaluator {
         assert!(!devices.is_empty(), "need at least one device");
         let n = devices.len();
         let mode = match strategy {
             Strategy::CpuOnly => panic!("use CpuEvaluator for the CPU-only baseline"),
-            Strategy::DynamicQueue { .. } | Strategy::GuidedQueue { .. } => Mode::Dynamic,
+            Strategy::DynamicQueue { chunk } => Mode::Dynamic(DynamicChunking::Fixed(chunk.max(1))),
+            Strategy::GuidedQueue { divisor } => {
+                Mode::Dynamic(DynamicChunking::Guided { divisor: divisor.max(1) })
+            }
             Strategy::HomogeneousSplit => Mode::Static(vec![1.0; n]),
             Strategy::HeterogeneousSplit { warmup } => {
                 Mode::WarmingUp { left: warmup.iterations.max(1), times: vec![0.0; n] }
@@ -69,7 +134,32 @@ impl DeviceEvaluator {
                 Mode::WarmingUp { left: warmup.iterations.max(1), times: vec![0.0; n] }
             }
         };
-        DeviceEvaluator { devices, scorer, mode, timeline: None }
+
+        let shared = Arc::new(DevShared {
+            state: Mutex::new(DevState {
+                generation: 0,
+                shutdown: false,
+                jobs: (0..n).map(|_| None).collect(),
+                remaining: 0,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = devices
+            .iter()
+            .enumerate()
+            .map(|(index, dev)| {
+                let shared = Arc::clone(&shared);
+                let dev = Arc::clone(dev);
+                let scorer = Arc::clone(&scorer);
+                std::thread::Builder::new()
+                    .name(format!("vsched-dev-{index}"))
+                    .spawn(move || device_worker(&shared, index, &dev, &scorer))
+                    .expect("failed to spawn device worker")
+            })
+            .collect();
+
+        DeviceEvaluator { devices, scorer, mode, timeline: None, shared, workers }
     }
 
     /// Record every device execution into `timeline` (Gantt introspection
@@ -100,16 +190,23 @@ impl DeviceEvaluator {
         match &self.mode {
             Mode::Static(w) => proportional_split(items, w),
             Mode::WarmingUp { .. } => equal_weights_split(items, self.devices.len()),
-            Mode::Dynamic => {
+            Mode::Dynamic(chunking) => {
                 // Greedy chunking by current virtual clock, coalesced into
                 // one contiguous share per device to keep host scoring
-                // cache-friendly.
+                // cache-friendly. Chunk sizing honors the strategy's
+                // parameters: a fixed grab for DynamicQueue, a
+                // remaining-proportional grab for GuidedQueue.
+                let n = self.devices.len() as u64;
                 let mut clocks: Vec<f64> = self.devices.iter().map(|d| d.clock()).collect();
                 let mut shares = vec![0u64; self.devices.len()];
-                let chunk = (items / (self.devices.len() as u64 * 8)).max(1);
                 let mut remaining = items;
                 while remaining > 0 {
-                    let take = chunk.min(remaining);
+                    let take = match *chunking {
+                        DynamicChunking::Fixed(chunk) => chunk.min(remaining),
+                        DynamicChunking::Guided { divisor } => {
+                            (remaining / (divisor * n)).max(1).min(remaining)
+                        }
+                    };
                     remaining -= take;
                     let (idx, _) = clocks
                         .iter()
@@ -126,6 +223,64 @@ impl DeviceEvaluator {
     }
 }
 
+impl Drop for DeviceEvaluator {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("executor mutex poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn device_worker(shared: &DevShared, index: usize, dev: &SimDevice, scorer: &Scorer) {
+    let mut scratch = vsscore::PoseScratch::new();
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("executor mutex poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen_generation {
+                    seen_generation = st.generation;
+                    break st.jobs[index].take();
+                }
+                st = shared.work_cv.wait(st).expect("executor mutex poisoned");
+            }
+        };
+
+        if let Some(job) = job {
+            if job.len > 0 {
+                // SAFETY: see the DevJob safety comment — the submitter
+                // blocks in `evaluate` until every worker decrements
+                // `remaining`, and jobs cover disjoint slice ranges.
+                let confs = unsafe { std::slice::from_raw_parts_mut(job.confs, job.len) };
+                scorer.score_conformations_into(confs, &mut scratch);
+                let batch = WorkBatch::conformations(job.len as u64, scorer.pairs_per_eval());
+                match &job.timeline {
+                    Some(tl) => {
+                        tl.record(dev, &batch);
+                    }
+                    None => {
+                        dev.execute(&batch);
+                    }
+                }
+            }
+        }
+
+        let mut st = shared.state.lock().expect("executor mutex poisoned");
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
 fn equal_weights_split(items: u64, n: usize) -> Vec<u64> {
     proportional_split(items, &vec![1.0; n])
 }
@@ -136,44 +291,34 @@ impl BatchEvaluator for DeviceEvaluator {
             return;
         }
         let shares = self.shares_for(confs.len() as u64);
-        let pairs = self.scorer.pairs_per_eval();
         let clocks_before: Vec<f64> = self.devices.iter().map(|d| d.clock()).collect();
 
-        // Slice the batch contiguously by share.
-        let mut rest = confs;
-        let mut chunks: Vec<(&mut [Conformation], &Arc<SimDevice>)> = Vec::new();
-        for (dev, &share) in self.devices.iter().zip(&shares) {
-            let (head, tail) = rest.split_at_mut(share as usize);
-            if !head.is_empty() {
-                chunks.push((head, dev));
-            }
-            rest = tail;
-        }
-        debug_assert!(rest.is_empty());
-
-        let scorer = &self.scorer;
-        let timeline = self.timeline.as_ref();
-        crossbeam::scope(|s| {
-            for (chunk, dev) in chunks {
-                s.spawn(move |_| {
-                    let poses: Vec<_> = chunk.iter().map(|c| c.pose).collect();
-                    let scores = scorer.score_batch(&poses);
-                    for (c, sc) in chunk.iter_mut().zip(scores) {
-                        c.score = sc;
-                    }
-                    let batch = WorkBatch::conformations(chunk.len() as u64, pairs);
-                    match timeline {
-                        Some(tl) => {
-                            tl.record(dev, &batch);
-                        }
-                        None => {
-                            dev.execute(&batch);
-                        }
-                    }
+        // Publish one contiguous share per worker and block until all done.
+        {
+            let mut st = self.shared.state.lock().expect("executor mutex poisoned");
+            let mut offset = 0usize;
+            for (slot, &share) in st.jobs.iter_mut().zip(&shares) {
+                let share = share as usize;
+                // SAFETY: offset+share never exceeds confs.len() — shares
+                // sum to the batch length by construction.
+                *slot = Some(DevJob {
+                    confs: unsafe { confs.as_mut_ptr().add(offset) },
+                    len: share,
+                    timeline: self.timeline.clone(),
                 });
+                offset += share;
             }
-        })
-        .expect("device scoring thread panicked");
+            debug_assert_eq!(offset, confs.len());
+            st.generation += 1;
+            st.remaining = self.workers.len();
+        }
+        self.shared.work_cv.notify_all();
+        {
+            let mut st = self.shared.state.lock().expect("executor mutex poisoned");
+            while st.remaining > 0 {
+                st = self.shared.done_cv.wait(st).expect("executor mutex poisoned");
+            }
+        }
 
         // Warm-up bookkeeping: accumulate measured per-device times and
         // switch to the Equation 1 split once enough iterations ran.
@@ -243,6 +388,56 @@ mod tests {
     }
 
     #[test]
+    fn repeated_evaluates_stay_bit_identical() {
+        // Persistent workers must be reusable: many evaluate calls on the
+        // same evaluator, every one bit-identical to the serial path.
+        let sc = scorer();
+        let mut dev_eval =
+            DeviceEvaluator::new(hertz_devices(), sc.clone(), Strategy::HomogeneousSplit);
+        for seed in 0..6 {
+            let mut a = confs(10 + 7 * seed as usize, seed);
+            let mut b = a.clone();
+            dev_eval.evaluate(&mut a);
+            let serial: Vec<f64> = sc.score_batch(&b.iter().map(|c| c.pose).collect::<Vec<_>>());
+            for (c, s) in b.iter_mut().zip(serial) {
+                c.score = s;
+            }
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_conformation_batch() {
+        let sc = scorer();
+        let mut ev = DeviceEvaluator::new(hertz_devices(), sc.clone(), Strategy::HomogeneousSplit);
+        let mut c = confs(1, 42);
+        let want = sc.score(&c[0].pose);
+        ev.evaluate(&mut c);
+        assert_eq!(c[0].score.to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        // Worker threads must not outlive the evaluator. Each worker owns
+        // an Arc clone of its device and of the scorer; join-on-drop
+        // guarantees those clones are released by the time drop returns.
+        let devs = hertz_devices();
+        let sc = scorer();
+        {
+            let mut ev = DeviceEvaluator::new(devs.clone(), sc.clone(), Strategy::HomogeneousSplit);
+            let mut c = confs(16, 13);
+            ev.evaluate(&mut c);
+            // Alive: our handle + evaluator's vec + the worker's clone.
+            assert_eq!(Arc::strong_count(&devs[0]), 3);
+        }
+        assert_eq!(Arc::strong_count(&devs[0]), 1, "drop must join all device workers");
+        assert_eq!(Arc::strong_count(&devs[1]), 1);
+        assert_eq!(Arc::strong_count(&sc), 1);
+    }
+
+    #[test]
     fn clocks_advance_per_batch() {
         let devs = hertz_devices();
         let mut ev = DeviceEvaluator::new(devs.clone(), scorer(), Strategy::HomogeneousSplit);
@@ -288,6 +483,68 @@ mod tests {
         let (t0, t1) = (devs[0].clock(), devs[1].clock());
         let imbalance = (t0 - t1).abs() / t0.max(t1);
         assert!(imbalance < 0.35, "dynamic imbalance {imbalance}: {t0} vs {t1}");
+    }
+
+    #[test]
+    fn dynamic_queue_honors_chunk_parameter() {
+        // A chunk at least as large as the batch is grabbed whole by the
+        // first idle device; a chunk of 1 spreads work across both. The
+        // old implementation ignored `chunk` entirely, so both cases split
+        // identically — this pins the fix.
+        let coarse_devs = hertz_devices();
+        let mut coarse = DeviceEvaluator::new(
+            coarse_devs.clone(),
+            scorer(),
+            Strategy::DynamicQueue { chunk: 10_000 },
+        );
+        let mut c = confs(128, 21);
+        coarse.evaluate(&mut c);
+        let coarse_split = (coarse_devs[0].stats().items, coarse_devs[1].stats().items);
+        assert_eq!(coarse_split.0 + coarse_split.1, 128, "all items must be scheduled");
+        assert!(
+            coarse_split.0 == 128 || coarse_split.1 == 128,
+            "oversized chunk must land on a single device: {coarse_split:?}"
+        );
+
+        let fine_devs = hertz_devices();
+        let mut fine =
+            DeviceEvaluator::new(fine_devs.clone(), scorer(), Strategy::DynamicQueue { chunk: 1 });
+        let mut c = confs(128, 21);
+        fine.evaluate(&mut c);
+        let fine_split = (fine_devs[0].stats().items, fine_devs[1].stats().items);
+        assert!(
+            fine_split.0 > 0 && fine_split.1 > 0,
+            "chunk=1 must use both devices: {fine_split:?}"
+        );
+        assert_ne!(coarse_split, fine_split, "chunk parameter must change the split");
+    }
+
+    #[test]
+    fn guided_queue_honors_divisor_parameter() {
+        // GuidedQueue grabs remaining/(divisor*n) per step: a huge divisor
+        // degenerates to chunk=1 (both devices busy); divisor=1 starts
+        // with half the batch in one grab.
+        let eager_devs = hertz_devices();
+        let mut eager = DeviceEvaluator::new(
+            eager_devs.clone(),
+            scorer(),
+            Strategy::GuidedQueue { divisor: 1 },
+        );
+        let mut c = confs(128, 22);
+        eager.evaluate(&mut c);
+        let eager_split = (eager_devs[0].stats().items, eager_devs[1].stats().items);
+
+        let fine_devs = hertz_devices();
+        let mut fine = DeviceEvaluator::new(
+            fine_devs.clone(),
+            scorer(),
+            Strategy::GuidedQueue { divisor: 1_000 },
+        );
+        let mut c = confs(128, 22);
+        fine.evaluate(&mut c);
+        let fine_split = (fine_devs[0].stats().items, fine_devs[1].stats().items);
+        assert!(fine_split.0 > 0 && fine_split.1 > 0, "fine split {fine_split:?}");
+        assert_ne!(eager_split, fine_split, "divisor must change the split");
     }
 
     #[test]

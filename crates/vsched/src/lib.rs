@@ -19,9 +19,10 @@
 //!   mechanism behind Tables 6–9);
 //! - [`executor`] — the real-compute path: a
 //!   [`metaheur::BatchEvaluator`] that partitions every scoring batch
-//!   across devices, computes scores on one host thread per device (the
-//!   paper's one-OpenMP-thread-per-GPU structure) and advances the
-//!   devices' virtual clocks;
+//!   across devices, computes scores on one *persistent* host worker
+//!   thread per device (the paper's one-OpenMP-thread-per-GPU structure;
+//!   workers are spawned once at construction, fed work descriptors per
+//!   batch, and joined on drop) and advances the devices' virtual clocks;
 //! - [`cooperative`] — dynamic assignment of independent metaheuristic
 //!   *jobs* to devices plus cooperative solution sharing between jobs
 //!   (abstract §: "A cooperative scheduling of jobs optimizes the quality

@@ -207,12 +207,7 @@ pub fn schedule_trace(
     }
 }
 
-fn execute_split(
-    gpus: &[Arc<SimDevice>],
-    items: u64,
-    weights: &[f64],
-    pairs_per_item: u64,
-) {
+fn execute_split(gpus: &[Arc<SimDevice>], items: u64, weights: &[f64], pairs_per_item: u64) {
     let shares = proportional_split(items, weights);
     for (g, &share) in gpus.iter().zip(&shares) {
         if share > 0 {
@@ -360,7 +355,8 @@ mod tests {
     fn gpu_strategies_beat_cpu_by_a_lot() {
         let (cpu, gpus) = hertz();
         let t_cpu = schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::CpuOnly).makespan;
-        let t_hom = schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::HomogeneousSplit).makespan;
+        let t_hom =
+            schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::HomogeneousSplit).makespan;
         let speedup = t_cpu / t_hom;
         assert!(speedup > 10.0, "GPU speedup only {speedup}");
     }
@@ -369,7 +365,8 @@ mod tests {
     fn heterogeneous_beats_homogeneous_on_hertz() {
         // The paper's headline result: up to 1.56× on the Kepler+Fermi node.
         let (cpu, gpus) = hertz();
-        let t_hom = schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::HomogeneousSplit).makespan;
+        let t_hom =
+            schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::HomogeneousSplit).makespan;
         let t_het = schedule_trace(
             &cpu,
             &gpus,
@@ -436,7 +433,8 @@ mod tests {
         )
         .makespan;
         let t_dyn =
-            schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::DynamicQueue { chunk: 512 }).makespan;
+            schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::DynamicQueue { chunk: 512 })
+                .makespan;
         // Dynamic self-scheduling also balances, but pays an occupancy
         // penalty for its smaller kernels (an ablation finding: static
         // Eq. 1 splits keep launches large).
@@ -461,7 +459,8 @@ mod tests {
             Arc::new(SimDevice::new(1, catalog::geforce_gtx_590())),
             Arc::new(SimDevice::new(2, catalog::geforce_gtx_590())),
         ];
-        let t_hom = schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::HomogeneousSplit).makespan;
+        let t_hom =
+            schedule_trace(&cpu, &gpus, &trace(), PAIRS, Strategy::HomogeneousSplit).makespan;
         let t_het = schedule_trace(
             &cpu,
             &gpus,

@@ -51,7 +51,8 @@ pub fn warmup_times(
         .map(|d| {
             let mut t = 0.0;
             for _ in 0..config.iterations {
-                t += d.execute(&WorkBatch::conformations(config.items_per_iteration, pairs_per_item));
+                t += d
+                    .execute(&WorkBatch::conformations(config.items_per_iteration, pairs_per_item));
             }
             t
         })

@@ -190,8 +190,12 @@ mod tests {
     #[test]
     fn slow_network_increases_comm_share() {
         let js = jobs(16);
-        let fast = SimCluster::uniform(2, NetModel::infiniband(), platform::hertz)
-            .screen_library(3264, 16, &js, Strategy::HomogeneousSplit);
+        let fast = SimCluster::uniform(2, NetModel::infiniband(), platform::hertz).screen_library(
+            3264,
+            16,
+            &js,
+            Strategy::HomogeneousSplit,
+        );
         let slow = SimCluster::uniform(2, NetModel::gigabit_ethernet(), platform::hertz)
             .screen_library(3264, 16, &js, Strategy::HomogeneousSplit);
         assert!(slow.comm_time > fast.comm_time);
@@ -202,10 +206,8 @@ mod tests {
     fn heterogeneous_cluster_balances_by_finish_time() {
         // One Hertz + one Jupiter: Jupiter's bigger GPU pool should absorb
         // more jobs.
-        let c = SimCluster::new(
-            vec![platform::hertz(), platform::jupiter()],
-            NetModel::infiniband(),
-        );
+        let c =
+            SimCluster::new(vec![platform::hertz(), platform::jupiter()], NetModel::infiniband());
         let r = c.screen_library(3264, 16, &jobs(30), Strategy::HomogeneousSplit);
         let to_jupiter = r.assignment.iter().filter(|&&n| n == 1).count();
         assert!(to_jupiter >= 15, "Jupiter took only {to_jupiter}/30 jobs");

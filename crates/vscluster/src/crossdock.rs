@@ -120,8 +120,8 @@ mod tests {
         let four = SimCluster::uniform(4, NetModel::infiniband(), platform::hertz);
         let t1 =
             schedule_cross_docking(&one, &targets(), &ligands, Strategy::HomogeneousSplit).makespan;
-        let t4 =
-            schedule_cross_docking(&four, &targets(), &ligands, Strategy::HomogeneousSplit).makespan;
+        let t4 = schedule_cross_docking(&four, &targets(), &ligands, Strategy::HomogeneousSplit)
+            .makespan;
         assert!(t4 < t1 / 2.5, "{t4} vs {t1}");
     }
 
@@ -132,8 +132,7 @@ mod tests {
         let cluster = SimCluster::uniform(2, NetModel::infiniband(), platform::hertz);
         let ligands = synthetic_library(4, &metaheur::m1(0.2), 5);
         let r = schedule_cross_docking(&cluster, &targets(), &ligands, Strategy::HomogeneousSplit);
-        let big_jobs_on_node0 =
-            r.assignment.iter().filter(|row| row[1] == 0).count();
+        let big_jobs_on_node0 = r.assignment.iter().filter(|row| row[1] == 0).count();
         assert!(big_jobs_on_node0 >= 1 && big_jobs_on_node0 <= 3, "{big_jobs_on_node0}");
         let imb = (r.node_times[0] - r.node_times[1]).abs() / r.makespan;
         assert!(imb < 0.3, "imbalance {imb}");

@@ -71,8 +71,14 @@ pub fn screen_library_faulty(
     let nominal_cost = |ni: usize, job: &LigandJob| -> f64 {
         let node = &cluster.nodes()[ni];
         let trace = synthetic_trace(&job.params, n_spots);
-        schedule_trace(node.cpu(), node.gpus(), &trace, job.pairs_per_eval(receptor_atoms), strategy)
-            .makespan
+        schedule_trace(
+            node.cpu(),
+            node.gpus(),
+            &trace,
+            job.pairs_per_eval(receptor_atoms),
+            strategy,
+        )
+        .makespan
     };
 
     let mut order: Vec<usize> = (0..jobs.len()).collect();
@@ -133,8 +139,24 @@ mod tests {
     fn healthy_static_equals_dynamic() {
         let (cluster, jobs) = setup();
         let plan = FaultPlan::healthy(3);
-        let d = screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, true);
-        let s = screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, false);
+        let d = screen_library_faulty(
+            &cluster,
+            3264,
+            16,
+            &jobs,
+            Strategy::HomogeneousSplit,
+            &plan,
+            true,
+        );
+        let s = screen_library_faulty(
+            &cluster,
+            3264,
+            16,
+            &jobs,
+            Strategy::HomogeneousSplit,
+            &plan,
+            false,
+        );
         assert!((d.makespan - s.makespan).abs() / d.makespan < 1e-9);
     }
 
@@ -142,10 +164,24 @@ mod tests {
     fn dynamic_absorbs_straggler() {
         let (cluster, jobs) = setup();
         let plan = FaultPlan::straggler(3, 1, 4.0);
-        let dynamic =
-            screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, true);
-        let static_ =
-            screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, false);
+        let dynamic = screen_library_faulty(
+            &cluster,
+            3264,
+            16,
+            &jobs,
+            Strategy::HomogeneousSplit,
+            &plan,
+            true,
+        );
+        let static_ = screen_library_faulty(
+            &cluster,
+            3264,
+            16,
+            &jobs,
+            Strategy::HomogeneousSplit,
+            &plan,
+            false,
+        );
         assert!(
             dynamic.makespan < static_.makespan / 1.5,
             "dynamic {} should absorb the 4x straggler vs static {}",
@@ -162,8 +198,16 @@ mod tests {
         let (cluster, jobs) = setup();
         let m = |f: f64| {
             let plan = FaultPlan::straggler(3, 0, f);
-            screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, false)
-                .makespan
+            screen_library_faulty(
+                &cluster,
+                3264,
+                16,
+                &jobs,
+                Strategy::HomogeneousSplit,
+                &plan,
+                false,
+            )
+            .makespan
         };
         let healthy = m(1.0);
         let slow = m(3.0);
@@ -174,8 +218,15 @@ mod tests {
     fn dead_node_starved_by_dynamic() {
         let (cluster, jobs) = setup();
         let plan = FaultPlan::straggler(3, 2, 1e6);
-        let r =
-            screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, true);
+        let r = screen_library_faulty(
+            &cluster,
+            3264,
+            16,
+            &jobs,
+            Strategy::HomogeneousSplit,
+            &plan,
+            true,
+        );
         let to_dead = r.assignment.iter().filter(|&&n| n == 2).count();
         // LPT gives the dead node at most its first pick before its clock
         // explodes past everyone else.
@@ -188,7 +239,13 @@ mod tests {
         let plan = FaultPlan::straggler(3, 0, 10.0);
         for dynamic in [true, false] {
             let r = screen_library_faulty(
-                &cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, dynamic,
+                &cluster,
+                3264,
+                16,
+                &jobs,
+                Strategy::HomogeneousSplit,
+                &plan,
+                dynamic,
             );
             assert!(r.assignment.iter().all(|&n| n < 3));
             assert_eq!(r.assignment.len(), jobs.len());

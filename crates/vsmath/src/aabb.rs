@@ -13,10 +13,8 @@ pub struct Aabb {
 
 impl Aabb {
     /// An "empty" box that absorbs any point on the first `grow`.
-    pub const EMPTY: Aabb = Aabb {
-        min: Vec3::splat(f64::INFINITY),
-        max: Vec3::splat(f64::NEG_INFINITY),
-    };
+    pub const EMPTY: Aabb =
+        Aabb { min: Vec3::splat(f64::INFINITY), max: Vec3::splat(f64::NEG_INFINITY) };
 
     #[inline]
     pub fn new(min: Vec3, max: Vec3) -> Self {
@@ -36,10 +34,7 @@ impl Aabb {
 
     /// The box inflated by `margin` on every side.
     pub fn inflated(self, margin: f64) -> Aabb {
-        Aabb {
-            min: self.min - Vec3::splat(margin),
-            max: self.max + Vec3::splat(margin),
-        }
+        Aabb { min: self.min - Vec3::splat(margin), max: self.max + Vec3::splat(margin) }
     }
 
     /// Union of two boxes.

@@ -31,11 +31,8 @@ impl SpatialGrid {
         assert!(points.iter().all(|p| p.is_finite()), "non-finite point in grid input");
 
         let bb = Aabb::from_points(points);
-        let (origin, extent) = if bb.is_empty() {
-            (Vec3::ZERO, Vec3::ZERO)
-        } else {
-            (bb.min, bb.extent())
-        };
+        let (origin, extent) =
+            if bb.is_empty() { (Vec3::ZERO, Vec3::ZERO) } else { (bb.min, bb.extent()) };
         let dims = [
             (extent.x / cell_size).floor() as usize + 1,
             (extent.y / cell_size).floor() as usize + 1,
@@ -151,7 +148,7 @@ impl SpatialGrid {
         for _ in 0..32 {
             let mut best: Option<(usize, f64)> = None;
             self.for_each_within(q, radius, |i, _, d2| {
-                if best.map_or(true, |(_, bd)| d2 < bd * bd) {
+                if best.is_none_or(|(_, bd)| d2 < bd * bd) {
                     best = Some((i, d2.sqrt()));
                 }
             });
@@ -175,12 +172,7 @@ mod tests {
     use crate::RngStream;
 
     fn brute_within(points: &[Vec3], q: Vec3, r: f64) -> Vec<usize> {
-        points
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.dist_sq(q) <= r * r)
-            .map(|(i, _)| i)
-            .collect()
+        points.iter().enumerate().filter(|(_, p)| p.dist_sq(q) <= r * r).map(|(i, _)| i).collect()
     }
 
     #[test]
@@ -206,11 +198,21 @@ mod tests {
     fn matches_brute_force_random() {
         let mut rng = RngStream::from_seed(99);
         let points: Vec<Vec3> = (0..500)
-            .map(|_| Vec3::new(rng.uniform_range(-10.0, 10.0), rng.uniform_range(-10.0, 10.0), rng.uniform_range(-10.0, 10.0)))
+            .map(|_| {
+                Vec3::new(
+                    rng.uniform_range(-10.0, 10.0),
+                    rng.uniform_range(-10.0, 10.0),
+                    rng.uniform_range(-10.0, 10.0),
+                )
+            })
             .collect();
         let g = SpatialGrid::build(&points, 2.5);
         for _ in 0..50 {
-            let q = Vec3::new(rng.uniform_range(-12.0, 12.0), rng.uniform_range(-12.0, 12.0), rng.uniform_range(-12.0, 12.0));
+            let q = Vec3::new(
+                rng.uniform_range(-12.0, 12.0),
+                rng.uniform_range(-12.0, 12.0),
+                rng.uniform_range(-12.0, 12.0),
+            );
             let r = rng.uniform_range(0.5, 6.0);
             let mut got = g.within(q, r);
             let mut want = brute_within(&points, q, r);
@@ -238,9 +240,7 @@ mod tests {
     #[test]
     fn nearest_matches_brute_force() {
         let mut rng = RngStream::from_seed(7);
-        let points: Vec<Vec3> = (0..200)
-            .map(|_| rng.in_ball(20.0))
-            .collect();
+        let points: Vec<Vec3> = (0..200).map(|_| rng.in_ball(20.0)).collect();
         let g = SpatialGrid::build(&points, 3.0);
         for _ in 0..20 {
             let q = rng.in_ball(30.0);

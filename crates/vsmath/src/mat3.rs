@@ -14,8 +14,7 @@ pub struct Mat3 {
 
 impl Mat3 {
     pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
-    pub const IDENTITY: Mat3 =
-        Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+    pub const IDENTITY: Mat3 = Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
 
     #[inline]
     pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
@@ -52,16 +51,36 @@ impl Mat3 {
         let tr = m[0][0] + m[1][1] + m[2][2];
         let q = if tr > 0.0 {
             let s = (tr + 1.0).sqrt() * 2.0;
-            Quat::new(0.25 * s, (m[2][1] - m[1][2]) / s, (m[0][2] - m[2][0]) / s, (m[1][0] - m[0][1]) / s)
+            Quat::new(
+                0.25 * s,
+                (m[2][1] - m[1][2]) / s,
+                (m[0][2] - m[2][0]) / s,
+                (m[1][0] - m[0][1]) / s,
+            )
         } else if m[0][0] > m[1][1] && m[0][0] > m[2][2] {
             let s = (1.0 + m[0][0] - m[1][1] - m[2][2]).sqrt() * 2.0;
-            Quat::new((m[2][1] - m[1][2]) / s, 0.25 * s, (m[0][1] + m[1][0]) / s, (m[0][2] + m[2][0]) / s)
+            Quat::new(
+                (m[2][1] - m[1][2]) / s,
+                0.25 * s,
+                (m[0][1] + m[1][0]) / s,
+                (m[0][2] + m[2][0]) / s,
+            )
         } else if m[1][1] > m[2][2] {
             let s = (1.0 + m[1][1] - m[0][0] - m[2][2]).sqrt() * 2.0;
-            Quat::new((m[0][2] - m[2][0]) / s, (m[0][1] + m[1][0]) / s, 0.25 * s, (m[1][2] + m[2][1]) / s)
+            Quat::new(
+                (m[0][2] - m[2][0]) / s,
+                (m[0][1] + m[1][0]) / s,
+                0.25 * s,
+                (m[1][2] + m[2][1]) / s,
+            )
         } else {
             let s = (1.0 + m[2][2] - m[0][0] - m[1][1]).sqrt() * 2.0;
-            Quat::new((m[1][0] - m[0][1]) / s, (m[0][2] + m[2][0]) / s, (m[1][2] + m[2][1]) / s, 0.25 * s)
+            Quat::new(
+                (m[1][0] - m[0][1]) / s,
+                (m[0][2] + m[2][0]) / s,
+                (m[1][2] + m[2][1]) / s,
+                0.25 * s,
+            )
         };
         q.renormalize()
     }
@@ -109,6 +128,9 @@ impl Mat3 {
     /// rotations. Returns `(eigenvalues, eigenvectors)` with eigenvalues
     /// descending and `eigenvectors.mul_vec(e_i)`-columns orthonormal
     /// (column `i` of the returned matrix pairs with eigenvalue `i`).
+    // Index loops mirror the textbook Jacobi rotation formulas; iterator
+    // forms obscure the row/column symmetry.
+    #[allow(clippy::needless_range_loop)]
     pub fn symmetric_eigen(&self) -> ([f64; 3], Mat3) {
         let mut a = self.m;
         let mut v = Mat3::IDENTITY.m;

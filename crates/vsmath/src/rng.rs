@@ -7,11 +7,48 @@
 //! a job lands on or in what order threads run.
 
 use crate::{Quat, Vec3};
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
 
-/// A deterministic random stream: `StdRng` seeded from a (root, stream-id)
-/// pair via SplitMix64 mixing, so sibling streams are decorrelated.
+/// xoshiro256++ core (Blackman & Vigna) — a small, fast, high-quality
+/// generator seeded from 32 bytes, standing in for `rand::rngs::StdRng`
+/// in the offline build. Streams are reproducible across platforms: the
+/// algorithm is pure integer arithmetic with no platform dependence.
+#[derive(Debug, Clone)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_seed(key: [u8; 32]) -> Xoshiro256 {
+        let mut s = [0u64; 4];
+        for (w, chunk) in s.iter_mut().zip(key.chunks_exact(8)) {
+            *w = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        if s == [0; 4] {
+            // The all-zero state is the one fixed point; displace it.
+            s = [0x9E37_79B9_7F4A_7C15, 0xBF58_476D_1CE4_E5B9, 0x94D0_49BB_1331_11EB, 1];
+        }
+        Xoshiro256 { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+}
+
+/// A deterministic random stream: a xoshiro256++ core seeded from a
+/// (root, stream-id) pair via SplitMix64 mixing, so sibling streams are
+/// decorrelated.
 ///
 /// ```
 /// use vsmath::RngStream;
@@ -26,7 +63,7 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct RngStream {
-    rng: StdRng,
+    rng: Xoshiro256,
     root_seed: u64,
     stream_id: u64,
 }
@@ -50,23 +87,22 @@ impl RngStream {
     /// Derive stream `stream_id` of the root seed. Streams with different
     /// ids are statistically independent.
     pub fn derive(root_seed: u64, stream_id: u64) -> Self {
-        let mixed = splitmix64(splitmix64(root_seed) ^ splitmix64(stream_id.wrapping_mul(0xA24B_AED4_963E_E407)));
+        let mixed = splitmix64(
+            splitmix64(root_seed) ^ splitmix64(stream_id.wrapping_mul(0xA24B_AED4_963E_E407)),
+        );
         let mut key = [0u8; 32];
         let mut s = mixed;
         for chunk in key.chunks_exact_mut(8) {
             s = splitmix64(s);
             chunk.copy_from_slice(&s.to_le_bytes());
         }
-        RngStream { rng: StdRng::from_seed(key), root_seed, stream_id }
+        RngStream { rng: Xoshiro256::from_seed(key), root_seed, stream_id }
     }
 
     /// Derive a child stream; children of distinct `(root, id)` pairs are
     /// disjoint. Used to hand each spot/individual its own substream.
     pub fn child(&self, child_id: u64) -> RngStream {
-        RngStream::derive(
-            splitmix64(self.root_seed ^ splitmix64(self.stream_id)),
-            child_id,
-        )
+        RngStream::derive(splitmix64(self.root_seed ^ splitmix64(self.stream_id)), child_id)
     }
 
     pub fn root_seed(&self) -> u64 {
@@ -77,10 +113,10 @@ impl RngStream {
         self.stream_id
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits of a `next_u64`).
     #[inline]
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen::<f64>()
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform `f64` in `[lo, hi)`.
@@ -93,7 +129,9 @@ impl RngStream {
     #[inline]
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.rng.gen_range(0..n)
+        // Lemire's multiply-shift reduction; the bias is < n / 2^64,
+        // invisible at the range sizes used here.
+        ((self.rng.next_u64() as u128 * n as u128) >> 64) as usize
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0,1]`).
@@ -170,18 +208,30 @@ impl RngStream {
     }
 }
 
-impl RngCore for RngStream {
-    fn next_u32(&mut self) -> u32 {
-        self.rng.next_u32()
+impl RngStream {
+    /// Next raw 32 random bits.
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.rng.next_u64() >> 32) as u32
     }
-    fn next_u64(&mut self) -> u64 {
+
+    /// Next raw 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
         self.rng.next_u64()
     }
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.rng.fill_bytes(dest)
-    }
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.rng.try_fill_bytes(dest)
+
+    /// Fill `dest` with random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.rng.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let bytes = self.rng.next_u64().to_le_bytes();
+            rest.copy_from_slice(&bytes[..rest.len()]);
+        }
     }
 }
 
@@ -283,7 +333,8 @@ mod tests {
         let mut seen = [false; 8];
         for _ in 0..500 {
             let v = r.unit_vector();
-            let o = (v.x > 0.0) as usize | ((v.y > 0.0) as usize) << 1 | ((v.z > 0.0) as usize) << 2;
+            let o =
+                (v.x > 0.0) as usize | ((v.y > 0.0) as usize) << 1 | ((v.z > 0.0) as usize) << 2;
             seen[o] = true;
         }
         assert!(seen.iter().all(|&s| s), "octant coverage {seen:?}");

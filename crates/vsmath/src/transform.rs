@@ -50,6 +50,26 @@ impl RigidTransform {
         out.extend(points.iter().map(|&p| self.apply(p)));
     }
 
+    /// Apply to a point slice, writing each transformed component into the
+    /// structure-of-arrays destination `x`/`y`/`z` (all exactly
+    /// `points.len()` long).
+    ///
+    /// This is the zero-allocation batch form: scoring scratch buffers own
+    /// `x`/`y`/`z` and reuse them across poses, so materializing a
+    /// conformation touches no allocator. Component values are bit-identical
+    /// to [`RigidTransform::apply`].
+    pub fn apply_all_soa(&self, points: &[Vec3], x: &mut [f64], y: &mut [f64], z: &mut [f64]) {
+        assert_eq!(points.len(), x.len(), "x length mismatch");
+        assert_eq!(points.len(), y.len(), "y length mismatch");
+        assert_eq!(points.len(), z.len(), "z length mismatch");
+        for (i, &p) in points.iter().enumerate() {
+            let q = self.apply(p);
+            x[i] = q.x;
+            y[i] = q.y;
+            z[i] = q.z;
+        }
+    }
+
     /// The inverse transform: `p ↦ R⁻¹·(p − t)`.
     pub fn inverse(&self) -> RigidTransform {
         let rinv = self.rotation.conjugate();
@@ -103,10 +123,7 @@ mod tests {
     #[test]
     fn rotation_then_translation_order() {
         // p=X, rotate 90° about Z → Y, then translate by X → (1,1,0).
-        let tf = RigidTransform::new(
-            Quat::from_axis_angle(Vec3::Z, FRAC_PI_2),
-            Vec3::X,
-        );
+        let tf = RigidTransform::new(Quat::from_axis_angle(Vec3::Z, FRAC_PI_2), Vec3::X);
         assert_vec_eq(tf.apply(Vec3::X), Vec3::new(1.0, 1.0, 0.0));
     }
 
@@ -140,6 +157,33 @@ mod tests {
         for (p, q) in pts.iter().zip(&out) {
             assert_vec_eq(tf.apply(*p), *q);
         }
+    }
+
+    #[test]
+    fn apply_all_soa_matches_apply_bitwise() {
+        let tf = RigidTransform::new(
+            Quat::from_axis_angle(Vec3::new(0.3, -1.0, 2.0), 1.3),
+            Vec3::new(-4.0, 2.5, 9.0),
+        );
+        let pts = vec![Vec3::ZERO, Vec3::X, Vec3::new(1.0, 2.0, 3.0), Vec3::new(-7.5, 0.25, 3.125)];
+        let (mut x, mut y, mut z) = (vec![0.0; 4], vec![0.0; 4], vec![0.0; 4]);
+        tf.apply_all_soa(&pts, &mut x, &mut y, &mut z);
+        for (i, &p) in pts.iter().enumerate() {
+            let q = tf.apply(p);
+            // Bit-identity, not approximate equality: the SoA path must be
+            // indistinguishable from the scalar path.
+            assert_eq!(q.x.to_bits(), x[i].to_bits());
+            assert_eq!(q.y.to_bits(), y[i].to_bits());
+            assert_eq!(q.z.to_bits(), z[i].to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn apply_all_soa_length_mismatch_panics() {
+        let tf = RigidTransform::IDENTITY;
+        let (mut x, mut y, mut z) = (vec![0.0; 1], vec![0.0; 2], vec![0.0; 1]);
+        tf.apply_all_soa(&[Vec3::X], &mut x, &mut y, &mut z);
     }
 
     #[test]

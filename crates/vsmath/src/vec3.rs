@@ -290,7 +290,12 @@ mod tests {
 
     #[test]
     fn centroid_of_points() {
-        let pts = [Vec3::ZERO, Vec3::new(2.0, 0.0, 0.0), Vec3::new(0.0, 2.0, 0.0), Vec3::new(0.0, 0.0, 2.0)];
+        let pts = [
+            Vec3::ZERO,
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(0.0, 2.0, 0.0),
+            Vec3::new(0.0, 0.0, 2.0),
+        ];
         assert_eq!(Vec3::centroid(&pts), Vec3::splat(0.5));
         assert_eq!(Vec3::centroid(&[]), Vec3::ZERO);
     }

@@ -8,9 +8,8 @@ fn arb_vec3(r: f64) -> impl Strategy<Value = Vec3> {
 }
 
 fn arb_quat() -> impl Strategy<Value = Quat> {
-    (arb_vec3(1.0), -3.0..3.0f64).prop_map(|(a, ang)| {
-        Quat::from_axis_angle(if a.norm() < 1e-6 { Vec3::Y } else { a }, ang)
-    })
+    (arb_vec3(1.0), -3.0..3.0f64)
+        .prop_map(|(a, ang)| Quat::from_axis_angle(if a.norm() < 1e-6 { Vec3::Y } else { a }, ang))
 }
 
 proptest! {

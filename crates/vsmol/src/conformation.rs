@@ -110,7 +110,13 @@ mod tests {
     use vsmath::Vec3;
 
     fn spot() -> Spot {
-        Spot { id: 3, center: Vec3::new(10.0, 0.0, 0.0), normal: Vec3::X, radius: 5.0, anchor_atom: 0 }
+        Spot {
+            id: 3,
+            center: Vec3::new(10.0, 0.0, 0.0),
+            normal: Vec3::X,
+            radius: 5.0,
+            anchor_atom: 0,
+        }
     }
 
     #[test]

@@ -40,10 +40,7 @@ impl LjParams {
 
     /// Lorentz–Berthelot combination of two single-element parameter sets.
     pub fn combine(a: LjParams, b: LjParams) -> LjParams {
-        LjParams {
-            sigma: 0.5 * (a.sigma + b.sigma),
-            epsilon: (a.epsilon * b.epsilon).sqrt(),
-        }
+        LjParams { sigma: 0.5 * (a.sigma + b.sigma), epsilon: (a.epsilon * b.epsilon).sqrt() }
     }
 
     /// The pair energy `4ε[(σ/r)¹² − (σ/r)⁶]` at squared distance `r²`.

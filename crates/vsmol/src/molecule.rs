@@ -83,8 +83,7 @@ impl Molecule {
             return 0.0;
         }
         let c = self.centroid();
-        let msd: f64 =
-            self.positions.iter().map(|p| p.dist_sq(c)).sum::<f64>() / self.len() as f64;
+        let msd: f64 = self.positions.iter().map(|p| p.dist_sq(c)).sum::<f64>() / self.len() as f64;
         msd.sqrt()
     }
 
@@ -105,11 +104,8 @@ impl Molecule {
 
     /// A copy with `tf` applied to every atom position.
     pub fn transformed(&self, tf: &RigidTransform) -> Molecule {
-        let atoms = self
-            .atoms
-            .iter()
-            .map(|a| Atom { position: tf.apply(a.position), ..*a })
-            .collect();
+        let atoms =
+            self.atoms.iter().map(|a| Atom { position: tf.apply(a.position), ..*a }).collect();
         Molecule::new(self.name.clone(), atoms)
     }
 

@@ -176,9 +176,7 @@ pub fn parse_structure(text: &str, name: impl Into<String>) -> Result<PdbStructu
             return Err(PdbError::TruncatedRecord { line_no });
         }
         let coord = |a: usize, b: usize, field: &'static str| -> Result<f64, PdbError> {
-            slice_cols(line, a, b)
-                .parse()
-                .map_err(|_| PdbError::BadCoordinate { line_no, field })
+            slice_cols(line, a, b).parse().map_err(|_| PdbError::BadCoordinate { line_no, field })
         };
         let x = coord(31, 38, "x")?;
         let y = coord(39, 46, "y")?;
@@ -218,11 +216,10 @@ pub fn write(mol: &Molecule) -> String {
         // Atom name = element symbol; residue LIG 1, chain A.
         let _ = writeln!(
             out,
-            "HETATM{serial:>5} {name:<4} {res:<3} {chain}{resseq:>4}    {x:>8.3}{y:>8.3}{z:>8.3}{occ:>6.2}{b:>6.2}          {el:>2}",
+            "HETATM{serial:>5} {name:<4} {res:<3} A{resseq:>4}    {x:>8.3}{y:>8.3}{z:>8.3}{occ:>6.2}{b:>6.2}          {el:>2}",
             serial = serial,
             name = sym,
             res = "LIG",
-            chain = 'A',
             resseq = 1,
             x = a.position.x,
             y = a.position.y,

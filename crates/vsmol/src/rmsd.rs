@@ -12,8 +12,7 @@ use vsmath::{Mat3, Quat, RigidTransform, Vec3};
 pub fn rmsd(a: &[Vec3], b: &[Vec3]) -> f64 {
     assert_eq!(a.len(), b.len(), "point sets must match");
     assert!(!a.is_empty(), "empty point sets");
-    let msd: f64 =
-        a.iter().zip(b).map(|(p, q)| p.dist_sq(*q)).sum::<f64>() / a.len() as f64;
+    let msd: f64 = a.iter().zip(b).map(|(p, q)| p.dist_sq(*q)).sum::<f64>() / a.len() as f64;
     msd.sqrt()
 }
 
@@ -252,10 +251,8 @@ mod tests {
         let mut rng = RngStream::from_seed(9);
         let poses: Vec<Conformation> = (0..5)
             .map(|i| {
-                let mut c = Conformation::new(
-                    RigidTransform::new(rng.rotation(), rng.in_ball(30.0)),
-                    0,
-                );
+                let mut c =
+                    Conformation::new(RigidTransform::new(rng.rotation(), rng.in_ball(30.0)), 0);
                 c.score = i as f64;
                 c
             })
@@ -271,10 +268,8 @@ mod tests {
         let mut rng = RngStream::from_seed(10);
         let poses: Vec<Conformation> = (0..30)
             .map(|i| {
-                let mut c = Conformation::new(
-                    RigidTransform::new(rng.rotation(), rng.in_ball(15.0)),
-                    0,
-                );
+                let mut c =
+                    Conformation::new(RigidTransform::new(rng.rotation(), rng.in_ball(15.0)), 0);
                 c.score = -(i as f64);
                 c
             })

@@ -46,9 +46,7 @@ fn charge_from_code(code: i32) -> f64 {
 
 fn code_from_charge(q: f64) -> i32 {
     let rounded = q.round() as i32;
-    if (1 - rounded..=3).contains(&rounded) && rounded != 0 && (-3..=3).contains(&rounded) {
-        4 - rounded
-    } else if rounded != 0 && (-3..=3).contains(&rounded) {
+    if rounded != 0 && (-3..=3).contains(&rounded) {
         4 - rounded
     } else {
         0
@@ -81,10 +79,8 @@ pub fn parse(text: &str, fallback_name: &str) -> Result<Vec<Molecule>, SdfError>
         if counts.len() < 6 {
             return Err(SdfError::BadCountsLine { record: rec_idx });
         }
-        let n_atoms: usize = counts[0..3]
-            .trim()
-            .parse()
-            .map_err(|_| SdfError::BadCountsLine { record: rec_idx })?;
+        let n_atoms: usize =
+            counts[0..3].trim().parse().map_err(|_| SdfError::BadCountsLine { record: rec_idx })?;
         if lines.len() < 4 + n_atoms {
             return Err(SdfError::Truncated { record: rec_idx });
         }
@@ -100,21 +96,16 @@ pub fn parse(text: &str, fallback_name: &str) -> Result<Vec<Molecule>, SdfError>
             let z: f64 = line[20..30].trim().parse().map_err(|_| bad())?;
             let sym = line[31..34].trim();
             let element = Element::from_symbol(sym);
-            let charge_code: i32 = line
-                .get(36..39)
-                .map(|s| s.trim().parse().unwrap_or(0))
-                .unwrap_or(0);
+            let charge_code: i32 =
+                line.get(36..39).map(|s| s.trim().parse().unwrap_or(0)).unwrap_or(0);
             atoms.push(Atom::with_charge(
                 Vec3::new(x, y, z),
                 element,
                 charge_from_code(charge_code),
             ));
         }
-        let name = if title.is_empty() {
-            format!("{fallback_name}-{rec_idx}")
-        } else {
-            title.to_string()
-        };
+        let name =
+            if title.is_empty() { format!("{fallback_name}-{rec_idx}") } else { title.to_string() };
         molecules.push(Molecule::new(name, atoms));
     }
     Ok(molecules)

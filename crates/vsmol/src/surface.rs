@@ -83,12 +83,7 @@ pub fn surface_atoms(mol: &Molecule, opts: &SurfaceOptions) -> Vec<usize> {
     let counts = burial_counts(mol, opts.neighbor_radius);
     let max = *counts.iter().max().expect("non-empty") as f64;
     let cutoff = opts.burial_fraction * max;
-    counts
-        .iter()
-        .enumerate()
-        .filter(|(_, &c)| (c as f64) < cutoff)
-        .map(|(i, _)| i)
-        .collect()
+    counts.iter().enumerate().filter(|(_, &c)| (c as f64) < cutoff).map(|(i, _)| i).collect()
 }
 
 /// Solvent-accessible-surface exposure per atom (Shrake–Rupley): fraction
@@ -114,11 +109,8 @@ pub fn sas_exposure(mol: &Molecule, probe_radius: f64, n_points: usize) -> Vec<f
         })
         .collect();
 
-    let max_expanded = mol
-        .elements()
-        .iter()
-        .map(|e| e.vdw_radius() + probe_radius)
-        .fold(0.0, f64::max);
+    let max_expanded =
+        mol.elements().iter().map(|e| e.vdw_radius() + probe_radius).fold(0.0, f64::max);
     let grid = SpatialGrid::build(mol.positions(), (2.0 * max_expanded).max(1.0));
 
     mol.positions()
@@ -181,9 +173,7 @@ pub fn detect_spots(mol: &Molecule, opts: &SurfaceOptions) -> Vec<Spot> {
         .elements()
         .iter()
         .enumerate()
-        .filter(|(i, e)| {
-            (counts[*i] as f64) < cutoff && (!opts.anchors_only || e.is_spot_anchor())
-        })
+        .filter(|(i, e)| (counts[*i] as f64) < cutoff && (!opts.anchors_only || e.is_spot_anchor()))
         .map(|(i, _)| (counts[i], i))
         .collect();
     candidates.sort_unstable();
@@ -195,9 +185,7 @@ pub fn detect_spots(mol: &Molecule, opts: &SurfaceOptions) -> Vec<Spot> {
             break;
         }
         let p = mol.positions()[atom_idx];
-        if spots.iter().any(|s| {
-            mol.positions()[s.anchor_atom].dist_sq(p) < sep_sq
-        }) {
+        if spots.iter().any(|s| mol.positions()[s.anchor_atom].dist_sq(p) < sep_sq) {
             continue;
         }
         let normal = (p - centroid).normalized().unwrap_or(Vec3::Z);
@@ -215,10 +203,10 @@ pub fn detect_spots(mol: &Molecule, opts: &SurfaceOptions) -> Vec<Spot> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Element;
-    use vsmath::Vec3;
     use crate::synth::synth_receptor;
+    use crate::Element;
     use crate::{Atom, Dataset};
+    use vsmath::Vec3;
 
     fn small_receptor() -> Molecule {
         synth_receptor("test-receptor", 600, 42)
@@ -257,11 +245,8 @@ mod tests {
         assert!(surf.len() < m.len(), "not every atom can be surface");
         let centroid = m.centroid();
         let r_max = m.bounding_radius();
-        let mean_r: f64 = surf
-            .iter()
-            .map(|&i| m.positions()[i].dist(centroid))
-            .sum::<f64>()
-            / surf.len() as f64;
+        let mean_r: f64 =
+            surf.iter().map(|&i| m.positions()[i].dist(centroid)).sum::<f64>() / surf.len() as f64;
         assert!(mean_r > 0.7 * r_max, "surface atoms at mean radius {mean_r} of {r_max}");
     }
 

@@ -136,9 +136,9 @@ pub fn synth_receptor(name: &str, n: usize, seed: u64) -> Molecule {
 
     // Lattice spacing chosen so the ball holds comfortably more sites than n.
     let spacing = (1.0 / density).cbrt(); // ≈ 2.81 Å
-    // Generate sites in a slightly inflated ball (the lattice-in-ball count
-    // equals n only on average; the margin guarantees a surplus), then keep
-    // the n sites closest to the center.
+                                          // Generate sites in a slightly inflated ball (the lattice-in-ball count
+                                          // equals n only on average; the margin guarantees a surplus), then keep
+                                          // the n sites closest to the center.
     let gen_radius = radius * 1.08 + spacing;
     let half_cells = (gen_radius / spacing).ceil() as i64 + 1;
 
@@ -153,12 +153,7 @@ pub fn synth_receptor(name: &str, n: usize, seed: u64) -> Molecule {
             }
         }
     }
-    assert!(
-        sites.len() >= n,
-        "lattice underfilled: {} sites for {} atoms",
-        sites.len(),
-        n
-    );
+    assert!(sites.len() >= n, "lattice underfilled: {} sites for {} atoms", sites.len(), n);
 
     // Keep the n sites closest to the center (preserves the globular shape),
     // then jitter each within its cell to break lattice artifacts.
@@ -259,10 +254,7 @@ mod tests {
         let ball_r = (3.0 * 2000.0 / (4.0 * std::f64::consts::PI * density)).cbrt();
         let expect_gyr = ball_r * (3.0f64 / 5.0).sqrt();
         let gyr = r.radius_of_gyration();
-        assert!(
-            (gyr - expect_gyr).abs() / expect_gyr < 0.15,
-            "gyr {gyr} vs expected {expect_gyr}"
-        );
+        assert!((gyr - expect_gyr).abs() / expect_gyr < 0.15, "gyr {gyr} vs expected {expect_gyr}");
     }
 
     #[test]
@@ -318,11 +310,7 @@ mod tests {
         // Every atom must be within ~2 bond lengths of some other atom.
         let l = Dataset::TwoBsm.ligand();
         for (i, &p) in l.positions().iter().enumerate() {
-            let near = l
-                .positions()
-                .iter()
-                .enumerate()
-                .any(|(j, q)| j != i && p.dist(*q) < 2.9);
+            let near = l.positions().iter().enumerate().any(|(j, q)| j != i && p.dist(*q) < 2.9);
             assert!(near, "atom {i} is isolated");
         }
     }

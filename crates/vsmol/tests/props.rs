@@ -9,11 +9,7 @@ fn arb_element() -> impl Strategy<Value = Element> {
 }
 
 fn arb_atom() -> impl Strategy<Value = Atom> {
-    (
-        (-500.0..500.0f64, -500.0..500.0f64, -500.0..500.0f64),
-        arb_element(),
-        -1.0..1.0f64,
-    )
+    ((-500.0..500.0f64, -500.0..500.0f64, -500.0..500.0f64), arb_element(), -1.0..1.0f64)
         .prop_map(|((x, y, z), e, q)| Atom::with_charge(Vec3::new(x, y, z), e, q))
 }
 

@@ -93,8 +93,8 @@ pub fn rigid_gradient(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lj::{lj_naive, lj_pair};
     use crate::coulomb::coulomb_naive;
+    use crate::lj::{lj_naive, lj_pair};
     use vsmath::{Quat, RigidTransform, RngStream};
     use vsmol::{synth, Element, LjTable, Molecule};
 
@@ -122,12 +122,18 @@ mod tests {
             let h = 1e-6;
             for (axis, fa) in [(Vec3::X, g.force.x), (Vec3::Y, g.force.y), (Vec3::Z, g.force.z)] {
                 let ep = lj_naive(
-                    &posed_ligand(&lig, &RigidTransform::new(pose.rotation, pose.translation + axis * h)),
+                    &posed_ligand(
+                        &lig,
+                        &RigidTransform::new(pose.rotation, pose.translation + axis * h),
+                    ),
                     &rec_frame,
                     &table,
                 );
                 let em = lj_naive(
-                    &posed_ligand(&lig, &RigidTransform::new(pose.rotation, pose.translation - axis * h)),
+                    &posed_ligand(
+                        &lig,
+                        &RigidTransform::new(pose.rotation, pose.translation - axis * h),
+                    ),
                     &rec_frame,
                     &table,
                 );
@@ -162,10 +168,7 @@ mod tests {
             let em = lj_naive(&posed_ligand(&lig, &rot(-h)), &rec_frame, &table);
             let numeric = -(ep - em) / (2.0 * h);
             let scale = numeric.abs().max(ta.abs()).max(1e-3);
-            assert!(
-                (numeric - ta).abs() / scale < 1e-3,
-                "torque {ta} vs numeric {numeric}"
-            );
+            assert!((numeric - ta).abs() / scale < 1e-3, "torque {ta} vs numeric {numeric}");
         }
     }
 

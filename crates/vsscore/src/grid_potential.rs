@@ -10,8 +10,8 @@
 //! (§6: scoring-function variants as future work) and the benches quantify
 //! it.
 
-use crate::lj::{lj_pair, Frame, PairTable, MIN_DIST_SQ};
 use crate::coulomb::COULOMB_K;
+use crate::lj::{lj_pair, Frame, PairTable, MIN_DIST_SQ};
 use vsmath::{Aabb, RigidTransform, SpatialGrid, Vec3};
 use vsmol::{Element, LjTable, Molecule};
 
@@ -98,8 +98,7 @@ impl GridScorer {
             for iy in 0..dims[1] {
                 for ix in 0..dims[0] {
                     let node = (iz * dims[1] + iy) * dims[0] + ix;
-                    let p = bb.min
-                        + Vec3::new(ix as f64, iy as f64, iz as f64) * opts.spacing;
+                    let p = bb.min + Vec3::new(ix as f64, iy as f64, iz as f64) * opts.spacing;
                     rec_grid.for_each_within(p, opts.cutoff, |j, _, r_sq| {
                         for (t, &te) in types.iter().enumerate() {
                             let (s2, e4) = table.lookup(te.index() as u8, rec_elem[j]);
@@ -150,8 +149,7 @@ impl GridScorer {
     /// ~0 anyway, given the build cutoff).
     fn interpolate(&self, f: &[f32], p: Vec3) -> f64 {
         let g = (p - self.origin) / self.spacing;
-        let clampf =
-            |v: f64, hi: usize| -> f64 { v.max(0.0).min(hi as f64 - 1.000001) };
+        let clampf = |v: f64, hi: usize| -> f64 { v.max(0.0).min(hi as f64 - 1.000001) };
         let gx = clampf(g.x, self.dims[0]);
         let gy = clampf(g.y, self.dims[1]);
         let gz = clampf(g.z, self.dims[2]);
@@ -237,7 +235,10 @@ mod tests {
         let mut rng = RngStream::from_seed(seed);
         (0..n)
             .map(|_| {
-                RigidTransform::new(rng.rotation(), rng.unit_vector() * rng.uniform_range(13.0, 17.0))
+                RigidTransform::new(
+                    rng.rotation(),
+                    rng.unit_vector() * rng.uniform_range(13.0, 17.0),
+                )
             })
             .collect()
     }
@@ -259,10 +260,7 @@ mod tests {
             // non-clashing surface poses a 0.6 Å grid stays within
             // ~15% + 1.0 absolute.
             let tol = 0.15 * exact.abs() + 1.0;
-            assert!(
-                (approx - exact).abs() < tol,
-                "pose {k}: grid {approx} vs exact {exact}"
-            );
+            assert!((approx - exact).abs() < tol, "pose {k}: grid {approx} vs exact {exact}");
             checked += 1;
         }
         assert!(checked >= 5, "too few non-clashing poses ({checked})");
@@ -271,7 +269,8 @@ mod tests {
     #[test]
     fn finer_grids_are_more_accurate() {
         let (rec, lig, _) = setup(0.6);
-        let coarse = GridScorer::new(&rec, &lig, GridOptions { spacing: 1.5, ..Default::default() });
+        let coarse =
+            GridScorer::new(&rec, &lig, GridOptions { spacing: 1.5, ..Default::default() });
         let fine = GridScorer::new(&rec, &lig, GridOptions { spacing: 0.5, ..Default::default() });
         let poses = surface_poses(20, 7);
         let err = |g: &GridScorer| -> f64 {
@@ -307,10 +306,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            concordant as f64 >= 0.85 * total as f64,
-            "rank agreement {concordant}/{total}"
-        );
+        assert!(concordant as f64 >= 0.85 * total as f64, "rank agreement {concordant}/{total}");
     }
 
     #[test]
@@ -324,7 +320,8 @@ mod tests {
     fn electrostatic_grid_contributes() {
         let rec = synth::synth_receptor("r", 200, 8);
         let lig = synth::synth_ligand("l", 8, 9);
-        let no_elec = GridScorer::new(&rec, &lig, GridOptions { spacing: 1.0, ..Default::default() });
+        let no_elec =
+            GridScorer::new(&rec, &lig, GridOptions { spacing: 1.0, ..Default::default() });
         let with_elec = GridScorer::new(
             &rec,
             &lig,

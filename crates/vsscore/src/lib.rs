@@ -18,18 +18,24 @@
 //!   as future work);
 //! - [`scorer`] — the [`scorer::Scorer`] facade that prepares a
 //!   receptor/ligand pair once and scores arbitrary poses, including
-//!   cutoff+grid accelerated and multi-threaded batch variants.
+//!   cutoff+grid accelerated and multi-threaded batch variants;
+//! - [`pool`] — the persistent [`pool::CpuPool`] worker team behind the
+//!   multithreaded batch path: threads are spawned once and reused across
+//!   batches, each with its own [`scorer::PoseScratch`], so steady-state
+//!   batch scoring allocates nothing and spawns nothing.
 
 pub mod coulomb;
 pub mod forces;
 pub mod grid_potential;
 pub mod hbond;
 pub mod lj;
+pub mod pool;
 pub mod scorer;
 
 pub use forces::RigidGradient;
 pub use grid_potential::{GridOptions, GridScorer};
-pub use scorer::{Scorer, ScorerOptions, ScoringModel};
+pub use pool::{shared_pool, CpuPool};
+pub use scorer::{PoseScratch, Scorer, ScorerOptions, ScoringModel};
 
 /// Number of atom-pair interactions one pose evaluation computes — the
 /// workload unit the GPU cost model in `gpusim` charges for.

@@ -15,8 +15,8 @@
 //! produce a large-but-finite repulsion instead of `inf`, which keeps the
 //! metaheuristics' score comparisons total.
 
-use vsmol::{Element, LjTable, Molecule};
 use vsmath::Vec3;
+use vsmol::{Element, LjTable, Molecule};
 
 /// Squared-distance clamp: pairs closer than 0.5 Å are treated as 0.5 Å.
 pub const MIN_DIST_SQ: f64 = 0.25;
@@ -27,7 +27,7 @@ pub const MIN_DIST_SQ: f64 = 0.25;
 pub const TILE: usize = 512;
 
 /// A molecule flattened for kernel consumption.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Frame {
     pub x: Vec<f64>,
     pub y: Vec<f64>,
@@ -193,8 +193,8 @@ pub fn lj_naive_cutoff(lig: &Frame, rec: &Frame, table: &PairTable, cutoff: f64)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vsmol::{synth, Atom, LjParams};
     use vsmath::RngStream;
+    use vsmol::{synth, Atom, LjParams};
 
     fn frames(n_rec: usize, n_lig: usize, seed: u64) -> (Frame, Frame, PairTable) {
         let rec = synth::synth_receptor("r", n_rec, seed);
@@ -315,11 +315,7 @@ mod tests {
         let rec_m = synth::synth_receptor("r", 200, 4);
         let table = PairTable::new(&LjTable::standard());
         let tf = vsmath::RigidTransform::from_rotation(rot);
-        let a = lj_naive(
-            &Frame::from_molecule(&lig_m),
-            &Frame::from_molecule(&rec_m),
-            &table,
-        );
+        let a = lj_naive(&Frame::from_molecule(&lig_m), &Frame::from_molecule(&rec_m), &table);
         let b = lj_naive(
             &Frame::from_molecule(&lig_m.transformed(&tf)),
             &Frame::from_molecule(&rec_m.transformed(&tf)),

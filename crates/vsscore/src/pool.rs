@@ -1,0 +1,321 @@
+//! A persistent CPU worker pool for batch scoring.
+//!
+//! The paper's CPU baseline ("OpenMP") keeps a thread team alive for the
+//! whole run; the previous implementation here spawned and joined fresh OS
+//! threads on *every batch*, which is pure host-side overhead in the hot
+//! loop. [`CpuPool`] replaces that: workers are spawned once, parked on a
+//! condvar, and fed work descriptors; each worker owns a [`PoseScratch`]
+//! that it reuses across batches, so the steady-state batch path performs
+//! no thread creation and no per-pose allocation.
+//!
+//! # Determinism
+//!
+//! Work is split into the same contiguous chunks as the old
+//! spawn-per-batch path (`ceil(len / workers)` per worker, in order), and
+//! every pose is scored by the identical serial kernel, so results are
+//! bit-identical to [`Scorer::score_batch`] regardless of worker count or
+//! interleaving — the schedule-invariance invariant (DESIGN §7).
+//!
+//! # Safety model
+//!
+//! A submitted job carries raw pointers to the caller's pose/score slices.
+//! Submission blocks until every worker has signalled completion, so the
+//! borrows those pointers were derived from strictly outlive all worker
+//! access; workers only touch disjoint index ranges, so no two threads
+//! alias the same element.
+
+use crate::scorer::{PoseScratch, Scorer};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use vsmath::RigidTransform;
+use vsmol::Conformation;
+
+/// What one batch submission asks the workers to do.
+#[derive(Clone, Copy)]
+enum JobKind {
+    /// Score `poses[i]` into `out[i]`.
+    Poses { poses: *const RigidTransform, out: *mut f64 },
+    /// Score `confs[i].pose` into `confs[i].score`.
+    Confs { confs: *mut Conformation },
+}
+
+#[derive(Clone, Copy)]
+struct Job {
+    scorer: *const Scorer,
+    kind: JobKind,
+    len: usize,
+    /// Number of workers the length was chunked over.
+    workers: usize,
+}
+
+// SAFETY: the pointers are only dereferenced between job publication and
+// the completion signal, during which the submitting thread is blocked in
+// `run_job` keeping the underlying borrows alive; chunk ranges are
+// disjoint per worker.
+unsafe impl Send for Job {}
+
+struct State {
+    generation: u64,
+    shutdown: bool,
+    job: Option<Job>,
+    remaining: usize,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// A fixed-size team of persistent scoring workers.
+///
+/// Dropping the pool shuts the workers down and joins them — no threads
+/// outlive the pool.
+pub struct CpuPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl CpuPool {
+    /// Spawn a pool of `threads` persistent workers (at least one).
+    pub fn new(threads: usize) -> CpuPool {
+        let threads = threads.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State { generation: 0, shutdown: false, job: None, remaining: 0 }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vsscore-cpu-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("failed to spawn scoring worker")
+            })
+            .collect();
+        CpuPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Score `poses` into `out` (same length) across the pool.
+    /// Bit-identical to [`Scorer::score_batch`].
+    pub fn score_batch_into(&self, scorer: &Scorer, poses: &[RigidTransform], out: &mut [f64]) {
+        assert_eq!(poses.len(), out.len(), "output slice length must match pose count");
+        if poses.is_empty() {
+            return;
+        }
+        self.run_job(Job {
+            scorer,
+            kind: JobKind::Poses { poses: poses.as_ptr(), out: out.as_mut_ptr() },
+            len: poses.len(),
+            workers: self.workers.len(),
+        });
+    }
+
+    /// Score conformations in place across the pool. Bit-identical to
+    /// [`Scorer::score_conformations_into`].
+    pub fn score_conformations(&self, scorer: &Scorer, confs: &mut [Conformation]) {
+        if confs.is_empty() {
+            return;
+        }
+        self.run_job(Job {
+            scorer,
+            kind: JobKind::Confs { confs: confs.as_mut_ptr() },
+            len: confs.len(),
+            workers: self.workers.len(),
+        });
+    }
+
+    /// Publish a job to every worker and block until all have finished.
+    fn run_job(&self, job: Job) {
+        let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+        st.job = Some(job);
+        st.generation += 1;
+        st.remaining = self.workers.len();
+        drop(st);
+        self.shared.work_cv.notify_all();
+
+        let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+        while st.remaining > 0 {
+            st = self.shared.done_cv.wait(st).expect("pool mutex poisoned");
+        }
+        st.job = None;
+    }
+}
+
+impl Drop for CpuPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut scratch = PoseScratch::new();
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool mutex poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen_generation {
+                    seen_generation = st.generation;
+                    break st.job.expect("job published with generation bump");
+                }
+                st = shared.work_cv.wait(st).expect("pool mutex poisoned");
+            }
+        };
+
+        // Same contiguous chunking as serial iteration order: worker i
+        // owns [i*chunk, (i+1)*chunk) ∩ [0, len).
+        let chunk = job.len.div_ceil(job.workers);
+        let start = (index * chunk).min(job.len);
+        let end = ((index + 1) * chunk).min(job.len);
+        if start < end {
+            // SAFETY: see the module-level safety model; the submitting
+            // thread blocks until `remaining` hits zero, and [start, end)
+            // ranges are disjoint across workers.
+            let scorer = unsafe { &*job.scorer };
+            match job.kind {
+                JobKind::Poses { poses, out } => unsafe {
+                    let poses = std::slice::from_raw_parts(poses.add(start), end - start);
+                    let out = std::slice::from_raw_parts_mut(out.add(start), end - start);
+                    scorer.score_batch_into(poses, out, &mut scratch);
+                },
+                JobKind::Confs { confs } => unsafe {
+                    let confs = std::slice::from_raw_parts_mut(confs.add(start), end - start);
+                    scorer.score_conformations_into(confs, &mut scratch);
+                },
+            }
+        }
+
+        let mut st = shared.state.lock().expect("pool mutex poisoned");
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// Process-wide shared pools, one per distinct thread count.
+///
+/// [`Scorer::score_batch_parallel`] and `metaheur::CpuEvaluator` route
+/// through these so that repeated evaluator construction (common in the
+/// experiment runners) still reuses one persistent thread team instead of
+/// growing a new one each time. Shared pools live for the process; ad-hoc
+/// pools from [`CpuPool::new`] join their workers on drop.
+pub fn shared_pool(threads: usize) -> Arc<CpuPool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<CpuPool>>>> = OnceLock::new();
+    let threads = threads.max(1);
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = pools.lock().expect("shared pool registry poisoned");
+    Arc::clone(map.entry(threads).or_insert_with(|| Arc::new(CpuPool::new(threads))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scorer::ScorerOptions;
+    use vsmath::RngStream;
+    use vsmol::synth;
+
+    fn scorer() -> Scorer {
+        let rec = synth::synth_receptor("r", 500, 5);
+        let lig = synth::synth_ligand("l", 14, 6);
+        Scorer::new(&rec, &lig, ScorerOptions::default())
+    }
+
+    fn poses(n: usize, seed: u64) -> Vec<RigidTransform> {
+        let mut rng = RngStream::from_seed(seed);
+        (0..n).map(|_| RigidTransform::new(rng.rotation(), rng.in_ball(25.0))).collect()
+    }
+
+    #[test]
+    fn pool_matches_serial_bitwise() {
+        let s = scorer();
+        let ps = poses(41, 1);
+        let serial = s.score_batch(&ps);
+        for threads in [1, 2, 3, 7, 16] {
+            let pool = CpuPool::new(threads);
+            let mut out = vec![0.0; ps.len()];
+            pool.score_batch_into(&s, &ps, &mut out);
+            assert_eq!(serial, out, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn pool_reuse_across_batches() {
+        let s = scorer();
+        let pool = CpuPool::new(4);
+        for seed in 0..5 {
+            let ps = poses(17 + seed as usize, seed);
+            let mut out = vec![0.0; ps.len()];
+            pool.score_batch_into(&s, &ps, &mut out);
+            assert_eq!(out, s.score_batch(&ps), "batch #{seed}");
+        }
+    }
+
+    #[test]
+    fn pool_handles_empty_and_single() {
+        let s = scorer();
+        let pool = CpuPool::new(4);
+        let mut out: Vec<f64> = Vec::new();
+        pool.score_batch_into(&s, &[], &mut out);
+        let one = poses(1, 9);
+        let mut out = vec![0.0];
+        pool.score_batch_into(&s, &one, &mut out);
+        assert_eq!(out, s.score_batch(&one));
+    }
+
+    #[test]
+    fn pool_scores_conformations_in_place() {
+        let s = scorer();
+        let pool = CpuPool::new(3);
+        let mut rng = RngStream::from_seed(11);
+        let mut confs: Vec<Conformation> = (0..23)
+            .map(|_| Conformation::new(RigidTransform::new(rng.rotation(), rng.in_ball(25.0)), 0))
+            .collect();
+        let want: Vec<f64> = s.score_batch(&confs.iter().map(|c| c.pose).collect::<Vec<_>>());
+        pool.score_conformations(&s, &mut confs);
+        let got: Vec<f64> = confs.iter().map(|c| c.score).collect();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn drop_joins_workers() {
+        // Every worker owns an Arc clone of the pool's shared state;
+        // join-on-drop guarantees all clones are gone when drop returns.
+        let pool = CpuPool::new(4);
+        let weak = Arc::downgrade(&pool.shared);
+        let s = scorer();
+        let ps = poses(8, 5);
+        let mut out = vec![0.0; ps.len()];
+        pool.score_batch_into(&s, &ps, &mut out);
+        drop(pool);
+        assert!(weak.upgrade().is_none(), "drop must join all pool workers");
+    }
+
+    #[test]
+    fn shared_pool_is_cached_per_thread_count() {
+        let a = shared_pool(2);
+        let b = shared_pool(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = shared_pool(3);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.threads(), 3);
+    }
+}

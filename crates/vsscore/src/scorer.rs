@@ -1,16 +1,38 @@
 //! The [`Scorer`] facade: prepare a receptor/ligand pair once, then score
 //! arbitrary poses cheaply, serially or in parallel batches.
+//!
+//! # The zero-allocation batch path
+//!
+//! The hot loop of every metaheuristic generation is "score this batch of
+//! poses". To keep host-side overhead out of that loop (it distorts both
+//! throughput and the warm-up timing the Eq. 1 split is computed from),
+//! scoring is allocation-free per pose after warm-up:
+//!
+//! - a [`PoseScratch`] owns a *mutable ligand SoA frame*; applying a pose
+//!   writes the transformed coordinates directly into the frame's
+//!   `x`/`y`/`z` arrays ([`vsmath::RigidTransform::apply_all_soa`]) — no
+//!   per-pose [`Frame`] construction, no `Vec<Vec3>` round-trip;
+//! - [`Scorer::score_batch_into`] scores into a caller-owned output slice,
+//!   so the batch path allocates nothing at all once scratch and output
+//!   buffers exist;
+//! - [`Scorer::score_batch_parallel`] runs on a *persistent* worker pool
+//!   ([`crate::pool::CpuPool`]) with one reused scratch per worker thread,
+//!   instead of spawning fresh OS threads per batch.
+//!
+//! Every path produces bit-identical scores to serial
+//! [`Scorer::score_batch`] (the schedule-invariance invariant, DESIGN §7).
 
 use crate::coulomb::{coulomb_naive, coulomb_pair};
 use crate::lj::{lj_naive, lj_pair, lj_tiled, Frame, PairTable};
 use serde::{Deserialize, Serialize};
 use vsmath::{RigidTransform, SpatialGrid, Vec3};
-use vsmol::{Element, LjTable, Molecule};
+use vsmol::{Conformation, Element, LjTable, Molecule};
 
 /// Which physical terms the score includes.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ScoringModel {
     /// The paper's baseline: Lennard-Jones only (§3.1).
+    #[default]
     LennardJones,
     /// Extension (§6 future work): LJ plus Coulomb with a
     /// distance-dependent dielectric.
@@ -39,29 +61,18 @@ impl ScoringModel {
     }
 }
 
-impl Default for ScoringModel {
-    fn default() -> Self {
-        ScoringModel::LennardJones
-    }
-}
-
 /// Which kernel executes the pair loop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Kernel {
     /// All-pairs, ligand-outer loop.
     Naive,
     /// All-pairs, receptor-tile-outer loop (cache-blocking; the CUDA
     /// shared-memory tiling analog). Default.
+    #[default]
     Tiled,
     /// Spherical cutoff accelerated by a receptor spatial grid. An
     /// approximation: pairs beyond `cutoff` Å contribute nothing.
     GridCutoff { cutoff: f64 },
-}
-
-impl Default for Kernel {
-    fn default() -> Self {
-        Kernel::Tiled
-    }
 }
 
 /// Scorer configuration.
@@ -71,10 +82,25 @@ pub struct ScorerOptions {
     pub kernel: Kernel,
 }
 
-/// Per-thread scratch for transformed ligand coordinates.
+/// Reusable per-thread scratch: a mutable ligand frame that pose
+/// transforms write into directly.
+///
+/// The frame's `elem`/`charge` columns are (re)filled from the scorer when
+/// the scratch is bound to it; the `x`/`y`/`z` columns are overwritten per
+/// pose. After the first use with a given ligand size, scoring through a
+/// scratch performs **zero heap allocations per pose** — buffers retain
+/// their capacity across poses, batches, and `evaluate` calls.
 #[derive(Debug, Default, Clone)]
-struct Scratch {
-    positions: Vec<Vec3>,
+pub struct PoseScratch {
+    lig: Frame,
+}
+
+impl PoseScratch {
+    /// An empty scratch; it binds (sizes itself) to a scorer lazily on
+    /// first use and rebinds transparently if used with another scorer.
+    pub fn new() -> PoseScratch {
+        PoseScratch::default()
+    }
 }
 
 /// A prepared receptor/ligand scoring context.
@@ -133,40 +159,68 @@ impl Scorer {
     }
 
     /// Score a single pose (lower is better).
+    ///
+    /// Convenience wrapper over [`Scorer::score_with`] that pays one
+    /// scratch construction; batch callers and repeated single-pose
+    /// callers should hold a [`PoseScratch`] and use the `_with` form.
     pub fn score(&self, pose: &RigidTransform) -> f64 {
-        let mut scratch = Scratch::default();
+        let mut scratch = PoseScratch::new();
         self.score_with(pose, &mut scratch)
     }
 
-    fn score_with(&self, pose: &RigidTransform, scratch: &mut Scratch) -> f64 {
-        pose.apply_all(&self.lig_local, &mut scratch.positions);
+    /// Bind `scratch` to this scorer: size the ligand frame and refresh the
+    /// per-atom element/charge columns. Cheap (a memcpy of ligand-atom
+    /// width) and allocation-free once capacities are warm.
+    fn bind_scratch(&self, scratch: &mut PoseScratch) {
+        let n = self.lig_local.len();
+        scratch.lig.x.resize(n, 0.0);
+        scratch.lig.y.resize(n, 0.0);
+        scratch.lig.z.resize(n, 0.0);
+        scratch.lig.elem.clear();
+        scratch.lig.elem.extend(self.lig_elem.iter().map(|e| e.index() as u8));
+        scratch.lig.charge.clear();
+        scratch.lig.charge.extend_from_slice(&self.lig_charge);
+    }
+
+    /// Score a single pose through a caller-owned, reusable scratch.
+    pub fn score_with(&self, pose: &RigidTransform, scratch: &mut PoseScratch) -> f64 {
+        self.bind_scratch(scratch);
+        self.score_bound(pose, scratch)
+    }
+
+    /// Score one pose assuming `scratch` is already bound to this scorer.
+    /// This is the innermost hot path: one `apply_all_soa` plus the kernel,
+    /// zero allocations.
+    pub(crate) fn score_bound(&self, pose: &RigidTransform, scratch: &mut PoseScratch) -> f64 {
+        let lig = &mut scratch.lig;
+        pose.apply_all_soa(&self.lig_local, &mut lig.x, &mut lig.y, &mut lig.z);
         match self.opts.kernel {
-            Kernel::GridCutoff { cutoff } => self.score_grid(&scratch.positions, cutoff),
+            Kernel::GridCutoff { cutoff } => self.score_grid(lig, cutoff),
             kernel => {
-                let lig = Frame::from_parts(&scratch.positions, &self.lig_elem, &self.lig_charge);
                 let lj = match kernel {
-                    Kernel::Naive => lj_naive(&lig, &self.rec_frame, &self.table),
-                    Kernel::Tiled => lj_tiled(&lig, &self.rec_frame, &self.table),
+                    Kernel::Naive => lj_naive(lig, &self.rec_frame, &self.table),
+                    Kernel::Tiled => lj_tiled(lig, &self.rec_frame, &self.table),
                     Kernel::GridCutoff { .. } => unreachable!(),
                 };
                 let mut total = lj;
                 if let Some(dielectric) = self.opts.model.dielectric() {
-                    total += coulomb_naive(&lig, &self.rec_frame, dielectric);
+                    total += coulomb_naive(lig, &self.rec_frame, dielectric);
                 }
                 if let Some(eps) = self.opts.model.hbond_epsilon() {
-                    total += crate::hbond::hbond_naive(&lig, &self.rec_frame, eps);
+                    total += crate::hbond::hbond_naive(lig, &self.rec_frame, eps);
                 }
                 total
             }
         }
     }
 
-    fn score_grid(&self, lig_pos: &[Vec3], cutoff: f64) -> f64 {
+    fn score_grid(&self, lig: &Frame, cutoff: f64) -> f64 {
         let grid = self.rec_grid.as_ref().expect("grid kernel without grid");
         let dielectric = self.opts.model.dielectric();
         let hbond_eps = self.opts.model.hbond_epsilon();
         let mut total = 0.0;
-        for (i, &p) in lig_pos.iter().enumerate() {
+        for i in 0..lig.len() {
+            let p = Vec3::new(lig.x[i], lig.y[i], lig.z[i]);
             let le = self.lig_elem[i].index() as u8;
             let lig_capable = crate::hbond::is_hbond_capable(self.lig_elem[i]);
             let qi = self.lig_charge[i];
@@ -192,11 +246,21 @@ impl Scorer {
     /// gradient covers the LJ and Coulomb terms (the H-bond term, when
     /// enabled, contributes to the score but not the descent direction).
     pub fn score_and_gradient(&self, pose: &RigidTransform) -> (f64, crate::forces::RigidGradient) {
-        let mut scratch = Scratch::default();
-        let score = self.score_with(pose, &mut scratch);
-        let lig = Frame::from_parts(&scratch.positions, &self.lig_elem, &self.lig_charge);
+        let mut scratch = PoseScratch::new();
+        self.score_and_gradient_with(pose, &mut scratch)
+    }
+
+    /// [`Scorer::score_and_gradient`] through a reusable scratch: the
+    /// transformed ligand frame produced by scoring is fed straight to the
+    /// gradient kernel, with no per-pose allocation.
+    pub fn score_and_gradient_with(
+        &self,
+        pose: &RigidTransform,
+        scratch: &mut PoseScratch,
+    ) -> (f64, crate::forces::RigidGradient) {
+        let score = self.score_with(pose, scratch);
         let grad = crate::forces::rigid_gradient(
-            &lig,
+            &scratch.lig,
             &self.rec_frame,
             &self.table,
             pose.translation,
@@ -210,33 +274,62 @@ impl Scorer {
         self.table.lookup(lig_elem, rec_elem)
     }
 
-    /// Score a batch of poses serially.
+    /// Score a batch of poses serially, allocating the result vector.
     pub fn score_batch(&self, poses: &[RigidTransform]) -> Vec<f64> {
-        let mut scratch = Scratch::default();
-        poses.iter().map(|p| self.score_with(p, &mut scratch)).collect()
+        let mut out = vec![0.0; poses.len()];
+        let mut scratch = PoseScratch::new();
+        self.score_batch_into(poses, &mut out, &mut scratch);
+        out
     }
 
-    /// Score a batch of poses on `n_threads` OS threads (crossbeam scoped),
-    /// preserving output order. This is the "OpenMP" CPU path of the paper's
-    /// baseline implementation.
+    /// Score a batch of poses serially into a caller-owned output slice —
+    /// the zero-allocation batch primitive every other scoring path wraps.
+    ///
+    /// The scratch binds once per call, then each pose costs exactly one
+    /// SoA transform plus the kernel. `out.len()` must equal `poses.len()`.
+    pub fn score_batch_into(
+        &self,
+        poses: &[RigidTransform],
+        out: &mut [f64],
+        scratch: &mut PoseScratch,
+    ) {
+        assert_eq!(poses.len(), out.len(), "output slice length must match pose count");
+        if poses.is_empty() {
+            return;
+        }
+        self.bind_scratch(scratch);
+        for (p, o) in poses.iter().zip(out.iter_mut()) {
+            *o = self.score_bound(p, scratch);
+        }
+    }
+
+    /// Score conformations in place (the `metaheur` evaluate shape) without
+    /// round-tripping poses and scores through temporary vectors.
+    pub fn score_conformations_into(&self, confs: &mut [Conformation], scratch: &mut PoseScratch) {
+        if confs.is_empty() {
+            return;
+        }
+        self.bind_scratch(scratch);
+        for c in confs.iter_mut() {
+            c.score = self.score_bound(&c.pose, scratch);
+        }
+    }
+
+    /// Score a batch of poses on `n_threads` worker threads, preserving
+    /// output order — the "OpenMP" CPU path of the paper's baseline
+    /// implementation.
+    ///
+    /// Workers come from a shared *persistent* [`crate::pool::CpuPool`]
+    /// (one pool per distinct thread count, created on first use), so
+    /// repeated batch calls pay no thread spawn/join cost and reuse each
+    /// worker's scratch. Scores are bit-identical to [`Scorer::score_batch`].
     pub fn score_batch_parallel(&self, poses: &[RigidTransform], n_threads: usize) -> Vec<f64> {
         let n_threads = n_threads.max(1).min(poses.len().max(1));
         if n_threads <= 1 || poses.len() < 2 {
             return self.score_batch(poses);
         }
         let mut out = vec![0.0f64; poses.len()];
-        let chunk = poses.len().div_ceil(n_threads);
-        crossbeam::scope(|s| {
-            for (pose_chunk, out_chunk) in poses.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                s.spawn(move |_| {
-                    let mut scratch = Scratch::default();
-                    for (p, o) in pose_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *o = self.score_with(p, &mut scratch);
-                    }
-                });
-            }
-        })
-        .expect("scoring thread panicked");
+        crate::pool::shared_pool(n_threads).score_batch_into(self, poses, &mut out);
         out
     }
 }
@@ -255,9 +348,7 @@ mod tests {
 
     fn random_poses(n: usize, seed: u64, spread: f64) -> Vec<RigidTransform> {
         let mut rng = RngStream::from_seed(seed);
-        (0..n)
-            .map(|_| RigidTransform::new(rng.rotation(), rng.in_ball(spread)))
-            .collect()
+        (0..n).map(|_| RigidTransform::new(rng.rotation(), rng.in_ball(spread))).collect()
     }
 
     #[test]
@@ -279,7 +370,10 @@ mod tests {
         let grid = Scorer::new(
             &rec,
             &lig,
-            ScorerOptions { model: ScoringModel::LennardJones, kernel: Kernel::GridCutoff { cutoff } },
+            ScorerOptions {
+                model: ScoringModel::LennardJones,
+                kernel: Kernel::GridCutoff { cutoff },
+            },
         );
         // Reference: naive cutoff over the same transformed ligand.
         let table = PairTable::new(&LjTable::standard());
@@ -471,7 +565,10 @@ mod tests {
         Scorer::new(
             &rec,
             &lig,
-            ScorerOptions { model: ScoringModel::LennardJones, kernel: Kernel::GridCutoff { cutoff: 0.0 } },
+            ScorerOptions {
+                model: ScoringModel::LennardJones,
+                kernel: Kernel::GridCutoff { cutoff: 0.0 },
+            },
         );
     }
 }

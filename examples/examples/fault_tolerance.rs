@@ -15,10 +15,7 @@ fn main() {
     let strategy = Strategy::HomogeneousSplit;
 
     println!("campaign: {} ligand jobs over 4 Hertz nodes\n", jobs.len());
-    println!(
-        "{:<26} {:>10} {:>10} {:>14}",
-        "fault scenario", "static", "dynamic", "dynamic gain"
-    );
+    println!("{:<26} {:>10} {:>10} {:>14}", "fault scenario", "static", "dynamic", "dynamic gain");
 
     for (label, plan) in [
         ("healthy", FaultPlan::healthy(4)),

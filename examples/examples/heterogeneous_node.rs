@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release -p vs-examples --example heterogeneous_node`
 
-use vscreen::prelude::*;
 use vsched::{percent_factors, warmup_times};
+use vscreen::prelude::*;
 
 fn main() {
     let node = platform::hertz();

@@ -15,10 +15,7 @@ fn main() {
         screen.pairs_per_eval()
     );
 
-    println!(
-        "{:<22} {:>12} {:>8} {:>12}",
-        "metaheuristic", "evaluations", "gens", "best score"
-    );
+    println!("{:<22} {:>12} {:>8} {:>12}", "metaheuristic", "evaluations", "gens", "best score");
 
     let scale = 0.15;
     for params in metaheur::paper_suite(scale) {
@@ -62,13 +59,19 @@ fn main() {
         let pso = metaheur::PsoParams { swarm_per_spot: 64, iterations: 30, ..Default::default() };
         let mut ev = metaheur::CpuEvaluator::with_threads((*scorer).clone(), 8);
         let r = metaheur::run_pso(&pso, &spots, &mut ev, 4);
-        println!("{:<22} {:>12} {:>8} {:>12.2}", "PSO", r.evaluations, r.generations_run, r.best.score);
+        println!(
+            "{:<22} {:>12} {:>8} {:>12.2}",
+            "PSO", r.evaluations, r.generations_run, r.best.score
+        );
     }
     {
         let tabu = metaheur::TabuParams { iterations: 60, neighbors: 16, ..Default::default() };
         let mut ev = metaheur::CpuEvaluator::with_threads((*scorer).clone(), 8);
         let r = metaheur::run_tabu(&tabu, &spots, &mut ev, 4);
-        println!("{:<22} {:>12} {:>8} {:>12.2}", "Tabu", r.evaluations, r.generations_run, r.best.score);
+        println!(
+            "{:<22} {:>12} {:>8} {:>12.2}",
+            "Tabu", r.evaluations, r.generations_run, r.best.score
+        );
     }
 
     // Tuning pass (paper §1: "a tuning process is traditionally conducted").

@@ -41,12 +41,9 @@ fn main() {
     // SAS cross-check: the spot anchors must be genuinely solvent-exposed
     // under the independent Shrake-Rupley criterion.
     let exposure = vsmol::surface::sas_exposure(screen.receptor(), 1.4, 32);
-    let mean_anchor_exposure: f64 = screen
-        .spots()
-        .iter()
-        .map(|s| exposure[s.anchor_atom])
-        .sum::<f64>()
-        / screen.spots().len() as f64;
+    let mean_anchor_exposure: f64 =
+        screen.spots().iter().map(|s| exposure[s.anchor_atom]).sum::<f64>()
+            / screen.spots().len() as f64;
     let mean_all: f64 = exposure.iter().sum::<f64>() / exposure.len() as f64;
     println!(
         "\nSAS check: anchors average {:.0}% solvent exposure vs {:.0}% over all atoms",

@@ -1,0 +1,34 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace tags types with `Serialize`/`Deserialize` for forward
+//! compatibility but contains no serializer, so the traits are pure
+//! markers here. Blanket impls make every type satisfy them; the derive
+//! macros (re-exported under the `derive` feature) emit nothing.
+
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::DeserializeOwned;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn blanket_impls_cover_everything() {
+        fn is_serialize<T: super::Serialize>() {}
+        fn is_deserialize<T: for<'de> super::Deserialize<'de>>() {}
+        is_serialize::<Vec<u8>>();
+        is_deserialize::<String>();
+    }
+}

@@ -47,9 +47,17 @@ fn mixed_metaheuristic_campaign() {
 #[test]
 fn cluster_of_jupiters_screens_faster_than_one() {
     let library = synthetic_library(16, &metaheur::m2(0.5), 4);
-    let one = SimCluster::uniform(1, NetModel::infiniband(), platform::jupiter)
-        .screen_library(8609, 32, &library, Strategy::HomogeneousSplit);
-    let four = SimCluster::uniform(4, NetModel::infiniband(), platform::jupiter)
-        .screen_library(8609, 32, &library, Strategy::HomogeneousSplit);
+    let one = SimCluster::uniform(1, NetModel::infiniband(), platform::jupiter).screen_library(
+        8609,
+        32,
+        &library,
+        Strategy::HomogeneousSplit,
+    );
+    let four = SimCluster::uniform(4, NetModel::infiniband(), platform::jupiter).screen_library(
+        8609,
+        32,
+        &library,
+        Strategy::HomogeneousSplit,
+    );
     assert!(four.makespan < one.makespan / 2.5, "{} vs {}", four.makespan, one.makespan);
 }

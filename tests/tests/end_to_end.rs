@@ -15,7 +15,9 @@ fn full_pipeline_on_both_platforms() {
         let out = screen.run_on_node(
             &params,
             &node,
-            Strategy::HeterogeneousSplit { warmup: WarmupConfig { iterations: 2, ..Default::default() } },
+            Strategy::HeterogeneousSplit {
+                warmup: WarmupConfig { iterations: 2, ..Default::default() },
+            },
         );
         assert!(out.best.is_scored(), "{}", node.name());
         assert!(out.virtual_time > 0.0);
@@ -37,7 +39,9 @@ fn search_trajectory_is_schedule_invariant() {
         screen.run_on_node(
             &params,
             &hertz,
-            Strategy::HeterogeneousSplit { warmup: WarmupConfig { iterations: 2, ..Default::default() } },
+            Strategy::HeterogeneousSplit {
+                warmup: WarmupConfig { iterations: 2, ..Default::default() },
+            },
         ),
         screen.run_on_node(&params, &hertz, Strategy::DynamicQueue { chunk: 64 }),
         screen.run_on_node(&params, &jupiter, Strategy::HomogeneousSplit),

@@ -69,7 +69,11 @@ fn lamarckian_improves_real_docking() {
     let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(2).seed(9).build();
     let lam = metaheur::MetaheuristicParams {
         name: "M3-lam".into(),
-        improve: metaheur::ImproveStrategy::Lamarckian { steps: 1, step_size: 0.3, angle_step: 0.08 },
+        improve: metaheur::ImproveStrategy::Lamarckian {
+            steps: 1,
+            step_size: 0.3,
+            angle_step: 0.08,
+        },
         improve_fraction: 1.0,
         ..metaheur::m3(0.1)
     };
@@ -91,12 +95,8 @@ fn energy_and_timeline_cohere_with_times() {
     assert!((plain.energy_joules - tl_report.energy_joules).abs() < 1e-9);
     // Timeline idle + busy = makespan per device.
     for g in node.gpus() {
-        let busy: f64 = tl
-            .segments()
-            .iter()
-            .filter(|s| s.device == g.id())
-            .map(|s| s.end - s.start)
-            .sum();
+        let busy: f64 =
+            tl.segments().iter().filter(|s| s.device == g.id()).map(|s| s.end - s.start).sum();
         assert!((busy + tl.idle_time(g.id()) - tl.makespan()).abs() < 1e-9);
     }
 }
@@ -114,7 +114,12 @@ fn full_report_reflects_paper_shape() {
             .sum::<f64>()
             / 8.0
     };
-    assert!(gain("Hertz") > gain("Jupiter") + 0.2, "Hertz {} vs Jupiter {}", gain("Hertz"), gain("Jupiter"));
+    assert!(
+        gain("Hertz") > gain("Jupiter") + 0.2,
+        "Hertz {} vs Jupiter {}",
+        gain("Hertz"),
+        gain("Jupiter")
+    );
     let json = vscreen::report::to_json(&r);
     assert!(json.len() > 1000);
 }

@@ -144,11 +144,8 @@ fn workload_ordering_matches_paper_columns() {
 fn m4_reaches_best_speedup_m3_lowest() {
     // §5: more intensive local search => higher speed-up; M4 the extreme.
     for t in [ht(Dataset::TwoBsm), ht(Dataset::TwoBxg)] {
-        let sp: Vec<(String, f64)> = t
-            .rows
-            .iter()
-            .map(|r| (r.metaheuristic.clone(), r.speedup_openmp_vs_het()))
-            .collect();
+        let sp: Vec<(String, f64)> =
+            t.rows.iter().map(|r| (r.metaheuristic.clone(), r.speedup_openmp_vs_het())).collect();
         let m4 = sp.iter().find(|(n, _)| n == "M4").unwrap().1;
         let m3 = sp.iter().find(|(n, _)| n == "M3").unwrap().1;
         for (n, s) in &sp {

@@ -2,10 +2,10 @@
 //! invariants across the workspace.
 
 use proptest::prelude::*;
+use vsched::{equal_split, percent_factors, proportional_split};
 use vsmath::{Quat, RigidTransform, RngStream, SpatialGrid, Vec3};
 use vsmol::{Atom, Element, LjTable, Molecule};
 use vsscore::lj::{lj_naive, lj_tiled, Frame, PairTable};
-use vsched::{equal_split, percent_factors, proportional_split};
 
 fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
     (-range..range, -range..range, -range..range).prop_map(|(x, y, z)| Vec3::new(x, y, z))
