@@ -13,6 +13,10 @@
 //! loop therefore performs no thread spawning and no per-pose allocation —
 //! the host-side overhead the paper's pipelined design eliminates.
 //! Dropping the evaluator shuts the workers down and joins them.
+//! Submissions need no extra locking: `evaluate` takes `&mut self`, so the
+//! borrow checker enforces one batch in flight per evaluator. Worker
+//! panics are caught, recorded, and re-raised on the submitting thread
+//! ("device worker panicked") instead of wedging the completion count.
 //!
 //! # Determinism
 //!
@@ -69,6 +73,10 @@ struct DevState {
     shutdown: bool,
     jobs: Vec<Option<DevJob>>,
     remaining: usize,
+    /// Set by any worker whose job body panicked; re-raised in `evaluate`
+    /// once all workers have checked in (a wedged `remaining` would
+    /// otherwise block the submitter forever).
+    panicked: bool,
 }
 
 struct DevShared {
@@ -141,6 +149,7 @@ impl DeviceEvaluator {
                 shutdown: false,
                 jobs: (0..n).map(|_| None).collect(),
                 remaining: 0,
+                panicked: false,
             }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -254,26 +263,34 @@ fn device_worker(shared: &DevShared, index: usize, dev: &SimDevice, scorer: &Sco
             }
         };
 
-        if let Some(job) = job {
-            if job.len > 0 {
-                // SAFETY: see the DevJob safety comment — the submitter
-                // blocks in `evaluate` until every worker decrements
-                // `remaining`, and jobs cover disjoint slice ranges.
-                let confs = unsafe { std::slice::from_raw_parts_mut(job.confs, job.len) };
-                scorer.score_conformations_into(confs, &mut scratch);
-                let batch = WorkBatch::conformations(job.len as u64, scorer.pairs_per_eval());
-                match &job.timeline {
-                    Some(tl) => {
-                        tl.record(dev, &batch);
-                    }
-                    None => {
-                        dev.execute(&batch);
+        // Run the share under catch_unwind: a panicking scorer must still
+        // decrement `remaining` (otherwise `evaluate` blocks forever); the
+        // panic is recorded and re-raised on the submitting thread.
+        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(job) = &job {
+                if job.len > 0 {
+                    // SAFETY: see the DevJob safety comment — the submitter
+                    // blocks in `evaluate` until every worker decrements
+                    // `remaining`, and jobs cover disjoint slice ranges.
+                    let confs = unsafe { std::slice::from_raw_parts_mut(job.confs, job.len) };
+                    scorer.score_conformations_into(confs, &mut scratch);
+                    let batch = WorkBatch::conformations(job.len as u64, scorer.pairs_per_eval());
+                    match &job.timeline {
+                        Some(tl) => {
+                            tl.record(dev, &batch);
+                        }
+                        None => {
+                            dev.execute(&batch);
+                        }
                     }
                 }
             }
-        }
+        }));
 
         let mut st = shared.state.lock().expect("executor mutex poisoned");
+        if body.is_err() {
+            st.panicked = true;
+        }
         st.remaining -= 1;
         if st.remaining == 0 {
             shared.done_cv.notify_all();
@@ -313,11 +330,15 @@ impl BatchEvaluator for DeviceEvaluator {
             st.remaining = self.workers.len();
         }
         self.shared.work_cv.notify_all();
-        {
+        let panicked = {
             let mut st = self.shared.state.lock().expect("executor mutex poisoned");
             while st.remaining > 0 {
                 st = self.shared.done_cv.wait(st).expect("executor mutex poisoned");
             }
+            std::mem::take(&mut st.panicked)
+        };
+        if panicked {
+            panic!("device worker panicked");
         }
 
         // Warm-up bookkeeping: accumulate measured per-device times and

@@ -19,10 +19,21 @@
 //! # Safety model
 //!
 //! A submitted job carries raw pointers to the caller's pose/score slices.
+//! The pool's `State` has a single job slot, so submissions are serialized
+//! through a submitter mutex held for the entire `run_job` — concurrent
+//! callers (shared pools are handed to every evaluator with the same
+//! thread count) queue up rather than clobbering each other's job.
 //! Submission blocks until every worker has signalled completion, so the
 //! borrows those pointers were derived from strictly outlive all worker
 //! access; workers only touch disjoint index ranges, so no two threads
 //! alias the same element.
+//!
+//! # Panics
+//!
+//! Workers run each job body under `catch_unwind`: a panicking scorer
+//! cannot wedge the completion count. The panic is re-raised on the
+//! submitting thread ("scoring worker panicked"), and the pool remains
+//! usable for subsequent batches.
 
 use crate::scorer::{PoseScratch, Scorer};
 use std::collections::HashMap;
@@ -38,6 +49,9 @@ enum JobKind {
     Poses { poses: *const RigidTransform, out: *mut f64 },
     /// Score `confs[i].pose` into `confs[i].score`.
     Confs { confs: *mut Conformation },
+    /// Test-only: panic in every worker, to pin panic propagation.
+    #[cfg(test)]
+    Panic,
 }
 
 #[derive(Clone, Copy)]
@@ -60,6 +74,9 @@ struct State {
     shutdown: bool,
     job: Option<Job>,
     remaining: usize,
+    /// Set by any worker whose job body panicked; re-raised by the
+    /// submitter once the batch completes.
+    panicked: bool,
 }
 
 struct Shared {
@@ -74,6 +91,9 @@ struct Shared {
 /// outlive the pool.
 pub struct CpuPool {
     shared: Arc<Shared>,
+    /// Serializes submitters: the pool has one job slot, and shared pools
+    /// (`shared_pool`) are reachable from many threads at once.
+    submit: Mutex<()>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -82,7 +102,13 @@ impl CpuPool {
     pub fn new(threads: usize) -> CpuPool {
         let threads = threads.max(1);
         let shared = Arc::new(Shared {
-            state: Mutex::new(State { generation: 0, shutdown: false, job: None, remaining: 0 }),
+            state: Mutex::new(State {
+                generation: 0,
+                shutdown: false,
+                job: None,
+                remaining: 0,
+                panicked: false,
+            }),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
@@ -95,7 +121,7 @@ impl CpuPool {
                     .expect("failed to spawn scoring worker")
             })
             .collect();
-        CpuPool { shared, workers }
+        CpuPool { shared, submit: Mutex::new(()), workers }
     }
 
     /// Number of worker threads.
@@ -133,19 +159,35 @@ impl CpuPool {
     }
 
     /// Publish a job to every worker and block until all have finished.
+    ///
+    /// Holds the submitter lock for the whole call: the single job slot in
+    /// `State` can only describe one batch, and the raw pointers in `job`
+    /// must not be overwritten while workers still dereference them. A
+    /// worker panic is re-raised here after all workers have checked in.
     fn run_job(&self, job: Job) {
-        let mut st = self.shared.state.lock().expect("pool mutex poisoned");
-        st.job = Some(job);
-        st.generation += 1;
-        st.remaining = self.workers.len();
-        drop(st);
+        // `into_inner` rather than `expect`: a prior submitter that
+        // re-raised a worker panic while holding this guard must not
+        // poison the pool for everyone after it.
+        let _submitting = self.submit.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            st.job = Some(job);
+            st.generation += 1;
+            st.remaining = self.workers.len();
+        }
         self.shared.work_cv.notify_all();
 
-        let mut st = self.shared.state.lock().expect("pool mutex poisoned");
-        while st.remaining > 0 {
-            st = self.shared.done_cv.wait(st).expect("pool mutex poisoned");
+        let panicked = {
+            let mut st = self.shared.state.lock().expect("pool mutex poisoned");
+            while st.remaining > 0 {
+                st = self.shared.done_cv.wait(st).expect("pool mutex poisoned");
+            }
+            st.job = None;
+            std::mem::take(&mut st.panicked)
+        };
+        if panicked {
+            panic!("scoring worker panicked");
         }
-        st.job = None;
     }
 }
 
@@ -181,29 +223,39 @@ fn worker_loop(shared: &Shared, index: usize) {
         };
 
         // Same contiguous chunking as serial iteration order: worker i
-        // owns [i*chunk, (i+1)*chunk) ∩ [0, len).
-        let chunk = job.len.div_ceil(job.workers);
-        let start = (index * chunk).min(job.len);
-        let end = ((index + 1) * chunk).min(job.len);
-        if start < end {
-            // SAFETY: see the module-level safety model; the submitting
-            // thread blocks until `remaining` hits zero, and [start, end)
-            // ranges are disjoint across workers.
-            let scorer = unsafe { &*job.scorer };
-            match job.kind {
-                JobKind::Poses { poses, out } => unsafe {
-                    let poses = std::slice::from_raw_parts(poses.add(start), end - start);
-                    let out = std::slice::from_raw_parts_mut(out.add(start), end - start);
-                    scorer.score_batch_into(poses, out, &mut scratch);
-                },
-                JobKind::Confs { confs } => unsafe {
-                    let confs = std::slice::from_raw_parts_mut(confs.add(start), end - start);
-                    scorer.score_conformations_into(confs, &mut scratch);
-                },
+        // owns [i*chunk, (i+1)*chunk) ∩ [0, len). The body runs under
+        // catch_unwind so a panicking scorer still decrements `remaining`
+        // (otherwise the submitter would block forever); the panic is
+        // recorded and re-raised by `run_job`.
+        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let chunk = job.len.div_ceil(job.workers);
+            let start = (index * chunk).min(job.len);
+            let end = ((index + 1) * chunk).min(job.len);
+            if start < end {
+                // SAFETY: see the module-level safety model; the submitting
+                // thread blocks until `remaining` hits zero, and [start, end)
+                // ranges are disjoint across workers.
+                let scorer = unsafe { &*job.scorer };
+                match job.kind {
+                    JobKind::Poses { poses, out } => unsafe {
+                        let poses = std::slice::from_raw_parts(poses.add(start), end - start);
+                        let out = std::slice::from_raw_parts_mut(out.add(start), end - start);
+                        scorer.score_batch_into(poses, out, &mut scratch);
+                    },
+                    JobKind::Confs { confs } => unsafe {
+                        let confs = std::slice::from_raw_parts_mut(confs.add(start), end - start);
+                        scorer.score_conformations_into(confs, &mut scratch);
+                    },
+                    #[cfg(test)]
+                    JobKind::Panic => panic!("induced test panic"),
+                }
             }
-        }
+        }));
 
         let mut st = shared.state.lock().expect("pool mutex poisoned");
+        if body.is_err() {
+            st.panicked = true;
+        }
         st.remaining -= 1;
         if st.remaining == 0 {
             shared.done_cv.notify_all();
@@ -307,6 +359,45 @@ mod tests {
         pool.score_batch_into(&s, &ps, &mut out);
         drop(pool);
         assert!(weak.upgrade().is_none(), "drop must join all pool workers");
+    }
+
+    #[test]
+    fn concurrent_submitters_are_serialized() {
+        // Shared pools hand the same CpuPool to every caller with the same
+        // thread count; parallel submissions must queue, not race on the
+        // single job slot (each used to be able to clobber the other's
+        // job, leaving batches unscored or `remaining` underflowed).
+        let pool = CpuPool::new(4);
+        let s = scorer();
+        let ps = poses(33, 7);
+        let want = s.score_batch(&ps);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..10 {
+                        let mut out = vec![0.0; ps.len()];
+                        pool.score_batch_into(&s, &ps, &mut out);
+                        assert_eq!(want, out);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let s = scorer();
+        let pool = CpuPool::new(3);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_job(Job { scorer: &s, kind: JobKind::Panic, len: 3, workers: 3 });
+        }));
+        assert!(caught.is_err(), "worker panic must re-raise on the submitter");
+        // The pool must stay fully usable: workers caught their panics and
+        // the completion bookkeeping recovered.
+        let ps = poses(19, 3);
+        let mut out = vec![0.0; ps.len()];
+        pool.score_batch_into(&s, &ps, &mut out);
+        assert_eq!(out, s.score_batch(&ps));
     }
 
     #[test]

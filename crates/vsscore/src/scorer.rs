@@ -319,13 +319,16 @@ impl Scorer {
     /// output order — the "OpenMP" CPU path of the paper's baseline
     /// implementation.
     ///
-    /// Workers come from a shared *persistent* [`crate::pool::CpuPool`]
-    /// (one pool per distinct thread count, created on first use), so
-    /// repeated batch calls pay no thread spawn/join cost and reuse each
-    /// worker's scratch. Scores are bit-identical to [`Scorer::score_batch`].
+    /// Workers come from a shared *persistent* [`crate::pool::CpuPool`],
+    /// keyed by the *requested* thread count (one pool per distinct
+    /// request, created on first use), so repeated batch calls pay no
+    /// thread spawn/join cost and reuse each worker's scratch. Batches
+    /// shorter than the pool are handled by the pool's chunking (excess
+    /// workers idle) — small batches never mint extra pools. Scores are
+    /// bit-identical to [`Scorer::score_batch`].
     pub fn score_batch_parallel(&self, poses: &[RigidTransform], n_threads: usize) -> Vec<f64> {
-        let n_threads = n_threads.max(1).min(poses.len().max(1));
-        if n_threads <= 1 || poses.len() < 2 {
+        let n_threads = n_threads.max(1);
+        if n_threads == 1 || poses.len() < 2 {
             return self.score_batch(poses);
         }
         let mut out = vec![0.0f64; poses.len()];
