@@ -15,8 +15,9 @@ use std::hint::black_box;
 use vsmath::RngStream;
 use vsmol::{synth, LjTable};
 use vsscore::lj::{lj_naive, lj_tiled, Frame, PairTable};
+use vsscore::run::{fused_run, lj_run, RunFrame};
 use vsscore::scorer::{Kernel, ScorerOptions, ScoringModel};
-use vsscore::Scorer;
+use vsscore::{PoseScratch, Scorer};
 
 fn kernels_by_receptor_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("lj_kernel");
@@ -25,6 +26,7 @@ fn kernels_by_receptor_size(c: &mut Criterion) {
     let table = PairTable::new(&LjTable::standard());
     for n_rec in [512usize, 3264, 8609, 32768] {
         let rec = Frame::from_molecule(&synth::synth_receptor("r", n_rec, 3));
+        let runs = RunFrame::from_frame(&rec);
         let pairs = (45 * n_rec) as u64;
         group.throughput(Throughput::Elements(pairs));
         group.bench_with_input(BenchmarkId::new("naive", n_rec), &n_rec, |b, _| {
@@ -33,6 +35,45 @@ fn kernels_by_receptor_size(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("tiled", n_rec), &n_rec, |b, _| {
             b.iter(|| black_box(lj_tiled(&lig, &rec, &table)))
         });
+        group.bench_with_input(BenchmarkId::new("run", n_rec), &n_rec, |b, _| {
+            b.iter(|| black_box(lj_run(&lig, &runs, &table)))
+        });
+        group.bench_with_input(BenchmarkId::new("fused_lj", n_rec), &n_rec, |b, _| {
+            b.iter(|| black_box(fused_run(&lig, &runs, &table, None, None)))
+        });
+    }
+    group.finish();
+}
+
+/// Full kernel sweep at the paper's Table 5 complex sizes (2BSM: 3264×45,
+/// 2BXG: 8609×32), LJ-only and Full models. Throughput is poses/sec —
+/// the number the `BENCH_scoring.json` snapshot tracks across PRs.
+fn table5_kernel_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_kernels");
+    group.sample_size(10);
+    for (n_rec, n_lig) in [(3264usize, 45usize), (8609, 32)] {
+        let rec = synth::synth_receptor("r", n_rec, 3);
+        let lig = synth::synth_ligand("l", n_lig, 7);
+        let mut rng = RngStream::from_seed(5);
+        let pose = vsmath::RigidTransform::new(rng.rotation(), rng.in_ball(30.0));
+        for (mlabel, model) in [
+            ("lj", ScoringModel::LennardJones),
+            ("full", ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 }),
+        ] {
+            for (klabel, kernel) in [
+                ("naive", Kernel::Naive),
+                ("tiled", Kernel::Tiled),
+                ("run", Kernel::Run),
+                ("fused", Kernel::Fused),
+            ] {
+                let scorer = Scorer::new(&rec, &lig, ScorerOptions { model, kernel });
+                let mut scratch = PoseScratch::new();
+                group.throughput(Throughput::Elements(1));
+                group.bench_function(format!("{n_rec}x{n_lig}/{mlabel}/{klabel}"), |b| {
+                    b.iter(|| black_box(scorer.score_with(&pose, &mut scratch)))
+                });
+            }
+        }
     }
     group.finish();
 }
@@ -126,6 +167,7 @@ fn grid_potential_tradeoff(c: &mut Criterion) {
 criterion_group!(
     benches,
     kernels_by_receptor_size,
+    table5_kernel_sweep,
     cutoff_ablation,
     parallel_batch_scaling,
     coulomb_extension,

@@ -22,8 +22,10 @@
 //!
 //! Shares are contiguous and scored serially per worker with the same
 //! kernel as [`vsscore::Scorer::score_batch`], so scores are bit-identical
-//! to the serial CPU path for every strategy and device count (DESIGN §7
-//! schedule-invariance).
+//! to the serial CPU path for every strategy and device count, *for
+//! whichever kernel the scorer is configured with* — naive, tiled,
+//! element-run, or the fused single-pass default (DESIGN §7 per-kernel
+//! bit-identity).
 
 use crate::partition::proportional_split;
 use crate::strategy::Strategy;
@@ -425,6 +427,27 @@ mod tests {
             }
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(x.score.to_bits(), y.score.to_bits(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn device_path_bit_identical_for_every_kernel() {
+        // DESIGN §7: for a fixed kernel, the device path must reproduce
+        // the serial path bitwise — including the run-layout kernels.
+        use vsscore::scorer::{Kernel, ScorerOptions, ScoringModel};
+        let rec = synth::synth_receptor("r", 400, 1);
+        let lig = synth::synth_ligand("l", 12, 2);
+        let model = ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 };
+        for kernel in [Kernel::Naive, Kernel::Tiled, Kernel::Run, Kernel::Fused] {
+            let sc = Arc::new(Scorer::new(&rec, &lig, ScorerOptions { model, kernel }));
+            let mut ev =
+                DeviceEvaluator::new(hertz_devices(), sc.clone(), Strategy::HomogeneousSplit);
+            let mut a = confs(31, 17);
+            let serial = sc.score_batch(&a.iter().map(|c| c.pose).collect::<Vec<_>>());
+            ev.evaluate(&mut a);
+            for (c, s) in a.iter().zip(&serial) {
+                assert_eq!(c.score.to_bits(), s.to_bits(), "kernel {kernel:?}");
             }
         }
     }

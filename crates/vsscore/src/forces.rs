@@ -19,6 +19,7 @@
 
 use crate::coulomb::COULOMB_K;
 use crate::lj::{Frame, PairTable, MIN_DIST_SQ};
+use crate::run::RunFrame;
 use vsmath::Vec3;
 
 /// Net generalized force on a rigid ligand.
@@ -83,6 +84,45 @@ pub fn rigid_gradient(
             }
             // F = −∇E = −dE/dr² · 2 d.
             f_atom -= d * (2.0 * de_dr2);
+        }
+        force += f_atom;
+        torque += (p - center).cross(f_atom);
+    }
+    RigidGradient { force, torque }
+}
+
+/// [`rigid_gradient`] over the element-run receptor layout: `(σ², 4ε)`
+/// hoist out per (ligand atom × run) instead of a per-pair table gather.
+/// Same force field, different (still deterministic) summation order; the
+/// net force/torque agrees with [`rigid_gradient`] to floating-point
+/// reassociation slack. Per-receptor-atom forces, if ever needed, scatter
+/// back through [`RunFrame::perm`].
+pub fn rigid_gradient_run(
+    lig: &Frame,
+    rec: &RunFrame,
+    table: &PairTable,
+    center: Vec3,
+    dielectric: Option<f64>,
+) -> RigidGradient {
+    let rf = rec.frame();
+    let mut force = Vec3::ZERO;
+    let mut torque = Vec3::ZERO;
+    for i in 0..lig.len() {
+        let p = Vec3::new(lig.x[i], lig.y[i], lig.z[i]);
+        let le = lig.elem[i];
+        let qi = lig.charge[i];
+        let mut f_atom = Vec3::ZERO;
+        for run in rec.runs() {
+            let (s2, e4) = table.lookup(le, run.elem);
+            for j in run.start..run.start + run.len {
+                let d = p - Vec3::new(rf.x[j], rf.y[j], rf.z[j]);
+                let r_sq = d.norm_sq();
+                let mut de_dr2 = lj_de_dr2(s2, e4, r_sq);
+                if let Some(eps) = dielectric {
+                    de_dr2 += coulomb_de_dr2(qi, rf.charge[j], r_sq, eps);
+                }
+                f_atom -= d * (2.0 * de_dr2);
+            }
         }
         force += f_atom;
         torque += (p - center).cross(f_atom);
@@ -191,6 +231,36 @@ mod tests {
         let numeric = -(ep - em) / (2.0 * h);
         let scale = numeric.abs().max(g.force.x.abs()).max(1e-3);
         assert!((numeric - g.force.x).abs() / scale < 1e-3, "{numeric} vs {}", g.force.x);
+    }
+
+    #[test]
+    fn run_gradient_matches_gather_gradient() {
+        let (_, rec_frame, table) = frames();
+        let runs = RunFrame::from_frame(&rec_frame);
+        let lig = synth::synth_ligand("l", 8, 2);
+        let mut rng = RngStream::from_seed(7);
+        for trial in 0..5 {
+            let pose = RigidTransform::new(rng.rotation(), rng.unit_vector() * 19.0);
+            let lf = posed_ligand(&lig, &pose);
+            for dielectric in [None, Some(4.0)] {
+                let a = rigid_gradient(&lf, &rec_frame, &table, pose.translation, dielectric);
+                let b = rigid_gradient_run(&lf, &runs, &table, pose.translation, dielectric);
+                let scale = a.force.norm().max(1e-6);
+                assert!(
+                    (a.force - b.force).norm() / scale < 1e-9,
+                    "trial {trial}: force {:?} vs {:?}",
+                    a.force,
+                    b.force
+                );
+                let tscale = a.torque.norm().max(1e-6);
+                assert!(
+                    (a.torque - b.torque).norm() / tscale < 1e-9,
+                    "trial {trial}: torque {:?} vs {:?}",
+                    a.torque,
+                    b.torque
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,8 +28,12 @@ pub fn is_hbond_capable(e: Element) -> bool {
     matches!(e, Element::N | Element::O)
 }
 
+/// [`is_hbond_capable`] by dense element index ([`Element::index`]) — the
+/// form the frame kernels use. Because capability is an element property,
+/// it is constant over an element run, which is what lets the fused run
+/// kernel gate whole runs instead of testing every pair.
 #[inline]
-fn capable_idx(elem: u8) -> bool {
+pub fn is_hbond_capable_idx(elem: u8) -> bool {
     elem == Element::N.index() as u8 || elem == Element::O.index() as u8
 }
 
@@ -52,12 +56,12 @@ pub fn hbond_naive(lig: &Frame, rec: &Frame, epsilon: f64) -> f64 {
     }
     let mut total = 0.0;
     for i in 0..lig.len() {
-        if !capable_idx(lig.elem[i]) {
+        if !is_hbond_capable_idx(lig.elem[i]) {
             continue;
         }
         let (lx, ly, lz) = (lig.x[i], lig.y[i], lig.z[i]);
         for j in 0..rec.len() {
-            if !capable_idx(rec.elem[j]) {
+            if !is_hbond_capable_idx(rec.elem[j]) {
                 continue;
             }
             let dx = lx - rec.x[j];

@@ -13,6 +13,12 @@
 //!   *tiled* kernel (the CPU analog of the paper's CUDA shared-memory
 //!   tiling, §5: "Our CUDA implementations take advantage of data-locality
 //!   through tiling implementation via shared memory");
+//! - [`run`] — the *element-run* receptor layout ([`run::RunFrame`]:
+//!   receptor permuted once so same-element atoms are contiguous) and the
+//!   kernels built on it: a gather-free LJ kernel and the **fused**
+//!   single-pass kernel ([`run::fused_run`], the default scoring path)
+//!   that accumulates LJ + Coulomb + run-gated H-bond in one receptor
+//!   sweep;
 //! - [`coulomb`] — the electrostatic term (paper §2.1 names Coulomb as the
 //!   other relevant non-bonded potential; §6 lists richer scoring functions
 //!   as future work);
@@ -30,12 +36,14 @@ pub mod grid_potential;
 pub mod hbond;
 pub mod lj;
 pub mod pool;
+pub mod run;
 pub mod scorer;
 
 pub use forces::RigidGradient;
 pub use grid_potential::{GridOptions, GridScorer};
 pub use pool::{shared_pool, CpuPool};
-pub use scorer::{PoseScratch, Scorer, ScorerOptions, ScoringModel};
+pub use run::RunFrame;
+pub use scorer::{Kernel, PoseScratch, Scorer, ScorerOptions, ScoringModel};
 
 /// Number of atom-pair interactions one pose evaluation computes — the
 /// workload unit the GPU cost model in `gpusim` charges for.

@@ -2,7 +2,7 @@
 //!
 //! The kernels operate on a [`Frame`] — receptor atoms flattened into
 //! coordinate and element-index arrays — so the hot loop touches dense
-//! memory only. Two variants:
+//! memory only. Two variants live here:
 //!
 //! - [`lj_naive`]: ligand-outer/receptor-inner all-pairs loop. Streams the
 //!   whole receptor through cache once per ligand atom.
@@ -11,9 +11,22 @@
 //!   analog of the paper's CUDA shared-memory tiling and is measurably
 //!   faster for receptors that exceed cache (see `bench/benches/scoring.rs`).
 //!
+//! Both pay a per-pair **indexed gather** `table.at(le, rec.elem[j])` in
+//! the innermost loop. The two loads depend on `rec.elem[j]`, so the
+//! compiler cannot hoist them or prove them contiguous, and the loop does
+//! not autovectorize — every pair serializes behind two data-dependent
+//! table reads. The [`crate::run`] module removes that gather structurally
+//! (permute the receptor into element runs once, hoist `(σ², 4ε)` per
+//! run); these scalar kernels remain as the reference and as ablation
+//! baselines.
+//!
 //! Distances are clamped below by [`MIN_DIST_SQ`] so overlapping atoms
 //! produce a large-but-finite repulsion instead of `inf`, which keeps the
 //! metaheuristics' score comparisons total.
+//!
+//! All scalar kernels share one summation discipline: a per-ligand-atom
+//! accumulator flushed into the running total, so each kernel's order is
+//! fixed and documented (the per-kernel bit-identity policy, DESIGN §7).
 
 use vsmath::Vec3;
 use vsmol::{Element, LjTable, Molecule};
@@ -170,12 +183,16 @@ pub fn lj_tiled(lig: &Frame, rec: &Frame, table: &PairTable) -> f64 {
 }
 
 /// Naive kernel with a spherical cutoff: pairs beyond `cutoff` contribute
-/// nothing. Bit-exact against grid-accelerated cutoff scoring.
+/// nothing. The reference for grid-accelerated cutoff scoring (which
+/// visits pairs in grid-cell order, so agreement is within summation
+/// slack, not bitwise). Shares the per-ligand-atom accumulator discipline
+/// of [`lj_naive`]/[`lj_tiled`].
 pub fn lj_naive_cutoff(lig: &Frame, rec: &Frame, table: &PairTable, cutoff: f64) -> f64 {
     let c2 = cutoff * cutoff;
     let mut total = 0.0;
     for i in 0..lig.len() {
         let (lx, ly, lz, le) = (lig.x[i], lig.y[i], lig.z[i], lig.elem[i]);
+        let mut acc = 0.0;
         for j in 0..rec.len() {
             let dx = lx - rec.x[j];
             let dy = ly - rec.y[j];
@@ -183,9 +200,10 @@ pub fn lj_naive_cutoff(lig: &Frame, rec: &Frame, table: &PairTable, cutoff: f64)
             let r_sq = dx * dx + dy * dy + dz * dz;
             if r_sq <= c2 {
                 let (s2, e4) = table.at(le, rec.elem[j]);
-                total += lj_pair(s2, e4, r_sq);
+                acc += lj_pair(s2, e4, r_sq);
             }
         }
+        total += acc;
     }
     total
 }

@@ -310,6 +310,27 @@ mod tests {
     }
 
     #[test]
+    fn pool_matches_serial_bitwise_for_every_kernel() {
+        // The per-kernel bit-identity policy (DESIGN §7): for a *fixed*
+        // kernel, the pool path must reproduce serial scores bitwise.
+        use crate::scorer::{Kernel, ScoringModel};
+        let rec = synth::synth_receptor("r", 500, 5);
+        let lig = synth::synth_ligand("l", 14, 6);
+        let ps = poses(23, 2);
+        let model = ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 };
+        for kernel in [Kernel::Naive, Kernel::Tiled, Kernel::Run, Kernel::Fused] {
+            let s = Scorer::new(&rec, &lig, ScorerOptions { model, kernel });
+            let serial = s.score_batch(&ps);
+            let pool = CpuPool::new(3);
+            let mut out = vec![0.0; ps.len()];
+            pool.score_batch_into(&s, &ps, &mut out);
+            for (a, b) in serial.iter().zip(&out) {
+                assert_eq!(a.to_bits(), b.to_bits(), "kernel {kernel:?}");
+            }
+        }
+    }
+
+    #[test]
     fn pool_reuse_across_batches() {
         let s = scorer();
         let pool = CpuPool::new(4);

@@ -1,0 +1,529 @@
+//! Element-run receptor layout and the kernels that exploit it.
+//!
+//! # Why runs
+//!
+//! The naive/tiled kernels pay a per-pair indexed gather
+//! `table.at(lig_elem, rec.elem[j])` in the innermost loop. That gather is
+//! what blocks autovectorization: the compiler cannot prove the `(σ², 4ε)`
+//! loads are loop-invariant (they depend on `rec.elem[j]`), so every pair
+//! costs two data-dependent table loads and the loop stays scalar.
+//!
+//! A [`RunFrame`] removes the dependence structurally instead of asking the
+//! compiler to guess: the receptor is permuted **once** at scorer
+//! construction so that atoms of the same element are contiguous. The atom
+//! set is unchanged — only the iteration order moves — and the layout
+//! records:
+//!
+//! - the permuted SoA columns (a plain [`Frame`], reusable by every
+//!   existing kernel);
+//! - a run table of `(elem, start, len)` spans, at most one per element;
+//! - the permutation itself (`perm[k]` = original index of permuted atom
+//!   `k`), so anything producing *per-receptor-atom* results (e.g. force
+//!   scatter) can map back to the original order.
+//!
+//! Inside one run the element is constant, so `(σ², 4ε)` hoist out of the
+//! inner loop as loop constants and the body becomes a pure FMA-able
+//! distance/energy computation over contiguous memory. The kernels
+//! restructure the sum into four independent lane accumulators
+//! ([`LANES`]) so LLVM can vectorize without reassociating a single serial
+//! dependency chain, and compose with the existing [`TILE`] cache
+//! blocking (tile *within* run) so a receptor block stays L1/L2-resident
+//! while every ligand atom consumes it.
+//!
+//! # Kernels
+//!
+//! - [`lj_run`]: Lennard-Jones only, the run-layout counterpart of
+//!   [`crate::lj::lj_tiled`].
+//! - [`fused_run`]: LJ + Coulomb + hydrogen bond accumulated in a **single
+//!   receptor pass**. The H-bond gate is free here: capability is an
+//!   element property, hence a *run constant* — whole runs are gated
+//!   outside the inner loop instead of testing every pair.
+//!
+//! # Canonical summation order
+//!
+//! Each kernel's summation order is part of its definition (DESIGN §7):
+//! for the run kernels the canonical order is run-major, tile-minor,
+//! ligand-atom, then the four-lane accumulation of [`fused_span`]/
+//! [`lj_span`]. Every execution path (serial, `CpuPool`,
+//! `DeviceEvaluator`) runs this exact code, so scores are bit-identical
+//! across paths for a fixed kernel; *different* kernels agree within 1e-9
+//! relative (pinned by tests here and in `tests/props.rs`).
+
+use crate::coulomb::COULOMB_K;
+use crate::hbond::{is_hbond_capable_idx, HB_SIGMA};
+use crate::lj::{lj_pair, Frame, PairTable, MIN_DIST_SQ, TILE};
+use vsmol::Element;
+
+/// Independent accumulator lanes in the inner loops. Four f64 lanes cover
+/// an AVX2 register; on narrower ISAs the compiler splits them for free.
+pub const LANES: usize = 4;
+
+/// One maximal span of same-element receptor atoms in a [`RunFrame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    /// `Element::index()` shared by every atom in the span.
+    pub elem: u8,
+    /// First atom of the span in the permuted frame.
+    pub start: usize,
+    /// Number of atoms in the span.
+    pub len: usize,
+}
+
+/// A receptor frame permuted so same-element atoms are contiguous, plus
+/// the run table and the permutation back to the original atom order.
+#[derive(Debug, Clone, Default)]
+pub struct RunFrame {
+    frame: Frame,
+    runs: Vec<Run>,
+    perm: Vec<u32>,
+}
+
+impl RunFrame {
+    /// Permute `rec` into element runs. Stable: within a run, atoms keep
+    /// their original relative order (a counting sort by element index).
+    pub fn from_frame(rec: &Frame) -> RunFrame {
+        let n = rec.len();
+        let ne = Element::COUNT;
+        let mut counts = vec![0usize; ne];
+        for &e in &rec.elem {
+            counts[e as usize] += 1;
+        }
+        let mut starts = vec![0usize; ne];
+        let mut acc = 0;
+        for e in 0..ne {
+            starts[e] = acc;
+            acc += counts[e];
+        }
+        let mut perm = vec![0u32; n];
+        let mut cursor = starts.clone();
+        for (orig, &e) in rec.elem.iter().enumerate() {
+            perm[cursor[e as usize]] = orig as u32;
+            cursor[e as usize] += 1;
+        }
+        let mut frame = Frame {
+            x: vec![0.0; n],
+            y: vec![0.0; n],
+            z: vec![0.0; n],
+            elem: vec![0; n],
+            charge: vec![0.0; n],
+        };
+        for (k, &o) in perm.iter().enumerate() {
+            let o = o as usize;
+            frame.x[k] = rec.x[o];
+            frame.y[k] = rec.y[o];
+            frame.z[k] = rec.z[o];
+            frame.elem[k] = rec.elem[o];
+            frame.charge[k] = rec.charge[o];
+        }
+        let runs = (0..ne)
+            .filter(|&e| counts[e] > 0)
+            .map(|e| Run { elem: e as u8, start: starts[e], len: counts[e] })
+            .collect();
+        RunFrame { frame, runs, perm }
+    }
+
+    /// The permuted SoA columns — a plain [`Frame`] any kernel can stream.
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// The run table, ordered by element index.
+    pub fn runs(&self) -> &[Run] {
+        &self.runs
+    }
+
+    /// `perm()[k]` is the original receptor index of permuted atom `k`
+    /// (the scatter map for per-receptor-atom results).
+    pub fn perm(&self) -> &[u32] {
+        &self.perm
+    }
+
+    pub fn len(&self) -> usize {
+        self.frame.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frame.is_empty()
+    }
+}
+
+/// LJ sum of one ligand atom against one contiguous same-element span,
+/// with `(σ², 4ε)` as loop constants and [`LANES`] independent
+/// accumulators. The lane split (element `j` goes to lane `j % LANES`,
+/// remainder into a scalar tail) is the canonical order for this kernel.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn lj_span(lx: f64, ly: f64, lz: f64, s2: f64, e4: f64, xs: &[f64], ys: &[f64], zs: &[f64]) -> f64 {
+    let n = xs.len();
+    debug_assert!(ys.len() == n && zs.len() == n);
+    let mut acc = [0.0f64; LANES];
+    let mut j = 0;
+    while j + LANES <= n {
+        for l in 0..LANES {
+            let dx = lx - xs[j + l];
+            let dy = ly - ys[j + l];
+            let dz = lz - zs[j + l];
+            acc[l] += lj_pair(s2, e4, dx * dx + dy * dy + dz * dz);
+        }
+        j += LANES;
+    }
+    let mut tail = 0.0;
+    while j < n {
+        let dx = lx - xs[j];
+        let dy = ly - ys[j];
+        let dz = lz - zs[j];
+        tail += lj_pair(s2, e4, dx * dx + dy * dy + dz * dz);
+        j += 1;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Run-layout Lennard-Jones kernel: run-major, [`TILE`]-blocked within
+/// each run, `(σ², 4ε)` hoisted per (ligand atom × run).
+pub fn lj_run(lig: &Frame, rec: &RunFrame, table: &PairTable) -> f64 {
+    let rf = &rec.frame;
+    let mut total = 0.0;
+    for run in &rec.runs {
+        let run_end = run.start + run.len;
+        let mut start = run.start;
+        while start < run_end {
+            let end = (start + TILE).min(run_end);
+            let (xs, ys, zs) = (&rf.x[start..end], &rf.y[start..end], &rf.z[start..end]);
+            for i in 0..lig.len() {
+                let (s2, e4) = table.lookup(lig.elem[i], run.elem);
+                total += lj_span(lig.x[i], lig.y[i], lig.z[i], s2, e4, xs, ys, zs);
+            }
+            start = end;
+        }
+    }
+    total
+}
+
+/// Fused span: one pass over a same-element receptor span accumulating LJ
+/// plus (statically gated) Coulomb and H-bond terms. One reciprocal per
+/// pair is shared by all three terms. `ck` is the hoisted per-ligand-atom
+/// Coulomb constant `k·qᵢ/ε_scale`; `hb_eps` the H-bond well depth.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn fused_span<const COUL: bool, const HB: bool>(
+    lx: f64,
+    ly: f64,
+    lz: f64,
+    s2: f64,
+    e4: f64,
+    ck: f64,
+    hb_eps: f64,
+    xs: &[f64],
+    ys: &[f64],
+    zs: &[f64],
+    qs: &[f64],
+) -> f64 {
+    const HB2: f64 = HB_SIGMA * HB_SIGMA;
+    let n = xs.len();
+    debug_assert!(ys.len() == n && zs.len() == n && qs.len() == n);
+    #[inline(always)]
+    fn pair<const COUL: bool, const HB: bool>(
+        r_sq: f64,
+        s2: f64,
+        e4: f64,
+        ck: f64,
+        hb_eps: f64,
+        qj: f64,
+    ) -> f64 {
+        let r2 = if r_sq < MIN_DIST_SQ { MIN_DIST_SQ } else { r_sq };
+        let inv = 1.0 / r2;
+        let q = s2 * inv;
+        let s6 = q * q * q;
+        let mut e = e4 * (s6 * s6 - s6);
+        if COUL {
+            e += ck * qj * inv;
+        }
+        if HB {
+            let qh = HB2 * inv;
+            let q5 = qh * qh * qh * qh * qh;
+            e += hb_eps * (5.0 * q5 * qh - 6.0 * q5);
+        }
+        e
+    }
+    let mut acc = [0.0f64; LANES];
+    let mut j = 0;
+    while j + LANES <= n {
+        for l in 0..LANES {
+            let dx = lx - xs[j + l];
+            let dy = ly - ys[j + l];
+            let dz = lz - zs[j + l];
+            let r_sq = dx * dx + dy * dy + dz * dz;
+            acc[l] += pair::<COUL, HB>(r_sq, s2, e4, ck, hb_eps, qs[j + l]);
+        }
+        j += LANES;
+    }
+    let mut tail = 0.0;
+    while j < n {
+        let dx = lx - xs[j];
+        let dy = ly - ys[j];
+        let dz = lz - zs[j];
+        let r_sq = dx * dx + dy * dy + dz * dz;
+        tail += pair::<COUL, HB>(r_sq, s2, e4, ck, hb_eps, qs[j]);
+        j += 1;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+fn fused_impl<const COUL: bool, const HB: bool>(
+    lig: &Frame,
+    rec: &RunFrame,
+    table: &PairTable,
+    dielectric: f64,
+    hb_eps: f64,
+) -> f64 {
+    let rf = &rec.frame;
+    let mut total = 0.0;
+    for run in &rec.runs {
+        // Capability is an element property, hence constant over the run:
+        // whole runs are gated here, never per pair.
+        let run_capable = HB && is_hbond_capable_idx(run.elem);
+        let run_end = run.start + run.len;
+        let mut start = run.start;
+        while start < run_end {
+            let end = (start + TILE).min(run_end);
+            let xs = &rf.x[start..end];
+            let ys = &rf.y[start..end];
+            let zs = &rf.z[start..end];
+            let qs = &rf.charge[start..end];
+            for i in 0..lig.len() {
+                let le = lig.elem[i];
+                let (s2, e4) = table.lookup(le, run.elem);
+                let ck = if COUL { COULOMB_K * lig.charge[i] / dielectric } else { 0.0 };
+                let (lx, ly, lz) = (lig.x[i], lig.y[i], lig.z[i]);
+                total += if run_capable && is_hbond_capable_idx(le) {
+                    fused_span::<COUL, true>(lx, ly, lz, s2, e4, ck, hb_eps, xs, ys, zs, qs)
+                } else {
+                    fused_span::<COUL, false>(lx, ly, lz, s2, e4, ck, 0.0, xs, ys, zs, qs)
+                };
+            }
+            start = end;
+        }
+    }
+    total
+}
+
+/// Fused single-pass kernel over the run layout: LJ always, Coulomb when
+/// `dielectric` is set, the 10–12 H-bond term when `hbond_eps` is set and
+/// positive (a zero well depth is inert, matching
+/// [`crate::hbond::hbond_naive`]). Matches the sum of the separate
+/// per-term kernels within 1e-9 relative.
+pub fn fused_run(
+    lig: &Frame,
+    rec: &RunFrame,
+    table: &PairTable,
+    dielectric: Option<f64>,
+    hbond_eps: Option<f64>,
+) -> f64 {
+    if let Some(d) = dielectric {
+        assert!(d > 0.0, "dielectric scale must be positive");
+    }
+    if let Some(e) = hbond_eps {
+        assert!(e >= 0.0, "well depth must be non-negative");
+    }
+    match (dielectric, hbond_eps.filter(|&e| e > 0.0)) {
+        (None, None) => fused_impl::<false, false>(lig, rec, table, 1.0, 0.0),
+        (Some(d), None) => fused_impl::<true, false>(lig, rec, table, d, 0.0),
+        (None, Some(e)) => fused_impl::<false, true>(lig, rec, table, 1.0, e),
+        (Some(d), Some(e)) => fused_impl::<true, true>(lig, rec, table, d, e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coulomb::coulomb_naive;
+    use crate::hbond::hbond_naive;
+    use crate::lj::lj_naive;
+    use vsmath::{RngStream, Vec3};
+    use vsmol::{synth, LjTable};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= 1e-9 * a.abs().max(1.0)
+    }
+
+    fn table() -> PairTable {
+        PairTable::new(&LjTable::standard())
+    }
+
+    /// A receptor frame with exactly the given per-element run lengths,
+    /// in random (interleaved) original order.
+    fn frame_with_runs(spec: &[(Element, usize)], seed: u64) -> Frame {
+        let mut rng = RngStream::from_seed(seed);
+        let mut atoms: Vec<(Vec3, Element, f64)> = Vec::new();
+        for &(e, n) in spec {
+            for _ in 0..n {
+                atoms.push((rng.in_ball(15.0), e, rng.uniform_range(-0.5, 0.5)));
+            }
+        }
+        // Shuffle so runs are *not* already contiguous in the input.
+        for i in (1..atoms.len()).rev() {
+            let j = rng.index(i + 1);
+            atoms.swap(i, j);
+        }
+        let pos: Vec<Vec3> = atoms.iter().map(|a| a.0).collect();
+        let el: Vec<Element> = atoms.iter().map(|a| a.1).collect();
+        let q: Vec<f64> = atoms.iter().map(|a| a.2).collect();
+        Frame::from_parts(&pos, &el, &q)
+    }
+
+    fn synth_frames(n_rec: usize, n_lig: usize, seed: u64) -> (Frame, Frame) {
+        let rec = synth::synth_receptor("r", n_rec, seed);
+        let lig = synth::synth_ligand("l", n_lig, seed + 1);
+        (Frame::from_molecule(&lig), Frame::from_molecule(&rec))
+    }
+
+    #[test]
+    fn permutation_roundtrip_and_runs_cover_frame() {
+        let rec = frame_with_runs(&[(Element::C, 37), (Element::N, 5), (Element::O, 12)], 3);
+        let rf = RunFrame::from_frame(&rec);
+        assert_eq!(rf.len(), rec.len());
+        // Permuted columns match the original through the permutation.
+        for (k, &o) in rf.perm().iter().enumerate() {
+            let o = o as usize;
+            assert_eq!(rf.frame().x[k], rec.x[o]);
+            assert_eq!(rf.frame().y[k], rec.y[o]);
+            assert_eq!(rf.frame().z[k], rec.z[o]);
+            assert_eq!(rf.frame().elem[k], rec.elem[o]);
+            assert_eq!(rf.frame().charge[k], rec.charge[o]);
+        }
+        // Runs are contiguous, disjoint, element-homogeneous, and cover
+        // the whole frame in element-index order.
+        let mut expected_start = 0;
+        for run in rf.runs() {
+            assert_eq!(run.start, expected_start);
+            assert!(run.len > 0);
+            for k in run.start..run.start + run.len {
+                assert_eq!(rf.frame().elem[k], run.elem);
+            }
+            expected_start += run.len;
+        }
+        assert_eq!(expected_start, rec.len());
+        let elems: Vec<u8> = rf.runs().iter().map(|r| r.elem).collect();
+        let mut sorted = elems.clone();
+        sorted.sort_unstable();
+        assert_eq!(elems, sorted, "runs ordered by element index");
+    }
+
+    #[test]
+    fn run_matches_naive() {
+        let (lig, rec) = synth_frames(1500, 30, 11);
+        let t = table();
+        let a = lj_naive(&lig, &rec, &t);
+        let b = lj_run(&lig, &RunFrame::from_frame(&rec), &t);
+        assert!(close(a, b), "{a} vs {b}");
+    }
+
+    #[test]
+    fn run_matches_naive_at_run_boundaries() {
+        // Run lengths straddling the lane width and the tile size, the
+        // mirror of `tiled_matches_naive_at_tile_boundaries`. Length 0 is
+        // the absent-element case (no run emitted).
+        let t = table();
+        for len in [1usize, 2, 3, LANES, LANES + 1, TILE - 1, TILE, TILE + 1] {
+            let rec = frame_with_runs(&[(Element::C, len), (Element::O, 1)], 7 + len as u64);
+            let lig = Frame::from_molecule(&synth::synth_ligand("l", 9, 13));
+            let a = lj_naive(&lig, &rec, &t);
+            let b = lj_run(&lig, &RunFrame::from_frame(&rec), &t);
+            assert!(close(a, b), "len={len}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn single_element_receptor_is_one_run() {
+        let rec = frame_with_runs(&[(Element::C, 2 * TILE + 7)], 17);
+        let rf = RunFrame::from_frame(&rec);
+        assert_eq!(rf.runs().len(), 1);
+        let lig = Frame::from_molecule(&synth::synth_ligand("l", 12, 19));
+        let t = table();
+        assert!(close(lj_naive(&lig, &rec, &t), lj_run(&lig, &rf, &t)));
+    }
+
+    #[test]
+    fn all_elements_receptor_one_atom_each() {
+        let spec: Vec<(Element, usize)> = Element::ALL.iter().map(|&e| (e, 1)).collect();
+        let rec = frame_with_runs(&spec, 23);
+        let rf = RunFrame::from_frame(&rec);
+        assert_eq!(rf.runs().len(), Element::COUNT);
+        assert!(rf.runs().iter().all(|r| r.len == 1));
+        let lig = Frame::from_molecule(&synth::synth_ligand("l", 7, 29));
+        let t = table();
+        assert!(close(lj_naive(&lig, &rec, &t), lj_run(&lig, &rf, &t)));
+        let a = fused_run(&lig, &rf, &t, Some(4.0), Some(1.0));
+        let want = lj_naive(&lig, &rec, &t)
+            + coulomb_naive(&lig, &rec, 4.0)
+            + hbond_naive(&lig, &rec, 1.0);
+        assert!(close(want, a), "{want} vs {a}");
+    }
+
+    #[test]
+    fn empty_frames_score_zero() {
+        let t = table();
+        let empty = Frame::from_parts(&[], &[], &[]);
+        let rf = RunFrame::from_frame(&empty);
+        assert!(rf.is_empty());
+        assert!(rf.runs().is_empty());
+        let one = Frame::from_parts(&[Vec3::ZERO], &[Element::C], &[0.1]);
+        assert_eq!(lj_run(&one, &rf, &t), 0.0);
+        assert_eq!(fused_run(&one, &rf, &t, Some(4.0), Some(1.0)), 0.0);
+        let one_rf = RunFrame::from_frame(&one);
+        assert_eq!(lj_run(&empty, &one_rf, &t), 0.0);
+    }
+
+    #[test]
+    fn fused_matches_separate_terms_for_every_model() {
+        let (lig, rec) = synth_frames(900, 24, 31);
+        let rf = RunFrame::from_frame(&rec);
+        let t = table();
+        let lj = lj_naive(&lig, &rec, &t);
+        // LJ only.
+        assert!(close(lj, fused_run(&lig, &rf, &t, None, None)));
+        // LJ + Coulomb.
+        let ljc = lj + coulomb_naive(&lig, &rec, 4.0);
+        assert!(close(ljc, fused_run(&lig, &rf, &t, Some(4.0), None)));
+        // Full.
+        let full = ljc + hbond_naive(&lig, &rec, 1.0);
+        let got = fused_run(&lig, &rf, &t, Some(4.0), Some(1.0));
+        assert!(close(full, got), "{full} vs {got}");
+    }
+
+    #[test]
+    fn fused_zero_hbond_depth_is_inert() {
+        let (lig, rec) = synth_frames(400, 12, 37);
+        let rf = RunFrame::from_frame(&rec);
+        let t = table();
+        let a = fused_run(&lig, &rf, &t, Some(4.0), None);
+        let b = fused_run(&lig, &rf, &t, Some(4.0), Some(0.0));
+        assert_eq!(a.to_bits(), b.to_bits(), "zero well depth must be bit-inert");
+    }
+
+    #[test]
+    fn fused_is_deterministic() {
+        let (lig, rec) = synth_frames(700, 20, 41);
+        let rf = RunFrame::from_frame(&rec);
+        let t = table();
+        let a = fused_run(&lig, &rf, &t, Some(4.0), Some(1.0));
+        let b = fused_run(&lig, &rf, &t, Some(4.0), Some(1.0));
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    #[should_panic]
+    fn fused_rejects_non_positive_dielectric() {
+        let (lig, rec) = synth_frames(10, 3, 43);
+        let rf = RunFrame::from_frame(&rec);
+        fused_run(&lig, &rf, &table(), Some(0.0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn fused_rejects_negative_hbond_depth() {
+        let (lig, rec) = synth_frames(10, 3, 47);
+        let rf = RunFrame::from_frame(&rec);
+        fused_run(&lig, &rf, &table(), None, Some(-1.0));
+    }
+}

@@ -24,7 +24,9 @@
 
 use crate::coulomb::{coulomb_naive, coulomb_pair};
 use crate::lj::{lj_naive, lj_pair, lj_tiled, Frame, PairTable};
+use crate::run::{fused_run, lj_run, RunFrame};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 use vsmath::{RigidTransform, SpatialGrid, Vec3};
 use vsmol::{Conformation, Element, LjTable, Molecule};
 
@@ -62,17 +64,36 @@ impl ScoringModel {
 }
 
 /// Which kernel executes the pair loop.
+///
+/// Every kernel's summation order is part of its definition: a fixed
+/// kernel is bit-identical across execution paths (serial, `CpuPool`,
+/// `DeviceEvaluator`); different kernels agree within 1e-9 relative
+/// (DESIGN §7).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum Kernel {
     /// All-pairs, ligand-outer loop.
     Naive,
     /// All-pairs, receptor-tile-outer loop (cache-blocking; the CUDA
-    /// shared-memory tiling analog). Default.
-    #[default]
+    /// shared-memory tiling analog).
     Tiled,
+    /// Element-run receptor layout ([`crate::run::RunFrame`]): the LJ pass
+    /// hoists `(σ², 4ε)` per run (no per-pair gather); Coulomb/H-bond
+    /// terms stream the permuted frame in separate passes.
+    Run,
+    /// Element-run layout with LJ + Coulomb + run-gated H-bond fused into
+    /// a **single receptor pass** ([`crate::run::fused_run`]). Default.
+    #[default]
+    Fused,
     /// Spherical cutoff accelerated by a receptor spatial grid. An
     /// approximation: pairs beyond `cutoff` Å contribute nothing.
     GridCutoff { cutoff: f64 },
+}
+
+impl Kernel {
+    /// Whether this kernel scores through the element-run receptor layout.
+    pub fn uses_run_layout(&self) -> bool {
+        matches!(self, Kernel::Run | Kernel::Fused)
+    }
 }
 
 /// Scorer configuration.
@@ -90,9 +111,17 @@ pub struct ScorerOptions {
 /// pose. After the first use with a given ligand size, scoring through a
 /// scratch performs **zero heap allocations per pose** — buffers retain
 /// their capacity across poses, batches, and `evaluate` calls.
+///
+/// The scratch remembers which scorer it is bound to (the scorer's
+/// binding id plus ligand length), so repeated `score_with` /
+/// `score_batch_into` calls against the same scorer skip the
+/// `elem`/`charge` column refill entirely.
 #[derive(Debug, Default, Clone)]
 pub struct PoseScratch {
     lig: Frame,
+    /// `(binding_id, ligand_len)` of the scorer the columns were last
+    /// filled from; `None` until first bound.
+    bound: Option<(u64, usize)>,
 }
 
 impl PoseScratch {
@@ -110,17 +139,34 @@ impl PoseScratch {
 #[derive(Debug, Clone)]
 pub struct Scorer {
     rec_frame: Frame,
+    /// Element-run permutation of `rec_frame`, built once for the run
+    /// kernels ([`Kernel::Run`] / [`Kernel::Fused`]).
+    rec_runs: Option<RunFrame>,
     rec_grid: Option<SpatialGrid>,
+    /// Per-receptor-atom H-bond capability (original atom order), so the
+    /// grid path gates pairs with one indexed bit instead of an
+    /// `Element::ALL` round-trip per visited pair.
+    rec_hb_capable: Vec<bool>,
     lig_local: Vec<Vec3>,
     lig_elem: Vec<Element>,
     lig_charge: Vec<f64>,
     table: PairTable,
     opts: ScorerOptions,
+    /// Process-unique identity for scratch binding. Clones share the id —
+    /// sound, because a clone carries identical ligand columns, so a
+    /// scratch bound to either is bound to both.
+    binding_id: u64,
 }
+
+/// Source of [`Scorer::binding_id`]; `fetch_add` never hands out the same
+/// id twice, so a dropped scorer's id is never reused by a new one.
+static NEXT_BINDING_ID: AtomicU64 = AtomicU64::new(1);
 
 impl Scorer {
     /// Prepare a scorer. The ligand is re-centered at its centroid so pose
-    /// translations place the ligand *center*.
+    /// translations place the ligand *center*. The receptor is flattened
+    /// once; the run kernels additionally permute it into element runs
+    /// here, so the per-pose hot loop never touches unsorted elements.
     pub fn new(receptor: &Molecule, ligand: &Molecule, opts: ScorerOptions) -> Scorer {
         let lig = ligand.centered();
         let rec_grid = match opts.kernel {
@@ -130,14 +176,21 @@ impl Scorer {
             }
             _ => None,
         };
+        let rec_frame = Frame::from_molecule(receptor);
+        let rec_runs = opts.kernel.uses_run_layout().then(|| RunFrame::from_frame(&rec_frame));
+        let rec_hb_capable =
+            rec_frame.elem.iter().map(|&e| crate::hbond::is_hbond_capable_idx(e)).collect();
         Scorer {
-            rec_frame: Frame::from_molecule(receptor),
+            rec_frame,
+            rec_runs,
             rec_grid,
+            rec_hb_capable,
             lig_local: lig.positions().to_vec(),
             lig_elem: lig.elements().to_vec(),
             lig_charge: lig.charges(),
             table: PairTable::new(&LjTable::standard()),
             opts,
+            binding_id: NEXT_BINDING_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -169,9 +222,17 @@ impl Scorer {
     }
 
     /// Bind `scratch` to this scorer: size the ligand frame and refresh the
-    /// per-atom element/charge columns. Cheap (a memcpy of ligand-atom
-    /// width) and allocation-free once capacities are warm.
+    /// per-atom element/charge columns. A scratch already bound to this
+    /// scorer (same binding id and ligand length — e.g. on every batch
+    /// after the first against a persistent worker's scratch) returns
+    /// immediately without touching the columns; an actual rebind is a
+    /// memcpy of ligand-atom width, allocation-free once capacities are
+    /// warm.
     fn bind_scratch(&self, scratch: &mut PoseScratch) {
+        let key = (self.binding_id, self.lig_local.len());
+        if scratch.bound == Some(key) {
+            return;
+        }
         let n = self.lig_local.len();
         scratch.lig.x.resize(n, 0.0);
         scratch.lig.y.resize(n, 0.0);
@@ -180,6 +241,7 @@ impl Scorer {
         scratch.lig.elem.extend(self.lig_elem.iter().map(|e| e.index() as u8));
         scratch.lig.charge.clear();
         scratch.lig.charge.extend_from_slice(&self.lig_charge);
+        scratch.bound = Some(key);
     }
 
     /// Score a single pose through a caller-owned, reusable scratch.
@@ -196,18 +258,35 @@ impl Scorer {
         pose.apply_all_soa(&self.lig_local, &mut lig.x, &mut lig.y, &mut lig.z);
         match self.opts.kernel {
             Kernel::GridCutoff { cutoff } => self.score_grid(lig, cutoff),
+            Kernel::Fused => {
+                let runs = self.rec_runs.as_ref().expect("fused kernel without run frame");
+                fused_run(
+                    lig,
+                    runs,
+                    &self.table,
+                    self.opts.model.dielectric(),
+                    self.opts.model.hbond_epsilon(),
+                )
+            }
             kernel => {
-                let lj = match kernel {
-                    Kernel::Naive => lj_naive(lig, &self.rec_frame, &self.table),
-                    Kernel::Tiled => lj_tiled(lig, &self.rec_frame, &self.table),
-                    Kernel::GridCutoff { .. } => unreachable!(),
+                // The multi-pass kernels: one LJ pass, then one pass per
+                // enabled model term. `Run` streams the permuted frame in
+                // the extra passes (same memory its LJ pass touched).
+                let (lj, rec) = match kernel {
+                    Kernel::Naive => (lj_naive(lig, &self.rec_frame, &self.table), &self.rec_frame),
+                    Kernel::Tiled => (lj_tiled(lig, &self.rec_frame, &self.table), &self.rec_frame),
+                    Kernel::Run => {
+                        let runs = self.rec_runs.as_ref().expect("run kernel without run frame");
+                        (lj_run(lig, runs, &self.table), runs.frame())
+                    }
+                    Kernel::Fused | Kernel::GridCutoff { .. } => unreachable!(),
                 };
                 let mut total = lj;
                 if let Some(dielectric) = self.opts.model.dielectric() {
-                    total += coulomb_naive(lig, &self.rec_frame, dielectric);
+                    total += coulomb_naive(lig, rec, dielectric);
                 }
                 if let Some(eps) = self.opts.model.hbond_epsilon() {
-                    total += crate::hbond::hbond_naive(lig, &self.rec_frame, eps);
+                    total += crate::hbond::hbond_naive(lig, rec, eps);
                 }
                 total
             }
@@ -231,8 +310,7 @@ impl Scorer {
                     total += coulomb_pair(qi, self.rec_frame.charge[j], r_sq, eps);
                 }
                 if let Some(hb) = hbond_eps {
-                    let rec_e = Element::ALL[self.rec_frame.elem[j] as usize];
-                    if lig_capable && crate::hbond::is_hbond_capable(rec_e) {
+                    if lig_capable && self.rec_hb_capable[j] {
                         total += crate::hbond::hbond_pair(hb, r_sq);
                     }
                 }
@@ -252,20 +330,32 @@ impl Scorer {
 
     /// [`Scorer::score_and_gradient`] through a reusable scratch: the
     /// transformed ligand frame produced by scoring is fed straight to the
-    /// gradient kernel, with no per-pose allocation.
+    /// gradient kernel, with no per-pose allocation. Scorers on a run
+    /// kernel descend the run-layout gradient kernel (hoisted `(σ², 4ε)`,
+    /// no per-pair gather), same force field either way.
     pub fn score_and_gradient_with(
         &self,
         pose: &RigidTransform,
         scratch: &mut PoseScratch,
     ) -> (f64, crate::forces::RigidGradient) {
         let score = self.score_with(pose, scratch);
-        let grad = crate::forces::rigid_gradient(
-            &scratch.lig,
-            &self.rec_frame,
-            &self.table,
-            pose.translation,
-            self.opts.model.dielectric(),
-        );
+        let dielectric = self.opts.model.dielectric();
+        let grad = match &self.rec_runs {
+            Some(runs) => crate::forces::rigid_gradient_run(
+                &scratch.lig,
+                runs,
+                &self.table,
+                pose.translation,
+                dielectric,
+            ),
+            None => crate::forces::rigid_gradient(
+                &scratch.lig,
+                &self.rec_frame,
+                &self.table,
+                pose.translation,
+                dielectric,
+            ),
+        };
         (score, grad)
     }
 
@@ -363,6 +453,68 @@ mod tests {
             let sb = b.score(&pose);
             assert!((sa - sb).abs() <= 1e-9 * sa.abs().max(1.0), "{sa} vs {sb}");
         }
+    }
+
+    #[test]
+    fn fused_is_the_default_kernel() {
+        assert_eq!(ScorerOptions::default().kernel, Kernel::Fused);
+        assert!(Kernel::Fused.uses_run_layout());
+        assert!(Kernel::Run.uses_run_layout());
+        assert!(!Kernel::Tiled.uses_run_layout());
+    }
+
+    #[test]
+    fn all_dense_kernels_agree_for_every_model() {
+        let rec = synth::synth_receptor("r", 600, 5);
+        let lig = synth::synth_ligand("l", 16, 6);
+        for model in [
+            ScoringModel::LennardJones,
+            ScoringModel::LennardJonesCoulomb { dielectric: 4.0 },
+            ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 },
+        ] {
+            let reference = Scorer::new(&rec, &lig, ScorerOptions { model, kernel: Kernel::Naive });
+            for kernel in [Kernel::Tiled, Kernel::Run, Kernel::Fused] {
+                let s = Scorer::new(&rec, &lig, ScorerOptions { model, kernel });
+                for pose in random_poses(6, 2, 25.0) {
+                    let want = reference.score(&pose);
+                    let got = s.score(&pose);
+                    assert!(
+                        (want - got).abs() <= 1e-9 * want.abs().max(1.0),
+                        "{model:?}/{kernel:?}: {want} vs {got}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_skips_rebind_for_same_scorer() {
+        let s = setup(Kernel::Fused);
+        let mut scratch = PoseScratch::new();
+        assert!(scratch.bound.is_none());
+        let pose = random_poses(1, 7, 20.0)[0];
+        let first = s.score_with(&pose, &mut scratch);
+        let key = scratch.bound.expect("scoring must bind the scratch");
+        // Repeated scoring against the same scorer keeps the binding (the
+        // refill is skipped) and stays bit-identical.
+        let second = s.score_with(&pose, &mut scratch);
+        assert_eq!(first.to_bits(), second.to_bits());
+        assert_eq!(scratch.bound, Some(key));
+        // A clone shares the binding id (identical ligand columns), so the
+        // scratch stays bound to it too.
+        let clone = s.clone();
+        assert_eq!(clone.score_with(&pose, &mut scratch).to_bits(), first.to_bits());
+        assert_eq!(scratch.bound, Some(key));
+        // A different scorer rebinds and still scores correctly.
+        let rec2 = synth::synth_receptor("r2", 300, 9);
+        let lig2 = synth::synth_ligand("l2", 7, 10);
+        let other = Scorer::new(&rec2, &lig2, ScorerOptions::default());
+        let via_scratch = other.score_with(&pose, &mut scratch);
+        assert_ne!(scratch.bound, Some(key), "different scorer must rebind");
+        assert_eq!(via_scratch.to_bits(), other.score(&pose).to_bits());
+        // And back: binding to the first scorer again is a fresh rebind.
+        assert_eq!(s.score_with(&pose, &mut scratch).to_bits(), first.to_bits());
+        assert_eq!(scratch.bound, Some(key));
     }
 
     #[test]

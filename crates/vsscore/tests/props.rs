@@ -44,6 +44,35 @@ proptest! {
     }
 
     #[test]
+    fn run_and_fused_match_naive_on_random_frames(
+        pose in arb_pose(),
+        n_rec in 1usize..400,
+        n_lig in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        // Random frames × random poses × all three scoring models: the
+        // run-layout kernels must reproduce the naive reference within
+        // 1e-9 relative (the per-kernel agreement policy, DESIGN §7).
+        let rec = synth::synth_receptor("r", n_rec, seed);
+        let lig = synth::synth_ligand("l", n_lig, seed ^ 0x9e37_79b9);
+        for model in [
+            ScoringModel::LennardJones,
+            ScoringModel::LennardJonesCoulomb { dielectric: 4.0 },
+            ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 },
+        ] {
+            let want = Scorer::new(&rec, &lig, ScorerOptions { model, kernel: Kernel::Naive })
+                .score(&pose);
+            for kernel in [Kernel::Run, Kernel::Fused] {
+                let got = Scorer::new(&rec, &lig, ScorerOptions { model, kernel }).score(&pose);
+                prop_assert!(
+                    (want - got).abs() <= 1e-9 * want.abs().max(1.0),
+                    "{:?}/{:?}: {} vs {}", model, kernel, want, got
+                );
+            }
+        }
+    }
+
+    #[test]
     fn batch_matches_singles(poses in proptest::collection::vec(arb_pose(), 1..12)) {
         let s = scorer(Kernel::Tiled, ScoringModel::LennardJones);
         let batch = s.score_batch(&poses);

@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Rebuild and run the scoring-kernel snapshot, writing BENCH_scoring.json
+# (kernel -> poses/sec at both Table 5 complex sizes). Pass an alternate
+# output path as $1.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+cargo run --release -p vs-bench --bin bench_snapshot -- "${1:-BENCH_scoring.json}"

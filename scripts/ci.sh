@@ -15,4 +15,7 @@ cargo fmt --check
 echo "==> cargo clippy"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
 echo "==> OK"

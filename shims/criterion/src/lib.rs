@@ -50,6 +50,12 @@ impl From<String> for BenchmarkId {
     }
 }
 
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> BenchmarkId {
+        BenchmarkId { id: s.clone() }
+    }
+}
+
 /// Timing loop handle passed to bench closures.
 pub struct Bencher {
     samples: usize,
