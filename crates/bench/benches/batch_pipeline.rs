@@ -4,7 +4,7 @@
 //! Two axes of host-side overhead were removed:
 //!
 //! - *per-pose allocation*: the old `score` path built a fresh ligand
-//!   frame (5 Vecs) and scratch per pose; `score_batch_into` reuses one
+//!   frame (5 Vecs) and scratch per pose; `score_batch` reuses one
 //!   [`PoseScratch`] across the whole batch;
 //! - *per-batch thread spawning*: the old parallel path spawned and joined
 //!   OS threads on every batch; [`CpuPool`] keeps a persistent worker team
@@ -21,7 +21,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use std::hint::black_box;
 use vsmath::{RigidTransform, RngStream};
 use vsmol::synth;
-use vsscore::{CpuPool, PoseScratch, Scorer, ScorerOptions};
+use vsscore::{CpuPool, Exec, PoseScratch, ScoreBatch, Scorer, ScorerOptions};
 
 const THREADS: usize = 4;
 
@@ -63,7 +63,11 @@ fn serial_alloc_vs_scratch(c: &mut Criterion) {
         let mut out = vec![0.0; ps.len()];
         group.bench_function(BenchmarkId::new("scratch_reuse", &label), |b| {
             b.iter(|| {
-                scorer.score_batch_into(&ps, &mut out, &mut scratch);
+                scorer.score_batch(
+                    ScoreBatch::Poses { poses: &ps, out: &mut out },
+                    &mut scratch,
+                    Exec::Serial,
+                );
                 black_box(out[0])
             })
         });
@@ -97,7 +101,7 @@ fn pool_vs_spawn(c: &mut Criterion) {
             });
             group.bench_function(BenchmarkId::new("persistent_pool", &label), |b| {
                 b.iter(|| {
-                    pool.score_batch_into(&scorer, &ps, &mut out);
+                    pool.score_batch(&scorer, ScoreBatch::Poses { poses: &ps, out: &mut out });
                     black_box(out[0])
                 })
             });

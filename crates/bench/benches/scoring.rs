@@ -17,7 +17,7 @@ use vsmol::{synth, LjTable};
 use vsscore::lj::{lj_naive, lj_tiled, Frame, PairTable};
 use vsscore::run::{fused_run, lj_run, RunFrame};
 use vsscore::scorer::{Kernel, ScorerOptions, ScoringModel};
-use vsscore::{PoseScratch, Scorer};
+use vsscore::{Exec, PoseScratch, ScoreBatch, Scorer};
 
 fn kernels_by_receptor_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("lj_kernel");
@@ -107,9 +107,18 @@ fn parallel_batch_scaling(c: &mut Criterion) {
     let poses: Vec<_> =
         (0..64).map(|_| vsmath::RigidTransform::new(rng.rotation(), rng.in_ball(30.0))).collect();
     group.throughput(Throughput::Elements(poses.len() as u64));
+    let mut scratch = PoseScratch::new();
+    let mut out = vec![0.0; poses.len()];
     for threads in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
-            b.iter(|| black_box(scorer.score_batch_parallel(&poses, t)))
+            b.iter(|| {
+                scorer.score_batch(
+                    ScoreBatch::Poses { poses: &poses, out: &mut out },
+                    &mut scratch,
+                    Exec::Pool(t),
+                );
+                black_box(out[0])
+            })
         });
     }
     group.finish();

@@ -15,7 +15,7 @@ use std::time::Instant;
 use vsmath::{RigidTransform, RngStream};
 use vsmol::synth;
 use vsscore::scorer::{Kernel, ScorerOptions, ScoringModel};
-use vsscore::{PoseScratch, Scorer};
+use vsscore::{Exec, PoseScratch, ScoreBatch, Scorer};
 
 /// Table 5 complexes: (receptor atoms, ligand atoms).
 const COMPLEXES: [(usize, usize); 2] = [(3264, 45), (8609, 32)];
@@ -39,11 +39,11 @@ fn poses_per_sec(scorer: &Scorer, poses: &[RigidTransform]) -> f64 {
     let mut scratch = PoseScratch::new();
     let mut out = vec![0.0; poses.len()];
     // Warm-up: bind the scratch, fault pages, settle the clock.
-    scorer.score_batch_into(poses, &mut out, &mut scratch);
+    scorer.score_batch(ScoreBatch::Poses { poses, out: &mut out }, &mut scratch, Exec::Serial);
     let start = Instant::now();
     let mut batches = 0u64;
     loop {
-        scorer.score_batch_into(poses, &mut out, &mut scratch);
+        scorer.score_batch(ScoreBatch::Poses { poses, out: &mut out }, &mut scratch, Exec::Serial);
         batches += 1;
         if start.elapsed().as_secs_f64() >= MEASURE_SECS {
             break;

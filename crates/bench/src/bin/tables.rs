@@ -183,22 +183,9 @@ fn cooperative() {
     let spots = screen.spots().to_vec();
     let scorer = screen.scorer();
     let params = metaheur::m1(0.1);
-    let coop = cooperative_search(
-        &params,
-        &spots,
-        || metaheur::CpuEvaluator::with_threads((*scorer).clone(), 8),
-        3,
-        2,
-        41,
-    );
-    let indep = cooperative_search(
-        &params,
-        &spots,
-        || metaheur::CpuEvaluator::with_threads((*scorer).clone(), 8),
-        6,
-        1,
-        41,
-    );
+    let spec = vsched::EvaluatorSpec::PooledCpu { threads: 8 };
+    let coop = cooperative_search(&params, &spots, || spec.build(scorer.clone()), 3, 2, 41);
+    let indep = cooperative_search(&params, &spots, || spec.build(scorer.clone()), 6, 1, 41);
     println!("Cooperative vs independent jobs (equal budget of {} evaluations):", coop.evaluations);
     println!("  3 jobs x 2 epochs, incumbent sharing: best {:.2}", coop.best.score);
     println!("  6 jobs x 1 epoch, fully independent:  best {:.2}", indep.best.score);

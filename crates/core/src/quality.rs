@@ -8,10 +8,9 @@
 //! comparison.
 
 use crate::screen::VirtualScreen;
-use metaheur::{
-    run_pso, run_tabu, CpuEvaluator, ImproveStrategy, MetaheuristicParams, PsoParams, TabuParams,
-};
+use metaheur::{run_pso, run_tabu, ImproveStrategy, MetaheuristicParams, PsoParams, TabuParams};
 use serde::{Deserialize, Serialize};
+use vsched::EvaluatorSpec;
 use vsmol::Dataset;
 
 /// One algorithm's quality measurement.
@@ -38,7 +37,7 @@ pub fn quality_comparison(
 ) -> Vec<QualityRow> {
     let screen = VirtualScreen::builder(dataset).max_spots(max_spots).seed(seed).build();
     let spots = screen.spots().to_vec();
-    let mk_eval = || CpuEvaluator::with_threads((*screen.scorer()).clone(), threads);
+    let mk_eval = || EvaluatorSpec::PooledCpu { threads }.build(screen.scorer());
     let mut rows = Vec::new();
 
     // The Table 4 suite through the Algorithm 1 engine.

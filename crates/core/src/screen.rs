@@ -3,9 +3,10 @@
 use gpusim::{SimNode, WorkBatch};
 use metaheur::{BatchEvaluator, CpuEvaluator, MetaheuristicParams};
 use std::sync::Arc;
-use vsched::{DeviceEvaluator, Strategy};
+use vsched::{DeviceEvaluator, EvaluatorSpec, Strategy};
 use vsmol::{surface, Conformation, Dataset, Molecule, Spot, SurfaceOptions};
-use vsscore::{Scorer, ScorerOptions};
+use vsscore::{Exec, Scorer, ScorerOptions};
+use vstrace::Trace;
 
 /// A prepared screening problem: receptor + ligand + detected surface spots
 /// + scoring context. Build with [`VirtualScreen::builder`].
@@ -63,7 +64,7 @@ impl VirtualScreen {
     /// Run a metaheuristic on the host CPU only (real threads, no virtual
     /// timing) — the quality-measurement path.
     pub fn run_cpu(&self, params: &MetaheuristicParams, threads: usize) -> ScreenOutcome {
-        let mut ev = CpuEvaluator::with_threads((*self.scorer).clone(), threads);
+        let mut ev = EvaluatorSpec::PooledCpu { threads }.build(self.scorer.clone());
         let run = metaheur::run(params, &self.spots, &mut ev, self.seed);
         ScreenOutcome::from_run(run, f64::NAN)
     }
@@ -94,21 +95,38 @@ impl VirtualScreen {
         node: &SimNode,
         strategy: Strategy,
     ) -> ScreenOutcome {
+        self.run_on_node_traced(params, node, strategy, &Trace::disabled())
+    }
+
+    /// Like [`VirtualScreen::run_on_node`], with a [`vstrace::Trace`]
+    /// attached: the run is wrapped in a `screen` span, the engine emits its
+    /// generation spans and `GenerationDone` events, and the device
+    /// scheduler contributes `DeviceBusy` / `BatchScored` / warm-up events —
+    /// everything a chrome-trace export or text summary needs.
+    pub fn run_on_node_traced(
+        &self,
+        params: &MetaheuristicParams,
+        node: &SimNode,
+        strategy: Strategy,
+        trace: &Trace,
+    ) -> ScreenOutcome {
         node.reset();
+        let _screen = trace.span("screen");
         match strategy {
             Strategy::CpuOnly => {
                 let threads = node.cpu().spec().lanes() as usize;
                 let mut ev = CpuNodeEvaluator {
-                    inner: CpuEvaluator::with_threads((*self.scorer).clone(), threads),
+                    inner: CpuEvaluator::new((*self.scorer).clone(), Exec::Pool(threads)),
                     node: node.clone(),
                 };
-                let run = metaheur::run(params, &self.spots, &mut ev, self.seed);
+                let run = metaheur::run_traced(params, &self.spots, &mut ev, self.seed, trace);
                 ScreenOutcome::from_run(run, node.cpu().clock())
             }
             _ => {
                 let mut ev =
-                    DeviceEvaluator::new(node.gpus().to_vec(), self.scorer.clone(), strategy);
-                let run = metaheur::run(params, &self.spots, &mut ev, self.seed);
+                    DeviceEvaluator::new(node.gpus().to_vec(), self.scorer.clone(), strategy)
+                        .with_trace(trace.clone());
+                let run = metaheur::run_traced(params, &self.spots, &mut ev, self.seed, trace);
                 ScreenOutcome::from_run(run, ev.makespan())
             }
         }

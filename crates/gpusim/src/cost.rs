@@ -94,13 +94,34 @@ impl Default for CostModel {
 impl CostModel {
     /// Modeled wall time for `batch` on `spec`, in seconds.
     pub fn execution_time(&self, spec: &DeviceSpec, batch: &WorkBatch) -> f64 {
-        if batch.items == 0 || batch.units_per_item == 0 {
-            // Empty launches still pay the fixed overheads on a GPU.
-            return if spec.is_gpu() {
-                self.launch_overhead_s + 2.0 * self.pcie_latency_s
+        let (t_kernel, t_transfer) = self.time_breakdown(spec, batch);
+        if spec.is_gpu() {
+            if self.overlap_transfers {
+                t_kernel.max(t_transfer) + self.launch_overhead_s
             } else {
-                0.0
-            };
+                t_kernel + self.launch_overhead_s + t_transfer
+            }
+        } else {
+            t_kernel
+        }
+    }
+
+    /// The `(kernel, PCIe transfer)` components of [`Self::execution_time`],
+    /// in seconds — the split the trace's `DeviceBusy` events and the
+    /// makespan breakdown report. The fixed launch overhead is in neither
+    /// component (it shows up as `busy − kernel − transfer`); transfers are
+    /// zero on CPUs, which have no PCIe hop.
+    pub fn time_breakdown(&self, spec: &DeviceSpec, batch: &WorkBatch) -> (f64, f64) {
+        let t_transfer = if spec.is_gpu() {
+            let bytes = (batch.bytes_down + batch.bytes_up) as f64;
+            2.0 * self.pcie_latency_s + bytes / (self.pcie_bandwidth_gbs * 1e9)
+        } else {
+            0.0
+        };
+        if batch.items == 0 || batch.units_per_item == 0 {
+            // Empty launches compute nothing but still pay the fixed
+            // per-direction PCIe latency on a GPU.
+            return (0.0, t_transfer);
         }
         let units = batch.total_units() as f64;
 
@@ -111,19 +132,7 @@ impl CostModel {
         let lane_hz = spec.sustained_lane_hz() * parallel_eff.max(1e-9);
         let t_compute = units * self.cycles_per_unit / lane_hz;
         let t_memory = units * self.bytes_per_unit / (spec.memory_bandwidth_gbs * 1e9);
-        let t_kernel = t_compute.max(t_memory);
-
-        if spec.is_gpu() {
-            let bytes = (batch.bytes_down + batch.bytes_up) as f64;
-            let t_transfer = 2.0 * self.pcie_latency_s + bytes / (self.pcie_bandwidth_gbs * 1e9);
-            if self.overlap_transfers {
-                t_kernel.max(t_transfer) + self.launch_overhead_s
-            } else {
-                t_kernel + self.launch_overhead_s + t_transfer
-            }
-        } else {
-            t_kernel
-        }
+        (t_compute.max(t_memory), t_transfer)
     }
 
     /// Asymptotic throughput in pair interactions per second for large,

@@ -73,6 +73,18 @@ impl SimDevice {
         self.model.execution_time(&self.spec, batch)
     }
 
+    /// The `(kernel, PCIe transfer)` split of a batch's modeled time — see
+    /// [`CostModel::time_breakdown`]. Trace instrumentation records this
+    /// next to every `DeviceBusy` event.
+    pub fn time_breakdown(&self, batch: &WorkBatch) -> (f64, f64) {
+        self.model.time_breakdown(&self.spec, batch)
+    }
+
+    /// The device's catalog name (e.g. `"Tesla K40c"`).
+    pub fn name(&self) -> &str {
+        &self.spec.name
+    }
+
     /// Current virtual time, seconds.
     pub fn clock(&self) -> f64 {
         self.state.lock().expect("device state mutex poisoned").clock_s

@@ -43,4 +43,4 @@ pub use energy::{DeviceEnergy, EnergyModel};
 pub use launch::{occupancy, LaunchConfig};
 pub use node::SimNode;
 pub use spec::{DeviceKind, DeviceSpec};
-pub use timeline::{Segment, Timeline};
+pub use timeline::{LaneStats, Segment, Timeline};

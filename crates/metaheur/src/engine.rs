@@ -7,6 +7,7 @@ use crate::params::{
 };
 use vsmath::RngStream;
 use vsmol::{conformation::score_cmp, Conformation, Spot};
+use vstrace::{Event, Trace};
 
 /// Outcome of one metaheuristic execution.
 #[derive(Debug, Clone)]
@@ -70,6 +71,35 @@ pub fn run_seeded<E: BatchEvaluator>(
     seed: u64,
     seed_confs: &[Conformation],
 ) -> RunResult {
+    run_seeded_traced(params, spots, evaluator, seed, seed_confs, &Trace::disabled())
+}
+
+/// Like [`run`], but with a [`vstrace::Trace`] attached: the engine opens
+/// `initialize` / `generation` / `improve` spans around its phases and
+/// emits a `GenerationDone` event (generation index, incumbent best,
+/// cumulative evaluations) after every generation. A disabled trace makes
+/// this identical to [`run`].
+pub fn run_traced<E: BatchEvaluator>(
+    params: &MetaheuristicParams,
+    spots: &[Spot],
+    evaluator: &mut E,
+    seed: u64,
+    trace: &Trace,
+) -> RunResult {
+    run_seeded_traced(params, spots, evaluator, seed, &[], trace)
+}
+
+/// The fully general entry point: warm-start seeds *and* trace
+/// instrumentation. [`run`], [`run_seeded`] and [`run_traced`] all delegate
+/// here.
+pub fn run_seeded_traced<E: BatchEvaluator>(
+    params: &MetaheuristicParams,
+    spots: &[Spot],
+    evaluator: &mut E,
+    seed: u64,
+    seed_confs: &[Conformation],
+    trace: &Trace,
+) -> RunResult {
     params.validate().expect("invalid metaheuristic parameters");
     assert!(!spots.is_empty(), "need at least one spot");
 
@@ -80,9 +110,13 @@ pub fn run_seeded<E: BatchEvaluator>(
         populations: Vec::new(),
         evaluations: 0,
         batch_trace: Vec::new(),
+        trace: trace.clone(),
     };
 
-    state.initialize(evaluator);
+    {
+        let _span = trace.span("initialize");
+        state.initialize(evaluator);
+    }
     state.inject_seeds(spots, seed_confs);
     let mut best_history = vec![state.global_best().score];
     let mut diversity_history = vec![state.mean_diversity()];
@@ -91,16 +125,25 @@ pub fn run_seeded<E: BatchEvaluator>(
     if params.single_pass {
         // M4: one Improve pass over the large initial set; no Select /
         // Combine / Include loop.
+        let _span = trace.span("improve");
         state.improve_populations(evaluator);
         diversity_history.push(state.mean_diversity());
     } else {
         let max_gens = params.end.max_generations();
         let mut stale = 0usize;
         let mut best_so_far = state.global_best().score;
-        for _ in 0..max_gens {
-            state.generation(evaluator);
+        for generation in 0..max_gens {
+            {
+                let _span = trace.span("generation");
+                state.generation(evaluator);
+            }
             generations_run += 1;
             let now_best = state.global_best().score;
+            trace.emit(Event::GenerationDone {
+                generation: generation as u32,
+                best_score: now_best,
+                evaluations: state.evaluations,
+            });
             best_history.push(now_best);
             diversity_history.push(state.mean_diversity());
             if let EndCondition::Convergence { patience, .. } = params.end {
@@ -139,6 +182,7 @@ struct Engine<'a> {
     populations: Vec<Vec<Conformation>>,
     evaluations: u64,
     batch_trace: Vec<u64>,
+    trace: Trace,
 }
 
 impl Engine<'_> {
@@ -232,6 +276,7 @@ impl Engine<'_> {
         }
         let k = improved_count(o, self.params.improve_fraction);
         if k > 0 && self.params.improve.evals_per_element() > 0 {
+            let _span = self.trace.span("improve");
             self.local_search(evaluator, &mut groups, k);
         }
 

@@ -6,10 +6,10 @@
 //! implementation. This is the seam the paper's parallelization strategy
 //! plugs into.
 
-use std::sync::Arc;
 use vsmath::Vec3;
 use vsmol::Conformation;
-use vsscore::{CpuPool, PoseScratch, RigidGradient, Scorer};
+use vsscore::{Exec, PoseScratch, RigidGradient, ScoreBatch, Scorer};
+use vstrace::{Event, Trace, BATCH_TRACK};
 
 /// A batch scoring backend. Implementations fill `score` for every
 /// conformation in the slice.
@@ -34,31 +34,50 @@ pub trait BatchEvaluator {
     }
 }
 
-/// CPU evaluator over the real scoring function, optionally multithreaded —
-/// the paper's OpenMP baseline path.
+impl<E: BatchEvaluator + ?Sized> BatchEvaluator for Box<E> {
+    fn evaluate(&mut self, confs: &mut [Conformation]) {
+        (**self).evaluate(confs);
+    }
+
+    fn pairs_per_eval(&self) -> u64 {
+        (**self).pairs_per_eval()
+    }
+
+    fn evaluate_with_gradients(
+        &mut self,
+        confs: &mut [Conformation],
+    ) -> Option<Vec<RigidGradient>> {
+        (**self).evaluate_with_gradients(confs)
+    }
+}
+
+/// CPU evaluator over the real scoring function — the paper's OpenMP
+/// baseline path.
 ///
-/// The multithreaded form draws its workers from the process-wide
-/// persistent pool ([`vsscore::shared_pool`]), matching the paper's
-/// long-lived OpenMP thread team: no threads are spawned per batch, and
-/// each worker reuses its own [`PoseScratch`]. The serial form keeps a
-/// private scratch, so repeated `evaluate` calls allocate nothing.
+/// The execution policy is an [`Exec`] handed straight to
+/// [`Scorer::score_batch`]: `Exec::Serial` keeps everything on the calling
+/// thread with a private [`PoseScratch`], `Exec::Pool(n)` draws workers
+/// from the process-wide persistent pool ([`vsscore::shared_pool`]),
+/// matching the paper's long-lived OpenMP thread team. Either way,
+/// repeated `evaluate` calls allocate nothing.
 pub struct CpuEvaluator {
     scorer: Scorer,
-    pool: Option<Arc<CpuPool>>,
+    exec: Exec,
     scratch: PoseScratch,
+    trace: Trace,
 }
 
 impl CpuEvaluator {
-    /// Serial CPU evaluator.
-    pub fn new(scorer: Scorer) -> CpuEvaluator {
-        CpuEvaluator { scorer, pool: None, scratch: PoseScratch::new() }
+    /// CPU evaluator with the given execution policy.
+    pub fn new(scorer: Scorer, exec: Exec) -> CpuEvaluator {
+        CpuEvaluator { scorer, exec, scratch: PoseScratch::new(), trace: Trace::disabled() }
     }
 
-    /// Multithreaded CPU evaluator backed by the shared persistent pool of
-    /// `threads` workers.
-    pub fn with_threads(scorer: Scorer, threads: usize) -> CpuEvaluator {
-        let pool = (threads.max(1) > 1).then(|| vsscore::shared_pool(threads));
-        CpuEvaluator { scorer, pool, scratch: PoseScratch::new() }
+    /// Emit a `BatchScored` event per batch (no virtual device clock on the
+    /// CPU path, so the virtual-time fields stay zero).
+    pub fn with_trace(mut self, trace: Trace) -> CpuEvaluator {
+        self.trace = trace;
+        self
     }
 
     pub fn scorer(&self) -> &Scorer {
@@ -68,10 +87,14 @@ impl CpuEvaluator {
 
 impl BatchEvaluator for CpuEvaluator {
     fn evaluate(&mut self, confs: &mut [Conformation]) {
-        match (&self.pool, confs.len()) {
-            (Some(pool), n) if n >= 2 => pool.score_conformations(&self.scorer, confs),
-            _ => self.scorer.score_conformations_into(confs, &mut self.scratch),
-        }
+        self.scorer.score_batch(ScoreBatch::Confs(confs), &mut self.scratch, self.exec);
+        self.trace.emit(Event::BatchScored {
+            device: BATCH_TRACK,
+            items: confs.len() as u64,
+            pairs_per_item: self.scorer.pairs_per_eval(),
+            vt_start: 0.0,
+            vt_end: 0.0,
+        });
     }
 
     fn pairs_per_eval(&self) -> u64 {
@@ -247,7 +270,7 @@ mod tests {
     fn cpu_evaluator_fills_scores() {
         let rec = synth::synth_receptor("r", 200, 1);
         let lig = synth::synth_ligand("l", 8, 2);
-        let mut ev = CpuEvaluator::new(Scorer::new(&rec, &lig, Default::default()));
+        let mut ev = CpuEvaluator::new(Scorer::new(&rec, &lig, Default::default()), Exec::Serial);
         let mut rng = RngStream::from_seed(3);
         let mut confs: Vec<Conformation> = (0..10)
             .map(|_| Conformation::new(RigidTransform::new(rng.rotation(), rng.in_ball(30.0)), 0))
@@ -262,8 +285,8 @@ mod tests {
         let rec = synth::synth_receptor("r", 200, 1);
         let lig = synth::synth_ligand("l", 8, 2);
         let scorer = Scorer::new(&rec, &lig, Default::default());
-        let mut serial = CpuEvaluator::new(scorer.clone());
-        let mut par = CpuEvaluator::with_threads(scorer, 4);
+        let mut serial = CpuEvaluator::new(scorer.clone(), Exec::Serial);
+        let mut par = CpuEvaluator::new(scorer, Exec::Pool(4));
         let mut rng = RngStream::from_seed(4);
         let confs: Vec<Conformation> = (0..23)
             .map(|_| Conformation::new(RigidTransform::new(rng.rotation(), rng.in_ball(30.0)), 0))
@@ -324,7 +347,8 @@ mod tests {
             vsscore::GridOptions { spacing: 0.6, ..Default::default() },
         ));
         let r_grid = crate::engine::run(&params, &spots, &mut grid_ev, 5);
-        let mut exact_ev = CpuEvaluator::new(Scorer::new(&rec, &lig, Default::default()));
+        let mut exact_ev =
+            CpuEvaluator::new(Scorer::new(&rec, &lig, Default::default()), Exec::Serial);
         let r_exact = crate::engine::run(&params, &spots, &mut exact_ev, 5);
         // Both searches find favorable bindings of the same magnitude.
         assert!(r_grid.best.score < 0.0, "grid search found no binding");

@@ -41,7 +41,7 @@ pub mod suite;
 pub mod tabu;
 pub mod tuning;
 
-pub use engine::{run, run_seeded, RunResult};
+pub use engine::{run, run_seeded, run_seeded_traced, run_traced, RunResult};
 pub use evaluator::{
     BatchEvaluator, CpuEvaluator, GridEvaluator, RuggedEvaluator, SyntheticEvaluator,
 };

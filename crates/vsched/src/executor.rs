@@ -34,7 +34,8 @@ use metaheur::BatchEvaluator;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use vsmol::Conformation;
-use vsscore::Scorer;
+use vsscore::{Exec, ScoreBatch, Scorer};
+use vstrace::{Event, Trace, BATCH_TRACK};
 
 /// How the dynamic (self-scheduling) mode sizes its greedy chunks.
 enum DynamicChunking {
@@ -62,6 +63,7 @@ struct DevJob {
     confs: *mut Conformation,
     len: usize,
     timeline: Option<Arc<gpusim::Timeline>>,
+    trace: Trace,
 }
 
 // SAFETY: the pointer is only dereferenced between job publication and the
@@ -105,6 +107,8 @@ pub struct DeviceEvaluator {
     scorer: Arc<Scorer>,
     mode: Mode,
     timeline: Option<Arc<gpusim::Timeline>>,
+    trace: Trace,
+    warmup_done: u32,
     shared: Arc<DevShared>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -170,13 +174,34 @@ impl DeviceEvaluator {
             })
             .collect();
 
-        DeviceEvaluator { devices, scorer, mode, timeline: None, shared, workers }
+        DeviceEvaluator {
+            devices,
+            scorer,
+            mode,
+            timeline: None,
+            trace: Trace::disabled(),
+            warmup_done: 0,
+            shared,
+            workers,
+        }
     }
 
     /// Record every device execution into `timeline` (Gantt introspection
     /// of the real-compute path).
     pub fn with_timeline(mut self, timeline: Arc<gpusim::Timeline>) -> Self {
         self.timeline = Some(timeline);
+        self
+    }
+
+    /// Emit structured `vstrace` events (`DeviceBusy`, `BatchScored`,
+    /// `WarmupSample`, `PartitionDecision`) for every batch from here on.
+    /// Device track names are registered from the catalog names.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        for dev in &self.devices {
+            trace.set_track_name(dev.id() as u32, dev.name());
+        }
+        trace.set_track_name(BATCH_TRACK, "batches");
+        self.trace = trace;
         self
     }
 
@@ -275,14 +300,27 @@ fn device_worker(shared: &DevShared, index: usize, dev: &SimDevice, scorer: &Sco
                     // blocks in `evaluate` until every worker decrements
                     // `remaining`, and jobs cover disjoint slice ranges.
                     let confs = unsafe { std::slice::from_raw_parts_mut(job.confs, job.len) };
-                    scorer.score_conformations_into(confs, &mut scratch);
+                    scorer.score_batch(ScoreBatch::Confs(confs), &mut scratch, Exec::Serial);
                     let batch = WorkBatch::conformations(job.len as u64, scorer.pairs_per_eval());
+                    let vt_start = dev.clock();
                     match &job.timeline {
                         Some(tl) => {
+                            // A traced timeline emits DeviceBusy itself.
                             tl.record(dev, &batch);
                         }
                         None => {
                             dev.execute(&batch);
+                            if job.trace.is_enabled() {
+                                let (kernel_s, transfer_s) = dev.time_breakdown(&batch);
+                                job.trace.emit(Event::DeviceBusy {
+                                    device: dev.id() as u32,
+                                    vt_start,
+                                    vt_end: dev.clock(),
+                                    kernel_s,
+                                    transfer_s,
+                                    items: job.len as u64,
+                                });
+                            }
                         }
                     }
                 }
@@ -324,6 +362,7 @@ impl BatchEvaluator for DeviceEvaluator {
                     confs: unsafe { confs.as_mut_ptr().add(offset) },
                     len: share,
                     timeline: self.timeline.clone(),
+                    trace: self.trace.clone(),
                 });
                 offset += share;
             }
@@ -343,12 +382,32 @@ impl BatchEvaluator for DeviceEvaluator {
             panic!("device worker panicked");
         }
 
+        if self.trace.is_enabled() {
+            let vt_start = clocks_before.iter().copied().fold(f64::INFINITY, f64::min);
+            self.trace.emit(Event::BatchScored {
+                device: BATCH_TRACK,
+                items: confs.len() as u64,
+                pairs_per_item: self.scorer.pairs_per_eval(),
+                vt_start,
+                vt_end: self.makespan(),
+            });
+        }
+
         // Warm-up bookkeeping: accumulate measured per-device times and
         // switch to the Equation 1 split once enough iterations ran.
         if let Mode::WarmingUp { left, times } = &mut self.mode {
             for ((t, d), before) in times.iter_mut().zip(&self.devices).zip(&clocks_before) {
-                *t += d.clock() - before;
+                let dt = d.clock() - before;
+                *t += dt;
+                if self.trace.is_enabled() {
+                    self.trace.emit(Event::WarmupSample {
+                        device: d.id() as u32,
+                        iteration: self.warmup_done,
+                        seconds: dt,
+                    });
+                }
             }
+            self.warmup_done += 1;
             *left -= 1;
             if *left == 0 {
                 let weights = if times.iter().all(|&t| t > 0.0) {
@@ -356,6 +415,16 @@ impl BatchEvaluator for DeviceEvaluator {
                 } else {
                     vec![1.0; self.devices.len()]
                 };
+                if self.trace.is_enabled() {
+                    let total: f64 = weights.iter().sum();
+                    for (d, &w) in self.devices.iter().zip(&weights) {
+                        self.trace.emit(Event::PartitionDecision {
+                            device: d.id() as u32,
+                            share: if total > 0.0 { w / total } else { 0.0 },
+                            weight: w,
+                        });
+                    }
+                }
                 self.mode = Mode::Static(weights);
             }
         }
@@ -400,7 +469,7 @@ mod tests {
         let sc = scorer();
         let mut dev_eval =
             DeviceEvaluator::new(hertz_devices(), sc.clone(), Strategy::HomogeneousSplit);
-        let mut cpu_eval = CpuEvaluator::new((*sc).clone());
+        let mut cpu_eval = CpuEvaluator::new((*sc).clone(), Exec::Serial);
         let mut a = confs(50, 3);
         let mut b = a.clone();
         dev_eval.evaluate(&mut a);
@@ -421,10 +490,8 @@ mod tests {
             let mut a = confs(10 + 7 * seed as usize, seed);
             let mut b = a.clone();
             dev_eval.evaluate(&mut a);
-            let serial: Vec<f64> = sc.score_batch(&b.iter().map(|c| c.pose).collect::<Vec<_>>());
-            for (c, s) in b.iter_mut().zip(serial) {
-                c.score = s;
-            }
+            let mut scratch = vsscore::PoseScratch::new();
+            sc.score_batch(ScoreBatch::Confs(&mut b), &mut scratch, Exec::Serial);
             for (x, y) in a.iter().zip(&b) {
                 assert_eq!(x.score.to_bits(), y.score.to_bits(), "seed {seed}");
             }
@@ -444,10 +511,12 @@ mod tests {
             let mut ev =
                 DeviceEvaluator::new(hertz_devices(), sc.clone(), Strategy::HomogeneousSplit);
             let mut a = confs(31, 17);
-            let serial = sc.score_batch(&a.iter().map(|c| c.pose).collect::<Vec<_>>());
+            let mut serial = a.clone();
+            let mut scratch = vsscore::PoseScratch::new();
+            sc.score_batch(ScoreBatch::Confs(&mut serial), &mut scratch, Exec::Serial);
             ev.evaluate(&mut a);
             for (c, s) in a.iter().zip(&serial) {
-                assert_eq!(c.score.to_bits(), s.to_bits(), "kernel {kernel:?}");
+                assert_eq!(c.score.to_bits(), s.score.to_bits(), "kernel {kernel:?}");
             }
         }
     }
@@ -622,6 +691,50 @@ mod tests {
         assert!((tl.makespan() - ev.makespan()).abs() < 1e-15);
         let recorded: u64 = tl.segments().iter().map(|s| s.items).sum();
         assert_eq!(recorded, 80);
+    }
+
+    #[test]
+    fn traced_executor_emits_structured_events() {
+        let devs = hertz_devices();
+        let trace = Trace::new();
+        let warmup = WarmupConfig { iterations: 2, ..Default::default() };
+        let mut ev =
+            DeviceEvaluator::new(devs.clone(), scorer(), Strategy::HeterogeneousSplit { warmup })
+                .with_trace(trace.clone());
+        for i in 0..3 {
+            let mut c = confs(200, 30 + i);
+            ev.evaluate(&mut c);
+        }
+        let data = trace.snapshot();
+        let kinds: Vec<&str> = data.events().map(|s| s.event.kind()).collect();
+        assert!(kinds.contains(&"DeviceBusy"), "{kinds:?}");
+        assert!(kinds.contains(&"BatchScored"), "{kinds:?}");
+        assert!(kinds.contains(&"WarmupSample"), "{kinds:?}");
+        assert!(kinds.contains(&"PartitionDecision"), "{kinds:?}");
+        // Per-device traced busy totals must match the device clocks: every
+        // execution was recorded.
+        for d in &devs {
+            let traced = data.device_busy_s(d.id() as u32);
+            assert!(
+                (traced - d.clock()).abs() < 1e-12,
+                "device {} traced {traced} vs clock {}",
+                d.id(),
+                d.clock()
+            );
+        }
+        // Track names registered from the catalog.
+        assert_eq!(data.track_names.get(&0).map(String::as_str), Some("Tesla K40c"));
+    }
+
+    #[test]
+    fn untraced_executor_emits_nothing() {
+        let trace = Trace::disabled();
+        let mut ev = DeviceEvaluator::new(hertz_devices(), scorer(), Strategy::HomogeneousSplit)
+            .with_trace(trace.clone());
+        let mut c = confs(32, 9);
+        ev.evaluate(&mut c);
+        assert!(trace.snapshot().is_empty(), "disabled sink must record zero events");
+        assert!(c.iter().all(|x| x.is_scored()));
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //!   thread per device (the paper's one-OpenMP-thread-per-GPU structure;
 //!   workers are spawned once at construction, fed work descriptors per
 //!   batch, and joined on drop) and advances the devices' virtual clocks;
+//! - [`spec`] — [`spec::EvaluatorSpec`], the single declarative factory
+//!   for scoring backends (serial CPU / pooled CPU / device-scheduled),
+//!   replacing per-call-site constructor picking;
 //! - [`cooperative`] — dynamic assignment of independent metaheuristic
 //!   *jobs* to devices plus cooperative solution sharing between jobs
 //!   (abstract §: "A cooperative scheduling of jobs optimizes the quality
@@ -32,11 +35,13 @@ pub mod cooperative;
 pub mod executor;
 pub mod partition;
 pub mod replay;
+pub mod spec;
 pub mod strategy;
 pub mod warmup;
 
 pub use executor::DeviceEvaluator;
 pub use partition::{equal_split, proportional_split};
 pub use replay::{schedule_trace, schedule_trace_timeline, ScheduleReport};
+pub use spec::EvaluatorSpec;
 pub use strategy::Strategy;
 pub use warmup::{percent_factors, shares_from_times, warmup_times, WarmupConfig};

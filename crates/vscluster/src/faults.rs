@@ -13,6 +13,7 @@ use crate::library::LigandJob;
 use serde::{Deserialize, Serialize};
 use vsched::{schedule_trace, Strategy};
 use vscreen::trace::synthetic_trace;
+use vstrace::{Event, Trace};
 
 /// A degradation plan: per-node compute slowdown factors (1.0 = healthy;
 /// 3.0 = node runs 3× slower; `f64::INFINITY` = node effectively dead).
@@ -65,8 +66,41 @@ pub fn screen_library_faulty(
     faults: &FaultPlan,
     dynamic: bool,
 ) -> FaultReport {
+    screen_library_faulty_traced(
+        cluster,
+        receptor_atoms,
+        n_spots,
+        jobs,
+        strategy,
+        faults,
+        dynamic,
+        &Trace::disabled(),
+    )
+}
+
+/// Like [`screen_library_faulty`], with a [`vstrace::Trace`] attached: a
+/// `FaultInjected` event per degraded node, and — in dynamic mode — a
+/// `JobMigrated` event for every job the observed-finish-time scheduler
+/// places on a different node than the static nominal plan would have.
+#[allow(clippy::too_many_arguments)]
+pub fn screen_library_faulty_traced(
+    cluster: &SimCluster,
+    receptor_atoms: usize,
+    n_spots: usize,
+    jobs: &[LigandJob],
+    strategy: Strategy,
+    faults: &FaultPlan,
+    dynamic: bool,
+    trace: &Trace,
+) -> FaultReport {
     assert_eq!(faults.slowdowns.len(), cluster.node_count(), "fault plan size mismatch");
     assert!(faults.slowdowns.iter().all(|&f| f >= 1.0), "factors must be ≥ 1");
+
+    for (ni, &f) in faults.slowdowns.iter().enumerate() {
+        if f > 1.0 {
+            trace.emit(Event::FaultInjected { node: ni as u32, slowdown: f });
+        }
+    }
 
     let nominal_cost = |ni: usize, job: &LigandJob| -> f64 {
         let node = &cluster.nodes()[ni];
@@ -87,23 +121,13 @@ pub fn screen_library_faulty(
     });
 
     let n = cluster.node_count();
-    let mut node_times = vec![0.0f64; n];
-    let mut assignment = vec![usize::MAX; jobs.len()];
 
-    if dynamic {
-        for &j in &order {
-            let (ni, _) = node_times
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .expect("non-empty");
-            node_times[ni] += nominal_cost(ni, &jobs[j]) * faults.factor(ni);
-            assignment[j] = ni;
-        }
-    } else {
-        // Static plan: balance by *nominal* estimates, then execute with
-        // the true (degraded) costs.
+    // The static nominal plan: balance by *healthy* estimates, blind to
+    // degradation. The static mode executes it; dynamic mode compares
+    // against it to report migrations.
+    let plan_static = || {
         let mut planned = vec![0.0f64; n];
+        let mut assignment = vec![usize::MAX; jobs.len()];
         for &j in &order {
             let (ni, _) = planned
                 .iter()
@@ -113,10 +137,41 @@ pub fn screen_library_faulty(
             planned[ni] += nominal_cost(ni, &jobs[j]);
             assignment[j] = ni;
         }
-        for (&j, &ni) in order.iter().zip(order.iter().map(|&j| &assignment[j])) {
+        assignment
+    };
+
+    let mut node_times = vec![0.0f64; n];
+    let assignment = if dynamic {
+        let mut assignment = vec![usize::MAX; jobs.len()];
+        for &j in &order {
+            let (ni, _) = node_times
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .expect("non-empty");
+            node_times[ni] += nominal_cost(ni, &jobs[j]) * faults.factor(ni);
+            assignment[j] = ni;
+        }
+        if trace.is_enabled() {
+            for (j, (&to, &from)) in assignment.iter().zip(&plan_static()).enumerate() {
+                if to != from {
+                    trace.emit(Event::JobMigrated {
+                        job: j as u32,
+                        from_node: from as u32,
+                        to_node: to as u32,
+                    });
+                }
+            }
+        }
+        assignment
+    } else {
+        // Execute the static plan with the true (degraded) costs.
+        let assignment = plan_static();
+        for (j, &ni) in assignment.iter().enumerate() {
             node_times[ni] += nominal_cost(ni, &jobs[j]) * faults.factor(ni);
         }
-    }
+        assignment
+    };
 
     let makespan = node_times.iter().cloned().fold(0.0, f64::max);
     FaultReport { makespan, node_times, assignment }
@@ -250,6 +305,72 @@ mod tests {
             assert!(r.assignment.iter().all(|&n| n < 3));
             assert_eq!(r.assignment.len(), jobs.len());
         }
+    }
+
+    #[test]
+    fn traced_straggler_emits_fault_and_migration_events() {
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan::straggler(3, 1, 4.0);
+        let trace = Trace::new();
+        let traced = screen_library_faulty_traced(
+            &cluster,
+            3264,
+            16,
+            &jobs,
+            Strategy::HomogeneousSplit,
+            &plan,
+            true,
+            &trace,
+        );
+        let data = trace.snapshot();
+        let faults_seen: Vec<_> = data
+            .payloads()
+            .into_iter()
+            .filter_map(|e| match e {
+                Event::FaultInjected { node, slowdown } => Some((node, slowdown)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(faults_seen, vec![(1, 4.0)]);
+        let migrations =
+            data.payloads().into_iter().filter(|e| matches!(e, Event::JobMigrated { .. })).count();
+        assert!(migrations > 0, "4x straggler under dynamic scheduling must move jobs");
+        for e in data.payloads() {
+            if let Event::JobMigrated { job, from_node, to_node } = e {
+                assert_ne!(from_node, to_node);
+                assert_eq!(traced.assignment[job as usize], to_node as usize);
+            }
+        }
+        // Tracing must not perturb the schedule itself.
+        let plain = screen_library_faulty(
+            &cluster,
+            3264,
+            16,
+            &jobs,
+            Strategy::HomogeneousSplit,
+            &plan,
+            true,
+        );
+        assert_eq!(traced.assignment, plain.assignment);
+        assert_eq!(traced.makespan, plain.makespan);
+    }
+
+    #[test]
+    fn untraced_run_emits_nothing() {
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan::straggler(3, 1, 4.0);
+        let trace = Trace::disabled();
+        screen_library_faulty_traced(
+            &cluster,
+            3264,
+            16,
+            &jobs,
+            Strategy::HomogeneousSplit,
+            &plan,
+            true,
+            &trace,
+        );
+        assert!(trace.snapshot().is_empty());
     }
 
     #[test]

@@ -23,8 +23,9 @@
 //!   other relevant non-bonded potential; §6 lists richer scoring functions
 //!   as future work);
 //! - [`scorer`] — the [`scorer::Scorer`] facade that prepares a
-//!   receptor/ligand pair once and scores arbitrary poses, including
-//!   cutoff+grid accelerated and multi-threaded batch variants;
+//!   receptor/ligand pair once and scores arbitrary poses; all batch work
+//!   goes through the single [`scorer::Scorer::score_batch`] entry point,
+//!   parameterized by an [`scorer::Exec`] policy (serial or pooled);
 //! - [`pool`] — the persistent [`pool::CpuPool`] worker team behind the
 //!   multithreaded batch path: threads are spawned once and reused across
 //!   batches, each with its own [`scorer::PoseScratch`], so steady-state
@@ -43,7 +44,7 @@ pub use forces::RigidGradient;
 pub use grid_potential::{GridOptions, GridScorer};
 pub use pool::{shared_pool, CpuPool};
 pub use run::RunFrame;
-pub use scorer::{Kernel, PoseScratch, Scorer, ScorerOptions, ScoringModel};
+pub use scorer::{Exec, Kernel, PoseScratch, ScoreBatch, Scorer, ScorerOptions, ScoringModel};
 
 /// Number of atom-pair interactions one pose evaluation computes — the
 /// workload unit the GPU cost model in `gpusim` charges for.

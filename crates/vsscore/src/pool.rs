@@ -13,8 +13,9 @@
 //! Work is split into the same contiguous chunks as the old
 //! spawn-per-batch path (`ceil(len / workers)` per worker, in order), and
 //! every pose is scored by the identical serial kernel, so results are
-//! bit-identical to [`Scorer::score_batch`] regardless of worker count or
-//! interleaving — the schedule-invariance invariant (DESIGN §7).
+//! bit-identical to the serial [`Scorer::score_batch`] path regardless of
+//! worker count or interleaving — the schedule-invariance invariant
+//! (DESIGN §7).
 //!
 //! # Safety model
 //!
@@ -35,7 +36,7 @@
 //! submitting thread ("scoring worker panicked"), and the pool remains
 //! usable for subsequent batches.
 
-use crate::scorer::{PoseScratch, Scorer};
+use crate::scorer::{PoseScratch, ScoreBatch, Scorer};
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
@@ -129,33 +130,22 @@ impl CpuPool {
         self.workers.len()
     }
 
-    /// Score `poses` into `out` (same length) across the pool.
-    /// Bit-identical to [`Scorer::score_batch`].
-    pub fn score_batch_into(&self, scorer: &Scorer, poses: &[RigidTransform], out: &mut [f64]) {
-        assert_eq!(poses.len(), out.len(), "output slice length must match pose count");
-        if poses.is_empty() {
+    /// Run one batch across the pool — same input shape as
+    /// [`Scorer::score_batch`]; this is the [`crate::Exec::Pool`] backend.
+    /// Bit-identical to the serial path for a fixed kernel.
+    pub fn score_batch(&self, scorer: &Scorer, input: ScoreBatch<'_>) {
+        input.assert_valid();
+        if input.is_empty() {
             return;
         }
-        self.run_job(Job {
-            scorer,
-            kind: JobKind::Poses { poses: poses.as_ptr(), out: out.as_mut_ptr() },
-            len: poses.len(),
-            workers: self.workers.len(),
-        });
-    }
-
-    /// Score conformations in place across the pool. Bit-identical to
-    /// [`Scorer::score_conformations_into`].
-    pub fn score_conformations(&self, scorer: &Scorer, confs: &mut [Conformation]) {
-        if confs.is_empty() {
-            return;
-        }
-        self.run_job(Job {
-            scorer,
-            kind: JobKind::Confs { confs: confs.as_mut_ptr() },
-            len: confs.len(),
-            workers: self.workers.len(),
-        });
+        let len = input.len();
+        let kind = match input {
+            ScoreBatch::Poses { poses, out } => {
+                JobKind::Poses { poses: poses.as_ptr(), out: out.as_mut_ptr() }
+            }
+            ScoreBatch::Confs(confs) => JobKind::Confs { confs: confs.as_mut_ptr() },
+        };
+        self.run_job(Job { scorer, kind, len, workers: self.workers.len() });
     }
 
     /// Publish a job to every worker and block until all have finished.
@@ -240,11 +230,11 @@ fn worker_loop(shared: &Shared, index: usize) {
                     JobKind::Poses { poses, out } => unsafe {
                         let poses = std::slice::from_raw_parts(poses.add(start), end - start);
                         let out = std::slice::from_raw_parts_mut(out.add(start), end - start);
-                        scorer.score_batch_into(poses, out, &mut scratch);
+                        scorer.score_batch_serial(ScoreBatch::Poses { poses, out }, &mut scratch);
                     },
                     JobKind::Confs { confs } => unsafe {
                         let confs = std::slice::from_raw_parts_mut(confs.add(start), end - start);
-                        scorer.score_conformations_into(confs, &mut scratch);
+                        scorer.score_batch_serial(ScoreBatch::Confs(confs), &mut scratch);
                     },
                     #[cfg(test)]
                     JobKind::Panic => panic!("induced test panic"),
@@ -265,11 +255,12 @@ fn worker_loop(shared: &Shared, index: usize) {
 
 /// Process-wide shared pools, one per distinct thread count.
 ///
-/// [`Scorer::score_batch_parallel`] and `metaheur::CpuEvaluator` route
-/// through these so that repeated evaluator construction (common in the
-/// experiment runners) still reuses one persistent thread team instead of
-/// growing a new one each time. Shared pools live for the process; ad-hoc
-/// pools from [`CpuPool::new`] join their workers on drop.
+/// The [`crate::Exec::Pool`] policy of [`Scorer::score_batch`] and
+/// `metaheur::CpuEvaluator` route through these so that repeated
+/// evaluator construction (common in the experiment runners) still reuses
+/// one persistent thread team instead of growing a new one each time.
+/// Shared pools live for the process; ad-hoc pools from [`CpuPool::new`]
+/// join their workers on drop.
 pub fn shared_pool(threads: usize) -> Arc<CpuPool> {
     static POOLS: OnceLock<Mutex<HashMap<usize, Arc<CpuPool>>>> = OnceLock::new();
     let threads = threads.max(1);
@@ -296,16 +287,32 @@ mod tests {
         (0..n).map(|_| RigidTransform::new(rng.rotation(), rng.in_ball(25.0))).collect()
     }
 
+    /// Serial reference scores through the unified entry point.
+    fn serial_scores(s: &Scorer, ps: &[RigidTransform]) -> Vec<f64> {
+        let mut out = vec![0.0; ps.len()];
+        let mut scratch = PoseScratch::new();
+        s.score_batch(
+            ScoreBatch::Poses { poses: ps, out: &mut out },
+            &mut scratch,
+            crate::Exec::Serial,
+        );
+        out
+    }
+
+    fn pool_scores(pool: &CpuPool, s: &Scorer, ps: &[RigidTransform]) -> Vec<f64> {
+        let mut out = vec![0.0; ps.len()];
+        pool.score_batch(s, ScoreBatch::Poses { poses: ps, out: &mut out });
+        out
+    }
+
     #[test]
     fn pool_matches_serial_bitwise() {
         let s = scorer();
         let ps = poses(41, 1);
-        let serial = s.score_batch(&ps);
+        let serial = serial_scores(&s, &ps);
         for threads in [1, 2, 3, 7, 16] {
             let pool = CpuPool::new(threads);
-            let mut out = vec![0.0; ps.len()];
-            pool.score_batch_into(&s, &ps, &mut out);
-            assert_eq!(serial, out, "threads={threads}");
+            assert_eq!(serial, pool_scores(&pool, &s, &ps), "threads={threads}");
         }
     }
 
@@ -320,10 +327,9 @@ mod tests {
         let model = ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 };
         for kernel in [Kernel::Naive, Kernel::Tiled, Kernel::Run, Kernel::Fused] {
             let s = Scorer::new(&rec, &lig, ScorerOptions { model, kernel });
-            let serial = s.score_batch(&ps);
+            let serial = serial_scores(&s, &ps);
             let pool = CpuPool::new(3);
-            let mut out = vec![0.0; ps.len()];
-            pool.score_batch_into(&s, &ps, &mut out);
+            let out = pool_scores(&pool, &s, &ps);
             for (a, b) in serial.iter().zip(&out) {
                 assert_eq!(a.to_bits(), b.to_bits(), "kernel {kernel:?}");
             }
@@ -336,9 +342,7 @@ mod tests {
         let pool = CpuPool::new(4);
         for seed in 0..5 {
             let ps = poses(17 + seed as usize, seed);
-            let mut out = vec![0.0; ps.len()];
-            pool.score_batch_into(&s, &ps, &mut out);
-            assert_eq!(out, s.score_batch(&ps), "batch #{seed}");
+            assert_eq!(pool_scores(&pool, &s, &ps), serial_scores(&s, &ps), "batch #{seed}");
         }
     }
 
@@ -346,12 +350,9 @@ mod tests {
     fn pool_handles_empty_and_single() {
         let s = scorer();
         let pool = CpuPool::new(4);
-        let mut out: Vec<f64> = Vec::new();
-        pool.score_batch_into(&s, &[], &mut out);
+        assert!(pool_scores(&pool, &s, &[]).is_empty());
         let one = poses(1, 9);
-        let mut out = vec![0.0];
-        pool.score_batch_into(&s, &one, &mut out);
-        assert_eq!(out, s.score_batch(&one));
+        assert_eq!(pool_scores(&pool, &s, &one), serial_scores(&s, &one));
     }
 
     #[test]
@@ -362,8 +363,8 @@ mod tests {
         let mut confs: Vec<Conformation> = (0..23)
             .map(|_| Conformation::new(RigidTransform::new(rng.rotation(), rng.in_ball(25.0)), 0))
             .collect();
-        let want: Vec<f64> = s.score_batch(&confs.iter().map(|c| c.pose).collect::<Vec<_>>());
-        pool.score_conformations(&s, &mut confs);
+        let want: Vec<f64> = serial_scores(&s, &confs.iter().map(|c| c.pose).collect::<Vec<_>>());
+        pool.score_batch(&s, ScoreBatch::Confs(&mut confs));
         let got: Vec<f64> = confs.iter().map(|c| c.score).collect();
         assert_eq!(want, got);
     }
@@ -376,8 +377,7 @@ mod tests {
         let weak = Arc::downgrade(&pool.shared);
         let s = scorer();
         let ps = poses(8, 5);
-        let mut out = vec![0.0; ps.len()];
-        pool.score_batch_into(&s, &ps, &mut out);
+        let _ = pool_scores(&pool, &s, &ps);
         drop(pool);
         assert!(weak.upgrade().is_none(), "drop must join all pool workers");
     }
@@ -391,14 +391,12 @@ mod tests {
         let pool = CpuPool::new(4);
         let s = scorer();
         let ps = poses(33, 7);
-        let want = s.score_batch(&ps);
+        let want = serial_scores(&s, &ps);
         std::thread::scope(|scope| {
             for _ in 0..8 {
                 scope.spawn(|| {
                     for _ in 0..10 {
-                        let mut out = vec![0.0; ps.len()];
-                        pool.score_batch_into(&s, &ps, &mut out);
-                        assert_eq!(want, out);
+                        assert_eq!(want, pool_scores(&pool, &s, &ps));
                     }
                 });
             }
@@ -416,9 +414,7 @@ mod tests {
         // The pool must stay fully usable: workers caught their panics and
         // the completion bookkeeping recovered.
         let ps = poses(19, 3);
-        let mut out = vec![0.0; ps.len()];
-        pool.score_batch_into(&s, &ps, &mut out);
-        assert_eq!(out, s.score_batch(&ps));
+        assert_eq!(pool_scores(&pool, &s, &ps), serial_scores(&s, &ps));
     }
 
     #[test]

@@ -12,15 +12,16 @@
 //!   writes the transformed coordinates directly into the frame's
 //!   `x`/`y`/`z` arrays ([`vsmath::RigidTransform::apply_all_soa`]) — no
 //!   per-pose [`Frame`] construction, no `Vec<Vec3>` round-trip;
-//! - [`Scorer::score_batch_into`] scores into a caller-owned output slice,
-//!   so the batch path allocates nothing at all once scratch and output
-//!   buffers exist;
-//! - [`Scorer::score_batch_parallel`] runs on a *persistent* worker pool
-//!   ([`crate::pool::CpuPool`]) with one reused scratch per worker thread,
-//!   instead of spawning fresh OS threads per batch.
+//! - [`Scorer::score_batch`] is the **single batch entry point**: it takes
+//!   a [`ScoreBatch`] input (poses scored into a caller-owned output
+//!   slice, or conformations scored in place) plus an [`Exec`] policy —
+//!   [`Exec::Serial`] for the caller's thread, [`Exec::Pool`] for the
+//!   shared *persistent* worker pool ([`crate::pool::CpuPool`]) with one
+//!   reused scratch per worker thread — so the batch path allocates
+//!   nothing and spawns nothing once scratch and output buffers exist.
 //!
-//! Every path produces bit-identical scores to serial
-//! [`Scorer::score_batch`] (the schedule-invariance invariant, DESIGN §7).
+//! Every execution policy produces bit-identical scores for a fixed
+//! kernel (the schedule-invariance invariant, DESIGN §7).
 
 use crate::coulomb::{coulomb_naive, coulomb_pair};
 use crate::lj::{lj_naive, lj_pair, lj_tiled, Frame, PairTable};
@@ -114,7 +115,7 @@ pub struct ScorerOptions {
 ///
 /// The scratch remembers which scorer it is bound to (the scorer's
 /// binding id plus ligand length), so repeated `score_with` /
-/// `score_batch_into` calls against the same scorer skip the
+/// `score_batch` calls against the same scorer skip the
 /// `elem`/`charge` column refill entirely.
 #[derive(Debug, Default, Clone)]
 pub struct PoseScratch {
@@ -364,66 +365,94 @@ impl Scorer {
         self.table.lookup(lig_elem, rec_elem)
     }
 
-    /// Score a batch of poses serially, allocating the result vector.
-    pub fn score_batch(&self, poses: &[RigidTransform]) -> Vec<f64> {
-        let mut out = vec![0.0; poses.len()];
-        let mut scratch = PoseScratch::new();
-        self.score_batch_into(poses, &mut out, &mut scratch);
-        out
+    /// Score a batch — the single batch entry point every other scoring
+    /// path is built on.
+    ///
+    /// `input` selects the shape: [`ScoreBatch::Poses`] scores `poses[i]`
+    /// into `out[i]` (equal lengths required); [`ScoreBatch::Confs`]
+    /// scores `confs[i].pose` into `confs[i].score` in place (the
+    /// `metaheur` evaluate shape) — no pose/score round-trips through
+    /// temporary vectors either way.
+    ///
+    /// `exec` selects the policy: [`Exec::Serial`] binds `scratch` once
+    /// and runs in the caller's thread, allocation-free per pose;
+    /// [`Exec::Pool`]`(n)` runs on a shared *persistent*
+    /// [`crate::pool::CpuPool`] with `n` workers — the "OpenMP" CPU path
+    /// of the paper's baseline. Pools are keyed by the requested thread
+    /// count (created on first use), so repeated batch calls pay no
+    /// spawn/join cost and reuse each worker's scratch; single-item
+    /// batches and `n <= 1` fall back to the serial path. Scores are
+    /// bit-identical across policies for a fixed kernel (DESIGN §7).
+    pub fn score_batch(&self, input: ScoreBatch<'_>, scratch: &mut PoseScratch, exec: Exec) {
+        input.assert_valid();
+        match exec {
+            Exec::Pool(threads) if threads > 1 && input.len() >= 2 => {
+                crate::pool::shared_pool(threads).score_batch(self, input);
+            }
+            Exec::Serial | Exec::Pool(_) => self.score_batch_serial(input, scratch),
+        }
     }
 
-    /// Score a batch of poses serially into a caller-owned output slice —
-    /// the zero-allocation batch primitive every other scoring path wraps.
-    ///
-    /// The scratch binds once per call, then each pose costs exactly one
-    /// SoA transform plus the kernel. `out.len()` must equal `poses.len()`.
-    pub fn score_batch_into(
-        &self,
-        poses: &[RigidTransform],
-        out: &mut [f64],
-        scratch: &mut PoseScratch,
-    ) {
-        assert_eq!(poses.len(), out.len(), "output slice length must match pose count");
-        if poses.is_empty() {
+    /// The serial batch loop: bind the scratch once, then score each item
+    /// against the bound frame. Also the per-worker body of the pool path
+    /// (each worker passes its own scratch and contiguous chunk), which is
+    /// what makes pool scores bit-identical to serial ones.
+    pub(crate) fn score_batch_serial(&self, input: ScoreBatch<'_>, scratch: &mut PoseScratch) {
+        if input.is_empty() {
             return;
         }
         self.bind_scratch(scratch);
-        for (p, o) in poses.iter().zip(out.iter_mut()) {
-            *o = self.score_bound(p, scratch);
+        match input {
+            ScoreBatch::Poses { poses, out } => {
+                for (p, o) in poses.iter().zip(out.iter_mut()) {
+                    *o = self.score_bound(p, scratch);
+                }
+            }
+            ScoreBatch::Confs(confs) => {
+                for c in confs.iter_mut() {
+                    c.score = self.score_bound(&c.pose, scratch);
+                }
+            }
+        }
+    }
+}
+
+/// Execution policy for [`Scorer::score_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exec {
+    /// Score in the calling thread.
+    Serial,
+    /// Score on the shared persistent worker pool with this many threads
+    /// (`0` and `1` are equivalent to [`Exec::Serial`]).
+    Pool(usize),
+}
+
+/// Batch input shape for [`Scorer::score_batch`].
+#[derive(Debug)]
+pub enum ScoreBatch<'a> {
+    /// Score `poses[i]` into `out[i]`; the slices must have equal length.
+    Poses { poses: &'a [RigidTransform], out: &'a mut [f64] },
+    /// Score `confs[i].pose` into `confs[i].score`, in place.
+    Confs(&'a mut [Conformation]),
+}
+
+impl ScoreBatch<'_> {
+    /// Number of items to score.
+    pub fn len(&self) -> usize {
+        match self {
+            ScoreBatch::Poses { poses, .. } => poses.len(),
+            ScoreBatch::Confs(confs) => confs.len(),
         }
     }
 
-    /// Score conformations in place (the `metaheur` evaluate shape) without
-    /// round-tripping poses and scores through temporary vectors.
-    pub fn score_conformations_into(&self, confs: &mut [Conformation], scratch: &mut PoseScratch) {
-        if confs.is_empty() {
-            return;
-        }
-        self.bind_scratch(scratch);
-        for c in confs.iter_mut() {
-            c.score = self.score_bound(&c.pose, scratch);
-        }
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
-    /// Score a batch of poses on `n_threads` worker threads, preserving
-    /// output order — the "OpenMP" CPU path of the paper's baseline
-    /// implementation.
-    ///
-    /// Workers come from a shared *persistent* [`crate::pool::CpuPool`],
-    /// keyed by the *requested* thread count (one pool per distinct
-    /// request, created on first use), so repeated batch calls pay no
-    /// thread spawn/join cost and reuse each worker's scratch. Batches
-    /// shorter than the pool are handled by the pool's chunking (excess
-    /// workers idle) — small batches never mint extra pools. Scores are
-    /// bit-identical to [`Scorer::score_batch`].
-    pub fn score_batch_parallel(&self, poses: &[RigidTransform], n_threads: usize) -> Vec<f64> {
-        let n_threads = n_threads.max(1);
-        if n_threads == 1 || poses.len() < 2 {
-            return self.score_batch(poses);
+    pub(crate) fn assert_valid(&self) {
+        if let ScoreBatch::Poses { poses, out } = self {
+            assert_eq!(poses.len(), out.len(), "output slice length must match pose count");
         }
-        let mut out = vec![0.0f64; poses.len()];
-        crate::pool::shared_pool(n_threads).score_batch_into(self, poses, &mut out);
-        out
     }
 }
 
@@ -442,6 +471,13 @@ mod tests {
     fn random_poses(n: usize, seed: u64, spread: f64) -> Vec<RigidTransform> {
         let mut rng = RngStream::from_seed(seed);
         (0..n).map(|_| RigidTransform::new(rng.rotation(), rng.in_ball(spread))).collect()
+    }
+
+    fn batch_scores(s: &Scorer, poses: &[RigidTransform], exec: Exec) -> Vec<f64> {
+        let mut out = vec![0.0; poses.len()];
+        let mut scratch = PoseScratch::new();
+        s.score_batch(ScoreBatch::Poses { poses, out: &mut out }, &mut scratch, exec);
+        out
     }
 
     #[test]
@@ -547,29 +583,55 @@ mod tests {
     fn batch_matches_single() {
         let s = setup(Kernel::Tiled);
         let poses = random_poses(12, 3, 20.0);
-        let batch = s.score_batch(&poses);
+        let batch = batch_scores(&s, &poses, Exec::Serial);
         for (p, &b) in poses.iter().zip(&batch) {
             assert_eq!(s.score(p), b);
         }
     }
 
     #[test]
-    fn parallel_matches_serial() {
+    fn batch_scores_conformations_in_place() {
+        let s = setup(Kernel::Tiled);
+        let poses = random_poses(9, 13, 20.0);
+        let mut confs: Vec<Conformation> = poses.iter().map(|p| Conformation::new(*p, 0)).collect();
+        let mut scratch = PoseScratch::new();
+        s.score_batch(ScoreBatch::Confs(&mut confs), &mut scratch, Exec::Serial);
+        let want = batch_scores(&s, &poses, Exec::Serial);
+        let got: Vec<f64> = confs.iter().map(|c| c.score).collect();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn pool_exec_matches_serial() {
         let s = setup(Kernel::Tiled);
         let poses = random_poses(37, 4, 20.0);
-        let serial = s.score_batch(&poses);
-        for n_threads in [1, 2, 3, 8, 64] {
-            let par = s.score_batch_parallel(&poses, n_threads);
+        let serial = batch_scores(&s, &poses, Exec::Serial);
+        for n_threads in [0, 1, 2, 3, 8, 64] {
+            let par = batch_scores(&s, &poses, Exec::Pool(n_threads));
             assert_eq!(serial, par, "n_threads={n_threads}");
         }
     }
 
     #[test]
-    fn parallel_empty_and_single() {
+    fn pool_exec_empty_and_single() {
         let s = setup(Kernel::Tiled);
-        assert!(s.score_batch_parallel(&[], 4).is_empty());
+        assert!(batch_scores(&s, &[], Exec::Pool(4)).is_empty());
         let one = random_poses(1, 5, 10.0);
-        assert_eq!(s.score_batch_parallel(&one, 4), s.score_batch(&one));
+        assert_eq!(batch_scores(&s, &one, Exec::Pool(4)), batch_scores(&s, &one, Exec::Serial));
+    }
+
+    #[test]
+    #[should_panic(expected = "output slice length must match pose count")]
+    fn mismatched_output_length_panics() {
+        let s = setup(Kernel::Tiled);
+        let poses = random_poses(3, 6, 10.0);
+        let mut out = vec![0.0; 2];
+        let mut scratch = PoseScratch::new();
+        s.score_batch(
+            ScoreBatch::Poses { poses: &poses, out: &mut out },
+            &mut scratch,
+            Exec::Serial,
+        );
     }
 
     #[test]

@@ -4,7 +4,7 @@ use proptest::prelude::*;
 use vsmath::{RigidTransform, RngStream, Vec3};
 use vsmol::synth;
 use vsscore::scorer::{Kernel, ScorerOptions, ScoringModel};
-use vsscore::Scorer;
+use vsscore::{Exec, PoseScratch, ScoreBatch, Scorer};
 
 fn arb_pose() -> impl Strategy<Value = RigidTransform> {
     (any::<u64>(), 0.0..40.0f64).prop_map(|(seed, r)| {
@@ -75,11 +75,14 @@ proptest! {
     #[test]
     fn batch_matches_singles(poses in proptest::collection::vec(arb_pose(), 1..12)) {
         let s = scorer(Kernel::Tiled, ScoringModel::LennardJones);
-        let batch = s.score_batch(&poses);
+        let mut scratch = PoseScratch::new();
+        let mut batch = vec![0.0; poses.len()];
+        s.score_batch(ScoreBatch::Poses { poses: &poses, out: &mut batch }, &mut scratch, Exec::Serial);
         for (p, &b) in poses.iter().zip(&batch) {
             prop_assert_eq!(s.score(p), b);
         }
-        let par = s.score_batch_parallel(&poses, 3);
+        let mut par = vec![0.0; poses.len()];
+        s.score_batch(ScoreBatch::Poses { poses: &poses, out: &mut par }, &mut scratch, Exec::Pool(3));
         prop_assert_eq!(batch, par);
     }
 

@@ -1,0 +1,125 @@
+//! The typed event model.
+//!
+//! Every observable fact about a run is one of these variants. Payloads
+//! carry *virtual* (simulated) times and deterministic quantities only;
+//! the wall-clock stamp lives in the [`Stamped`] wrapper so that two runs
+//! with the same seed produce identical event streams modulo wall-clock
+//! fields (the determinism contract, tested in `tests/`).
+//!
+//! Events are `Copy` (no heap payloads) so the ring-buffer writer is a
+//! plain memcpy; human-readable names for device/node tracks are attached
+//! out of band via [`crate::Trace::set_track_name`].
+
+/// One structured observation. All times are seconds of *virtual* device
+/// time unless the field name says otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A batch of poses was scored end to end (submitter's view).
+    BatchScored {
+        /// Submitting evaluator's device id, or `u32::MAX` for "all".
+        device: u32,
+        items: u64,
+        pairs_per_item: u64,
+        vt_start: f64,
+        vt_end: f64,
+    },
+    /// A device executed work for `[vt_start, vt_end]`, split into modeled
+    /// kernel time and PCIe transfer time (`kernel_s + transfer_s` may be
+    /// less than the busy interval when launch overhead is charged).
+    DeviceBusy {
+        device: u32,
+        vt_start: f64,
+        vt_end: f64,
+        kernel_s: f64,
+        transfer_s: f64,
+        items: u64,
+    },
+    /// A device sat idle for `[vt_start, vt_end]` (barrier wait, straggler).
+    DeviceIdle { device: u32, vt_start: f64, vt_end: f64 },
+    /// One warm-up iteration measurement (Eq. 1 input).
+    WarmupSample { device: u32, iteration: u32, seconds: f64 },
+    /// The scheduler fixed a device's share of the workload.
+    PartitionDecision { device: u32, share: f64, weight: f64 },
+    /// A metaheuristic generation finished.
+    GenerationDone { generation: u32, best_score: f64, evaluations: u64 },
+    /// A cluster job ran on a different node than the static plan intended.
+    JobMigrated { job: u32, from_node: u32, to_node: u32 },
+    /// A node was degraded by the fault plan.
+    FaultInjected { node: u32, slowdown: f64 },
+    /// Begin of a named wall-clock span (paired with [`Event::SpanEnd`]).
+    SpanBegin { name: &'static str },
+    /// End of the innermost open span with the same name on this thread.
+    SpanEnd { name: &'static str },
+    /// A sampled scalar (rendered as a counter track in chrome-trace).
+    Counter { name: &'static str, value: f64 },
+}
+
+impl Event {
+    /// Short kind label used by exporters and summaries.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::BatchScored { .. } => "BatchScored",
+            Event::DeviceBusy { .. } => "DeviceBusy",
+            Event::DeviceIdle { .. } => "DeviceIdle",
+            Event::WarmupSample { .. } => "WarmupSample",
+            Event::PartitionDecision { .. } => "PartitionDecision",
+            Event::GenerationDone { .. } => "GenerationDone",
+            Event::JobMigrated { .. } => "JobMigrated",
+            Event::FaultInjected { .. } => "FaultInjected",
+            Event::SpanBegin { .. } => "SpanBegin",
+            Event::SpanEnd { .. } => "SpanEnd",
+            Event::Counter { .. } => "Counter",
+        }
+    }
+}
+
+/// An event plus its recording context: wall-clock monotonic nanoseconds
+/// since the trace was created and the recording thread's ring id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stamped {
+    /// Monotonic wall-clock nanoseconds since [`crate::Trace::new`].
+    /// Excluded from the determinism contract.
+    pub mono_ns: u64,
+    /// Ring (thread) id the event was recorded on.
+    pub thread: u32,
+    pub event: Event,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_labels_are_distinct() {
+        let evs = [
+            Event::BatchScored {
+                device: 0,
+                items: 1,
+                pairs_per_item: 1,
+                vt_start: 0.0,
+                vt_end: 1.0,
+            },
+            Event::DeviceBusy {
+                device: 0,
+                vt_start: 0.0,
+                vt_end: 1.0,
+                kernel_s: 0.5,
+                transfer_s: 0.5,
+                items: 1,
+            },
+            Event::DeviceIdle { device: 0, vt_start: 0.0, vt_end: 1.0 },
+            Event::WarmupSample { device: 0, iteration: 0, seconds: 0.1 },
+            Event::PartitionDecision { device: 0, share: 0.5, weight: 1.0 },
+            Event::GenerationDone { generation: 0, best_score: -1.0, evaluations: 64 },
+            Event::JobMigrated { job: 0, from_node: 0, to_node: 1 },
+            Event::FaultInjected { node: 0, slowdown: 2.0 },
+            Event::SpanBegin { name: "x" },
+            Event::SpanEnd { name: "x" },
+            Event::Counter { name: "x", value: 1.0 },
+        ];
+        let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), evs.len());
+    }
+}

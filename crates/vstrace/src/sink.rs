@@ -1,0 +1,363 @@
+//! The [`Trace`] handle and its sink.
+//!
+//! `Trace` is a cheap-clone handle threaded through the hot paths. A
+//! disabled handle ([`Trace::disabled`]) carries no sink: every `emit`,
+//! `span` and `counter` call reduces to an `Option` check that the
+//! optimizer folds away, so instrumented code costs nothing when tracing
+//! is off (the overhead contract, DESIGN.md "Observability").
+//!
+//! An enabled handle routes records to a per-thread [`Ring`]: the first
+//! emit from a thread registers a fresh ring with the sink and caches it
+//! in a thread-local, so the steady-state emit path is a thread-local
+//! lookup plus a wait-free ring push — no locks, no allocation.
+
+use crate::event::{Event, Stamped};
+use crate::ring::Ring;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default per-thread ring capacity (records).
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 14;
+
+static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(1);
+
+struct Sink {
+    id: u64,
+    epoch: Instant,
+    capacity: usize,
+    next_thread: AtomicU32,
+    rings: Mutex<Vec<(u32, Arc<Ring>)>>,
+    track_names: Mutex<HashMap<u32, String>>,
+}
+
+thread_local! {
+    /// sink id → this thread's ring in that sink.
+    static LOCAL_RINGS: RefCell<HashMap<u64, (u32, Arc<Ring>)>> = RefCell::new(HashMap::new());
+}
+
+impl Sink {
+    fn local_ring(&self) -> (u32, Arc<Ring>) {
+        LOCAL_RINGS.with(|map| {
+            let mut map = map.borrow_mut();
+            if let Some(entry) = map.get(&self.id) {
+                return entry.clone();
+            }
+            let thread = self.next_thread.fetch_add(1, Ordering::Relaxed);
+            let ring = Arc::new(Ring::new(self.capacity));
+            self.rings.lock().expect("trace ring registry poisoned").push((thread, ring.clone()));
+            map.insert(self.id, (thread, ring.clone()));
+            (thread, ring)
+        })
+    }
+
+    fn emit(&self, event: Event) {
+        let (thread, ring) = self.local_ring();
+        let mono_ns = self.epoch.elapsed().as_nanos() as u64;
+        ring.push(Stamped { mono_ns, thread, event });
+    }
+}
+
+/// Handle to a trace sink; clone freely, pass by value or reference.
+#[derive(Clone)]
+pub struct Trace {
+    inner: Option<Arc<Sink>>,
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            Some(s) => {
+                write!(f, "Trace(enabled, {} rings)", s.rings.lock().map(|r| r.len()).unwrap_or(0))
+            }
+            None => write!(f, "Trace(disabled)"),
+        }
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Trace {
+        Trace::disabled()
+    }
+}
+
+impl Trace {
+    /// An enabled trace with the default per-thread ring capacity.
+    pub fn new() -> Trace {
+        Trace::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// An enabled trace retaining at most `capacity` records per thread
+    /// (oldest records are dropped on overflow).
+    pub fn with_capacity(capacity: usize) -> Trace {
+        Trace {
+            inner: Some(Arc::new(Sink {
+                id: NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed),
+                epoch: Instant::now(),
+                capacity,
+                next_thread: AtomicU32::new(0),
+                rings: Mutex::new(Vec::new()),
+                track_names: Mutex::new(HashMap::new()),
+            })),
+        }
+    }
+
+    /// The no-op handle: records nothing, costs an `Option` check.
+    pub fn disabled() -> Trace {
+        Trace { inner: None }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one event (no-op when disabled).
+    #[inline]
+    pub fn emit(&self, event: Event) {
+        if let Some(sink) = &self.inner {
+            sink.emit(event);
+        }
+    }
+
+    /// Record a sampled scalar (no-op when disabled).
+    #[inline]
+    pub fn counter(&self, name: &'static str, value: f64) {
+        self.emit(Event::Counter { name, value });
+    }
+
+    /// Open a named wall-clock span; the end event is recorded when the
+    /// returned guard drops. The guard owns a handle clone, so it does not
+    /// borrow the trace (hot paths can keep mutating `self` underneath it).
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanGuard {
+        self.emit(Event::SpanBegin { name });
+        SpanGuard { trace: self.clone(), name }
+    }
+
+    /// Attach a human-readable name to a device/node track id (cold path;
+    /// exporters use it to label timeline rows).
+    pub fn set_track_name(&self, track: u32, name: &str) {
+        if let Some(sink) = &self.inner {
+            sink.track_names
+                .lock()
+                .expect("trace name registry poisoned")
+                .insert(track, name.to_string());
+        }
+    }
+
+    /// Snapshot everything recorded so far. Returns an empty snapshot for
+    /// a disabled trace.
+    pub fn snapshot(&self) -> TraceData {
+        let Some(sink) = &self.inner else {
+            return TraceData { threads: Vec::new(), track_names: HashMap::new(), dropped: 0 };
+        };
+        let rings = sink.rings.lock().expect("trace ring registry poisoned").clone();
+        let mut threads: Vec<ThreadEvents> = rings
+            .iter()
+            .map(|(thread, ring)| {
+                let events = ring.snapshot();
+                let dropped = ring.pushed() - events.len() as u64;
+                ThreadEvents { thread: *thread, events, dropped }
+            })
+            .collect();
+        threads.sort_by_key(|t| t.thread);
+        let dropped = threads.iter().map(|t| t.dropped).sum();
+        TraceData {
+            threads,
+            track_names: sink.track_names.lock().expect("trace name registry poisoned").clone(),
+            dropped,
+        }
+    }
+}
+
+/// RAII guard closing a span (see [`Trace::span`]).
+pub struct SpanGuard {
+    trace: Trace,
+    name: &'static str,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.trace.emit(Event::SpanEnd { name: self.name });
+    }
+}
+
+/// Events recorded by one thread, in emission order.
+#[derive(Debug, Clone)]
+pub struct ThreadEvents {
+    pub thread: u32,
+    pub events: Vec<Stamped>,
+    /// Records lost to ring wraparound on this thread.
+    pub dropped: u64,
+}
+
+/// A snapshot of a trace: per-thread event streams plus track metadata.
+#[derive(Debug, Clone)]
+pub struct TraceData {
+    /// Per-thread streams, sorted by thread id. Within a thread the order
+    /// is the emission order; across threads only virtual/wall stamps
+    /// order events.
+    pub threads: Vec<ThreadEvents>,
+    /// Device/node track id → display name.
+    pub track_names: HashMap<u32, String>,
+    /// Total records lost to wraparound across all threads.
+    pub dropped: u64,
+}
+
+impl TraceData {
+    /// All events flattened in (thread, emission-order) order.
+    pub fn events(&self) -> impl Iterator<Item = &Stamped> {
+        self.threads.iter().flat_map(|t| t.events.iter())
+    }
+
+    pub fn len(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The event payloads only (wall-clock stamps and thread ids
+    /// stripped) — the deterministic projection of the stream.
+    pub fn payloads(&self) -> Vec<Event> {
+        self.events().map(|s| s.event).collect()
+    }
+
+    /// Total modeled busy seconds for one device track, summed over
+    /// [`Event::DeviceBusy`] events.
+    pub fn device_busy_s(&self, device: u32) -> f64 {
+        self.events()
+            .filter_map(|s| match s.event {
+                Event::DeviceBusy { device: d, vt_start, vt_end, .. } if d == device => {
+                    Some(vt_end - vt_start)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Device ids appearing in busy/idle events, ascending.
+    pub fn devices(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self
+            .events()
+            .filter_map(|s| match s.event {
+                Event::DeviceBusy { device, .. } | Event::DeviceIdle { device, .. } => Some(device),
+                _ => None,
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let t = Trace::disabled();
+        assert!(!t.is_enabled());
+        t.emit(Event::FaultInjected { node: 0, slowdown: 2.0 });
+        t.counter("x", 1.0);
+        {
+            let _g = t.span("work");
+        }
+        t.set_track_name(0, "gpu");
+        let snap = t.snapshot();
+        assert!(snap.is_empty(), "disabled sink must record zero events");
+        assert_eq!(snap.len(), 0);
+        assert!(snap.track_names.is_empty());
+    }
+
+    #[test]
+    fn span_guard_emits_begin_and_end() {
+        let t = Trace::new();
+        {
+            let _g = t.span("outer");
+            t.counter("inside", 3.0);
+        }
+        let p = t.snapshot().payloads();
+        assert_eq!(
+            p,
+            vec![
+                Event::SpanBegin { name: "outer" },
+                Event::Counter { name: "inside", value: 3.0 },
+                Event::SpanEnd { name: "outer" },
+            ]
+        );
+    }
+
+    #[test]
+    fn threads_get_separate_rings() {
+        let t = Trace::new();
+        t.counter("main", 0.0);
+        let t2 = t.clone();
+        std::thread::spawn(move || t2.counter("worker", 1.0)).join().unwrap();
+        let snap = t.snapshot();
+        assert_eq!(snap.threads.len(), 2);
+        assert_eq!(snap.len(), 2);
+        let mut threads: Vec<u32> = snap.threads.iter().map(|th| th.thread).collect();
+        threads.dedup();
+        assert_eq!(threads.len(), 2, "distinct ring ids");
+    }
+
+    #[test]
+    fn wall_stamps_are_monotonic_per_thread() {
+        let t = Trace::new();
+        for i in 0..100 {
+            t.counter("i", i as f64);
+        }
+        let snap = t.snapshot();
+        let stamps: Vec<u64> = snap.threads[0].events.iter().map(|s| s.mono_ns).collect();
+        assert!(stamps.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn dropped_counts_wraparound() {
+        let t = Trace::with_capacity(8);
+        for i in 0..20 {
+            t.counter("i", i as f64);
+        }
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 8);
+        assert_eq!(snap.dropped, 12);
+    }
+
+    #[test]
+    fn device_busy_helper_sums_per_device() {
+        let t = Trace::new();
+        t.emit(Event::DeviceBusy {
+            device: 0,
+            vt_start: 0.0,
+            vt_end: 1.5,
+            kernel_s: 1.0,
+            transfer_s: 0.5,
+            items: 10,
+        });
+        t.emit(Event::DeviceBusy {
+            device: 1,
+            vt_start: 0.0,
+            vt_end: 0.5,
+            kernel_s: 0.4,
+            transfer_s: 0.1,
+            items: 4,
+        });
+        t.emit(Event::DeviceBusy {
+            device: 0,
+            vt_start: 2.0,
+            vt_end: 2.5,
+            kernel_s: 0.4,
+            transfer_s: 0.1,
+            items: 4,
+        });
+        let snap = t.snapshot();
+        assert!((snap.device_busy_s(0) - 2.0).abs() < 1e-12);
+        assert!((snap.device_busy_s(1) - 0.5).abs() < 1e-12);
+        assert_eq!(snap.devices(), vec![0, 1]);
+    }
+}

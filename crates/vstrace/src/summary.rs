@@ -1,0 +1,185 @@
+//! Plain-text run summary.
+//!
+//! Aggregates a [`TraceData`] snapshot into the numbers the paper's
+//! evaluation revolves around: per-device busy/idle/utilization with the
+//! kernel vs. PCIe-transfer split, the makespan breakdown, a batch-size
+//! histogram ([`vsmath::Histogram`]) and wall-clock span totals.
+
+use crate::event::Event;
+use crate::sink::TraceData;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+use vsmath::Histogram;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct DeviceAgg {
+    busy_s: f64,
+    kernel_s: f64,
+    transfer_s: f64,
+    idle_s: f64,
+    batches: u64,
+    items: u64,
+    last_end: f64,
+}
+
+/// Render the text summary of a snapshot.
+pub fn text_summary(data: &TraceData) -> String {
+    let mut devices: BTreeMap<u32, DeviceAgg> = BTreeMap::new();
+    let mut batch_sizes: Vec<f64> = Vec::new();
+    let mut spans: BTreeMap<&'static str, (u64, f64)> = BTreeMap::new();
+    let mut open_spans: BTreeMap<(u32, &'static str), Vec<u64>> = BTreeMap::new();
+    let mut generations = 0u64;
+    let mut best_score = f64::INFINITY;
+    let mut evaluations = 0u64;
+    let mut migrations = 0u64;
+    let mut faults = 0u64;
+
+    for s in data.events() {
+        match s.event {
+            Event::DeviceBusy { device, vt_start, vt_end, kernel_s, transfer_s, items } => {
+                let d = devices.entry(device).or_default();
+                d.busy_s += vt_end - vt_start;
+                d.kernel_s += kernel_s;
+                d.transfer_s += transfer_s;
+                d.batches += 1;
+                d.items += items;
+                d.last_end = d.last_end.max(vt_end);
+                batch_sizes.push(items as f64);
+            }
+            Event::DeviceIdle { device, vt_start, vt_end } => {
+                let d = devices.entry(device).or_default();
+                d.idle_s += vt_end - vt_start;
+                d.last_end = d.last_end.max(vt_end);
+            }
+            Event::BatchScored { items, .. } => batch_sizes.push(items as f64),
+            Event::SpanBegin { name } => {
+                open_spans.entry((s.thread, name)).or_default().push(s.mono_ns);
+            }
+            Event::SpanEnd { name } => {
+                if let Some(begin) = open_spans.get_mut(&(s.thread, name)).and_then(Vec::pop) {
+                    let e = spans.entry(name).or_insert((0, 0.0));
+                    e.0 += 1;
+                    e.1 += s.mono_ns.saturating_sub(begin) as f64 / 1e9;
+                }
+            }
+            Event::GenerationDone { best_score: b, evaluations: e, .. } => {
+                generations += 1;
+                best_score = best_score.min(b);
+                evaluations = evaluations.max(e);
+            }
+            Event::JobMigrated { .. } => migrations += 1,
+            Event::FaultInjected { .. } => faults += 1,
+            _ => {}
+        }
+    }
+
+    let makespan = devices.values().map(|d| d.last_end).fold(0.0f64, f64::max);
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "vstrace summary: {} events on {} threads", data.len(), data.threads.len());
+    if data.dropped > 0 {
+        let _ = writeln!(out, "  (ring overflow dropped {} records)", data.dropped);
+    }
+
+    if !devices.is_empty() {
+        let _ = writeln!(out, "\nvirtual makespan: {makespan:.6} s");
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
+            "device", "busy (s)", "kernel", "transfer", "idle (s)", "util %", "batches"
+        );
+        for (id, d) in &devices {
+            let label = data.track_names.get(id).cloned().unwrap_or_else(|| format!("device {id}"));
+            // Idle: prefer explicit DeviceIdle events, else makespan - busy.
+            let idle = if d.idle_s > 0.0 { d.idle_s } else { (makespan - d.busy_s).max(0.0) };
+            let util = if makespan > 0.0 { 100.0 * d.busy_s / makespan } else { 0.0 };
+            let _ = writeln!(
+                out,
+                "{label:<24} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>8.2} {:>8}",
+                d.busy_s, d.kernel_s, d.transfer_s, idle, util, d.batches
+            );
+        }
+        let kernel: f64 = devices.values().map(|d| d.kernel_s).sum();
+        let transfer: f64 = devices.values().map(|d| d.transfer_s).sum();
+        let busy: f64 = devices.values().map(|d| d.busy_s).sum();
+        let overhead = (busy - kernel - transfer).max(0.0);
+        if busy > 0.0 {
+            let _ = writeln!(
+                out,
+                "makespan breakdown (busy time): kernel {:.1}%, PCIe transfer {:.1}%, launch/other {:.1}%",
+                100.0 * kernel / busy,
+                100.0 * transfer / busy,
+                100.0 * overhead / busy
+            );
+        }
+    }
+
+    if !batch_sizes.is_empty() {
+        if let Some(h) = Histogram::auto(&batch_sizes, 8.min(batch_sizes.len())) {
+            let _ = writeln!(out, "\nbatch sizes ({} batches):", batch_sizes.len());
+            let _ = write!(out, "{}", h.render(40));
+        }
+    }
+
+    if generations > 0 {
+        let _ = writeln!(
+            out,
+            "\nsearch: {generations} generations, best score {best_score:.3}, {evaluations} evaluations"
+        );
+    }
+    if faults + migrations > 0 {
+        let _ = writeln!(out, "cluster: {faults} faults injected, {migrations} jobs migrated");
+    }
+
+    if !spans.is_empty() {
+        let _ = writeln!(out, "\nwall-clock spans:");
+        let _ = writeln!(out, "{:<24} {:>8} {:>14}", "span", "count", "total (s)");
+        for (name, (count, total)) in &spans {
+            let _ = writeln!(out, "{name:<24} {count:>8} {total:>14.6}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trace;
+
+    #[test]
+    fn summary_reports_utilization_and_histogram() {
+        let t = Trace::new();
+        t.set_track_name(0, "K40c");
+        t.set_track_name(1, "GTX580");
+        for (dev, end, items) in [(0u32, 1.0f64, 64u64), (1, 0.5, 32), (0, 2.0, 64)] {
+            t.emit(Event::DeviceBusy {
+                device: dev,
+                vt_start: end - 0.5,
+                vt_end: end,
+                kernel_s: 0.4,
+                transfer_s: 0.05,
+                items,
+            });
+        }
+        {
+            let _g = t.span("generation");
+        }
+        t.emit(Event::GenerationDone { generation: 0, best_score: -4.5, evaluations: 160 });
+        let s = text_summary(&t.snapshot());
+        assert!(s.contains("K40c"), "{s}");
+        assert!(s.contains("GTX580"), "{s}");
+        assert!(s.contains("virtual makespan: 2.0"), "{s}");
+        // K40c: busy 1.0s over makespan 2.0s = 50% utilization.
+        assert!(s.contains("50.00"), "{s}");
+        assert!(s.contains("batch sizes (3 batches)"), "{s}");
+        assert!(s.contains("generation"), "{s}");
+        assert!(s.contains("best score -4.500"), "{s}");
+        assert!(s.contains("makespan breakdown"), "{s}");
+    }
+
+    #[test]
+    fn empty_snapshot_summarizes_without_panicking() {
+        let s = text_summary(&Trace::new().snapshot());
+        assert!(s.contains("0 events"));
+    }
+}

@@ -55,9 +55,10 @@ fn main() {
     // run directly against the same scorer.
     let scorer = screen.scorer();
     let spots = screen.spots().to_vec();
+    let spec = vsched::EvaluatorSpec::PooledCpu { threads: 8 };
     {
         let pso = metaheur::PsoParams { swarm_per_spot: 64, iterations: 30, ..Default::default() };
-        let mut ev = metaheur::CpuEvaluator::with_threads((*scorer).clone(), 8);
+        let mut ev = spec.build(scorer.clone());
         let r = metaheur::run_pso(&pso, &spots, &mut ev, 4);
         println!(
             "{:<22} {:>12} {:>8} {:>12.2}",
@@ -66,7 +67,7 @@ fn main() {
     }
     {
         let tabu = metaheur::TabuParams { iterations: 60, neighbors: 16, ..Default::default() };
-        let mut ev = metaheur::CpuEvaluator::with_threads((*scorer).clone(), 8);
+        let mut ev = spec.build(scorer.clone());
         let r = metaheur::run_tabu(&tabu, &spots, &mut ev, 4);
         println!(
             "{:<22} {:>12} {:>8} {:>12.2}",
@@ -77,14 +78,8 @@ fn main() {
     // Tuning pass (paper §1: "a tuning process is traditionally conducted").
     println!("\ntuning M1's stochastic-move knobs (grid search, 2 replicas):");
     let grid = metaheur::TuningGrid::default();
-    let report = metaheur::tune(
-        &metaheur::m1(0.05),
-        &grid,
-        &spots,
-        || metaheur::CpuEvaluator::with_threads((*scorer).clone(), 8),
-        9,
-        2,
-    );
+    let report =
+        metaheur::tune(&metaheur::m1(0.05), &grid, &spots, || spec.build(scorer.clone()), 9, 2);
     println!(
         "  best: mutation {:.2}, shift {:.2} A, angle {:.2} rad -> mean best {:.2} ({} evals)",
         report.best.mutation_prob,

@@ -18,4 +18,7 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
+echo "==> trace report"
+scripts/trace_report.sh
+
 echo "==> OK"

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Produce and validate the run-trace artifacts: runs the trace_run example
+# (which self-checks busy totals against the device clocks and re-parses
+# its own JSON), then sanity-checks the emitted files. Fails on malformed
+# or missing output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-target/trace_report}"
+mkdir -p "$OUT_DIR"
+
+echo "==> trace_run example -> $OUT_DIR"
+cargo run --release -q -p vs-examples --example trace_run -- "$OUT_DIR"
+
+JSON="$OUT_DIR/trace.json"
+SUMMARY="$OUT_DIR/trace_summary.txt"
+
+[ -s "$JSON" ] || { echo "ERROR: $JSON missing or empty" >&2; exit 1; }
+[ -s "$SUMMARY" ] || { echo "ERROR: $SUMMARY missing or empty" >&2; exit 1; }
+
+grep -q '"traceEvents"' "$JSON" || { echo "ERROR: $JSON has no traceEvents" >&2; exit 1; }
+grep -q '"ph": "X"' "$JSON" || { echo "ERROR: $JSON has no complete events" >&2; exit 1; }
+grep -q 'virtual makespan' "$SUMMARY" || { echo "ERROR: $SUMMARY malformed" >&2; exit 1; }
+grep -q 'util %' "$SUMMARY" || { echo "ERROR: $SUMMARY lacks utilization table" >&2; exit 1; }
+
+echo "==> trace report OK: $JSON ($(wc -c < "$JSON") bytes), $SUMMARY"

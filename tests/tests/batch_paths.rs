@@ -9,7 +9,7 @@ use std::sync::Arc;
 use vsched::{DeviceEvaluator, Strategy};
 use vsmath::{RigidTransform, RngStream};
 use vsmol::{synth, Conformation};
-use vsscore::Scorer;
+use vsscore::{Exec, Scorer};
 
 fn scorer() -> Scorer {
     let rec = synth::synth_receptor("r", 450, 2);
@@ -37,8 +37,8 @@ fn devices() -> Vec<Arc<SimDevice>> {
 #[test]
 fn all_paths_bit_identical_across_repeated_evaluates() {
     let sc = scorer();
-    let mut serial = CpuEvaluator::new(sc.clone());
-    let mut pooled = CpuEvaluator::with_threads(sc.clone(), 3);
+    let mut serial = CpuEvaluator::new(sc.clone(), Exec::Serial);
+    let mut pooled = CpuEvaluator::new(sc.clone(), Exec::Pool(3));
     let mut device =
         DeviceEvaluator::new(devices(), Arc::new(sc.clone()), Strategy::HomogeneousSplit);
     let mut dynamic =
@@ -67,11 +67,11 @@ fn all_paths_handle_empty_and_single_batches() {
     let sc = scorer();
     let expected = {
         let mut one = confs(1, 99);
-        CpuEvaluator::new(sc.clone()).evaluate(&mut one);
+        CpuEvaluator::new(sc.clone(), Exec::Serial).evaluate(&mut one);
         one[0].score
     };
 
-    let mut pooled = CpuEvaluator::with_threads(sc.clone(), 4);
+    let mut pooled = CpuEvaluator::new(sc.clone(), Exec::Pool(4));
     let mut device = DeviceEvaluator::new(devices(), Arc::new(sc), Strategy::HomogeneousSplit);
     for ev in [&mut pooled as &mut dyn BatchEvaluator, &mut device] {
         ev.evaluate(&mut []);

@@ -35,13 +35,14 @@ fn pso_and_tabu_run_on_real_scorer() {
     let spots = screen.spots().to_vec();
     let scorer = screen.scorer();
 
+    let spec = vsched::EvaluatorSpec::PooledCpu { threads: 4 };
     let pso = metaheur::PsoParams { swarm_per_spot: 16, iterations: 8, ..Default::default() };
-    let mut ev = metaheur::CpuEvaluator::with_threads((*scorer).clone(), 4);
+    let mut ev = spec.build(scorer.clone());
     let r_pso = metaheur::run_pso(&pso, &spots, &mut ev, 1);
     assert!(r_pso.best.score < 0.0, "PSO found no binding: {}", r_pso.best.score);
 
     let tabu = metaheur::TabuParams { iterations: 15, neighbors: 8, ..Default::default() };
-    let mut ev = metaheur::CpuEvaluator::with_threads((*scorer).clone(), 4);
+    let mut ev = spec.build(scorer.clone());
     let r_tabu = metaheur::run_tabu(&tabu, &spots, &mut ev, 1);
     assert!(r_tabu.best.score < 0.0, "Tabu found no binding: {}", r_tabu.best.score);
 }
@@ -56,7 +57,7 @@ fn memetic_hybrid_on_real_scorer() {
         tabu: metaheur::TabuParams { iterations: 6, neighbors: 8, ..Default::default() },
         epochs: 2,
     };
-    let mut ev = metaheur::CpuEvaluator::with_threads((*screen.scorer()).clone(), 4);
+    let mut ev = vsched::EvaluatorSpec::PooledCpu { threads: 4 }.build(screen.scorer());
     let r = metaheur::run_memetic(&p, &spots, &mut ev, 2);
     assert_eq!(r.evaluations, p.evals_per_spot() * 2);
     assert!(r.best.score < 0.0);
@@ -135,14 +136,8 @@ fn tuning_on_real_scorer_improves_or_matches_base() {
         max_shifts: vec![base.max_shift],
         max_angles: vec![base.max_angle],
     };
-    let report = metaheur::tune(
-        &base,
-        &grid,
-        &spots,
-        || metaheur::CpuEvaluator::with_threads((*scorer).clone(), 4),
-        3,
-        1,
-    );
+    let spec = vsched::EvaluatorSpec::PooledCpu { threads: 4 };
+    let report = metaheur::tune(&base, &grid, &spots, || spec.build(scorer.clone()), 3, 1);
     let base_point = report
         .points
         .iter()

@@ -1,0 +1,92 @@
+//! End-to-end observability contracts: trace determinism across same-seed
+//! runs, zero overhead events from a disabled sink, and agreement between
+//! the exported chrome trace and the simulated device clocks.
+
+use vscreen::prelude::*;
+use vstrace::json::{parse, Value};
+use vstrace::{chrome_trace_json, text_summary, Event, Trace};
+
+/// Same seed ⇒ identical event payload streams (the wall-clock stamps are
+/// stripped by `payloads()` — they are the only nondeterministic fields).
+#[test]
+fn same_seed_produces_identical_event_payloads() {
+    let run = || {
+        let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(3).seed(11).build();
+        let spots = screen.spots().to_vec();
+        let trace = Trace::new();
+        let mut ev = vsched::EvaluatorSpec::SerialCpu.build_traced(screen.scorer(), trace.clone());
+        let r = metaheur::run_traced(&metaheur::m1(0.03), &spots, &mut ev, 11, &trace);
+        (r.best.score, trace.snapshot().payloads())
+    };
+    let (best_a, payloads_a) = run();
+    let (best_b, payloads_b) = run();
+    assert_eq!(best_a.to_bits(), best_b.to_bits());
+    assert!(!payloads_a.is_empty());
+    assert_eq!(payloads_a, payloads_b);
+    // The stream carries the engine's structure: spans plus one
+    // GenerationDone per generation.
+    assert!(payloads_a.iter().any(|e| matches!(e, Event::SpanBegin { name: "initialize" })));
+    assert!(payloads_a.iter().any(|e| matches!(e, Event::GenerationDone { .. })));
+}
+
+/// A disabled sink must record nothing anywhere in the stack — engine,
+/// evaluator, device scheduler.
+#[test]
+fn disabled_sink_records_zero_events_end_to_end() {
+    let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(2).seed(5).build();
+    let node = platform::hertz();
+    let trace = Trace::disabled();
+    let out =
+        screen.run_on_node_traced(&metaheur::m1(0.03), &node, Strategy::HomogeneousSplit, &trace);
+    assert!(out.best.is_scored());
+    assert!(trace.snapshot().is_empty(), "disabled sink must stay empty");
+}
+
+/// The exported chrome trace's per-device busy totals agree with the
+/// simulated device clocks, and the document parses back.
+#[test]
+fn exported_trace_agrees_with_device_clocks() {
+    let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(2).seed(5).build();
+    let node = platform::hertz();
+    let trace = Trace::new();
+    let out =
+        screen.run_on_node_traced(&metaheur::m1(0.03), &node, Strategy::HomogeneousSplit, &trace);
+    let data = trace.snapshot();
+    assert_eq!(data.dropped, 0);
+
+    let doc = parse(&chrome_trace_json(&data)).expect("valid chrome trace JSON");
+    let events = doc.get("traceEvents").and_then(Value::as_arr).expect("traceEvents");
+    for dev in node.gpus() {
+        let clock = dev.clock();
+        assert!((data.device_busy_s(dev.id() as u32) - clock).abs() <= 1e-9 * clock.max(1.0));
+        let busy_us: f64 = events
+            .iter()
+            .filter(|e| {
+                e.get("name").and_then(Value::as_str) == Some("busy")
+                    && e.get("tid").and_then(Value::as_num) == Some(dev.id() as f64)
+            })
+            .filter_map(|e| e.get("dur").and_then(Value::as_num))
+            .sum();
+        assert!(
+            (busy_us / 1e6 - clock).abs() <= 1e-6 * clock.max(1.0),
+            "device {}: {} vs {}",
+            dev.id(),
+            busy_us / 1e6,
+            clock
+        );
+    }
+    // Makespan in the stream matches the run outcome.
+    let max_vt = data
+        .events()
+        .filter_map(|s| match s.event {
+            Event::DeviceBusy { vt_end, .. } => Some(vt_end),
+            _ => None,
+        })
+        .fold(0.0f64, f64::max);
+    assert!((max_vt - out.virtual_time).abs() <= 1e-9 * out.virtual_time.max(1.0));
+
+    // The text summary renders the same numbers.
+    let summary = text_summary(&data);
+    assert!(summary.contains("virtual makespan"));
+    assert!(summary.contains("Tesla K40c"));
+}
