@@ -32,7 +32,7 @@ fn trace_replay_by_strategy(c: &mut Criterion) {
         Arc::new(SimDevice::new(1, catalog::tesla_k40c())),
         Arc::new(SimDevice::new(2, catalog::geforce_gtx_580())),
     ];
-    let trace: Vec<u64> = std::iter::repeat(64 * 64).take(120).collect();
+    let trace: Vec<u64> = std::iter::repeat_n(64 * 64, 120).collect();
     let pairs = (45 * 3264) as u64;
     let strategies = [
         ("cpu_only", Strategy::CpuOnly),

@@ -14,6 +14,7 @@
 //!
 //! This library half hosts the table renderers for Tables 1–5 (static
 //! hardware/parameter/dataset tables) shared by the binary and tests.
+#![forbid(unsafe_code)]
 
 use gpusim::{catalog, DeviceSpec, GpuGeneration};
 use std::fmt::Write;

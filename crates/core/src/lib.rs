@@ -41,6 +41,7 @@
 //!   engine's recorded traces) used to replay workloads under every
 //!   scheduling strategy;
 //! - [`experiment`] — the reproduction harness for the paper's Tables 6–9.
+#![forbid(unsafe_code)]
 
 pub mod ablation;
 pub mod experiment;

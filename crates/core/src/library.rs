@@ -80,6 +80,7 @@ pub fn screen_library(
             evaluations: out.evaluations,
         });
     }
+    // PANICS: hit scores come out of the scorer, which never emits NaN.
     hits.sort_by(|a, b| a.best_score.partial_cmp(&b.best_score).expect("finite scores"));
     LibraryRanking { hits, virtual_time, evaluations }
 }

@@ -261,7 +261,7 @@ mod tests {
         assert_eq!(tesla_k80_half().lanes(), 13 * 192);
         // Two K80 chips reach the quoted 30 multiprocessors (paper: "even
         // reaches 30", counting the pair as 2×13 + scheduling headroom).
-        assert!(2 * 13 >= 26);
+        assert_eq!(2 * tesla_k80_half().lanes() / 192, 26);
     }
 
     #[test]

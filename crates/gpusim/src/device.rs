@@ -59,6 +59,7 @@ impl SimDevice {
     /// elapsed time in seconds.
     pub fn execute(&self, batch: &WorkBatch) -> f64 {
         let dt = self.model.execution_time(&self.spec, batch);
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         let mut st = self.state.lock().expect("device state mutex poisoned");
         st.clock_s += dt;
         st.stats.batches += 1;
@@ -87,11 +88,13 @@ impl SimDevice {
 
     /// Current virtual time, seconds.
     pub fn clock(&self) -> f64 {
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         self.state.lock().expect("device state mutex poisoned").clock_s
     }
 
     /// Advance the clock to at least `t` (idle wait / barrier sync).
     pub fn sync_to(&self, t: f64) {
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         let mut st = self.state.lock().expect("device state mutex poisoned");
         if t > st.clock_s {
             st.clock_s = t;
@@ -102,20 +105,24 @@ impl SimDevice {
     /// device's controlling thread).
     pub fn advance(&self, dt: f64) {
         assert!(dt >= 0.0, "cannot advance clock backwards");
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         self.state.lock().expect("device state mutex poisoned").clock_s += dt;
     }
 
     /// Reset clock and statistics (between experiments).
     pub fn reset(&self) {
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         *self.state.lock().expect("device state mutex poisoned") = DeviceState::default();
     }
 
     pub fn stats(&self) -> DeviceStats {
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         self.state.lock().expect("device state mutex poisoned").stats
     }
 
     /// Fraction of the device's virtual lifetime spent busy.
     pub fn utilization(&self) -> f64 {
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         let st = self.state.lock().expect("device state mutex poisoned");
         if st.clock_s <= 0.0 {
             0.0

@@ -25,6 +25,7 @@
 //! the actual numeric work (scoring) runs on host threads owned by the
 //! scheduler in `vsched`. See DESIGN.md §1 for why this substitution
 //! preserves the paper's experimental behaviour.
+#![forbid(unsafe_code)]
 
 pub mod arch;
 pub mod catalog;

@@ -70,6 +70,7 @@ impl Timeline {
     pub fn from_events(data: &TraceData) -> Timeline {
         let tl = Timeline::new();
         {
+            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
             let mut segs = tl.segments.lock().expect("timeline mutex poisoned");
             for s in data.events() {
                 if let Event::DeviceBusy { device, vt_start, vt_end, items, .. } = s.event {
@@ -106,6 +107,7 @@ impl Timeline {
                 items: batch.items,
             });
         }
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         self.segments.lock().expect("timeline mutex poisoned").push(Segment {
             device: dev.id(),
             device_name: dev.spec().name.clone(),
@@ -118,12 +120,14 @@ impl Timeline {
 
     /// All segments, ordered by (device, start).
     pub fn segments(&self) -> Vec<Segment> {
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         let mut v = self.segments.lock().expect("timeline mutex poisoned").clone();
         v.sort_by(|a, b| a.device.cmp(&b.device).then(a.start.partial_cmp(&b.start).unwrap()));
         v
     }
 
     pub fn is_empty(&self) -> bool {
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         self.segments.lock().expect("timeline mutex poisoned").is_empty()
     }
 
@@ -131,6 +135,7 @@ impl Timeline {
     pub fn makespan(&self) -> f64 {
         self.segments
             .lock()
+            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
             .expect("timeline mutex poisoned")
             .iter()
             .map(|s| s.end)
@@ -158,8 +163,10 @@ impl Timeline {
                     idle_s: s.start.max(0.0),
                 });
             } else {
+                // PANICS: the `else` branch runs only after a lane was pushed for this device.
                 lanes.last_mut().expect("lane exists").idle_s += (s.start - last_end).max(0.0);
             }
+            // PANICS: a lane for this device was pushed by one of the branches above.
             lanes.last_mut().expect("lane exists").busy_s += s.end - s.start;
             last_end = s.end;
         }
@@ -219,6 +226,7 @@ impl Timeline {
                 "dev {:<2} {:<20} |{}| idle {:5.1}%",
                 lane.device,
                 lane.device_name,
+                // PANICS: the row buffer is assembled from ASCII bytes only.
                 String::from_utf8(row).expect("ascii"),
                 100.0 * lane.idle_s / horizon
             );

@@ -100,6 +100,7 @@ pub fn run_seeded_traced<E: BatchEvaluator>(
     seed_confs: &[Conformation],
     trace: &Trace,
 ) -> RunResult {
+    // PANICS: invalid parameters are a caller programming error; fail fast.
     params.validate().expect("invalid metaheuristic parameters");
     assert!(!spots.is_empty(), "need at least one spot");
 
@@ -161,6 +162,7 @@ pub fn run_seeded_traced<E: BatchEvaluator>(
     }
 
     let best_per_spot: Vec<Conformation> = state.populations.iter().map(|pop| pop[0]).collect();
+    // PANICS: non-empty by caller contract.
     let best = *best_per_spot.iter().min_by(|a, b| score_cmp(a, b)).expect("non-empty spots");
 
     RunResult {
@@ -470,6 +472,7 @@ impl Engine<'_> {
             .iter()
             .map(|p| &p[0])
             .min_by(|a, b| score_cmp(a, b))
+            // PANICS: non-empty by caller contract.
             .expect("non-empty populations")
     }
 }

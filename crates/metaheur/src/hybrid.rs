@@ -49,6 +49,7 @@ pub fn run_memetic<E: BatchEvaluator>(
     evaluator: &mut E,
     seed: u64,
 ) -> RunResult {
+    // PANICS: invalid parameters are a caller programming error; fail fast.
     params.validate().expect("invalid memetic parameters");
     assert!(!spots.is_empty(), "need at least one spot");
 
@@ -95,6 +96,7 @@ pub fn run_memetic<E: BatchEvaluator>(
         *h = running;
     }
 
+    // PANICS: non-empty by caller contract.
     let best = *incumbents.iter().min_by(|a, b| score_cmp(a, b)).expect("non-empty");
     RunResult {
         best,

@@ -30,6 +30,7 @@
 //! heterogeneous GPUs. Scoring goes through the [`evaluator::BatchEvaluator`]
 //! abstraction so the same engine runs against the real Lennard-Jones
 //! scorer, a multithreaded CPU pool, or a simulated device.
+#![forbid(unsafe_code)]
 
 pub mod diversity;
 pub mod engine;

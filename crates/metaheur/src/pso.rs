@@ -90,6 +90,7 @@ pub fn run_pso<E: BatchEvaluator>(
     evaluator: &mut E,
     seed: u64,
 ) -> RunResult {
+    // PANICS: invalid parameters are a caller programming error; fail fast.
     params.validate().expect("invalid PSO parameters");
     assert!(!spots.is_empty(), "need at least one spot");
 
@@ -126,6 +127,7 @@ pub fn run_pso<E: BatchEvaluator>(
         .collect();
     let mut global_best: Vec<Conformation> = swarms
         .iter()
+        // PANICS: swarms are non-empty (validated) and scores finite by construction.
         .map(|sw| *sw.iter().map(|p| &p.personal_best).min_by(|a, b| score_cmp(a, b)).unwrap())
         .collect();
 
@@ -148,6 +150,7 @@ pub fn run_pso<E: BatchEvaluator>(
                         * (params.cognitive * r1)
                     + (gbest.pose.translation - p.current.pose.translation) * (params.social * r2);
                 if p.velocity.norm() > params.max_speed {
+                    // PANICS: norm exceeds max_speed > 0, so the vector is normalizable.
                     p.velocity = p.velocity.normalized().unwrap() * params.max_speed;
                 }
 
@@ -162,6 +165,7 @@ pub fn run_pso<E: BatchEvaluator>(
                     + to_gbest * (params.social * r4);
                 if p.angular_velocity.norm() > params.max_angular_speed {
                     p.angular_velocity =
+                        // PANICS: norm exceeds max_angular_speed > 0, so the vector is normalizable.
                         p.angular_velocity.normalized().unwrap() * params.max_angular_speed;
                 }
 
@@ -184,6 +188,7 @@ pub fn run_pso<E: BatchEvaluator>(
         let mut it = proposals.into_iter();
         for (si, swarm) in swarms.iter_mut().enumerate() {
             for p in swarm.iter_mut() {
+                // PANICS: the proposal batch was sized at one entry per particle above.
                 let cand = it.next().expect("proposal per particle");
                 p.current = cand;
                 if cand.score < p.personal_best.score {
@@ -197,6 +202,7 @@ pub fn run_pso<E: BatchEvaluator>(
         best_history.push(overall(&global_best));
     }
 
+    // PANICS: non-empty by caller contract.
     let best = *global_best.iter().min_by(|a, b| score_cmp(a, b)).expect("non-empty");
     RunResult {
         best,

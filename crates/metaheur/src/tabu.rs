@@ -103,6 +103,7 @@ pub fn run_tabu_from<E: BatchEvaluator>(
     seed: u64,
     warm_starts: &[Conformation],
 ) -> RunResult {
+    // PANICS: invalid parameters are a caller programming error; fail fast.
     params.validate().expect("invalid tabu parameters");
     assert!(!spots.is_empty(), "need at least one spot");
 
@@ -169,6 +170,7 @@ pub fn run_tabu_from<E: BatchEvaluator>(
             // Whole neighborhood tabu: take the least-bad candidate anyway
             // (stagnation breaker).
             let next = chosen.unwrap_or_else(|| {
+                // PANICS: non-empty by caller contract.
                 *group.iter().min_by(|a, b| score_cmp(a, b)).expect("non-empty")
             });
             w.current = next;
@@ -184,6 +186,7 @@ pub fn run_tabu_from<E: BatchEvaluator>(
     }
 
     let best_per_spot: Vec<Conformation> = walkers.iter().map(|w| w.best).collect();
+    // PANICS: non-empty by caller contract.
     let best = *best_per_spot.iter().min_by(|a, b| score_cmp(a, b)).expect("non-empty");
     RunResult {
         best,

@@ -126,6 +126,7 @@ where
 
     let best = points
         .iter()
+        // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
         .min_by(|a, b| a.mean_best.partial_cmp(&b.mean_best).expect("finite scores"))
         .expect("non-empty grid")
         .clone();

@@ -1,0 +1,642 @@
+//! The deterministic scheduler behind [`explore`].
+//!
+//! Model threads are real OS threads, but at most one ever executes user
+//! code: every instrumented operation calls [`Sched::switch`], which
+//! records the caller's new status, picks the next thread according to
+//! the schedule being explored, and parks the caller until it is chosen
+//! again. Schedules are enumerated by depth-first search over the choice
+//! points, bounded by a maximum number of *preemptions* (involuntary
+//! switches away from a still-runnable thread) per schedule.
+//!
+//! A schedule is the sequence of task ids chosen at each choice point; it
+//! serializes to a comma-separated string that [`replay`] can feed back to
+//! reproduce a failure deterministically.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Panic payload used to unwind model threads when a schedule is aborted
+/// (failure found, or replay diverged). Never escapes the crate: thread
+/// wrappers and [`explore`] catch it.
+pub(crate) struct AbortToken;
+
+/// What kind of defect a failing schedule exhibited.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// Every live thread is blocked (includes lost wakeups: a waiter that
+    /// missed its notify and will never be woken).
+    Deadlock,
+    /// User code panicked (assertion failure, explicit panic, ...).
+    Panic,
+    /// One schedule exceeded the step budget — a livelock or an unbounded
+    /// spin that never reaches a blocking operation.
+    StepLimit,
+    /// A replayed schedule did not match the execution (wrong schedule
+    /// string, or the closure is not deterministic).
+    ReplayDivergence,
+    /// The same choice prefix produced a different runnable set across
+    /// runs: the closure is nondeterministic and cannot be explored.
+    Nondeterminism,
+}
+
+/// A failing interleaving: what went wrong, and the schedule that
+/// reproduces it via [`replay`].
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// Defect category.
+    pub kind: FailureKind,
+    /// Human-readable description (panic message, blocked-thread list...).
+    pub message: String,
+    /// Replayable schedule trace: comma-separated task ids, one per choice
+    /// point, in order. Feed to [`replay`] to reproduce deterministically.
+    pub schedule: String,
+}
+
+/// Outcome of an [`explore`] or [`replay`] call.
+#[derive(Clone, Debug)]
+#[must_use = "a Report may carry a Failure; call assert_passed() or inspect .failure"]
+pub struct Report {
+    /// Number of schedules executed.
+    pub schedules: u64,
+    /// `true` when the state space was exhausted within the preemption
+    /// bound; `false` when the schedule budget ran out first (or a failure
+    /// short-circuited the search).
+    pub complete: bool,
+    /// The first failing interleaving found, if any.
+    pub failure: Option<Failure>,
+}
+
+impl Report {
+    /// Panic with the failure message and its replayable schedule if any
+    /// interleaving failed.
+    #[track_caller]
+    pub fn assert_passed(&self) {
+        if let Some(f) = &self.failure {
+            panic!(
+                "model checking failed after {} schedule(s): {:?}: {}\n  replay schedule: \"{}\"",
+                self.schedules, f.kind, f.message, f.schedule
+            );
+        }
+    }
+}
+
+/// Exploration parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Maximum involuntary context switches per schedule (CHESS-style
+    /// preemption bounding). Most real concurrency bugs need <= 2.
+    pub preemption_bound: usize,
+    /// Stop after this many schedules even if the space is not exhausted.
+    pub max_schedules: u64,
+    /// Per-schedule step budget; exceeding it reports [`FailureKind::StepLimit`].
+    pub max_steps: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { preemption_bound: 2, max_schedules: 20_000, max_steps: 20_000 }
+    }
+}
+
+impl Config {
+    /// A configuration with the given preemption bound and defaults otherwise.
+    pub fn with_bound(preemption_bound: usize) -> Config {
+        Config { preemption_bound, ..Config::default() }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+struct Task {
+    status: Status,
+    name: Option<String>,
+    /// Stashed payload of a user panic that escaped the task's closure;
+    /// consumed by `join`, or reported as a failure if never joined.
+    panic: Option<Box<dyn Any + Send + 'static>>,
+}
+
+/// One DFS choice point: the candidate tasks that were runnable, which one
+/// is currently chosen, and the preemption budget state when it was made.
+struct Frame {
+    /// Candidate task ids. When `voluntary` is `Some(t)`, `candidates[0] == t`
+    /// (continuing the running task) and every alternative is a preemption.
+    candidates: Vec<usize>,
+    /// Index into `candidates` chosen on the current schedule.
+    next: usize,
+    /// `Some(task)` when the switching task was still runnable here.
+    voluntary: Option<usize>,
+    /// Preemptions spent before this choice (bound check on backtrack).
+    preemptions_before: usize,
+}
+
+struct SState {
+    tasks: Vec<Task>,
+    running: Option<usize>,
+    done: bool,
+    aborting: bool,
+    failure: Option<Failure>,
+    /// Failure message is a placeholder to be upgraded with the real panic
+    /// payload once the unwind reaches the explore catch site.
+    failure_is_placeholder: bool,
+    trail: Vec<Frame>,
+    cursor: usize,
+    preemptions: usize,
+    steps: u64,
+    /// Chosen task id per choice point — the schedule trace.
+    choices: Vec<usize>,
+    /// Condvar id -> FIFO wait queue of task ids.
+    cv_waiters: HashMap<usize, Vec<usize>>,
+    /// Replay mode: forced task id per choice point.
+    forced: Option<Vec<usize>>,
+    cfg: Config,
+}
+
+pub(crate) struct Sched {
+    state: StdMutex<SState>,
+    cv: StdCondvar,
+}
+
+/// Per-thread scheduler context: which exploration this OS thread belongs
+/// to, and its task id. `None` means "not managed" — instrumented types
+/// pass straight through to `std`.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) sched: Arc<Sched>,
+    pub(crate) task: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn current() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+static NEXT_OBJ_ID: AtomicUsize = AtomicUsize::new(1);
+
+/// Process-unique id for a model mutex/condvar (blocking bookkeeping key).
+pub(crate) fn new_obj_id() -> usize {
+    NEXT_OBJ_ID.fetch_add(1, StdOrdering::Relaxed)
+}
+
+fn schedule_string(choices: &[usize]) -> String {
+    choices.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+impl Sched {
+    fn new(cfg: Config, trail: Vec<Frame>, forced: Option<Vec<usize>>) -> Sched {
+        Sched {
+            state: StdMutex::new(SState {
+                tasks: vec![Task { status: Status::Runnable, name: None, panic: None }],
+                running: Some(0),
+                done: false,
+                aborting: false,
+                failure: None,
+                failure_is_placeholder: false,
+                trail,
+                cursor: 0,
+                preemptions: 0,
+                steps: 0,
+                choices: Vec::new(),
+                cv_waiters: HashMap::new(),
+                forced,
+                cfg,
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> StdMutexGuard<'_, SState> {
+        // The scheduler mutex is never held across a panic point, but fall
+        // back to the inner state anyway: a poisoned scheduler must not
+        // cascade into every parked thread.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record a failure (first one wins), abort the schedule, and wake
+    /// every parked thread so it can unwind.
+    fn fail(&self, st: &mut SState, kind: FailureKind, message: String, placeholder: bool) {
+        if st.failure.is_none() {
+            st.failure = Some(Failure { kind, message, schedule: schedule_string(&st.choices) });
+            st.failure_is_placeholder = placeholder;
+        }
+        st.aborting = true;
+        st.running = None;
+        self.cv.notify_all();
+    }
+
+    /// Mark the whole schedule as aborted from a panic unwinding through
+    /// model code (e.g. a Drop impl that joins). Idempotent.
+    pub(crate) fn begin_abort(&self, why: &str) {
+        let mut st = self.lock();
+        if !st.aborting {
+            self.fail(&mut st, FailureKind::Panic, why.to_string(), true);
+        }
+    }
+
+    /// Pick the next task to run. `from` is the task making the switch (its
+    /// status is already updated). Must be called with the state locked.
+    fn pick_next(&self, st: &mut SState, from: Option<usize>) {
+        if st.aborting || st.done {
+            self.cv.notify_all();
+            return;
+        }
+        let enabled: Vec<usize> = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if enabled.is_empty() {
+            if st.tasks.iter().all(|t| t.status == Status::Finished) {
+                st.running = None;
+                st.done = true;
+                self.cv.notify_all();
+                return;
+            }
+            let blocked: Vec<String> = st
+                .tasks
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.status != Status::Finished)
+                .map(|(i, t)| {
+                    let name = t.name.as_deref().unwrap_or("<unnamed>");
+                    format!("task {i} ({name}) {:?}", t.status)
+                })
+                .collect();
+            self.fail(
+                st,
+                FailureKind::Deadlock,
+                format!("deadlock: every live thread is blocked: {}", blocked.join("; ")),
+                false,
+            );
+            return;
+        }
+
+        let voluntary = from.filter(|&f| st.tasks[f].status == Status::Runnable);
+        let mut candidates = Vec::with_capacity(enabled.len());
+        if let Some(f) = voluntary {
+            candidates.push(f);
+        }
+        candidates.extend(enabled.iter().copied().filter(|&t| Some(t) != voluntary));
+
+        let idx = st.cursor;
+        st.cursor += 1;
+        let pos = if let Some(forced) = &st.forced {
+            match forced.get(idx).and_then(|want| candidates.iter().position(|t| t == want)) {
+                Some(p) => p,
+                None => {
+                    let msg = format!(
+                        "replay diverged at choice {idx}: schedule wants {:?}, runnable {candidates:?}",
+                        forced.get(idx)
+                    );
+                    self.fail(st, FailureKind::ReplayDivergence, msg, false);
+                    return;
+                }
+            }
+        } else if idx < st.trail.len() {
+            if st.trail[idx].candidates != candidates {
+                let msg = format!(
+                    "choice {idx}: runnable set changed across runs ({:?} vs {candidates:?}) — \
+                     the closure under test must be deterministic",
+                    st.trail[idx].candidates
+                );
+                self.fail(st, FailureKind::Nondeterminism, msg, false);
+                return;
+            }
+            st.trail[idx].next
+        } else {
+            st.trail.push(Frame {
+                candidates: candidates.clone(),
+                next: 0,
+                voluntary,
+                preemptions_before: st.preemptions,
+            });
+            0
+        };
+        let chosen = candidates[pos];
+        if voluntary.is_some() && Some(chosen) != voluntary {
+            st.preemptions += 1;
+        }
+        st.choices.push(chosen);
+        st.running = Some(chosen);
+        self.cv.notify_all();
+    }
+
+    /// One scheduling step: `me` transitions to `status`, the scheduler
+    /// picks who runs next, and the call returns once `me` is scheduled
+    /// again. Panics with [`AbortToken`] when the schedule is aborted.
+    ///
+    /// Called during a panic unwind (a Drop impl doing synchronization),
+    /// this aborts the schedule and returns immediately instead of parking
+    /// — parking an unwinding thread could deadlock the teardown.
+    pub(crate) fn switch(&self, me: usize, status: Status) {
+        if std::thread::panicking() {
+            self.begin_abort("panic unwound into a blocking model operation");
+            return;
+        }
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        st.tasks[me].status = status;
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            let msg = format!("schedule exceeded {} steps (livelock?)", st.cfg.max_steps);
+            self.fail(&mut st, FailureKind::StepLimit, msg, false);
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        self.pick_next(&mut st, Some(me));
+        while st.running != Some(me) {
+            if st.aborting {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block until the scheduler first hands control to freshly spawned
+    /// task `me`. Returns `false` when the schedule was aborted before
+    /// that happened (the task must then exit without running its closure).
+    pub(crate) fn wait_until_scheduled(&self, me: usize) -> bool {
+        let mut st = self.lock();
+        loop {
+            if st.aborting {
+                return false;
+            }
+            if st.running == Some(me) {
+                return true;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Register a new runnable task (model `thread::spawn`).
+    pub(crate) fn register_task(&self, name: Option<String>) -> usize {
+        let mut st = self.lock();
+        st.tasks.push(Task { status: Status::Runnable, name, panic: None });
+        st.tasks.len() - 1
+    }
+
+    /// Task `me` ran to completion (`payload` carries an escaped panic).
+    /// Wakes joiners and schedules the next task.
+    pub(crate) fn task_finished(&self, me: usize, payload: Option<Box<dyn Any + Send>>) {
+        let mut st = self.lock();
+        st.tasks[me].status = Status::Finished;
+        st.tasks[me].panic = payload;
+        for t in 0..st.tasks.len() {
+            if st.tasks[t].status == Status::BlockedJoin(me) {
+                st.tasks[t].status = Status::Runnable;
+            }
+        }
+        if st.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st, Some(me));
+    }
+
+    /// Mark `me` finished without scheduling (abort teardown path).
+    pub(crate) fn finish_quiet(&self, me: usize) {
+        let mut st = self.lock();
+        st.tasks[me].status = Status::Finished;
+        for t in 0..st.tasks.len() {
+            if st.tasks[t].status == Status::BlockedJoin(me) {
+                st.tasks[t].status = Status::Runnable;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Model `join`: block until `target` finishes. Also a choice point.
+    pub(crate) fn join_model(&self, me: usize, target: usize) {
+        if std::thread::panicking() {
+            self.begin_abort("panic unwound into a model join");
+            return;
+        }
+        let target_finished = { self.lock().tasks[target].status == Status::Finished };
+        if target_finished {
+            // Still a scheduling point, for coverage of post-join interleavings.
+            self.switch(me, Status::Runnable);
+        } else {
+            self.switch(me, Status::BlockedJoin(target));
+        }
+    }
+
+    /// Take the stashed panic payload of a finished task (model `join`).
+    pub(crate) fn take_panic(&self, target: usize) -> Option<Box<dyn Any + Send>> {
+        self.lock().tasks[target].panic.take()
+    }
+
+    /// Park `me` until the mutex it failed to acquire is released.
+    pub(crate) fn block_on_mutex(&self, me: usize, mutex: usize) {
+        if std::thread::panicking() {
+            self.begin_abort("panic unwound into a model mutex acquisition");
+            // The owner is unwinding concurrently during an abort; spin
+            // politely until its guard drop releases the inner lock.
+            std::thread::yield_now();
+            return;
+        }
+        self.switch(me, Status::BlockedMutex(mutex));
+    }
+
+    /// A mutex was released: its blocked waiters become runnable (they
+    /// re-contend when scheduled — barging semantics, like std).
+    pub(crate) fn mutex_released(&self, mutex: usize) {
+        let mut st = self.lock();
+        for t in 0..st.tasks.len() {
+            if st.tasks[t].status == Status::BlockedMutex(mutex) {
+                st.tasks[t].status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Atomically (w.r.t. the model) enqueue `me` on condvar `cv_id`,
+    /// release `mutex_id`'s waiters, and park until notified. The caller
+    /// must have already dropped the real inner guard.
+    pub(crate) fn condvar_wait(&self, me: usize, cv_id: usize, mutex_id: usize) {
+        if std::thread::panicking() {
+            self.begin_abort("panic unwound into a model condvar wait");
+            return;
+        }
+        {
+            let mut st = self.lock();
+            st.cv_waiters.entry(cv_id).or_default().push(me);
+            for t in 0..st.tasks.len() {
+                if st.tasks[t].status == Status::BlockedMutex(mutex_id) {
+                    st.tasks[t].status = Status::Runnable;
+                }
+            }
+        }
+        self.switch(me, Status::BlockedCondvar(cv_id));
+    }
+
+    /// Wake one (FIFO) or all waiters of a condvar. Waiters that were
+    /// never enqueued are unaffected — notifies with no waiter are lost,
+    /// exactly like the real primitive.
+    pub(crate) fn notify(&self, cv_id: usize, all: bool) {
+        let mut st = self.lock();
+        if let Some(q) = st.cv_waiters.get_mut(&cv_id) {
+            let n = if all { q.len() } else { usize::from(!q.is_empty()) };
+            let woken: Vec<usize> = q.drain(..n).collect();
+            for t in woken {
+                st.tasks[t].status = Status::Runnable;
+            }
+        }
+    }
+
+    /// Wait until every task has finished (explore teardown).
+    fn wait_all_done(&self) {
+        let mut st = self.lock();
+        while !st.tasks.iter().all(|t| t.status == Status::Finished) {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Advance the DFS trail to the next unexplored schedule. Returns `false`
+/// when the (preemption-bounded) space is exhausted.
+fn advance_trail(trail: &mut Vec<Frame>, bound: usize) -> bool {
+    while let Some(f) = trail.last_mut() {
+        // Alternatives at a voluntary choice are preemptions; they are only
+        // explorable while the budget before this choice has headroom.
+        let allowed = f.voluntary.is_none() || f.preemptions_before < bound;
+        if allowed && f.next + 1 < f.candidates.len() {
+            f.next += 1;
+            return true;
+        }
+        trail.pop();
+    }
+    false
+}
+
+/// Run the closure once under one schedule. Returns the (possibly grown)
+/// trail and the failure, if any.
+fn run_one(
+    f: &dyn Fn(),
+    cfg: Config,
+    trail: Vec<Frame>,
+    forced: Option<Vec<usize>>,
+) -> (Vec<Frame>, Option<Failure>) {
+    let sched = Arc::new(Sched::new(cfg, trail, forced));
+    set_ctx(Some(Ctx { sched: Arc::clone(&sched), task: 0 }));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    match result {
+        Ok(()) => sched.task_finished(0, None),
+        Err(p) if p.is::<AbortToken>() => sched.finish_quiet(0),
+        Err(p) => {
+            let msg = format!("task 0 panicked: {}", payload_message(p.as_ref()));
+            {
+                let mut st = sched.lock();
+                if st.failure.is_none() || st.failure_is_placeholder {
+                    let schedule = st
+                        .failure
+                        .take()
+                        .map(|f| f.schedule)
+                        .unwrap_or_else(|| schedule_string(&st.choices));
+                    st.failure = Some(Failure { kind: FailureKind::Panic, message: msg, schedule });
+                    st.failure_is_placeholder = false;
+                }
+                st.aborting = true;
+                st.running = None;
+                sched.cv.notify_all();
+            }
+            sched.finish_quiet(0);
+        }
+    }
+    sched.wait_all_done();
+    set_ctx(None);
+
+    let mut st = sched.lock();
+    if st.failure.is_none() {
+        // A child panicked and nobody joined it: that is a failure too.
+        let unjoined = st
+            .tasks
+            .iter()
+            .enumerate()
+            .find_map(|(i, t)| t.panic.as_ref().map(|p| (i, payload_message(p.as_ref()))));
+        if let Some((i, msg)) = unjoined {
+            st.failure = Some(Failure {
+                kind: FailureKind::Panic,
+                message: format!("task {i} panicked (never joined): {msg}"),
+                schedule: schedule_string(&st.choices),
+            });
+        }
+    }
+    (std::mem::take(&mut st.trail), st.failure.take())
+}
+
+/// Exhaustively explore thread interleavings of `f` within the preemption
+/// bound (or until the schedule budget runs out), reporting the first
+/// failing interleaving with a replayable schedule.
+///
+/// `f` runs once per schedule and must be deterministic: same schedule,
+/// same behavior. Threads must be spawned with [`crate::thread::spawn`] /
+/// [`crate::thread::Builder`] and synchronize only through [`crate::sync`]
+/// primitives created inside the closure.
+pub fn explore(cfg: Config, f: impl Fn()) -> Report {
+    assert!(current().is_none(), "explore() cannot be nested inside an exploration");
+    let mut trail: Vec<Frame> = Vec::new();
+    let mut schedules = 0u64;
+    loop {
+        schedules += 1;
+        let (new_trail, failure) = run_one(&f, cfg, std::mem::take(&mut trail), None);
+        trail = new_trail;
+        if failure.is_some() {
+            return Report { schedules, complete: false, failure };
+        }
+        if !advance_trail(&mut trail, cfg.preemption_bound) {
+            return Report { schedules, complete: true, failure: None };
+        }
+        if schedules >= cfg.max_schedules {
+            return Report { schedules, complete: false, failure: None };
+        }
+    }
+}
+
+/// Re-run `f` under one exact schedule (as produced in
+/// [`Failure::schedule`]) and report what happened. A deterministic
+/// closure reproduces the original failure identically; a divergence is
+/// reported as [`FailureKind::ReplayDivergence`].
+pub fn replay(schedule: &str, f: impl Fn()) -> Report {
+    assert!(current().is_none(), "replay() cannot be nested inside an exploration");
+    let forced: Vec<usize> = schedule
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        // PANICS: replay schedules are developer-supplied; a malformed token is a usage error worth failing loudly on.
+        .map(|s| s.parse().expect("schedule tokens must be task ids"))
+        .collect();
+    let (_, failure) = run_one(&f, Config::default(), Vec::new(), Some(forced));
+    Report { schedules: 1, complete: false, failure }
+}

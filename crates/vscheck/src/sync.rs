@@ -1,0 +1,331 @@
+//! Instrumented drop-in replacements for `std::sync` primitives.
+//!
+//! Outside an [`explore`](crate::explore) run every type here passes
+//! straight through to its `std` counterpart (a thread-local context check
+//! per operation). Inside a run, every operation is a scheduler choice
+//! point: the calling model thread yields, the scheduler decides who runs
+//! next, and blocking operations park the task in the scheduler rather
+//! than in the OS.
+//!
+//! The model executes under sequential consistency: atomic orderings are
+//! accepted for API compatibility and ignored (everything is `SeqCst`).
+
+use crate::sched::{self, Ctx, Status};
+use std::sync::{
+    Condvar as StdCondvar, LockResult, Mutex as StdMutex, MutexGuard as StdMutexGuard, PoisonError,
+    TryLockError,
+};
+
+/// A mutex with the `std::sync::Mutex` locking API (poisoning included),
+/// instrumented as a scheduler choice point in model runs.
+pub struct Mutex<T> {
+    id: usize,
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new unlocked mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex { id: sched::new_obj_id(), inner: StdMutex::new(value) }
+    }
+
+    /// Acquire the mutex, blocking the calling (model) thread until it is
+    /// available. Returns `Err` if a holder panicked, like `std`.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match sched::current() {
+            None => wrap_lock(self.inner.lock(), self, None),
+            Some(ctx) => {
+                // Choice point before the acquisition attempt, then contend:
+                // on failure park until the holder releases, and re-contend
+                // when scheduled (barging semantics, like std).
+                ctx.sched.switch(ctx.task, Status::Runnable);
+                loop {
+                    match self.inner.try_lock() {
+                        Ok(g) => return wrap_lock(Ok(g), self, Some(ctx)),
+                        Err(TryLockError::Poisoned(p)) => {
+                            return wrap_lock(Err(p), self, Some(ctx));
+                        }
+                        Err(TryLockError::WouldBlock) => {
+                            ctx.sched.block_on_mutex(ctx.task, self.id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consume the mutex and return its value (never blocks).
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+fn wrap_lock<'a, T>(
+    res: Result<StdMutexGuard<'a, T>, PoisonError<StdMutexGuard<'a, T>>>,
+    lock: &'a Mutex<T>,
+    ctx: Option<Ctx>,
+) -> LockResult<MutexGuard<'a, T>> {
+    match res {
+        Ok(g) => Ok(MutexGuard { inner: Some(g), lock, ctx }),
+        Err(p) => Err(PoisonError::new(MutexGuard { inner: Some(p.into_inner()), lock, ctx })),
+    }
+}
+
+/// RAII guard for [`Mutex`]; releasing it is a scheduler choice point.
+pub struct MutexGuard<'a, T> {
+    /// `None` only transiently, while a condvar wait has released the lock.
+    inner: Option<StdMutexGuard<'a, T>>,
+    lock: &'a Mutex<T>,
+    ctx: Option<Ctx>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // PANICS: `inner` is only None transiently inside `Condvar::wait`; guards are not user-visible in that window.
+        self.inner.as_ref().expect("guard accessed while released")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // PANICS: `inner` is only None transiently inside `Condvar::wait`; guards are not user-visible in that window.
+        self.inner.as_mut().expect("guard accessed while released")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let released = self.inner.take().is_some();
+        if let (true, Some(ctx)) = (released, &self.ctx) {
+            ctx.sched.mutex_released(self.lock.id);
+            // Unwinding with a guard (poisoning path) must only release:
+            // parking a panicking thread could deadlock the teardown.
+            if !std::thread::panicking() {
+                ctx.sched.switch(ctx.task, Status::Runnable);
+            }
+        }
+    }
+}
+
+/// A condition variable with the `std::sync::Condvar` API. In model runs
+/// waits are scheduler-managed: enqueueing is atomic with the mutex
+/// release (no missed-notify window, matching `std`'s guarantee), wakeups
+/// are FIFO, and there are **no spurious wakeups**.
+pub struct Condvar {
+    id: usize,
+    inner: StdCondvar,
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Condvar {
+        Condvar { id: sched::new_obj_id(), inner: StdCondvar::new() }
+    }
+
+    /// Release the guard's mutex, block until notified, reacquire.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        // PANICS: the caller passed a live guard; `inner` is None only while parked inside this very function.
+        let std_guard = guard.inner.take().expect("guard accessed while released");
+        match guard.ctx.clone() {
+            None => {
+                let lock = guard.lock;
+                drop(guard); // inert: inner already taken
+                wrap_lock(self.inner.wait(std_guard), lock, None)
+            }
+            Some(ctx) => {
+                let lock = guard.lock;
+                drop(guard); // inert
+                drop(std_guard); // release the real lock
+                ctx.sched.mutex_released(lock.id);
+                // Enqueue-and-park; enqueueing happens before any other
+                // task can run, so a notify between release and park is
+                // impossible in the model (as in std).
+                ctx.sched.condvar_wait(ctx.task, self.id, lock.id);
+                // Woken (or aborted — switch panics then): reacquire.
+                loop {
+                    match lock.inner.try_lock() {
+                        Ok(g) => return wrap_lock(Ok(g), lock, Some(ctx)),
+                        Err(TryLockError::Poisoned(p)) => {
+                            return wrap_lock(Err(p), lock, Some(ctx));
+                        }
+                        Err(TryLockError::WouldBlock) => {
+                            ctx.sched.block_on_mutex(ctx.task, lock.id);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wake one waiter (FIFO in the model). A notify with no waiter is
+    /// lost, exactly like the real primitive.
+    pub fn notify_one(&self) {
+        self.notify(false);
+    }
+
+    /// Wake every current waiter.
+    pub fn notify_all(&self) {
+        self.notify(true);
+    }
+
+    fn notify(&self, all: bool) {
+        match sched::current() {
+            None => {
+                if all {
+                    self.inner.notify_all();
+                } else {
+                    self.inner.notify_one();
+                }
+            }
+            Some(ctx) => {
+                if !std::thread::panicking() {
+                    // The notify itself is a choice point: schedules where
+                    // it lands earlier/later relative to the waiters differ.
+                    ctx.sched.switch(ctx.task, Status::Runnable);
+                }
+                ctx.sched.notify(self.id, all);
+                // Insurance for (unsupported) mixed model/passthrough use:
+                // a real waiter on the inner condvar is still woken.
+                self.inner.notify_all();
+            }
+        }
+    }
+}
+
+/// Instrumented atomic integer and boolean types.
+///
+/// Every access is a scheduler choice point in model runs; the requested
+/// memory ordering is honored in passthrough mode and ignored (SeqCst) in
+/// the model — weak-memory effects are out of scope (crate docs).
+pub mod atomic {
+    use crate::sched::{self, Status};
+    pub use std::sync::atomic::Ordering;
+
+    fn yield_point() {
+        if let Some(ctx) = sched::current() {
+            if !std::thread::panicking() {
+                ctx.sched.switch(ctx.task, Status::Runnable);
+            }
+        }
+    }
+
+    macro_rules! int_atomic {
+        ($name:ident, $std:ty, $int:ty) => {
+            /// Instrumented counterpart of the `std::sync::atomic` type of
+            /// the same name (see module docs).
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Create a new atomic with the given initial value.
+                pub const fn new(v: $int) -> $name {
+                    $name { inner: <$std>::new(v) }
+                }
+
+                /// Atomic load (choice point in model runs).
+                pub fn load(&self, order: Ordering) -> $int {
+                    yield_point();
+                    self.inner.load(effective(order))
+                }
+
+                /// Atomic store (choice point in model runs).
+                pub fn store(&self, v: $int, order: Ordering) {
+                    yield_point();
+                    self.inner.store(v, effective(order));
+                }
+
+                /// Atomic add, returning the previous value.
+                pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                    yield_point();
+                    self.inner.fetch_add(v, effective(order))
+                }
+
+                /// Atomic subtract, returning the previous value.
+                pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                    yield_point();
+                    self.inner.fetch_sub(v, effective(order))
+                }
+
+                /// Atomic swap, returning the previous value.
+                pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                    yield_point();
+                    self.inner.swap(v, effective(order))
+                }
+
+                /// Atomic compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    yield_point();
+                    self.inner.compare_exchange(
+                        current,
+                        new,
+                        effective(success),
+                        effective(failure),
+                    )
+                }
+
+                /// Plain (non-choice-point) read via exclusive access.
+                pub fn get_mut(&mut self) -> &mut $int {
+                    self.inner.get_mut()
+                }
+            }
+        };
+    }
+
+    /// In model mode everything collapses to SeqCst; in passthrough the
+    /// caller's ordering is used verbatim.
+    fn effective(order: Ordering) -> Ordering {
+        if sched::current().is_some() {
+            Ordering::SeqCst
+        } else {
+            order
+        }
+    }
+
+    int_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    int_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    int_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    /// Instrumented counterpart of `std::sync::atomic::AtomicBool`.
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Create a new atomic bool with the given initial value.
+        pub const fn new(v: bool) -> AtomicBool {
+            AtomicBool { inner: std::sync::atomic::AtomicBool::new(v) }
+        }
+
+        /// Atomic load (choice point in model runs).
+        pub fn load(&self, order: Ordering) -> bool {
+            yield_point();
+            self.inner.load(effective(order))
+        }
+
+        /// Atomic store (choice point in model runs).
+        pub fn store(&self, v: bool, order: Ordering) {
+            yield_point();
+            self.inner.store(v, effective(order));
+        }
+
+        /// Atomic swap, returning the previous value.
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            yield_point();
+            self.inner.swap(v, effective(order))
+        }
+    }
+}

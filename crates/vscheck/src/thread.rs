@@ -1,0 +1,149 @@
+//! Instrumented replacements for `std::thread` spawn/join.
+//!
+//! Outside an [`explore`](crate::explore) run these delegate to
+//! `std::thread`. Inside a run, a spawned closure becomes a scheduler
+//! *task*: it runs on a real OS thread, but only when the scheduler hands
+//! it control, and `spawn`/`join` are themselves choice points.
+
+use crate::sched::{self, AbortToken, Ctx, Sched, Status};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// Factory with the `std::thread::Builder` API subset the workspace uses.
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Create a builder with no name set.
+    pub fn new() -> Builder {
+        Builder { name: None }
+    }
+
+    /// Name the thread (shows up in scheduler failure reports and, in
+    /// passthrough mode, in OS thread names / panic messages).
+    pub fn name(mut self, name: String) -> Builder {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawn the closure as an OS thread (passthrough) or a scheduler
+    /// task (model run).
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let mut builder = std::thread::Builder::new();
+        if let Some(n) = &self.name {
+            builder = builder.name(n.clone());
+        }
+        match sched::current() {
+            None => Ok(JoinHandle(Inner::Real(builder.spawn(f)?))),
+            Some(ctx) => {
+                let sched = Arc::clone(&ctx.sched);
+                let task = sched.register_task(self.name);
+                let slot: Arc<StdMutex<Option<T>>> = Arc::new(StdMutex::new(None));
+                let thread_sched = Arc::clone(&sched);
+                let thread_slot = Arc::clone(&slot);
+                let real = builder.spawn(move || {
+                    sched::set_ctx(Some(Ctx { sched: Arc::clone(&thread_sched), task }));
+                    if !thread_sched.wait_until_scheduled(task) {
+                        // Schedule aborted before this task ever ran.
+                        thread_sched.finish_quiet(task);
+                        return;
+                    }
+                    match panic::catch_unwind(AssertUnwindSafe(f)) {
+                        Ok(v) => {
+                            *thread_slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(v);
+                            thread_sched.task_finished(task, None);
+                        }
+                        Err(p) if p.is::<AbortToken>() => thread_sched.finish_quiet(task),
+                        Err(p) => thread_sched.task_finished(task, Some(p)),
+                    }
+                })?;
+                // The spawn is a choice point: the child may run before the
+                // parent's next step.
+                ctx.sched.switch(ctx.task, Status::Runnable);
+                Ok(JoinHandle(Inner::Model { sched, task, real: Some(real), slot }))
+            }
+        }
+    }
+}
+
+/// Spawn a thread with no name; panics on OS spawn failure (like `std`).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    // PANICS: mirrors `std::thread::spawn`, which also panics when the OS cannot spawn.
+    Builder::new().spawn(f).expect("failed to spawn thread")
+}
+
+/// Voluntarily yield: a pure scheduler choice point in model runs,
+/// `std::thread::yield_now` otherwise.
+pub fn yield_now() {
+    match sched::current() {
+        None => std::thread::yield_now(),
+        Some(ctx) => {
+            if !std::thread::panicking() {
+                ctx.sched.switch(ctx.task, Status::Runnable);
+            }
+        }
+    }
+}
+
+enum Inner<T> {
+    Real(std::thread::JoinHandle<T>),
+    Model {
+        sched: Arc<Sched>,
+        task: usize,
+        real: Option<std::thread::JoinHandle<()>>,
+        slot: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Owned permission to join a thread, as `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, returning its value or its panic
+    /// payload (`Err`), exactly like `std`. In a model run the join is a
+    /// blocking scheduler operation (and a deadlock candidate).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Real(h) => h.join(),
+            Inner::Model { sched, task, mut real, slot } => {
+                if let Some(ctx) = sched::current() {
+                    sched.join_model(ctx.task, task);
+                }
+                // The task has finished (or the schedule is aborting, in
+                // which case wait_until_scheduled/switch unblock it); the
+                // OS thread exits promptly either way.
+                if let Some(h) = real.take() {
+                    let _ = h.join();
+                }
+                if let Some(p) = sched.take_panic(task) {
+                    return Err(p);
+                }
+                match slot.lock().unwrap_or_else(|e| e.into_inner()).take() {
+                    Some(v) => Ok(v),
+                    // No value and no panic: the schedule aborted under us;
+                    // unwind this task too so teardown completes.
+                    None => panic::panic_any(AbortToken),
+                }
+            }
+        }
+    }
+
+    /// Whether the thread has finished (passthrough only; in model runs
+    /// this is conservative and may report `false` for a finished task).
+    pub fn is_finished(&self) -> bool {
+        match &self.0 {
+            Inner::Real(h) => h.is_finished(),
+            Inner::Model { real, .. } => real.as_ref().is_some_and(|h| h.is_finished()),
+        }
+    }
+}

@@ -61,6 +61,7 @@ pub fn assign_jobs_dynamic(devices: &[Arc<SimDevice>], jobs: &[JobCost]) -> JobS
         let (di, dev) = devices
             .iter()
             .enumerate()
+            // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
             .min_by(|a, b| a.1.clock().partial_cmp(&b.1.clock()).unwrap())
             .expect("non-empty");
         dev.execute(&WorkBatch::conformations(jobs[j].items, jobs[j].pairs_per_item));
@@ -130,6 +131,7 @@ where
     }
 
     let best_per_spot: Vec<Conformation> =
+        // PANICS: the epoch loop dispatches work to every spot, and scores are finite.
         incumbents.into_iter().map(|c| c.expect("every spot searched")).collect();
     let best = *best_per_spot.iter().min_by(|a, b| score_cmp(a, b)).expect("non-empty");
     CoopResult { best, best_per_spot, epoch_history, evaluations }

@@ -29,10 +29,11 @@
 
 use crate::partition::proportional_split;
 use crate::strategy::Strategy;
+use crate::sync::thread::{Builder, JoinHandle};
+use crate::sync::{Condvar, Mutex};
 use gpusim::{SimDevice, WorkBatch};
 use metaheur::BatchEvaluator;
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use vsmol::Conformation;
 use vsscore::{Exec, ScoreBatch, Scorer};
 use vstrace::{Event, Trace, BATCH_TRACK};
@@ -64,6 +65,10 @@ struct DevJob {
     len: usize,
     timeline: Option<Arc<gpusim::Timeline>>,
     trace: Trace,
+    /// Test hook: the worker panics instead of scoring this share, to pin
+    /// panic propagation through the completion handshake.
+    #[cfg(test)]
+    induce_panic: bool,
 }
 
 // SAFETY: the pointer is only dereferenced between job publication and the
@@ -111,6 +116,10 @@ pub struct DeviceEvaluator {
     warmup_done: u32,
     shared: Arc<DevShared>,
     workers: Vec<JoinHandle<()>>,
+    /// Test hook: make every worker panic on the next `evaluate` (see
+    /// `DevJob::induce_panic`).
+    #[cfg(test)]
+    panic_next: bool,
 }
 
 impl DeviceEvaluator {
@@ -167,7 +176,7 @@ impl DeviceEvaluator {
                 let shared = Arc::clone(&shared);
                 let dev = Arc::clone(dev);
                 let scorer = Arc::clone(&scorer);
-                std::thread::Builder::new()
+                Builder::new()
                     .name(format!("vsched-dev-{index}"))
                     .spawn(move || device_worker(&shared, index, &dev, &scorer))
                     .expect("failed to spawn device worker")
@@ -183,6 +192,8 @@ impl DeviceEvaluator {
             warmup_done: 0,
             shared,
             workers,
+            #[cfg(test)]
+            panic_next: false,
         }
     }
 
@@ -220,6 +231,13 @@ impl DeviceEvaluator {
             Mode::Static(w) => w,
             _ => &[],
         }
+    }
+
+    /// Test hook: every worker panics on the next `evaluate` call, which
+    /// must re-raise on the submitter and leave the evaluator usable.
+    #[cfg(test)]
+    fn induce_worker_panic(&mut self) {
+        self.panic_next = true;
     }
 
     fn shares_for(&self, items: u64) -> Vec<u64> {
@@ -277,6 +295,7 @@ fn device_worker(shared: &DevShared, index: usize, dev: &SimDevice, scorer: &Sco
     let mut seen_generation = 0u64;
     loop {
         let job = {
+            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
             let mut st = shared.state.lock().expect("executor mutex poisoned");
             loop {
                 if st.shutdown {
@@ -286,6 +305,7 @@ fn device_worker(shared: &DevShared, index: usize, dev: &SimDevice, scorer: &Sco
                     seen_generation = st.generation;
                     break st.jobs[index].take();
                 }
+                // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
                 st = shared.work_cv.wait(st).expect("executor mutex poisoned");
             }
         };
@@ -295,6 +315,12 @@ fn device_worker(shared: &DevShared, index: usize, dev: &SimDevice, scorer: &Sco
         // panic is recorded and re-raised on the submitting thread.
         let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if let Some(job) = &job {
+                #[cfg(test)]
+                {
+                    if job.induce_panic {
+                        panic!("induced device worker panic");
+                    }
+                }
                 if job.len > 0 {
                     // SAFETY: see the DevJob safety comment — the submitter
                     // blocks in `evaluate` until every worker decrements
@@ -327,6 +353,7 @@ fn device_worker(shared: &DevShared, index: usize, dev: &SimDevice, scorer: &Sco
             }
         }));
 
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         let mut st = shared.state.lock().expect("executor mutex poisoned");
         if body.is_err() {
             st.panicked = true;
@@ -352,6 +379,7 @@ impl BatchEvaluator for DeviceEvaluator {
 
         // Publish one contiguous share per worker and block until all done.
         {
+            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
             let mut st = self.shared.state.lock().expect("executor mutex poisoned");
             let mut offset = 0usize;
             for (slot, &share) in st.jobs.iter_mut().zip(&shares) {
@@ -363,6 +391,8 @@ impl BatchEvaluator for DeviceEvaluator {
                     len: share,
                     timeline: self.timeline.clone(),
                     trace: self.trace.clone(),
+                    #[cfg(test)]
+                    induce_panic: self.panic_next,
                 });
                 offset += share;
             }
@@ -371,9 +401,15 @@ impl BatchEvaluator for DeviceEvaluator {
             st.remaining = self.workers.len();
         }
         self.shared.work_cv.notify_all();
+        #[cfg(test)]
+        {
+            self.panic_next = false;
+        }
         let panicked = {
+            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
             let mut st = self.shared.state.lock().expect("executor mutex poisoned");
             while st.remaining > 0 {
+                // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating is deliberate.
                 st = self.shared.done_cv.wait(st).expect("executor mutex poisoned");
             }
             std::mem::take(&mut st.panicked)
@@ -738,6 +774,28 @@ mod tests {
     }
 
     #[test]
+    fn worker_panic_propagates_and_evaluator_survives() {
+        let sc = scorer();
+        let mut ev = DeviceEvaluator::new(hertz_devices(), sc.clone(), Strategy::HomogeneousSplit);
+        ev.induce_worker_panic();
+        let mut c = confs(8, 31);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ev.evaluate(&mut c);
+        }));
+        assert!(caught.is_err(), "worker panic must re-raise on the submitter");
+        // The completion bookkeeping must have recovered: the next batch
+        // runs to completion and scores correctly.
+        let mut a = confs(12, 32);
+        let mut b = a.clone();
+        ev.evaluate(&mut a);
+        let mut scratch = vsscore::PoseScratch::new();
+        sc.score_batch(ScoreBatch::Confs(&mut b), &mut scratch, Exec::Serial);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
     #[should_panic]
     fn cpu_only_strategy_rejected() {
         DeviceEvaluator::new(hertz_devices(), scorer(), Strategy::CpuOnly);
@@ -775,5 +833,135 @@ mod tests {
             params.evals_per_spot(),
             "evaluation accounting must survive the device path"
         );
+    }
+}
+
+/// Exhaustive interleaving checks of the executor's per-device job
+/// handoff, via the `vscheck` model checker (run with
+/// `cargo test -p vsched --features vscheck-model model_`).
+///
+/// Invariants (the PR 1 review caught a clobbered job slot and a deadlock
+/// on worker panic here by eyeball; these explore every interleaving
+/// within the preemption bound): every conformation scored exactly once
+/// with serial-identical results, `remaining` never underflows (underflow
+/// aborts a schedule as a debug panic), a worker panic re-raises on the
+/// submitter without wedging the handshake, and drop joins every worker.
+#[cfg(all(test, feature = "vscheck-model"))]
+mod model_tests {
+    use super::*;
+    use gpusim::catalog;
+    use vscheck::{explore, Config};
+    use vsmath::{RigidTransform, RngStream};
+    use vsmol::synth;
+
+    /// Tiny scorer: immutable after construction and free of facade sync
+    /// ops, so sharing one across schedules is deterministic.
+    fn tiny_scorer() -> Arc<Scorer> {
+        let rec = synth::synth_receptor("r", 30, 1);
+        let lig = synth::synth_ligand("l", 4, 1);
+        Arc::new(Scorer::new(&rec, &lig, Default::default()))
+    }
+
+    fn tiny_confs(n: usize) -> Vec<Conformation> {
+        let mut rng = RngStream::from_seed(23);
+        (0..n)
+            .map(|_| Conformation::new(RigidTransform::new(rng.rotation(), rng.in_ball(25.0)), 0))
+            .collect()
+    }
+
+    /// Devices are mutated per batch (virtual clocks), so they must be
+    /// fresh per schedule — construct them inside the closure.
+    fn two_devices() -> Vec<Arc<SimDevice>> {
+        vec![
+            Arc::new(SimDevice::new(0, catalog::tesla_k40c())),
+            Arc::new(SimDevice::new(1, catalog::geforce_gtx_580())),
+        ]
+    }
+
+    fn serial(s: &Scorer, confs: &[Conformation]) -> Vec<f64> {
+        let mut b = confs.to_vec();
+        let mut scratch = vsscore::PoseScratch::new();
+        s.score_batch(ScoreBatch::Confs(&mut b), &mut scratch, Exec::Serial);
+        b.iter().map(|c| c.score).collect()
+    }
+
+    #[test]
+    fn model_every_conformation_scored() {
+        let sc = tiny_scorer();
+        let base = tiny_confs(3);
+        let want = serial(&sc, &base);
+        let report = explore(Config::with_bound(2), move || {
+            let mut ev =
+                DeviceEvaluator::new(two_devices(), Arc::clone(&sc), Strategy::HomogeneousSplit);
+            let mut c = base.clone();
+            ev.evaluate(&mut c);
+            for (got, want) in c.iter().zip(&want) {
+                assert_eq!(
+                    got.score.to_bits(),
+                    want.to_bits(),
+                    "conformation left unscored or misscored"
+                );
+            }
+            drop(ev); // a lost shutdown wakeup would deadlock here
+        });
+        report.assert_passed();
+        assert!(report.complete, "bounded state space must be exhausted");
+    }
+
+    #[test]
+    fn model_back_to_back_batches_reuse_workers() {
+        // The generation handshake must hand each worker exactly its own
+        // share each round, even when a worker from round 1 has not parked
+        // yet when round 2 is published.
+        let sc = tiny_scorer();
+        let base = tiny_confs(2);
+        let want = serial(&sc, &base);
+        let report = explore(Config::with_bound(1), move || {
+            let mut ev =
+                DeviceEvaluator::new(two_devices(), Arc::clone(&sc), Strategy::HomogeneousSplit);
+            for _ in 0..2 {
+                let mut c = base.clone();
+                ev.evaluate(&mut c);
+                for (got, want) in c.iter().zip(&want) {
+                    assert_eq!(got.score.to_bits(), want.to_bits());
+                }
+            }
+        });
+        report.assert_passed();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn model_worker_panic_reaches_submitter_and_evaluator_survives() {
+        let sc = tiny_scorer();
+        let base = tiny_confs(2);
+        let want = serial(&sc, &base);
+        let report = explore(Config::with_bound(1), move || {
+            let mut ev =
+                DeviceEvaluator::new(two_devices(), Arc::clone(&sc), Strategy::HomogeneousSplit);
+            ev.induce_worker_panic();
+            let mut c = base.clone();
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                ev.evaluate(&mut c);
+            }));
+            assert!(caught.is_err(), "worker panic must re-raise on the submitter");
+            let mut c = base.clone();
+            ev.evaluate(&mut c);
+            for (got, want) in c.iter().zip(&want) {
+                assert_eq!(got.score.to_bits(), want.to_bits());
+            }
+        });
+        report.assert_passed();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn model_idle_evaluator_drop_joins_cleanly() {
+        let report = explore(Config::with_bound(2), || {
+            let ev = DeviceEvaluator::new(two_devices(), tiny_scorer(), Strategy::HomogeneousSplit);
+            drop(ev);
+        });
+        report.assert_passed();
+        assert!(report.complete);
     }
 }

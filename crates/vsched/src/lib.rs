@@ -31,12 +31,15 @@
 //!   (abstract §: "A cooperative scheduling of jobs optimizes the quality
 //!   of the solution and the overall performance").
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod cooperative;
 pub mod executor;
 pub mod partition;
 pub mod replay;
 pub mod spec;
 pub mod strategy;
+pub(crate) mod sync;
 pub mod warmup;
 
 pub use executor::DeviceEvaluator;

@@ -38,6 +38,7 @@ pub fn proportional_split(items: u64, weights: &[f64]) -> Vec<u64> {
     order.sort_by(|&a, &b| {
         let fa = exact[a] - exact[a].floor();
         let fb = exact[b] - exact[b].floor();
+        // PANICS: the compared values are finite by construction; NaN would be an upstream bug.
         fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
     });
     for &i in order.iter().cycle().take(leftover.min(items as usize)) {

@@ -176,6 +176,7 @@ pub fn schedule_trace(
                     // the next chunk.
                     let g = gpus
                         .iter()
+                        // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
                         .min_by(|a, b| a.clock().partial_cmp(&b.clock()).unwrap())
                         .expect("non-empty");
                     g.execute(&WorkBatch::conformations(take, pairs_per_item));
@@ -197,6 +198,7 @@ pub fn schedule_trace(
                     remaining -= take;
                     let g = gpus
                         .iter()
+                        // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
                         .min_by(|a, b| a.clock().partial_cmp(&b.clock()).unwrap())
                         .expect("non-empty");
                     g.execute(&WorkBatch::conformations(take, pairs_per_item));
@@ -338,7 +340,7 @@ mod tests {
     /// big enough per batch to put the GPUs in the saturated-occupancy
     /// regime the paper's workloads run in.
     fn trace() -> Vec<u64> {
-        std::iter::repeat(64 * 32).take(33).collect()
+        std::iter::repeat_n(64 * 32, 33).collect()
     }
 
     #[test]
@@ -394,7 +396,7 @@ mod tests {
         // Long run: the warm-up's equal-split imbalance amortizes away and
         // the Equation 1 split keeps both devices finishing together.
         let (cpu, gpus) = hertz();
-        let long_trace: Vec<u64> = std::iter::repeat(64 * 32).take(200).collect();
+        let long_trace: Vec<u64> = std::iter::repeat_n(64 * 32, 200).collect();
         let r = schedule_trace(
             &cpu,
             &gpus,

@@ -1,0 +1,20 @@
+//! Synchronization facade for the executor's concurrency core.
+//!
+//! Normal builds re-export `std` types verbatim — a zero-cost pure alias,
+//! so the production executor is bit-for-bit the `std`-based
+//! implementation. Under the `vscheck-model` feature the same names
+//! resolve to the `vscheck` instrumented primitives, turning every sync
+//! operation in [`crate::executor`] into a scheduler choice point so the
+//! `model_*` tests can exhaustively explore interleavings (DESIGN.md §9).
+
+#[cfg(not(feature = "vscheck-model"))]
+pub(crate) use std::sync::{Condvar, Mutex};
+#[cfg(feature = "vscheck-model")]
+pub(crate) use vscheck::sync::{Condvar, Mutex};
+
+pub(crate) mod thread {
+    #[cfg(not(feature = "vscheck-model"))]
+    pub(crate) use std::thread::{Builder, JoinHandle};
+    #[cfg(feature = "vscheck-model")]
+    pub(crate) use vscheck::thread::{Builder, JoinHandle};
+}

@@ -119,7 +119,7 @@ mod tests {
 
     #[test]
     fn percent_in_unit_interval() {
-        let p = percent_factors(&[0.123, 7.7, 3.14, 0.5]);
+        let p = percent_factors(&[0.123, 7.7, 3.25, 0.5]);
         assert!(p.iter().all(|&x| x > 0.0 && x <= 1.0));
     }
 

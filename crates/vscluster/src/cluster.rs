@@ -122,6 +122,7 @@ impl SimCluster {
             let (ni, _) = node_times
                 .iter()
                 .enumerate()
+                // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .expect("non-empty");
             let c = comm_cost(&jobs[j]);

@@ -132,6 +132,7 @@ pub fn screen_library_faulty_traced(
             let (ni, _) = planned
                 .iter()
                 .enumerate()
+                // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .expect("non-empty");
             planned[ni] += nominal_cost(ni, &jobs[j]);
@@ -147,6 +148,7 @@ pub fn screen_library_faulty_traced(
             let (ni, _) = node_times
                 .iter()
                 .enumerate()
+                // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .expect("non-empty");
             node_times[ni] += nominal_cost(ni, &jobs[j]) * faults.factor(ni);

@@ -15,6 +15,7 @@
 //!   the paper's job scheduling) and accounts communication costs;
 //! - [`library`] — synthetic ligand-library generation for
 //!   screening-campaign workloads.
+#![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod crossdock;

@@ -162,6 +162,7 @@ impl SpatialGrid {
             .iter()
             .enumerate()
             .map(|(i, p)| (i, p.dist(q)))
+            // PANICS: distances of finite points are finite, so the comparison is total.
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
     }
 }

@@ -8,6 +8,7 @@
 //!
 //! Everything here is deterministic and `f64`-based; the scoring kernels in
 //! `vsscore` convert to `f32`-friendly layouts where profitable.
+#![forbid(unsafe_code)]
 
 pub mod aabb;
 pub mod grid;

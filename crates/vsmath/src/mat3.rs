@@ -172,6 +172,7 @@ impl Mat3 {
         // Sort eigenpairs descending.
         let mut pairs: Vec<(f64, [f64; 3])> =
             (0..3).map(|i| (a[i][i], [v[0][i], v[1][i], v[2][i]])).collect();
+        // PANICS: Jacobi iteration on finite input yields finite eigenvalues.
         pairs.sort_by(|x, y| y.0.partial_cmp(&x.0).unwrap());
         let vals = [pairs[0].0, pairs[1].0, pairs[2].0];
         let mut vecs = Mat3::ZERO;

@@ -21,6 +21,7 @@ impl Xoshiro256 {
     fn from_seed(key: [u8; 32]) -> Xoshiro256 {
         let mut s = [0u64; 4];
         for (w, chunk) in s.iter_mut().zip(key.chunks_exact(8)) {
+            // PANICS: `chunks_exact(8)` yields exactly 8 bytes; the conversion cannot fail.
             *w = u64::from_le_bytes(chunk.try_into().unwrap());
         }
         if s == [0; 4] {

@@ -96,6 +96,7 @@ pub fn median(xs: &[f64]) -> f64 {
         return 0.0;
     }
     let mut v = xs.to_vec();
+    // PANICS: documented contract — median input must be NaN-free.
     v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in median input"));
     let n = v.len();
     if n % 2 == 1 {

@@ -100,6 +100,7 @@ pub fn score_cmp(a: &Conformation, b: &Conformation) -> std::cmp::Ordering {
         (true, true) => std::cmp::Ordering::Equal,
         (true, false) => std::cmp::Ordering::Greater,
         (false, true) => std::cmp::Ordering::Less,
+        // PANICS: the NaN arms above already returned; both scores are non-NaN here.
         (false, false) => a.score.partial_cmp(&b.score).unwrap(),
     }
 }
@@ -188,7 +189,7 @@ mod tests {
         let mut b = a;
         b.score = 1.0;
         let c = Conformation::new(RigidTransform::IDENTITY, 0); // NaN
-        let mut v = vec![c, b, a];
+        let mut v = [c, b, a];
         v.sort_by(score_cmp);
         assert_eq!(v[0].score, -2.0);
         assert_eq!(v[1].score, 1.0);

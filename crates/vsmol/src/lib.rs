@@ -14,6 +14,7 @@
 //!   each screened simultaneously;
 //! - docking [`conformation::Conformation`]s — rigid ligand poses anchored
 //!   at a spot, the *individuals* of the metaheuristic populations.
+#![forbid(unsafe_code)]
 
 pub mod atom;
 pub mod conformation;

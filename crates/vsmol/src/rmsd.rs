@@ -61,6 +61,7 @@ pub fn kabsch(mobile: &[Vec3], target: &[Vec3]) -> (RigidTransform, f64) {
             None
         }
     };
+    // PANICS: s_max > tol was established above, so the largest direction normalizes.
     let u0 = col_u(0).expect("largest singular direction must be valid");
     let u1 = match col_u(1) {
         Some(c) => {
@@ -99,6 +100,7 @@ pub fn kabsch(mobile: &[Vec3], target: &[Vec3]) -> (RigidTransform, f64) {
 /// An arbitrary unit vector orthogonal to `v` (assumed unit).
 fn orthogonal_to(v: Vec3) -> Vec3 {
     let trial = if v.x.abs() < 0.9 { Vec3::X } else { Vec3::Y };
+    // PANICS: the trial axis is chosen non-parallel to v, so the projection cannot vanish.
     (trial - v * trial.dot(v)).normalized().expect("non-parallel trial axis")
 }
 

@@ -81,6 +81,7 @@ pub fn surface_atoms(mol: &Molecule, opts: &SurfaceOptions) -> Vec<usize> {
         return Vec::new();
     }
     let counts = burial_counts(mol, opts.neighbor_radius);
+    // PANICS: the empty-molecule case returned early above.
     let max = *counts.iter().max().expect("non-empty") as f64;
     let cutoff = opts.burial_fraction * max;
     counts.iter().enumerate().filter(|(_, &c)| (c as f64) < cutoff).map(|(i, _)| i).collect()
@@ -164,6 +165,7 @@ pub fn detect_spots(mol: &Molecule, opts: &SurfaceOptions) -> Vec<Spot> {
         return Vec::new();
     }
     let counts = burial_counts(mol, opts.neighbor_radius);
+    // PANICS: the empty-molecule case returned early above.
     let max = *counts.iter().max().expect("non-empty") as f64;
     let cutoff = opts.burial_fraction * max;
     let centroid = mol.centroid();

@@ -157,6 +157,7 @@ pub fn synth_receptor(name: &str, n: usize, seed: u64) -> Molecule {
 
     // Keep the n sites closest to the center (preserves the globular shape),
     // then jitter each within its cell to break lattice artifacts.
+    // PANICS: site norms are finite, so the sort comparator is total.
     sites.sort_by(|a, b| a.norm_sq().partial_cmp(&b.norm_sq()).unwrap());
     sites.truncate(n);
     let jitter = spacing * 0.22;
@@ -201,6 +202,7 @@ pub fn synth_ligand(name: &str, n: usize, seed: u64) -> Molecule {
         }
         // Could not extend compactly: relax the envelope by walking from the
         // most recently placed atom outward.
+        // PANICS: the seed atom is placed before the grow loop, so `positions` is never empty.
         let from = *positions.last().unwrap();
         positions.push(from + rng.unit_vector() * bond);
     }

@@ -31,6 +31,8 @@
 //!   batches, each with its own [`scorer::PoseScratch`], so steady-state
 //!   batch scoring allocates nothing and spawns nothing.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod coulomb;
 pub mod forces;
 pub mod grid_potential;
@@ -39,6 +41,7 @@ pub mod lj;
 pub mod pool;
 pub mod run;
 pub mod scorer;
+pub(crate) mod sync;
 
 pub use forces::RigidGradient;
 pub use grid_potential::{GridOptions, GridScorer};

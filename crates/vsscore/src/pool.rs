@@ -37,9 +37,10 @@
 //! usable for subsequent batches.
 
 use crate::scorer::{PoseScratch, ScoreBatch, Scorer};
+use crate::sync::thread::{Builder, JoinHandle};
+use crate::sync::{Condvar, Mutex};
 use std::collections::HashMap;
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-use std::thread::JoinHandle;
+use std::sync::{Arc, OnceLock};
 use vsmath::RigidTransform;
 use vsmol::Conformation;
 
@@ -116,9 +117,10 @@ impl CpuPool {
         let workers = (0..threads)
             .map(|index| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                Builder::new()
                     .name(format!("vsscore-cpu-{index}"))
                     .spawn(move || worker_loop(&shared, index))
+                    // PANICS: worker spawn fails only on OS thread exhaustion; the pool has no degraded mode.
                     .expect("failed to spawn scoring worker")
             })
             .collect();
@@ -160,6 +162,7 @@ impl CpuPool {
         // poison the pool for everyone after it.
         let _submitting = self.submit.lock().unwrap_or_else(|e| e.into_inner());
         {
+            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
             let mut st = self.shared.state.lock().expect("pool mutex poisoned");
             st.job = Some(job);
             st.generation += 1;
@@ -168,8 +171,10 @@ impl CpuPool {
         self.shared.work_cv.notify_all();
 
         let panicked = {
+            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
             let mut st = self.shared.state.lock().expect("pool mutex poisoned");
             while st.remaining > 0 {
+                // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating is deliberate.
                 st = self.shared.done_cv.wait(st).expect("pool mutex poisoned");
             }
             st.job = None;
@@ -184,6 +189,7 @@ impl CpuPool {
 impl Drop for CpuPool {
     fn drop(&mut self) {
         {
+            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
             let mut st = self.shared.state.lock().expect("pool mutex poisoned");
             st.shutdown = true;
         }
@@ -199,6 +205,7 @@ fn worker_loop(shared: &Shared, index: usize) {
     let mut seen_generation = 0u64;
     loop {
         let job = {
+            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
             let mut st = shared.state.lock().expect("pool mutex poisoned");
             loop {
                 if st.shutdown {
@@ -206,8 +213,10 @@ fn worker_loop(shared: &Shared, index: usize) {
                 }
                 if st.generation != seen_generation {
                     seen_generation = st.generation;
+                    // PANICS: a generation bump always publishes a job; the model tests explore this exhaustively.
                     break st.job.expect("job published with generation bump");
                 }
+                // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating is deliberate.
                 st = shared.work_cv.wait(st).expect("pool mutex poisoned");
             }
         };
@@ -227,11 +236,17 @@ fn worker_loop(shared: &Shared, index: usize) {
                 // ranges are disjoint across workers.
                 let scorer = unsafe { &*job.scorer };
                 match job.kind {
+                    // SAFETY: [start, end) ⊆ [0, job.len) and chunk ranges
+                    // are disjoint per worker, so `poses`/`out` elements in
+                    // this range are accessed by this thread only; both
+                    // borrows outlive the job (submitter blocked).
                     JobKind::Poses { poses, out } => unsafe {
                         let poses = std::slice::from_raw_parts(poses.add(start), end - start);
                         let out = std::slice::from_raw_parts_mut(out.add(start), end - start);
                         scorer.score_batch_serial(ScoreBatch::Poses { poses, out }, &mut scratch);
                     },
+                    // SAFETY: same disjoint-chunk argument for the in-place
+                    // conformation variant.
                     JobKind::Confs { confs } => unsafe {
                         let confs = std::slice::from_raw_parts_mut(confs.add(start), end - start);
                         scorer.score_batch_serial(ScoreBatch::Confs(confs), &mut scratch);
@@ -242,6 +257,7 @@ fn worker_loop(shared: &Shared, index: usize) {
             }
         }));
 
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         let mut st = shared.state.lock().expect("pool mutex poisoned");
         if body.is_err() {
             st.panicked = true;
@@ -262,9 +278,13 @@ fn worker_loop(shared: &Shared, index: usize) {
 /// Shared pools live for the process; ad-hoc pools from [`CpuPool::new`]
 /// join their workers on drop.
 pub fn shared_pool(threads: usize) -> Arc<CpuPool> {
-    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<CpuPool>>>> = OnceLock::new();
+    // Deliberately `std::sync::Mutex`, not the crate::sync facade: the
+    // registry is process-global state that outlives any one vscheck
+    // exploration, so it must never be scheduler-managed.
+    static POOLS: OnceLock<std::sync::Mutex<HashMap<usize, Arc<CpuPool>>>> = OnceLock::new();
     let threads = threads.max(1);
-    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let pools = POOLS.get_or_init(|| std::sync::Mutex::new(HashMap::new()));
+    // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
     let mut map = pools.lock().expect("shared pool registry poisoned");
     Arc::clone(map.entry(threads).or_insert_with(|| Arc::new(CpuPool::new(threads))))
 }
@@ -425,5 +445,153 @@ mod tests {
         let c = shared_pool(3);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(c.threads(), 3);
+    }
+}
+
+/// Exhaustive interleaving checks of the pool's submit/park protocol,
+/// via the `vscheck` model checker (run with
+/// `cargo test -p vsscore --features vscheck-model model_`).
+///
+/// These pin the invariants PR 1 fixed by hand: no batch left unscored,
+/// no `remaining` underflow (an underflow aborts a schedule as a panic in
+/// debug builds), concurrent submitters serialized through the submit
+/// lock, a worker panic observed by the submitter without wedging the
+/// pool, and drop joining every worker (a lost shutdown wakeup shows up
+/// as a deadlock).
+#[cfg(all(test, feature = "vscheck-model"))]
+mod model_tests {
+    use super::*;
+    use crate::scorer::ScorerOptions;
+    use vscheck::{explore, Config};
+    use vsmath::RngStream;
+    use vsmol::synth;
+
+    /// Tiny scorer: immutable after construction and free of facade sync
+    /// ops, so sharing one across schedules is deterministic.
+    fn tiny_scorer() -> Arc<Scorer> {
+        let rec = synth::synth_receptor("r", 30, 1);
+        let lig = synth::synth_ligand("l", 4, 1);
+        Arc::new(Scorer::new(&rec, &lig, ScorerOptions::default()))
+    }
+
+    fn tiny_poses(n: usize) -> Vec<RigidTransform> {
+        let mut rng = RngStream::from_seed(7);
+        (0..n).map(|_| RigidTransform::new(rng.rotation(), rng.in_ball(25.0))).collect()
+    }
+
+    fn serial(s: &Scorer, ps: &[RigidTransform]) -> Vec<f64> {
+        let mut out = vec![0.0; ps.len()];
+        let mut scratch = PoseScratch::new();
+        s.score_batch(
+            ScoreBatch::Poses { poses: ps, out: &mut out },
+            &mut scratch,
+            crate::Exec::Serial,
+        );
+        out
+    }
+
+    #[test]
+    fn model_no_batch_left_unscored() {
+        let s = tiny_scorer();
+        let ps = tiny_poses(3);
+        let want = serial(&s, &ps);
+        let report = explore(Config::with_bound(2), move || {
+            let pool = CpuPool::new(2);
+            let mut out = vec![f64::NAN; ps.len()];
+            pool.score_batch(&s, ScoreBatch::Poses { poses: &ps, out: &mut out });
+            for (got, want) in out.iter().zip(&want) {
+                assert_eq!(got.to_bits(), want.to_bits(), "pose left unscored or misscored");
+            }
+            drop(pool); // a lost shutdown wakeup would deadlock here
+        });
+        report.assert_passed();
+        assert!(report.complete, "bounded state space must be exhausted");
+    }
+
+    #[test]
+    fn model_two_batches_back_to_back() {
+        // The generation handshake must not lose or double-run a batch
+        // when a worker is still parked (or not yet parked) from the
+        // previous one.
+        let s = tiny_scorer();
+        let ps = tiny_poses(2);
+        let want = serial(&s, &ps);
+        let report = explore(Config::with_bound(2), move || {
+            let pool = CpuPool::new(1);
+            for _ in 0..2 {
+                let mut out = vec![f64::NAN; ps.len()];
+                pool.score_batch(&s, ScoreBatch::Poses { poses: &ps, out: &mut out });
+                for (got, want) in out.iter().zip(&want) {
+                    assert_eq!(got.to_bits(), want.to_bits());
+                }
+            }
+        });
+        report.assert_passed();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn model_concurrent_submitters_are_serialized() {
+        // Two submitters share one pool: each must get its own complete,
+        // correct result — the single job slot must never be clobbered
+        // (the PR 1 race) and `remaining` must never underflow.
+        let s = tiny_scorer();
+        let ps = tiny_poses(2);
+        let want = serial(&s, &ps);
+        let report = explore(Config::with_bound(1), move || {
+            let pool = Arc::new(CpuPool::new(1));
+            let (p2, s2, ps2, want2) =
+                (Arc::clone(&pool), Arc::clone(&s), ps.clone(), want.clone());
+            let other = vscheck::thread::spawn(move || {
+                let mut out = vec![f64::NAN; ps2.len()];
+                p2.score_batch(&s2, ScoreBatch::Poses { poses: &ps2, out: &mut out });
+                for (got, want) in out.iter().zip(&want2) {
+                    assert_eq!(got.to_bits(), want.to_bits(), "submitter B clobbered");
+                }
+            });
+            let mut out = vec![f64::NAN; ps.len()];
+            pool.score_batch(&s, ScoreBatch::Poses { poses: &ps, out: &mut out });
+            for (got, want) in out.iter().zip(&want) {
+                assert_eq!(got.to_bits(), want.to_bits(), "submitter A clobbered");
+            }
+            other.join().unwrap();
+        });
+        report.assert_passed();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn model_worker_panic_reaches_submitter_and_pool_survives() {
+        let s = tiny_scorer();
+        let ps = tiny_poses(2);
+        let want = serial(&s, &ps);
+        let report = explore(Config::with_bound(2), move || {
+            let pool = CpuPool::new(1);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.run_job(Job { scorer: &*s, kind: JobKind::Panic, len: 1, workers: 1 });
+            }));
+            assert!(caught.is_err(), "worker panic must re-raise on the submitter");
+            // Completion bookkeeping must have recovered: the next batch
+            // runs to completion with correct scores.
+            let mut out = vec![f64::NAN; ps.len()];
+            pool.score_batch(&s, ScoreBatch::Poses { poses: &ps, out: &mut out });
+            for (got, want) in out.iter().zip(&want) {
+                assert_eq!(got.to_bits(), want.to_bits());
+            }
+        });
+        report.assert_passed();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn model_idle_pool_drop_joins_cleanly() {
+        // Spawn-then-shutdown with no job: the shutdown flag and wakeup
+        // must reach workers in every interleaving (lost wakeup = deadlock).
+        let report = explore(Config::with_bound(2), || {
+            let pool = CpuPool::new(2);
+            drop(pool);
+        });
+        report.assert_passed();
+        assert!(report.complete);
     }
 }

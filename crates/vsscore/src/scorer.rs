@@ -260,6 +260,7 @@ impl Scorer {
         match self.opts.kernel {
             Kernel::GridCutoff { cutoff } => self.score_grid(lig, cutoff),
             Kernel::Fused => {
+                // PANICS: the constructor builds the run frame whenever this kernel is selected; absence is an internal invariant breach.
                 let runs = self.rec_runs.as_ref().expect("fused kernel without run frame");
                 fused_run(
                     lig,
@@ -277,6 +278,7 @@ impl Scorer {
                     Kernel::Naive => (lj_naive(lig, &self.rec_frame, &self.table), &self.rec_frame),
                     Kernel::Tiled => (lj_tiled(lig, &self.rec_frame, &self.table), &self.rec_frame),
                     Kernel::Run => {
+                        // PANICS: the constructor builds the run frame whenever this kernel is selected; absence is an internal invariant breach.
                         let runs = self.rec_runs.as_ref().expect("run kernel without run frame");
                         (lj_run(lig, runs, &self.table), runs.frame())
                     }
@@ -295,6 +297,7 @@ impl Scorer {
     }
 
     fn score_grid(&self, lig: &Frame, cutoff: f64) -> f64 {
+        // PANICS: the constructor builds the grid whenever this kernel is selected; absence is an internal invariant breach.
         let grid = self.rec_grid.as_ref().expect("grid kernel without grid");
         let dielectric = self.opts.model.dielectric();
         let hbond_eps = self.opts.model.hbond_epsilon();

@@ -239,6 +239,7 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
+        // PANICS: the scanned range holds only ASCII sign/digit/exponent bytes.
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
         text.parse::<f64>().map(Value::Num).map_err(|e| format!("bad number {text:?}: {e}"))
     }

@@ -25,12 +25,15 @@
 //! the same seed produce identical payload streams
 //! ([`sink::TraceData::payloads`]) — the determinism contract.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 pub mod event;
 pub mod export;
 pub mod json;
 mod ring;
 pub mod sink;
 pub mod summary;
+pub(crate) mod sync;
 
 pub use event::{Event, Stamped};
 pub use export::{chrome_trace_json, BATCH_TRACK};

@@ -12,9 +12,10 @@
 //! slot only if it observes the same even value before and after copying.
 
 use crate::event::Stamped;
+use crate::sync::atomic::AtomicU64;
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 
 struct Slot {
     seq: AtomicU64,
@@ -155,5 +156,83 @@ mod tests {
         }
         writer.join().unwrap();
         assert_eq!(r.snapshot().len(), 16);
+    }
+}
+
+/// Exhaustive interleaving checks of the seqlock writer/reader protocol,
+/// via the `vscheck` model checker (run with
+/// `cargo test -p vstrace --features vscheck-model model_`).
+///
+/// Under the model every `seq`/`head` access is a scheduler choice point,
+/// so these explore every writer/reader interleaving within the
+/// preemption bound. Invariant: a reader never *accepts* a torn or stale
+/// slot — everything `snapshot` returns is a record the writer actually
+/// pushed, in order. (The non-atomic `Stamped` copy itself executes as
+/// one model step; byte-level tearing is covered by vscheck's toy-seqlock
+/// self-test, see DESIGN.md §9.)
+#[cfg(all(test, feature = "vscheck-model"))]
+mod model_tests {
+    use super::*;
+    use crate::event::Event;
+    use std::sync::Arc;
+    use vscheck::{explore, Config};
+
+    fn rec(i: u64) -> Stamped {
+        Stamped { mono_ns: i, thread: 0, event: Event::Counter { name: "t", value: i as f64 } }
+    }
+
+    /// Every snapshot taken while the writer wraps the ring contains only
+    /// records the writer pushed (value == stamp), with strictly
+    /// increasing stamps — torn or half-overwritten slots are discarded,
+    /// never returned.
+    #[test]
+    fn model_reader_never_accepts_torn_or_stale_records() {
+        let report = explore(Config::with_bound(2), || {
+            let ring = Arc::new(Ring::new(2));
+            let w = Arc::clone(&ring);
+            let writer = vscheck::thread::spawn(move || {
+                for i in 0..3 {
+                    w.push(rec(i));
+                }
+            });
+            let snap = ring.snapshot();
+            for s in &snap {
+                match s.event {
+                    Event::Counter { value, .. } => {
+                        assert_eq!(value as u64, s.mono_ns, "torn record accepted");
+                    }
+                    ref other => panic!("garbage event accepted: {other:?}"),
+                }
+            }
+            for pair in snap.windows(2) {
+                assert!(pair[0].mono_ns < pair[1].mono_ns, "snapshot order violated");
+            }
+            writer.join().unwrap();
+        });
+        report.assert_passed();
+        assert!(report.complete, "bounded state space must be exhausted");
+        assert!(report.schedules > 10, "instrumentation inactive? {} schedules", report.schedules);
+    }
+
+    /// After the writer finishes, a snapshot retains exactly the newest
+    /// `capacity` records — no interleaving of the final head/seq stores
+    /// can make a completed ring under-report.
+    #[test]
+    fn model_quiescent_snapshot_is_complete() {
+        let report = explore(Config::with_bound(2), || {
+            let ring = Arc::new(Ring::new(2));
+            let w = Arc::clone(&ring);
+            let writer = vscheck::thread::spawn(move || {
+                for i in 0..3 {
+                    w.push(rec(i));
+                }
+            });
+            writer.join().unwrap();
+            assert_eq!(ring.pushed(), 3);
+            let stamps: Vec<u64> = ring.snapshot().iter().map(|s| s.mono_ns).collect();
+            assert_eq!(stamps, vec![1, 2], "quiescent ring must retain the newest records");
+        });
+        report.assert_passed();
+        assert!(report.complete);
     }
 }

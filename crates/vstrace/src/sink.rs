@@ -47,6 +47,7 @@ impl Sink {
             }
             let thread = self.next_thread.fetch_add(1, Ordering::Relaxed);
             let ring = Arc::new(Ring::new(self.capacity));
+            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
             self.rings.lock().expect("trace ring registry poisoned").push((thread, ring.clone()));
             map.insert(self.id, (thread, ring.clone()));
             (thread, ring)
@@ -142,6 +143,7 @@ impl Trace {
         if let Some(sink) = &self.inner {
             sink.track_names
                 .lock()
+                // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
                 .expect("trace name registry poisoned")
                 .insert(track, name.to_string());
         }
@@ -153,6 +155,7 @@ impl Trace {
         let Some(sink) = &self.inner else {
             return TraceData { threads: Vec::new(), track_names: HashMap::new(), dropped: 0 };
         };
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         let rings = sink.rings.lock().expect("trace ring registry poisoned").clone();
         let mut threads: Vec<ThreadEvents> = rings
             .iter()
@@ -166,6 +169,7 @@ impl Trace {
         let dropped = threads.iter().map(|t| t.dropped).sum();
         TraceData {
             threads,
+            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
             track_names: sink.track_names.lock().expect("trace name registry poisoned").clone(),
             dropped,
         }

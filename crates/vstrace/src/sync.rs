@@ -1,0 +1,17 @@
+//! Synchronization facade for the seqlock ring.
+//!
+//! Normal builds re-export the `std` atomics verbatim — a zero-cost pure
+//! alias, so the production ring is bit-for-bit the `std`-based
+//! implementation. Under the `vscheck-model` feature the same names
+//! resolve to the `vscheck` instrumented atomics, turning every seqlock
+//! word access in [`crate::ring`] into a scheduler choice point so the
+//! `model_*` tests can exhaustively explore writer/reader interleavings
+//! (DESIGN.md §9). Orderings are honored in normal builds and collapse to
+//! SeqCst in the model — weak-memory effects are outside vscheck's scope.
+
+pub(crate) mod atomic {
+    #[cfg(not(feature = "vscheck-model"))]
+    pub(crate) use std::sync::atomic::AtomicU64;
+    #[cfg(feature = "vscheck-model")]
+    pub(crate) use vscheck::sync::atomic::AtomicU64;
+}

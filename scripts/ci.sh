@@ -15,6 +15,20 @@ cargo fmt --check
 echo "==> cargo clippy"
 cargo clippy --workspace -- -D warnings
 
+echo "==> xlint (repo invariants: SAFETY comments, Relaxed allowlist, no-panic policy, unsafe attrs)"
+# Violations print as file:line: rule: message and fail the build.
+cargo run -q --release -p xlint -- .
+
+echo "==> vscheck self-tests (model checker: seeded mutations + replay)"
+cargo test -q -p vscheck
+
+echo "==> vscheck model tests (exhaustive interleavings of the concurrency cores)"
+# Bounded by each test's Config (preemption bound + schedule budget) so the
+# three suites together stay well under a minute.
+cargo test -q -p vsscore --features vscheck-model model_
+cargo test -q -p vsched --features vscheck-model model_
+cargo test -q -p vstrace --features vscheck-model model_
+
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 

@@ -505,7 +505,7 @@ mod tests {
         #[test]
         fn macro_end_to_end(x in 0.0..1.0f64, n in 1usize..8, flag in any::<bool>()) {
             prop_assert!((0.0..1.0).contains(&x));
-            prop_assert!(n >= 1 && n < 8);
+            prop_assert!((1..8).contains(&n));
             prop_assert_eq!(flag as usize * 2 % 2, 0);
         }
 

@@ -87,7 +87,7 @@ fn lamarckian_improves_real_docking() {
 fn energy_and_timeline_cohere_with_times() {
     use vsched::{schedule_trace, schedule_trace_timeline};
     let node = platform::hertz();
-    let trace: Vec<u64> = std::iter::repeat(64 * 32).take(20).collect();
+    let trace: Vec<u64> = std::iter::repeat_n(64 * 32, 20).collect();
     let pairs = 45 * 3264;
     let strat = Strategy::HomogeneousSplit;
     let plain = schedule_trace(node.cpu(), node.gpus(), &trace, pairs, strat);
