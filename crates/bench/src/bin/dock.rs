@@ -6,7 +6,7 @@
 //! ```text
 //! dock --receptor rec.pdb --ligand lig.sdf \
 //!      [--meta m1|m2|m3|m4] [--scale 0.2] [--spots 16] \
-//!      [--node hertz|jupiter] [--strategy cpu|hom|het|dynamic] \
+//!      [--node hertz|jupiter] [--strategy cpu|hom|het|dynamic|steal] \
 //!      [--threads 8] [--seed 42] [--out pose.pdb] [--complex complex.pdb]
 //! ```
 //!
@@ -70,7 +70,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: dock [--receptor rec.pdb] [--ligand lig.{pdb,sdf}] \
                             [--meta m1..m4] [--scale F] [--spots N] [--node hertz|jupiter] \
-                            [--strategy cpu|hom|het|dynamic] [--threads N] [--seed N] \
+                            [--strategy cpu|hom|het|dynamic|steal] [--threads N] [--seed N] \
                             [--out pose.pdb] [--complex complex.pdb]"
                     .into())
             }
@@ -157,10 +157,11 @@ fn run() -> Result<(), String> {
         "hom" => Strategy::HomogeneousSplit,
         "het" => Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
         "dynamic" => Strategy::DynamicQueue { chunk: 512 },
-        other => return Err(format!("unknown strategy {other:?} (cpu|hom|het|dynamic)")),
+        "steal" => Strategy::WorkSteal { warmup: WarmupConfig::default(), divisor: 2 },
+        other => return Err(format!("unknown strategy {other:?} (cpu|hom|het|dynamic|steal)")),
     };
 
-    let outcome = screen.run_on_node(&params, &node, strategy);
+    let outcome = screen.run(RunSpec::on_node(&params, &node, strategy));
 
     println!(
         "best score {:.3} at spot {} ({} evaluations, {:.4} virtual s on {} / {})",

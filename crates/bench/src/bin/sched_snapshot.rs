@@ -1,0 +1,78 @@
+//! Heterogeneous-scheduler performance snapshot: static Percent split vs
+//! the work-stealing node runtime on the Hertz model, healthy and with a
+//! 4x mid-run straggler, written as `BENCH_sched.json`.
+//!
+//! Virtual-time makespans from the trace replay are deterministic, so the
+//! snapshot doubles as a regression gate: the straggler gain must stay at
+//! least 1.3x and the healthy overhead within 5% of the frozen split.
+//!
+//! Usage:
+//!   cargo run --release -p vs-bench --bin sched_snapshot -- [OUT.json]
+//!
+//! Defaults to `BENCH_sched.json` in the current directory.
+
+use vsched::{schedule_trace_faulty, Strategy, WarmupConfig};
+use vscreen::platform;
+use vstrace::Trace;
+
+/// 2BSM pair interactions per conformation (Table 5).
+const PAIRS: u64 = 45 * 3264;
+
+/// Generations far above the GPUs' occupancy floors so the deques split
+/// into many steals' worth of chunks.
+const GENERATIONS: usize = 24;
+const ITEMS_PER_GENERATION: u64 = 16 * 1024;
+
+fn makespan(strategy: Strategy, faults: &[f64], onset: usize) -> f64 {
+    let node = platform::hertz();
+    let trace: Vec<u64> = std::iter::repeat_n(ITEMS_PER_GENERATION, GENERATIONS).collect();
+    schedule_trace_faulty(
+        node.cpu(),
+        node.gpus(),
+        &trace,
+        PAIRS,
+        strategy,
+        faults,
+        onset,
+        &Trace::disabled(),
+    )
+    .makespan
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sched.json".to_string());
+    let percent = Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() };
+    let steal = Strategy::WorkSteal { warmup: WarmupConfig::default(), divisor: 2 };
+    let onset = WarmupConfig::default().iterations + 2;
+
+    let mut scenario_blocks = Vec::new();
+    let mut gains = Vec::new();
+    for (label, faults, fault_onset) in
+        [("healthy", [1.0, 1.0], 0), ("straggler_4x", [1.0, 4.0], onset)]
+    {
+        let t_percent = makespan(percent, &faults, fault_onset);
+        let t_steal = makespan(steal, &faults, fault_onset);
+        let gain = t_percent / t_steal;
+        eprintln!("{label:>12}: percent {t_percent:.5}s  worksteal {t_steal:.5}s  gain {gain:.2}x");
+        gains.push((label, gain));
+        scenario_blocks.push(format!(
+            "    {{\n      \"scenario\": \"{label}\",\n      \"percent_split_s\": {t_percent:.6},\n      \"work_steal_s\": {t_steal:.6},\n      \"steal_gain\": {gain:.3}\n    }}"
+        ));
+    }
+
+    // Regression gate: the acceptance bars of the stealing runtime.
+    let healthy = gains.iter().find(|(l, _)| *l == "healthy").unwrap().1;
+    let straggler = gains.iter().find(|(l, _)| *l == "straggler_4x").unwrap().1;
+    assert!(
+        healthy >= 1.0 / 1.05,
+        "healthy work stealing regressed past 5% of the Percent split: gain {healthy:.3}"
+    );
+    assert!(straggler >= 1.3, "straggler steal gain {straggler:.3} below the 1.3x acceptance bar");
+
+    let json = format!(
+        "{{\n  \"bench\": \"scheduler\",\n  \"units\": \"virtual_seconds\",\n  \"node\": \"hertz\",\n  \"generations\": {GENERATIONS},\n  \"items_per_generation\": {ITEMS_PER_GENERATION},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        scenario_blocks.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+}

@@ -93,7 +93,8 @@ fn main() {
 fn figure1() {
     println!("Figure 1: receptor-ligand binding (best docked pose, PDB format)");
     let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(6).seed(1).build();
-    let out = screen.run_cpu(&metaheur::m2(0.1), 8);
+    let params = metaheur::m2(0.1);
+    let out = screen.run(RunSpec::cpu(&params, 8));
     println!(
         "best pose: score {:.2} at spot {} ({} evaluations)",
         out.best.score, out.best.spot_id, out.evaluations
@@ -198,7 +199,8 @@ fn cooperative() {
 fn distribution() {
     println!("Score distribution over the 2BSM surface (best score per spot)");
     let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(24).seed(3).build();
-    let out = screen.run_cpu(&metaheur::m1(0.1), 8);
+    let params = metaheur::m1(0.1);
+    let out = screen.run(RunSpec::cpu(&params, 8));
     let h = out.score_histogram(8).expect("scored spots");
     print!("{}", h.render(40));
     println!();

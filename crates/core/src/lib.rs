@@ -22,9 +22,10 @@
 //! // Run the M3 metaheuristic on the simulated Hertz node with the
 //! // paper's heterogeneity-aware scheduling.
 //! let node = platform::hertz();
-//! let outcome = screen.run_on_node(&metaheur::m3(0.05), &node, Strategy::HeterogeneousSplit {
+//! let params = metaheur::m3(0.05);
+//! let outcome = screen.run(RunSpec::on_node(&params, &node, Strategy::HeterogeneousSplit {
 //!     warmup: WarmupConfig::default(),
-//! });
+//! }));
 //! assert!(outcome.best.is_scored());
 //! println!("best score {:.2} at spot {} in {:.3} virtual s",
 //!          outcome.best.score, outcome.best.spot_id, outcome.virtual_time);
@@ -53,7 +54,7 @@ pub mod scaling;
 pub mod screen;
 pub mod trace;
 
-pub use screen::{ScreenOutcome, VirtualScreen, VirtualScreenBuilder};
+pub use screen::{RunSpec, ScreenOutcome, VirtualScreen, VirtualScreenBuilder};
 
 /// Convenient single-import surface for downstream code and examples.
 pub mod prelude {
@@ -63,7 +64,7 @@ pub mod prelude {
     pub use crate::platform;
     pub use crate::quality;
     pub use crate::scaling;
-    pub use crate::screen::{ScreenOutcome, VirtualScreen, VirtualScreenBuilder};
+    pub use crate::screen::{RunSpec, ScreenOutcome, VirtualScreen, VirtualScreenBuilder};
     pub use crate::trace::synthetic_trace;
     pub use metaheur::{self, MetaheuristicParams};
     pub use vsched::{Strategy, WarmupConfig};

@@ -8,7 +8,7 @@
 //! detected once (they belong to the receptor); each ligand runs the full
 //! metaheuristic over them.
 
-use crate::screen::{ScreenOutcome, VirtualScreen};
+use crate::screen::{RunSpec, ScreenOutcome, VirtualScreen};
 use gpusim::SimNode;
 use metaheur::MetaheuristicParams;
 use serde::{Deserialize, Serialize};
@@ -69,7 +69,7 @@ pub fn screen_library(
             .max_spots(max_spots)
             .seed(seed.wrapping_add(i as u64))
             .build();
-        let out: ScreenOutcome = screen.run_on_node(params, node, strategy);
+        let out: ScreenOutcome = screen.run(RunSpec::on_node(params, node, strategy));
         virtual_time += out.virtual_time;
         evaluations += out.evaluations;
         hits.push(LibraryHit {

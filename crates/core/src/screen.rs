@@ -8,6 +8,68 @@ use vsmol::{surface, Conformation, Dataset, Molecule, Spot, SurfaceOptions};
 use vsscore::{Exec, Scorer, ScorerOptions};
 use vstrace::Trace;
 
+/// Which execution backend a [`RunSpec`] targets.
+enum Backend<'a> {
+    /// Host CPU threads, no virtual timing — the quality-measurement path.
+    Cpu { threads: usize },
+    /// Precomputed-potential-grid scoring on the host.
+    Grid { opts: vsscore::GridOptions },
+    /// A simulated heterogeneous node under a scheduling strategy
+    /// (§3.2–3.3).
+    Node { node: &'a SimNode, strategy: Strategy },
+}
+
+/// Declarative description of one screening run: metaheuristic parameters,
+/// an execution backend, and (optionally) a trace sink. Consumed by
+/// [`VirtualScreen::run`], the single entry point that replaced the
+/// per-backend `run_*` methods.
+///
+/// ```no_run
+/// # use vscreen::{RunSpec, VirtualScreen};
+/// # use vsmol::Dataset;
+/// let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(3).build();
+/// let params = metaheur::m1(0.05);
+/// let outcome = screen.run(RunSpec::cpu(&params, 4));
+/// # let _ = outcome;
+/// ```
+pub struct RunSpec<'a> {
+    params: &'a MetaheuristicParams,
+    backend: Backend<'a>,
+    trace: Trace,
+}
+
+impl<'a> RunSpec<'a> {
+    /// Run on `threads` host CPU threads (real compute, no virtual time).
+    pub fn cpu(params: &'a MetaheuristicParams, threads: usize) -> RunSpec<'a> {
+        RunSpec { params, backend: Backend::Cpu { threads }, trace: Trace::disabled() }
+    }
+
+    /// Run against an AutoDock-style precomputed potential grid.
+    pub fn gridded(params: &'a MetaheuristicParams, opts: vsscore::GridOptions) -> RunSpec<'a> {
+        RunSpec { params, backend: Backend::Grid { opts }, trace: Trace::disabled() }
+    }
+
+    /// Run on a simulated node under `strategy`; the outcome carries the
+    /// modeled makespan. Under [`Strategy::WorkSteal`] the host CPU joins
+    /// the GPUs in the runtime's steal pool.
+    pub fn on_node(
+        params: &'a MetaheuristicParams,
+        node: &'a SimNode,
+        strategy: Strategy,
+    ) -> RunSpec<'a> {
+        RunSpec { params, backend: Backend::Node { node, strategy }, trace: Trace::disabled() }
+    }
+
+    /// Attach a [`vstrace::Trace`]: the run is wrapped in a `screen` span,
+    /// the engine emits generation spans and `GenerationDone` events, and
+    /// the node scheduler contributes `DeviceBusy` / `BatchScored` /
+    /// warm-up / `JobMigrated` events.
+    pub fn traced(mut self, trace: &Trace) -> Self {
+        self.trace = trace.clone();
+        self
+    }
+}
+
 /// A prepared screening problem: receptor + ligand + detected surface spots
 /// + scoring context. Build with [`VirtualScreen::builder`].
 #[derive(Debug, Clone)]
@@ -61,73 +123,82 @@ impl VirtualScreen {
         self.scorer.pairs_per_eval()
     }
 
-    /// Run a metaheuristic on the host CPU only (real threads, no virtual
-    /// timing) — the quality-measurement path.
-    pub fn run_cpu(&self, params: &MetaheuristicParams, threads: usize) -> ScreenOutcome {
-        let mut ev = EvaluatorSpec::PooledCpu { threads }.build(self.scorer.clone());
-        let run = metaheur::run(params, &self.spots, &mut ev, self.seed);
-        ScreenOutcome::from_run(run, f64::NAN)
-    }
-
-    /// Run a metaheuristic over an AutoDock-style precomputed potential
-    /// grid ([`vsscore::GridScorer`]) instead of exact pair scoring:
-    /// `O(ligand)` per evaluation after a one-time grid build — the classic
-    /// speed/accuracy trade-off as a product option. Final poses should be
-    /// re-scored exactly (e.g. via [`VirtualScreen::scorer`]).
-    pub fn run_cpu_gridded(
-        &self,
-        params: &MetaheuristicParams,
-        grid_opts: vsscore::GridOptions,
-    ) -> ScreenOutcome {
-        let grid = vsscore::GridScorer::new(&self.receptor, &self.ligand, grid_opts);
-        let mut ev = metaheur::GridEvaluator::new(grid);
-        let run = metaheur::run(params, &self.spots, &mut ev, self.seed);
-        ScreenOutcome::from_run(run, f64::NAN)
-    }
-
-    /// Run a metaheuristic on a simulated node under a scheduling strategy
-    /// (§3.2–3.3). Scores are computed for real on host threads; the
-    /// returned [`ScreenOutcome::virtual_time`] is the modeled node
-    /// makespan, including the heterogeneous strategy's warm-up.
-    pub fn run_on_node(
-        &self,
-        params: &MetaheuristicParams,
-        node: &SimNode,
-        strategy: Strategy,
-    ) -> ScreenOutcome {
-        self.run_on_node_traced(params, node, strategy, &Trace::disabled())
-    }
-
-    /// Like [`VirtualScreen::run_on_node`], with a [`vstrace::Trace`]
-    /// attached: the run is wrapped in a `screen` span, the engine emits its
-    /// generation spans and `GenerationDone` events, and the device
-    /// scheduler contributes `DeviceBusy` / `BatchScored` / warm-up events —
-    /// everything a chrome-trace export or text summary needs.
-    pub fn run_on_node_traced(
-        &self,
-        params: &MetaheuristicParams,
-        node: &SimNode,
-        strategy: Strategy,
-        trace: &Trace,
-    ) -> ScreenOutcome {
-        node.reset();
-        let _screen = trace.span("screen");
-        match strategy {
-            Strategy::CpuOnly => {
-                let threads = node.cpu().spec().lanes() as usize;
-                let mut ev = CpuNodeEvaluator {
-                    inner: CpuEvaluator::new((*self.scorer).clone(), Exec::Pool(threads)),
-                    node: node.clone(),
-                };
-                let run = metaheur::run_traced(params, &self.spots, &mut ev, self.seed, trace);
-                ScreenOutcome::from_run(run, node.cpu().clock())
+    /// Run a metaheuristic as described by `spec` — the single entry point
+    /// for every backend: host CPU threads, the precomputed-grid scorer,
+    /// or a simulated node under a scheduling strategy (all through the
+    /// unified node runtime, DESIGN.md §10). Attach a [`vstrace::Trace`]
+    /// with [`RunSpec::traced`] for structured observability on any
+    /// backend.
+    pub fn run(&self, spec: RunSpec<'_>) -> ScreenOutcome {
+        let trace = spec.trace;
+        match spec.backend {
+            Backend::Cpu { threads } => {
+                let _screen = trace.span("screen");
+                let mut ev = EvaluatorSpec::PooledCpu { threads }.build(self.scorer.clone());
+                let run =
+                    metaheur::run_traced(spec.params, &self.spots, &mut ev, self.seed, &trace);
+                ScreenOutcome::from_run(run, f64::NAN)
             }
-            _ => {
-                let mut ev =
-                    DeviceEvaluator::new(node.gpus().to_vec(), self.scorer.clone(), strategy)
-                        .with_trace(trace.clone());
-                let run = metaheur::run_traced(params, &self.spots, &mut ev, self.seed, trace);
-                ScreenOutcome::from_run(run, ev.makespan())
+            Backend::Grid { opts } => {
+                // AutoDock-style precomputed potential grid
+                // ([`vsscore::GridScorer`]) instead of exact pair scoring:
+                // `O(ligand)` per evaluation after a one-time grid build —
+                // the classic speed/accuracy trade-off. Final poses should
+                // be re-scored exactly (e.g. via [`VirtualScreen::scorer`]).
+                let _screen = trace.span("screen");
+                let grid = vsscore::GridScorer::new(&self.receptor, &self.ligand, opts);
+                let mut ev = metaheur::GridEvaluator::new(grid);
+                let run =
+                    metaheur::run_traced(spec.params, &self.spots, &mut ev, self.seed, &trace);
+                ScreenOutcome::from_run(run, f64::NAN)
+            }
+            Backend::Node { node, strategy } => {
+                // Scores are computed for real on host threads; the
+                // returned [`ScreenOutcome::virtual_time`] is the modeled
+                // node makespan, including any warm-up phase.
+                node.reset();
+                let _screen = trace.span("screen");
+                match strategy {
+                    Strategy::CpuOnly => {
+                        let threads = node.cpu().spec().lanes() as usize;
+                        let mut ev = CpuNodeEvaluator {
+                            inner: CpuEvaluator::new((*self.scorer).clone(), Exec::Pool(threads)),
+                            node: node.clone(),
+                        };
+                        let run = metaheur::run_traced(
+                            spec.params,
+                            &self.spots,
+                            &mut ev,
+                            self.seed,
+                            &trace,
+                        );
+                        ScreenOutcome::from_run(run, node.cpu().clock())
+                    }
+                    _ => {
+                        // Work stealing runs the *whole* heterogeneous node:
+                        // the host CPU joins the device pool as one more
+                        // lane pulling chunks from the shared deques. The
+                        // split strategies keep the paper's GPU-only
+                        // partitioning (the CPU orchestrates).
+                        let devices = if matches!(strategy, Strategy::WorkSteal { .. }) {
+                            let mut d = vec![node.cpu().clone()];
+                            d.extend(node.gpus().iter().cloned());
+                            d
+                        } else {
+                            node.gpus().to_vec()
+                        };
+                        let mut ev = DeviceEvaluator::new(devices, self.scorer.clone(), strategy)
+                            .with_trace(trace.clone());
+                        let run = metaheur::run_traced(
+                            spec.params,
+                            &self.spots,
+                            &mut ev,
+                            self.seed,
+                            &trace,
+                        );
+                        ScreenOutcome::from_run(run, ev.makespan())
+                    }
+                }
             }
         }
     }
@@ -293,7 +364,8 @@ mod tests {
     #[test]
     fn cpu_run_produces_ranked_spots() {
         let s = quick_screen();
-        let out = s.run_cpu(&metaheur::m1(0.03), 4);
+        let p = metaheur::m1(0.03);
+        let out = s.run(RunSpec::cpu(&p, 4));
         assert_eq!(out.ranked.len(), 3);
         for w in out.ranked.windows(2) {
             assert!(w[0].score <= w[1].score, "ranking out of order");
@@ -306,13 +378,14 @@ mod tests {
     fn node_run_reports_virtual_time() {
         let s = quick_screen();
         let node = platform::hertz();
-        let out = s.run_on_node(
-            &metaheur::m1(0.03),
+        let p = metaheur::m1(0.03);
+        let out = s.run(RunSpec::on_node(
+            &p,
             &node,
             Strategy::HeterogeneousSplit {
                 warmup: WarmupConfig { iterations: 2, ..Default::default() },
             },
-        );
+        ));
         assert!(out.virtual_time > 0.0);
         assert!(out.best.is_scored());
     }
@@ -321,7 +394,8 @@ mod tests {
     fn cpu_only_strategy_charges_cpu_clock() {
         let s = quick_screen();
         let node = platform::hertz();
-        let out = s.run_on_node(&metaheur::m1(0.03), &node, Strategy::CpuOnly);
+        let p = metaheur::m1(0.03);
+        let out = s.run(RunSpec::on_node(&p, &node, Strategy::CpuOnly));
         assert!(out.virtual_time > 0.0);
         assert_eq!(node.cpu().clock(), out.virtual_time);
         assert_eq!(node.gpu(0).clock(), 0.0, "GPUs must stay idle");
@@ -331,28 +405,63 @@ mod tests {
     fn gpu_beats_cpu_virtual_time() {
         let s = quick_screen();
         let node = platform::hertz();
-        let t_cpu = s.run_on_node(&metaheur::m1(0.03), &node, Strategy::CpuOnly).virtual_time;
-        let t_gpu =
-            s.run_on_node(&metaheur::m1(0.03), &node, Strategy::HomogeneousSplit).virtual_time;
+        let p = metaheur::m1(0.03);
+        let t_cpu = s.run(RunSpec::on_node(&p, &node, Strategy::CpuOnly)).virtual_time;
+        let t_gpu = s.run(RunSpec::on_node(&p, &node, Strategy::HomogeneousSplit)).virtual_time;
         assert!(t_cpu / t_gpu > 5.0, "GPU speedup only {}", t_cpu / t_gpu);
     }
 
     #[test]
     fn same_seed_same_result_across_strategies() {
         // Scheduling must not change the search trajectory (per-spot RNG
-        // streams): identical best scores on CPU and on the node.
+        // streams): identical best scores on CPU and on the node, whatever
+        // the strategy — including work stealing, where chunk migration
+        // changes which device scores what but never the numbers.
         let s = quick_screen();
         let node = platform::hertz();
-        let a = s.run_on_node(&metaheur::m1(0.03), &node, Strategy::CpuOnly);
-        let b = s.run_on_node(&metaheur::m1(0.03), &node, Strategy::HomogeneousSplit);
+        let p = metaheur::m1(0.03);
+        let a = s.run(RunSpec::on_node(&p, &node, Strategy::CpuOnly));
+        let b = s.run(RunSpec::on_node(&p, &node, Strategy::HomogeneousSplit));
+        let c = s.run(RunSpec::on_node(
+            &p,
+            &node,
+            Strategy::WorkSteal {
+                warmup: WarmupConfig { iterations: 2, ..Default::default() },
+                divisor: 2,
+            },
+        ));
         assert_eq!(a.best.score, b.best.score);
         assert_eq!(a.best.pose, b.best.pose);
+        assert_eq!(a.best.score.to_bits(), c.best.score.to_bits());
+        assert_eq!(a.best.pose, c.best.pose);
+    }
+
+    #[test]
+    fn work_steal_runs_whole_node() {
+        // Under WorkSteal the host CPU is one more lane in the steal pool:
+        // it gets seeded work (or steals), so its clock advances alongside
+        // the GPUs'.
+        let s = quick_screen();
+        let node = platform::hertz();
+        let p = metaheur::m1(0.03);
+        let out = s.run(RunSpec::on_node(
+            &p,
+            &node,
+            Strategy::WorkSteal {
+                warmup: WarmupConfig { iterations: 2, ..Default::default() },
+                divisor: 2,
+            },
+        ));
+        assert!(out.virtual_time > 0.0);
+        assert!(node.cpu().clock() > 0.0, "CPU lane must participate");
+        assert!(node.gpu(0).clock() > 0.0);
     }
 
     #[test]
     fn pose_pdb_is_parseable_and_in_receptor_frame() {
         let s = quick_screen();
-        let out = s.run_cpu(&metaheur::m1(0.02), 2);
+        let p = metaheur::m1(0.02);
+        let out = s.run(RunSpec::cpu(&p, 2));
         let pdb = s.pose_pdb(&out.best);
         let reparsed = vsmol::pdb::parse(&pdb, "pose").unwrap();
         assert_eq!(reparsed.len(), s.ligand().len());
@@ -364,11 +473,12 @@ mod tests {
     #[test]
     fn gridded_search_agrees_with_exact_search() {
         let s = quick_screen();
-        let exact = s.run_cpu(&metaheur::m1(0.05), 4);
-        let gridded = s.run_cpu_gridded(
-            &metaheur::m1(0.05),
+        let p = metaheur::m1(0.05);
+        let exact = s.run(RunSpec::cpu(&p, 4));
+        let gridded = s.run(RunSpec::gridded(
+            &p,
             vsscore::GridOptions { spacing: 0.75, ..Default::default() },
-        );
+        ));
         assert!(exact.best.score < 0.0);
         assert!(gridded.best.score < 0.0, "gridded search found no binding");
         // Re-score the gridded winner exactly: still a genuine binding.
@@ -379,7 +489,8 @@ mod tests {
     #[test]
     fn complex_pdb_holds_receptor_and_ligand() {
         let s = quick_screen();
-        let out = s.run_cpu(&metaheur::m1(0.02), 2);
+        let p = metaheur::m1(0.02);
+        let out = s.run(RunSpec::cpu(&p, 2));
         let text = s.complex_pdb(&out.best);
         let complex = vsmol::pdb::parse_structure(&text, "complex").unwrap();
         assert_eq!(complex.protein().len(), s.receptor().len());
@@ -391,7 +502,8 @@ mod tests {
     #[test]
     fn score_histogram_covers_all_spots() {
         let s = quick_screen();
-        let out = s.run_cpu(&metaheur::m1(0.03), 4);
+        let p = metaheur::m1(0.03);
+        let out = s.run(RunSpec::cpu(&p, 4));
         let h = out.score_histogram(4).expect("scored spots");
         assert_eq!(h.total() as usize, s.spots().len());
     }
@@ -399,7 +511,8 @@ mod tests {
     #[test]
     fn pose_clustering_partitions_spots() {
         let s = quick_screen();
-        let out = s.run_cpu(&metaheur::m1(0.03), 4);
+        let p = metaheur::m1(0.03);
+        let out = s.run(RunSpec::cpu(&p, 4));
         let clusters = s.cluster_poses(&out, 4.0);
         let covered: usize = clusters.iter().map(|c| c.len()).sum();
         assert_eq!(covered, out.ranked.len());
@@ -419,7 +532,8 @@ mod tests {
         let lig = vsmol::synth::synth_ligand("lig", 10, 12);
         let s = VirtualScreen::from_molecules(rec, lig).max_spots(2).build();
         assert!(!s.spots().is_empty());
-        let out = s.run_cpu(&metaheur::m1(0.02), 2);
+        let p = metaheur::m1(0.02);
+        let out = s.run(RunSpec::cpu(&p, 2));
         assert!(out.best.is_scored());
     }
 }

@@ -28,10 +28,20 @@ pub struct SimDevice {
     state: Mutex<DeviceState>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct DeviceState {
     clock_s: f64,
     stats: DeviceStats,
+    /// Multiplier on every modeled execution time (1.0 = nominal). Fault
+    /// injection uses this to degrade a device mid-run: thermal throttling,
+    /// a failing board, ECC retirement storms.
+    slowdown: f64,
+}
+
+impl Default for DeviceState {
+    fn default() -> DeviceState {
+        DeviceState { clock_s: 0.0, stats: DeviceStats::default(), slowdown: 1.0 }
+    }
 }
 
 impl SimDevice {
@@ -58,9 +68,10 @@ impl SimDevice {
     /// Execute a batch: advances the virtual clock and returns the modeled
     /// elapsed time in seconds.
     pub fn execute(&self, batch: &WorkBatch) -> f64 {
-        let dt = self.model.execution_time(&self.spec, batch);
+        let base = self.model.execution_time(&self.spec, batch);
         // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         let mut st = self.state.lock().expect("device state mutex poisoned");
+        let dt = base * st.slowdown;
         st.clock_s += dt;
         st.stats.batches += 1;
         st.stats.items += batch.items;
@@ -70,15 +81,42 @@ impl SimDevice {
     }
 
     /// Modeled time for a batch *without* executing it (used by planners).
+    /// Always equals what [`SimDevice::execute`] would charge right now,
+    /// including any active [`SimDevice::set_slowdown`] factor.
     pub fn estimate(&self, batch: &WorkBatch) -> f64 {
-        self.model.execution_time(&self.spec, batch)
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
+        let slowdown = self.state.lock().expect("device state mutex poisoned").slowdown;
+        self.model.execution_time(&self.spec, batch) * slowdown
+    }
+
+    /// Degrade (or restore) the device: every subsequent modeled execution
+    /// time is multiplied by `factor`. `1.0` is nominal; a straggler GPU
+    /// that thermally throttles to quarter speed uses `4.0`. Past work is
+    /// not re-priced. [`SimDevice::reset`] restores the nominal factor.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite and strictly positive.
+    pub fn set_slowdown(&self, factor: f64) {
+        assert!(factor.is_finite() && factor > 0.0, "bad slowdown factor {factor}");
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
+        self.state.lock().expect("device state mutex poisoned").slowdown = factor;
+    }
+
+    /// The active slowdown multiplier (1.0 = nominal).
+    pub fn slowdown(&self) -> f64 {
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
+        self.state.lock().expect("device state mutex poisoned").slowdown
     }
 
     /// The `(kernel, PCIe transfer)` split of a batch's modeled time — see
     /// [`CostModel::time_breakdown`]. Trace instrumentation records this
-    /// next to every `DeviceBusy` event.
+    /// next to every `DeviceBusy` event. Both components scale with the
+    /// active slowdown factor, consistent with [`SimDevice::execute`].
     pub fn time_breakdown(&self, batch: &WorkBatch) -> (f64, f64) {
-        self.model.time_breakdown(&self.spec, batch)
+        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
+        let slowdown = self.state.lock().expect("device state mutex poisoned").slowdown;
+        let (kernel, transfer) = self.model.time_breakdown(&self.spec, batch);
+        (kernel * slowdown, transfer * slowdown)
     }
 
     /// The device's catalog name (e.g. `"Tesla K40c"`).
@@ -204,6 +242,46 @@ mod tests {
         d.reset();
         assert_eq!(d.clock(), 0.0);
         assert_eq!(d.stats(), DeviceStats::default());
+    }
+
+    #[test]
+    fn slowdown_scales_future_work_only() {
+        let d = dev();
+        let b = WorkBatch::conformations(500, 1000);
+        let nominal = d.execute(&b);
+        let (k0, t0) = d.time_breakdown(&b);
+        d.set_slowdown(4.0);
+        assert_eq!(d.slowdown(), 4.0);
+        assert!((d.estimate(&b) - 4.0 * nominal).abs() < 1e-15);
+        let degraded = d.execute(&b);
+        assert!((degraded - 4.0 * nominal).abs() < 1e-15);
+        // Past work is not re-priced: clock = nominal + 4*nominal.
+        assert!((d.clock() - 5.0 * nominal).abs() < 1e-15);
+        let (k, t) = d.time_breakdown(&b);
+        assert!((k - 4.0 * k0).abs() < 1e-15 && (t - 4.0 * t0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn estimate_matches_execute_under_slowdown() {
+        let d = dev();
+        d.set_slowdown(2.5);
+        let b = WorkBatch::conformations(512, 2048);
+        let est = d.estimate(&b);
+        assert_eq!(d.execute(&b), est);
+    }
+
+    #[test]
+    fn reset_restores_nominal_slowdown() {
+        let d = dev();
+        d.set_slowdown(8.0);
+        d.reset();
+        assert_eq!(d.slowdown(), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_slowdown_rejected() {
+        dev().set_slowdown(0.0);
     }
 
     #[test]

@@ -90,6 +90,21 @@ impl DeviceSpec {
         self.peak_lane_hz() * self.lane_efficiency()
     }
 
+    /// Smallest launch (in items, one warp per item) that fills the
+    /// machine: the resident-warp capacity `SMs × max_threads_per_SM / 32`
+    /// for a GPU, the core count for a CPU. Below this, occupancy — and
+    /// therefore sustained throughput — degrades (see
+    /// [`crate::launch::occupancy_efficiency`]); schedulers use it as the
+    /// floor for work-stealing chunk sizes.
+    pub fn saturation_items(&self) -> u64 {
+        match self.kind {
+            DeviceKind::Gpu { multiprocessors, max_threads_per_sm, .. } => {
+                u64::from(multiprocessors) * u64::from(max_threads_per_sm) / 32
+            }
+            DeviceKind::Cpu { cores, .. } => u64::from(cores),
+        }
+    }
+
     /// CUDA compute capability string, or "n/a" for CPUs.
     pub fn ccc_string(&self) -> String {
         match self.kind {
@@ -164,6 +179,12 @@ mod tests {
     fn cpu_simd_factor_scales_sustained() {
         let c = cpu();
         assert!((c.sustained_lane_hz() - 2.0 * c.peak_lane_hz()).abs() < 1.0);
+    }
+
+    #[test]
+    fn saturation_items_is_resident_warp_capacity() {
+        assert_eq!(fermi_gpu().saturation_items(), 16 * 1536 / 32);
+        assert_eq!(cpu().saturation_items(), 12);
     }
 
     #[test]

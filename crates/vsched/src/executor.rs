@@ -1,41 +1,31 @@
-//! The real-compute execution path: scoring batches are partitioned across
-//! simulated devices and *numerically computed* on one persistent host OS
-//! thread per device (mirroring the paper's one-OpenMP-thread-per-GPU
-//! design, Algorithm 2), and each device's virtual clock is charged the
-//! modeled kernel time.
+//! The real-compute batch evaluator: a thin strategy facade over the
+//! unified node runtime ([`crate::runtime::NodeRuntime`]).
 //!
-//! # Persistent workers
-//!
-//! [`DeviceEvaluator::new`] spawns one long-lived worker thread per device.
-//! Each worker owns its device handle, a scorer handle, and a reusable
-//! [`vsscore::PoseScratch`]; `evaluate` publishes per-device work
-//! descriptors and blocks until all workers signal completion. The hot
-//! loop therefore performs no thread spawning and no per-pose allocation —
-//! the host-side overhead the paper's pipelined design eliminates.
-//! Dropping the evaluator shuts the workers down and joins them.
-//! Submissions need no extra locking: `evaluate` takes `&mut self`, so the
-//! borrow checker enforces one batch in flight per evaluator. Worker
-//! panics are caught, recorded, and re-raised on the submitting thread
-//! ("device worker panicked") instead of wedging the completion count.
+//! [`DeviceEvaluator`] owns the *policy*: resolving a [`Strategy`] into
+//! per-batch device shares (running the paper's warm-up and Equation 1
+//! where the strategy calls for it) and the associated trace bookkeeping
+//! (`WarmupSample`, `PartitionDecision`, `BatchScored`). All *mechanism* —
+//! persistent per-device worker threads, virtual-time accounting, the
+//! work-stealing deque drain — lives in the runtime, which every execution
+//! path on a node shares (DESIGN.md §10).
 //!
 //! # Determinism
 //!
-//! Shares are contiguous and scored serially per worker with the same
-//! kernel as [`vsscore::Scorer::score_batch`], so scores are bit-identical
-//! to the serial CPU path for every strategy and device count, *for
-//! whichever kernel the scorer is configured with* — naive, tiled,
-//! element-run, or the fused single-pass default (DESIGN §7 per-kernel
-//! bit-identity).
+//! Device shares are disjoint index ranges scored serially per worker with
+//! the same kernel as [`vsscore::Scorer::score_batch`], so scores are
+//! bit-identical to the serial CPU path for every strategy — including
+//! work stealing, where chunk migration changes *which device is charged*,
+//! never the numeric result — for whichever kernel the scorer is
+//! configured with (DESIGN §7 per-kernel bit-identity).
 
 use crate::partition::proportional_split;
+use crate::runtime::{NodeRuntime, StealConfig, StealStats};
 use crate::strategy::Strategy;
-use crate::sync::thread::{Builder, JoinHandle};
-use crate::sync::{Condvar, Mutex};
 use gpusim::{SimDevice, WorkBatch};
 use metaheur::BatchEvaluator;
 use std::sync::Arc;
 use vsmol::Conformation;
-use vsscore::{Exec, ScoreBatch, Scorer};
+use vsscore::Scorer;
 use vstrace::{Event, Trace, BATCH_TRACK};
 
 /// How the dynamic (self-scheduling) mode sizes its greedy chunks.
@@ -47,88 +37,49 @@ enum DynamicChunking {
     Guided { divisor: u64 },
 }
 
+/// What the warm-up resolves into once Equation 1 has its measurements.
+enum AfterWarmup {
+    /// Freeze the weights as a static proportional split.
+    Static,
+    /// Seed the work-stealing deques with the weights every batch.
+    Steal { divisor: u64 },
+}
+
 enum Mode {
     /// Fixed proportional weights.
     Static(Vec<f64>),
     /// The paper's warm-up phase in progress: the next `left` batches run
     /// under the equal split while per-device times accumulate; Equation 1
-    /// then fixes the weights.
-    WarmingUp { left: usize, times: Vec<f64> },
+    /// then fixes the weights and `then` decides what they seed.
+    WarmingUp { left: usize, times: Vec<f64>, then: AfterWarmup },
     /// Greedy self-scheduling by virtual clock.
     Dynamic(DynamicChunking),
-}
-
-/// Work descriptor consumed by one device worker: a contiguous sub-slice
-/// of the caller's conformation batch.
-struct DevJob {
-    confs: *mut Conformation,
-    len: usize,
-    timeline: Option<Arc<gpusim::Timeline>>,
-    trace: Trace,
-    /// Test hook: the worker panics instead of scoring this share, to pin
-    /// panic propagation through the completion handshake.
-    #[cfg(test)]
-    induce_panic: bool,
-}
-
-// SAFETY: the pointer is only dereferenced between job publication and the
-// completion signal, during which the submitting thread is blocked in
-// `evaluate` keeping the `&mut [Conformation]` borrow alive; per-device
-// jobs cover disjoint ranges of that slice.
-unsafe impl Send for DevJob {}
-
-struct DevState {
-    generation: u64,
-    shutdown: bool,
-    jobs: Vec<Option<DevJob>>,
-    remaining: usize,
-    /// Set by any worker whose job body panicked; re-raised in `evaluate`
-    /// once all workers have checked in (a wedged `remaining` would
-    /// otherwise block the submitter forever).
-    panicked: bool,
-}
-
-struct DevShared {
-    state: Mutex<DevState>,
-    work_cv: Condvar,
-    done_cv: Condvar,
+    /// The runtime's work-stealing drain, seeded by Equation 1 weights.
+    Steal { weights: Vec<f64>, cfg: StealConfig },
 }
 
 /// A [`BatchEvaluator`] that executes scoring on a set of simulated devices.
 ///
-/// Construction resolves the strategy to static per-device weights (running
-/// the warm-up for the heterogeneous strategy — its cost lands on the
-/// device clocks, as in the paper) and spawns the persistent per-device
-/// worker threads. Each `evaluate` call then:
-///
-/// 1. splits the batch into contiguous per-device shares;
-/// 2. hands each persistent worker its share; the worker scores it with
-///    the real Lennard-Jones scorer (reusing its thread-local scratch) and
-///    calls [`SimDevice::execute`] to advance the device's virtual clock;
-/// 3. blocks until all workers finish — scores land back in the caller's
-///    slice in order.
+/// Construction resolves the strategy (running the warm-up for the
+/// heterogeneous strategies — its cost lands on the device clocks, as in
+/// the paper) and spawns the runtime's persistent per-device worker
+/// threads. Each `evaluate` call then routes the batch through the
+/// runtime: one contiguous share per device for the split strategies, or
+/// the seeded-deque work-stealing drain for [`Strategy::WorkSteal`].
 pub struct DeviceEvaluator {
-    devices: Vec<Arc<SimDevice>>,
-    scorer: Arc<Scorer>,
+    runtime: NodeRuntime,
     mode: Mode,
-    timeline: Option<Arc<gpusim::Timeline>>,
-    trace: Trace,
     warmup_done: u32,
-    shared: Arc<DevShared>,
-    workers: Vec<JoinHandle<()>>,
-    /// Test hook: make every worker panic on the next `evaluate` (see
-    /// `DevJob::induce_panic`).
-    #[cfg(test)]
-    panic_next: bool,
+    steal_stats: StealStats,
 }
 
 impl DeviceEvaluator {
-    /// Build an evaluator over `devices` using `strategy` to fix shares.
+    /// Build an evaluator over `devices` using `strategy` to assign work.
     ///
-    /// For [`Strategy::HeterogeneousSplit`], the first `warmup.iterations`
-    /// batches of real work execute under the equal split while being
-    /// timed (the paper's warm-up phase, §3.3); Equation 1 then fixes the
-    /// proportional split for the rest of the run.
+    /// For [`Strategy::HeterogeneousSplit`] and [`Strategy::WorkSteal`],
+    /// the first `warmup.iterations` batches of real work execute under
+    /// the equal split while being timed (the paper's warm-up phase,
+    /// §3.3); Equation 1 then fixes the weights for the rest of the run.
     ///
     /// # Panics
     /// Panics if `devices` is empty or the strategy is [`Strategy::CpuOnly`]
@@ -138,7 +89,6 @@ impl DeviceEvaluator {
         scorer: Arc<Scorer>,
         strategy: Strategy,
     ) -> DeviceEvaluator {
-        assert!(!devices.is_empty(), "need at least one device");
         let n = devices.len();
         let mode = match strategy {
             Strategy::CpuOnly => panic!("use CpuEvaluator for the CPU-only baseline"),
@@ -147,112 +97,99 @@ impl DeviceEvaluator {
                 Mode::Dynamic(DynamicChunking::Guided { divisor: divisor.max(1) })
             }
             Strategy::HomogeneousSplit => Mode::Static(vec![1.0; n]),
-            Strategy::HeterogeneousSplit { warmup } => {
-                Mode::WarmingUp { left: warmup.iterations.max(1), times: vec![0.0; n] }
-            }
+            Strategy::HeterogeneousSplit { warmup } => Mode::WarmingUp {
+                left: warmup.iterations.max(1),
+                times: vec![0.0; n],
+                then: AfterWarmup::Static,
+            },
             // The adaptive ablation re-measures continuously; in the
             // real-compute executor it starts like the heterogeneous
             // warm-up and then keeps the latest window's weights.
-            Strategy::AdaptiveSplit { warmup, .. } => {
-                Mode::WarmingUp { left: warmup.iterations.max(1), times: vec![0.0; n] }
-            }
+            Strategy::AdaptiveSplit { warmup, .. } => Mode::WarmingUp {
+                left: warmup.iterations.max(1),
+                times: vec![0.0; n],
+                then: AfterWarmup::Static,
+            },
+            Strategy::WorkSteal { warmup, divisor } => Mode::WarmingUp {
+                left: warmup.iterations.max(1),
+                times: vec![0.0; n],
+                then: AfterWarmup::Steal { divisor: divisor.max(1) },
+            },
         };
-
-        let shared = Arc::new(DevShared {
-            state: Mutex::new(DevState {
-                generation: 0,
-                shutdown: false,
-                jobs: (0..n).map(|_| None).collect(),
-                remaining: 0,
-                panicked: false,
-            }),
-            work_cv: Condvar::new(),
-            done_cv: Condvar::new(),
-        });
-        let workers = devices
-            .iter()
-            .enumerate()
-            .map(|(index, dev)| {
-                let shared = Arc::clone(&shared);
-                let dev = Arc::clone(dev);
-                let scorer = Arc::clone(&scorer);
-                Builder::new()
-                    .name(format!("vsched-dev-{index}"))
-                    .spawn(move || device_worker(&shared, index, &dev, &scorer))
-                    .expect("failed to spawn device worker")
-            })
-            .collect();
-
         DeviceEvaluator {
-            devices,
-            scorer,
+            runtime: NodeRuntime::new(devices, scorer),
             mode,
-            timeline: None,
-            trace: Trace::disabled(),
             warmup_done: 0,
-            shared,
-            workers,
-            #[cfg(test)]
-            panic_next: false,
+            steal_stats: StealStats::default(),
         }
     }
 
     /// Record every device execution into `timeline` (Gantt introspection
     /// of the real-compute path).
     pub fn with_timeline(mut self, timeline: Arc<gpusim::Timeline>) -> Self {
-        self.timeline = Some(timeline);
+        self.runtime.set_timeline(timeline);
         self
     }
 
     /// Emit structured `vstrace` events (`DeviceBusy`, `BatchScored`,
-    /// `WarmupSample`, `PartitionDecision`) for every batch from here on.
-    /// Device track names are registered from the catalog names.
+    /// `WarmupSample`, `PartitionDecision`, `JobMigrated`) for every batch
+    /// from here on. Device track names are registered from the catalog
+    /// names.
     pub fn with_trace(mut self, trace: Trace) -> Self {
-        for dev in &self.devices {
-            trace.set_track_name(dev.id() as u32, dev.name());
-        }
         trace.set_track_name(BATCH_TRACK, "batches");
-        self.trace = trace;
+        self.runtime.set_trace(trace);
         self
     }
 
     pub fn devices(&self) -> &[Arc<SimDevice>] {
-        &self.devices
+        self.runtime.devices()
     }
 
     /// The overall virtual execution time so far (slowest device).
     pub fn makespan(&self) -> f64 {
-        self.devices.iter().map(|d| d.clock()).fold(0.0, f64::max)
+        self.runtime.makespan()
     }
 
-    /// Static shares in use (empty while warming up or in dynamic mode).
+    /// Static or deque-seed weights in use (empty while warming up or in
+    /// dynamic mode).
     pub fn weights(&self) -> &[f64] {
         match &self.mode {
             Mode::Static(w) => w,
+            Mode::Steal { weights, .. } => weights,
             _ => &[],
         }
+    }
+
+    /// Cumulative work-stealing statistics (all zeros unless the strategy
+    /// is [`Strategy::WorkSteal`]).
+    pub fn steal_stats(&self) -> StealStats {
+        self.steal_stats
     }
 
     /// Test hook: every worker panics on the next `evaluate` call, which
     /// must re-raise on the submitter and leave the evaluator usable.
     #[cfg(test)]
     fn induce_worker_panic(&mut self) {
-        self.panic_next = true;
+        self.runtime.panic_next = true;
     }
 
+    /// Per-device shares for the split modes (everything except `Steal`).
     fn shares_for(&self, items: u64) -> Vec<u64> {
+        let devices = self.runtime.devices();
         match &self.mode {
+            Mode::Steal { .. } => unreachable!("steal mode does not use contiguous shares"),
             Mode::Static(w) => proportional_split(items, w),
-            Mode::WarmingUp { .. } => equal_weights_split(items, self.devices.len()),
+            Mode::WarmingUp { .. } => proportional_split(items, &vec![1.0; devices.len()]),
             Mode::Dynamic(chunking) => {
                 // Greedy chunking by current virtual clock, coalesced into
                 // one contiguous share per device to keep host scoring
                 // cache-friendly. Chunk sizing honors the strategy's
                 // parameters: a fixed grab for DynamicQueue, a
                 // remaining-proportional grab for GuidedQueue.
-                let n = self.devices.len() as u64;
-                let mut clocks: Vec<f64> = self.devices.iter().map(|d| d.clock()).collect();
-                let mut shares = vec![0u64; self.devices.len()];
+                let n = devices.len() as u64;
+                let pairs = self.runtime.scorer().pairs_per_eval();
+                let mut clocks: Vec<f64> = devices.iter().map(|d| d.clock()).collect();
+                let mut shares = vec![0u64; devices.len()];
                 let mut remaining = items;
                 while remaining > 0 {
                     let take = match *chunking {
@@ -265,11 +202,11 @@ impl DeviceEvaluator {
                     let (idx, _) = clocks
                         .iter()
                         .enumerate()
+                        // PANICS: clocks are finite (never NaN) and there is at least one device.
                         .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                         .expect("non-empty");
                     shares[idx] += take;
-                    clocks[idx] += self.devices[idx]
-                        .estimate(&WorkBatch::conformations(take, self.scorer.pairs_per_eval()));
+                    clocks[idx] += devices[idx].estimate(&WorkBatch::conformations(take, pairs));
                 }
                 shares
             }
@@ -277,166 +214,44 @@ impl DeviceEvaluator {
     }
 }
 
-impl Drop for DeviceEvaluator {
-    fn drop(&mut self) {
-        {
-            let mut st = self.shared.state.lock().expect("executor mutex poisoned");
-            st.shutdown = true;
-        }
-        self.shared.work_cv.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
-
-fn device_worker(shared: &DevShared, index: usize, dev: &SimDevice, scorer: &Scorer) {
-    let mut scratch = vsscore::PoseScratch::new();
-    let mut seen_generation = 0u64;
-    loop {
-        let job = {
-            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
-            let mut st = shared.state.lock().expect("executor mutex poisoned");
-            loop {
-                if st.shutdown {
-                    return;
-                }
-                if st.generation != seen_generation {
-                    seen_generation = st.generation;
-                    break st.jobs[index].take();
-                }
-                // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
-                st = shared.work_cv.wait(st).expect("executor mutex poisoned");
-            }
-        };
-
-        // Run the share under catch_unwind: a panicking scorer must still
-        // decrement `remaining` (otherwise `evaluate` blocks forever); the
-        // panic is recorded and re-raised on the submitting thread.
-        let body = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if let Some(job) = &job {
-                #[cfg(test)]
-                {
-                    if job.induce_panic {
-                        panic!("induced device worker panic");
-                    }
-                }
-                if job.len > 0 {
-                    // SAFETY: see the DevJob safety comment — the submitter
-                    // blocks in `evaluate` until every worker decrements
-                    // `remaining`, and jobs cover disjoint slice ranges.
-                    let confs = unsafe { std::slice::from_raw_parts_mut(job.confs, job.len) };
-                    scorer.score_batch(ScoreBatch::Confs(confs), &mut scratch, Exec::Serial);
-                    let batch = WorkBatch::conformations(job.len as u64, scorer.pairs_per_eval());
-                    let vt_start = dev.clock();
-                    match &job.timeline {
-                        Some(tl) => {
-                            // A traced timeline emits DeviceBusy itself.
-                            tl.record(dev, &batch);
-                        }
-                        None => {
-                            dev.execute(&batch);
-                            if job.trace.is_enabled() {
-                                let (kernel_s, transfer_s) = dev.time_breakdown(&batch);
-                                job.trace.emit(Event::DeviceBusy {
-                                    device: dev.id() as u32,
-                                    vt_start,
-                                    vt_end: dev.clock(),
-                                    kernel_s,
-                                    transfer_s,
-                                    items: job.len as u64,
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-        }));
-
-        // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
-        let mut st = shared.state.lock().expect("executor mutex poisoned");
-        if body.is_err() {
-            st.panicked = true;
-        }
-        st.remaining -= 1;
-        if st.remaining == 0 {
-            shared.done_cv.notify_all();
-        }
-    }
-}
-
-fn equal_weights_split(items: u64, n: usize) -> Vec<u64> {
-    proportional_split(items, &vec![1.0; n])
-}
-
 impl BatchEvaluator for DeviceEvaluator {
     fn evaluate(&mut self, confs: &mut [Conformation]) {
         if confs.is_empty() {
             return;
         }
-        let shares = self.shares_for(confs.len() as u64);
-        let clocks_before: Vec<f64> = self.devices.iter().map(|d| d.clock()).collect();
+        let clocks_before: Vec<f64> = self.runtime.devices().iter().map(|d| d.clock()).collect();
 
-        // Publish one contiguous share per worker and block until all done.
-        {
-            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
-            let mut st = self.shared.state.lock().expect("executor mutex poisoned");
-            let mut offset = 0usize;
-            for (slot, &share) in st.jobs.iter_mut().zip(&shares) {
-                let share = share as usize;
-                // SAFETY: offset+share never exceeds confs.len() — shares
-                // sum to the batch length by construction.
-                *slot = Some(DevJob {
-                    confs: unsafe { confs.as_mut_ptr().add(offset) },
-                    len: share,
-                    timeline: self.timeline.clone(),
-                    trace: self.trace.clone(),
-                    #[cfg(test)]
-                    induce_panic: self.panic_next,
-                });
-                offset += share;
-            }
-            debug_assert_eq!(offset, confs.len());
-            st.generation += 1;
-            st.remaining = self.workers.len();
-        }
-        self.shared.work_cv.notify_all();
-        #[cfg(test)]
-        {
-            self.panic_next = false;
-        }
-        let panicked = {
-            // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
-            let mut st = self.shared.state.lock().expect("executor mutex poisoned");
-            while st.remaining > 0 {
-                // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating is deliberate.
-                st = self.shared.done_cv.wait(st).expect("executor mutex poisoned");
-            }
-            std::mem::take(&mut st.panicked)
-        };
-        if panicked {
-            panic!("device worker panicked");
+        if let Mode::Steal { weights, cfg } = &self.mode {
+            let (weights, cfg) = (weights.clone(), *cfg);
+            let stats = self.runtime.run_steal(confs, &weights, &cfg);
+            self.steal_stats.merge(stats);
+        } else {
+            let shares = self.shares_for(confs.len() as u64);
+            self.runtime.run_shares(confs, &shares);
         }
 
-        if self.trace.is_enabled() {
+        let trace = self.runtime.trace().clone();
+        if trace.is_enabled() {
             let vt_start = clocks_before.iter().copied().fold(f64::INFINITY, f64::min);
-            self.trace.emit(Event::BatchScored {
+            trace.emit(Event::BatchScored {
                 device: BATCH_TRACK,
                 items: confs.len() as u64,
-                pairs_per_item: self.scorer.pairs_per_eval(),
+                pairs_per_item: self.runtime.scorer().pairs_per_eval(),
                 vt_start,
-                vt_end: self.makespan(),
+                vt_end: self.runtime.makespan(),
             });
         }
 
         // Warm-up bookkeeping: accumulate measured per-device times and
-        // switch to the Equation 1 split once enough iterations ran.
-        if let Mode::WarmingUp { left, times } = &mut self.mode {
-            for ((t, d), before) in times.iter_mut().zip(&self.devices).zip(&clocks_before) {
+        // hand the Equation 1 weights to the follow-on mode once enough
+        // iterations ran.
+        if let Mode::WarmingUp { left, times, then } = &mut self.mode {
+            let devices = self.runtime.devices();
+            for ((t, d), before) in times.iter_mut().zip(devices).zip(&clocks_before) {
                 let dt = d.clock() - before;
                 *t += dt;
-                if self.trace.is_enabled() {
-                    self.trace.emit(Event::WarmupSample {
+                if trace.is_enabled() {
+                    trace.emit(Event::WarmupSample {
                         device: d.id() as u32,
                         iteration: self.warmup_done,
                         seconds: dt,
@@ -449,25 +264,31 @@ impl BatchEvaluator for DeviceEvaluator {
                 let weights = if times.iter().all(|&t| t > 0.0) {
                     crate::warmup::shares_from_times(times)
                 } else {
-                    vec![1.0; self.devices.len()]
+                    vec![1.0; devices.len()]
                 };
-                if self.trace.is_enabled() {
+                if trace.is_enabled() {
                     let total: f64 = weights.iter().sum();
-                    for (d, &w) in self.devices.iter().zip(&weights) {
-                        self.trace.emit(Event::PartitionDecision {
+                    for (d, &w) in devices.iter().zip(&weights) {
+                        trace.emit(Event::PartitionDecision {
                             device: d.id() as u32,
                             share: if total > 0.0 { w / total } else { 0.0 },
                             weight: w,
                         });
                     }
                 }
-                self.mode = Mode::Static(weights);
+                self.mode = match then {
+                    AfterWarmup::Static => Mode::Static(weights),
+                    AfterWarmup::Steal { divisor } => Mode::Steal {
+                        weights,
+                        cfg: StealConfig { divisor: *divisor, min_chunk: 0 },
+                    },
+                };
             }
         }
     }
 
     fn pairs_per_eval(&self) -> u64 {
-        self.scorer.pairs_per_eval()
+        self.runtime.scorer().pairs_per_eval()
     }
 }
 
@@ -479,6 +300,7 @@ mod tests {
     use metaheur::CpuEvaluator;
     use vsmath::{RigidTransform, RngStream};
     use vsmol::synth;
+    use vsscore::{Exec, ScoreBatch};
 
     fn scorer() -> Arc<Scorer> {
         let rec = synth::synth_receptor("r", 400, 1);
@@ -569,21 +391,23 @@ mod tests {
 
     #[test]
     fn drop_joins_workers() {
-        // Worker threads must not outlive the evaluator. Each worker owns
-        // an Arc clone of its device and of the scorer; join-on-drop
-        // guarantees those clones are released by the time drop returns.
+        // Worker threads must not outlive the evaluator. The runtime's
+        // workers own scorer clones; join-on-drop guarantees those clones
+        // are released by the time drop returns, and the runtime's device
+        // handles go with it.
         let devs = hertz_devices();
         let sc = scorer();
         {
             let mut ev = DeviceEvaluator::new(devs.clone(), sc.clone(), Strategy::HomogeneousSplit);
             let mut c = confs(16, 13);
             ev.evaluate(&mut c);
-            // Alive: our handle + evaluator's vec + the worker's clone.
-            assert_eq!(Arc::strong_count(&devs[0]), 3);
+            // Alive: our handle + the runtime's devices vec (workers are
+            // pure scorers and hold no device handles).
+            assert_eq!(Arc::strong_count(&devs[0]), 2);
         }
-        assert_eq!(Arc::strong_count(&devs[0]), 1, "drop must join all device workers");
+        assert_eq!(Arc::strong_count(&devs[0]), 1, "drop must release the runtime's devices");
         assert_eq!(Arc::strong_count(&devs[1]), 1);
-        assert_eq!(Arc::strong_count(&sc), 1);
+        assert_eq!(Arc::strong_count(&sc), 1, "drop must join all scoring workers");
     }
 
     #[test]
@@ -620,6 +444,67 @@ mod tests {
         let d0 = devs[0].stats().items - before.0;
         let d1 = devs[1].stats().items - before.1;
         assert!(d0 > d1, "post-warm-up batch split {d0}/{d1}");
+    }
+
+    #[test]
+    fn work_steal_warms_up_then_seeds_deques() {
+        let devs = hertz_devices();
+        let warmup = WarmupConfig { iterations: 2, ..Default::default() };
+        let mut ev = DeviceEvaluator::new(
+            devs.clone(),
+            scorer(),
+            Strategy::WorkSteal { warmup, divisor: 2 },
+        );
+        assert!(ev.weights().is_empty(), "no weights during warm-up");
+        for i in 0..2 {
+            let mut c = confs(500, 40 + i);
+            ev.evaluate(&mut c);
+        }
+        let w = ev.weights().to_vec();
+        assert_eq!(w.len(), 2);
+        assert!(w[0] > w[1], "Equation 1 must favor the K40c: {w:?}");
+
+        // Healthy post-warm-up batch: claims follow the seeded shares.
+        let before = (devs[0].stats().items, devs[1].stats().items);
+        let mut c = confs(1000, 44);
+        ev.evaluate(&mut c);
+        let d0 = devs[0].stats().items - before.0;
+        let d1 = devs[1].stats().items - before.1;
+        assert_eq!(d0 + d1, 1000);
+        assert!(d0 > d1, "seeded deques must favor the faster device: {d0}/{d1}");
+    }
+
+    #[test]
+    fn work_steal_absorbs_midrun_straggler() {
+        // Degrade the GTX 580 8x *after* warm-up froze the weights: the
+        // stale seed strands work on the straggler, and the K40c must
+        // steal it (observable in the evaluator's steal statistics).
+        let devs = hertz_devices();
+        let warmup = WarmupConfig { iterations: 2, ..Default::default() };
+        let mut ev = DeviceEvaluator::new(
+            devs.clone(),
+            scorer(),
+            Strategy::WorkSteal { warmup, divisor: 2 },
+        );
+        for i in 0..2 {
+            let mut c = confs(400, 50 + i);
+            ev.evaluate(&mut c);
+        }
+        assert_eq!(ev.steal_stats().chunks, 0, "warm-up batches run as equal splits");
+        devs[1].set_slowdown(8.0);
+        // Large batch so the deques hold many occupancy-floor chunks.
+        let mut c = confs(12_000, 52);
+        let mut serial = c.clone();
+        ev.evaluate(&mut c);
+        let stats = ev.steal_stats();
+        assert!(stats.steals > 0, "straggler work must migrate: {stats:?}");
+        // Scores still bit-identical to serial despite migration.
+        let sc = scorer();
+        let mut scratch = vsscore::PoseScratch::new();
+        sc.score_batch(ScoreBatch::Confs(&mut serial), &mut scratch, Exec::Serial);
+        for (x, y) in c.iter().zip(&serial) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
     }
 
     #[test]
@@ -836,7 +721,7 @@ mod tests {
     }
 }
 
-/// Exhaustive interleaving checks of the executor's per-device job
+/// Exhaustive interleaving checks of the runtime's per-device job
 /// handoff, via the `vscheck` model checker (run with
 /// `cargo test -p vsched --features vscheck-model model_`).
 ///
@@ -853,6 +738,7 @@ mod model_tests {
     use vscheck::{explore, Config};
     use vsmath::{RigidTransform, RngStream};
     use vsmol::synth;
+    use vsscore::{Exec, ScoreBatch};
 
     /// Tiny scorer: immutable after construction and free of facade sync
     /// ops, so sharing one across schedules is deterministic.
@@ -926,6 +812,28 @@ mod model_tests {
                     assert_eq!(got.score.to_bits(), want.to_bits());
                 }
             }
+        });
+        report.assert_passed();
+        assert!(report.complete);
+    }
+
+    #[test]
+    fn model_steal_mode_scores_exactly_once() {
+        // The work-stealing drain resolves claims on the submitter, so the
+        // worker handshake sees a list of disjoint ranges per device; the
+        // exactly-once property must survive every bounded interleaving of
+        // the dispatch/completion protocol.
+        let sc = tiny_scorer();
+        let base = tiny_confs(3);
+        let want = serial(&sc, &base);
+        let report = explore(Config::with_bound(1), move || {
+            let mut rt = NodeRuntime::new(two_devices(), Arc::clone(&sc));
+            let mut c = base.clone();
+            rt.run_steal(&mut c, &[1.0, 1.0], &StealConfig { divisor: 2, min_chunk: 1 });
+            for (got, want) in c.iter().zip(&want) {
+                assert_eq!(got.score.to_bits(), want.to_bits());
+            }
+            drop(rt);
         });
         report.assert_passed();
         assert!(report.complete);

@@ -17,12 +17,16 @@
 //! - [`replay`] — schedule a recorded metaheuristic batch trace onto a
 //!   simulated node and report per-device virtual times and makespan (the
 //!   mechanism behind Tables 6–9);
+//! - [`runtime`] — the unified node runtime (DESIGN.md §10): one
+//!   *persistent* host worker thread per device (the paper's
+//!   one-OpenMP-thread-per-GPU structure; workers are spawned once, fed
+//!   disjoint index ranges per batch, and joined on drop), with both a
+//!   contiguous-shares path and a work-stealing drain over per-device
+//!   [`deque`]s seeded by Equation 1 weights;
 //! - [`executor`] — the real-compute path: a
-//!   [`metaheur::BatchEvaluator`] that partitions every scoring batch
-//!   across devices, computes scores on one *persistent* host worker
-//!   thread per device (the paper's one-OpenMP-thread-per-GPU structure;
-//!   workers are spawned once at construction, fed work descriptors per
-//!   batch, and joined on drop) and advances the devices' virtual clocks;
+//!   [`metaheur::BatchEvaluator`] facade over the runtime that resolves a
+//!   [`Strategy`] into per-batch shares or deque seeds and keeps the
+//!   warm-up / trace bookkeeping;
 //! - [`spec`] — [`spec::EvaluatorSpec`], the single declarative factory
 //!   for scoring backends (serial CPU / pooled CPU / device-scheduled),
 //!   replacing per-call-site constructor picking;
@@ -34,17 +38,21 @@
 #![deny(unsafe_op_in_unsafe_fn)]
 
 pub mod cooperative;
+pub mod deque;
 pub mod executor;
 pub mod partition;
 pub mod replay;
+pub mod runtime;
 pub mod spec;
 pub mod strategy;
 pub(crate) mod sync;
 pub mod warmup;
 
+pub use deque::ChunkDeque;
 pub use executor::DeviceEvaluator;
 pub use partition::{equal_split, proportional_split};
-pub use replay::{schedule_trace, schedule_trace_timeline, ScheduleReport};
+pub use replay::{schedule_trace, schedule_trace_faulty, schedule_trace_timeline, ScheduleReport};
+pub use runtime::{drain_deques, Claim, NodeRuntime, StealConfig, StealStats};
 pub use spec::EvaluatorSpec;
 pub use strategy::Strategy;
 pub use warmup::{percent_factors, shares_from_times, warmup_times, WarmupConfig};

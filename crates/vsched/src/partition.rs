@@ -15,17 +15,25 @@ pub fn equal_split(items: u64, n: usize) -> Vec<u64> {
 /// the *heterogeneous algorithm*, where each device's share follows its
 /// measured throughput. Deterministic; shares sum exactly to `items`.
 ///
+/// Degenerate weight vectors are survivable, not fatal: negative weights
+/// are clamped to zero (a device that measured "negative throughput" is
+/// a measurement artifact, not a reason to abort a screen), and if no
+/// weight remains positive the split falls back to [`equal_split`] — the
+/// caller asked for *some* partition, and equal shares are the only
+/// defensible one absent information.
+///
 /// # Panics
-/// Panics on an empty weight slice, non-finite/negative weights, or an
-/// all-zero weight vector.
+/// Panics on an empty weight slice or non-finite (NaN/∞) weights, which
+/// indicate a genuine upstream bug rather than a degenerate measurement.
 pub fn proportional_split(items: u64, weights: &[f64]) -> Vec<u64> {
     assert!(!weights.is_empty(), "need at least one device");
-    assert!(
-        weights.iter().all(|w| w.is_finite() && *w >= 0.0),
-        "weights must be finite and non-negative: {weights:?}"
-    );
-    let total: f64 = weights.iter().sum();
-    assert!(total > 0.0, "at least one weight must be positive");
+    assert!(weights.iter().all(|w| w.is_finite()), "weights must be finite: {weights:?}");
+    let clamped: Vec<f64> = weights.iter().map(|w| w.max(0.0)).collect();
+    let total: f64 = clamped.iter().sum();
+    if total <= 0.0 {
+        return equal_split(items, weights.len());
+    }
+    let weights = &clamped[..];
 
     let exact: Vec<f64> = weights.iter().map(|w| items as f64 * w / total).collect();
     let mut shares: Vec<u64> = exact.iter().map(|e| e.floor() as u64).collect();
@@ -129,15 +137,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn proportional_all_zero_panics() {
-        proportional_split(10, &[0.0, 0.0]);
+    fn proportional_all_zero_falls_back_to_equal() {
+        assert_eq!(proportional_split(10, &[0.0, 0.0]), equal_split(10, 2));
+        assert_eq!(proportional_split(7, &[0.0, 0.0, 0.0]), equal_split(7, 3));
     }
 
     #[test]
-    #[should_panic]
-    fn proportional_negative_weight_panics() {
-        proportional_split(10, &[1.0, -1.0]);
+    fn proportional_negative_weight_clamped_to_zero() {
+        let s = proportional_split(10, &[1.0, -1.0]);
+        assert_eq!(s, vec![10, 0], "negative weight behaves as zero");
+        // All-negative degenerates to the equal fallback too.
+        assert_eq!(proportional_split(10, &[-1.0, -2.0]), equal_split(10, 2));
     }
 
     #[test]

@@ -14,11 +14,14 @@
 //! cross-device synchronization until the final reduction; the slowest
 //! device determines overall time.
 
+use crate::deque::ChunkDeque;
 use crate::partition::proportional_split;
+use crate::runtime::{drain_deques, StealConfig};
 use crate::strategy::Strategy;
 use gpusim::{EnergyModel, SimDevice, WorkBatch};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use vstrace::Trace;
 
 /// Outcome of replaying one workload under one strategy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -206,7 +209,51 @@ pub fn schedule_trace(
             }
             finish_gpu_report(strategy, cpu, gpus, None, total_items)
         }
+        Strategy::WorkSteal { warmup, divisor } => {
+            assert!(!gpus.is_empty(), "GPU strategies need GPUs");
+            // Same warm-up as the heterogeneous algorithm; the Equation 1
+            // weights then seed per-device deques every batch instead of
+            // freezing a split — the runtime's drain resolves claims and
+            // steals in virtual-time order (DESIGN.md §10).
+            let warm_iters = warmup.iterations.min(trace.len());
+            let equal = vec![1.0; gpus.len()];
+            let mut measured = vec![0.0f64; gpus.len()];
+            for &items in &trace[..warm_iters] {
+                let shares = proportional_split(items, &equal);
+                for ((g, &share), t) in gpus.iter().zip(&shares).zip(measured.iter_mut()) {
+                    if share > 0 {
+                        *t += g.execute(&WorkBatch::conformations(share, pairs_per_item));
+                    }
+                }
+            }
+            let weights = if measured.iter().all(|&t| t > 0.0) {
+                crate::warmup::shares_from_times(&measured)
+            } else {
+                equal
+            };
+            let cfg = StealConfig { divisor: divisor.max(1), min_chunk: 0 };
+            let silent = Trace::disabled();
+            for &items in &trace[warm_iters..] {
+                let deques = seed_deques(items, &weights);
+                drain_deques(gpus, &deques, &cfg, pairs_per_item, None, &silent);
+            }
+            finish_gpu_report(strategy, cpu, gpus, Some(normalize(&weights)), total_items)
+        }
     }
+}
+
+/// Contiguous per-device deques proportional to `weights` (the
+/// work-stealing replay's per-batch seeding step).
+fn seed_deques(items: u64, weights: &[f64]) -> Vec<ChunkDeque> {
+    let shares = proportional_split(items, weights);
+    let mut deques = Vec::with_capacity(shares.len());
+    let mut offset = 0u32;
+    for &share in &shares {
+        let hi = offset + share as u32;
+        deques.push(ChunkDeque::new(offset, hi));
+        offset = hi;
+    }
+    deques
 }
 
 fn execute_split(gpus: &[Arc<SimDevice>], items: u64, weights: &[f64], pairs_per_item: u64) {
@@ -280,6 +327,174 @@ pub fn schedule_trace_timeline(
         _ => panic!("timeline replay supports CpuOnly / Homogeneous / Heterogeneous"),
     };
     (report, tl)
+}
+
+/// Replay `trace` under `strategy` with a mid-run degradation: at batch
+/// index `onset_batch` (before it executes), each GPU's future work is
+/// slowed by the matching factor in `gpu_slowdowns` (1.0 = healthy; see
+/// [`gpusim::SimDevice::set_slowdown`]). This is the virtual-time model of
+/// a device that throttles or degrades *after* the warm-up froze its
+/// Equation 1 weight — the scenario work stealing exists to heal.
+///
+/// Steals and device activity are emitted to `events`
+/// ([`vstrace::Event::JobMigrated`] per steal under
+/// [`Strategy::WorkSteal`]); pass [`Trace::disabled`] when only the report
+/// matters.
+///
+/// # Panics
+/// Panics if `gpu_slowdowns.len() != gpus.len()`, on
+/// [`Strategy::AdaptiveSplit`] (re-measuring mid-run is the ablation this
+/// harness deliberately excludes so onset semantics stay comparable), or
+/// if a GPU strategy is given no GPUs.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_trace_faulty(
+    cpu: &Arc<SimDevice>,
+    gpus: &[Arc<SimDevice>],
+    trace: &[u64],
+    pairs_per_item: u64,
+    strategy: Strategy,
+    gpu_slowdowns: &[f64],
+    onset_batch: usize,
+    events: &Trace,
+) -> ScheduleReport {
+    assert_eq!(gpu_slowdowns.len(), gpus.len(), "one slowdown factor per GPU");
+    cpu.reset();
+    for g in gpus {
+        g.reset(); // also restores nominal slowdown from any prior replay
+    }
+    let total_items: u64 = trace.iter().sum();
+    let n = gpus.len();
+
+    /// Incremental per-strategy state, advanced one batch at a time so the
+    /// fault onset lands exactly where the caller asked.
+    enum St {
+        Cpu,
+        /// Static splits: equal from the start, or equal-while-warming
+        /// then frozen Equation 1 weights.
+        Split {
+            warm_left: usize,
+            measured: Vec<f64>,
+            weights: Vec<f64>,
+        },
+        /// Work stealing: same warm-up, then per-batch seeded deque drain.
+        Steal {
+            warm_left: usize,
+            measured: Vec<f64>,
+            weights: Vec<f64>,
+            cfg: StealConfig,
+        },
+        /// Self-scheduling: fixed chunks (`Some`) or guided (`None`).
+        Greedy {
+            fixed: Option<u64>,
+            divisor: u64,
+        },
+    }
+
+    let mut st = match strategy {
+        Strategy::CpuOnly => St::Cpu,
+        Strategy::HomogeneousSplit => {
+            St::Split { warm_left: 0, measured: Vec::new(), weights: vec![1.0; n] }
+        }
+        Strategy::HeterogeneousSplit { warmup } => St::Split {
+            warm_left: warmup.iterations.max(1),
+            measured: vec![0.0; n],
+            weights: vec![1.0; n],
+        },
+        Strategy::WorkSteal { warmup, divisor } => St::Steal {
+            warm_left: warmup.iterations.max(1),
+            measured: vec![0.0; n],
+            weights: vec![1.0; n],
+            cfg: StealConfig { divisor: divisor.max(1), min_chunk: 0 },
+        },
+        Strategy::DynamicQueue { chunk } => St::Greedy { fixed: Some(chunk.max(1)), divisor: 1 },
+        Strategy::GuidedQueue { divisor } => St::Greedy { fixed: None, divisor: divisor.max(1) },
+        Strategy::AdaptiveSplit { .. } => {
+            panic!("faulty replay excludes the adaptive ablation (it re-measures mid-run)")
+        }
+    };
+    if !matches!(st, St::Cpu) {
+        assert!(!gpus.is_empty(), "GPU strategies need GPUs");
+    }
+
+    // Equal-split warm-up batch shared by the Split and Steal states.
+    let warm_batch = |items: u64, measured: &mut [f64]| {
+        let shares = proportional_split(items, &vec![1.0; n]);
+        for ((g, &share), t) in gpus.iter().zip(&shares).zip(measured.iter_mut()) {
+            if share > 0 {
+                *t += g.execute(&WorkBatch::conformations(share, pairs_per_item));
+            }
+        }
+    };
+
+    for (bi, &items) in trace.iter().enumerate() {
+        if bi == onset_batch {
+            for (g, &f) in gpus.iter().zip(gpu_slowdowns) {
+                if f != 1.0 {
+                    g.set_slowdown(f);
+                }
+            }
+        }
+        match &mut st {
+            St::Cpu => {
+                cpu.execute(&WorkBatch::conformations(items, pairs_per_item));
+            }
+            St::Split { warm_left, measured, weights } => {
+                if *warm_left > 0 {
+                    warm_batch(items, measured);
+                    *warm_left -= 1;
+                    if *warm_left == 0 && measured.iter().all(|&t| t > 0.0) {
+                        *weights = crate::warmup::shares_from_times(measured);
+                    }
+                } else {
+                    execute_split(gpus, items, weights, pairs_per_item);
+                }
+            }
+            St::Steal { warm_left, measured, weights, cfg } => {
+                if *warm_left > 0 {
+                    warm_batch(items, measured);
+                    *warm_left -= 1;
+                    if *warm_left == 0 && measured.iter().all(|&t| t > 0.0) {
+                        *weights = crate::warmup::shares_from_times(measured);
+                    }
+                } else {
+                    let deques = seed_deques(items, weights);
+                    drain_deques(gpus, &deques, cfg, pairs_per_item, None, events);
+                }
+            }
+            St::Greedy { fixed, divisor } => {
+                let mut remaining = items;
+                while remaining > 0 {
+                    let take = match fixed {
+                        Some(chunk) => (*chunk).min(remaining),
+                        None => (remaining / (*divisor * n as u64)).max(1).min(remaining),
+                    };
+                    remaining -= take;
+                    let g = gpus
+                        .iter()
+                        // PANICS: gpus is non-empty for GPU strategies and clocks are finite.
+                        .min_by(|a, b| a.clock().partial_cmp(&b.clock()).unwrap())
+                        .expect("non-empty");
+                    g.execute(&WorkBatch::conformations(take, pairs_per_item));
+                }
+            }
+        }
+    }
+
+    match st {
+        St::Cpu => ScheduleReport {
+            strategy_label: strategy.label().into(),
+            device_names: vec![cpu.spec().name.clone()],
+            device_times: vec![cpu.clock()],
+            makespan: cpu.clock(),
+            shares: None,
+            total_items,
+            energy_joules: config_energy(cpu, gpus, cpu.clock()),
+        },
+        St::Split { weights, .. } | St::Steal { weights, .. } => {
+            finish_gpu_report(strategy, cpu, gpus, Some(normalize(&weights)), total_items)
+        }
+        St::Greedy { .. } => finish_gpu_report(strategy, cpu, gpus, None, total_items),
+    }
 }
 
 fn normalize(w: &[f64]) -> Vec<f64> {
@@ -647,5 +862,180 @@ mod tests {
     fn gpu_strategy_without_gpus_panics() {
         let cpu = Arc::new(SimDevice::new(0, catalog::xeon_e3_1220()));
         schedule_trace(&cpu, &[], &[64], PAIRS, Strategy::HomogeneousSplit);
+    }
+
+    fn worksteal() -> Strategy {
+        Strategy::WorkSteal { warmup: WarmupConfig::default(), divisor: 2 }
+    }
+
+    /// Straggler-scenario trace: generations far above the occupancy floor
+    /// so the deques hold many whole chunks and stealing has granularity
+    /// to work with.
+    fn big_trace() -> Vec<u64> {
+        std::iter::repeat_n(16 * 1024, 24).collect()
+    }
+
+    #[test]
+    fn work_steal_healthy_within_five_percent_of_heterogeneous() {
+        // Acceptance: when nothing goes wrong, the seeded deques drain as
+        // whole per-device chunks — virtually identical to the frozen
+        // Percent split, so stealing costs nothing to carry.
+        let (cpu, gpus) = hertz();
+        let t_het = schedule_trace(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+        )
+        .makespan;
+        let t_ws = schedule_trace(&cpu, &gpus, &trace(), PAIRS, worksteal()).makespan;
+        let ratio = t_ws / t_het;
+        assert!(
+            ratio <= 1.05,
+            "healthy work stealing must not lose to the Percent split: {t_ws} vs {t_het}"
+        );
+        // It is allowed to *win* (the drain reclaims the warm-up's
+        // equal-split imbalance, which the frozen split never recovers),
+        // but not by an implausible margin.
+        assert!(ratio >= 0.7, "suspiciously large healthy gain: {t_ws} vs {t_het}");
+    }
+
+    #[test]
+    fn work_steal_shares_favor_fast_device() {
+        let (cpu, gpus) = hertz();
+        let r = schedule_trace(&cpu, &gpus, &trace(), PAIRS, worksteal());
+        assert_eq!(r.strategy_label, "Work stealing");
+        let s = r.shares.unwrap();
+        assert!(s[0] > s[1], "K40c seed share must dominate: {s:?}");
+    }
+
+    #[test]
+    fn faulty_replay_with_no_faults_matches_plain_replay() {
+        let (cpu, gpus) = hertz();
+        for strat in [
+            Strategy::HomogeneousSplit,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+            worksteal(),
+            Strategy::GuidedQueue { divisor: 2 },
+        ] {
+            let plain = schedule_trace(&cpu, &gpus, &trace(), PAIRS, strat).makespan;
+            let faulty = schedule_trace_faulty(
+                &cpu,
+                &gpus,
+                &trace(),
+                PAIRS,
+                strat,
+                &[1.0, 1.0],
+                0,
+                &Trace::disabled(),
+            )
+            .makespan;
+            assert_eq!(
+                faulty.to_bits(),
+                plain.to_bits(),
+                "{}: healthy faulty replay must be bit-identical",
+                strat.label()
+            );
+        }
+    }
+
+    #[test]
+    fn work_steal_heals_midrun_straggler() {
+        // Acceptance: a GPU that degrades 4x after the warm-up froze its
+        // weight strands its seeded share; the runtime's steals must beat
+        // the frozen Percent split by >= 1.3x on makespan.
+        let (cpu, gpus) = hertz();
+        let onset = WarmupConfig::default().iterations + 2;
+        let faults = [1.0, 4.0];
+        let t_frozen = schedule_trace_faulty(
+            &cpu,
+            &gpus,
+            &big_trace(),
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+            &faults,
+            onset,
+            &Trace::disabled(),
+        )
+        .makespan;
+        let t_steal = schedule_trace_faulty(
+            &cpu,
+            &gpus,
+            &big_trace(),
+            PAIRS,
+            worksteal(),
+            &faults,
+            onset,
+            &Trace::disabled(),
+        )
+        .makespan;
+        let gain = t_frozen / t_steal;
+        assert!(gain >= 1.3, "steal gain only {gain}: {t_steal} vs frozen {t_frozen}");
+    }
+
+    #[test]
+    fn faulty_work_steal_emits_job_migrations() {
+        let (cpu, gpus) = hertz();
+        let events = Trace::new();
+        let onset = WarmupConfig::default().iterations;
+        schedule_trace_faulty(
+            &cpu,
+            &gpus,
+            &big_trace(),
+            PAIRS,
+            worksteal(),
+            &[1.0, 4.0],
+            onset,
+            &events,
+        );
+        let data = events.snapshot();
+        let migrations =
+            data.events().filter(|s| matches!(s.event, vstrace::Event::JobMigrated { .. })).count();
+        assert!(migrations > 0, "straggler replay must record steals");
+    }
+
+    #[test]
+    fn faulty_replay_straggler_slower_than_healthy() {
+        let (cpu, gpus) = hertz();
+        let healthy = schedule_trace_faulty(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HomogeneousSplit,
+            &[1.0, 1.0],
+            0,
+            &Trace::disabled(),
+        )
+        .makespan;
+        let degraded = schedule_trace_faulty(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            Strategy::HomogeneousSplit,
+            &[1.0, 3.0],
+            0,
+            &Trace::disabled(),
+        )
+        .makespan;
+        assert!(degraded > healthy * 2.0, "3x straggler must dominate: {degraded} vs {healthy}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn faulty_replay_rejects_adaptive() {
+        let (cpu, gpus) = hertz();
+        schedule_trace_faulty(
+            &cpu,
+            &gpus,
+            &[64],
+            PAIRS,
+            Strategy::AdaptiveSplit { warmup: WarmupConfig::default(), rebalance_every: 4 },
+            &[1.0, 1.0],
+            0,
+            &Trace::disabled(),
+        );
     }
 }

@@ -30,6 +30,13 @@ pub enum Strategy {
     /// high, shrinking tail chunks balance the finish. The classic answer
     /// to the fixed-chunk dilemma the chunk-size ablation exposes.
     GuidedQueue { divisor: u64 },
+    /// The unified runtime's work-stealing mode (DESIGN.md §10): warm-up +
+    /// Equation 1 weights seed per-device deques each batch, owners drain
+    /// their deque in guided chunks (`remaining / divisor`, floor-clamped
+    /// at the device's occupancy saturation), and idle devices steal half
+    /// the tail of the most-loaded victim. Heals mispredicted or degraded
+    /// devices that the frozen Percent split would leave stranded.
+    WorkSteal { warmup: WarmupConfig, divisor: u64 },
 }
 
 impl Strategy {
@@ -42,6 +49,7 @@ impl Strategy {
             Strategy::DynamicQueue { .. } => "Dynamic queue",
             Strategy::AdaptiveSplit { .. } => "Adaptive split",
             Strategy::GuidedQueue { .. } => "Guided self-scheduling",
+            Strategy::WorkSteal { .. } => "Work stealing",
         }
     }
 
@@ -58,7 +66,10 @@ impl Strategy {
             Strategy::CpuOnly
             | Strategy::DynamicQueue { .. }
             | Strategy::AdaptiveSplit { .. }
-            | Strategy::GuidedQueue { .. } => None,
+            | Strategy::GuidedQueue { .. }
+            // Work stealing derives its seed weights inside the executor /
+            // replay (they are per-batch deque seeds, not a fixed split).
+            | Strategy::WorkSteal { .. } => None,
             Strategy::HomogeneousSplit => Some(vec![1.0; devices.len()]),
             Strategy::HeterogeneousSplit { warmup } => {
                 let times = warmup_times(devices, pairs_per_item, *warmup);

@@ -18,3 +18,13 @@ pub(crate) mod thread {
     #[cfg(feature = "vscheck-model")]
     pub(crate) use vscheck::thread::{Builder, JoinHandle};
 }
+
+pub(crate) mod atomic {
+    #[cfg(not(feature = "vscheck-model"))]
+    pub(crate) use std::sync::atomic::AtomicU64;
+    #[cfg(feature = "vscheck-model")]
+    pub(crate) use vscheck::sync::atomic::AtomicU64;
+    // The vscheck atomics take `std` orderings (and collapse them to
+    // SeqCst), so `Ordering` aliases `std` in both configurations.
+    pub(crate) use std::sync::atomic::Ordering;
+}

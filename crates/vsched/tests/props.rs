@@ -1,0 +1,90 @@
+//! Property-based tests for the partition functions: every split must
+//! conserve work exactly and stay within one item of the ideal shares, for
+//! arbitrary item counts and weight vectors — including the degenerate
+//! weight vectors `proportional_split` now survives instead of aborting.
+
+use proptest::prelude::*;
+use vsched::{equal_split, proportional_split};
+
+fn arb_weights() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0f64..100.0, 1..12)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn equal_split_conserves_items(items in 0u64..2_000_000, n in 1usize..64) {
+        let s = equal_split(items, n);
+        prop_assert_eq!(s.len(), n);
+        prop_assert_eq!(s.iter().sum::<u64>(), items);
+    }
+
+    #[test]
+    fn equal_split_shares_differ_by_at_most_one(items in 0u64..2_000_000, n in 1usize..64) {
+        let s = equal_split(items, n);
+        let (min, max) = (s.iter().min().unwrap(), s.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "{s:?}");
+    }
+
+    #[test]
+    fn proportional_split_conserves_items(items in 0u64..2_000_000, w in arb_weights()) {
+        let s = proportional_split(items, &w);
+        prop_assert_eq!(s.len(), w.len());
+        prop_assert_eq!(s.iter().sum::<u64>(), items);
+    }
+
+    #[test]
+    fn proportional_split_within_one_of_exact(items in 0u64..1_000_000, w in arb_weights()) {
+        // Largest-remainder rounding: each share is the floor or ceiling of
+        // its exact proportional value — never further than one item off.
+        let s = proportional_split(items, &w);
+        let total: f64 = w.iter().sum();
+        if total > 0.0 {
+            for (i, (&share, &wi)) in s.iter().zip(&w).enumerate() {
+                let exact = items as f64 * wi / total;
+                prop_assert!(
+                    (share as f64 - exact).abs() <= 1.0,
+                    "device {i}: share {share} vs exact {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn proportional_split_is_deterministic(items in 0u64..1_000_000, w in arb_weights()) {
+        prop_assert_eq!(proportional_split(items, &w), proportional_split(items, &w));
+    }
+
+    #[test]
+    fn degenerate_weights_fall_back_to_equal(
+        items in 0u64..1_000_000,
+        w in proptest::collection::vec(-100.0f64..=0.0, 1..12),
+    ) {
+        // All weights non-positive: clamping leaves nothing, so the split
+        // must be exactly the equal fallback — never a panic.
+        let s = proportional_split(items, &w);
+        prop_assert_eq!(s, equal_split(items, w.len()));
+    }
+
+    #[test]
+    fn negative_weights_behave_as_zero(
+        items in 0u64..1_000_000,
+        w in proptest::collection::vec(-50.0f64..50.0, 1..12),
+    ) {
+        let clamped: Vec<f64> = w.iter().map(|x| x.max(0.0)).collect();
+        prop_assert_eq!(proportional_split(items, &w), proportional_split(items, &clamped));
+    }
+
+    #[test]
+    fn zero_weight_devices_get_nothing(items in 0u64..1_000_000, w in arb_weights()) {
+        let s = proportional_split(items, &w);
+        if w.iter().any(|&x| x > 0.0) {
+            for (&share, &wi) in s.iter().zip(&w) {
+                if wi == 0.0 {
+                    prop_assert_eq!(share, 0, "zero-weight device must be seeded empty");
+                }
+            }
+        }
+    }
+}

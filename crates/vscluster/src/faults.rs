@@ -11,7 +11,7 @@
 use crate::cluster::SimCluster;
 use crate::library::LigandJob;
 use serde::{Deserialize, Serialize};
-use vsched::{schedule_trace, Strategy};
+use vsched::{schedule_trace, schedule_trace_faulty, Strategy};
 use vscreen::trace::synthetic_trace;
 use vstrace::{Event, Trace};
 
@@ -50,51 +50,98 @@ pub struct FaultReport {
     pub assignment: Vec<usize>,
 }
 
-/// Run a campaign under a fault plan.
-///
-/// `dynamic = true`: jobs go (LPT order) to the node with the earliest
-/// *observed* finish time — degraded nodes naturally receive less work.
-/// `dynamic = false`: the assignment is fixed up front from *nominal*
-/// (healthy) cost estimates, as a static partitioner would; degradation is
-/// only felt at execution time.
-pub fn screen_library_faulty(
-    cluster: &SimCluster,
-    receptor_atoms: usize,
-    n_spots: usize,
-    jobs: &[LigandJob],
-    strategy: Strategy,
-    faults: &FaultPlan,
-    dynamic: bool,
-) -> FaultReport {
-    screen_library_faulty_traced(
-        cluster,
-        receptor_atoms,
-        n_spots,
-        jobs,
-        strategy,
-        faults,
-        dynamic,
-        &Trace::disabled(),
-    )
+/// Declarative description of one faulty campaign, consumed by
+/// [`screen_library_faulty`] — the single entry point that replaced the
+/// positional-argument `screen_library_faulty` / `_traced` pair.
+pub struct CampaignSpec<'a> {
+    pub receptor_atoms: usize,
+    pub n_spots: usize,
+    pub jobs: &'a [LigandJob],
+    pub strategy: Strategy,
+    pub faults: &'a FaultPlan,
+    /// `true`: jobs go (LPT order) to the node with the earliest
+    /// *observed* finish time — degraded nodes naturally receive less
+    /// work. `false`: the assignment is fixed up front from *nominal*
+    /// (healthy) cost estimates, as a static partitioner would;
+    /// degradation is only felt at execution time.
+    pub dynamic: bool,
+    /// `None` (default): a node's degradation scales its whole nominal
+    /// execution time — the coarse node-level model. `Some(g)`: the fault
+    /// lives *inside* each degraded node — GPU lane `g` slows by the
+    /// node's factor after the warm-up froze its weight — and node costs
+    /// come from the intra-node faulty replay
+    /// ([`vsched::schedule_trace_faulty`]). Under
+    /// [`Strategy::WorkSteal`] the degraded node's healthy devices then
+    /// steal the victim lane's stranded chunks, observable as device-lane
+    /// `JobMigrated` events on the campaign trace.
+    pub gpu_victim: Option<usize>,
+    pub trace: Trace,
 }
 
-/// Like [`screen_library_faulty`], with a [`vstrace::Trace`] attached: a
-/// `FaultInjected` event per degraded node, and — in dynamic mode — a
-/// `JobMigrated` event for every job the observed-finish-time scheduler
-/// places on a different node than the static nominal plan would have.
-#[allow(clippy::too_many_arguments)]
-pub fn screen_library_faulty_traced(
-    cluster: &SimCluster,
-    receptor_atoms: usize,
-    n_spots: usize,
-    jobs: &[LigandJob],
-    strategy: Strategy,
-    faults: &FaultPlan,
-    dynamic: bool,
-    trace: &Trace,
-) -> FaultReport {
+impl<'a> CampaignSpec<'a> {
+    /// Campaign with static assignment, node-level degradation, no trace.
+    pub fn new(
+        receptor_atoms: usize,
+        n_spots: usize,
+        jobs: &'a [LigandJob],
+        strategy: Strategy,
+        faults: &'a FaultPlan,
+    ) -> CampaignSpec<'a> {
+        CampaignSpec {
+            receptor_atoms,
+            n_spots,
+            jobs,
+            strategy,
+            faults,
+            dynamic: false,
+            gpu_victim: None,
+            trace: Trace::disabled(),
+        }
+    }
+
+    /// Assign jobs by observed finish times instead of the nominal plan.
+    pub fn dynamic(mut self, dynamic: bool) -> Self {
+        self.dynamic = dynamic;
+        self
+    }
+
+    /// Model each degraded node's fault as GPU lane `g` slowing mid-run.
+    pub fn gpu_victim(mut self, g: usize) -> Self {
+        self.gpu_victim = Some(g);
+        self
+    }
+
+    /// Attach a trace: a `FaultInjected` event per degraded node, a
+    /// node-level `JobMigrated` event for every job the dynamic scheduler
+    /// places differently than the nominal plan, and — with
+    /// [`CampaignSpec::gpu_victim`] — the degraded nodes' intra-node
+    /// events (device-lane `JobMigrated` steals under
+    /// [`Strategy::WorkSteal`]).
+    pub fn traced(mut self, trace: &Trace) -> Self {
+        self.trace = trace.clone();
+        self
+    }
+}
+
+/// Run a library campaign under a fault plan (see [`CampaignSpec`] for the
+/// scheduling and degradation knobs).
+pub fn screen_library_faulty(cluster: &SimCluster, spec: &CampaignSpec<'_>) -> FaultReport {
+    let CampaignSpec {
+        receptor_atoms, n_spots, jobs, strategy, faults, dynamic, gpu_victim, ..
+    } = *spec;
+    let trace = &spec.trace;
     assert_eq!(faults.slowdowns.len(), cluster.node_count(), "fault plan size mismatch");
     assert!(faults.slowdowns.iter().all(|&f| f >= 1.0), "factors must be ≥ 1");
+    if let Some(g) = gpu_victim {
+        assert!(
+            cluster.nodes().iter().all(|nd| g < nd.gpus().len()),
+            "gpu_victim {g} out of range for some node"
+        );
+        assert!(
+            faults.slowdowns.iter().all(|f| f.is_finite()),
+            "gpu_victim needs finite factors (the lane keeps executing, slowly)"
+        );
+    }
 
     for (ni, &f) in faults.slowdowns.iter().enumerate() {
         if f > 1.0 {
@@ -113,6 +160,46 @@ pub fn screen_library_faulty_traced(
             strategy,
         )
         .makespan
+    };
+
+    // A degraded GPU keeps its nominal speed through the warm-up (its
+    // Equation 1 weight is measured healthy) and slows at this batch — the
+    // mid-run degradation the intra-node steal path exists to absorb.
+    let onset = match strategy {
+        Strategy::HeterogeneousSplit { warmup }
+        | Strategy::AdaptiveSplit { warmup, .. }
+        | Strategy::WorkSteal { warmup, .. } => warmup.iterations,
+        _ => 0,
+    };
+
+    // True cost of running `job` on node `ni` under the active fault
+    // model; `emit` controls whether the intra-node replay contributes
+    // events to the campaign trace (only actually-executed placements do —
+    // planning probes stay silent).
+    let degraded_cost = |ni: usize, job: &LigandJob, emit: bool| -> f64 {
+        let factor = faults.factor(ni);
+        match gpu_victim {
+            None => nominal_cost(ni, job) * factor,
+            Some(g) => {
+                let node = &cluster.nodes()[ni];
+                let batches = synthetic_trace(&job.params, n_spots);
+                let mut slowdowns = vec![1.0; node.gpus().len()];
+                slowdowns[g] = factor;
+                let silent = Trace::disabled();
+                let events = if emit && factor > 1.0 { trace } else { &silent };
+                schedule_trace_faulty(
+                    node.cpu(),
+                    node.gpus(),
+                    &batches,
+                    job.pairs_per_eval(receptor_atoms),
+                    strategy,
+                    &slowdowns,
+                    onset,
+                    events,
+                )
+                .makespan
+            }
+        }
     };
 
     let mut order: Vec<usize> = (0..jobs.len()).collect();
@@ -151,7 +238,7 @@ pub fn screen_library_faulty_traced(
                 // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
                 .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                 .expect("non-empty");
-            node_times[ni] += nominal_cost(ni, &jobs[j]) * faults.factor(ni);
+            node_times[ni] += degraded_cost(ni, &jobs[j], true);
             assignment[j] = ni;
         }
         if trace.is_enabled() {
@@ -170,7 +257,7 @@ pub fn screen_library_faulty_traced(
         // Execute the static plan with the true (degraded) costs.
         let assignment = plan_static();
         for (j, &ni) in assignment.iter().enumerate() {
-            node_times[ni] += nominal_cost(ni, &jobs[j]) * faults.factor(ni);
+            node_times[ni] += degraded_cost(ni, &jobs[j], true);
         }
         assignment
     };
@@ -192,28 +279,16 @@ mod tests {
         (cluster, jobs)
     }
 
+    fn spec<'a>(jobs: &'a [LigandJob], plan: &'a FaultPlan) -> CampaignSpec<'a> {
+        CampaignSpec::new(3264, 16, jobs, Strategy::HomogeneousSplit, plan)
+    }
+
     #[test]
     fn healthy_static_equals_dynamic() {
         let (cluster, jobs) = setup();
         let plan = FaultPlan::healthy(3);
-        let d = screen_library_faulty(
-            &cluster,
-            3264,
-            16,
-            &jobs,
-            Strategy::HomogeneousSplit,
-            &plan,
-            true,
-        );
-        let s = screen_library_faulty(
-            &cluster,
-            3264,
-            16,
-            &jobs,
-            Strategy::HomogeneousSplit,
-            &plan,
-            false,
-        );
+        let d = screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true));
+        let s = screen_library_faulty(&cluster, &spec(&jobs, &plan));
         assert!((d.makespan - s.makespan).abs() / d.makespan < 1e-9);
     }
 
@@ -221,24 +296,8 @@ mod tests {
     fn dynamic_absorbs_straggler() {
         let (cluster, jobs) = setup();
         let plan = FaultPlan::straggler(3, 1, 4.0);
-        let dynamic = screen_library_faulty(
-            &cluster,
-            3264,
-            16,
-            &jobs,
-            Strategy::HomogeneousSplit,
-            &plan,
-            true,
-        );
-        let static_ = screen_library_faulty(
-            &cluster,
-            3264,
-            16,
-            &jobs,
-            Strategy::HomogeneousSplit,
-            &plan,
-            false,
-        );
+        let dynamic = screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true));
+        let static_ = screen_library_faulty(&cluster, &spec(&jobs, &plan));
         assert!(
             dynamic.makespan < static_.makespan / 1.5,
             "dynamic {} should absorb the 4x straggler vs static {}",
@@ -255,16 +314,7 @@ mod tests {
         let (cluster, jobs) = setup();
         let m = |f: f64| {
             let plan = FaultPlan::straggler(3, 0, f);
-            screen_library_faulty(
-                &cluster,
-                3264,
-                16,
-                &jobs,
-                Strategy::HomogeneousSplit,
-                &plan,
-                false,
-            )
-            .makespan
+            screen_library_faulty(&cluster, &spec(&jobs, &plan)).makespan
         };
         let healthy = m(1.0);
         let slow = m(3.0);
@@ -275,15 +325,7 @@ mod tests {
     fn dead_node_starved_by_dynamic() {
         let (cluster, jobs) = setup();
         let plan = FaultPlan::straggler(3, 2, 1e6);
-        let r = screen_library_faulty(
-            &cluster,
-            3264,
-            16,
-            &jobs,
-            Strategy::HomogeneousSplit,
-            &plan,
-            true,
-        );
+        let r = screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true));
         let to_dead = r.assignment.iter().filter(|&&n| n == 2).count();
         // LPT gives the dead node at most its first pick before its clock
         // explodes past everyone else.
@@ -295,15 +337,7 @@ mod tests {
         let (cluster, jobs) = setup();
         let plan = FaultPlan::straggler(3, 0, 10.0);
         for dynamic in [true, false] {
-            let r = screen_library_faulty(
-                &cluster,
-                3264,
-                16,
-                &jobs,
-                Strategy::HomogeneousSplit,
-                &plan,
-                dynamic,
-            );
+            let r = screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(dynamic));
             assert!(r.assignment.iter().all(|&n| n < 3));
             assert_eq!(r.assignment.len(), jobs.len());
         }
@@ -314,16 +348,8 @@ mod tests {
         let (cluster, jobs) = setup();
         let plan = FaultPlan::straggler(3, 1, 4.0);
         let trace = Trace::new();
-        let traced = screen_library_faulty_traced(
-            &cluster,
-            3264,
-            16,
-            &jobs,
-            Strategy::HomogeneousSplit,
-            &plan,
-            true,
-            &trace,
-        );
+        let traced =
+            screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true).traced(&trace));
         let data = trace.snapshot();
         let faults_seen: Vec<_> = data
             .payloads()
@@ -344,15 +370,7 @@ mod tests {
             }
         }
         // Tracing must not perturb the schedule itself.
-        let plain = screen_library_faulty(
-            &cluster,
-            3264,
-            16,
-            &jobs,
-            Strategy::HomogeneousSplit,
-            &plan,
-            true,
-        );
+        let plain = screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true));
         assert_eq!(traced.assignment, plain.assignment);
         assert_eq!(traced.makespan, plain.makespan);
     }
@@ -362,17 +380,89 @@ mod tests {
         let (cluster, jobs) = setup();
         let plan = FaultPlan::straggler(3, 1, 4.0);
         let trace = Trace::disabled();
-        screen_library_faulty_traced(
-            &cluster,
-            3264,
-            16,
-            &jobs,
-            Strategy::HomogeneousSplit,
-            &plan,
-            true,
-            &trace,
-        );
+        screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true).traced(&trace));
         assert!(trace.snapshot().is_empty());
+    }
+
+    /// Intra-node fault-model specs: generations big enough (128 spots ×
+    /// population 64 = 8192 conformations) that the degraded node's deques
+    /// hold many occupancy-floor chunks — granularity for lane steals.
+    fn intra_spec<'a>(
+        jobs: &'a [LigandJob],
+        plan: &'a FaultPlan,
+        strategy: Strategy,
+    ) -> CampaignSpec<'a> {
+        CampaignSpec::new(3264, 128, jobs, strategy, plan).gpu_victim(1)
+    }
+
+    fn worksteal() -> Strategy {
+        Strategy::WorkSteal { warmup: vsched::WarmupConfig::default(), divisor: 2 }
+    }
+
+    #[test]
+    fn gpu_victim_worksteal_steals_inside_degraded_node() {
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan::straggler(3, 1, 4.0);
+        let trace = Trace::new();
+        // Static node assignment: every JobMigrated on the trace is an
+        // *intra-node* device-lane steal, not a node-level migration.
+        screen_library_faulty(&cluster, &intra_spec(&jobs, &plan, worksteal()).traced(&trace));
+        let data = trace.snapshot();
+        let steals =
+            data.payloads().into_iter().filter(|e| matches!(e, Event::JobMigrated { .. })).count();
+        assert!(steals > 0, "degraded lane must shed chunks to the healthy lanes");
+    }
+
+    #[test]
+    fn gpu_victim_worksteal_beats_frozen_split() {
+        // The tentpole claim at cluster scope: with the fault inside the
+        // node, the runtime's steals absorb what the frozen Percent split
+        // cannot.
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan::straggler(3, 1, 4.0);
+        let frozen = screen_library_faulty(
+            &cluster,
+            &intra_spec(
+                &jobs,
+                &plan,
+                Strategy::HeterogeneousSplit { warmup: vsched::WarmupConfig::default() },
+            ),
+        );
+        let stealing = screen_library_faulty(&cluster, &intra_spec(&jobs, &plan, worksteal()));
+        assert!(
+            stealing.makespan < frozen.makespan,
+            "steals must absorb the lane fault: {} vs {}",
+            stealing.makespan,
+            frozen.makespan
+        );
+    }
+
+    #[test]
+    fn gpu_victim_healthy_matches_node_level_model() {
+        // With every factor 1.0 the two fault models agree: no lane is
+        // degraded, so the intra-node replay reduces to the nominal one.
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan::healthy(3);
+        let node_level = screen_library_faulty(&cluster, &spec(&jobs, &plan));
+        let intra = screen_library_faulty(&cluster, &spec(&jobs, &plan).gpu_victim(1));
+        assert!((node_level.makespan - intra.makespan).abs() < 1e-12 * node_level.makespan);
+        assert_eq!(node_level.assignment, intra.assignment);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gpu_victim_out_of_range_panics() {
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan::healthy(3);
+        screen_library_faulty(&cluster, &spec(&jobs, &plan).gpu_victim(9));
+    }
+
+    #[test]
+    #[should_panic]
+    fn gpu_victim_infinite_factor_panics() {
+        let (cluster, jobs) = setup();
+        let plan = FaultPlan { slowdowns: vec![1.0, f64::INFINITY, 1.0] };
+        screen_library_faulty(&cluster, &spec(&jobs, &plan).gpu_victim(0));
     }
 
     #[test]
@@ -380,7 +470,7 @@ mod tests {
     fn plan_size_mismatch_panics() {
         let (cluster, jobs) = setup();
         let plan = FaultPlan::healthy(2);
-        screen_library_faulty(&cluster, 3264, 16, &jobs, Strategy::HomogeneousSplit, &plan, true);
+        screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true));
     }
 
     #[test]

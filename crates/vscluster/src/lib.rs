@@ -25,6 +25,6 @@ pub mod net;
 
 pub use cluster::{ClusterReport, SimCluster};
 pub use crossdock::{schedule_cross_docking, CrossDockReport, ReceptorTarget};
-pub use faults::{screen_library_faulty, screen_library_faulty_traced, FaultPlan, FaultReport};
+pub use faults::{screen_library_faulty, CampaignSpec, FaultPlan, FaultReport};
 pub use library::{synthetic_library, LigandJob};
 pub use net::NetModel;

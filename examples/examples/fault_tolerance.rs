@@ -6,7 +6,9 @@
 //!
 //! Run with: `cargo run --release -p vs-examples --example fault_tolerance`
 
-use vscluster::{screen_library_faulty, synthetic_library, FaultPlan, NetModel, SimCluster};
+use vscluster::{
+    screen_library_faulty, synthetic_library, CampaignSpec, FaultPlan, NetModel, SimCluster,
+};
 use vscreen::prelude::*;
 
 fn main() {
@@ -24,8 +26,9 @@ fn main() {
         ("node 2 at 10x slowdown", FaultPlan::straggler(4, 2, 10.0)),
         ("node 2 dead", FaultPlan::straggler(4, 2, 1e9)),
     ] {
-        let s = screen_library_faulty(&cluster, 3264, 16, &jobs, strategy, &plan, false);
-        let d = screen_library_faulty(&cluster, 3264, 16, &jobs, strategy, &plan, true);
+        let spec = CampaignSpec::new(3264, 16, &jobs, strategy, &plan);
+        let s = screen_library_faulty(&cluster, &spec);
+        let d = screen_library_faulty(&cluster, &spec.dynamic(true));
         println!(
             "{:<26} {:>9.3}s {:>9.3}s {:>13.2}x",
             label,
@@ -38,7 +41,10 @@ fn main() {
     println!("\njob placement under the 4x straggler (node 2 degraded):");
     let plan = FaultPlan::straggler(4, 2, 4.0);
     for (label, dynamic) in [("static", false), ("dynamic", true)] {
-        let r = screen_library_faulty(&cluster, 3264, 16, &jobs, strategy, &plan, dynamic);
+        let r = screen_library_faulty(
+            &cluster,
+            &CampaignSpec::new(3264, 16, &jobs, strategy, &plan).dynamic(dynamic),
+        );
         let counts: Vec<usize> =
             (0..4).map(|n| r.assignment.iter().filter(|&&x| x == n).count()).collect();
         println!("  {label:<8} jobs per node: {counts:?}");

@@ -49,12 +49,13 @@ fn main() {
         Strategy::HomogeneousSplit,
         Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
         Strategy::DynamicQueue { chunk: 128 },
+        Strategy::WorkSteal { warmup: WarmupConfig::default(), divisor: 2 },
     ];
 
     println!("\nstrategy comparison ({} on {} spots):", params.name, screen.spots().len());
     let mut baseline = f64::NAN;
     for strat in strategies {
-        let out = screen.run_on_node(&params, &node, strat);
+        let out = screen.run(RunSpec::on_node(&params, &node, strat));
         if matches!(strat, Strategy::CpuOnly) {
             baseline = out.virtual_time;
         }

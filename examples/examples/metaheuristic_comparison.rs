@@ -19,7 +19,7 @@ fn main() {
 
     let scale = 0.15;
     for params in metaheur::paper_suite(scale) {
-        let out = screen.run_cpu(&params, 8);
+        let out = screen.run(RunSpec::cpu(&params, 8));
         println!(
             "{:<22} {:>12} {:>8} {:>12.2}",
             params.name, out.evaluations, out.generations_run, out.best.score
@@ -44,7 +44,7 @@ fn main() {
         ..metaheur::m2(scale)
     };
     for params in [tournament, annealing, lamarckian] {
-        let out = screen.run_cpu(&params, 8);
+        let out = screen.run(RunSpec::cpu(&params, 8));
         println!(
             "{:<22} {:>12} {:>8} {:>12.2}",
             params.name, out.evaluations, out.generations_run, out.best.score

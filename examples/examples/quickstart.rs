@@ -25,11 +25,11 @@ fn main() {
     // paper workload — a few seconds of real compute.
     let params = metaheur::m3(0.2);
     let node = platform::hertz();
-    let outcome = screen.run_on_node(
+    let outcome = screen.run(RunSpec::on_node(
         &params,
         &node,
         Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
-    );
+    ));
 
     println!(
         "\n{} finished: {} scoring evaluations, {} generations",

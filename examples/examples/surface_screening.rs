@@ -31,7 +31,8 @@ fn main() {
 
     // M2: the scatter-search-like configuration with intensive local search,
     // at a small scale for a fast demo.
-    let outcome = screen.run_cpu(&metaheur::m2(0.1), 8);
+    let params = metaheur::m2(0.1);
+    let outcome = screen.run(RunSpec::cpu(&params, 8));
 
     println!("\nspot ranking (best first):");
     for (rank, c) in outcome.ranked.iter().enumerate() {

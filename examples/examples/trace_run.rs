@@ -39,7 +39,7 @@ fn main() {
     );
 
     let trace = Trace::new();
-    let out = screen.run_on_node_traced(&params, &node, strategy, &trace);
+    let out = screen.run(RunSpec::on_node(&params, &node, strategy).traced(&trace));
     println!(
         "run done: best {:.2}, {} evaluations, {:.4} virtual s",
         out.best.score, out.evaluations, out.virtual_time

@@ -1,7 +1,15 @@
 #!/usr/bin/env bash
-# Rebuild and run the scoring-kernel snapshot, writing BENCH_scoring.json
-# (kernel -> poses/sec at both Table 5 complex sizes). Pass an alternate
-# output path as $1.
+# Rebuild and run the performance snapshots:
+#   BENCH_scoring.json — kernel -> poses/sec at both Table 5 complex sizes;
+#   BENCH_sched.json   — heterogeneous scheduler cell: static Percent split
+#                        vs the work-stealing runtime, healthy and with a
+#                        4x mid-run straggler (gates the >= 1.3x steal gain).
+# Pass an alternate output directory as $1 (default: repo root).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-cargo run --release -p vs-bench --bin bench_snapshot -- "${1:-BENCH_scoring.json}"
+
+OUT_DIR="${1:-.}"
+mkdir -p "$OUT_DIR"
+
+cargo run --release -p vs-bench --bin bench_snapshot -- "$OUT_DIR/BENCH_scoring.json"
+cargo run --release -p vs-bench --bin sched_snapshot -- "$OUT_DIR/BENCH_sched.json"

@@ -32,7 +32,13 @@ cargo test -q -p vstrace --features vscheck-model model_
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
+echo "==> scheduler snapshot cell (Percent split vs work stealing; gates the steal-gain bars)"
+cargo run -q --release -p vs-bench --bin sched_snapshot -- target/BENCH_sched.json
+
 echo "==> trace report"
 scripts/trace_report.sh
+
+echo "==> steal report (work-stealing runtime under a mid-run fault)"
+scripts/steal_report.sh
 
 echo "==> OK"

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Produce and validate the work-stealing runtime artifact: runs the
+# runtime_steal example (which injects a 4x mid-run GPU fault, asserts
+# steals happen, and cross-checks busy totals against the timeline and the
+# device clocks), then sanity-checks the emitted chrome trace. Fails on
+# malformed or missing output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${1:-target/steal_report}"
+mkdir -p "$OUT_DIR"
+
+echo "==> runtime_steal example -> $OUT_DIR"
+cargo run --release -q -p vs-examples --example runtime_steal -- "$OUT_DIR"
+
+JSON="$OUT_DIR/steal_trace.json"
+[ -s "$JSON" ] || { echo "ERROR: $JSON missing or empty" >&2; exit 1; }
+grep -q '"traceEvents"' "$JSON" || { echo "ERROR: $JSON has no traceEvents" >&2; exit 1; }
+grep -q '"JobMigrated"' "$JSON" || { echo "ERROR: $JSON recorded no steals" >&2; exit 1; }
+
+echo "==> steal report OK: $JSON ($(wc -c < "$JSON") bytes)"

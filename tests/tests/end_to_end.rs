@@ -12,13 +12,13 @@ fn full_pipeline_on_both_platforms() {
     let screen = quick_screen(1);
     let params = metaheur::m3(0.1);
     for node in [platform::hertz(), platform::jupiter()] {
-        let out = screen.run_on_node(
+        let out = screen.run(RunSpec::on_node(
             &params,
             &node,
             Strategy::HeterogeneousSplit {
                 warmup: WarmupConfig { iterations: 2, ..Default::default() },
             },
-        );
+        ));
         assert!(out.best.is_scored(), "{}", node.name());
         assert!(out.virtual_time > 0.0);
         assert_eq!(out.ranked.len(), screen.spots().len());
@@ -34,18 +34,26 @@ fn search_trajectory_is_schedule_invariant() {
     let hertz = platform::hertz();
     let jupiter = platform::jupiter();
     let outcomes = [
-        screen.run_on_node(&params, &hertz, Strategy::CpuOnly),
-        screen.run_on_node(&params, &hertz, Strategy::HomogeneousSplit),
-        screen.run_on_node(
+        screen.run(RunSpec::on_node(&params, &hertz, Strategy::CpuOnly)),
+        screen.run(RunSpec::on_node(&params, &hertz, Strategy::HomogeneousSplit)),
+        screen.run(RunSpec::on_node(
             &params,
             &hertz,
             Strategy::HeterogeneousSplit {
                 warmup: WarmupConfig { iterations: 2, ..Default::default() },
             },
-        ),
-        screen.run_on_node(&params, &hertz, Strategy::DynamicQueue { chunk: 64 }),
-        screen.run_on_node(&params, &jupiter, Strategy::HomogeneousSplit),
-        screen.run_cpu(&params, 4),
+        )),
+        screen.run(RunSpec::on_node(&params, &hertz, Strategy::DynamicQueue { chunk: 64 })),
+        screen.run(RunSpec::on_node(
+            &params,
+            &hertz,
+            Strategy::WorkSteal {
+                warmup: WarmupConfig { iterations: 2, ..Default::default() },
+                divisor: 2,
+            },
+        )),
+        screen.run(RunSpec::on_node(&params, &jupiter, Strategy::HomogeneousSplit)),
+        screen.run(RunSpec::cpu(&params, 4)),
     ];
     let reference = &outcomes[0];
     for o in &outcomes[1..] {
@@ -58,8 +66,10 @@ fn search_trajectory_is_schedule_invariant() {
 #[test]
 fn more_search_budget_does_not_worsen_result() {
     let screen = quick_screen(3);
-    let small = screen.run_cpu(&metaheur::m1(0.05), 4);
-    let large = screen.run_cpu(&metaheur::m1(0.3), 4);
+    let p_small = metaheur::m1(0.05);
+    let small = screen.run(RunSpec::cpu(&p_small, 4));
+    let p_large = metaheur::m1(0.3);
+    let large = screen.run(RunSpec::cpu(&p_large, 4));
     assert!(
         large.best.score <= small.best.score + 1e-9,
         "more generations must not hurt: {} vs {}",
@@ -72,14 +82,16 @@ fn more_search_budget_does_not_worsen_result() {
 fn best_scores_are_favorable_bindings() {
     // A docking search must find net-attractive (negative-energy) poses.
     let screen = quick_screen(4);
-    let out = screen.run_cpu(&metaheur::m2(0.1), 4);
+    let p = metaheur::m2(0.1);
+    let out = screen.run(RunSpec::cpu(&p, 4));
     assert!(out.best.score < 0.0, "best pose not attractive: {}", out.best.score);
 }
 
 #[test]
 fn pose_pdb_roundtrips_through_parser() {
     let screen = quick_screen(5);
-    let out = screen.run_cpu(&metaheur::m1(0.02), 2);
+    let p = metaheur::m1(0.02);
+    let out = screen.run(RunSpec::cpu(&p, 2));
     let pdb = screen.pose_pdb(&out.best);
     let parsed = vsmol::pdb::parse(&pdb, "pose").expect("valid PDB");
     assert_eq!(parsed.len(), screen.ligand().len());
@@ -101,14 +113,16 @@ fn real_pdb_input_drives_the_pipeline() {
     let receptor = vsmol::pdb::parse(&rec_text, "receptor").unwrap();
     let ligand = vsmol::pdb::parse(&lig_text, "ligand").unwrap();
     let screen = VirtualScreen::from_molecules(receptor, ligand).max_spots(3).build();
-    let out = screen.run_cpu(&metaheur::m1(0.03), 2);
+    let p = metaheur::m1(0.03);
+    let out = screen.run(RunSpec::cpu(&p, 2));
     assert!(out.best.is_scored());
 }
 
 #[test]
 fn different_seeds_explore_differently_but_both_bind() {
-    let a = quick_screen(100).run_cpu(&metaheur::m1(0.1), 4);
-    let b = quick_screen(200).run_cpu(&metaheur::m1(0.1), 4);
+    let p = metaheur::m1(0.1);
+    let a = quick_screen(100).run(RunSpec::cpu(&p, 4));
+    let b = quick_screen(200).run(RunSpec::cpu(&p, 4));
     assert_ne!(a.best.pose, b.best.pose, "seeds must matter");
     assert!(a.best.score < 0.0 && b.best.score < 0.0);
 }
@@ -118,7 +132,7 @@ fn device_stats_account_for_all_work() {
     let screen = quick_screen(6);
     let node = platform::hertz();
     let params = metaheur::m1(0.05);
-    let out = screen.run_on_node(&params, &node, Strategy::HomogeneousSplit);
+    let out = screen.run(RunSpec::on_node(&params, &node, Strategy::HomogeneousSplit));
     let total_items: u64 = node.gpus().iter().map(|g| g.stats().items).sum();
     assert_eq!(total_items, out.evaluations, "every evaluation must be charged to a device");
 }

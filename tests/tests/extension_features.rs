@@ -78,7 +78,7 @@ fn lamarckian_improves_real_docking() {
         improve_fraction: 1.0,
         ..metaheur::m3(0.1)
     };
-    let out = screen.run_cpu(&lam, 4);
+    let out = screen.run(RunSpec::cpu(&lam, 4));
     assert!(out.best.score < 0.0);
     assert_eq!(out.evaluations, lam.evals_per_spot() as u64 * 2);
 }

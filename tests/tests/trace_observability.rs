@@ -36,8 +36,8 @@ fn disabled_sink_records_zero_events_end_to_end() {
     let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(2).seed(5).build();
     let node = platform::hertz();
     let trace = Trace::disabled();
-    let out =
-        screen.run_on_node_traced(&metaheur::m1(0.03), &node, Strategy::HomogeneousSplit, &trace);
+    let p = metaheur::m1(0.03);
+    let out = screen.run(RunSpec::on_node(&p, &node, Strategy::HomogeneousSplit).traced(&trace));
     assert!(out.best.is_scored());
     assert!(trace.snapshot().is_empty(), "disabled sink must stay empty");
 }
@@ -49,8 +49,8 @@ fn exported_trace_agrees_with_device_clocks() {
     let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(2).seed(5).build();
     let node = platform::hertz();
     let trace = Trace::new();
-    let out =
-        screen.run_on_node_traced(&metaheur::m1(0.03), &node, Strategy::HomogeneousSplit, &trace);
+    let p = metaheur::m1(0.03);
+    let out = screen.run(RunSpec::on_node(&p, &node, Strategy::HomogeneousSplit).traced(&trace));
     let data = trace.snapshot();
     assert_eq!(data.dropped, 0);
 
