@@ -87,8 +87,8 @@ fn cutoff_ablation(c: &mut Criterion) {
     let pose = vsmath::RigidTransform::new(rng.rotation(), rng.in_ball(30.0));
     for (label, kernel) in [
         ("all_pairs_tiled", Kernel::Tiled),
-        ("grid_cutoff_8A", Kernel::GridCutoff { cutoff: 8.0 }),
-        ("grid_cutoff_16A", Kernel::GridCutoff { cutoff: 16.0 }),
+        ("cells_8A", Kernel::CellList { cutoff: 8.0 }),
+        ("cells_16A", Kernel::CellList { cutoff: 16.0 }),
     ] {
         let scorer =
             Scorer::new(&rec, &lig, ScorerOptions { model: ScoringModel::LennardJones, kernel });

@@ -4,7 +4,7 @@
 //! Percent split. The drain must stay negligible next to scoring.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gpusim::{catalog, SimDevice};
+use gpusim::{catalog, SimDevice, WorkProfile};
 use std::hint::black_box;
 use std::sync::Arc;
 use vsched::{
@@ -46,7 +46,14 @@ fn deque_drain(c: &mut Criterion) {
                         d
                     })
                     .collect();
-                black_box(drain_deques(&gpus, &deques, &cfg, PAIRS, None, &Trace::disabled()))
+                black_box(drain_deques(
+                    &gpus,
+                    &deques,
+                    &cfg,
+                    WorkProfile::pairs(PAIRS),
+                    None,
+                    &Trace::disabled(),
+                ))
             })
         });
     }

@@ -25,11 +25,13 @@ const MODELS: [(&str, ScoringModel); 2] = [
     ("full", ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 }),
 ];
 
-const KERNELS: [(&str, Kernel); 4] = [
+const KERNELS: [(&str, Kernel); 6] = [
     ("naive", Kernel::Naive),
     ("tiled", Kernel::Tiled),
     ("run", Kernel::Run),
     ("fused", Kernel::Fused),
+    ("cells", Kernel::CellList { cutoff: 12.0 }),
+    ("grid", Kernel::Grid { spacing: 0.75 }),
 ];
 
 /// Seconds of measured scoring per (complex, model, kernel) cell.
@@ -69,6 +71,7 @@ fn main() {
             let mut cells = Vec::new();
             let mut tiled_pps = 0.0;
             let mut fused_pps = 0.0;
+            let mut grid_pps = 0.0;
             for (klabel, kernel) in KERNELS {
                 let scorer = Scorer::new(&rec, &lig, ScorerOptions { model, kernel });
                 let pps = poses_per_sec(&scorer, &poses);
@@ -79,13 +82,22 @@ fn main() {
                 if klabel == "fused" {
                     fused_pps = pps;
                 }
+                if klabel == "grid" {
+                    grid_pps = pps;
+                }
                 cells.push(format!("\"{klabel}\": {pps:.1}"));
             }
             let fused_over_tiled = fused_pps / tiled_pps;
-            eprintln!("{n_rec}x{n_lig} {mlabel:>4} fused/tiled speedup: {fused_over_tiled:.2}x");
-            speedup_line.push_str(&format!("{n_rec}x{n_lig}/{mlabel}: {fused_over_tiled:.2}x; "));
+            let grid_over_fused = grid_pps / fused_pps;
+            eprintln!(
+                "{n_rec}x{n_lig} {mlabel:>4} fused/tiled: {fused_over_tiled:.2}x, \
+                 grid/fused: {grid_over_fused:.2}x"
+            );
+            speedup_line.push_str(&format!(
+                "{n_rec}x{n_lig}/{mlabel}: fused {fused_over_tiled:.2}x, grid {grid_over_fused:.2}x; "
+            ));
             model_blocks.push(format!(
-                "      \"{mlabel}\": {{ {}, \"fused_over_tiled\": {fused_over_tiled:.3} }}",
+                "      \"{mlabel}\": {{ {}, \"fused_over_tiled\": {fused_over_tiled:.3}, \"grid_over_fused\": {grid_over_fused:.3} }}",
                 cells.join(", ")
             ));
         }

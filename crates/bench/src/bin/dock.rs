@@ -7,6 +7,7 @@
 //! dock --receptor rec.pdb --ligand lig.sdf \
 //!      [--meta m1|m2|m3|m4] [--scale 0.2] [--spots 16] \
 //!      [--node hertz|jupiter] [--strategy cpu|hom|het|dynamic|steal] \
+//!      [--kernel fused|grid|cells|naive|tiled|run] \
 //!      [--threads 8] [--seed 42] [--out pose.pdb] [--complex complex.pdb]
 //! ```
 //!
@@ -24,6 +25,7 @@ struct Args {
     spots: usize,
     node: String,
     strategy: String,
+    kernel: String,
     threads: usize,
     seed: u64,
     out: Option<String>,
@@ -39,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
         spots: 16,
         node: "hertz".into(),
         strategy: "het".into(),
+        kernel: "fused".into(),
         threads: 8,
         seed: 2016,
         out: None,
@@ -61,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--node" => args.node = val("--node")?.to_lowercase(),
             "--strategy" => args.strategy = val("--strategy")?.to_lowercase(),
+            "--kernel" => args.kernel = val("--kernel")?.to_lowercase(),
             "--threads" => {
                 args.threads = val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
             }
@@ -70,8 +74,9 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: dock [--receptor rec.pdb] [--ligand lig.{pdb,sdf}] \
                             [--meta m1..m4] [--scale F] [--spots N] [--node hertz|jupiter] \
-                            [--strategy cpu|hom|het|dynamic|steal] [--threads N] [--seed N] \
-                            [--out pose.pdb] [--complex complex.pdb]"
+                            [--strategy cpu|hom|het|dynamic|steal] \
+                            [--kernel fused|grid|cells|naive|tiled|run] [--threads N] \
+                            [--seed N] [--out pose.pdb] [--complex complex.pdb]"
                     .into())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -134,17 +139,34 @@ fn run() -> Result<(), String> {
         other => return Err(format!("unknown metaheuristic {other:?} (m1..m4)")),
     };
 
+    // Kernel selection: `fused` is the exact default; `grid` trades
+    // bounded accuracy for O(ligand) evaluations, `cells` for an exact
+    // 12 Å cutoff. The scheduler prices each in its own cost regime.
+    let kernel = match args.kernel.as_str() {
+        "fused" => vsscore::Kernel::Fused,
+        "grid" => vsscore::Kernel::Grid { spacing: vsscore::GridOptions::default().spacing },
+        "cells" => vsscore::Kernel::CellList { cutoff: vsscore::GridOptions::default().cutoff },
+        "naive" => vsscore::Kernel::Naive,
+        "tiled" => vsscore::Kernel::Tiled,
+        "run" => vsscore::Kernel::Run,
+        other => {
+            return Err(format!("unknown kernel {other:?} (fused|grid|cells|naive|tiled|run)"))
+        }
+    };
+
     let screen = VirtualScreen::from_molecules(receptor, ligand)
         .max_spots(args.spots)
         .seed(args.seed)
+        .scorer_options(vsscore::ScorerOptions { kernel, ..Default::default() })
         .build();
     eprintln!(
-        "dock: receptor {} atoms, ligand {} atoms, {} spots, {} ({} evals/spot)",
+        "dock: receptor {} atoms, ligand {} atoms, {} spots, {} ({} evals/spot), {} kernel",
         screen.receptor().len(),
         screen.ligand().len(),
         screen.spots().len(),
         params.name,
-        params.evals_per_spot()
+        params.evals_per_spot(),
+        args.kernel
     );
 
     let node = match args.node.as_str() {

@@ -1,0 +1,218 @@
+//! `grid_accuracy` — the grid-ablation harness: voxel-pitch sweep of the
+//! potential-grid scoring path against the exact Fused kernel.
+//!
+//! For each pitch the harness scores a cloud of near-surface poses with
+//! both kernels and reports the absolute error (max / mean / p99) plus
+//! serial poses/sec, then gates:
+//!
+//! 1. **Accuracy** — at the default pitch, the p99 of
+//!    `|grid - fused| / (0.3·|fused| + n_lig·(0.25 + 0.75·h²))` over
+//!    non-clashing poses must be ≤ 1 (the documented DESIGN §11 budget,
+//!    shared with the `grid_error_bounded_by_pitch_budget` proptest).
+//! 2. **Throughput** — on the 8609-atom Table 5 complex at the default
+//!    pitch, Grid must deliver ≥ 3× the Fused poses/sec.
+//!
+//! Usage:
+//!   cargo run --release -p vs-bench --bin grid_accuracy -- [OUT.json]
+//!
+//! Defaults to `target/BENCH_grid.json`. Exits nonzero on gate failure.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use vsmath::{RigidTransform, RngStream};
+use vsmol::{synth, Molecule};
+use vsscore::scorer::{Kernel, ScorerOptions, ScoringModel};
+use vsscore::{Exec, GridOptions, PoseScratch, ScoreBatch, Scorer};
+
+/// Pitch sweep on the 2BSM-sized complex; the default pitch is the gated
+/// point and also runs on the larger complex.
+const SWEEP_SPACINGS: [f64; 4] = [1.5, 1.0, 0.75, 0.5];
+
+/// Seconds of measured scoring per throughput cell.
+const MEASURE_SECS: f64 = 0.3;
+
+/// Poses in the error cloud per complex.
+const ERROR_POSES: usize = 200;
+
+/// Throughput gate: Grid over Fused on the 8609-atom complex.
+const MIN_GRID_SPEEDUP: f64 = 3.0;
+
+/// The DESIGN §11 error budget at pitch `h` (shared with the vsscore
+/// proptests): valid on non-clashing poses; scales with the ligand size
+/// because each atom in contact contributes its own interpolation error.
+fn grid_error_budget(exact: f64, spacing: f64, lig_atoms: usize) -> f64 {
+    0.3 * exact.abs() + lig_atoms as f64 * (0.25 + 0.75 * spacing * spacing)
+}
+
+/// Random rigid poses hovering 1–5 Å off the receptor's bounding sphere —
+/// the regime the metaheuristic actually explores (surface spots).
+fn surface_poses(rec: &Molecule, n: usize, seed: u64) -> Vec<RigidTransform> {
+    let radius = rec.positions().iter().map(|p| p.norm()).fold(0.0, f64::max);
+    let mut rng = RngStream::from_seed(seed);
+    (0..n)
+        .map(|_| {
+            RigidTransform::new(
+                rng.rotation(),
+                rng.unit_vector() * (radius + rng.uniform_range(2.0, 8.0)),
+            )
+        })
+        .collect()
+}
+
+struct ErrorStats {
+    max: f64,
+    mean: f64,
+    p99: f64,
+    /// p99 of `|err| / budget` over non-clashing poses (gate metric).
+    p99_budget_ratio: f64,
+    clashes: usize,
+}
+
+fn error_stats(exact: &[f64], approx: &[f64], spacing: f64, lig_atoms: usize) -> ErrorStats {
+    let mut errs = Vec::new();
+    let mut ratios = Vec::new();
+    let mut clashes = 0usize;
+    for (&e, &a) in exact.iter().zip(approx) {
+        if e > 0.0 {
+            // Clash: the clamped grid only promises "repulsive"; agreement
+            // in sign is checked, magnitude is not budgeted.
+            clashes += 1;
+            continue;
+        }
+        let err = (a - e).abs();
+        errs.push(err);
+        ratios.push(err / grid_error_budget(e, spacing, lig_atoms));
+    }
+    errs.sort_by(|x, y| x.total_cmp(y));
+    ratios.sort_by(|x, y| x.total_cmp(y));
+    let pick_p99 = |v: &[f64]| -> f64 {
+        if v.is_empty() {
+            return 0.0;
+        }
+        v[((v.len() - 1) as f64 * 0.99) as usize]
+    };
+    ErrorStats {
+        max: errs.last().copied().unwrap_or(0.0),
+        mean: errs.iter().sum::<f64>() / errs.len().max(1) as f64,
+        p99: pick_p99(&errs),
+        p99_budget_ratio: pick_p99(&ratios),
+        clashes,
+    }
+}
+
+fn poses_per_sec(scorer: &Scorer, poses: &[RigidTransform]) -> f64 {
+    let mut scratch = PoseScratch::new();
+    let mut out = vec![0.0; poses.len()];
+    scorer.score_batch(ScoreBatch::Poses { poses, out: &mut out }, &mut scratch, Exec::Serial);
+    let start = Instant::now();
+    let mut batches = 0u64;
+    loop {
+        scorer.score_batch(ScoreBatch::Poses { poses, out: &mut out }, &mut scratch, Exec::Serial);
+        batches += 1;
+        if start.elapsed().as_secs_f64() >= MEASURE_SECS {
+            break;
+        }
+    }
+    std::hint::black_box(&out);
+    (batches * poses.len() as u64) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn score_all(scorer: &Scorer, poses: &[RigidTransform]) -> Vec<f64> {
+    let mut scratch = PoseScratch::new();
+    let mut out = vec![0.0; poses.len()];
+    scorer.score_batch(ScoreBatch::Poses { poses, out: &mut out }, &mut scratch, Exec::Serial);
+    out
+}
+
+fn main() -> ExitCode {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "target/BENCH_grid.json".to_string());
+    let default_pitch = GridOptions::default().spacing;
+    let model = ScoringModel::LennardJones;
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+
+    // (receptor atoms, ligand atoms, pitches swept on this complex)
+    let complexes: [(usize, usize, &[f64]); 2] =
+        [(3264, 45, &SWEEP_SPACINGS), (8609, 32, &[default_pitch])];
+
+    for (n_rec, n_lig, spacings) in complexes {
+        let rec = synth::synth_receptor("r", n_rec, 3);
+        let lig = synth::synth_ligand("l", n_lig, 7);
+        let fused = Scorer::new(&rec, &lig, ScorerOptions { model, kernel: Kernel::Fused });
+        let cells = Scorer::new(
+            &rec,
+            &lig,
+            ScorerOptions {
+                model,
+                kernel: Kernel::CellList { cutoff: GridOptions::default().cutoff },
+            },
+        );
+        let poses = surface_poses(&rec, ERROR_POSES, 11);
+        let exact = score_all(&fused, &poses);
+        let fused_pps = poses_per_sec(&fused, &poses[..16.min(poses.len())]);
+        let cells_pps = poses_per_sec(&cells, &poses[..16.min(poses.len())]);
+        for &spacing in spacings {
+            let grid =
+                Scorer::new(&rec, &lig, ScorerOptions { model, kernel: Kernel::Grid { spacing } });
+            let approx = score_all(&grid, &poses);
+            let stats = error_stats(&exact, &approx, spacing, n_lig);
+            let grid_pps = poses_per_sec(&grid, &poses[..16.min(poses.len())]);
+            let speedup = grid_pps / fused_pps;
+            eprintln!(
+                "{n_rec}x{n_lig} h={spacing:<5}: err max {:.3} mean {:.4} p99 {:.3} \
+                 (budget ratio p99 {:.3}, {} clash poses), grid {:.0} poses/s \
+                 ({speedup:.2}x fused, cells {:.0})",
+                stats.max,
+                stats.mean,
+                stats.p99,
+                stats.p99_budget_ratio,
+                stats.clashes,
+                grid_pps,
+                cells_pps
+            );
+            let gated = (spacing - default_pitch).abs() < 1e-12;
+            if gated && stats.p99_budget_ratio > 1.0 {
+                failures.push(format!(
+                    "{n_rec}x{n_lig} h={spacing}: p99 budget ratio {:.3} > 1",
+                    stats.p99_budget_ratio
+                ));
+            }
+            if gated && n_rec == 8609 && speedup < MIN_GRID_SPEEDUP {
+                failures.push(format!(
+                    "{n_rec}x{n_lig} h={spacing}: grid only {speedup:.2}x fused (< {MIN_GRID_SPEEDUP}x)"
+                ));
+            }
+            rows.push(format!(
+                "    {{ \"receptor_atoms\": {n_rec}, \"ligand_atoms\": {n_lig}, \
+                 \"spacing\": {spacing}, \"err_max\": {:.4}, \"err_mean\": {:.5}, \
+                 \"err_p99\": {:.4}, \"p99_budget_ratio\": {:.4}, \"clash_poses\": {}, \
+                 \"grid_poses_per_sec\": {grid_pps:.1}, \"fused_poses_per_sec\": {fused_pps:.1}, \
+                 \"cells_poses_per_sec\": {cells_pps:.1}, \"grid_over_fused\": {speedup:.3} }}",
+                stats.max, stats.mean, stats.p99, stats.p99_budget_ratio, stats.clashes
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"grid_accuracy\",\n  \"model\": \"lj\",\n  \
+         \"budget\": \"0.3*|exact| + 2.0 + 6*h^2\",\n  \"default_pitch\": {default_pitch},\n  \
+         \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    // PANICS: the harness cannot proceed without its output file; aborting is correct.
+    std::fs::write(&out_path, &json).expect("write grid snapshot");
+    eprintln!("wrote {out_path}");
+
+    if failures.is_empty() {
+        eprintln!("grid_accuracy: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("grid_accuracy: GATE FAILED: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

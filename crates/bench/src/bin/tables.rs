@@ -211,7 +211,8 @@ fn eq1() {
     println!("Equation 1: Percent = t_actualGPU / t_slowestGPU (warm-up on Hertz)");
     let node = platform::hertz();
     let pairs = (Dataset::TwoBsm.ligand_atoms() * Dataset::TwoBsm.receptor_atoms()) as u64;
-    let times = warmup_times(node.gpus(), pairs, WarmupConfig::default());
+    let times =
+        warmup_times(node.gpus(), gpusim::WorkProfile::pairs(pairs), WarmupConfig::default());
     for (i, (t, p)) in times.iter().zip(percent_factors(&times)).enumerate() {
         println!("  GPU {i} {:<18} warm-up {:.5}s  Percent = {:.3}", node.properties(i).name, t, p);
     }

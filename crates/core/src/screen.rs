@@ -1,6 +1,6 @@
 //! The whole-surface virtual-screening pipeline.
 
-use gpusim::{SimNode, WorkBatch};
+use gpusim::SimNode;
 use metaheur::{BatchEvaluator, CpuEvaluator, MetaheuristicParams};
 use std::sync::Arc;
 use vsched::{DeviceEvaluator, EvaluatorSpec, Strategy};
@@ -146,7 +146,8 @@ impl VirtualScreen {
                 // the classic speed/accuracy trade-off. Final poses should
                 // be re-scored exactly (e.g. via [`VirtualScreen::scorer`]).
                 let _screen = trace.span("screen");
-                let grid = vsscore::GridScorer::new(&self.receptor, &self.ligand, opts);
+                let grid =
+                    vsscore::GridScorer::new_traced(&self.receptor, &self.ligand, opts, &trace);
                 let mut ev = metaheur::GridEvaluator::new(grid);
                 let run =
                     metaheur::run_traced(spec.params, &self.spots, &mut ev, self.seed, &trace);
@@ -332,9 +333,12 @@ struct CpuNodeEvaluator {
 impl BatchEvaluator for CpuNodeEvaluator {
     fn evaluate(&mut self, confs: &mut [Conformation]) {
         self.inner.evaluate(confs);
-        self.node
-            .cpu()
-            .execute(&WorkBatch::conformations(confs.len() as u64, self.inner.pairs_per_eval()));
+        // Charge the CPU clock in the scorer's own cost regime (pairs for
+        // the dense kernels, ligand atoms for Grid, shell pairs for
+        // CellList) so CPU-only virtual times stay comparable to the
+        // device strategies.
+        let profile = vsched::work_profile(self.inner.scorer());
+        self.node.cpu().execute(&profile.batch(confs.len() as u64));
     }
 
     fn pairs_per_eval(&self) -> u64 {
@@ -455,6 +459,35 @@ mod tests {
         assert!(out.virtual_time > 0.0);
         assert!(node.cpu().clock() > 0.0, "CPU lane must participate");
         assert!(node.gpu(0).clock() > 0.0);
+    }
+
+    #[test]
+    fn grid_and_cell_list_kernels_reach_every_backend() {
+        // The first-class kernels must be selectable at the RunSpec level
+        // and bit-identical between the host-CPU path and the
+        // whole-node work-stealing path.
+        use vsscore::Kernel;
+        let node = platform::hertz();
+        let p = metaheur::m1(0.03);
+        for kernel in [Kernel::Grid { spacing: 0.75 }, Kernel::CellList { cutoff: 12.0 }] {
+            let s = VirtualScreen::builder(Dataset::TwoBsm)
+                .max_spots(2)
+                .seed(7)
+                .scorer_options(ScorerOptions { kernel, ..Default::default() })
+                .build();
+            let cpu = s.run(RunSpec::cpu(&p, 2));
+            assert!(cpu.best.is_scored(), "{kernel:?} cpu run");
+            let steal = s.run(RunSpec::on_node(
+                &p,
+                &node,
+                Strategy::WorkSteal {
+                    warmup: WarmupConfig { iterations: 2, ..Default::default() },
+                    divisor: 2,
+                },
+            ));
+            assert_eq!(cpu.best.score.to_bits(), steal.best.score.to_bits(), "{kernel:?}");
+            assert!(steal.virtual_time > 0.0);
+        }
     }
 
     #[test]

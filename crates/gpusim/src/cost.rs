@@ -21,14 +21,40 @@ use crate::launch::occupancy_efficiency;
 use crate::spec::{DeviceKind, DeviceSpec};
 use serde::{Deserialize, Serialize};
 
+/// The work-unit *regime* of a scoring kernel: what one `unit` in a
+/// [`WorkBatch`] physically is, and therefore which per-unit rates the
+/// cost model prices it at. The dense kernels, the potential-grid
+/// interpolator, and the cell-list cutoff kernel do different work per
+/// unit by orders of magnitude — pricing a grid job in pair units would
+/// mispredict it by the ratio of receptor atoms to one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum KernelClass {
+    /// One unit = one `ligand × receptor` atom-pair interaction (the dense
+    /// Naive/Tiled/Run/Fused kernels). The calibrated default.
+    #[default]
+    PairSweep,
+    /// One unit = one ligand atom interpolated from precomputed potential
+    /// grids: ~2×8 corner gathers plus trilinear weights. Gather-dominated
+    /// (random node access), so high bytes-per-unit.
+    GridInterp,
+    /// One unit = one cutoff-shell pair enumerated through a cell list:
+    /// the pair math plus neighbor-list chasing (scattered loads, not the
+    /// streamed tiles of the dense kernels).
+    ShellPairs,
+}
+
 /// One scoring kernel invocation: `items` conformations, each computing
-/// `units_per_item` pair interactions, with host↔device payloads.
+/// `units_per_item` work units of the given [`KernelClass`], with
+/// host↔device payloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkBatch {
     /// Work items (conformations; one warp each on GPUs).
     pub items: u64,
-    /// Pair interactions per item (`ligand_atoms × receptor_atoms`).
+    /// Work units per item (pairs, ligand atoms, or shell pairs — see
+    /// [`WorkBatch::class`]).
     pub units_per_item: u64,
+    /// The regime `units_per_item` is counted in.
+    pub class: KernelClass,
     /// Host→device bytes for this batch (poses).
     pub bytes_down: u64,
     /// Device→host bytes for this batch (scores).
@@ -36,20 +62,47 @@ pub struct WorkBatch {
 }
 
 impl WorkBatch {
-    /// A conformation-scoring batch with the standard payload sizes:
-    /// a pose is 7 doubles (quaternion + translation) down, a score is one
-    /// double up.
+    /// A dense pair-sweep conformation batch with the standard payload
+    /// sizes: a pose is 7 doubles (quaternion + translation) down, a score
+    /// is one double up.
     pub fn conformations(items: u64, pairs_per_item: u64) -> WorkBatch {
-        WorkBatch {
-            items,
-            units_per_item: pairs_per_item,
-            bytes_down: items * 56,
-            bytes_up: items * 8,
-        }
+        WorkBatch::kernel(items, pairs_per_item, KernelClass::PairSweep)
+    }
+
+    /// A conformation batch in an explicit work-unit regime (same standard
+    /// pose/score payloads as [`WorkBatch::conformations`]).
+    pub fn kernel(items: u64, units_per_item: u64, class: KernelClass) -> WorkBatch {
+        WorkBatch { items, units_per_item, class, bytes_down: items * 56, bytes_up: items * 8 }
     }
 
     pub fn total_units(&self) -> u64 {
         self.items * self.units_per_item
+    }
+}
+
+/// A kernel's per-item work shape — how many units one conformation costs
+/// and which regime those units are priced in. This is what schedulers
+/// thread through warm-up splits and deque seeding so the cost model sees
+/// grid jobs as grid jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkProfile {
+    pub units_per_item: u64,
+    pub class: KernelClass,
+}
+
+impl WorkProfile {
+    pub fn new(units_per_item: u64, class: KernelClass) -> WorkProfile {
+        WorkProfile { units_per_item, class }
+    }
+
+    /// The dense pair-sweep profile (`pairs = ligand × receptor atoms`).
+    pub fn pairs(pairs_per_item: u64) -> WorkProfile {
+        WorkProfile { units_per_item: pairs_per_item, class: KernelClass::PairSweep }
+    }
+
+    /// A conformation [`WorkBatch`] of `items` items in this profile.
+    pub fn batch(&self, items: u64) -> WorkBatch {
+        WorkBatch::kernel(items, self.units_per_item, self.class)
     }
 }
 
@@ -76,6 +129,17 @@ pub struct CostModel {
     /// of their sum. Off by default — the paper's implementation uses the
     /// simple synchronous copy-compute-copy structure of Algorithm 2.
     pub overlap_transfers: bool,
+    /// Lane-cycles per [`KernelClass::GridInterp`] unit (one ligand atom:
+    /// 16 corner gathers, 24 weight multiplies, the charge scale).
+    pub grid_cycles_per_unit: f64,
+    /// DRAM bytes per grid-interpolation unit: the corner gathers are
+    /// random-access node reads that tiling cannot coalesce.
+    pub grid_bytes_per_unit: f64,
+    /// Lane-cycles per [`KernelClass::ShellPairs`] unit: the pair math
+    /// plus cell-list index chasing.
+    pub shell_cycles_per_unit: f64,
+    /// DRAM bytes per shell pair (scattered neighbor loads, no tile reuse).
+    pub shell_bytes_per_unit: f64,
 }
 
 impl Default for CostModel {
@@ -87,6 +151,10 @@ impl Default for CostModel {
             pcie_bandwidth_gbs: 6.0,
             pcie_latency_s: 8e-6,
             overlap_transfers: false,
+            grid_cycles_per_unit: 48.0,
+            grid_bytes_per_unit: 64.0,
+            shell_cycles_per_unit: 9.0,
+            shell_bytes_per_unit: 4.0,
         }
     }
 }
@@ -129,17 +197,34 @@ impl CostModel {
             DeviceKind::Gpu { .. } => occupancy_efficiency(spec, batch.items),
             DeviceKind::Cpu { cores, .. } => (batch.items as f64 / cores as f64).min(1.0),
         };
+        let (cycles, bytes) = self.unit_cost(batch.class);
         let lane_hz = spec.sustained_lane_hz() * parallel_eff.max(1e-9);
-        let t_compute = units * self.cycles_per_unit / lane_hz;
-        let t_memory = units * self.bytes_per_unit / (spec.memory_bandwidth_gbs * 1e9);
+        let t_compute = units * cycles / lane_hz;
+        let t_memory = units * bytes / (spec.memory_bandwidth_gbs * 1e9);
         (t_compute.max(t_memory), t_transfer)
     }
 
+    /// Per-unit `(lane-cycles, DRAM bytes)` for a work-unit regime.
+    pub fn unit_cost(&self, class: KernelClass) -> (f64, f64) {
+        match class {
+            KernelClass::PairSweep => (self.cycles_per_unit, self.bytes_per_unit),
+            KernelClass::GridInterp => (self.grid_cycles_per_unit, self.grid_bytes_per_unit),
+            KernelClass::ShellPairs => (self.shell_cycles_per_unit, self.shell_bytes_per_unit),
+        }
+    }
+
     /// Asymptotic throughput in pair interactions per second for large,
-    /// machine-filling batches.
+    /// machine-filling batches (the calibrated [`KernelClass::PairSweep`]
+    /// regime).
     pub fn peak_units_per_second(&self, spec: &DeviceSpec) -> f64 {
-        let compute = spec.sustained_lane_hz() / self.cycles_per_unit;
-        let memory = spec.memory_bandwidth_gbs * 1e9 / self.bytes_per_unit;
+        self.peak_units_per_second_for(spec, KernelClass::PairSweep)
+    }
+
+    /// Asymptotic units-per-second in an explicit work-unit regime.
+    pub fn peak_units_per_second_for(&self, spec: &DeviceSpec, class: KernelClass) -> f64 {
+        let (cycles, bytes) = self.unit_cost(class);
+        let compute = spec.sustained_lane_hz() / cycles;
+        let memory = spec.memory_bandwidth_gbs * 1e9 / bytes;
         compute.min(memory)
     }
 }
@@ -308,5 +393,50 @@ mod tests {
         assert_eq!(b.bytes_down, 560);
         assert_eq!(b.bytes_up, 80);
         assert_eq!(b.total_units(), 990);
+        assert_eq!(b.class, KernelClass::PairSweep);
+    }
+
+    #[test]
+    fn work_profile_builds_batches_in_its_regime() {
+        let p = WorkProfile::new(32, KernelClass::GridInterp);
+        let b = p.batch(1000);
+        assert_eq!(b.items, 1000);
+        assert_eq!(b.units_per_item, 32);
+        assert_eq!(b.class, KernelClass::GridInterp);
+        assert_eq!(b.bytes_down, WorkBatch::conformations(1000, 1).bytes_down);
+        assert_eq!(WorkProfile::pairs(7).batch(3), WorkBatch::conformations(3, 7));
+    }
+
+    #[test]
+    fn grid_jobs_priced_far_below_equivalent_pair_jobs() {
+        // The whole point of the per-kernel regime: 32 grid units per item
+        // (a 32-atom ligand) must cost orders of magnitude less than the
+        // 32×8609 pair units the dense kernel would burn on the same
+        // complex — even though grid units are individually pricier.
+        let m = CostModel::default();
+        for d in [catalog::tesla_k40c(), catalog::xeon_e5_2620_dual()] {
+            let grid = WorkBatch::kernel(100_000, 32, KernelClass::GridInterp);
+            let dense = WorkBatch::conformations(100_000, 32 * 8609);
+            let t_grid = m.execution_time(&d, &grid);
+            let t_dense = m.execution_time(&d, &dense);
+            assert!(t_grid * 20.0 < t_dense, "{}: grid {t_grid} vs dense {t_dense}", d.name);
+        }
+    }
+
+    #[test]
+    fn per_class_unit_costs_are_distinct_and_ordered() {
+        let m = CostModel::default();
+        let (pc, pb) = m.unit_cost(KernelClass::PairSweep);
+        let (gc, gb) = m.unit_cost(KernelClass::GridInterp);
+        let (sc, sb) = m.unit_cost(KernelClass::ShellPairs);
+        // A grid unit (one ligand atom, 16 gathers) is pricier than a pair
+        // unit; a shell pair is a pair plus index chasing.
+        assert!(gc > sc && sc > pc);
+        assert!(gb > sb && sb > pb);
+        let d = catalog::tesla_k40c();
+        let pair_rate = m.peak_units_per_second_for(&d, KernelClass::PairSweep);
+        assert_eq!(pair_rate, m.peak_units_per_second(&d));
+        assert!(m.peak_units_per_second_for(&d, KernelClass::GridInterp) < pair_rate);
+        assert!(m.peak_units_per_second_for(&d, KernelClass::ShellPairs) < pair_rate);
     }
 }

@@ -38,7 +38,7 @@ pub mod spec;
 pub mod timeline;
 
 pub use arch::GpuGeneration;
-pub use cost::{CostModel, WorkBatch};
+pub use cost::{CostModel, KernelClass, WorkBatch, WorkProfile};
 pub use device::SimDevice;
 pub use energy::{DeviceEnergy, EnergyModel};
 pub use launch::{occupancy, LaunchConfig};

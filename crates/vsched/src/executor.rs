@@ -19,9 +19,9 @@
 //! configured with (DESIGN §7 per-kernel bit-identity).
 
 use crate::partition::proportional_split;
-use crate::runtime::{NodeRuntime, StealConfig, StealStats};
+use crate::runtime::{work_profile, NodeRuntime, StealConfig, StealStats};
 use crate::strategy::Strategy;
-use gpusim::{SimDevice, WorkBatch};
+use gpusim::SimDevice;
 use metaheur::BatchEvaluator;
 use std::sync::Arc;
 use vsmol::Conformation;
@@ -187,7 +187,7 @@ impl DeviceEvaluator {
                 // parameters: a fixed grab for DynamicQueue, a
                 // remaining-proportional grab for GuidedQueue.
                 let n = devices.len() as u64;
-                let pairs = self.runtime.scorer().pairs_per_eval();
+                let profile = work_profile(self.runtime.scorer());
                 let mut clocks: Vec<f64> = devices.iter().map(|d| d.clock()).collect();
                 let mut shares = vec![0u64; devices.len()];
                 let mut remaining = items;
@@ -206,7 +206,7 @@ impl DeviceEvaluator {
                         .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
                         .expect("non-empty");
                     shares[idx] += take;
-                    clocks[idx] += devices[idx].estimate(&WorkBatch::conformations(take, pairs));
+                    clocks[idx] += devices[idx].estimate(&profile.batch(take));
                 }
                 shares
             }
@@ -233,10 +233,13 @@ impl BatchEvaluator for DeviceEvaluator {
         let trace = self.runtime.trace().clone();
         if trace.is_enabled() {
             let vt_start = clocks_before.iter().copied().fold(f64::INFINITY, f64::min);
+            // For the dense kernels `units_per_item` *is* the pair count;
+            // grid/cell-list batches report their own regime's unit so the
+            // trace matches what the cost model actually charged.
             trace.emit(Event::BatchScored {
                 device: BATCH_TRACK,
                 items: confs.len() as u64,
-                pairs_per_item: self.runtime.scorer().pairs_per_eval(),
+                pairs_per_item: work_profile(self.runtime.scorer()).units_per_item,
                 vt_start,
                 vt_end: self.runtime.makespan(),
             });
@@ -364,7 +367,14 @@ mod tests {
         let rec = synth::synth_receptor("r", 400, 1);
         let lig = synth::synth_ligand("l", 12, 2);
         let model = ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 };
-        for kernel in [Kernel::Naive, Kernel::Tiled, Kernel::Run, Kernel::Fused] {
+        for kernel in [
+            Kernel::Naive,
+            Kernel::Tiled,
+            Kernel::Run,
+            Kernel::Fused,
+            Kernel::CellList { cutoff: 16.0 },
+            Kernel::Grid { spacing: 0.6 },
+        ] {
             let sc = Arc::new(Scorer::new(&rec, &lig, ScorerOptions { model, kernel }));
             let mut ev =
                 DeviceEvaluator::new(hertz_devices(), sc.clone(), Strategy::HomogeneousSplit);

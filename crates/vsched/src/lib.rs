@@ -52,7 +52,7 @@ pub use deque::ChunkDeque;
 pub use executor::DeviceEvaluator;
 pub use partition::{equal_split, proportional_split};
 pub use replay::{schedule_trace, schedule_trace_faulty, schedule_trace_timeline, ScheduleReport};
-pub use runtime::{drain_deques, Claim, NodeRuntime, StealConfig, StealStats};
+pub use runtime::{drain_deques, work_profile, Claim, NodeRuntime, StealConfig, StealStats};
 pub use spec::EvaluatorSpec;
 pub use strategy::Strategy;
 pub use warmup::{percent_factors, shares_from_times, warmup_times, WarmupConfig};

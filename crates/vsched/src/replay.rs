@@ -18,7 +18,7 @@ use crate::deque::ChunkDeque;
 use crate::partition::proportional_split;
 use crate::runtime::{drain_deques, StealConfig};
 use crate::strategy::Strategy;
-use gpusim::{EnergyModel, SimDevice, WorkBatch};
+use gpusim::{EnergyModel, SimDevice, WorkBatch, WorkProfile};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use vstrace::Trace;
@@ -235,7 +235,14 @@ pub fn schedule_trace(
             let silent = Trace::disabled();
             for &items in &trace[warm_iters..] {
                 let deques = seed_deques(items, &weights);
-                drain_deques(gpus, &deques, &cfg, pairs_per_item, None, &silent);
+                drain_deques(
+                    gpus,
+                    &deques,
+                    &cfg,
+                    WorkProfile::pairs(pairs_per_item),
+                    None,
+                    &silent,
+                );
             }
             finish_gpu_report(strategy, cpu, gpus, Some(normalize(&weights)), total_items)
         }
@@ -458,7 +465,14 @@ pub fn schedule_trace_faulty(
                     }
                 } else {
                     let deques = seed_deques(items, weights);
-                    drain_deques(gpus, &deques, cfg, pairs_per_item, None, events);
+                    drain_deques(
+                        gpus,
+                        &deques,
+                        cfg,
+                        WorkProfile::pairs(pairs_per_item),
+                        None,
+                        events,
+                    );
                 }
             }
             St::Greedy { fixed, divisor } => {

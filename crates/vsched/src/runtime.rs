@@ -35,7 +35,7 @@ use crate::deque::ChunkDeque;
 use crate::partition::proportional_split;
 use crate::sync::thread::{Builder, JoinHandle};
 use crate::sync::{Condvar, Mutex};
-use gpusim::{SimDevice, Timeline, WorkBatch};
+use gpusim::{KernelClass, SimDevice, Timeline, WorkProfile};
 use std::sync::Arc;
 use vsmol::Conformation;
 use vsscore::{Exec, ScoreBatch, Scorer};
@@ -110,6 +110,21 @@ fn floor_for(dev: &SimDevice, cfg: &StealConfig) -> u32 {
     floor.clamp(1, u64::from(u32::MAX)) as u32
 }
 
+/// The cost-model regime a scorer's kernel runs in: dense kernels sweep
+/// ligand × receptor *pairs*, [`vsscore::Kernel::Grid`] interpolates per
+/// *ligand atom*, and [`vsscore::Kernel::CellList`] visits only the
+/// *shell pairs* inside its cutoff. The scheduler must price batches in
+/// the kernel's own unit — charging a grid job by pair count would
+/// mispredict it by orders of magnitude and wreck the Eq. 1 splits.
+pub fn work_profile(scorer: &Scorer) -> WorkProfile {
+    let class = match scorer.options().kernel {
+        vsscore::Kernel::Grid { .. } => KernelClass::GridInterp,
+        vsscore::Kernel::CellList { .. } => KernelClass::ShellPairs,
+        _ => KernelClass::PairSweep,
+    };
+    WorkProfile::new(scorer.work_units_per_eval(), class)
+}
+
 /// Charge one claimed chunk to `dev`'s virtual clock (through the
 /// timeline when one is attached, so Gantt segments are recorded) and
 /// emit the `DeviceBusy` trace event when tracing without a timeline —
@@ -117,11 +132,11 @@ fn floor_for(dev: &SimDevice, cfg: &StealConfig) -> u32 {
 fn charge(
     dev: &SimDevice,
     items: u64,
-    pairs_per_item: u64,
+    profile: WorkProfile,
     timeline: Option<&Timeline>,
     trace: &Trace,
 ) {
-    let batch = WorkBatch::conformations(items, pairs_per_item);
+    let batch = profile.batch(items);
     let vt_start = dev.clock();
     match timeline {
         Some(tl) => {
@@ -156,7 +171,7 @@ pub fn drain_deques(
     devices: &[Arc<SimDevice>],
     deques: &[ChunkDeque],
     cfg: &StealConfig,
-    pairs_per_item: u64,
+    profile: WorkProfile,
     timeline: Option<&Timeline>,
     trace: &Trace,
 ) -> (Vec<Claim>, StealStats) {
@@ -219,7 +234,7 @@ pub fn drain_deques(
                 });
             }
         }
-        charge(&devices[claim.device], items, pairs_per_item, timeline, trace);
+        charge(&devices[claim.device], items, profile, timeline, trace);
         claims.push(claim);
     }
     (claims, stats)
@@ -355,7 +370,7 @@ impl NodeRuntime {
     /// per device up front; scoring runs on the persistent workers.
     pub fn run_shares(&mut self, confs: &mut [Conformation], shares: &[u64]) {
         assert_eq!(shares.len(), self.devices.len(), "one share per device");
-        let pairs = self.scorer.pairs_per_eval();
+        let profile = work_profile(&self.scorer);
         let mut ranges: Vec<Vec<(u32, u32)>> = vec![Vec::new(); self.devices.len()];
         let mut offset = 0u32;
         for (i, &share) in shares.iter().enumerate() {
@@ -363,7 +378,7 @@ impl NodeRuntime {
                 let hi = offset + share as u32;
                 ranges[i].push((offset, hi));
                 offset = hi;
-                charge(&self.devices[i], share, pairs, self.timeline.as_deref(), &self.trace);
+                charge(&self.devices[i], share, profile, self.timeline.as_deref(), &self.trace);
             }
         }
         debug_assert_eq!(offset as usize, confs.len(), "shares must cover the batch");
@@ -402,7 +417,7 @@ impl NodeRuntime {
             &self.devices,
             &deques,
             cfg,
-            self.scorer.pairs_per_eval(),
+            work_profile(&self.scorer),
             self.timeline.as_deref(),
             &self.trace,
         );
@@ -590,7 +605,7 @@ mod tests {
             &devs,
             &deques,
             &StealConfig::default(),
-            146_880,
+            WorkProfile::pairs(146_880),
             None,
             &Trace::disabled(),
         );
@@ -611,8 +626,14 @@ mod tests {
         devs[1].set_slowdown(8.0);
         let deques = [ChunkDeque::new(0, 12_000), ChunkDeque::new(12_000, 20_000)];
         let trace = Trace::new();
-        let (claims, stats) =
-            drain_deques(&devs, &deques, &StealConfig::default(), 146_880, None, &trace);
+        let (claims, stats) = drain_deques(
+            &devs,
+            &deques,
+            &StealConfig::default(),
+            WorkProfile::pairs(146_880),
+            None,
+            &trace,
+        );
         assert!(stats.steals > 0, "straggler tail must be stolen: {stats:?}");
         assert!(
             claims.iter().any(|c| c.device == 0 && c.stolen_from == Some(1)),
@@ -644,7 +665,7 @@ mod tests {
                 &devs,
                 &deques,
                 &StealConfig::default(),
-                4_800,
+                WorkProfile::pairs(4_800),
                 None,
                 &Trace::disabled(),
             );

@@ -1,7 +1,7 @@
 //! Scheduling strategies compared in the paper's evaluation.
 
 use crate::warmup::{shares_from_times, warmup_times, WarmupConfig};
-use gpusim::SimDevice;
+use gpusim::{SimDevice, WorkProfile};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -55,12 +55,14 @@ impl Strategy {
 
     /// Compute per-device weights for the static strategies. For the
     /// heterogeneous strategy this *runs the warm-up* (charging its cost to
-    /// the device clocks). Returns `None` for strategies that do not use
-    /// static weights (CPU-only, dynamic).
+    /// the device clocks) in the given cost regime
+    /// ([`crate::runtime::work_profile`] maps a scorer to its profile).
+    /// Returns `None` for strategies that do not use static weights
+    /// (CPU-only, dynamic).
     pub fn device_weights(
         &self,
         devices: &[Arc<SimDevice>],
-        pairs_per_item: u64,
+        profile: WorkProfile,
     ) -> Option<Vec<f64>> {
         match self {
             Strategy::CpuOnly
@@ -72,7 +74,7 @@ impl Strategy {
             | Strategy::WorkSteal { .. } => None,
             Strategy::HomogeneousSplit => Some(vec![1.0; devices.len()]),
             Strategy::HeterogeneousSplit { warmup } => {
-                let times = warmup_times(devices, pairs_per_item, *warmup);
+                let times = warmup_times(devices, profile, *warmup);
                 Some(shares_from_times(&times))
             }
         }
@@ -103,7 +105,9 @@ mod tests {
 
     #[test]
     fn homogeneous_weights_are_equal() {
-        let w = Strategy::HomogeneousSplit.device_weights(&hertz_gpus(), 1000).unwrap();
+        let w = Strategy::HomogeneousSplit
+            .device_weights(&hertz_gpus(), WorkProfile::pairs(1000))
+            .unwrap();
         assert_eq!(w, vec![1.0, 1.0]);
     }
 
@@ -111,7 +115,7 @@ mod tests {
     fn heterogeneous_weights_favor_fast_device() {
         let devs = hertz_gpus();
         let w = Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() }
-            .device_weights(&devs, 45 * 3264)
+            .device_weights(&devs, WorkProfile::pairs(45 * 3264))
             .unwrap();
         assert!(w[0] > w[1], "K40c should get the larger share: {w:?}");
         // Warm-up charged.
@@ -121,7 +125,9 @@ mod tests {
     #[test]
     fn cpu_and_dynamic_have_no_static_weights() {
         let devs = hertz_gpus();
-        assert!(Strategy::CpuOnly.device_weights(&devs, 10).is_none());
-        assert!(Strategy::DynamicQueue { chunk: 32 }.device_weights(&devs, 10).is_none());
+        assert!(Strategy::CpuOnly.device_weights(&devs, WorkProfile::pairs(10)).is_none());
+        assert!(Strategy::DynamicQueue { chunk: 32 }
+            .device_weights(&devs, WorkProfile::pairs(10))
+            .is_none());
     }
 }

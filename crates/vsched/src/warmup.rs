@@ -14,7 +14,7 @@
 //!
 //! The slowest GPU has Percent = 1; a GPU twice as fast has Percent = 0.5."
 
-use gpusim::{SimDevice, WorkBatch};
+use gpusim::{SimDevice, WorkProfile};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -39,9 +39,14 @@ impl Default for WarmupConfig {
 /// clocks), exactly as the paper's warm-up spends real runtime. The runs
 /// are not trying to solve the docking problem — they only expose the
 /// performance differences.
+///
+/// The `profile` carries the scoring kernel's cost regime
+/// ([`crate::runtime::work_profile`]): warming up in the wrong regime —
+/// timing dense pair sweeps when the run will interpolate grids — would
+/// hand Equation 1 throughput ratios from the wrong curve.
 pub fn warmup_times(
     devices: &[Arc<SimDevice>],
-    pairs_per_item: u64,
+    profile: WorkProfile,
     config: WarmupConfig,
 ) -> Vec<f64> {
     assert!(!devices.is_empty(), "warm-up needs devices");
@@ -51,8 +56,7 @@ pub fn warmup_times(
         .map(|d| {
             let mut t = 0.0;
             for _ in 0..config.iterations {
-                t += d
-                    .execute(&WorkBatch::conformations(config.items_per_iteration, pairs_per_item));
+                t += d.execute(&profile.batch(config.items_per_iteration));
             }
             t
         })
@@ -89,7 +93,7 @@ mod tests {
     #[test]
     fn warmup_measures_slower_device_slower() {
         let devs = devices();
-        let times = warmup_times(&devs, 45 * 3264, WarmupConfig::default());
+        let times = warmup_times(&devs, WorkProfile::pairs(45 * 3264), WarmupConfig::default());
         assert_eq!(times.len(), 2);
         assert!(times[0] < times[1], "K40c must beat GTX 580: {times:?}");
     }
@@ -97,7 +101,7 @@ mod tests {
     #[test]
     fn warmup_advances_clocks() {
         let devs = devices();
-        let times = warmup_times(&devs, 1000, WarmupConfig::default());
+        let times = warmup_times(&devs, WorkProfile::pairs(1000), WarmupConfig::default());
         for (d, t) in devs.iter().zip(&times) {
             assert!((d.clock() - t).abs() < 1e-15, "warm-up cost must be charged");
         }
@@ -166,6 +170,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn warmup_zero_iterations_panics() {
-        warmup_times(&devices(), 10, WarmupConfig { iterations: 0, items_per_iteration: 1 });
+        warmup_times(
+            &devices(),
+            WorkProfile::pairs(10),
+            WarmupConfig { iterations: 0, items_per_iteration: 1 },
+        );
     }
 }

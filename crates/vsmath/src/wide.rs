@@ -1,0 +1,146 @@
+//! Portable wide-lane arithmetic: an explicit 8-lane `f32` vector.
+//!
+//! The grid-interpolation scoring path (`vsscore::grid_potential`) wants
+//! SIMD-shaped code — 8 ligand atoms per step, lane-parallel trilinear
+//! weights — without `unsafe`, target-feature detection, or a nightly
+//! `std::simd` dependency. [`F32x8`] is that shape: a `[f32; 8]` newtype
+//! whose element-wise operators compile to straight-line lane loops that
+//! LLVM auto-vectorizes to `vmulps`/`vaddps` on any AVX-capable target and
+//! degrades to scalar code everywhere else, with **bit-identical results
+//! either way** (the ops are plain IEEE-754 mul/add per lane; no FMA
+//! contraction, no reassociation).
+//!
+//! The horizontal sum is a fixed pairwise tree so that reductions are part
+//! of the kernel's definition (DESIGN §7: summation order is part of each
+//! kernel): `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`.
+
+use std::ops::{Add, Mul, Sub};
+
+/// Eight `f32` lanes with element-wise arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(transparent)]
+pub struct F32x8(pub [f32; 8]);
+
+impl F32x8 {
+    /// Number of lanes.
+    pub const LANES: usize = 8;
+
+    /// All lanes zero.
+    pub const ZERO: F32x8 = F32x8([0.0; 8]);
+
+    /// All lanes set to `v`.
+    #[inline]
+    pub fn splat(v: f32) -> F32x8 {
+        F32x8([v; 8])
+    }
+
+    /// Lanes from an array.
+    #[inline]
+    pub fn from_array(a: [f32; 8]) -> F32x8 {
+        F32x8(a)
+    }
+
+    /// The lanes as an array.
+    #[inline]
+    pub fn to_array(self) -> [f32; 8] {
+        self.0
+    }
+
+    /// Gather one lane per index: `out[l] = f[idx[l]]`.
+    ///
+    /// # Panics
+    /// Panics (via slice indexing) if any index is out of bounds.
+    #[inline]
+    pub fn gather(f: &[f32], idx: &[usize; 8]) -> F32x8 {
+        let mut out = [0f32; 8];
+        for l in 0..8 {
+            out[l] = f[idx[l]];
+        }
+        F32x8(out)
+    }
+
+    /// Horizontal sum over the fixed pairwise tree
+    /// `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` — the reduction order every
+    /// caller (wide or scalar-fallback) must share for bit-identity.
+    #[inline]
+    pub fn horizontal_sum(self) -> f32 {
+        let l = self.0;
+        ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+    }
+}
+
+impl Add for F32x8 {
+    type Output = F32x8;
+    #[inline]
+    fn add(self, rhs: F32x8) -> F32x8 {
+        let mut out = [0f32; 8];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.0[l] + rhs.0[l];
+        }
+        F32x8(out)
+    }
+}
+
+impl Sub for F32x8 {
+    type Output = F32x8;
+    #[inline]
+    fn sub(self, rhs: F32x8) -> F32x8 {
+        let mut out = [0f32; 8];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.0[l] - rhs.0[l];
+        }
+        F32x8(out)
+    }
+}
+
+impl Mul for F32x8 {
+    type Output = F32x8;
+    #[inline]
+    fn mul(self, rhs: F32x8) -> F32x8 {
+        let mut out = [0f32; 8];
+        for (l, o) in out.iter_mut().enumerate() {
+            *o = self.0[l] * rhs.0[l];
+        }
+        F32x8(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_ops() {
+        let a = F32x8::from_array([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let b = F32x8::splat(2.0);
+        assert_eq!((a + b).to_array(), [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        assert_eq!((a - b).to_array(), [-1.0, 0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!((a * b).to_array(), [2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0]);
+    }
+
+    #[test]
+    fn horizontal_sum_matches_tree_order() {
+        let v = [0.1f32, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8];
+        let want = ((v[0] + v[1]) + (v[2] + v[3])) + ((v[4] + v[5]) + (v[6] + v[7]));
+        assert_eq!(F32x8::from_array(v).horizontal_sum().to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn gather_indexes_lanes() {
+        let f = [10.0f32, 11.0, 12.0, 13.0, 14.0];
+        let g = F32x8::gather(&f, &[4, 3, 2, 1, 0, 0, 1, 2]);
+        assert_eq!(g.to_array(), [14.0, 13.0, 12.0, 11.0, 10.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn zero_and_splat() {
+        assert_eq!(F32x8::ZERO.horizontal_sum(), 0.0);
+        assert_eq!(F32x8::splat(1.5).horizontal_sum(), 12.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_out_of_bounds_panics() {
+        F32x8::gather(&[1.0], &[0, 0, 0, 0, 0, 0, 0, 1]);
+    }
+}

@@ -6,19 +6,39 @@
 //! potentials per ligand atom *type*; scoring a pose then costs one
 //! trilinear interpolation per ligand atom — `O(ligand)` instead of
 //! `O(ligand × receptor)`, at the price of grid-resolution error and an
-//! upfront build. This module implements that trade-off as an extension
-//! (§6: scoring-function variants as future work) and the benches quantify
-//! it.
+//! upfront build (DESIGN §11 documents the error budget).
+//!
+//! Layout and kernel shape:
+//!
+//! - [`GridField`] holds every per-type LJ(+H-bond) grid in **one flat SoA
+//!   slab** `lj[slot * n_nodes + node]`, plus an optional electrostatic
+//!   grid storing potential *per unit charge* (the ligand charge multiplies
+//!   in at interpolation time). Node potentials are clamped at
+//!   [`MAX_NODE_POTENTIAL`] like AutoDock's maps.
+//! - [`GridScorer`] interpolates 8 ligand atoms per step with explicit
+//!   [`vsmath::F32x8`] lanes; [`GridScorer::score_scalar`] replays the same
+//!   IEEE operations lane by lane and is **bit-identical** (tested), so the
+//!   wide path is a pure speedup, never a numerics fork.
+//! - Builds are cached per (receptor content, ligand element set, options)
+//!   in a small keyed store so repeated screens of the same complex skip
+//!   the upfront cost; [`GridScorer::new_traced`] records a
+//!   [`vstrace::Event::GridBuilt`] with build time and memory.
 
 use crate::coulomb::COULOMB_K;
+use crate::hbond::{hbond_pair, is_hbond_capable_idx};
 use crate::lj::{lj_pair, Frame, PairTable, MIN_DIST_SQ};
-use vsmath::{Aabb, RigidTransform, SpatialGrid, Vec3};
+use std::sync::{Arc, Mutex, OnceLock};
+use vsmath::{Aabb, F32x8, RigidTransform, SpatialGrid, Vec3};
 use vsmol::{Element, LjTable, Molecule};
 
 /// Grid build options.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GridOptions {
-    /// Node spacing in Å (AutoDock default is 0.375; coarser is faster).
+    /// Node spacing in Å. The `Default` is a deliberately coarse 0.75 Å —
+    /// half the memory and an 8th of the build cost of AutoDock's classic
+    /// 0.375 Å, accurate enough for metaheuristic *ranking* (see the rank
+    /// tests below); use [`GridOptions::autodock`] when publication-grade
+    /// pose energies matter.
     pub spacing: f64,
     /// Margin beyond the receptor bounding box, Å (covers surface spots).
     pub margin: f64,
@@ -26,11 +46,29 @@ pub struct GridOptions {
     pub cutoff: f64,
     /// Include the electrostatic grid (distance-dependent dielectric).
     pub dielectric: Option<f64>,
+    /// Bake the 10–12 H-bond term into N/O-capable type grids with this
+    /// well depth (the term is pairwise in *element capability* only, so it
+    /// precomputes exactly like LJ).
+    pub hbond_epsilon: Option<f64>,
 }
 
 impl Default for GridOptions {
     fn default() -> Self {
-        GridOptions { spacing: 0.75, margin: 8.0, cutoff: 12.0, dielectric: None }
+        GridOptions {
+            spacing: 0.75,
+            margin: 8.0,
+            cutoff: 12.0,
+            dielectric: None,
+            hbond_epsilon: None,
+        }
+    }
+}
+
+impl GridOptions {
+    /// AutoDock's classic map resolution: 0.375 Å spacing. 8x the node
+    /// count (and build time) of the coarse [`Default`].
+    pub fn autodock() -> GridOptions {
+        GridOptions { spacing: 0.375, ..GridOptions::default() }
     }
 }
 
@@ -40,42 +78,108 @@ impl Default for GridOptions {
 /// grid maps clamp identically.
 pub const MAX_NODE_POTENTIAL: f32 = 1.0e4;
 
-/// A precomputed potential field over the receptor: one LJ grid per element
-/// type present in the ligand, plus an optional electrostatic grid.
-#[derive(Debug, Clone)]
-pub struct GridScorer {
+/// What one grid build cost, for the `GridBuilt` trace event and reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridBuildStats {
+    /// Nodes per grid.
+    pub nodes: u64,
+    /// Grid count: one per ligand element type present, plus the
+    /// electrostatic grid when enabled.
+    pub grids: u32,
+    /// Total grid memory, bytes.
+    pub bytes: u64,
+    /// Wall-clock seconds the build took (excluded from the determinism
+    /// contract, like `Stamped::mono_ns`).
+    pub build_seconds: f64,
+    /// Whether this scorer reused a cached field instead of building.
+    pub cached: bool,
+}
+
+/// Cache key: receptor content hash + ligand element-type bitmask + the
+/// exact build options (floats compared by bit pattern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct GridKey {
+    receptor: u64,
+    rec_atoms: u64,
+    elems: u32,
+    opts: [u64; 7],
+}
+
+fn fnv1a_u64(mut h: u64, w: u64) -> u64 {
+    for b in w.to_le_bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn receptor_hash(m: &Molecule) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for p in m.positions() {
+        h = fnv1a_u64(h, p.x.to_bits());
+        h = fnv1a_u64(h, p.y.to_bits());
+        h = fnv1a_u64(h, p.z.to_bits());
+    }
+    for e in m.elements() {
+        h = fnv1a_u64(h, e.index() as u64);
+    }
+    for q in m.charges() {
+        h = fnv1a_u64(h, q.to_bits());
+    }
+    h
+}
+
+fn options_key(o: GridOptions) -> [u64; 7] {
+    [
+        o.spacing.to_bits(),
+        o.margin.to_bits(),
+        o.cutoff.to_bits(),
+        o.dielectric.is_some() as u64,
+        o.dielectric.unwrap_or(0.0).to_bits(),
+        o.hbond_epsilon.is_some() as u64,
+        o.hbond_epsilon.unwrap_or(0.0).to_bits(),
+    ]
+}
+
+/// The immutable build product: per-type potential grids over one receptor.
+/// Shared (`Arc`) between every [`GridScorer`] whose (receptor, ligand
+/// element set, options) triple matches.
+#[derive(Debug)]
+pub struct GridField {
     origin: Vec3,
     spacing: f64,
     dims: [usize; 3],
-    /// `lj[t][node]` for ligand element-type slot `t`.
-    lj: Vec<Vec<f32>>,
+    n_nodes: usize,
+    /// Flat SoA slab: `lj[slot * n_nodes + node]` — type-major so one
+    /// type's grid is contiguous and a pose's gathers stay in one slab.
+    lj: Vec<f32>,
     /// Electrostatic potential per unit charge (empty when disabled).
     elec: Vec<f32>,
-    /// Slot per `Element::index()`, usize::MAX when absent from the ligand.
+    /// Slot per `Element::index()`, `usize::MAX` when absent.
     type_slot: [usize; Element::COUNT],
-    lig_local: Vec<Vec3>,
-    lig_elem: Vec<Element>,
-    lig_charge: Vec<f64>,
+    n_slots: usize,
     opts: GridOptions,
+    /// Wall-clock build time (determinism-exempt, reporting only).
+    build_seconds: f64,
 }
 
-impl GridScorer {
-    /// Build the grids for a receptor/ligand pair. Cost:
-    /// `nodes × avg-neighbors × ligand-element-types`, paid once.
-    pub fn new(receptor: &Molecule, ligand: &Molecule, opts: GridOptions) -> GridScorer {
+impl GridField {
+    /// Build the field for one receptor and a ligand element-type bitmask
+    /// (bit `Element::index()`). Cost: `nodes × avg-neighbors × types`.
+    fn build(receptor: &Molecule, elem_mask: u32, opts: GridOptions) -> GridField {
         assert!(opts.spacing > 0.0, "spacing must be positive");
         assert!(opts.cutoff > 0.0, "cutoff must be positive");
-        let lig = ligand.centered();
+        let t0 = std::time::Instant::now();
 
-        // Distinct ligand element types get grid slots.
+        // Slots in ascending element-index order (deterministic for a mask).
         let mut type_slot = [usize::MAX; Element::COUNT];
-        let mut types: Vec<Element> = Vec::new();
-        for &e in lig.elements() {
-            if type_slot[e.index()] == usize::MAX {
-                type_slot[e.index()] = types.len();
-                types.push(e);
+        let mut slot_elem: Vec<u8> = Vec::new();
+        for (idx, slot) in type_slot.iter_mut().enumerate() {
+            if elem_mask & (1 << idx) != 0 {
+                *slot = slot_elem.len();
+                slot_elem.push(idx as u8);
             }
         }
+        let n_slots = slot_elem.len();
 
         let bb = Aabb::from_points(receptor.positions()).inflated(opts.margin);
         let extent = bb.extent();
@@ -91,7 +195,25 @@ impl GridScorer {
         let rec_elem: Vec<u8> = receptor.elements().iter().map(|e| e.index() as u8).collect();
         let rec_charge = receptor.charges();
 
-        let mut lj = vec![vec![0f32; n_nodes]; types.len()];
+        // Per (receptor element, ligand slot) pair parameters, hoisted out
+        // of the node loop: LJ (σ², 4ε) plus the H-bond capability gate.
+        let pair_params: Vec<Vec<(f64, f64, bool)>> = (0..Element::COUNT as u8)
+            .map(|re| {
+                slot_elem
+                    .iter()
+                    .map(|&le| {
+                        let (s2, e4) = table.lookup(le, re);
+                        let hb = opts.hbond_epsilon.is_some()
+                            && is_hbond_capable_idx(le)
+                            && is_hbond_capable_idx(re);
+                        (s2, e4, hb)
+                    })
+                    .collect()
+            })
+            .collect();
+        let hb_eps = opts.hbond_epsilon.unwrap_or(0.0);
+
+        let mut lj = vec![0f32; n_slots * n_nodes];
         let mut elec = if opts.dielectric.is_some() { vec![0f32; n_nodes] } else { Vec::new() };
 
         for iz in 0..dims[2] {
@@ -100,38 +222,217 @@ impl GridScorer {
                     let node = (iz * dims[1] + iy) * dims[0] + ix;
                     let p = bb.min + Vec3::new(ix as f64, iy as f64, iz as f64) * opts.spacing;
                     rec_grid.for_each_within(p, opts.cutoff, |j, _, r_sq| {
-                        for (t, &te) in types.iter().enumerate() {
-                            let (s2, e4) = table.lookup(te.index() as u8, rec_elem[j]);
-                            lj[t][node] += lj_pair(s2, e4, r_sq) as f32;
+                        let params = &pair_params[rec_elem[j] as usize];
+                        for (t, &(s2, e4, hb)) in params.iter().enumerate() {
+                            let mut v = lj_pair(s2, e4, r_sq);
+                            if hb {
+                                v += hbond_pair(hb_eps, r_sq);
+                            }
+                            lj[t * n_nodes + node] += v as f32;
                         }
                         if let Some(eps) = opts.dielectric {
                             let r2 = r_sq.max(MIN_DIST_SQ);
                             elec[node] += (COULOMB_K * rec_charge[j] / (eps * r2)) as f32;
                         }
                     });
-                    for grid_t in lj.iter_mut() {
-                        grid_t[node] = grid_t[node].min(MAX_NODE_POTENTIAL);
+                    for t in 0..n_slots {
+                        let v = &mut lj[t * n_nodes + node];
+                        *v = v.min(MAX_NODE_POTENTIAL);
                     }
                 }
             }
         }
 
-        GridScorer {
+        GridField {
             origin: bb.min,
             spacing: opts.spacing,
             dims,
+            n_nodes,
             lj,
             elec,
             type_slot,
-            lig_local: lig.positions().to_vec(),
-            lig_elem: lig.elements().to_vec(),
-            lig_charge: lig.charges(),
+            n_slots,
             opts,
+            build_seconds: t0.elapsed().as_secs_f64(),
         }
     }
 
+    /// Grid memory footprint in bytes.
+    pub fn footprint_bytes(&self) -> usize {
+        (self.lj.len() + self.elec.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Nodes per grid.
+    pub fn nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Grid count (per-type LJ grids + electrostatic grid when present).
+    pub fn grid_count(&self) -> u32 {
+        self.n_slots as u32 + u32::from(!self.elec.is_empty())
+    }
+}
+
+const GRID_CACHE_CAP: usize = 4;
+
+type GridCache = Mutex<Vec<(GridKey, Arc<GridField>)>>;
+
+fn grid_cache() -> &'static GridCache {
+    static CACHE: OnceLock<GridCache> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Look up or build the field for a key. Builds happen *outside* the lock
+/// so two threads building different receptors don't serialize; a losing
+/// racer adopts the winner's field.
+fn cached_field(receptor: &Molecule, elem_mask: u32, opts: GridOptions) -> (Arc<GridField>, bool) {
+    let key = GridKey {
+        receptor: receptor_hash(receptor),
+        rec_atoms: receptor.len() as u64,
+        elems: elem_mask,
+        opts: options_key(opts),
+    };
+    {
+        // PANICS: mutex poisoning means a build already panicked; propagate.
+        let cache = grid_cache().lock().expect("grid cache poisoned");
+        if let Some((_, f)) = cache.iter().find(|(k, _)| *k == key) {
+            return (f.clone(), true);
+        }
+    }
+    let built = Arc::new(GridField::build(receptor, elem_mask, opts));
+    // PANICS: mutex poisoning means a build already panicked; propagate.
+    let mut cache = grid_cache().lock().expect("grid cache poisoned");
+    if let Some((_, f)) = cache.iter().find(|(k, _)| *k == key) {
+        return (f.clone(), true);
+    }
+    if cache.len() == GRID_CACHE_CAP {
+        cache.remove(0);
+    }
+    cache.push((key, built.clone()));
+    (built, false)
+}
+
+/// Per-chunk interpolation inputs for up to 8 ligand atoms: base node
+/// index, per-slot LJ slab index, fractional weights, charge, and a 0/1
+/// lane mask (trailing lanes of a short final chunk score 0).
+#[derive(Default)]
+struct Chunk {
+    base: [usize; 8],
+    lj_idx: [usize; 8],
+    fx: [f32; 8],
+    fy: [f32; 8],
+    fz: [f32; 8],
+    q: [f32; 8],
+    mask: [f32; 8],
+}
+
+/// `out[l] = f[idx[l] + off]` — a gather at a fixed corner offset.
+#[inline]
+fn gather_off(f: &[f32], idx: &[usize; 8], off: usize) -> F32x8 {
+    let mut a = [0f32; 8];
+    for l in 0..8 {
+        a[l] = f[idx[l] + off];
+    }
+    F32x8::from_array(a)
+}
+
+/// Wide trilinear interpolation: 8 corner gathers weighted and summed in a
+/// fixed order (000, 100, 010, 110, 001, 101, 011, 111). The scalar twin
+/// [`trilerp_lane`] replays the same order per lane — keep them in sync.
+#[inline]
+fn trilerp_wide(
+    f: &[f32],
+    idx: &[usize; 8],
+    ox: usize,
+    oy: usize,
+    oz: usize,
+    w: &[F32x8; 8],
+) -> F32x8 {
+    let mut v = gather_off(f, idx, 0) * w[0];
+    v = v + gather_off(f, idx, ox) * w[1];
+    v = v + gather_off(f, idx, oy) * w[2];
+    v = v + gather_off(f, idx, ox + oy) * w[3];
+    v = v + gather_off(f, idx, oz) * w[4];
+    v = v + gather_off(f, idx, ox + oz) * w[5];
+    v = v + gather_off(f, idx, oy + oz) * w[6];
+    v = v + gather_off(f, idx, ox + oy + oz) * w[7];
+    v
+}
+
+/// Scalar twin of [`trilerp_wide`]: identical IEEE ops in identical order.
+#[inline]
+fn trilerp_lane(f: &[f32], i: usize, ox: usize, oy: usize, oz: usize, w: &[f32; 8]) -> f32 {
+    let mut v = f[i] * w[0];
+    v += f[i + ox] * w[1];
+    v += f[i + oy] * w[2];
+    v += f[i + ox + oy] * w[3];
+    v += f[i + oz] * w[4];
+    v += f[i + ox + oz] * w[5];
+    v += f[i + oy + oz] * w[6];
+    v += f[i + ox + oy + oz] * w[7];
+    v
+}
+
+/// A ligand bound to a (possibly shared) [`GridField`]: scores poses by
+/// trilinear interpolation, `O(ligand_atoms)` per pose.
+#[derive(Debug, Clone)]
+pub struct GridScorer {
+    field: Arc<GridField>,
+    lig_local: Vec<Vec3>,
+    /// Precomputed LJ slab offset (`slot * n_nodes`) per ligand atom.
+    lig_slab: Vec<usize>,
+    lig_charge: Vec<f32>,
+    stats: GridBuildStats,
+}
+
+impl GridScorer {
+    /// Build (or fetch from the keyed cache) the grids for a
+    /// receptor/ligand pair. Cost on a cache miss:
+    /// `nodes × avg-neighbors × ligand-element-types`, paid once.
+    pub fn new(receptor: &Molecule, ligand: &Molecule, opts: GridOptions) -> GridScorer {
+        assert!(opts.spacing > 0.0, "spacing must be positive");
+        assert!(opts.cutoff > 0.0, "cutoff must be positive");
+        let lig = ligand.centered();
+        let mut elem_mask = 0u32;
+        for &e in lig.elements() {
+            elem_mask |= 1 << e.index();
+        }
+        let (field, cached) = cached_field(receptor, elem_mask, opts);
+        let stats = GridBuildStats {
+            nodes: field.n_nodes as u64,
+            grids: field.grid_count(),
+            bytes: field.footprint_bytes() as u64,
+            build_seconds: field.build_seconds,
+            cached,
+        };
+        let lig_slab: Vec<usize> =
+            lig.elements().iter().map(|e| field.type_slot[e.index()] * field.n_nodes).collect();
+        let lig_charge: Vec<f32> = lig.charges().iter().map(|&q| q as f32).collect();
+        GridScorer { field, lig_local: lig.positions().to_vec(), lig_slab, lig_charge, stats }
+    }
+
+    /// [`GridScorer::new`] plus a [`vstrace::Event::GridBuilt`] record of
+    /// what the build cost (or that the cache was hit).
+    pub fn new_traced(
+        receptor: &Molecule,
+        ligand: &Molecule,
+        opts: GridOptions,
+        trace: &vstrace::Trace,
+    ) -> GridScorer {
+        let scorer = GridScorer::new(receptor, ligand, opts);
+        let s = scorer.stats;
+        trace.emit(vstrace::Event::GridBuilt {
+            nodes: s.nodes,
+            grids: s.grids,
+            bytes: s.bytes,
+            build_s: s.build_seconds,
+            cached: s.cached,
+        });
+        scorer
+    }
+
     pub fn options(&self) -> GridOptions {
-        self.opts
+        self.field.opts
     }
 
     pub fn ligand_atoms(&self) -> usize {
@@ -140,45 +441,145 @@ impl GridScorer {
 
     /// Grid memory footprint in bytes.
     pub fn footprint_bytes(&self) -> usize {
-        let nodes = self.dims[0] * self.dims[1] * self.dims[2];
-        (self.lj.len() * nodes + self.elec.len()) * std::mem::size_of::<f32>()
+        self.field.footprint_bytes()
     }
 
-    /// Trilinear interpolation of field `f` at `p`; positions outside the
+    /// Build cost and cache status for this scorer's field.
+    pub fn build_stats(&self) -> GridBuildStats {
+        self.stats
+    }
+
+    /// Whether two scorers share one cached [`GridField`] allocation.
+    pub fn shares_field_with(&self, other: &GridScorer) -> bool {
+        Arc::ptr_eq(&self.field, &other.field)
+    }
+
+    /// Fill one 8-atom chunk's interpolation inputs. Positions outside the
     /// grid clamp to the boundary (far from the receptor the potential is
-    /// ~0 anyway, given the build cutoff).
-    fn interpolate(&self, f: &[f32], p: Vec3) -> f64 {
-        let g = (p - self.origin) / self.spacing;
+    /// ~0 anyway, given the build cutoff). Shared verbatim by the wide and
+    /// scalar paths so they interpolate the exact same corners and weights.
+    #[inline]
+    fn prep_chunk(&self, pos: &dyn Fn(usize) -> Vec3, a0: usize) -> Chunk {
+        let f = &*self.field;
+        let n = self.lig_local.len();
         let clampf = |v: f64, hi: usize| -> f64 { v.max(0.0).min(hi as f64 - 1.000001) };
-        let gx = clampf(g.x, self.dims[0]);
-        let gy = clampf(g.y, self.dims[1]);
-        let gz = clampf(g.z, self.dims[2]);
-        let (x0, y0, z0) = (gx as usize, gy as usize, gz as usize);
-        let (fx, fy, fz) = (gx - x0 as f64, gy - y0 as f64, gz - z0 as f64);
-        let at = |x: usize, y: usize, z: usize| -> f64 {
-            f[(z * self.dims[1] + y) * self.dims[0] + x] as f64
-        };
-        let c00 = at(x0, y0, z0) * (1.0 - fx) + at(x0 + 1, y0, z0) * fx;
-        let c10 = at(x0, y0 + 1, z0) * (1.0 - fx) + at(x0 + 1, y0 + 1, z0) * fx;
-        let c01 = at(x0, y0, z0 + 1) * (1.0 - fx) + at(x0 + 1, y0, z0 + 1) * fx;
-        let c11 = at(x0, y0 + 1, z0 + 1) * (1.0 - fx) + at(x0 + 1, y0 + 1, z0 + 1) * fx;
-        let c0 = c00 * (1.0 - fy) + c10 * fy;
-        let c1 = c01 * (1.0 - fy) + c11 * fy;
-        c0 * (1.0 - fz) + c1 * fz
+        let mut c = Chunk::default();
+        for l in 0..F32x8::LANES {
+            let a = a0 + l;
+            if a >= n {
+                continue; // mask stays 0.0; index 0 gathers are in-bounds
+            }
+            c.mask[l] = 1.0;
+            let g = (pos(a) - f.origin) / f.spacing;
+            let gx = clampf(g.x, f.dims[0]);
+            let gy = clampf(g.y, f.dims[1]);
+            let gz = clampf(g.z, f.dims[2]);
+            let (x0, y0, z0) = (gx as usize, gy as usize, gz as usize);
+            c.fx[l] = (gx - x0 as f64) as f32;
+            c.fy[l] = (gy - y0 as f64) as f32;
+            c.fz[l] = (gz - z0 as f64) as f32;
+            let base = (z0 * f.dims[1] + y0) * f.dims[0] + x0;
+            c.base[l] = base;
+            c.lj_idx[l] = self.lig_slab[a] + base;
+            c.q[l] = self.lig_charge[a];
+        }
+        c
+    }
+
+    /// Wide-lane scoring core: 8 atoms per step through [`F32x8`].
+    fn score_wide_with(&self, pos: &dyn Fn(usize) -> Vec3) -> f64 {
+        let f = &*self.field;
+        let n = self.lig_local.len();
+        let (ox, oy, oz) = (1usize, f.dims[0], f.dims[0] * f.dims[1]);
+        let one = F32x8::splat(1.0);
+        let mut total = 0.0f64;
+        let mut a0 = 0;
+        while a0 < n {
+            let c = self.prep_chunk(pos, a0);
+            let (fx, fy, fz) =
+                (F32x8::from_array(c.fx), F32x8::from_array(c.fy), F32x8::from_array(c.fz));
+            let (wx0, wy0, wz0) = (one - fx, one - fy, one - fz);
+            let w = [
+                (wx0 * wy0) * wz0,
+                (fx * wy0) * wz0,
+                (wx0 * fy) * wz0,
+                (fx * fy) * wz0,
+                (wx0 * wy0) * fz,
+                (fx * wy0) * fz,
+                (wx0 * fy) * fz,
+                (fx * fy) * fz,
+            ];
+            let mut contrib = trilerp_wide(&f.lj, &c.lj_idx, ox, oy, oz, &w);
+            if !f.elec.is_empty() {
+                let e = trilerp_wide(&f.elec, &c.base, ox, oy, oz, &w);
+                contrib = contrib + F32x8::from_array(c.q) * e;
+            }
+            total += (contrib * F32x8::from_array(c.mask)).horizontal_sum() as f64;
+            a0 += F32x8::LANES;
+        }
+        total
+    }
+
+    /// Scalar fallback: replays the wide path's per-lane IEEE operations in
+    /// the same order, so results are bit-identical (tested below).
+    fn score_scalar_with(&self, pos: &dyn Fn(usize) -> Vec3) -> f64 {
+        let f = &*self.field;
+        let n = self.lig_local.len();
+        let (ox, oy, oz) = (1usize, f.dims[0], f.dims[0] * f.dims[1]);
+        let mut total = 0.0f64;
+        let mut a0 = 0;
+        while a0 < n {
+            let c = self.prep_chunk(pos, a0);
+            let mut lanes = [0f32; 8];
+            for (l, lane) in lanes.iter_mut().enumerate() {
+                let (fx, fy, fz) = (c.fx[l], c.fy[l], c.fz[l]);
+                let (wx0, wy0, wz0) = (1.0 - fx, 1.0 - fy, 1.0 - fz);
+                let w = [
+                    (wx0 * wy0) * wz0,
+                    (fx * wy0) * wz0,
+                    (wx0 * fy) * wz0,
+                    (fx * fy) * wz0,
+                    (wx0 * wy0) * fz,
+                    (fx * wy0) * fz,
+                    (wx0 * fy) * fz,
+                    (fx * fy) * fz,
+                ];
+                let mut contrib = trilerp_lane(&f.lj, c.lj_idx[l], ox, oy, oz, &w);
+                if !f.elec.is_empty() {
+                    contrib += c.q[l] * trilerp_lane(&f.elec, c.base[l], ox, oy, oz, &w);
+                }
+                *lane = contrib * c.mask[l];
+            }
+            total += F32x8::from_array(lanes).horizontal_sum() as f64;
+            a0 += F32x8::LANES;
+        }
+        total
     }
 
     /// Score a pose by interpolation: `O(ligand_atoms)`.
     pub fn score(&self, pose: &RigidTransform) -> f64 {
-        let mut total = 0.0;
-        for (i, &local) in self.lig_local.iter().enumerate() {
-            let p = pose.apply(local);
-            let slot = self.type_slot[self.lig_elem[i].index()];
-            total += self.interpolate(&self.lj[slot], p);
-            if !self.elec.is_empty() {
-                total += self.lig_charge[i] * self.interpolate(&self.elec, p);
-            }
-        }
-        total
+        let lig = &self.lig_local;
+        self.score_wide_with(&|i| pose.apply(lig[i]))
+    }
+
+    /// Scalar-fallback twin of [`GridScorer::score`]; bit-identical.
+    pub fn score_scalar(&self, pose: &RigidTransform) -> f64 {
+        let lig = &self.lig_local;
+        self.score_scalar_with(&|i| pose.apply(lig[i]))
+    }
+
+    /// Score already-transformed ligand coordinates in SoA form (the layout
+    /// `Scorer::score_bound` produces). Slices must hold `ligand_atoms()`
+    /// values in the ligand's atom order.
+    pub fn score_frame_soa(&self, x: &[f64], y: &[f64], z: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.lig_local.len(), "frame length != ligand atoms");
+        self.score_wide_with(&|i| Vec3::new(x[i], y[i], z[i]))
+    }
+
+    /// Scalar-fallback twin of [`GridScorer::score_frame_soa`].
+    pub fn score_frame_soa_scalar(&self, x: &[f64], y: &[f64], z: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.lig_local.len(), "frame length != ligand atoms");
+        self.score_scalar_with(&|i| Vec3::new(x[i], y[i], z[i]))
     }
 
     /// Score a batch of poses.
@@ -188,7 +589,8 @@ impl GridScorer {
 }
 
 /// Reference: the exact cutoff score the grid approximates (same cutoff,
-/// same terms), for accuracy tests and benches.
+/// same terms — LJ, Coulomb, H-bond as enabled), for accuracy tests and
+/// benches.
 pub fn exact_cutoff_score(
     receptor: &Molecule,
     ligand: &Molecule,
@@ -200,7 +602,7 @@ pub fn exact_cutoff_score(
     let rf = Frame::from_molecule(receptor);
     let table = PairTable::new(&LjTable::standard());
     let mut total = crate::lj::lj_naive_cutoff(&lf, &rf, &table, opts.cutoff);
-    if let Some(eps) = opts.dielectric {
+    if opts.dielectric.is_some() || opts.hbond_epsilon.is_some() {
         let c2 = opts.cutoff * opts.cutoff;
         for i in 0..lf.len() {
             for j in 0..rf.len() {
@@ -208,8 +610,16 @@ pub fn exact_cutoff_score(
                 let dy = lf.y[i] - rf.y[j];
                 let dz = lf.z[i] - rf.z[j];
                 let r_sq = dx * dx + dy * dy + dz * dz;
-                if r_sq <= c2 {
+                if r_sq > c2 {
+                    continue;
+                }
+                if let Some(eps) = opts.dielectric {
                     total += crate::coulomb::coulomb_pair(lf.charge[i], rf.charge[j], r_sq, eps);
+                }
+                if let Some(hb) = opts.hbond_epsilon {
+                    if is_hbond_capable_idx(lf.elem[i]) && is_hbond_capable_idx(rf.elem[j]) {
+                        total += hbond_pair(hb, r_sq);
+                    }
                 }
             }
         }
@@ -332,6 +742,66 @@ mod tests {
     }
 
     #[test]
+    fn hbond_term_bakes_into_capable_grids() {
+        let rec = synth::synth_receptor("r", 200, 8);
+        let lig = synth::synth_ligand("l", 8, 9);
+        assert!(
+            lig.elements().iter().any(|&e| matches!(e, Element::N | Element::O)),
+            "test ligand must carry an H-bond-capable atom"
+        );
+        let plain = GridScorer::new(&rec, &lig, GridOptions { spacing: 0.6, ..Default::default() });
+        let hb = GridScorer::new(
+            &rec,
+            &lig,
+            GridOptions { spacing: 0.6, hbond_epsilon: Some(1.0), ..Default::default() },
+        );
+        let pose = RigidTransform::from_translation(Vec3::new(12.0, 0.0, 0.0));
+        assert_ne!(plain.score(&pose), hb.score(&pose), "H-bond grids should shift the score");
+        // And the H-bond grid tracks the H-bond-inclusive exact reference.
+        let exact = exact_cutoff_score(&rec, &lig, &pose, hb.options());
+        if exact <= 0.0 {
+            let tol = 0.15 * exact.abs() + 1.0;
+            assert!((hb.score(&pose) - exact).abs() < tol, "{} vs {exact}", hb.score(&pose));
+        }
+    }
+
+    #[test]
+    fn wide_and_scalar_paths_bit_identical() {
+        let rec = synth::synth_receptor("r", 200, 8);
+        let lig = synth::synth_ligand("l", 13, 9); // 13 atoms: exercises a masked tail chunk
+        let grid = GridScorer::new(
+            &rec,
+            &lig,
+            GridOptions { spacing: 0.8, dielectric: Some(4.0), ..Default::default() },
+        );
+        let mut poses = surface_poses(16, 21);
+        poses.push(RigidTransform::from_translation(Vec3::new(400.0, -30.0, 2.0)));
+        for (k, pose) in poses.iter().enumerate() {
+            let w = grid.score(pose);
+            let s = grid.score_scalar(pose);
+            assert_eq!(w.to_bits(), s.to_bits(), "pose {k}: wide {w} != scalar {s}");
+        }
+    }
+
+    #[test]
+    fn frame_soa_matches_pose_scoring() {
+        let (_, _, grid) = setup(1.0);
+        for pose in surface_poses(4, 23) {
+            let n = grid.ligand_atoms();
+            let (mut x, mut y, mut z) = (vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+            for (i, &p) in grid.lig_local.iter().enumerate() {
+                let q = pose.apply(p);
+                (x[i], y[i], z[i]) = (q.x, q.y, q.z);
+            }
+            let a = grid.score(&pose);
+            let b = grid.score_frame_soa(&x, &y, &z);
+            let c = grid.score_frame_soa_scalar(&x, &y, &z);
+            assert_eq!(a.to_bits(), b.to_bits());
+            assert_eq!(b.to_bits(), c.to_bits());
+        }
+    }
+
+    #[test]
     fn batch_matches_singles() {
         let (_, _, grid) = setup(1.0);
         let poses = surface_poses(6, 11);
@@ -347,6 +817,50 @@ mod tests {
         assert!(grid.footprint_bytes() > 0);
         let (_, _, fine) = setup(0.5);
         assert!(fine.footprint_bytes() > 4 * grid.footprint_bytes());
+    }
+
+    #[test]
+    fn default_is_deliberately_coarse_and_autodock_preset_is_finer() {
+        assert_eq!(GridOptions::default().spacing, 0.75, "documented coarse default");
+        assert_eq!(GridOptions::autodock().spacing, 0.375, "AutoDock map resolution");
+        assert_eq!(GridOptions::autodock().cutoff, GridOptions::default().cutoff);
+    }
+
+    #[test]
+    fn build_cache_shares_fields_between_scorers() {
+        // Dedicated receptor + spacing so no other test matches this key.
+        let rec = synth::synth_receptor("cache-test", 120, 77);
+        let lig = synth::synth_ligand("cache-lig", 9, 78);
+        let opts = GridOptions { spacing: 0.9, ..Default::default() };
+        let a = GridScorer::new(&rec, &lig, opts);
+        let b = GridScorer::new(&rec, &lig, opts);
+        assert!(b.shares_field_with(&a), "second build must hit the cache");
+        assert!(b.build_stats().cached, "cache hit must be visible in stats");
+        assert_eq!(a.build_stats().bytes, b.build_stats().bytes);
+        // A different pitch is a different key.
+        let c = GridScorer::new(&rec, &lig, GridOptions { spacing: 1.1, ..Default::default() });
+        assert!(!c.shares_field_with(&a));
+    }
+
+    #[test]
+    fn traced_build_emits_grid_built_event() {
+        let rec = synth::synth_receptor("trace-test", 110, 81);
+        let lig = synth::synth_ligand("trace-lig", 7, 82);
+        let opts = GridOptions { spacing: 1.0, ..Default::default() };
+        let trace = vstrace::Trace::new();
+        let g = GridScorer::new_traced(&rec, &lig, opts, &trace);
+        let data = trace.snapshot();
+        let built: Vec<_> = data
+            .payloads()
+            .into_iter()
+            .filter(|e| matches!(e, vstrace::Event::GridBuilt { .. }))
+            .collect();
+        assert_eq!(built.len(), 1);
+        if let vstrace::Event::GridBuilt { nodes, grids, bytes, .. } = built[0] {
+            assert_eq!(nodes, g.build_stats().nodes);
+            assert_eq!(grids, g.build_stats().grids);
+            assert_eq!(bytes, g.build_stats().bytes);
+        }
     }
 
     #[test]

@@ -44,7 +44,9 @@ pub mod scorer;
 pub(crate) mod sync;
 
 pub use forces::RigidGradient;
-pub use grid_potential::{GridOptions, GridScorer};
+pub use grid_potential::{
+    exact_cutoff_score, GridBuildStats, GridField, GridOptions, GridScorer, MAX_NODE_POTENTIAL,
+};
 pub use pool::{shared_pool, CpuPool};
 pub use run::RunFrame;
 pub use scorer::{Exec, Kernel, PoseScratch, ScoreBatch, Scorer, ScorerOptions, ScoringModel};

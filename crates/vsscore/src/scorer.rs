@@ -85,9 +85,18 @@ pub enum Kernel {
     /// a **single receptor pass** ([`crate::run::fused_run`]). Default.
     #[default]
     Fused,
-    /// Spherical cutoff accelerated by a receptor spatial grid. An
-    /// approximation: pairs beyond `cutoff` Å contribute nothing.
-    GridCutoff { cutoff: f64 },
+    /// Exact spherical cutoff through a receptor cell list
+    /// ([`vsmath::SpatialGrid`]): only the receptor atoms inside the
+    /// cutoff shell are enumerated, so cost scales with shell occupancy,
+    /// not receptor size. An approximation only in that pairs beyond
+    /// `cutoff` Å contribute nothing.
+    CellList { cutoff: f64 },
+    /// Precomputed receptor potential grids
+    /// ([`crate::grid_potential::GridScorer`]): trilinear interpolation at
+    /// `spacing` Å pitch, `O(ligand_atoms)` per pose and independent of
+    /// receptor size. Grid-resolution error applies (DESIGN §11 budget);
+    /// builds are cached per (receptor, ligand element set, options).
+    Grid { spacing: f64 },
 }
 
 impl Kernel {
@@ -144,8 +153,11 @@ pub struct Scorer {
     /// kernels ([`Kernel::Run`] / [`Kernel::Fused`]).
     rec_runs: Option<RunFrame>,
     rec_grid: Option<SpatialGrid>,
+    /// Potential-grid interpolator, built (or fetched from the keyed build
+    /// cache) for [`Kernel::Grid`].
+    grid: Option<crate::grid_potential::GridScorer>,
     /// Per-receptor-atom H-bond capability (original atom order), so the
-    /// grid path gates pairs with one indexed bit instead of an
+    /// cell-list path gates pairs with one indexed bit instead of an
     /// `Element::ALL` round-trip per visited pair.
     rec_hb_capable: Vec<bool>,
     lig_local: Vec<Vec3>,
@@ -153,6 +165,10 @@ pub struct Scorer {
     lig_charge: Vec<f64>,
     table: PairTable,
     opts: ScorerOptions,
+    /// Kernel work units per pose for the cost model: pair interactions
+    /// for the dense kernels, ligand atoms for [`Kernel::Grid`], estimated
+    /// shell pairs for [`Kernel::CellList`] (fixed at construction).
+    units_per_eval: u64,
     /// Process-unique identity for scratch binding. Clones share the id —
     /// sound, because a clone carries identical ligand columns, so a
     /// scratch bound to either is bound to both.
@@ -169,28 +185,77 @@ impl Scorer {
     /// once; the run kernels additionally permute it into element runs
     /// here, so the per-pose hot loop never touches unsorted elements.
     pub fn new(receptor: &Molecule, ligand: &Molecule, opts: ScorerOptions) -> Scorer {
+        Scorer::new_inner(receptor, ligand, opts, None)
+    }
+
+    /// [`Scorer::new`] plus trace visibility into any potential-grid build
+    /// ([`vstrace::Event::GridBuilt`]) the kernel choice triggers.
+    pub fn new_traced(
+        receptor: &Molecule,
+        ligand: &Molecule,
+        opts: ScorerOptions,
+        trace: &vstrace::Trace,
+    ) -> Scorer {
+        Scorer::new_inner(receptor, ligand, opts, Some(trace))
+    }
+
+    fn new_inner(
+        receptor: &Molecule,
+        ligand: &Molecule,
+        opts: ScorerOptions,
+        trace: Option<&vstrace::Trace>,
+    ) -> Scorer {
         let lig = ligand.centered();
         let rec_grid = match opts.kernel {
-            Kernel::GridCutoff { cutoff } => {
+            Kernel::CellList { cutoff } => {
                 assert!(cutoff > 0.0, "cutoff must be positive");
                 Some(SpatialGrid::build(receptor.positions(), cutoff.max(1.0)))
             }
             _ => None,
         };
+        let grid = match opts.kernel {
+            Kernel::Grid { spacing } => {
+                let gopts = crate::grid_potential::GridOptions {
+                    spacing,
+                    dielectric: opts.model.dielectric(),
+                    hbond_epsilon: opts.model.hbond_epsilon(),
+                    ..Default::default()
+                };
+                Some(match trace {
+                    Some(t) => {
+                        crate::grid_potential::GridScorer::new_traced(receptor, ligand, gopts, t)
+                    }
+                    None => crate::grid_potential::GridScorer::new(receptor, ligand, gopts),
+                })
+            }
+            _ => None,
+        };
         let rec_frame = Frame::from_molecule(receptor);
         let rec_runs = opts.kernel.uses_run_layout().then(|| RunFrame::from_frame(&rec_frame));
-        let rec_hb_capable =
+        let rec_hb_capable: Vec<bool> =
             rec_frame.elem.iter().map(|&e| crate::hbond::is_hbond_capable_idx(e)).collect();
+        let lig_atoms = lig.positions().len();
+        let units_per_eval = match opts.kernel {
+            Kernel::Grid { .. } => lig_atoms as u64,
+            Kernel::CellList { cutoff } => {
+                // PANICS: the CellList arm above always builds the spatial grid.
+                let sg = rec_grid.as_ref().expect("cell-list kernel without spatial grid");
+                lig_atoms as u64 * mean_shell_occupancy(sg, receptor.positions(), cutoff)
+            }
+            _ => crate::pairs_per_eval(lig_atoms, rec_frame.len()),
+        };
         Scorer {
             rec_frame,
             rec_runs,
             rec_grid,
+            grid,
             rec_hb_capable,
             lig_local: lig.positions().to_vec(),
             lig_elem: lig.elements().to_vec(),
             lig_charge: lig.charges(),
             table: PairTable::new(&LjTable::standard()),
             opts,
+            units_per_eval,
             binding_id: NEXT_BINDING_ID.fetch_add(1, Ordering::Relaxed),
         }
     }
@@ -203,9 +268,19 @@ impl Scorer {
         self.lig_local.len()
     }
 
-    /// Pair interactions per evaluation (the `gpusim` workload unit).
+    /// Pair interactions per evaluation (the dense-kernel workload unit).
     pub fn pairs_per_eval(&self) -> u64 {
         crate::pairs_per_eval(self.ligand_atoms(), self.receptor_atoms())
+    }
+
+    /// Kernel work units per evaluation in this kernel's *own* regime:
+    /// `ligand × receptor` pairs for the dense kernels, ligand atoms for
+    /// [`Kernel::Grid`], estimated shell pairs for [`Kernel::CellList`].
+    /// This is what the cost model should multiply by its per-unit rates —
+    /// feeding pair counts for a grid job would mispredict it by orders of
+    /// magnitude.
+    pub fn work_units_per_eval(&self) -> u64 {
+        self.units_per_eval
     }
 
     pub fn options(&self) -> ScorerOptions {
@@ -258,7 +333,12 @@ impl Scorer {
         let lig = &mut scratch.lig;
         pose.apply_all_soa(&self.lig_local, &mut lig.x, &mut lig.y, &mut lig.z);
         match self.opts.kernel {
-            Kernel::GridCutoff { cutoff } => self.score_grid(lig, cutoff),
+            Kernel::CellList { cutoff } => self.score_cell_list(lig, cutoff),
+            Kernel::Grid { .. } => {
+                // PANICS: the constructor builds the interpolator whenever this kernel is selected; absence is an internal invariant breach.
+                let grid = self.grid.as_ref().expect("grid kernel without potential grid");
+                grid.score_frame_soa(&lig.x, &lig.y, &lig.z)
+            }
             Kernel::Fused => {
                 // PANICS: the constructor builds the run frame whenever this kernel is selected; absence is an internal invariant breach.
                 let runs = self.rec_runs.as_ref().expect("fused kernel without run frame");
@@ -282,7 +362,7 @@ impl Scorer {
                         let runs = self.rec_runs.as_ref().expect("run kernel without run frame");
                         (lj_run(lig, runs, &self.table), runs.frame())
                     }
-                    Kernel::Fused | Kernel::GridCutoff { .. } => unreachable!(),
+                    Kernel::Fused | Kernel::CellList { .. } | Kernel::Grid { .. } => unreachable!(),
                 };
                 let mut total = lj;
                 if let Some(dielectric) = self.opts.model.dielectric() {
@@ -296,9 +376,9 @@ impl Scorer {
         }
     }
 
-    fn score_grid(&self, lig: &Frame, cutoff: f64) -> f64 {
+    fn score_cell_list(&self, lig: &Frame, cutoff: f64) -> f64 {
         // PANICS: the constructor builds the grid whenever this kernel is selected; absence is an internal invariant breach.
-        let grid = self.rec_grid.as_ref().expect("grid kernel without grid");
+        let grid = self.rec_grid.as_ref().expect("cell-list kernel without spatial grid");
         let dielectric = self.opts.model.dielectric();
         let hbond_eps = self.opts.model.hbond_epsilon();
         let mut total = 0.0;
@@ -418,6 +498,24 @@ impl Scorer {
             }
         }
     }
+}
+
+/// Mean receptor atoms inside a `cutoff` shell, sampled at up to 256
+/// receptor-atom positions (strided for coverage). The cell-list kernel's
+/// per-ligand-atom cost is proportional to this; it prices a ligand *near*
+/// the receptor, which is where every docking pose of interest sits.
+fn mean_shell_occupancy(grid: &SpatialGrid, positions: &[Vec3], cutoff: f64) -> u64 {
+    if positions.is_empty() {
+        return 1;
+    }
+    let stride = positions.len().div_ceil(256);
+    let mut total = 0u64;
+    let mut samples = 0u64;
+    for p in positions.iter().step_by(stride) {
+        total += grid.count_within(*p, cutoff) as u64;
+        samples += 1;
+    }
+    (total / samples.max(1)).max(1)
 }
 
 /// Execution policy for [`Scorer::score_batch`].
@@ -557,7 +655,7 @@ mod tests {
     }
 
     #[test]
-    fn grid_cutoff_matches_naive_cutoff() {
+    fn cell_list_matches_naive_cutoff() {
         let rec = synth::synth_receptor("r", 600, 5);
         let lig = synth::synth_ligand("l", 16, 6);
         let cutoff = 10.0;
@@ -566,7 +664,7 @@ mod tests {
             &lig,
             ScorerOptions {
                 model: ScoringModel::LennardJones,
-                kernel: Kernel::GridCutoff { cutoff },
+                kernel: Kernel::CellList { cutoff },
             },
         );
         // Reference: naive cutoff over the same transformed ligand.
@@ -748,7 +846,7 @@ mod tests {
     }
 
     #[test]
-    fn full_model_grid_matches_dense_within_cutoff_tolerance() {
+    fn full_model_cell_list_matches_dense_within_cutoff_tolerance() {
         let rec = synth::synth_receptor("r", 300, 7);
         let lig = synth::synth_ligand("l", 10, 8);
         let model = ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 };
@@ -756,7 +854,7 @@ mod tests {
         let grid = Scorer::new(
             &rec,
             &lig,
-            ScorerOptions { model, kernel: Kernel::GridCutoff { cutoff: 25.0 } },
+            ScorerOptions { model, kernel: Kernel::CellList { cutoff: 25.0 } },
         );
         let mut rng = RngStream::from_seed(23);
         let pose = RigidTransform::new(rng.rotation(), rng.unit_vector() * 18.0);
@@ -787,8 +885,60 @@ mod tests {
             &lig,
             ScorerOptions {
                 model: ScoringModel::LennardJones,
-                kernel: Kernel::GridCutoff { cutoff: 0.0 },
+                kernel: Kernel::CellList { cutoff: 0.0 },
             },
+        );
+    }
+
+    #[test]
+    fn grid_kernel_matches_grid_scorer_and_batch_paths() {
+        let rec = synth::synth_receptor("r", 300, 7);
+        let lig = synth::synth_ligand("l", 10, 8);
+        let model = ScoringModel::Full { dielectric: 4.0, hbond_epsilon: 1.0 };
+        let spacing = 0.6;
+        let s = Scorer::new(&rec, &lig, ScorerOptions { model, kernel: Kernel::Grid { spacing } });
+        let direct = crate::grid_potential::GridScorer::new(
+            &rec,
+            &lig,
+            crate::grid_potential::GridOptions {
+                spacing,
+                dielectric: model.dielectric(),
+                hbond_epsilon: model.hbond_epsilon(),
+                ..Default::default()
+            },
+        );
+        let mut rng = RngStream::from_seed(31);
+        let poses: Vec<RigidTransform> = (0..24)
+            .map(|_| RigidTransform::new(rng.rotation(), rng.unit_vector() * 16.0))
+            .collect();
+        // score_bound's SoA frame path must agree bit-for-bit with the
+        // interpolator's own pose path (same transform, same lanes).
+        for pose in &poses {
+            assert_eq!(s.score(pose).to_bits(), direct.score(pose).to_bits());
+        }
+        // And the batch entry point reaches it under every policy.
+        let serial = batch_scores(&s, &poses, Exec::Serial);
+        let pooled = batch_scores(&s, &poses, Exec::Pool(4));
+        assert_eq!(serial, pooled);
+        assert_eq!(serial[0].to_bits(), s.score(&poses[0]).to_bits());
+    }
+
+    #[test]
+    fn work_units_reflect_each_kernels_regime() {
+        let rec = synth::synth_receptor("r", 600, 5);
+        let lig = synth::synth_ligand("l", 16, 6);
+        let mk = |kernel| {
+            Scorer::new(&rec, &lig, ScorerOptions { model: ScoringModel::LennardJones, kernel })
+        };
+        let dense = mk(Kernel::Fused);
+        assert_eq!(dense.work_units_per_eval(), dense.pairs_per_eval());
+        let grid = mk(Kernel::Grid { spacing: 1.0 });
+        assert_eq!(grid.work_units_per_eval(), grid.ligand_atoms() as u64);
+        let cells = mk(Kernel::CellList { cutoff: 8.0 });
+        let units = cells.work_units_per_eval();
+        assert!(
+            units > cells.ligand_atoms() as u64 && units < cells.pairs_per_eval(),
+            "shell pairs ({units}) should sit between ligand atoms and dense pairs"
         );
     }
 }

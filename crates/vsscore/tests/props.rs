@@ -4,7 +4,17 @@ use proptest::prelude::*;
 use vsmath::{RigidTransform, RngStream, Vec3};
 use vsmol::synth;
 use vsscore::scorer::{Kernel, ScorerOptions, ScoringModel};
-use vsscore::{Exec, PoseScratch, ScoreBatch, Scorer};
+use vsscore::{exact_cutoff_score, Exec, GridOptions, PoseScratch, ScoreBatch, Scorer};
+
+/// The documented grid error budget (DESIGN §11): pose-score error vs the
+/// dense reference at pitch `h` is within
+/// `0.3·|exact| + n_lig·(0.25 + 0.75·h²)` on non-clashing poses — every
+/// ligand atom in contact contributes its own trilinear interpolation
+/// error, so the allowance scales with the ligand. Shared with the
+/// `grid_accuracy` harness gate.
+fn grid_error_budget(exact: f64, spacing: f64, lig_atoms: usize) -> f64 {
+    0.3 * exact.abs() + lig_atoms as f64 * (0.25 + 0.75 * spacing * spacing)
+}
 
 fn arb_pose() -> impl Strategy<Value = RigidTransform> {
     (any::<u64>(), 0.0..40.0f64).prop_map(|(seed, r)| {
@@ -117,7 +127,7 @@ proptest! {
         for cutoff in [8.0, 20.0] {
             let g = Scorer::new(&rec, &lig, ScorerOptions {
                 model: ScoringModel::LennardJones,
-                kernel: Kernel::GridCutoff { cutoff },
+                kernel: Kernel::CellList { cutoff },
             });
             prop_assert!(g.score(&pose).is_finite());
         }
@@ -153,5 +163,84 @@ proptest! {
         let a = s1.score(&pose);
         let b = s2.score(&pose_shifted);
         prop_assert!((a - b).abs() < 1e-6 * a.abs().max(1.0), "{} vs {}", a, b);
+    }
+}
+
+// The grid/cell-list properties build potential grids or spatial grids per
+// case, so they run fewer, heavier cases.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cell_list_matches_reference_cutoff_energies(
+        pose in arb_pose(),
+        n_rec in 50usize..400,
+        n_lig in 4usize..20,
+        seed in any::<u64>(),
+        cutoff in 6.0..18.0f64,
+    ) {
+        // CellList is *exact* under its cutoff: whatever the frame, pose,
+        // or cutoff, it must reproduce the naive cutoff reference within
+        // 1e-9 relative (per-kernel agreement policy, DESIGN §7).
+        let rec = synth::synth_receptor("r", n_rec, seed);
+        let lig = synth::synth_ligand("l", n_lig, seed ^ 0x9e37_79b9);
+        let s = Scorer::new(&rec, &lig, ScorerOptions {
+            model: ScoringModel::LennardJones,
+            kernel: Kernel::CellList { cutoff },
+        });
+        let want = exact_cutoff_score(&rec, &lig, &pose, GridOptions {
+            cutoff,
+            dielectric: None,
+            hbond_epsilon: None,
+            ..Default::default()
+        });
+        let got = s.score(&pose);
+        prop_assert!(
+            (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+            "cutoff {}: {} vs {}", cutoff, got, want
+        );
+    }
+
+    #[test]
+    fn grid_error_bounded_by_pitch_budget(seed in any::<u64>(), pose_seed in any::<u64>()) {
+        // Grid-vs-Fused pose-score error stays within the pitch-derived
+        // budget on non-clashing surface poses, and the budget itself
+        // tightens as the pitch shrinks.
+        let rec = synth::synth_receptor("r", 120, seed % 1000);
+        let lig = synth::synth_ligand("l", 8, (seed >> 10) % 1000);
+        let radius = rec.positions().iter().map(|p| p.norm()).fold(0.0, f64::max);
+        let fused = Scorer::new(&rec, &lig, ScorerOptions {
+            model: ScoringModel::LennardJones,
+            kernel: Kernel::Fused,
+        });
+        let mut rng = RngStream::from_seed(pose_seed);
+        let poses: Vec<RigidTransform> = (0..6)
+            .map(|_| RigidTransform::new(
+                rng.rotation(),
+                rng.unit_vector() * (radius + rng.uniform_range(2.0, 6.0)),
+            ))
+            .collect();
+        for spacing in [1.2, 0.6] {
+            let g = Scorer::new(&rec, &lig, ScorerOptions {
+                model: ScoringModel::LennardJones,
+                kernel: Kernel::Grid { spacing },
+            });
+            for pose in &poses {
+                let exact = fused.score(pose);
+                let approx = g.score(pose);
+                prop_assert!(approx.is_finite());
+                if exact > 0.0 {
+                    // Clash: the clamped grid only promises "repulsive".
+                    prop_assert!(approx > -grid_error_budget(exact, spacing, 8));
+                    continue;
+                }
+                prop_assert!(
+                    (approx - exact).abs() <= grid_error_budget(exact, spacing, 8),
+                    "pitch {}: grid {} vs fused {} (budget {})",
+                    spacing, approx, exact, grid_error_budget(exact, spacing, 8)
+                );
+            }
+        }
+        prop_assert!(grid_error_budget(-10.0, 0.6, 8) < grid_error_budget(-10.0, 1.2, 8));
     }
 }

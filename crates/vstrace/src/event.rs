@@ -42,6 +42,10 @@ pub enum Event {
     PartitionDecision { device: u32, share: f64, weight: f64 },
     /// A metaheuristic generation finished.
     GenerationDone { generation: u32, best_score: f64, evaluations: u64 },
+    /// A receptor potential-grid field was built (or fetched from the
+    /// keyed build cache). `build_s` is wall-clock and — like
+    /// [`Stamped::mono_ns`] — excluded from the determinism contract.
+    GridBuilt { nodes: u64, grids: u32, bytes: u64, build_s: f64, cached: bool },
     /// A cluster job ran on a different node than the static plan intended.
     JobMigrated { job: u32, from_node: u32, to_node: u32 },
     /// A node was degraded by the fault plan.
@@ -64,6 +68,7 @@ impl Event {
             Event::WarmupSample { .. } => "WarmupSample",
             Event::PartitionDecision { .. } => "PartitionDecision",
             Event::GenerationDone { .. } => "GenerationDone",
+            Event::GridBuilt { .. } => "GridBuilt",
             Event::JobMigrated { .. } => "JobMigrated",
             Event::FaultInjected { .. } => "FaultInjected",
             Event::SpanBegin { .. } => "SpanBegin",
@@ -111,6 +116,7 @@ mod tests {
             Event::WarmupSample { device: 0, iteration: 0, seconds: 0.1 },
             Event::PartitionDecision { device: 0, share: 0.5, weight: 1.0 },
             Event::GenerationDone { generation: 0, best_score: -1.0, evaluations: 64 },
+            Event::GridBuilt { nodes: 1, grids: 1, bytes: 4, build_s: 0.1, cached: false },
             Event::JobMigrated { job: 0, from_node: 0, to_node: 1 },
             Event::FaultInjected { node: 0, slowdown: 2.0 },
             Event::SpanBegin { name: "x" },

@@ -196,6 +196,17 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                         num(best_score)
                     ),
                 ),
+                Event::GridBuilt { nodes, grids, bytes, build_s, cached } => push_event(
+                    &mut out,
+                    &format!(
+                        "\"name\": \"GridBuilt\", \"ph\": \"i\", \"s\": \"t\", \
+                         \"pid\": {WALL_PID}, \"tid\": {tid}, \"ts\": {}, \"args\": {{\
+                         \"nodes\": {nodes}, \"grids\": {grids}, \"bytes\": {bytes}, \
+                         \"build_s\": {}, \"cached\": {cached}}}",
+                        num(wall_us),
+                        num(build_s)
+                    ),
+                ),
                 Event::JobMigrated { job, from_node, to_node } => push_event(
                     &mut out,
                     &format!(

@@ -33,6 +33,10 @@ pub fn text_summary(data: &TraceData) -> String {
     let mut evaluations = 0u64;
     let mut migrations = 0u64;
     let mut faults = 0u64;
+    let mut grid_builds = 0u64;
+    let mut grid_cached = 0u64;
+    let mut grid_build_s = 0.0f64;
+    let mut grid_bytes = 0u64;
 
     for s in data.events() {
         match s.event {
@@ -69,6 +73,15 @@ pub fn text_summary(data: &TraceData) -> String {
             }
             Event::JobMigrated { .. } => migrations += 1,
             Event::FaultInjected { .. } => faults += 1,
+            Event::GridBuilt { bytes, build_s, cached, .. } => {
+                grid_builds += 1;
+                if cached {
+                    grid_cached += 1;
+                } else {
+                    grid_build_s += build_s;
+                    grid_bytes = grid_bytes.max(bytes);
+                }
+            }
             _ => {}
         }
     }
@@ -129,6 +142,14 @@ pub fn text_summary(data: &TraceData) -> String {
     }
     if faults + migrations > 0 {
         let _ = writeln!(out, "cluster: {faults} faults injected, {migrations} jobs migrated");
+    }
+    if grid_builds > 0 {
+        let _ = writeln!(
+            out,
+            "potential grids: {grid_builds} requests ({grid_cached} cache hits), \
+             {grid_build_s:.3} s building, {:.1} MiB largest field",
+            grid_bytes as f64 / (1024.0 * 1024.0)
+        );
     }
 
     if !spans.is_empty() {

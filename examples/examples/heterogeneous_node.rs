@@ -26,7 +26,8 @@ fn main() {
     // Warm-up phase demo (§3.3): measure a few iterations per device and
     // reduce to the Percent factors of Equation 1.
     let pairs = (Dataset::TwoBsm.ligand_atoms() * Dataset::TwoBsm.receptor_atoms()) as u64;
-    let times = warmup_times(node.gpus(), pairs, WarmupConfig::default());
+    let times =
+        warmup_times(node.gpus(), gpusim::WorkProfile::pairs(pairs), WarmupConfig::default());
     let percents = percent_factors(&times);
     println!("\nwarm-up phase (Equation 1):");
     for (i, (t, p)) in times.iter().zip(&percents).enumerate() {

@@ -41,4 +41,7 @@ scripts/trace_report.sh
 echo "==> steal report (work-stealing runtime under a mid-run fault)"
 scripts/steal_report.sh
 
+echo "==> grid report (potential-grid accuracy + speedup gates)"
+scripts/grid_report.sh
+
 echo "==> OK"

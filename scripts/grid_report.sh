@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Produce and gate the potential-grid scoring artifact: runs the
+# grid_accuracy harness (voxel-pitch sweep of Grid vs the exact Fused
+# kernel on the Table 5 complexes), which gates the p99 grid-vs-Fused
+# error against the DESIGN §11 budget at the default pitch and requires
+# Grid >= 3x Fused poses/sec on the 8609-atom complex. Fails on a gate
+# violation or malformed output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-target/BENCH_grid.json}"
+
+echo "==> grid_accuracy harness -> $OUT"
+cargo run --release -q -p vs-bench --bin grid_accuracy -- "$OUT"
+
+[ -s "$OUT" ] || { echo "ERROR: $OUT missing or empty" >&2; exit 1; }
+grep -q '"bench": "grid_accuracy"' "$OUT" || { echo "ERROR: $OUT malformed" >&2; exit 1; }
+grep -q '"grid_over_fused"' "$OUT" || { echo "ERROR: $OUT has no speedup rows" >&2; exit 1; }
+
+echo "==> grid report OK: $OUT ($(wc -c < "$OUT") bytes)"
