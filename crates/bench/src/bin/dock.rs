@@ -8,6 +8,7 @@
 //!      [--meta m1|m2|m3|m4] [--scale 0.2] [--spots 16] \
 //!      [--node hertz|jupiter] [--strategy cpu|hom|het|dynamic|steal] \
 //!      [--kernel fused|grid|cells|naive|tiled|run] \
+//!      [--exec lockstep|pipelined|pipelined:4] \
 //!      [--threads 8] [--seed 42] [--out pose.pdb] [--complex complex.pdb]
 //! ```
 //!
@@ -26,6 +27,7 @@ struct Args {
     node: String,
     strategy: String,
     kernel: String,
+    exec: Option<EngineExec>,
     threads: usize,
     seed: u64,
     out: Option<String>,
@@ -42,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
         node: "hertz".into(),
         strategy: "het".into(),
         kernel: "fused".into(),
+        exec: None,
         threads: 8,
         seed: 2016,
         out: None,
@@ -65,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
             "--node" => args.node = val("--node")?.to_lowercase(),
             "--strategy" => args.strategy = val("--strategy")?.to_lowercase(),
             "--kernel" => args.kernel = val("--kernel")?.to_lowercase(),
+            "--exec" => args.exec = Some(val("--exec")?.to_lowercase().parse()?),
             "--threads" => {
                 args.threads = val("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?
             }
@@ -75,7 +79,8 @@ fn parse_args() -> Result<Args, String> {
                 return Err("usage: dock [--receptor rec.pdb] [--ligand lig.{pdb,sdf}] \
                             [--meta m1..m4] [--scale F] [--spots N] [--node hertz|jupiter] \
                             [--strategy cpu|hom|het|dynamic|steal] \
-                            [--kernel fused|grid|cells|naive|tiled|run] [--threads N] \
+                            [--kernel fused|grid|cells|naive|tiled|run] \
+                            [--exec lockstep|pipelined[:depth]] [--threads N] \
                             [--seed N] [--out pose.pdb] [--complex complex.pdb]"
                     .into())
             }
@@ -183,7 +188,14 @@ fn run() -> Result<(), String> {
         other => return Err(format!("unknown strategy {other:?} (cpu|hom|het|dynamic|steal)")),
     };
 
-    let outcome = screen.run(RunSpec::on_node(&params, &node, strategy));
+    // `--exec` selects the engine execution mode (DESIGN.md §12): without
+    // it the classic uncharged loop runs; `lockstep` charges host costs;
+    // `pipelined[:depth]` overlaps variation with device scoring.
+    let mut spec = RunSpec::on_node(&params, &node, strategy);
+    if let Some(exec) = args.exec {
+        spec = spec.exec(exec);
+    }
+    let outcome = screen.run(spec);
 
     println!(
         "best score {:.3} at spot {} ({} evaluations, {:.4} virtual s on {} / {})",

@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::scaling;
     pub use crate::screen::{RunSpec, ScreenOutcome, VirtualScreen, VirtualScreenBuilder};
     pub use crate::trace::synthetic_trace;
-    pub use metaheur::{self, MetaheuristicParams};
+    pub use metaheur::{self, EngineExec, MetaheuristicParams};
     pub use vsched::{Strategy, WarmupConfig};
     pub use vsmol::{Dataset, Molecule};
 }

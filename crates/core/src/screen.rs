@@ -1,7 +1,7 @@
 //! The whole-surface virtual-screening pipeline.
 
 use gpusim::SimNode;
-use metaheur::{BatchEvaluator, CpuEvaluator, MetaheuristicParams};
+use metaheur::{BatchEvaluator, CpuEvaluator, EngineExec, MetaheuristicParams};
 use std::sync::Arc;
 use vsched::{DeviceEvaluator, EvaluatorSpec, Strategy};
 use vsmol::{surface, Conformation, Dataset, Molecule, Spot, SurfaceOptions};
@@ -36,17 +36,18 @@ pub struct RunSpec<'a> {
     params: &'a MetaheuristicParams,
     backend: Backend<'a>,
     trace: Trace,
+    exec: Option<EngineExec>,
 }
 
 impl<'a> RunSpec<'a> {
     /// Run on `threads` host CPU threads (real compute, no virtual time).
     pub fn cpu(params: &'a MetaheuristicParams, threads: usize) -> RunSpec<'a> {
-        RunSpec { params, backend: Backend::Cpu { threads }, trace: Trace::disabled() }
+        RunSpec { params, backend: Backend::Cpu { threads }, trace: Trace::disabled(), exec: None }
     }
 
     /// Run against an AutoDock-style precomputed potential grid.
     pub fn gridded(params: &'a MetaheuristicParams, opts: vsscore::GridOptions) -> RunSpec<'a> {
-        RunSpec { params, backend: Backend::Grid { opts }, trace: Trace::disabled() }
+        RunSpec { params, backend: Backend::Grid { opts }, trace: Trace::disabled(), exec: None }
     }
 
     /// Run on a simulated node under `strategy`; the outcome carries the
@@ -57,7 +58,12 @@ impl<'a> RunSpec<'a> {
         node: &'a SimNode,
         strategy: Strategy,
     ) -> RunSpec<'a> {
-        RunSpec { params, backend: Backend::Node { node, strategy }, trace: Trace::disabled() }
+        RunSpec {
+            params,
+            backend: Backend::Node { node, strategy },
+            trace: Trace::disabled(),
+            exec: None,
+        }
     }
 
     /// Attach a [`vstrace::Trace`]: the run is wrapped in a `screen` span,
@@ -66,6 +72,19 @@ impl<'a> RunSpec<'a> {
     /// warm-up / `JobMigrated` events.
     pub fn traced(mut self, trace: &Trace) -> Self {
         self.trace = trace.clone();
+        self
+    }
+
+    /// Select the engine execution mode (DESIGN.md §12).
+    ///
+    /// Without this call the run uses the classic generational loop with no
+    /// host-side cost model — exactly the pre-pipeline behavior, bit for
+    /// bit, virtual time included. With [`EngineExec::Lockstep`] the same
+    /// trajectory is charged host variation/selection costs so it compares
+    /// honestly against [`EngineExec::Pipelined`], which overlaps variation
+    /// with scoring through the stage pipeline ([`metaheur::pipeline`]).
+    pub fn exec(mut self, exec: EngineExec) -> Self {
+        self.exec = Some(exec);
         self
     }
 }
@@ -131,12 +150,12 @@ impl VirtualScreen {
     /// backend.
     pub fn run(&self, spec: RunSpec<'_>) -> ScreenOutcome {
         let trace = spec.trace;
+        let exec = spec.exec;
         match spec.backend {
             Backend::Cpu { threads } => {
                 let _screen = trace.span("screen");
                 let mut ev = EvaluatorSpec::PooledCpu { threads }.build(self.scorer.clone());
-                let run =
-                    metaheur::run_traced(spec.params, &self.spots, &mut ev, self.seed, &trace);
+                let run = run_engine(spec.params, &self.spots, &mut ev, self.seed, &trace, exec);
                 ScreenOutcome::from_run(run, f64::NAN)
             }
             Backend::Grid { opts } => {
@@ -149,8 +168,7 @@ impl VirtualScreen {
                 let grid =
                     vsscore::GridScorer::new_traced(&self.receptor, &self.ligand, opts, &trace);
                 let mut ev = metaheur::GridEvaluator::new(grid);
-                let run =
-                    metaheur::run_traced(spec.params, &self.spots, &mut ev, self.seed, &trace);
+                let run = run_engine(spec.params, &self.spots, &mut ev, self.seed, &trace, exec);
                 ScreenOutcome::from_run(run, f64::NAN)
             }
             Backend::Node { node, strategy } => {
@@ -166,13 +184,8 @@ impl VirtualScreen {
                             inner: CpuEvaluator::new((*self.scorer).clone(), Exec::Pool(threads)),
                             node: node.clone(),
                         };
-                        let run = metaheur::run_traced(
-                            spec.params,
-                            &self.spots,
-                            &mut ev,
-                            self.seed,
-                            &trace,
-                        );
+                        let run =
+                            run_engine(spec.params, &self.spots, &mut ev, self.seed, &trace, exec);
                         ScreenOutcome::from_run(run, node.cpu().clock())
                     }
                     _ => {
@@ -190,13 +203,8 @@ impl VirtualScreen {
                         };
                         let mut ev = DeviceEvaluator::new(devices, self.scorer.clone(), strategy)
                             .with_trace(trace.clone());
-                        let run = metaheur::run_traced(
-                            spec.params,
-                            &self.spots,
-                            &mut ev,
-                            self.seed,
-                            &trace,
-                        );
+                        let run =
+                            run_engine(spec.params, &self.spots, &mut ev, self.seed, &trace, exec);
                         ScreenOutcome::from_run(run, ev.makespan())
                     }
                 }
@@ -323,6 +331,24 @@ impl ScreenOutcome {
     }
 }
 
+/// Dispatch to the classic loop (no exec mode requested — the historical
+/// behavior, untouched) or to the mode-aware entry point
+/// ([`metaheur::run_exec`]), which charges host costs under `Lockstep` and
+/// runs the stage pipeline under `Pipelined`.
+fn run_engine<E: BatchEvaluator + Send>(
+    params: &MetaheuristicParams,
+    spots: &[vsmol::Spot],
+    ev: &mut E,
+    seed: u64,
+    trace: &Trace,
+    exec: Option<EngineExec>,
+) -> metaheur::RunResult {
+    match exec {
+        None => metaheur::run_traced(params, spots, ev, seed, trace),
+        Some(exec) => metaheur::run_exec(params, spots, ev, seed, &[], trace, exec),
+    }
+}
+
 /// CPU-only evaluator that also charges the node's CPU virtual clock — the
 /// paper's OpenMP baseline with timing.
 struct CpuNodeEvaluator {
@@ -343,6 +369,13 @@ impl BatchEvaluator for CpuNodeEvaluator {
 
     fn pairs_per_eval(&self) -> u64 {
         self.inner.pairs_per_eval()
+    }
+
+    fn evaluate_after(&mut self, confs: &mut [Conformation], release: f64) -> f64 {
+        // A batch can't start before the host hands it over.
+        self.node.cpu().sync_to(release);
+        self.evaluate(confs);
+        self.node.cpu().clock()
     }
 }
 
@@ -551,6 +584,46 @@ mod tests {
         assert_eq!(covered, out.ranked.len());
         // Best cluster is seeded by the best pose.
         assert_eq!(out.ranked[clusters[0][0]].score, out.best.score);
+    }
+
+    #[test]
+    fn exec_modes_preserve_search_trajectory() {
+        // The engine execution mode changes *when* work happens, never
+        // *what* is computed: default (no mode), charged Lockstep, and
+        // Pipelined at several depths must all land on bit-identical poses.
+        let s = quick_screen();
+        let node = platform::hertz();
+        let p = metaheur::m1(0.03);
+        let base = s.run(RunSpec::on_node(&p, &node, Strategy::HomogeneousSplit));
+        for exec in [
+            EngineExec::Lockstep,
+            EngineExec::Pipelined { depth: 1 },
+            EngineExec::Pipelined { depth: 2 },
+        ] {
+            let out = s.run(RunSpec::on_node(&p, &node, Strategy::HomogeneousSplit).exec(exec));
+            assert_eq!(base.best.score.to_bits(), out.best.score.to_bits(), "{exec:?}");
+            assert_eq!(base.best.pose, out.best.pose, "{exec:?}");
+            assert_eq!(base.evaluations, out.evaluations, "{exec:?}");
+            assert!(out.virtual_time > 0.0, "{exec:?}");
+        }
+    }
+
+    #[test]
+    fn exec_modes_run_on_every_backend() {
+        let s = quick_screen();
+        let p = metaheur::m1(0.02);
+        let exec = EngineExec::Pipelined { depth: 2 };
+        let cpu = s.run(RunSpec::cpu(&p, 2).exec(exec));
+        assert!(cpu.best.is_scored());
+        let grid = s.run(
+            RunSpec::gridded(&p, vsscore::GridOptions { spacing: 0.75, ..Default::default() })
+                .exec(exec),
+        );
+        assert!(grid.best.is_scored());
+        let node = platform::hertz();
+        let cpu_node = s.run(RunSpec::on_node(&p, &node, Strategy::CpuOnly).exec(exec));
+        assert!(cpu_node.best.is_scored());
+        assert!(cpu_node.virtual_time > 0.0);
     }
 
     #[test]

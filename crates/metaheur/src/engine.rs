@@ -22,6 +22,17 @@ pub struct RunResult {
     pub generations_run: usize,
     /// Items per scoring batch, in submission order. This is the workload
     /// trace the device schedulers in `vsched` partition and replay.
+    ///
+    /// Submission order is part of the contract: under
+    /// [`EngineExec::Lockstep`](crate::pipeline::EngineExec) batches appear
+    /// in the engine's program order (initialize, then per generation:
+    /// offspring, then one batch per improve step). Under
+    /// [`EngineExec::Pipelined`](crate::pipeline::EngineExec) batches appear
+    /// in evaluator-flush order — coalesced across spots at different
+    /// generations — which is deterministic for a fixed seed, spot set and
+    /// pipeline config, but is a *different* order than lockstep.
+    /// `vsched::replay` consumers must not assume the two orders match;
+    /// only the multiset sum (`evaluations`) is mode-invariant.
     pub batch_trace: Vec<u64>,
     /// Global best score after initialization and after each generation.
     pub best_history: Vec<f64>,
@@ -176,6 +187,187 @@ pub fn run_seeded_traced<E: BatchEvaluator>(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-spot operators.
+//
+// The lockstep engine below and the pipelined engine in [`crate::pipeline`]
+// must produce bit-identical per-spot trajectories, so every operation that
+// draws from a spot's RNG stream lives here as a free function over one
+// spot's state. Both engines call these in the same per-spot order; only
+// the batching across spots differs.
+// ---------------------------------------------------------------------------
+
+/// `Initialize` for one spot: `population_per_spot` random conformations
+/// (unscored, in draw order).
+pub(crate) fn seed_spot(
+    params: &MetaheuristicParams,
+    spot: &Spot,
+    rng: &mut RngStream,
+) -> Vec<Conformation> {
+    (0..params.population_per_spot).map(|_| Conformation::random_at(spot, rng)).collect()
+}
+
+/// Two parents from one spot's (sorted) population per the selection
+/// strategy.
+pub(crate) fn pick_parents(
+    params: &MetaheuristicParams,
+    pop: &[Conformation],
+    rng: &mut RngStream,
+) -> (Conformation, Conformation) {
+    match params.select {
+        SelectStrategy::TruncationBest { fraction } => {
+            let pool = ((pop.len() as f64 * fraction).ceil() as usize).clamp(1, pop.len());
+            let i = rng.index(pool);
+            let j = rng.index(pool);
+            (pop[i], pop[j])
+        }
+        SelectStrategy::Tournament { k } => {
+            let pick = |rng: &mut RngStream, pop: &[Conformation]| {
+                let mut best = pop[rng.index(pop.len())];
+                for _ in 1..k {
+                    let c = pop[rng.index(pop.len())];
+                    if c.score < best.score {
+                        best = c;
+                    }
+                }
+                best
+            };
+            (pick(rng, pop), pick(rng, pop))
+        }
+    }
+}
+
+/// `Select` + `Combine` for one spot: `offspring_per_spot` children
+/// (unscored, in draw order).
+pub(crate) fn breed_spot(
+    params: &MetaheuristicParams,
+    spot: &Spot,
+    pop: &[Conformation],
+    rng: &mut RngStream,
+) -> Vec<Conformation> {
+    let mut offspring = Vec::with_capacity(params.offspring_per_spot);
+    for _ in 0..params.offspring_per_spot {
+        let (a, b) = pick_parents(params, pop, rng);
+        let mut child = Conformation::crossover(&a, &b, rng);
+        if rng.chance(params.mutation_prob) {
+            child = child.perturbed(params.max_shift, params.max_angle, rng);
+        }
+        offspring.push(child.clamped_to(spot));
+    }
+    offspring
+}
+
+/// One local-search step's proposals for one spot: a perturbation of each
+/// of the `k` best group members (unscored, in element order).
+pub(crate) fn propose_spot(
+    params: &MetaheuristicParams,
+    spot: &Spot,
+    group: &[Conformation],
+    k: usize,
+    rng: &mut RngStream,
+) -> Vec<Conformation> {
+    group
+        .iter()
+        .take(k)
+        .map(|elem| elem.perturbed(params.max_shift, params.max_angle, rng).clamped_to(spot))
+        .collect()
+}
+
+/// Accept scored proposals into one spot's group per the hill-climb or
+/// simulated-annealing rule at local-search step `step`.
+pub(crate) fn accept_spot(
+    params: &MetaheuristicParams,
+    step: usize,
+    group: &mut [Conformation],
+    cands: &[Conformation],
+    rng: &mut RngStream,
+) {
+    let (sa_t0, sa_cooling) = match params.improve {
+        ImproveStrategy::SimulatedAnnealing { t0, cooling, .. } => (t0, cooling),
+        _ => (0.0, 1.0),
+    };
+    let temp = sa_t0 * sa_cooling.powi(step as i32);
+    for (ei, cand) in cands.iter().enumerate() {
+        let cur = &mut group[ei];
+        let accept = if cand.score < cur.score {
+            true
+        } else if temp > 0.0 {
+            let delta = cand.score - cur.score;
+            rng.chance((-delta / temp).exp())
+        } else {
+            false
+        };
+        if accept {
+            *cur = *cand;
+        }
+    }
+}
+
+/// One Lamarckian step's trial points for one spot: along the gradient
+/// when available, stochastic perturbation otherwise.
+pub(crate) fn lamarckian_trials(
+    params: &MetaheuristicParams,
+    spot: &Spot,
+    current: &[Conformation],
+    grads: Option<&[vsscore::RigidGradient]>,
+    rng: &mut RngStream,
+) -> Vec<Conformation> {
+    use vsmath::{Quat, RigidTransform};
+    let (step_size, angle_step) = match params.improve {
+        ImproveStrategy::Lamarckian { step_size, angle_step, .. } => (step_size, angle_step),
+        // PANICS: callers only reach this under the Lamarckian strategy.
+        _ => unreachable!("lamarckian_trials outside Lamarckian improve"),
+    };
+    match grads {
+        Some(gs) => current
+            .iter()
+            .zip(gs)
+            .map(|(c, g)| {
+                let dir = g.force.normalized().unwrap_or(vsmath::Vec3::ZERO);
+                let t = c.pose.translation + dir * step_size;
+                let rot = match g.torque.normalized() {
+                    Some(axis) => {
+                        (Quat::from_axis_angle(axis, angle_step) * c.pose.rotation).renormalize()
+                    }
+                    None => c.pose.rotation,
+                };
+                Conformation::new(RigidTransform::new(rot, t), c.spot_id).clamped_to(spot)
+            })
+            .collect(),
+        None => current
+            .iter()
+            .map(|c| c.perturbed(params.max_shift, params.max_angle, rng).clamped_to(spot))
+            .collect(),
+    }
+}
+
+/// `Include` for one spot: merge the offspring group into the population
+/// and keep the best `population_per_spot`.
+pub(crate) fn include_spot(p: usize, pop: &mut Vec<Conformation>, group: Vec<Conformation>) {
+    pop.extend(group);
+    pop.sort_by(score_cmp);
+    pop.truncate(p);
+}
+
+/// Inject already-scored warm-start seeds addressed to `spot` into its
+/// population (each replaces the worst member if it improves on it).
+pub(crate) fn inject_seeds_spot(
+    spot: &Spot,
+    pop: &mut [Conformation],
+    seed_confs: &[Conformation],
+) {
+    for c in seed_confs {
+        if !c.is_scored() || c.spot_id != spot.id {
+            continue;
+        }
+        let last = pop.len() - 1;
+        if c.score < pop[last].score {
+            pop[last] = *c;
+            pop.sort_by(score_cmp);
+        }
+    }
+}
+
 struct Engine<'a> {
     params: &'a MetaheuristicParams,
     spots: &'a [Spot],
@@ -223,9 +415,7 @@ impl Engine<'_> {
         let p = self.params.population_per_spot;
         let mut flat: Vec<Conformation> = Vec::with_capacity(p * self.spots.len());
         for (si, spot) in self.spots.iter().enumerate() {
-            for _ in 0..p {
-                flat.push(Conformation::random_at(spot, &mut self.rngs[si]));
-            }
+            flat.extend(seed_spot(self.params, spot, &mut self.rngs[si]));
         }
         self.evaluate_batch(evaluator, &mut flat);
         self.populations = flat.chunks(p).map(|c| c.to_vec()).collect();
@@ -258,16 +448,12 @@ impl Engine<'_> {
         let o = self.params.offspring_per_spot;
         let mut offspring: Vec<Conformation> = Vec::with_capacity(o * self.spots.len());
         for si in 0..self.spots.len() {
-            let spot = &self.spots[si];
-            for _ in 0..o {
-                let (a, b) = self.pick_parents(si);
-                let rng = &mut self.rngs[si];
-                let mut child = Conformation::crossover(&a, &b, rng);
-                if rng.chance(self.params.mutation_prob) {
-                    child = child.perturbed(self.params.max_shift, self.params.max_angle, rng);
-                }
-                offspring.push(child.clamped_to(spot));
-            }
+            offspring.extend(breed_spot(
+                self.params,
+                &self.spots[si],
+                &self.populations[si],
+                &mut self.rngs[si],
+            ));
         }
         self.evaluate_batch(evaluator, &mut offspring);
 
@@ -285,9 +471,7 @@ impl Engine<'_> {
         // Include: merge offspring and keep the best `population_per_spot`.
         let p = self.params.population_per_spot;
         for (pop, group) in self.populations.iter_mut().zip(groups) {
-            pop.extend(group);
-            pop.sort_by(score_cmp);
-            pop.truncate(p);
+            include_spot(p, pop, group);
         }
     }
 
@@ -314,48 +498,32 @@ impl Engine<'_> {
         groups: &mut [Vec<Conformation>],
         k: usize,
     ) {
-        if let ImproveStrategy::Lamarckian { steps, step_size, angle_step } = self.params.improve {
-            self.lamarckian_search(evaluator, groups, k, steps, step_size, angle_step);
+        if let ImproveStrategy::Lamarckian { steps, .. } = self.params.improve {
+            self.lamarckian_search(evaluator, groups, k, steps);
             return;
         }
         let steps = self.params.improve.evals_per_element();
-        let (sa_t0, sa_cooling) = match self.params.improve {
-            ImproveStrategy::SimulatedAnnealing { t0, cooling, .. } => (t0, cooling),
-            _ => (0.0, 1.0),
-        };
 
         for step in 0..steps {
             // Propose one perturbation per improving element.
             let mut proposals: Vec<Conformation> = Vec::new();
-            let mut slots: Vec<(usize, usize)> = Vec::new();
             for (si, group) in groups.iter().enumerate() {
-                let spot = &self.spots[si];
-                for (ei, elem) in group.iter().take(k).enumerate() {
-                    let rng = &mut self.rngs[si];
-                    let cand = elem
-                        .perturbed(self.params.max_shift, self.params.max_angle, rng)
-                        .clamped_to(spot);
-                    proposals.push(cand);
-                    slots.push((si, ei));
-                }
+                proposals.extend(propose_spot(
+                    self.params,
+                    &self.spots[si],
+                    group,
+                    k,
+                    &mut self.rngs[si],
+                ));
             }
             self.evaluate_batch(evaluator, &mut proposals);
 
-            // Accept per hill-climb or SA rule.
-            let temp = sa_t0 * sa_cooling.powi(step as i32);
-            for (cand, (si, ei)) in proposals.into_iter().zip(slots) {
-                let cur = &mut groups[si][ei];
-                let accept = if cand.score < cur.score {
-                    true
-                } else if temp > 0.0 {
-                    let delta = cand.score - cur.score;
-                    self.rngs[si].chance((-delta / temp).exp())
-                } else {
-                    false
-                };
-                if accept {
-                    *cur = cand;
-                }
+            // Accept per hill-climb or SA rule, spot by spot in slot order.
+            let mut off = 0;
+            for (si, group) in groups.iter_mut().enumerate() {
+                let n = group.len().min(k);
+                accept_spot(self.params, step, group, &proposals[off..off + n], &mut self.rngs[si]);
+                off += n;
             }
         }
     }
@@ -370,89 +538,42 @@ impl Engine<'_> {
         groups: &mut [Vec<Conformation>],
         k: usize,
         steps: usize,
-        step_size: f64,
-        angle_step: f64,
     ) {
-        use vsmath::{Quat, RigidTransform};
         for _ in 0..steps {
             // Gather the improving elements across all spots.
             let mut current: Vec<Conformation> = Vec::new();
-            let mut slots: Vec<(usize, usize)> = Vec::new();
-            for (si, group) in groups.iter().enumerate() {
-                for (ei, &elem) in group.iter().take(k).enumerate() {
-                    current.push(elem);
-                    slots.push((si, ei));
-                }
+            let mut counts: Vec<usize> = Vec::with_capacity(groups.len());
+            for group in groups.iter() {
+                let n = group.len().min(k);
+                current.extend_from_slice(&group[..n]);
+                counts.push(n);
             }
             let grads = self.evaluate_batch_gradients(evaluator, &mut current);
 
             // Trial points: along the gradient when available, stochastic
             // perturbation otherwise.
             let mut proposals: Vec<Conformation> = Vec::with_capacity(current.len());
-            match grads {
-                Some(gs) => {
-                    for ((c, g), &(si, _)) in current.iter().zip(&gs).zip(&slots) {
-                        let spot = &self.spots[si];
-                        let dir = g.force.normalized().unwrap_or(vsmath::Vec3::ZERO);
-                        let t = c.pose.translation + dir * step_size;
-                        let rot = match g.torque.normalized() {
-                            Some(axis) => (Quat::from_axis_angle(axis, angle_step)
-                                * c.pose.rotation)
-                                .renormalize(),
-                            None => c.pose.rotation,
-                        };
-                        proposals.push(
-                            Conformation::new(RigidTransform::new(rot, t), c.spot_id)
-                                .clamped_to(spot),
-                        );
-                    }
-                }
-                None => {
-                    for (c, &(si, _)) in current.iter().zip(&slots) {
-                        let spot = &self.spots[si];
-                        let rng = &mut self.rngs[si];
-                        proposals.push(
-                            c.perturbed(self.params.max_shift, self.params.max_angle, rng)
-                                .clamped_to(spot),
-                        );
-                    }
-                }
+            let mut off = 0;
+            for (si, &n) in counts.iter().enumerate() {
+                proposals.extend(lamarckian_trials(
+                    self.params,
+                    &self.spots[si],
+                    &current[off..off + n],
+                    grads.as_ref().map(|gs| &gs[off..off + n]),
+                    &mut self.rngs[si],
+                ));
+                off += n;
             }
             self.evaluate_batch(evaluator, &mut proposals);
-            for ((cand, cur), (si, ei)) in proposals.into_iter().zip(current).zip(slots) {
-                // `cur` carries the freshly evaluated score of the original.
-                if cand.score < cur.score {
-                    groups[si][ei] = cand;
-                } else {
-                    groups[si][ei] = cur;
+            let mut off = 0;
+            for (si, &n) in counts.iter().enumerate() {
+                for ei in 0..n {
+                    // The gathered copy carries the freshly evaluated score
+                    // of the original; keep whichever is better.
+                    let (cand, cur) = (proposals[off + ei], current[off + ei]);
+                    groups[si][ei] = if cand.score < cur.score { cand } else { cur };
                 }
-            }
-        }
-    }
-
-    /// Two parents from spot `si`'s population per the selection strategy.
-    fn pick_parents(&mut self, si: usize) -> (Conformation, Conformation) {
-        let pop = &self.populations[si];
-        let rng = &mut self.rngs[si];
-        match self.params.select {
-            SelectStrategy::TruncationBest { fraction } => {
-                let pool = ((pop.len() as f64 * fraction).ceil() as usize).clamp(1, pop.len());
-                let i = rng.index(pool);
-                let j = rng.index(pool);
-                (pop[i], pop[j])
-            }
-            SelectStrategy::Tournament { k } => {
-                let pick = |rng: &mut RngStream, pop: &[Conformation]| {
-                    let mut best = pop[rng.index(pop.len())];
-                    for _ in 1..k {
-                        let c = pop[rng.index(pop.len())];
-                        if c.score < best.score {
-                            best = c;
-                        }
-                    }
-                    best
-                };
-                (pick(rng, pop), pick(rng, pop))
+                off += n;
             }
         }
     }

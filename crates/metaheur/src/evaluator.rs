@@ -32,6 +32,21 @@ pub trait BatchEvaluator {
         let _ = confs;
         None
     }
+
+    /// Score a *streamed* batch that becomes ready at virtual time
+    /// `release` (seconds on the evaluator's device clocks): the batch may
+    /// not start executing before `release`, and the returned value is its
+    /// virtual completion time. This is how the pipelined engine
+    /// ([`crate::pipeline`]) threads host-side stage clocks through the
+    /// device scheduler so overlap (and the lack of it in lockstep mode)
+    /// shows up as measured device idle time.
+    ///
+    /// Backends without a virtual clock just score and echo `release`;
+    /// scores are identical to [`BatchEvaluator::evaluate`] either way.
+    fn evaluate_after(&mut self, confs: &mut [Conformation], release: f64) -> f64 {
+        self.evaluate(confs);
+        release
+    }
 }
 
 impl<E: BatchEvaluator + ?Sized> BatchEvaluator for Box<E> {
@@ -48,6 +63,10 @@ impl<E: BatchEvaluator + ?Sized> BatchEvaluator for Box<E> {
         confs: &mut [Conformation],
     ) -> Option<Vec<RigidGradient>> {
         (**self).evaluate_with_gradients(confs)
+    }
+
+    fn evaluate_after(&mut self, confs: &mut [Conformation], release: f64) -> f64 {
+        (**self).evaluate_after(confs, release)
     }
 }
 

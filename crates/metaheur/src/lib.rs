@@ -37,10 +37,13 @@ pub mod engine;
 pub mod evaluator;
 pub mod hybrid;
 pub mod params;
+pub mod pipeline;
 pub mod pso;
 pub mod suite;
 pub mod tabu;
 pub mod tuning;
+
+mod sync;
 
 pub use engine::{run, run_seeded, run_seeded_traced, run_traced, RunResult};
 pub use evaluator::{
@@ -48,6 +51,7 @@ pub use evaluator::{
 };
 pub use hybrid::{run_memetic, MemeticParams};
 pub use params::{EndCondition, ImproveStrategy, MetaheuristicParams, SelectStrategy};
+pub use pipeline::{run_exec, run_exec_cfg, run_pipelined, EngineExec, HostCosts, PipelineConfig};
 pub use pso::{run_pso, PsoParams};
 pub use suite::{m1, m2, m3, m4, paper_suite};
 pub use tabu::{run_tabu, run_tabu_from, TabuParams};

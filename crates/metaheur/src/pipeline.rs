@@ -1,0 +1,1483 @@
+//! Pipelined generational engine: channel-connected stages that overlap
+//! variation with scoring (DESIGN.md §12).
+//!
+//! The lockstep engine in [`crate::engine`] alternates host phases
+//! (Select/Combine/Improve proposal construction) with device phases
+//! (batch scoring): while the host breeds generation N+1, every device
+//! sits idle, and while the devices score, the host waits. This module
+//! restructures the engine into a ring of four stages connected by
+//! bounded SPSC channels:
+//!
+//! ```text
+//!   selector(driver) → seeder → breeder → evaluator → selector …
+//! ```
+//!
+//! Each surface spot circulates as a token carrying its population, RNG
+//! stream and per-lap scoring batch. Independent spots advance through
+//! their generations asynchronously — spot A can breed generation 5 while
+//! spot B's generation 3 proposals are still on a device — so the
+//! evaluator stage always has work and per-device deques never drain at a
+//! generation boundary.
+//!
+//! # Determinism contract
+//!
+//! *Per-spot* trajectories are bit-identical to the lockstep engine: every
+//! RNG draw a spot makes happens in exactly the order the lockstep engine
+//! would make it (the two engines share the per-spot operators in
+//! [`crate::engine`]). Under [`EndCondition::Generations`] every spot runs
+//! the same number of generations in both modes, so `best`,
+//! `best_per_spot`, `best_history`, `diversity_history` and `evaluations`
+//! are bit-identical across modes. What *does* differ is batch
+//! composition: the evaluator coalesces batches across spots at different
+//! generations, so `batch_trace` is a different (but still deterministic)
+//! sequence — see [`RunResult::batch_trace`].
+//!
+//! Under [`EndCondition::Convergence`] the lockstep engine stops on
+//! *global* staleness while the pipelined engine retires each spot on its
+//! own staleness (a global check would reintroduce the barrier), so
+//! results agree only within search tolerance.
+//!
+//! # Deadlock freedom
+//!
+//! All four channels hold at most `depth` tokens and at most `4·depth`
+//! tokens are admitted to the ring at once. A send-cycle deadlock needs
+//! every channel full plus one token held by each of the four blocked
+//! stages — `4·depth + 4` tokens, more than can exist. Retiring spots
+//! make one final farewell lap (phase [`Phase::Retire`]) so the evaluator
+//! can track the live-token count it needs for its flush rule; farewell
+//! tokens are replaced, not added, preserving the bound. The `model_*`
+//! tests exhaustively check the channel protocol under the `vscheck-model`
+//! feature.
+
+use crate::engine::{
+    self, accept_spot, breed_spot, include_spot, inject_seeds_spot, lamarckian_trials,
+    propose_spot, seed_spot, RunResult,
+};
+use crate::evaluator::BatchEvaluator;
+use crate::params::{improved_count, EndCondition, ImproveStrategy, MetaheuristicParams};
+use crate::sync::{Condvar, Mutex};
+use std::collections::VecDeque;
+use vsmath::RngStream;
+use vsmol::{conformation::score_cmp, Conformation, Spot};
+use vstrace::{Event, Trace};
+
+/// Execution mode for the generational engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineExec {
+    /// The classic engine: every scoring batch is a barrier between the
+    /// host's variation/selection work and the devices. Trajectories are
+    /// bit-identical to [`crate::run`] (Tables 6–9 reproduce exactly).
+    #[default]
+    Lockstep,
+    /// The stage pipeline with channels of capacity `depth`. Overlaps
+    /// variation of one generation with scoring of another; per-spot
+    /// deterministic (see the module docs for the exact contract).
+    Pipelined {
+        /// Bounded capacity of each stage channel (≥ 1).
+        depth: usize,
+    },
+}
+
+impl std::str::FromStr for EngineExec {
+    type Err = String;
+
+    /// Parse `lockstep`, `pipelined` or `pipelined:<depth>` (the CLI
+    /// syntax of `dock --exec`).
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "lockstep" => Ok(EngineExec::Lockstep),
+            "pipelined" => Ok(EngineExec::Pipelined { depth: PipelineConfig::DEFAULT_DEPTH }),
+            other => match other.strip_prefix("pipelined:") {
+                Some(d) => d
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad pipeline depth {d:?}: {e}"))
+                    .map(|depth| EngineExec::Pipelined { depth: depth.max(1) }),
+                None => Err(format!("unknown exec mode {other:?} (lockstep | pipelined[:depth])")),
+            },
+        }
+    }
+}
+
+/// Modeled host-side costs, charged on the engine's virtual-time axis so
+/// lockstep and pipelined runs are compared honestly: both modes charge
+/// the *same* per-conformation variation/selection work and per-batch
+/// submission overhead; they differ only in whether that host time
+/// serializes with device time (lockstep) or overlaps it (pipelined).
+#[derive(Debug, Clone, Copy)]
+pub struct HostCosts {
+    /// Host seconds to construct one conformation (Select/Combine draw,
+    /// crossover, perturbation) on the seeder/breeder stages.
+    pub variation_per_conf_s: f64,
+    /// Host seconds to sort/accept/include one scored conformation on the
+    /// selector stage.
+    pub select_per_conf_s: f64,
+    /// Fixed host seconds to marshal and submit one scoring batch.
+    pub submit_per_batch_s: f64,
+}
+
+impl Default for HostCosts {
+    fn default() -> Self {
+        // Calibrated against the gpusim pair-sweep model so host work is a
+        // comparable fraction of device time on the Table 5 complexes —
+        // the regime where the per-generation barrier actually hurts.
+        HostCosts {
+            variation_per_conf_s: 3.0e-7,
+            select_per_conf_s: 1.0e-7,
+            submit_per_batch_s: 1.0e-5,
+        }
+    }
+}
+
+impl HostCosts {
+    /// Total host seconds the lockstep engine charges for one batch of
+    /// `n` conformations (variation + selection + submission).
+    fn lockstep_batch_s(&self, n: usize) -> f64 {
+        n as f64 * (self.variation_per_conf_s + self.select_per_conf_s) + self.submit_per_batch_s
+    }
+}
+
+/// Tunables of the pipelined engine.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Bounded capacity of each stage channel; at most `4·depth` spot
+    /// tokens circulate at once.
+    pub depth: usize,
+    /// The evaluator coalesces per-spot batches until at least this many
+    /// conformations are pending (or every live token has arrived), then
+    /// submits them as one scoring batch — keeping device occupancy close
+    /// to the lockstep engine's spot-spanning batches.
+    pub coalesce_items: usize,
+    /// Host-side cost model shared by both execution modes.
+    pub costs: HostCosts,
+}
+
+impl PipelineConfig {
+    /// Default channel depth used by `EngineExec::Pipelined` when parsed
+    /// from `"pipelined"` without an explicit depth.
+    pub const DEFAULT_DEPTH: usize = 2;
+
+    /// A config with the given channel depth and default coalescing/costs.
+    pub fn with_depth(depth: usize) -> PipelineConfig {
+        PipelineConfig { depth: depth.max(1), ..PipelineConfig::default() }
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            depth: Self::DEFAULT_DEPTH,
+            coalesce_items: 512,
+            costs: HostCosts::default(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bounded stage channel.
+// ---------------------------------------------------------------------------
+
+struct ChannelState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO channel between two pipeline stages (used SPSC here,
+/// though the protocol is safe for any number of endpoints). `send` blocks
+/// on a full queue (backpressure — this is what throttles how far ahead
+/// the variation stages can run), `recv` blocks on an empty one. Closing
+/// wakes all waiters: pending items can still be drained, further sends
+/// return the rejected value so no batch is silently lost on teardown.
+pub(crate) struct Channel<T> {
+    state: Mutex<ChannelState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+    stage: &'static str,
+    trace: Trace,
+}
+
+impl<T> Channel<T> {
+    pub(crate) fn new(cap: usize, stage: &'static str, trace: Trace) -> Channel<T> {
+        Channel {
+            state: Mutex::new(ChannelState { queue: VecDeque::with_capacity(cap), closed: false }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap: cap.max(1),
+            stage,
+            trace,
+        }
+    }
+
+    /// Blocking send. Returns the value back if the channel was closed
+    /// before it could be enqueued.
+    pub(crate) fn send(&self, value: T) -> Result<(), T> {
+        // PANICS: lock poisoning means a stage already panicked; propagate.
+        let mut st = self.state.lock().expect("stage channel poisoned");
+        loop {
+            if st.closed {
+                return Err(value);
+            }
+            if st.queue.len() < self.cap {
+                break;
+            }
+            // PANICS: lock poisoning means a stage already panicked.
+            st = self.not_full.wait(st).expect("stage channel poisoned");
+        }
+        st.queue.push_back(value);
+        let depth = st.queue.len() as u32;
+        self.not_empty.notify_one();
+        drop(st);
+        self.trace.emit(Event::StageDepth { stage: self.stage, depth });
+        Ok(())
+    }
+
+    /// Blocking receive; `None` once the channel is closed *and* drained.
+    pub(crate) fn recv(&self) -> Option<T> {
+        // PANICS: lock poisoning means a stage already panicked; propagate.
+        let mut st = self.state.lock().expect("stage channel poisoned");
+        loop {
+            if let Some(v) = st.queue.pop_front() {
+                self.not_full.notify_one();
+                return Some(v);
+            }
+            if st.closed {
+                return None;
+            }
+            // PANICS: lock poisoning means a stage already panicked.
+            st = self.not_empty.wait(st).expect("stage channel poisoned");
+        }
+    }
+
+    /// Close the channel and wake every blocked sender/receiver.
+    pub(crate) fn close(&self) {
+        // PANICS: lock poisoning means a stage already panicked; propagate.
+        let mut st = self.state.lock().expect("stage channel poisoned");
+        st.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// Closes a channel when dropped, so a panicking stage tears the ring
+/// down instead of deadlocking its neighbours.
+struct CloseGuard<'a, T>(&'a Channel<T>);
+
+impl<T> Drop for CloseGuard<'_, T> {
+    fn drop(&mut self) {
+        self.0.close();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spot tokens.
+// ---------------------------------------------------------------------------
+
+/// What the next lap around the ring does for this token. Every lap except
+/// the farewell [`Phase::Retire`] lap carries a batch to score, so the
+/// evaluator stage sees a continuous stream of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Seeder builds the initial population batch.
+    Seed,
+    /// Breeder builds the offspring batch (Select + Combine).
+    Breed,
+    /// Breeder builds one local-search step's perturbation proposals.
+    Propose,
+    /// Breeder copies the improving elements out for a gradient batch
+    /// (Lamarckian step, first half).
+    LamGather,
+    /// Breeder builds gradient-directed trial moves (Lamarckian step,
+    /// second half).
+    LamPropose,
+    /// Farewell lap: no batch; the evaluator decrements its live-token
+    /// count and the selector harvests the final population.
+    Retire,
+}
+
+/// One surface spot circulating through the ring.
+struct SpotToken {
+    si: usize,
+    phase: Phase,
+    /// Set on tokens admitted after the initial wave (the evaluator bumps
+    /// its live count on first sight).
+    fresh: bool,
+    rng: RngStream,
+    /// Sorted population (the lockstep engine's `populations[si]`).
+    pop: Vec<Conformation>,
+    /// Offspring group being improved this generation.
+    group: Vec<Conformation>,
+    /// Lamarckian: freshly scored originals from the gather half-step.
+    saved: Vec<Conformation>,
+    /// Lamarckian: gradients for `saved` (None → stochastic fallback).
+    grads: Option<Vec<vsscore::RigidGradient>>,
+    /// This lap's scoring payload.
+    batch: Vec<Conformation>,
+    /// This lap's batch wants gradients (Lamarckian gather).
+    wants_grads: bool,
+    /// Improving elements per group this generation.
+    k: usize,
+    /// Local-search step within the current improve phase.
+    step: usize,
+    /// Generations completed.
+    gen: usize,
+    stale: usize,
+    best_so_far: f64,
+    /// Virtual time at which this token's current contents are ready
+    /// (drives the host↔device overlap accounting).
+    ready_vt: f64,
+}
+
+impl SpotToken {
+    fn new(si: usize, spot: &Spot, seed: u64, fresh: bool) -> Box<SpotToken> {
+        Box::new(SpotToken {
+            si,
+            phase: Phase::Seed,
+            fresh,
+            rng: RngStream::derive(seed, spot.id as u64 + 1),
+            pop: Vec::new(),
+            group: Vec::new(),
+            saved: Vec::new(),
+            grads: None,
+            batch: Vec::new(),
+            wants_grads: false,
+            k: 0,
+            step: 0,
+            gen: 0,
+            stale: 0,
+            best_so_far: f64::INFINITY,
+            ready_vt: 0.0,
+        })
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ImproveKind {
+    None,
+    Climb { steps: usize },
+    Lamarck { steps: usize },
+}
+
+fn improve_kind(params: &MetaheuristicParams) -> ImproveKind {
+    match params.improve {
+        ImproveStrategy::None => ImproveKind::None,
+        ImproveStrategy::HillClimb { steps } => ImproveKind::Climb { steps },
+        ImproveStrategy::SimulatedAnnealing { steps, .. } => ImproveKind::Climb { steps },
+        ImproveStrategy::Lamarckian { steps, .. } => ImproveKind::Lamarck { steps },
+    }
+}
+
+impl ImproveKind {
+    fn steps(self) -> usize {
+        match self {
+            ImproveKind::None => 0,
+            ImproveKind::Climb { steps } | ImproveKind::Lamarck { steps } => steps,
+        }
+    }
+
+    fn first_phase(self) -> Phase {
+        match self {
+            ImproveKind::None => Phase::Breed, // unreachable: gated on steps() > 0
+            ImproveKind::Climb { .. } => Phase::Propose,
+            ImproveKind::Lamarck { .. } => Phase::LamGather,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// Run the generational engine in the chosen execution mode. Both arms
+/// charge the [`HostCosts`] model so their virtual-time traces compare
+/// honestly; `EngineExec::Lockstep` otherwise produces bit-identical
+/// results to [`crate::run_seeded_traced`].
+pub fn run_exec<E: BatchEvaluator + Send>(
+    params: &MetaheuristicParams,
+    spots: &[Spot],
+    evaluator: &mut E,
+    seed: u64,
+    seed_confs: &[Conformation],
+    trace: &Trace,
+    exec: EngineExec,
+) -> RunResult {
+    run_exec_cfg(
+        params,
+        spots,
+        evaluator,
+        seed,
+        seed_confs,
+        trace,
+        exec,
+        &PipelineConfig::default(),
+    )
+}
+
+/// [`run_exec`] with explicit pipeline tunables (an explicit
+/// `EngineExec::Pipelined { depth }` overrides `cfg.depth`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_exec_cfg<E: BatchEvaluator + Send>(
+    params: &MetaheuristicParams,
+    spots: &[Spot],
+    evaluator: &mut E,
+    seed: u64,
+    seed_confs: &[Conformation],
+    trace: &Trace,
+    exec: EngineExec,
+    cfg: &PipelineConfig,
+) -> RunResult {
+    match exec {
+        EngineExec::Lockstep => {
+            let mut staged = StagedHost {
+                inner: evaluator,
+                costs: cfg.costs,
+                host_vt: 0.0,
+                last_completion: 0.0,
+            };
+            engine::run_seeded_traced(params, spots, &mut staged, seed, seed_confs, trace)
+        }
+        EngineExec::Pipelined { depth } => {
+            let cfg = PipelineConfig { depth: depth.max(1), ..*cfg };
+            run_pipelined(params, spots, evaluator, seed, seed_confs, trace, &cfg)
+        }
+    }
+}
+
+/// Wraps an evaluator so the lockstep engine's host phases are charged on
+/// the virtual-time axis: each batch submission is released only after
+/// the host has re-done selection on the previous results and bred the
+/// batch — exactly the serialization the pipeline removes.
+struct StagedHost<'e, E: ?Sized> {
+    inner: &'e mut E,
+    costs: HostCosts,
+    host_vt: f64,
+    last_completion: f64,
+}
+
+impl<E: BatchEvaluator + ?Sized> BatchEvaluator for StagedHost<'_, E> {
+    fn evaluate(&mut self, confs: &mut [Conformation]) {
+        self.host_vt =
+            self.host_vt.max(self.last_completion) + self.costs.lockstep_batch_s(confs.len());
+        self.last_completion = self.inner.evaluate_after(confs, self.host_vt);
+    }
+
+    fn evaluate_with_gradients(
+        &mut self,
+        confs: &mut [Conformation],
+    ) -> Option<Vec<vsscore::RigidGradient>> {
+        let grads = self.inner.evaluate_with_gradients(confs);
+        if grads.is_some() {
+            // Host-evaluated gradients: charge the host work, no device
+            // release involved. The None fallback re-enters `evaluate`,
+            // which charges there instead.
+            self.host_vt =
+                self.host_vt.max(self.last_completion) + self.costs.lockstep_batch_s(confs.len());
+            self.last_completion = self.host_vt;
+        }
+        grads
+    }
+
+    fn pairs_per_eval(&self) -> u64 {
+        self.inner.pairs_per_eval()
+    }
+}
+
+/// Run the stage pipeline. See the module docs for topology, determinism
+/// and deadlock-freedom arguments.
+pub fn run_pipelined<E: BatchEvaluator + Send>(
+    params: &MetaheuristicParams,
+    spots: &[Spot],
+    evaluator: &mut E,
+    seed: u64,
+    seed_confs: &[Conformation],
+    trace: &Trace,
+    cfg: &PipelineConfig,
+) -> RunResult {
+    // PANICS: invalid parameters are a caller programming error; fail fast.
+    params.validate().expect("invalid metaheuristic parameters");
+    assert!(!spots.is_empty(), "need at least one spot");
+
+    let depth = cfg.depth.max(1);
+    let admit = 4 * depth;
+    let wave = admit.min(spots.len());
+    let costs = cfg.costs;
+    let coalesce = cfg.coalesce_items.max(1);
+
+    let c_seed: Channel<Box<SpotToken>> = Channel::new(depth, "seed", trace.clone());
+    let c_breed: Channel<Box<SpotToken>> = Channel::new(depth, "breed", trace.clone());
+    let c_eval: Channel<Box<SpotToken>> = Channel::new(depth, "score", trace.clone());
+    let c_out: Channel<Box<SpotToken>> = Channel::new(depth, "select", trace.clone());
+
+    let (evaluations, batch_trace, driver) = std::thread::scope(|scope| {
+        let (cs, cb, ce, co) = (&c_seed, &c_breed, &c_eval, &c_out);
+        let seeder = scope.spawn(move || seeder_loop(params, spots, cs, cb, trace, costs));
+        let breeder = scope.spawn(move || breeder_loop(params, spots, cb, ce, trace, costs));
+        let ev = &mut *evaluator;
+        let scorer = scope.spawn(move || evaluator_loop(ev, ce, co, wave, coalesce, trace, costs));
+
+        let mut driver = Driver::new(params, spots, seed_confs, trace, costs);
+        driver.drive(seed, wave, &c_seed, &c_out);
+
+        // Shut the ring down: the close cascades seeder → breeder →
+        // evaluator via each stage's exit path.
+        c_seed.close();
+        // PANICS: propagate a stage panic to the caller.
+        seeder.join().expect("seeder stage panicked");
+        breeder.join().expect("breeder stage panicked");
+        // PANICS: propagate a stage panic to the caller.
+        let (evaluations, batch_trace) = scorer.join().expect("evaluator stage panicked");
+        (evaluations, batch_trace, driver)
+    });
+
+    driver.into_result(params, evaluations, batch_trace)
+}
+
+// ---------------------------------------------------------------------------
+// Stage loops.
+// ---------------------------------------------------------------------------
+
+fn seeder_loop(
+    params: &MetaheuristicParams,
+    spots: &[Spot],
+    input: &Channel<Box<SpotToken>>,
+    output: &Channel<Box<SpotToken>>,
+    trace: &Trace,
+    costs: HostCosts,
+) {
+    let _close_in = CloseGuard(input);
+    let _close_out = CloseGuard(output);
+    let _span = trace.span("stage:seed");
+    let mut clock = 0.0f64;
+    while let Some(mut tok) = input.recv() {
+        if tok.phase == Phase::Seed {
+            tok.batch = seed_spot(params, &spots[tok.si], &mut tok.rng);
+            tok.wants_grads = false;
+            clock = clock.max(tok.ready_vt) + tok.batch.len() as f64 * costs.variation_per_conf_s;
+            tok.ready_vt = clock;
+        }
+        if output.send(tok).is_err() {
+            break;
+        }
+    }
+}
+
+fn breeder_loop(
+    params: &MetaheuristicParams,
+    spots: &[Spot],
+    input: &Channel<Box<SpotToken>>,
+    output: &Channel<Box<SpotToken>>,
+    trace: &Trace,
+    costs: HostCosts,
+) {
+    let _close_in = CloseGuard(input);
+    let _close_out = CloseGuard(output);
+    let _span = trace.span("stage:breed");
+    let mut clock = 0.0f64;
+    while let Some(mut tok) = input.recv() {
+        let spot = &spots[tok.si];
+        let built = match tok.phase {
+            Phase::Breed => {
+                tok.batch = breed_spot(params, spot, &tok.pop, &mut tok.rng);
+                tok.wants_grads = false;
+                true
+            }
+            Phase::Propose => {
+                tok.batch = propose_spot(params, spot, &tok.group, tok.k, &mut tok.rng);
+                tok.wants_grads = false;
+                true
+            }
+            Phase::LamGather => {
+                let n = tok.group.len().min(tok.k);
+                tok.batch = tok.group[..n].to_vec();
+                tok.wants_grads = true;
+                true
+            }
+            Phase::LamPropose => {
+                tok.batch =
+                    lamarckian_trials(params, spot, &tok.saved, tok.grads.as_deref(), &mut tok.rng);
+                tok.wants_grads = false;
+                true
+            }
+            Phase::Seed | Phase::Retire => false,
+        };
+        if built {
+            clock = clock.max(tok.ready_vt) + tok.batch.len() as f64 * costs.variation_per_conf_s;
+            tok.ready_vt = clock;
+        }
+        if output.send(tok).is_err() {
+            break;
+        }
+    }
+}
+
+fn evaluator_loop<E: BatchEvaluator>(
+    evaluator: &mut E,
+    input: &Channel<Box<SpotToken>>,
+    output: &Channel<Box<SpotToken>>,
+    initial_live: usize,
+    coalesce: usize,
+    trace: &Trace,
+    costs: HostCosts,
+) -> (u64, Vec<u64>) {
+    let _close_in = CloseGuard(input);
+    let _close_out = CloseGuard(output);
+    let _span = trace.span("stage:score");
+    let mut live = initial_live;
+    let mut buf: Vec<Box<SpotToken>> = Vec::new();
+    let mut pending_items = 0usize;
+    let mut clock = 0.0f64;
+    let mut evaluations = 0u64;
+    let mut batch_trace: Vec<u64> = Vec::new();
+    let mut alive = true;
+
+    while let Some(mut tok) = input.recv() {
+        if tok.fresh {
+            tok.fresh = false;
+            live += 1;
+        }
+        if tok.phase == Phase::Retire {
+            live -= 1;
+            if output.send(tok).is_err() {
+                alive = false;
+                break;
+            }
+        } else {
+            pending_items += tok.batch.len();
+            buf.push(tok);
+        }
+        // Flush when enough work is pending to keep the devices saturated,
+        // or when every live token has arrived (waiting longer could not
+        // grow the batch — and guarantees progress at any fleet size).
+        if !buf.is_empty() && (pending_items >= coalesce || buf.len() >= live) {
+            if !flush(
+                evaluator,
+                &mut buf,
+                &mut clock,
+                &mut evaluations,
+                &mut batch_trace,
+                output,
+                costs,
+            ) {
+                alive = false;
+                break;
+            }
+            pending_items = 0;
+        }
+    }
+    // Teardown: never lose a buffered batch (a stage upstream may have
+    // closed early on a panic; the tokens still carry spot state).
+    if alive && !buf.is_empty() {
+        flush(evaluator, &mut buf, &mut clock, &mut evaluations, &mut batch_trace, output, costs);
+    }
+    (evaluations, batch_trace)
+}
+
+/// Score everything pending: one coalesced submission for the plain
+/// batches, one for the gradient batches, then forward every token in
+/// arrival order. Returns false if the downstream channel closed.
+// Tokens stay boxed: `buf` is a staging area for channel items and every
+// entry is forwarded into the boxed `output` channel untouched.
+#[allow(clippy::vec_box)]
+fn flush<E: BatchEvaluator>(
+    evaluator: &mut E,
+    buf: &mut Vec<Box<SpotToken>>,
+    clock: &mut f64,
+    evaluations: &mut u64,
+    batch_trace: &mut Vec<u64>,
+    output: &Channel<Box<SpotToken>>,
+    costs: HostCosts,
+) -> bool {
+    for grad_class in [false, true] {
+        let idxs: Vec<usize> = buf
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.wants_grads == grad_class && !t.batch.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        if idxs.is_empty() {
+            continue;
+        }
+        let mut flat: Vec<Conformation> = Vec::new();
+        let mut ranges: Vec<(usize, usize, usize)> = Vec::with_capacity(idxs.len());
+        let mut release = 0.0f64;
+        for &i in &idxs {
+            let start = flat.len();
+            flat.extend_from_slice(&buf[i].batch);
+            ranges.push((i, start, flat.len()));
+            release = release.max(buf[i].ready_vt);
+        }
+        // The submission leaves the host once the latest contributor is
+        // ready; scoring completes at the device's pace after that.
+        *clock = clock.max(release) + costs.submit_per_batch_s;
+        let completion = if grad_class {
+            match evaluator.evaluate_with_gradients(&mut flat) {
+                Some(gs) => {
+                    for &(i, s, e) in &ranges {
+                        buf[i].grads = Some(gs[s..e].to_vec());
+                    }
+                    *clock
+                }
+                None => {
+                    // Fallback path still needs the scores (same
+                    // accounting as the lockstep engine: one batch).
+                    for &(i, ..) in &ranges {
+                        buf[i].grads = None;
+                    }
+                    evaluator.evaluate_after(&mut flat, *clock)
+                }
+            }
+        } else {
+            evaluator.evaluate_after(&mut flat, *clock)
+        };
+        *evaluations += flat.len() as u64;
+        batch_trace.push(flat.len() as u64);
+        for (i, s, e) in ranges {
+            buf[i].batch.copy_from_slice(&flat[s..e]);
+            buf[i].ready_vt = completion;
+        }
+    }
+    for tok in buf.drain(..) {
+        if output.send(tok).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+// ---------------------------------------------------------------------------
+// The selector/driver.
+// ---------------------------------------------------------------------------
+
+struct Driver<'a> {
+    params: &'a MetaheuristicParams,
+    spots: &'a [Spot],
+    seed_confs: &'a [Conformation],
+    trace: &'a Trace,
+    costs: HostCosts,
+    improve: ImproveKind,
+    max_gens: usize,
+    clock: f64,
+    /// Per-spot best score after init and after each generation.
+    hist: Vec<Vec<f64>>,
+    /// Per-spot translation diversity at the same checkpoints.
+    div: Vec<Vec<f64>>,
+    /// Per-spot cumulative evaluations at the same checkpoints.
+    evals: Vec<Vec<u64>>,
+    evals_cum: Vec<u64>,
+    /// `completed[j]` = spots that have finished generation `j` (1-based);
+    /// index 0 (initialization) starts complete.
+    completed: Vec<usize>,
+    next_gd: usize,
+    pops: Vec<Option<Vec<Conformation>>>,
+    harvested: usize,
+}
+
+enum Handled {
+    Recirculate,
+    Harvested,
+}
+
+impl<'a> Driver<'a> {
+    fn new(
+        params: &'a MetaheuristicParams,
+        spots: &'a [Spot],
+        seed_confs: &'a [Conformation],
+        trace: &'a Trace,
+        costs: HostCosts,
+    ) -> Driver<'a> {
+        let n = spots.len();
+        Driver {
+            params,
+            spots,
+            seed_confs,
+            trace,
+            costs,
+            improve: improve_kind(params),
+            max_gens: params.end.max_generations(),
+            clock: 0.0,
+            hist: vec![Vec::new(); n],
+            div: vec![Vec::new(); n],
+            evals: vec![Vec::new(); n],
+            evals_cum: vec![0; n],
+            completed: vec![n],
+            next_gd: 1,
+            pops: (0..n).map(|_| None).collect(),
+            harvested: 0,
+        }
+    }
+
+    /// Admit the initial wave, then process scored tokens until every spot
+    /// has been harvested (or a stage dies, detected as a closed channel).
+    fn drive(
+        &mut self,
+        seed: u64,
+        wave: usize,
+        c_seed: &Channel<Box<SpotToken>>,
+        c_out: &Channel<Box<SpotToken>>,
+    ) {
+        let _span = self.trace.span("stage:select");
+        let mut next_spot = wave;
+        for si in 0..wave {
+            if c_seed.send(SpotToken::new(si, &self.spots[si], seed, false)).is_err() {
+                return;
+            }
+        }
+        while self.harvested < self.spots.len() {
+            let Some(mut tok) = c_out.recv() else { return };
+            match self.handle(&mut tok) {
+                Handled::Recirculate => {
+                    if c_seed.send(tok).is_err() {
+                        return;
+                    }
+                }
+                Handled::Harvested => {
+                    if next_spot < self.spots.len() {
+                        let t = SpotToken::new(next_spot, &self.spots[next_spot], seed, true);
+                        next_spot += 1;
+                        if c_seed.send(t).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle(&mut self, tok: &mut SpotToken) -> Handled {
+        if tok.phase == Phase::Retire {
+            self.pops[tok.si] = Some(std::mem::take(&mut tok.pop));
+            self.harvested += 1;
+            return Handled::Harvested;
+        }
+        // Selection work on the scored batch happens on the selector's
+        // own clock, after the batch's scores are available.
+        self.clock =
+            self.clock.max(tok.ready_vt) + tok.batch.len() as f64 * self.costs.select_per_conf_s;
+        tok.ready_vt = self.clock;
+        self.evals_cum[tok.si] += tok.batch.len() as u64;
+
+        match tok.phase {
+            Phase::Seed => {
+                let mut pop = std::mem::take(&mut tok.batch);
+                pop.sort_by(score_cmp);
+                inject_seeds_spot(&self.spots[tok.si], &mut pop, self.seed_confs);
+                tok.best_so_far = pop[0].score;
+                self.record_init(tok.si, &pop);
+                tok.pop = pop;
+                self.after_init(tok);
+            }
+            Phase::Breed => {
+                let mut group = std::mem::take(&mut tok.batch);
+                group.sort_by(score_cmp);
+                tok.group = group;
+                tok.k =
+                    improved_count(self.params.offspring_per_spot, self.params.improve_fraction);
+                if tok.k > 0 && self.improve.steps() > 0 {
+                    tok.step = 0;
+                    tok.phase = self.improve.first_phase();
+                } else {
+                    self.include_and_advance(tok);
+                }
+            }
+            Phase::Propose => {
+                let cands = std::mem::take(&mut tok.batch);
+                accept_spot(self.params, tok.step, &mut tok.group, &cands, &mut tok.rng);
+                tok.step += 1;
+                if tok.step < self.improve.steps() {
+                    tok.phase = Phase::Propose;
+                } else {
+                    self.end_improve(tok);
+                }
+            }
+            Phase::LamGather => {
+                tok.saved = std::mem::take(&mut tok.batch);
+                tok.phase = Phase::LamPropose;
+            }
+            Phase::LamPropose => {
+                let cands = std::mem::take(&mut tok.batch);
+                for ((dst, &cand), &cur) in tok.group.iter_mut().zip(&cands).zip(&tok.saved) {
+                    // The gathered copy carries the freshly evaluated score
+                    // of the original; keep whichever is better.
+                    *dst = if cand.score < cur.score { cand } else { cur };
+                }
+                tok.saved.clear();
+                tok.grads = None;
+                tok.step += 1;
+                if tok.step < self.improve.steps() {
+                    tok.phase = Phase::LamGather;
+                } else {
+                    self.end_improve(tok);
+                }
+            }
+            Phase::Retire => unreachable!("handled above"),
+        }
+        Handled::Recirculate
+    }
+
+    /// After the initial population is in place: branch into the M4
+    /// single-pass improve, straight retirement (zero generations), or the
+    /// generational loop.
+    fn after_init(&mut self, tok: &mut SpotToken) {
+        if self.params.single_pass {
+            let k = improved_count(self.params.population_per_spot, self.params.improve_fraction);
+            if k > 0 && self.improve.steps() > 0 {
+                tok.group = std::mem::take(&mut tok.pop);
+                tok.k = k;
+                tok.step = 0;
+                tok.phase = self.improve.first_phase();
+            } else {
+                // Improve is a no-op; the lockstep engine still records a
+                // second (unchanged) diversity checkpoint.
+                let d = self.div[tok.si][0];
+                self.div[tok.si].push(d);
+                tok.phase = Phase::Retire;
+            }
+        } else if self.max_gens == 0 {
+            tok.phase = Phase::Retire;
+        } else {
+            tok.phase = Phase::Breed;
+        }
+    }
+
+    /// The improve loop for this generation (or the M4 single pass) is
+    /// done: fold the group back and decide what happens next.
+    fn end_improve(&mut self, tok: &mut SpotToken) {
+        if self.params.single_pass {
+            let mut pop = std::mem::take(&mut tok.group);
+            pop.sort_by(score_cmp);
+            self.div[tok.si].push(crate::diversity::translation_diversity(&pop));
+            tok.pop = pop;
+            tok.phase = Phase::Retire;
+        } else {
+            self.include_and_advance(tok);
+        }
+    }
+
+    /// Include the offspring group into the population, record the
+    /// generation checkpoint, and either retire the spot (end condition
+    /// met) or start the next generation.
+    fn include_and_advance(&mut self, tok: &mut SpotToken) {
+        include_spot(self.params.population_per_spot, &mut tok.pop, std::mem::take(&mut tok.group));
+        tok.gen += 1;
+        self.record_gen(tok.si, tok.gen, tok.pop[0].score, &tok.pop);
+        let done = match self.params.end {
+            EndCondition::Generations(g) => tok.gen >= g,
+            EndCondition::Convergence { patience, max } => {
+                let now_best = tok.pop[0].score;
+                if now_best < tok.best_so_far - 1e-12 {
+                    tok.best_so_far = now_best;
+                    tok.stale = 0;
+                } else {
+                    tok.stale += 1;
+                }
+                tok.stale >= patience || tok.gen >= max
+            }
+        };
+        tok.phase = if done { Phase::Retire } else { Phase::Breed };
+    }
+
+    fn record_init(&mut self, si: usize, pop: &[Conformation]) {
+        self.hist[si].push(pop[0].score);
+        self.div[si].push(crate::diversity::translation_diversity(pop));
+        self.evals[si].push(self.evals_cum[si]);
+    }
+
+    fn record_gen(&mut self, si: usize, gen: usize, best: f64, pop: &[Conformation]) {
+        self.hist[si].push(best);
+        self.div[si].push(crate::diversity::translation_diversity(pop));
+        self.evals[si].push(self.evals_cum[si]);
+        if self.completed.len() <= gen {
+            self.completed.resize(gen + 1, 0);
+        }
+        self.completed[gen] += 1;
+        // Emit GenerationDone exactly when the slowest spot finishes a
+        // generation — same values the lockstep engine would report.
+        while self.next_gd < self.completed.len()
+            && self.completed[self.next_gd] == self.spots.len()
+        {
+            let j = self.next_gd;
+            let best = self.hist.iter().map(|h| h[j]).fold(f64::INFINITY, f64::min);
+            let evaluations = self.evals.iter().map(|e| e[j]).sum();
+            self.trace.emit(Event::GenerationDone {
+                generation: (j - 1) as u32,
+                best_score: best,
+                evaluations,
+            });
+            self.next_gd += 1;
+        }
+    }
+
+    /// Reconstruct the lockstep-shaped [`RunResult`] from the per-spot
+    /// records (spots may have retired at different generations under
+    /// `Convergence`; a retired spot's last checkpoint carries forward).
+    fn into_result(
+        mut self,
+        params: &MetaheuristicParams,
+        evaluations: u64,
+        batch_trace: Vec<u64>,
+    ) -> RunResult {
+        let pops: Vec<Vec<Conformation>> = self
+            .pops
+            .iter_mut()
+            // PANICS: only on an abnormal ring teardown (a stage panicked
+            // mid-run); the stage join has already surfaced that panic.
+            .map(|p| p.take().expect("pipeline retired every spot"))
+            .collect();
+        let best_per_spot: Vec<Conformation> = pops.iter().map(|pop| pop[0]).collect();
+        // PANICS: non-empty by caller contract.
+        let best = *best_per_spot.iter().min_by(|a, b| score_cmp(a, b)).expect("non-empty spots");
+
+        let generations_run = if params.single_pass {
+            0
+        } else {
+            self.hist.iter().map(|h| h.len() - 1).max().unwrap_or(0)
+        };
+        let at = |v: &Vec<f64>, j: usize| v[j.min(v.len() - 1)];
+        let best_history: Vec<f64> = (0..=generations_run)
+            .map(|j| self.hist.iter().map(|h| at(h, j)).fold(f64::INFINITY, f64::min))
+            .collect();
+        let div_len = self.div.iter().map(Vec::len).max().unwrap_or(1);
+        let diversity_history: Vec<f64> = (0..div_len)
+            .map(|j| self.div.iter().map(|d| at(d, j)).sum::<f64>() / self.spots.len() as f64)
+            .collect();
+
+        RunResult {
+            best,
+            best_per_spot,
+            evaluations,
+            generations_run,
+            batch_trace,
+            best_history,
+            diversity_history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::SyntheticEvaluator;
+    use crate::params::SelectStrategy;
+    use crate::{run, run_seeded};
+    use vsmath::Vec3;
+
+    fn spots(n: usize) -> Vec<Spot> {
+        (0..n)
+            .map(|i| Spot {
+                id: i,
+                center: Vec3::new(10.0 * i as f64, 0.0, 0.0),
+                normal: Vec3::Z,
+                radius: 5.0,
+                anchor_atom: 0,
+            })
+            .collect()
+    }
+
+    fn evaluator_for(spots: &[Spot]) -> SyntheticEvaluator {
+        SyntheticEvaluator::new(spots.iter().map(|s| s.center + Vec3::new(1.0, 1.0, 0.5)).collect())
+    }
+
+    fn ga(gens: usize) -> MetaheuristicParams {
+        MetaheuristicParams {
+            name: "pipe-ga".into(),
+            population_per_spot: 16,
+            select: SelectStrategy::TruncationBest { fraction: 0.5 },
+            offspring_per_spot: 16,
+            improve_fraction: 0.0,
+            improve: ImproveStrategy::None,
+            mutation_prob: 0.3,
+            max_shift: 1.0,
+            max_angle: 0.4,
+            end: EndCondition::Generations(gens),
+            single_pass: false,
+        }
+    }
+
+    fn assert_bit_identical(a: &RunResult, b: &RunResult) {
+        assert_eq!(a.best.score.to_bits(), b.best.score.to_bits());
+        assert_eq!(a.best.pose, b.best.pose);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.generations_run, b.generations_run);
+        assert_eq!(a.best_per_spot.len(), b.best_per_spot.len());
+        for (x, y) in a.best_per_spot.iter().zip(&b.best_per_spot) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+            assert_eq!(x.pose, y.pose);
+        }
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.best_history), bits(&b.best_history));
+        assert_eq!(bits(&a.diversity_history), bits(&b.diversity_history));
+        assert_eq!(
+            a.batch_trace.iter().sum::<u64>(),
+            b.batch_trace.iter().sum::<u64>(),
+            "same total items, possibly different coalescing"
+        );
+    }
+
+    fn pipelined(params: &MetaheuristicParams, sp: &[Spot], seed: u64, depth: usize) -> RunResult {
+        let mut ev = evaluator_for(sp);
+        run_pipelined(
+            params,
+            sp,
+            &mut ev,
+            seed,
+            &[],
+            &Trace::disabled(),
+            &PipelineConfig::with_depth(depth),
+        )
+    }
+
+    #[test]
+    fn pipelined_matches_lockstep_plain_ga() {
+        let sp = spots(5);
+        let p = ga(7);
+        let mut ev = evaluator_for(&sp);
+        let lock = run(&p, &sp, &mut ev, 42);
+        for depth in [1, 2, 4] {
+            assert_bit_identical(&lock, &pipelined(&p, &sp, 42, depth));
+        }
+    }
+
+    #[test]
+    fn pipelined_matches_lockstep_hill_climb() {
+        let sp = spots(3);
+        let p = MetaheuristicParams {
+            improve_fraction: 0.5,
+            improve: ImproveStrategy::HillClimb { steps: 3 },
+            ..ga(5)
+        };
+        let mut ev = evaluator_for(&sp);
+        let lock = run(&p, &sp, &mut ev, 7);
+        assert_bit_identical(&lock, &pipelined(&p, &sp, 7, 2));
+    }
+
+    #[test]
+    fn pipelined_matches_lockstep_simulated_annealing() {
+        let sp = spots(2);
+        let p = MetaheuristicParams {
+            improve_fraction: 1.0,
+            improve: ImproveStrategy::SimulatedAnnealing { steps: 4, t0: 1.0, cooling: 0.8 },
+            ..ga(4)
+        };
+        let mut ev = evaluator_for(&sp);
+        let lock = run(&p, &sp, &mut ev, 19);
+        assert_bit_identical(&lock, &pipelined(&p, &sp, 19, 3));
+    }
+
+    #[test]
+    fn pipelined_matches_lockstep_tournament() {
+        let sp = spots(4);
+        let p = MetaheuristicParams { select: SelectStrategy::Tournament { k: 3 }, ..ga(6) };
+        let mut ev = evaluator_for(&sp);
+        let lock = run(&p, &sp, &mut ev, 17);
+        assert_bit_identical(&lock, &pipelined(&p, &sp, 17, 2));
+    }
+
+    #[test]
+    fn pipelined_matches_lockstep_lamarckian() {
+        let sp = spots(3);
+        let p = MetaheuristicParams {
+            improve_fraction: 0.5,
+            improve: ImproveStrategy::Lamarckian { steps: 3, step_size: 0.25, angle_step: 0.05 },
+            mutation_prob: 0.0,
+            ..ga(4)
+        };
+        let mut ev = evaluator_for(&sp);
+        let lock = run(&p, &sp, &mut ev, 51);
+        assert_bit_identical(&lock, &pipelined(&p, &sp, 51, 2));
+    }
+
+    #[test]
+    fn pipelined_matches_lockstep_single_pass() {
+        let sp = spots(3);
+        let p = MetaheuristicParams {
+            population_per_spot: 64,
+            improve_fraction: 1.0,
+            improve: ImproveStrategy::HillClimb { steps: 6 },
+            single_pass: true,
+            ..ga(0)
+        };
+        let mut ev = evaluator_for(&sp);
+        let lock = run(&p, &sp, &mut ev, 3);
+        assert_bit_identical(&lock, &pipelined(&p, &sp, 3, 2));
+    }
+
+    #[test]
+    fn pipelined_matches_lockstep_zero_generations() {
+        let sp = spots(2);
+        let p = ga(0);
+        let mut ev = evaluator_for(&sp);
+        let lock = run(&p, &sp, &mut ev, 31);
+        assert_bit_identical(&lock, &pipelined(&p, &sp, 31, 1));
+    }
+
+    #[test]
+    fn pipelined_more_spots_than_admitted_tokens() {
+        // depth 1 admits 4 tokens; 9 spots forces replacement admissions.
+        let sp = spots(9);
+        let p = MetaheuristicParams {
+            improve_fraction: 0.25,
+            improve: ImproveStrategy::HillClimb { steps: 2 },
+            ..ga(4)
+        };
+        let mut ev = evaluator_for(&sp);
+        let lock = run(&p, &sp, &mut ev, 23);
+        assert_bit_identical(&lock, &pipelined(&p, &sp, 23, 1));
+    }
+
+    #[test]
+    fn pipelined_seeded_injects_warm_start() {
+        let sp = spots(2);
+        let mut seed_conf = Conformation::new(
+            vsmath::RigidTransform::from_translation(sp[0].center + Vec3::new(1.0, 1.0, 0.5)),
+            0,
+        );
+        seed_conf.score = 0.0;
+        let p = ga(0);
+        let mut e1 = evaluator_for(&sp);
+        let lock = run_seeded(&p, &sp, &mut e1, 31, &[seed_conf]);
+        let mut e2 = evaluator_for(&sp);
+        let pipe = run_pipelined(
+            &p,
+            &sp,
+            &mut e2,
+            31,
+            &[seed_conf],
+            &Trace::disabled(),
+            &PipelineConfig::with_depth(2),
+        );
+        assert_bit_identical(&lock, &pipe);
+        assert_eq!(pipe.best.score, 0.0);
+    }
+
+    #[test]
+    fn pipelined_batch_trace_is_deterministic() {
+        let sp = spots(6);
+        let p = MetaheuristicParams {
+            improve_fraction: 0.5,
+            improve: ImproveStrategy::HillClimb { steps: 2 },
+            ..ga(5)
+        };
+        let r1 = pipelined(&p, &sp, 13, 2);
+        let r2 = pipelined(&p, &sp, 13, 2);
+        assert_eq!(r1.batch_trace, r2.batch_trace, "flush composition must be reproducible");
+        assert_eq!(r1.batch_trace.iter().sum::<u64>(), r1.evaluations);
+    }
+
+    #[test]
+    fn pipelined_convergence_reaches_similar_best() {
+        // Per-spot vs global staleness: trajectories diverge, but both
+        // must converge on the synthetic landscape.
+        let sp = spots(2);
+        let p = MetaheuristicParams {
+            end: EndCondition::Convergence { patience: 4, max: 60 },
+            mutation_prob: 0.0,
+            ..ga(0)
+        };
+        let mut ev = evaluator_for(&sp);
+        let lock = run(&p, &sp, &mut ev, 13);
+        let pipe = pipelined(&p, &sp, 13, 2);
+        assert!(pipe.generations_run <= 60);
+        assert!(
+            (pipe.best.score - lock.best.score).abs() < 1.0,
+            "pipelined {} vs lockstep {}",
+            pipe.best.score,
+            lock.best.score
+        );
+    }
+
+    #[test]
+    fn lockstep_exec_is_bit_identical_to_plain_run() {
+        let sp = spots(3);
+        let p = MetaheuristicParams {
+            improve_fraction: 0.5,
+            improve: ImproveStrategy::HillClimb { steps: 2 },
+            ..ga(6)
+        };
+        let mut e1 = evaluator_for(&sp);
+        let plain = run(&p, &sp, &mut e1, 11);
+        let mut e2 = evaluator_for(&sp);
+        let staged = run_exec(&p, &sp, &mut e2, 11, &[], &Trace::disabled(), EngineExec::Lockstep);
+        assert_bit_identical(&plain, &staged);
+        assert_eq!(plain.batch_trace, staged.batch_trace, "lockstep keeps program order");
+    }
+
+    #[test]
+    fn run_exec_pipelined_matches_lockstep() {
+        let sp = spots(4);
+        let p = ga(5);
+        let mut e1 = evaluator_for(&sp);
+        let lock = run_exec(&p, &sp, &mut e1, 5, &[], &Trace::disabled(), EngineExec::Lockstep);
+        let mut e2 = evaluator_for(&sp);
+        let pipe = run_exec(
+            &p,
+            &sp,
+            &mut e2,
+            5,
+            &[],
+            &Trace::disabled(),
+            EngineExec::Pipelined { depth: 2 },
+        );
+        assert_bit_identical(&lock, &pipe);
+    }
+
+    #[test]
+    fn pipelined_emits_stage_events() {
+        let sp = spots(3);
+        let p = ga(4);
+        let trace = Trace::new();
+        let mut ev = evaluator_for(&sp);
+        let r = run_pipelined(&p, &sp, &mut ev, 9, &[], &trace, &PipelineConfig::with_depth(2));
+        let data = trace.snapshot();
+        let mut stages = std::collections::BTreeSet::new();
+        let mut gen_done = 0;
+        for s in data.events() {
+            match s.event {
+                Event::StageDepth { stage, depth } => {
+                    assert!(depth >= 1);
+                    stages.insert(stage);
+                }
+                Event::GenerationDone { .. } => gen_done += 1,
+                _ => {}
+            }
+        }
+        for expect in ["seed", "breed", "score", "select"] {
+            assert!(stages.contains(expect), "missing StageDepth for {expect}: {stages:?}");
+        }
+        assert_eq!(gen_done, r.generations_run);
+    }
+
+    #[test]
+    fn exec_mode_parses_from_cli_syntax() {
+        assert_eq!("lockstep".parse::<EngineExec>().unwrap(), EngineExec::Lockstep);
+        assert_eq!(
+            "pipelined".parse::<EngineExec>().unwrap(),
+            EngineExec::Pipelined { depth: PipelineConfig::DEFAULT_DEPTH }
+        );
+        assert_eq!(
+            "pipelined:4".parse::<EngineExec>().unwrap(),
+            EngineExec::Pipelined { depth: 4 }
+        );
+        assert!("warp".parse::<EngineExec>().is_err());
+        assert!("pipelined:x".parse::<EngineExec>().is_err());
+    }
+}
+
+/// Exhaustive interleaving checks of the stage-channel protocol (run with
+/// `cargo test -p metaheur --features vscheck-model model_`).
+#[cfg(all(test, feature = "vscheck-model"))]
+mod model_tests {
+    use super::Channel;
+    use std::sync::Arc;
+    use vscheck::{explore, Config};
+    use vstrace::Trace;
+
+    /// Producer → bounded channel → consumer: every interleaving delivers
+    /// all items in FIFO order despite backpressure at capacity 1.
+    #[test]
+    fn model_channel_delivers_in_order() {
+        let report = explore(Config::with_bound(2), || {
+            let ch: Arc<Channel<u32>> = Arc::new(Channel::new(1, "model", Trace::disabled()));
+            let producer = {
+                let ch = Arc::clone(&ch);
+                vscheck::thread::Builder::new()
+                    .name("producer".into())
+                    .spawn(move || {
+                        for i in 0..3 {
+                            ch.send(i).expect("consumer closed early");
+                        }
+                    })
+                    .expect("spawn")
+            };
+            let mut got = Vec::new();
+            for _ in 0..3 {
+                got.push(ch.recv().expect("producer closed early"));
+            }
+            producer.join().expect("producer panicked");
+            assert_eq!(got, vec![0, 1, 2]);
+            ch.close();
+            assert!(ch.recv().is_none());
+        });
+        report.assert_passed();
+        assert!(report.complete, "exploration exhausted");
+    }
+
+    /// The consumer abandons the stream early (the pipelined engine's
+    /// Convergence end retires spots before producers drain): no
+    /// deadlock, and every item is accounted for — received, drained
+    /// after close, or rejected back to the sender. Nothing is lost.
+    #[test]
+    fn model_channel_early_exit_loses_nothing() {
+        let report = explore(Config::with_bound(2), || {
+            let ch: Arc<Channel<u32>> = Arc::new(Channel::new(1, "model", Trace::disabled()));
+            let producer = {
+                let ch = Arc::clone(&ch);
+                vscheck::thread::Builder::new()
+                    .name("producer".into())
+                    .spawn(move || {
+                        let mut rejected = 0u32;
+                        for i in 0..4 {
+                            if ch.send(i).is_err() {
+                                rejected += 1;
+                            }
+                        }
+                        rejected
+                    })
+                    .expect("spawn")
+            };
+            let first = ch.recv().expect("at least one item");
+            assert_eq!(first, 0, "FIFO: the first send arrives first");
+            ch.close(); // early exit: stop consuming
+            let mut drained = 0u32;
+            while ch.recv().is_some() {
+                drained += 1;
+            }
+            let rejected = producer.join().expect("producer panicked");
+            assert_eq!(1 + drained + rejected, 4, "an item vanished in teardown");
+        });
+        report.assert_passed();
+        assert!(report.complete, "exploration exhausted");
+    }
+
+    /// A miniature ring — driver → channel a → stage → channel b →
+    /// driver — with more tokens admitted than any one channel holds and
+    /// tokens recirculating before retirement, then an orderly shutdown:
+    /// the close must cascade through the stage without deadlock.
+    #[test]
+    fn model_ring_shutdown_cascades() {
+        let report = explore(Config::with_bound(2), || {
+            let a: Arc<Channel<u32>> = Arc::new(Channel::new(1, "a", Trace::disabled()));
+            let b: Arc<Channel<u32>> = Arc::new(Channel::new(1, "b", Trace::disabled()));
+            let stage = {
+                let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+                vscheck::thread::Builder::new()
+                    .name("stage".into())
+                    .spawn(move || {
+                        while let Some(t) = a.recv() {
+                            if b.send(t).is_err() {
+                                break;
+                            }
+                        }
+                        b.close(); // cascade the shutdown downstream
+                    })
+                    .expect("spawn")
+            };
+            // Two tokens (encoded tens digit = identity, ones digit =
+            // lap), each making two laps around the ring.
+            a.send(10).expect("open");
+            a.send(20).expect("open");
+            let mut done = 0;
+            while done < 2 {
+                let t = b.recv().expect("stage alive while tokens circulate");
+                if t.is_multiple_of(10) {
+                    a.send(t + 1).expect("ring open while tokens live");
+                } else {
+                    done += 1; // retired
+                }
+            }
+            a.close();
+            stage.join().expect("stage panicked");
+            assert!(b.recv().is_none(), "ring drained after shutdown");
+        });
+        report.assert_passed();
+        assert!(report.complete, "exploration exhausted");
+    }
+}

@@ -1,0 +1,13 @@
+//! Synchronization facade for the pipelined engine's stage channels.
+//!
+//! Normal builds re-export `std` types verbatim — a zero-cost pure alias,
+//! so the production pipeline is bit-for-bit the `std`-based
+//! implementation. Under the `vscheck-model` feature the same names
+//! resolve to the `vscheck` instrumented primitives, turning every sync
+//! operation in [`crate::pipeline`] into a scheduler choice point so the
+//! `model_*` tests can exhaustively explore interleavings (DESIGN.md §9).
+
+#[cfg(not(feature = "vscheck-model"))]
+pub(crate) use std::sync::{Condvar, Mutex};
+#[cfg(feature = "vscheck-model")]
+pub(crate) use vscheck::sync::{Condvar, Mutex};

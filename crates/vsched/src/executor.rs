@@ -293,6 +293,18 @@ impl BatchEvaluator for DeviceEvaluator {
     fn pairs_per_eval(&self) -> u64 {
         self.runtime.scorer().pairs_per_eval()
     }
+
+    /// Streamed-batch entry point for the pipelined engine: the batch was
+    /// released by the host at virtual time `release`, so every device
+    /// first idles forward to that instant (visible as `DeviceIdle` spans
+    /// — the metric `pipeline_report.sh` gates on), then scores exactly as
+    /// [`Self::evaluate`] would. Returns the node makespan, i.e. when the
+    /// batch's scores are available to the selector stage.
+    fn evaluate_after(&mut self, confs: &mut [Conformation], release: f64) -> f64 {
+        self.runtime.release_until(release);
+        self.evaluate(confs);
+        self.runtime.makespan()
+    }
 }
 
 #[cfg(test)]

@@ -365,6 +365,26 @@ impl NodeRuntime {
         self.devices.iter().map(|d| d.clock()).fold(0.0, f64::max)
     }
 
+    /// Advance every device clock to at least `vt`, emitting a
+    /// `DeviceIdle` span for each device that was waiting. This is how a
+    /// streamed batch's host-side release time (the generational engine's
+    /// variation/selection work) charges the devices: a batch submitted at
+    /// `vt` cannot start before `vt`, and any gap since the device's last
+    /// work is genuine idleness the pipelined engine exists to remove.
+    pub fn release_until(&mut self, vt: f64) {
+        for dev in &self.devices {
+            let clock = dev.clock();
+            if clock < vt {
+                self.trace.emit(Event::DeviceIdle {
+                    device: dev.id() as u32,
+                    vt_start: clock,
+                    vt_end: vt,
+                });
+                dev.sync_to(vt);
+            }
+        }
+    }
+
     /// Execute `confs` with one contiguous chunk per device, sized by
     /// `shares` (which must sum to `confs.len()`). Virtual time is charged
     /// per device up front; scoring runs on the persistent workers.

@@ -56,6 +56,10 @@ pub enum Event {
     SpanEnd { name: &'static str },
     /// A sampled scalar (rendered as a counter track in chrome-trace).
     Counter { name: &'static str, value: f64 },
+    /// Occupancy of one bounded stage channel in the pipelined engine,
+    /// sampled after a send (`metaheur::pipeline`). `depth` is the number
+    /// of queued messages; the channel capacity bounds it.
+    StageDepth { stage: &'static str, depth: u32 },
 }
 
 impl Event {
@@ -74,6 +78,7 @@ impl Event {
             Event::SpanBegin { .. } => "SpanBegin",
             Event::SpanEnd { .. } => "SpanEnd",
             Event::Counter { .. } => "Counter",
+            Event::StageDepth { .. } => "StageDepth",
         }
     }
 }
@@ -122,6 +127,7 @@ mod tests {
             Event::SpanBegin { name: "x" },
             Event::SpanEnd { name: "x" },
             Event::Counter { name: "x", value: 1.0 },
+            Event::StageDepth { stage: "x", depth: 1 },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

@@ -226,6 +226,15 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                         num(slowdown)
                     ),
                 ),
+                Event::StageDepth { stage, depth } => push_event(
+                    &mut out,
+                    &format!(
+                        "\"name\": \"depth:{}\", \"ph\": \"C\", \"pid\": {WALL_PID}, \
+                         \"tid\": {tid}, \"ts\": {}, \"args\": {{\"value\": {depth}}}",
+                        escape(stage),
+                        num(wall_us)
+                    ),
+                ),
             }
         }
     }

@@ -243,6 +243,20 @@ impl TraceData {
             .sum()
     }
 
+    /// Total modeled idle seconds for one device track, summed over
+    /// [`Event::DeviceIdle`] events — time the device spent waiting on a
+    /// host release rather than scoring.
+    pub fn device_idle_s(&self, device: u32) -> f64 {
+        self.events()
+            .filter_map(|s| match s.event {
+                Event::DeviceIdle { device: d, vt_start, vt_end } if d == device => {
+                    Some(vt_end - vt_start)
+                }
+                _ => None,
+            })
+            .sum()
+    }
+
     /// Device ids appearing in busy/idle events, ascending.
     pub fn devices(&self) -> Vec<u32> {
         let mut ids: Vec<u32> = self

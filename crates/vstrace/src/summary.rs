@@ -28,6 +28,7 @@ pub fn text_summary(data: &TraceData) -> String {
     let mut batch_sizes: Vec<f64> = Vec::new();
     let mut spans: BTreeMap<&'static str, (u64, f64)> = BTreeMap::new();
     let mut open_spans: BTreeMap<(u32, &'static str), Vec<u64>> = BTreeMap::new();
+    let mut stages: BTreeMap<&'static str, (u64, u32)> = BTreeMap::new();
     let mut generations = 0u64;
     let mut best_score = f64::INFINITY;
     let mut evaluations = 0u64;
@@ -71,6 +72,11 @@ pub fn text_summary(data: &TraceData) -> String {
                 best_score = best_score.min(b);
                 evaluations = evaluations.max(e);
             }
+            Event::StageDepth { stage, depth } => {
+                let e = stages.entry(stage).or_insert((0, 0));
+                e.0 += 1;
+                e.1 = e.1.max(depth);
+            }
             Event::JobMigrated { .. } => migrations += 1,
             Event::FaultInjected { .. } => faults += 1,
             Event::GridBuilt { bytes, build_s, cached, .. } => {
@@ -98,18 +104,29 @@ pub fn text_summary(data: &TraceData) -> String {
         let _ = writeln!(out, "\nvirtual makespan: {makespan:.6} s");
         let _ = writeln!(
             out,
-            "{:<24} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
-            "device", "busy (s)", "kernel", "transfer", "idle (s)", "util %", "batches"
+            "{:<24} {:>10} {:>10} {:>10} {:>10} {:>8} {:>9} {:>8}",
+            "device",
+            "busy (s)",
+            "kernel",
+            "transfer",
+            "idle (s)",
+            "util %",
+            "idle frac",
+            "batches"
         );
         for (id, d) in &devices {
             let label = data.track_names.get(id).cloned().unwrap_or_else(|| format!("device {id}"));
             // Idle: prefer explicit DeviceIdle events, else makespan - busy.
             let idle = if d.idle_s > 0.0 { d.idle_s } else { (makespan - d.busy_s).max(0.0) };
             let util = if makespan > 0.0 { 100.0 * d.busy_s / makespan } else { 0.0 };
+            // Fraction of the device's own span spent idle — the
+            // pipelined-engine acceptance metric (DESIGN.md §12).
+            let span = d.busy_s + idle;
+            let idle_frac = if span > 0.0 { idle / span } else { 0.0 };
             let _ = writeln!(
                 out,
-                "{label:<24} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>8.2} {:>8}",
-                d.busy_s, d.kernel_s, d.transfer_s, idle, util, d.batches
+                "{label:<24} {:>10.6} {:>10.6} {:>10.6} {:>10.6} {:>8.2} {:>9.3} {:>8}",
+                d.busy_s, d.kernel_s, d.transfer_s, idle, util, idle_frac, d.batches
             );
         }
         let kernel: f64 = devices.values().map(|d| d.kernel_s).sum();
@@ -150,6 +167,14 @@ pub fn text_summary(data: &TraceData) -> String {
              {grid_build_s:.3} s building, {:.1} MiB largest field",
             grid_bytes as f64 / (1024.0 * 1024.0)
         );
+    }
+
+    if !stages.is_empty() {
+        let _ = writeln!(out, "\nstage channels (pipelined engine):");
+        let _ = writeln!(out, "{:<24} {:>8} {:>10}", "stage", "sends", "max depth");
+        for (name, (sends, max_depth)) in &stages {
+            let _ = writeln!(out, "{name:<24} {sends:>8} {max_depth:>10}");
+        }
     }
 
     if !spans.is_empty() {
@@ -196,6 +221,30 @@ mod tests {
         assert!(s.contains("generation"), "{s}");
         assert!(s.contains("best score -4.500"), "{s}");
         assert!(s.contains("makespan breakdown"), "{s}");
+    }
+
+    #[test]
+    fn summary_reports_idle_fraction_and_stage_depths() {
+        let t = Trace::new();
+        t.set_track_name(0, "K40c");
+        t.emit(Event::DeviceBusy {
+            device: 0,
+            vt_start: 0.0,
+            vt_end: 3.0,
+            kernel_s: 2.5,
+            transfer_s: 0.2,
+            items: 128,
+        });
+        t.emit(Event::DeviceIdle { device: 0, vt_start: 3.0, vt_end: 4.0 });
+        t.emit(Event::StageDepth { stage: "breed", depth: 2 });
+        t.emit(Event::StageDepth { stage: "breed", depth: 3 });
+        let s = text_summary(&t.snapshot());
+        assert!(s.contains("idle frac"), "{s}");
+        // idle 1.0 over span busy 3.0 + idle 1.0 = 0.250.
+        assert!(s.contains("0.250"), "{s}");
+        assert!(s.contains("stage channels"), "{s}");
+        assert!(s.contains("breed"), "{s}");
+        assert!(s.contains("2"), "{s}"); // 2 sends, max depth 3
     }
 
     #[test]

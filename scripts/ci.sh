@@ -28,6 +28,7 @@ echo "==> vscheck model tests (exhaustive interleavings of the concurrency cores
 cargo test -q -p vsscore --features vscheck-model model_
 cargo test -q -p vsched --features vscheck-model model_
 cargo test -q -p vstrace --features vscheck-model model_
+cargo test -q -p metaheur --features vscheck-model model_
 
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
@@ -43,5 +44,8 @@ scripts/steal_report.sh
 
 echo "==> grid report (potential-grid accuracy + speedup gates)"
 scripts/grid_report.sh
+
+echo "==> pipeline report (lockstep vs pipelined engine; gates the idle-fraction drop)"
+scripts/pipeline_report.sh
 
 echo "==> OK"
