@@ -53,14 +53,24 @@ fn cluster_assignment(c: &mut Criterion) {
     group.sample_size(10);
     let jobs = vscluster::synthetic_library(64, &metaheur::m3(1.0), 3);
     for nodes in [2usize, 8] {
-        group.bench_with_input(BenchmarkId::new("screen_library", nodes), &nodes, |b, &n| {
+        group.bench_with_input(BenchmarkId::new("campaign_service", nodes), &nodes, |b, &n| {
             let cluster = vscluster::SimCluster::uniform(
                 n,
                 vscluster::NetModel::infiniband(),
                 vscreen::platform::hertz,
             );
             b.iter(|| {
-                black_box(cluster.screen_library(3264, 32, &jobs, Strategy::HomogeneousSplit))
+                // Fresh service per iteration: the results cache would
+                // otherwise turn every pass after the first into hits.
+                let mut svc =
+                    vscluster::Service::new(cluster.clone(), vscluster::ServiceConfig::default());
+                svc.submit(vscluster::Campaign::library(
+                    3264,
+                    32,
+                    jobs.clone(),
+                    Strategy::HomogeneousSplit,
+                ));
+                black_box(svc.drain())
             })
         });
     }

@@ -1,0 +1,138 @@
+//! Campaign-service performance snapshot: bursty multi-tenant traffic on
+//! an elastic Hertz fleet plus a cold-vs-cached resubmission cell, written
+//! as `BENCH_campaign.json`.
+//!
+//! Virtual-time makespans are deterministic, so the snapshot doubles as a
+//! regression gate: interactive p99 queue latency must stay under the
+//! bound, fleet utilization must stay at or above 85% under saturating
+//! load, and a duplicate resubmission must be served from the results
+//! cache at least 100x faster than the cold run.
+//!
+//! Usage:
+//!   cargo run --release -p vs-bench --bin campaign_snapshot -- [OUT.json]
+//!
+//! Defaults to `BENCH_campaign.json` in the current directory.
+
+use vsched::Strategy;
+use vscluster::{
+    bursty_traffic, Campaign, NetModel, ScalePlan, Service, ServiceConfig, SimCluster,
+    TrafficConfig,
+};
+use vscreen::platform;
+
+const NODES: usize = 4;
+const TRAFFIC_SEED: u64 = 42;
+
+/// Interactive p99 queue-latency bound (virtual seconds). Interactive
+/// bursts ride the admission reserve and the 4:1 weighted-fair drain, so
+/// even under a saturating bulk backlog they must clear the queue fast.
+const INTERACTIVE_P99_BOUND_S: f64 = 0.1;
+
+/// Utilization floor under saturating load with one join and one leave.
+const UTILIZATION_FLOOR: f64 = 0.85;
+
+/// Cache-hit resubmission must beat the cold campaign by this factor.
+const CACHE_SPEEDUP_FLOOR: f64 = 100.0;
+
+/// Saturating tenant mix: the bulk sweeps alone exceed the fleet's
+/// capacity over the arrival horizon, so nodes stay busy while the
+/// interactive bursts exercise the reserve + weighted-fair path.
+fn traffic() -> TrafficConfig {
+    TrafficConfig {
+        horizon_s: 0.3,
+        bulk_campaigns: 3,
+        bulk_jobs: 32,
+        bursts: 4,
+        burst_size: 3,
+        interactive_jobs: 2,
+        duplicate_fraction: 0.25,
+        scale: 1.0,
+        ..TrafficConfig::default()
+    }
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_campaign.json".to_string());
+    let cluster = SimCluster::uniform(NODES, NetModel::infiniband(), platform::hertz);
+
+    // Scenario A: bursty traffic on an elastic fleet (one node joins
+    // mid-campaign, one departs and its in-flight work is requeued).
+    let mut svc = Service::new(cluster.clone(), ServiceConfig::default());
+    svc.scale(ScalePlan::new().join_at(0.05, platform::hertz()).leave_at(0.18, 1));
+    for c in bursty_traffic(&traffic(), TRAFFIC_SEED) {
+        svc.submit(c);
+    }
+    let r = svc.drain();
+    eprintln!(
+        "bursty_elastic: makespan {:.4}s  p50 {:.4}s  p95 {:.4}s  p99 {:.4}s  \
+         interactive p99 {:.4}s  util {:.1}%  hits {}  requeued {}",
+        r.makespan,
+        r.queue_p50_s,
+        r.queue_p95_s,
+        r.queue_p99_s,
+        r.interactive_p99_s,
+        100.0 * r.utilization,
+        r.cache_hits,
+        r.requeued_jobs
+    );
+
+    // Scenario B: cold campaign, then the identical submission again on
+    // the warmed service — every job must come back from the cache.
+    let jobs = vscluster::synthetic_library(48, &metaheur::m3(1.0), 9);
+    let campaign = || Campaign::library(3264, 16, jobs.clone(), Strategy::HomogeneousSplit).seed(7);
+    let mut svc = Service::new(cluster, ServiceConfig::default());
+    svc.submit(campaign());
+    let cold = svc.drain();
+    svc.submit(campaign());
+    let warm = svc.drain();
+    let hit_speedup = cold.makespan / warm.makespan;
+    eprintln!(
+        "cache_resubmission: cold {:.5}s  warm {:.7}s  speedup {:.0}x  \
+         (warm hits {} / evals {})",
+        cold.makespan, warm.makespan, hit_speedup, warm.cache_hits, warm.device_evals
+    );
+
+    // Regression gates: the acceptance bars of the campaign service.
+    assert!(r.completed_jobs == r.total_jobs, "lost jobs: {}/{}", r.completed_jobs, r.total_jobs);
+    assert!(r.campaigns_rejected == 0, "saturation scenario must fit the queue");
+    assert!(
+        r.interactive_p99_s <= INTERACTIVE_P99_BOUND_S,
+        "interactive p99 queue latency {:.4}s above the {INTERACTIVE_P99_BOUND_S}s bound",
+        r.interactive_p99_s
+    );
+    assert!(
+        r.utilization >= UTILIZATION_FLOOR,
+        "fleet utilization {:.3} below the {UTILIZATION_FLOOR} floor",
+        r.utilization
+    );
+    assert!(warm.device_evals == 0, "warm resubmission ran {} device evals", warm.device_evals);
+    assert!(
+        hit_speedup >= CACHE_SPEEDUP_FLOOR,
+        "cache-hit speedup {hit_speedup:.1}x below the {CACHE_SPEEDUP_FLOOR}x floor"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"campaign\",\n  \"units\": \"virtual_seconds\",\n  \"node\": \"hertz\",\n  \"fleet\": {NODES},\n  \"traffic_seed\": {TRAFFIC_SEED},\n  \"scenarios\": [\n    {{\n      \"scenario\": \"bursty_elastic\",\n      \"makespan_s\": {:.6},\n      \"total_jobs\": {},\n      \"completed_jobs\": {},\n      \"campaigns_admitted\": {},\n      \"campaigns_rejected\": {},\n      \"queue_p50_s\": {:.6},\n      \"queue_p95_s\": {:.6},\n      \"queue_p99_s\": {:.6},\n      \"interactive_p99_s\": {:.6},\n      \"utilization\": {:.4},\n      \"cache_hits\": {},\n      \"device_evals\": {},\n      \"node_joins\": {},\n      \"node_leaves\": {},\n      \"requeued_jobs\": {}\n    }},\n    {{\n      \"scenario\": \"cache_resubmission\",\n      \"cold_s\": {:.6},\n      \"warm_s\": {:.9},\n      \"hit_speedup\": {:.1},\n      \"warm_device_evals\": {}\n    }}\n  ]\n}}\n",
+        r.makespan,
+        r.total_jobs,
+        r.completed_jobs,
+        r.campaigns_admitted,
+        r.campaigns_rejected,
+        r.queue_p50_s,
+        r.queue_p95_s,
+        r.queue_p99_s,
+        r.interactive_p99_s,
+        r.utilization,
+        r.cache_hits,
+        r.device_evals,
+        r.node_joins,
+        r.node_leaves,
+        r.requeued_jobs,
+        cold.makespan,
+        warm.makespan,
+        hit_speedup,
+        warm.device_evals
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    eprintln!("wrote {out_path}");
+}

@@ -1,65 +1,28 @@
-//! A simulated cluster of heterogeneous nodes screening a ligand library.
+//! The node pool: heterogeneous nodes joined by an interconnect.
+//!
+//! `SimCluster` is purely the hardware description — nodes plus network.
+//! All campaign execution goes through [`crate::service::Service`], the
+//! single submission API (`submit`/`drain`) that replaced the old
+//! per-campaign-kind entry points.
 
-use crate::library::LigandJob;
 use crate::net::NetModel;
 use gpusim::SimNode;
-use serde::{Deserialize, Serialize};
-use vsched::{schedule_trace, Strategy};
-use vscreen::trace::synthetic_trace;
 
 /// Several multicore + multi-GPU nodes joined by an interconnect. Node 0's
 /// host doubles as the campaign root that scatters ligands and gathers
 /// results (the master of the message-passing design).
 ///
 /// ```
-/// use vscluster::{synthetic_library, NetModel, SimCluster};
-/// use vsched::Strategy;
+/// use vscluster::{NetModel, SimCluster};
 ///
 /// let cluster = SimCluster::uniform(2, NetModel::infiniband(), vscreen::platform::hertz);
-/// let jobs = synthetic_library(8, &metaheur::m3(0.5), 1);
-/// let report = cluster.screen_library(3264, 16, &jobs, Strategy::HomogeneousSplit);
-/// assert!(report.speedup() > 1.5); // two nodes nearly halve the campaign
+/// assert_eq!(cluster.node_count(), 2);
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimCluster {
     nodes: Vec<SimNode>,
     net: NetModel,
 }
-
-/// Outcome of a cluster screening campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct ClusterReport {
-    /// Campaign makespan: the latest node finish time, seconds.
-    pub makespan: f64,
-    /// Per-node busy time (compute + its communication).
-    pub node_times: Vec<f64>,
-    /// `assignment[j]` = node that screened ligand job `j`.
-    pub assignment: Vec<usize>,
-    /// Total time spent moving data (all nodes).
-    pub comm_time: f64,
-    /// The same campaign run entirely on node 0 (for the speed-up claim).
-    pub single_node_time: f64,
-}
-
-impl ClusterReport {
-    /// Cluster speed-up over running everything on node 0.
-    pub fn speedup(&self) -> f64 {
-        self.single_node_time / self.makespan
-    }
-
-    /// Fraction of the makespan attributable to communication on the
-    /// busiest node.
-    pub fn comm_fraction(&self) -> f64 {
-        if self.makespan <= 0.0 {
-            0.0
-        } else {
-            self.comm_time / (self.node_times.iter().sum::<f64>() + f64::EPSILON)
-        }
-    }
-}
-
-/// Serialized result payload per job (best pose + score + provenance).
-const RESULT_BYTES: u64 = 256;
 
 impl SimCluster {
     pub fn new(nodes: Vec<SimNode>, net: NetModel) -> SimCluster {
@@ -81,172 +44,28 @@ impl SimCluster {
         &self.nodes
     }
 
-    /// Screen a ligand library against a receptor of `receptor_atoms` atoms
-    /// with `n_spots` surface spots.
-    ///
-    /// Jobs are dealt longest-first to the node with the earliest finish
-    /// time (dynamic earliest-finish assignment — the cluster-level
-    /// analog of the paper's dynamic job scheduling). Each job costs a
-    /// ligand scatter, the node-local screening makespan under `strategy`,
-    /// and a result gather.
-    pub fn screen_library(
-        &self,
-        receptor_atoms: usize,
-        n_spots: usize,
-        jobs: &[LigandJob],
-        strategy: Strategy,
-    ) -> ClusterReport {
-        assert!(n_spots > 0 && receptor_atoms > 0, "degenerate screening problem");
-
-        // Per-job compute cost per node is identical across same-spec
-        // nodes, but we evaluate per node to honor heterogeneous clusters.
-        let job_cost = |node: &SimNode, job: &LigandJob| -> f64 {
-            let trace = synthetic_trace(&job.params, n_spots);
-            let pairs = job.pairs_per_eval(receptor_atoms);
-            schedule_trace(node.cpu(), node.gpus(), &trace, pairs, strategy).makespan
-        };
-        let comm_cost = |job: &LigandJob| -> f64 {
-            self.net.transfer_time(job.bytes) + self.net.transfer_time(RESULT_BYTES)
-        };
-
-        // LPT order by workload volume.
-        let mut order: Vec<usize> = (0..jobs.len()).collect();
-        order.sort_by_key(|&j| {
-            std::cmp::Reverse(jobs[j].total_items(n_spots) * jobs[j].pairs_per_eval(receptor_atoms))
-        });
-
-        let mut node_times = vec![0.0f64; self.nodes.len()];
-        let mut assignment = vec![usize::MAX; jobs.len()];
-        let mut comm_time = 0.0;
-        for &j in &order {
-            let (ni, _) = node_times
-                .iter()
-                .enumerate()
-                // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .expect("non-empty");
-            let c = comm_cost(&jobs[j]);
-            node_times[ni] += c + job_cost(&self.nodes[ni], &jobs[j]);
-            comm_time += c;
-            assignment[j] = ni;
-        }
-
-        // Baseline: everything on node 0, no interconnect traffic.
-        let single_node_time: f64 = jobs.iter().map(|j| job_cost(&self.nodes[0], j)).sum();
-
-        let makespan = node_times.iter().cloned().fold(0.0, f64::max);
-        ClusterReport { makespan, node_times, assignment, comm_time, single_node_time }
+    /// The interconnect cost model.
+    pub fn net(&self) -> NetModel {
+        self.net
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::library::synthetic_library;
     use vscreen::platform;
 
-    fn jobs(n: usize) -> Vec<LigandJob> {
-        synthetic_library(n, &metaheur::m1(0.2), 3)
-    }
-
-    fn cluster(n: usize) -> SimCluster {
-        SimCluster::uniform(n, NetModel::infiniband(), platform::hertz)
-    }
-
     #[test]
-    fn all_jobs_assigned_to_valid_nodes() {
-        let c = cluster(3);
-        let r = c.screen_library(3264, 16, &jobs(20), Strategy::HomogeneousSplit);
-        assert_eq!(r.assignment.len(), 20);
-        assert!(r.assignment.iter().all(|&n| n < 3));
-        assert!(r.makespan > 0.0);
-    }
-
-    #[test]
-    fn two_nodes_speed_up_meaningfully() {
-        let r = cluster(2).screen_library(3264, 16, &jobs(24), Strategy::HomogeneousSplit);
-        let s = r.speedup();
-        assert!(s > 1.5, "2-node speedup only {s}");
-        assert!(s <= 2.01, "superlinear speedup is a bug: {s}");
-    }
-
-    #[test]
-    fn scaling_improves_with_more_nodes() {
-        let js = jobs(32);
-        let s2 = cluster(2).screen_library(3264, 16, &js, Strategy::HomogeneousSplit).speedup();
-        let s4 = cluster(4).screen_library(3264, 16, &js, Strategy::HomogeneousSplit).speedup();
-        assert!(s4 > s2, "4 nodes {s4} should beat 2 nodes {s2}");
-        assert!(s4 <= 4.01);
-    }
-
-    #[test]
-    fn single_node_cluster_matches_baseline() {
-        let r = cluster(1).screen_library(3264, 16, &jobs(10), Strategy::HomogeneousSplit);
-        // Only comm overhead separates the 1-node cluster from the
-        // no-cluster baseline.
-        assert!(r.makespan >= r.single_node_time);
-        assert!((r.makespan - r.single_node_time - r.comm_time).abs() < 1e-9);
-    }
-
-    #[test]
-    fn slow_network_increases_comm_share() {
-        let js = jobs(16);
-        let fast = SimCluster::uniform(2, NetModel::infiniband(), platform::hertz).screen_library(
-            3264,
-            16,
-            &js,
-            Strategy::HomogeneousSplit,
-        );
-        let slow = SimCluster::uniform(2, NetModel::gigabit_ethernet(), platform::hertz)
-            .screen_library(3264, 16, &js, Strategy::HomogeneousSplit);
-        assert!(slow.comm_time > fast.comm_time);
-        assert!(slow.comm_fraction() > fast.comm_fraction());
-    }
-
-    #[test]
-    fn heterogeneous_cluster_balances_by_finish_time() {
-        // One Hertz + one Jupiter: Jupiter's bigger GPU pool should absorb
-        // more jobs.
-        let c =
-            SimCluster::new(vec![platform::hertz(), platform::jupiter()], NetModel::infiniband());
-        let r = c.screen_library(3264, 16, &jobs(30), Strategy::HomogeneousSplit);
-        let to_jupiter = r.assignment.iter().filter(|&&n| n == 1).count();
-        assert!(to_jupiter >= 15, "Jupiter took only {to_jupiter}/30 jobs");
-        let imb = (r.node_times[0] - r.node_times[1]).abs() / r.makespan;
-        assert!(imb < 0.35, "node imbalance {imb}");
-    }
-
-    #[test]
-    fn campaign_with_heterogeneous_intra_node_strategy() {
-        // Cluster scheduling composes with the paper's intra-node
-        // heterogeneous algorithm.
-        let r = cluster(2).screen_library(
-            3264,
-            16,
-            &jobs(8),
-            Strategy::HeterogeneousSplit { warmup: vsched::WarmupConfig::default() },
-        );
-        assert!(r.makespan > 0.0);
-        assert!(r.speedup() > 1.2);
-    }
-
-    #[test]
-    fn deterministic_reports() {
-        let a = cluster(3).screen_library(3264, 16, &jobs(12), Strategy::HomogeneousSplit);
-        let b = cluster(3).screen_library(3264, 16, &jobs(12), Strategy::HomogeneousSplit);
-        assert_eq!(a.assignment, b.assignment);
-        assert_eq!(a.makespan, b.makespan);
+    fn uniform_builds_n_nodes() {
+        let c = SimCluster::uniform(3, NetModel::infiniband(), platform::hertz);
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.nodes().len(), 3);
+        assert_eq!(c.net(), NetModel::infiniband());
     }
 
     #[test]
     #[should_panic]
     fn empty_cluster_panics() {
         SimCluster::new(vec![], NetModel::infiniband());
-    }
-
-    #[test]
-    #[should_panic]
-    fn zero_spots_panics() {
-        cluster(1).screen_library(3264, 0, &jobs(1), Strategy::HomogeneousSplit);
     }
 }

@@ -1,15 +1,13 @@
-//! Cross-docking campaigns: L ligands × R receptors.
+//! Cross-docking targets: the receptor side of an L×R matrix.
 //!
 //! Selectivity screening — will a candidate bind the target but *not* the
 //! off-target? — multiplies the workload by the receptor count, which is
-//! exactly when the cluster extension pays off. This module schedules the
-//! full L×R job matrix across a cluster and reports both the timing and
-//! the (virtually-timed, really-scored) affinity matrix when run locally.
+//! exactly when the cluster extension pays off. Submit the matrix with
+//! [`crate::service::Campaign::cross_dock`]; the service expands every
+//! (ligand, receptor) pair into one job and schedules the flattened matrix
+//! like any other campaign.
 
-use crate::cluster::SimCluster;
-use crate::library::LigandJob;
 use serde::{Deserialize, Serialize};
-use vsched::Strategy;
 
 /// One receptor target in a cross-docking campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -19,131 +17,15 @@ pub struct ReceptorTarget {
     pub n_spots: usize,
 }
 
-/// Scheduling report for the L×R matrix.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct CrossDockReport {
-    pub makespan: f64,
-    pub node_times: Vec<f64>,
-    /// `assignment[l][r]` = node that ran ligand `l` against receptor `r`.
-    pub assignment: Vec<Vec<usize>>,
-    pub total_jobs: usize,
-}
-
-/// Schedule every (ligand, receptor) pair across the cluster with dynamic
-/// earliest-finish assignment (LPT over the whole matrix).
-pub fn schedule_cross_docking(
-    cluster: &SimCluster,
-    receptors: &[ReceptorTarget],
-    ligands: &[LigandJob],
-    strategy: Strategy,
-) -> CrossDockReport {
-    assert!(!receptors.is_empty() && !ligands.is_empty(), "empty campaign");
-
-    // Build the flattened job matrix with per-job cost keys.
-    struct Cell {
-        l: usize,
-        r: usize,
-        volume: u64,
-    }
-    let mut cells: Vec<Cell> = Vec::with_capacity(ligands.len() * receptors.len());
-    for (l, lig) in ligands.iter().enumerate() {
-        for (r, rec) in receptors.iter().enumerate() {
-            cells.push(Cell {
-                l,
-                r,
-                volume: lig.total_items(rec.n_spots) * lig.pairs_per_eval(rec.atoms),
-            });
-        }
-    }
-    cells.sort_by_key(|c| std::cmp::Reverse(c.volume));
-
-    let n = cluster.node_count();
-    let mut node_times = vec![0.0f64; n];
-    let mut assignment = vec![vec![usize::MAX; receptors.len()]; ligands.len()];
-    for cell in &cells {
-        let (ni, _) = node_times
-            .iter()
-            .enumerate()
-            // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
-            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .expect("non-empty");
-        let rec = &receptors[cell.r];
-        let lig = &ligands[cell.l];
-        let node = &cluster.nodes()[ni];
-        let trace = vscreen::trace::synthetic_trace(&lig.params, rec.n_spots);
-        let t = vsched::schedule_trace(
-            node.cpu(),
-            node.gpus(),
-            &trace,
-            lig.pairs_per_eval(rec.atoms),
-            strategy,
-        )
-        .makespan;
-        node_times[ni] += t;
-        assignment[cell.l][cell.r] = ni;
-    }
-
-    let makespan = node_times.iter().cloned().fold(0.0, f64::max);
-    CrossDockReport { makespan, node_times, assignment, total_jobs: cells.len() }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::library::synthetic_library;
-    use crate::net::NetModel;
-    use vscreen::platform;
-
-    fn targets() -> Vec<ReceptorTarget> {
-        vec![
-            ReceptorTarget { name: "target".into(), atoms: 3264, n_spots: 16 },
-            ReceptorTarget { name: "off-target".into(), atoms: 8609, n_spots: 24 },
-        ]
-    }
 
     #[test]
-    fn full_matrix_is_assigned() {
-        let cluster = SimCluster::uniform(3, NetModel::infiniband(), platform::hertz);
-        let ligands = synthetic_library(6, &metaheur::m1(0.2), 2);
-        let r = schedule_cross_docking(&cluster, &targets(), &ligands, Strategy::HomogeneousSplit);
-        assert_eq!(r.total_jobs, 12);
-        assert_eq!(r.assignment.len(), 6);
-        for row in &r.assignment {
-            assert_eq!(row.len(), 2);
-            assert!(row.iter().all(|&n| n < 3));
-        }
-    }
-
-    #[test]
-    fn more_nodes_shorten_campaign() {
-        let ligands = synthetic_library(8, &metaheur::m1(0.2), 3);
-        let one = SimCluster::uniform(1, NetModel::infiniband(), platform::hertz);
-        let four = SimCluster::uniform(4, NetModel::infiniband(), platform::hertz);
-        let t1 =
-            schedule_cross_docking(&one, &targets(), &ligands, Strategy::HomogeneousSplit).makespan;
-        let t4 = schedule_cross_docking(&four, &targets(), &ligands, Strategy::HomogeneousSplit)
-            .makespan;
-        assert!(t4 < t1 / 2.5, "{t4} vs {t1}");
-    }
-
-    #[test]
-    fn big_receptor_jobs_dominate_and_spread() {
-        // The 8609-atom off-target jobs are each ~4x a 2BSM job (pairs x
-        // spots); LPT must not pile them all on one node.
-        let cluster = SimCluster::uniform(2, NetModel::infiniband(), platform::hertz);
-        let ligands = synthetic_library(4, &metaheur::m1(0.2), 5);
-        let r = schedule_cross_docking(&cluster, &targets(), &ligands, Strategy::HomogeneousSplit);
-        let big_jobs_on_node0 = r.assignment.iter().filter(|row| row[1] == 0).count();
-        assert!((1..=3).contains(&big_jobs_on_node0), "{big_jobs_on_node0}");
-        let imb = (r.node_times[0] - r.node_times[1]).abs() / r.makespan;
-        assert!(imb < 0.3, "imbalance {imb}");
-    }
-
-    #[test]
-    #[should_panic]
-    fn empty_receptors_panic() {
-        let cluster = SimCluster::uniform(1, NetModel::infiniband(), platform::hertz);
-        let ligands = synthetic_library(1, &metaheur::m1(0.1), 1);
-        schedule_cross_docking(&cluster, &[], &ligands, Strategy::HomogeneousSplit);
+    fn targets_compare_by_value() {
+        let t = ReceptorTarget { name: "2BSM".into(), atoms: 3264, n_spots: 16 };
+        assert_eq!(t.clone(), t);
+        let off = ReceptorTarget { name: "off-target".into(), ..t.clone() };
+        assert_ne!(off, t);
     }
 }

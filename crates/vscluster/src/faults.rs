@@ -1,22 +1,20 @@
-//! Fault and straggler injection.
+//! Degradation plans for fault-injected campaigns.
 //!
 //! Production clusters degrade: thermal throttling, contention, failing
 //! fans. The paper's dynamic job assignment is motivated exactly by such
 //! run-time variability ("the underlying GPU each metaheuristic instance
-//! runs on ... is actually unknown at compile-time", §3.3). This module
-//! injects per-node slowdowns and compares *static* (plan by nominal
-//! speeds, ignore reality) against *dynamic* (observe actual finish times)
-//! job scheduling under them.
+//! runs on ... is actually unknown at compile-time", §3.3). A [`FaultPlan`]
+//! describes per-node slowdowns; submit it with
+//! [`crate::service::Campaign::faulty`] to compare *static* (plan by
+//! nominal speeds, ignore reality) against *dynamic* (observe actual
+//! finish times) job scheduling under degradation.
 
-use crate::cluster::SimCluster;
-use crate::library::LigandJob;
 use serde::{Deserialize, Serialize};
-use vsched::{schedule_trace, schedule_trace_faulty, Strategy};
-use vscreen::trace::synthetic_trace;
-use vstrace::{Event, Trace};
 
 /// A degradation plan: per-node compute slowdown factors (1.0 = healthy;
 /// 3.0 = node runs 3× slower; `f64::INFINITY` = node effectively dead).
+/// Indexed by the service's *initial* node ids; nodes joining later are
+/// healthy by construction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
     pub slowdowns: Vec<f64>,
@@ -42,440 +40,33 @@ impl FaultPlan {
     }
 }
 
-/// Outcome of a faulty campaign.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct FaultReport {
-    pub makespan: f64,
-    pub node_times: Vec<f64>,
-    pub assignment: Vec<usize>,
-}
-
-/// Declarative description of one faulty campaign, consumed by
-/// [`screen_library_faulty`] — the single entry point that replaced the
-/// positional-argument `screen_library_faulty` / `_traced` pair.
-pub struct CampaignSpec<'a> {
-    pub receptor_atoms: usize,
-    pub n_spots: usize,
-    pub jobs: &'a [LigandJob],
-    pub strategy: Strategy,
-    pub faults: &'a FaultPlan,
-    /// `true`: jobs go (LPT order) to the node with the earliest
-    /// *observed* finish time — degraded nodes naturally receive less
-    /// work. `false`: the assignment is fixed up front from *nominal*
-    /// (healthy) cost estimates, as a static partitioner would;
-    /// degradation is only felt at execution time.
-    pub dynamic: bool,
-    /// `None` (default): a node's degradation scales its whole nominal
-    /// execution time — the coarse node-level model. `Some(g)`: the fault
-    /// lives *inside* each degraded node — GPU lane `g` slows by the
-    /// node's factor after the warm-up froze its weight — and node costs
-    /// come from the intra-node faulty replay
-    /// ([`vsched::schedule_trace_faulty`]). Under
-    /// [`Strategy::WorkSteal`] the degraded node's healthy devices then
-    /// steal the victim lane's stranded chunks, observable as device-lane
-    /// `JobMigrated` events on the campaign trace.
-    pub gpu_victim: Option<usize>,
-    pub trace: Trace,
-}
-
-impl<'a> CampaignSpec<'a> {
-    /// Campaign with static assignment, node-level degradation, no trace.
-    pub fn new(
-        receptor_atoms: usize,
-        n_spots: usize,
-        jobs: &'a [LigandJob],
-        strategy: Strategy,
-        faults: &'a FaultPlan,
-    ) -> CampaignSpec<'a> {
-        CampaignSpec {
-            receptor_atoms,
-            n_spots,
-            jobs,
-            strategy,
-            faults,
-            dynamic: false,
-            gpu_victim: None,
-            trace: Trace::disabled(),
-        }
-    }
-
-    /// Assign jobs by observed finish times instead of the nominal plan.
-    pub fn dynamic(mut self, dynamic: bool) -> Self {
-        self.dynamic = dynamic;
-        self
-    }
-
-    /// Model each degraded node's fault as GPU lane `g` slowing mid-run.
-    pub fn gpu_victim(mut self, g: usize) -> Self {
-        self.gpu_victim = Some(g);
-        self
-    }
-
-    /// Attach a trace: a `FaultInjected` event per degraded node, a
-    /// node-level `JobMigrated` event for every job the dynamic scheduler
-    /// places differently than the nominal plan, and — with
-    /// [`CampaignSpec::gpu_victim`] — the degraded nodes' intra-node
-    /// events (device-lane `JobMigrated` steals under
-    /// [`Strategy::WorkSteal`]).
-    pub fn traced(mut self, trace: &Trace) -> Self {
-        self.trace = trace.clone();
-        self
-    }
-}
-
-/// Run a library campaign under a fault plan (see [`CampaignSpec`] for the
-/// scheduling and degradation knobs).
-pub fn screen_library_faulty(cluster: &SimCluster, spec: &CampaignSpec<'_>) -> FaultReport {
-    let CampaignSpec {
-        receptor_atoms, n_spots, jobs, strategy, faults, dynamic, gpu_victim, ..
-    } = *spec;
-    let trace = &spec.trace;
-    assert_eq!(faults.slowdowns.len(), cluster.node_count(), "fault plan size mismatch");
-    assert!(faults.slowdowns.iter().all(|&f| f >= 1.0), "factors must be ≥ 1");
-    if let Some(g) = gpu_victim {
-        assert!(
-            cluster.nodes().iter().all(|nd| g < nd.gpus().len()),
-            "gpu_victim {g} out of range for some node"
-        );
-        assert!(
-            faults.slowdowns.iter().all(|f| f.is_finite()),
-            "gpu_victim needs finite factors (the lane keeps executing, slowly)"
-        );
-    }
-
-    for (ni, &f) in faults.slowdowns.iter().enumerate() {
-        if f > 1.0 {
-            trace.emit(Event::FaultInjected { node: ni as u32, slowdown: f });
-        }
-    }
-
-    let nominal_cost = |ni: usize, job: &LigandJob| -> f64 {
-        let node = &cluster.nodes()[ni];
-        let trace = synthetic_trace(&job.params, n_spots);
-        schedule_trace(
-            node.cpu(),
-            node.gpus(),
-            &trace,
-            job.pairs_per_eval(receptor_atoms),
-            strategy,
-        )
-        .makespan
-    };
-
-    // A degraded GPU keeps its nominal speed through the warm-up (its
-    // Equation 1 weight is measured healthy) and slows at this batch — the
-    // mid-run degradation the intra-node steal path exists to absorb.
-    let onset = match strategy {
-        Strategy::HeterogeneousSplit { warmup }
-        | Strategy::AdaptiveSplit { warmup, .. }
-        | Strategy::WorkSteal { warmup, .. } => warmup.iterations,
-        _ => 0,
-    };
-
-    // True cost of running `job` on node `ni` under the active fault
-    // model; `emit` controls whether the intra-node replay contributes
-    // events to the campaign trace (only actually-executed placements do —
-    // planning probes stay silent).
-    let degraded_cost = |ni: usize, job: &LigandJob, emit: bool| -> f64 {
-        let factor = faults.factor(ni);
-        match gpu_victim {
-            None => nominal_cost(ni, job) * factor,
-            Some(g) => {
-                let node = &cluster.nodes()[ni];
-                let batches = synthetic_trace(&job.params, n_spots);
-                let mut slowdowns = vec![1.0; node.gpus().len()];
-                slowdowns[g] = factor;
-                let silent = Trace::disabled();
-                let events = if emit && factor > 1.0 { trace } else { &silent };
-                schedule_trace_faulty(
-                    node.cpu(),
-                    node.gpus(),
-                    &batches,
-                    job.pairs_per_eval(receptor_atoms),
-                    strategy,
-                    &slowdowns,
-                    onset,
-                    events,
-                )
-                .makespan
-            }
-        }
-    };
-
-    let mut order: Vec<usize> = (0..jobs.len()).collect();
-    order.sort_by_key(|&j| {
-        std::cmp::Reverse(jobs[j].total_items(n_spots) * jobs[j].pairs_per_eval(receptor_atoms))
-    });
-
-    let n = cluster.node_count();
-
-    // The static nominal plan: balance by *healthy* estimates, blind to
-    // degradation. The static mode executes it; dynamic mode compares
-    // against it to report migrations.
-    let plan_static = || {
-        let mut planned = vec![0.0f64; n];
-        let mut assignment = vec![usize::MAX; jobs.len()];
-        for &j in &order {
-            let (ni, _) = planned
-                .iter()
-                .enumerate()
-                // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .expect("non-empty");
-            planned[ni] += nominal_cost(ni, &jobs[j]);
-            assignment[j] = ni;
-        }
-        assignment
-    };
-
-    let mut node_times = vec![0.0f64; n];
-    let assignment = if dynamic {
-        let mut assignment = vec![usize::MAX; jobs.len()];
-        for &j in &order {
-            let (ni, _) = node_times
-                .iter()
-                .enumerate()
-                // PANICS: inputs are non-empty by caller contract and scores/clocks are finite.
-                .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .expect("non-empty");
-            node_times[ni] += degraded_cost(ni, &jobs[j], true);
-            assignment[j] = ni;
-        }
-        if trace.is_enabled() {
-            for (j, (&to, &from)) in assignment.iter().zip(&plan_static()).enumerate() {
-                if to != from {
-                    trace.emit(Event::JobMigrated {
-                        job: j as u32,
-                        from_node: from as u32,
-                        to_node: to as u32,
-                    });
-                }
-            }
-        }
-        assignment
-    } else {
-        // Execute the static plan with the true (degraded) costs.
-        let assignment = plan_static();
-        for (j, &ni) in assignment.iter().enumerate() {
-            node_times[ni] += degraded_cost(ni, &jobs[j], true);
-        }
-        assignment
-    };
-
-    let makespan = node_times.iter().cloned().fold(0.0, f64::max);
-    FaultReport { makespan, node_times, assignment }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::library::synthetic_library;
-    use crate::net::NetModel;
-    use vscreen::platform;
 
-    fn setup() -> (SimCluster, Vec<LigandJob>) {
-        let cluster = SimCluster::uniform(3, NetModel::infiniband(), platform::hertz);
-        let jobs = synthetic_library(24, &metaheur::m1(0.3), 5);
-        (cluster, jobs)
-    }
-
-    fn spec<'a>(jobs: &'a [LigandJob], plan: &'a FaultPlan) -> CampaignSpec<'a> {
-        CampaignSpec::new(3264, 16, jobs, Strategy::HomogeneousSplit, plan)
+    #[test]
+    fn healthy_plan_is_all_ones() {
+        let p = FaultPlan::healthy(3);
+        assert_eq!(p.slowdowns, vec![1.0; 3]);
+        assert_eq!(p.factor(2), 1.0);
     }
 
     #[test]
-    fn healthy_static_equals_dynamic() {
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan::healthy(3);
-        let d = screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true));
-        let s = screen_library_faulty(&cluster, &spec(&jobs, &plan));
-        assert!((d.makespan - s.makespan).abs() / d.makespan < 1e-9);
-    }
-
-    #[test]
-    fn dynamic_absorbs_straggler() {
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan::straggler(3, 1, 4.0);
-        let dynamic = screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true));
-        let static_ = screen_library_faulty(&cluster, &spec(&jobs, &plan));
-        assert!(
-            dynamic.makespan < static_.makespan / 1.5,
-            "dynamic {} should absorb the 4x straggler vs static {}",
-            dynamic.makespan,
-            static_.makespan
-        );
-        // The degraded node got fewer jobs under dynamic scheduling.
-        let count = |r: &FaultReport| r.assignment.iter().filter(|&&n| n == 1).count();
-        assert!(count(&dynamic) < count(&static_));
-    }
-
-    #[test]
-    fn static_makespan_scales_with_straggler_factor() {
-        let (cluster, jobs) = setup();
-        let m = |f: f64| {
-            let plan = FaultPlan::straggler(3, 0, f);
-            screen_library_faulty(&cluster, &spec(&jobs, &plan)).makespan
-        };
-        let healthy = m(1.0);
-        let slow = m(3.0);
-        assert!((slow / healthy - 3.0).abs() < 0.5, "static suffers ~3x: {}", slow / healthy);
-    }
-
-    #[test]
-    fn dead_node_starved_by_dynamic() {
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan::straggler(3, 2, 1e6);
-        let r = screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true));
-        let to_dead = r.assignment.iter().filter(|&&n| n == 2).count();
-        // LPT gives the dead node at most its first pick before its clock
-        // explodes past everyone else.
-        assert!(to_dead <= 1, "dead node got {to_dead} jobs");
-    }
-
-    #[test]
-    fn all_jobs_still_complete_under_faults() {
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan::straggler(3, 0, 10.0);
-        for dynamic in [true, false] {
-            let r = screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(dynamic));
-            assert!(r.assignment.iter().all(|&n| n < 3));
-            assert_eq!(r.assignment.len(), jobs.len());
-        }
-    }
-
-    #[test]
-    fn traced_straggler_emits_fault_and_migration_events() {
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan::straggler(3, 1, 4.0);
-        let trace = Trace::new();
-        let traced =
-            screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true).traced(&trace));
-        let data = trace.snapshot();
-        let faults_seen: Vec<_> = data
-            .payloads()
-            .into_iter()
-            .filter_map(|e| match e {
-                Event::FaultInjected { node, slowdown } => Some((node, slowdown)),
-                _ => None,
-            })
-            .collect();
-        assert_eq!(faults_seen, vec![(1, 4.0)]);
-        let migrations =
-            data.payloads().into_iter().filter(|e| matches!(e, Event::JobMigrated { .. })).count();
-        assert!(migrations > 0, "4x straggler under dynamic scheduling must move jobs");
-        for e in data.payloads() {
-            if let Event::JobMigrated { job, from_node, to_node } = e {
-                assert_ne!(from_node, to_node);
-                assert_eq!(traced.assignment[job as usize], to_node as usize);
-            }
-        }
-        // Tracing must not perturb the schedule itself.
-        let plain = screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true));
-        assert_eq!(traced.assignment, plain.assignment);
-        assert_eq!(traced.makespan, plain.makespan);
-    }
-
-    #[test]
-    fn untraced_run_emits_nothing() {
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan::straggler(3, 1, 4.0);
-        let trace = Trace::disabled();
-        screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true).traced(&trace));
-        assert!(trace.snapshot().is_empty());
-    }
-
-    /// Intra-node fault-model specs: generations big enough (128 spots ×
-    /// population 64 = 8192 conformations) that the degraded node's deques
-    /// hold many occupancy-floor chunks — granularity for lane steals.
-    fn intra_spec<'a>(
-        jobs: &'a [LigandJob],
-        plan: &'a FaultPlan,
-        strategy: Strategy,
-    ) -> CampaignSpec<'a> {
-        CampaignSpec::new(3264, 128, jobs, strategy, plan).gpu_victim(1)
-    }
-
-    fn worksteal() -> Strategy {
-        Strategy::WorkSteal { warmup: vsched::WarmupConfig::default(), divisor: 2 }
-    }
-
-    #[test]
-    fn gpu_victim_worksteal_steals_inside_degraded_node() {
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan::straggler(3, 1, 4.0);
-        let trace = Trace::new();
-        // Static node assignment: every JobMigrated on the trace is an
-        // *intra-node* device-lane steal, not a node-level migration.
-        screen_library_faulty(&cluster, &intra_spec(&jobs, &plan, worksteal()).traced(&trace));
-        let data = trace.snapshot();
-        let steals =
-            data.payloads().into_iter().filter(|e| matches!(e, Event::JobMigrated { .. })).count();
-        assert!(steals > 0, "degraded lane must shed chunks to the healthy lanes");
-    }
-
-    #[test]
-    fn gpu_victim_worksteal_beats_frozen_split() {
-        // The tentpole claim at cluster scope: with the fault inside the
-        // node, the runtime's steals absorb what the frozen Percent split
-        // cannot.
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan::straggler(3, 1, 4.0);
-        let frozen = screen_library_faulty(
-            &cluster,
-            &intra_spec(
-                &jobs,
-                &plan,
-                Strategy::HeterogeneousSplit { warmup: vsched::WarmupConfig::default() },
-            ),
-        );
-        let stealing = screen_library_faulty(&cluster, &intra_spec(&jobs, &plan, worksteal()));
-        assert!(
-            stealing.makespan < frozen.makespan,
-            "steals must absorb the lane fault: {} vs {}",
-            stealing.makespan,
-            frozen.makespan
-        );
-    }
-
-    #[test]
-    fn gpu_victim_healthy_matches_node_level_model() {
-        // With every factor 1.0 the two fault models agree: no lane is
-        // degraded, so the intra-node replay reduces to the nominal one.
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan::healthy(3);
-        let node_level = screen_library_faulty(&cluster, &spec(&jobs, &plan));
-        let intra = screen_library_faulty(&cluster, &spec(&jobs, &plan).gpu_victim(1));
-        assert!((node_level.makespan - intra.makespan).abs() < 1e-12 * node_level.makespan);
-        assert_eq!(node_level.assignment, intra.assignment);
-    }
-
-    #[test]
-    #[should_panic]
-    fn gpu_victim_out_of_range_panics() {
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan::healthy(3);
-        screen_library_faulty(&cluster, &spec(&jobs, &plan).gpu_victim(9));
-    }
-
-    #[test]
-    #[should_panic]
-    fn gpu_victim_infinite_factor_panics() {
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan { slowdowns: vec![1.0, f64::INFINITY, 1.0] };
-        screen_library_faulty(&cluster, &spec(&jobs, &plan).gpu_victim(0));
-    }
-
-    #[test]
-    #[should_panic]
-    fn plan_size_mismatch_panics() {
-        let (cluster, jobs) = setup();
-        let plan = FaultPlan::healthy(2);
-        screen_library_faulty(&cluster, &spec(&jobs, &plan).dynamic(true));
+    fn straggler_plan_slows_exactly_one_node() {
+        let p = FaultPlan::straggler(4, 1, 3.5);
+        assert_eq!(p.factor(1), 3.5);
+        assert_eq!(p.slowdowns.iter().filter(|&&f| f == 1.0).count(), 3);
     }
 
     #[test]
     #[should_panic]
     fn sub_unity_factor_panics() {
         FaultPlan::straggler(2, 0, 0.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn victim_out_of_range_panics() {
+        FaultPlan::straggler(2, 2, 2.0);
     }
 }

@@ -5,26 +5,52 @@
 //! computational nodes working together with the message-passing paradigm,
 //! and each node with several computational components".
 //!
-//! This crate implements that extension over the simulated substrate:
+//! This crate implements that extension over the simulated substrate as a
+//! **multi-tenant campaign service**:
 //!
+//! - [`service`] — the single submission API:
+//!   [`Service::submit`](service::Service::submit) takes a
+//!   [`Campaign`](service::Campaign) (library screen, fault-injected
+//!   screen, or L×R cross-docking matrix — the three shapes that used to
+//!   be separate entry points),
+//!   [`Service::drain`](service::Service::drain) runs the bounded queue
+//!   to quiescence and returns one unified
+//!   [`CampaignReport`](service::CampaignReport) with queue-latency
+//!   percentiles and fleet utilization. Admission control rejects when the
+//!   queue is full (an interactive-only reserve keeps re-docks
+//!   responsive), classes drain weighted-fair, duplicates are served from
+//!   a keyed results cache, and nodes may join/leave mid-campaign;
+//! - [`admission`] — the concurrency cores behind the service (bounded
+//!   admission gate, exactly-once completion board, publish-once results
+//!   cache), exhaustively model-checked under the `vscheck-model` feature;
+//! - [`traffic`] — deterministic bursty traffic generation for service
+//!   studies;
 //! - [`net`] — a latency/bandwidth message-cost model (the MPI analog);
-//! - [`cluster`] — [`cluster::SimCluster`]: several heterogeneous
-//!   [`gpusim::SimNode`]s joined by an interconnect, plus the library
-//!   screening driver that distributes ligand *jobs* across nodes
-//!   (dynamic earliest-finish assignment, the cluster-level version of
-//!   the paper's job scheduling) and accounts communication costs;
-//! - [`library`] — synthetic ligand-library generation for
-//!   screening-campaign workloads.
+//! - [`cluster`] — [`cluster::SimCluster`]: the node pool the service
+//!   runs over;
+//! - [`library`] — synthetic ligand-library generation;
+//! - [`faults`] / [`crossdock`] — degradation plans and receptor targets
+//!   consumed by the corresponding campaign kinds.
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod cluster;
 pub mod crossdock;
 pub mod faults;
 pub mod library;
 pub mod net;
+pub mod service;
+pub(crate) mod sync;
+pub mod traffic;
 
-pub use cluster::{ClusterReport, SimCluster};
-pub use crossdock::{schedule_cross_docking, CrossDockReport, ReceptorTarget};
-pub use faults::{screen_library_faulty, CampaignSpec, FaultPlan, FaultReport};
+pub use admission::{AdmissionGate, CacheKey, CachedResult, CompletionBoard, ResultsCache};
+pub use cluster::SimCluster;
+pub use crossdock::ReceptorTarget;
+pub use faults::FaultPlan;
 pub use library::{synthetic_library, LigandJob};
 pub use net::NetModel;
+pub use service::{
+    Campaign, CampaignKind, CampaignReport, CampaignStats, JobHandle, JobOutcome, Priority,
+    ScalePlan, Service, ServiceConfig,
+};
+pub use traffic::{bursty_traffic, TrafficConfig};

@@ -1,0 +1,29 @@
+//! Synchronization facade for the campaign-service protocol cores.
+//!
+//! Normal builds re-export `std` types verbatim — a zero-cost pure alias,
+//! so the production service is bit-for-bit the `std`-based
+//! implementation. Under the `vscheck-model` feature the same names
+//! resolve to the `vscheck` instrumented primitives, turning every sync
+//! operation in [`crate::admission`] into a scheduler choice point so the
+//! `model_*` tests can exhaustively explore interleavings (DESIGN.md §9,
+//! §13).
+
+#[cfg(not(feature = "vscheck-model"))]
+pub(crate) use std::sync::Mutex;
+#[cfg(feature = "vscheck-model")]
+pub(crate) use vscheck::sync::Mutex;
+
+#[cfg(all(test, feature = "vscheck-model"))]
+pub(crate) mod thread {
+    pub(crate) use vscheck::thread::Builder;
+}
+
+pub(crate) mod atomic {
+    #[cfg(not(feature = "vscheck-model"))]
+    pub(crate) use std::sync::atomic::{AtomicBool, AtomicU64};
+    #[cfg(feature = "vscheck-model")]
+    pub(crate) use vscheck::sync::atomic::{AtomicBool, AtomicU64};
+    // The vscheck atomics take `std` orderings (and collapse them to
+    // SeqCst), so `Ordering` aliases `std` in both configurations.
+    pub(crate) use std::sync::atomic::Ordering;
+}

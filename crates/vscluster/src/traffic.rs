@@ -1,0 +1,193 @@
+//! Deterministic bursty traffic generation for campaign-service studies.
+//!
+//! A production screening service sees two tenant populations at once: a
+//! few long bulk sweeps submitted early, and bursts of small interactive
+//! re-docks arriving throughout the day — some of them duplicates of work
+//! already done (the same analog re-docked from a different notebook).
+//! [`bursty_traffic`] synthesizes that mix reproducibly from a seed, so
+//! the campaign bench (`BENCH_campaign.json`) and the determinism tests
+//! exercise admission control, weighted-fair drain, and the results cache
+//! under one realistic arrival pattern.
+
+use crate::library::synthetic_library;
+use crate::service::Campaign;
+use vsched::Strategy;
+use vsmath::RngStream;
+
+/// Shape of one synthetic traffic mix.
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Arrival window, seconds of virtual time.
+    pub horizon_s: f64,
+    /// Bulk sweeps, arriving in the first fifth of the horizon.
+    pub bulk_campaigns: usize,
+    /// Ligands per bulk sweep.
+    pub bulk_jobs: usize,
+    /// Interactive bursts spread over the horizon.
+    pub bursts: usize,
+    /// Interactive campaigns per burst.
+    pub burst_size: usize,
+    /// Ligands per interactive re-dock.
+    pub interactive_jobs: usize,
+    /// Fraction of interactive campaigns that duplicate an earlier one
+    /// (same library, seed, and kernel — cache-key identical).
+    pub duplicate_fraction: f64,
+    /// Receptor shape shared by the mix.
+    pub receptor_atoms: usize,
+    pub n_spots: usize,
+    /// Intra-node scheduling strategy of every campaign.
+    pub strategy: Strategy,
+    /// Metaheuristic workload scale (paper suite M1 at this fraction).
+    pub scale: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> TrafficConfig {
+        TrafficConfig {
+            horizon_s: 10.0,
+            bulk_campaigns: 2,
+            bulk_jobs: 24,
+            bursts: 4,
+            burst_size: 3,
+            interactive_jobs: 2,
+            duplicate_fraction: 0.33,
+            receptor_atoms: 3264,
+            n_spots: 16,
+            strategy: Strategy::HomogeneousSplit,
+            scale: 0.2,
+        }
+    }
+}
+
+impl TrafficConfig {
+    /// Total campaigns this config generates.
+    pub fn campaign_count(&self) -> usize {
+        self.bulk_campaigns + self.bursts * self.burst_size
+    }
+}
+
+/// Generate the traffic mix: bulk sweeps early, interactive bursts
+/// throughout, a configurable fraction of duplicates. Deterministic in
+/// `(cfg, seed)`; returned sorted by arrival time.
+pub fn bursty_traffic(cfg: &TrafficConfig, seed: u64) -> Vec<Campaign> {
+    assert!(cfg.horizon_s > 0.0, "horizon must be positive");
+    assert!((0.0..=1.0).contains(&cfg.duplicate_fraction), "duplicate fraction must be in [0, 1]");
+    let params = metaheur::m1(cfg.scale);
+    let mut rng = RngStream::derive(seed, TRAFFIC_STREAM);
+    let mut out: Vec<Campaign> = Vec::with_capacity(cfg.campaign_count());
+
+    // Bulk sweeps: distinct libraries, arriving in the first fifth so the
+    // backlog is established before the interactive day begins.
+    for b in 0..cfg.bulk_campaigns {
+        let arrival = rng.uniform_range(0.0, cfg.horizon_s * 0.2);
+        let lib_seed = seed.wrapping_add(1 + b as u64);
+        let jobs = synthetic_library(cfg.bulk_jobs, &params, lib_seed);
+        out.push(
+            Campaign::library(cfg.receptor_atoms, cfg.n_spots, jobs, cfg.strategy)
+                .seed(lib_seed)
+                .at(arrival),
+        );
+    }
+
+    // Interactive bursts: each burst has a center; its campaigns arrive
+    // within a short jitter window around it. A duplicate re-submits an
+    // earlier interactive campaign verbatim (same library seed → same
+    // cache keys); originals get fresh seeds.
+    let mut originals: Vec<u64> = Vec::new();
+    for burst in 0..cfg.bursts {
+        let center = rng.uniform_range(cfg.horizon_s * 0.1, cfg.horizon_s);
+        for c in 0..cfg.burst_size {
+            let arrival =
+                (center + rng.uniform_range(0.0, cfg.horizon_s * 0.01)).min(cfg.horizon_s);
+            let duplicate = !originals.is_empty() && rng.uniform() < cfg.duplicate_fraction;
+            let lib_seed = if duplicate {
+                originals[rng.index(originals.len())]
+            } else {
+                let s = seed ^ (0x1000 + (burst * cfg.burst_size + c) as u64);
+                originals.push(s);
+                s
+            };
+            let jobs = synthetic_library(cfg.interactive_jobs, &params, lib_seed);
+            out.push(
+                Campaign::library(cfg.receptor_atoms, cfg.n_spots, jobs, cfg.strategy)
+                    .interactive()
+                    .seed(lib_seed)
+                    .at(arrival),
+            );
+        }
+    }
+
+    // PANICS: arrivals are finite by construction (uniform over a finite horizon).
+    out.sort_by(|a, b| a.arrival_vt.partial_cmp(&b.arrival_vt).expect("finite arrivals"));
+    out
+}
+
+/// Stream id of the traffic RNG (distinct from library generation).
+const TRAFFIC_STREAM: u64 = 0x7AFF_1C00;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Priority;
+
+    #[test]
+    fn traffic_is_deterministic() {
+        let cfg = TrafficConfig::default();
+        let a = bursty_traffic(&cfg, 42);
+        let b = bursty_traffic(&cfg, 42);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival_vt, y.arrival_vt);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(x.priority, y.priority);
+        }
+        let c = bursty_traffic(&cfg, 43);
+        assert!(a.iter().zip(&c).any(|(x, y)| x.arrival_vt != y.arrival_vt));
+    }
+
+    #[test]
+    fn mix_has_both_classes_and_sorted_arrivals() {
+        let cfg = TrafficConfig::default();
+        let traffic = bursty_traffic(&cfg, 7);
+        assert_eq!(traffic.len(), cfg.campaign_count());
+        assert!(traffic.iter().any(|c| c.priority == Priority::Bulk));
+        assert!(traffic.iter().any(|c| c.priority == Priority::Interactive));
+        assert!(traffic.windows(2).all(|w| w[0].arrival_vt <= w[1].arrival_vt));
+        assert!(traffic.iter().all(|c| (0.0..=cfg.horizon_s).contains(&c.arrival_vt)));
+    }
+
+    #[test]
+    fn duplicates_share_seeds_when_requested() {
+        let cfg = TrafficConfig {
+            bursts: 8,
+            burst_size: 4,
+            duplicate_fraction: 0.5,
+            ..TrafficConfig::default()
+        };
+        let traffic = bursty_traffic(&cfg, 11);
+        let mut seeds: Vec<u64> = traffic
+            .iter()
+            .filter(|c| c.priority == Priority::Interactive)
+            .map(|c| c.seed)
+            .collect();
+        let total = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert!(seeds.len() < total, "a 0.5 duplicate fraction must repeat some seeds");
+    }
+
+    #[test]
+    fn zero_duplicate_fraction_yields_unique_interactive_seeds() {
+        let cfg = TrafficConfig { duplicate_fraction: 0.0, ..TrafficConfig::default() };
+        let traffic = bursty_traffic(&cfg, 3);
+        let mut seeds: Vec<u64> = traffic
+            .iter()
+            .filter(|c| c.priority == Priority::Interactive)
+            .map(|c| c.seed)
+            .collect();
+        let total = seeds.len();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), total);
+    }
+}

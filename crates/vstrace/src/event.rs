@@ -50,6 +50,23 @@ pub enum Event {
     JobMigrated { job: u32, from_node: u32, to_node: u32 },
     /// A node was degraded by the fault plan.
     FaultInjected { node: u32, slowdown: f64 },
+    /// The campaign service admitted a submission into the bounded queue
+    /// (`vscluster::service`). `vt` is the virtual arrival time; `jobs` the
+    /// per-ligand fan-out the campaign expands into.
+    JobAdmitted { campaign: u32, jobs: u32, interactive: bool, vt: f64 },
+    /// Admission control turned a submission away: the bounded queue held
+    /// `queued` of `capacity` jobs at the campaign's arrival — backpressure
+    /// made observable.
+    JobRejected { campaign: u32, jobs: u32, queued: u32, capacity: u32, vt: f64 },
+    /// A per-ligand job was served from the results cache instead of the
+    /// device fleet: a duplicate `(receptor, ligand, seed, kernel)` key.
+    CacheHit { campaign: u32, ligand: u32, vt: f64 },
+    /// An elastic scale-up event: a node joined the campaign service
+    /// mid-run and became eligible for dispatch at `vt`.
+    NodeJoined { node: u32, vt: f64 },
+    /// An elastic scale-down event: a node left at `vt`; `requeued` counts
+    /// the in-flight jobs that were aborted and returned to the queue.
+    NodeLeft { node: u32, vt: f64, requeued: u32 },
     /// Begin of a named wall-clock span (paired with [`Event::SpanEnd`]).
     SpanBegin { name: &'static str },
     /// End of the innermost open span with the same name on this thread.
@@ -75,6 +92,11 @@ impl Event {
             Event::GridBuilt { .. } => "GridBuilt",
             Event::JobMigrated { .. } => "JobMigrated",
             Event::FaultInjected { .. } => "FaultInjected",
+            Event::JobAdmitted { .. } => "JobAdmitted",
+            Event::JobRejected { .. } => "JobRejected",
+            Event::CacheHit { .. } => "CacheHit",
+            Event::NodeJoined { .. } => "NodeJoined",
+            Event::NodeLeft { .. } => "NodeLeft",
             Event::SpanBegin { .. } => "SpanBegin",
             Event::SpanEnd { .. } => "SpanEnd",
             Event::Counter { .. } => "Counter",
@@ -124,6 +146,11 @@ mod tests {
             Event::GridBuilt { nodes: 1, grids: 1, bytes: 4, build_s: 0.1, cached: false },
             Event::JobMigrated { job: 0, from_node: 0, to_node: 1 },
             Event::FaultInjected { node: 0, slowdown: 2.0 },
+            Event::JobAdmitted { campaign: 0, jobs: 4, interactive: true, vt: 0.0 },
+            Event::JobRejected { campaign: 1, jobs: 4, queued: 8, capacity: 8, vt: 0.0 },
+            Event::CacheHit { campaign: 0, ligand: 2, vt: 0.1 },
+            Event::NodeJoined { node: 2, vt: 0.5 },
+            Event::NodeLeft { node: 1, vt: 0.7, requeued: 3 },
             Event::SpanBegin { name: "x" },
             Event::SpanEnd { name: "x" },
             Event::Counter { name: "x", value: 1.0 },

@@ -226,6 +226,58 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                         num(slowdown)
                     ),
                 ),
+                Event::JobAdmitted { campaign, jobs, interactive, vt } => push_event(
+                    &mut out,
+                    &format!(
+                        "\"name\": \"JobAdmitted\", \"ph\": \"i\", \"s\": \"g\", \
+                         \"pid\": {WALL_PID}, \"tid\": {tid}, \"ts\": {}, \"args\": {{\
+                         \"campaign\": {campaign}, \"jobs\": {jobs}, \
+                         \"interactive\": {interactive}, \"vt\": {}}}",
+                        num(wall_us),
+                        num(vt)
+                    ),
+                ),
+                Event::JobRejected { campaign, jobs, queued, capacity, vt } => push_event(
+                    &mut out,
+                    &format!(
+                        "\"name\": \"JobRejected\", \"ph\": \"i\", \"s\": \"g\", \
+                         \"pid\": {WALL_PID}, \"tid\": {tid}, \"ts\": {}, \"args\": {{\
+                         \"campaign\": {campaign}, \"jobs\": {jobs}, \"queued\": {queued}, \
+                         \"capacity\": {capacity}, \"vt\": {}}}",
+                        num(wall_us),
+                        num(vt)
+                    ),
+                ),
+                Event::CacheHit { campaign, ligand, vt } => push_event(
+                    &mut out,
+                    &format!(
+                        "\"name\": \"CacheHit\", \"ph\": \"i\", \"s\": \"t\", \
+                         \"pid\": {WALL_PID}, \"tid\": {tid}, \"ts\": {}, \"args\": {{\
+                         \"campaign\": {campaign}, \"ligand\": {ligand}, \"vt\": {}}}",
+                        num(wall_us),
+                        num(vt)
+                    ),
+                ),
+                Event::NodeJoined { node, vt } => push_event(
+                    &mut out,
+                    &format!(
+                        "\"name\": \"NodeJoined\", \"ph\": \"i\", \"s\": \"g\", \
+                         \"pid\": {WALL_PID}, \"tid\": {tid}, \"ts\": {}, \"args\": {{\
+                         \"node\": {node}, \"vt\": {}}}",
+                        num(wall_us),
+                        num(vt)
+                    ),
+                ),
+                Event::NodeLeft { node, vt, requeued } => push_event(
+                    &mut out,
+                    &format!(
+                        "\"name\": \"NodeLeft\", \"ph\": \"i\", \"s\": \"g\", \
+                         \"pid\": {WALL_PID}, \"tid\": {tid}, \"ts\": {}, \"args\": {{\
+                         \"node\": {node}, \"vt\": {}, \"requeued\": {requeued}}}",
+                        num(wall_us),
+                        num(vt)
+                    ),
+                ),
                 Event::StageDepth { stage, depth } => push_event(
                     &mut out,
                     &format!(
@@ -283,6 +335,11 @@ mod tests {
         t.emit(Event::GenerationDone { generation: 0, best_score: -7.25, evaluations: 64 });
         t.emit(Event::JobMigrated { job: 3, from_node: 0, to_node: 1 });
         t.emit(Event::FaultInjected { node: 0, slowdown: 2.0 });
+        t.emit(Event::JobAdmitted { campaign: 0, jobs: 12, interactive: false, vt: 0.0 });
+        t.emit(Event::JobRejected { campaign: 1, jobs: 3, queued: 12, capacity: 12, vt: 0.001 });
+        t.emit(Event::CacheHit { campaign: 2, ligand: 7, vt: 0.002 });
+        t.emit(Event::NodeJoined { node: 2, vt: 0.003 });
+        t.emit(Event::NodeLeft { node: 0, vt: 0.004, requeued: 1 });
         t
     }
 
@@ -312,6 +369,11 @@ mod tests {
             "GenerationDone",
             "JobMigrated",
             "FaultInjected",
+            "JobAdmitted",
+            "JobRejected",
+            "CacheHit",
+            "NodeJoined",
+            "NodeLeft",
             "best",
         ] {
             assert!(names.contains(&expect), "missing {expect} in {names:?}");

@@ -34,6 +34,13 @@ pub fn text_summary(data: &TraceData) -> String {
     let mut evaluations = 0u64;
     let mut migrations = 0u64;
     let mut faults = 0u64;
+    let mut admitted = 0u64;
+    let mut admitted_jobs = 0u64;
+    let mut rejected = 0u64;
+    let mut cache_hits = 0u64;
+    let mut node_joins = 0u64;
+    let mut node_leaves = 0u64;
+    let mut requeued = 0u64;
     let mut grid_builds = 0u64;
     let mut grid_cached = 0u64;
     let mut grid_build_s = 0.0f64;
@@ -79,6 +86,17 @@ pub fn text_summary(data: &TraceData) -> String {
             }
             Event::JobMigrated { .. } => migrations += 1,
             Event::FaultInjected { .. } => faults += 1,
+            Event::JobAdmitted { jobs, .. } => {
+                admitted += 1;
+                admitted_jobs += u64::from(jobs);
+            }
+            Event::JobRejected { .. } => rejected += 1,
+            Event::CacheHit { .. } => cache_hits += 1,
+            Event::NodeJoined { .. } => node_joins += 1,
+            Event::NodeLeft { requeued: r, .. } => {
+                node_leaves += 1;
+                requeued += u64::from(r);
+            }
             Event::GridBuilt { bytes, build_s, cached, .. } => {
                 grid_builds += 1;
                 if cached {
@@ -159,6 +177,20 @@ pub fn text_summary(data: &TraceData) -> String {
     }
     if faults + migrations > 0 {
         let _ = writeln!(out, "cluster: {faults} faults injected, {migrations} jobs migrated");
+    }
+    if admitted + rejected + cache_hits + node_joins + node_leaves > 0 {
+        let _ = writeln!(
+            out,
+            "campaign service: {admitted} campaigns admitted ({admitted_jobs} jobs), \
+             {rejected} rejected, {cache_hits} cache hits"
+        );
+        if node_joins + node_leaves > 0 {
+            let _ = writeln!(
+                out,
+                "  elastic fleet: {node_joins} joins, {node_leaves} leaves \
+                 ({requeued} jobs requeued)"
+            );
+        }
     }
     if grid_builds > 0 {
         let _ = writeln!(
@@ -245,6 +277,22 @@ mod tests {
         assert!(s.contains("stage channels"), "{s}");
         assert!(s.contains("breed"), "{s}");
         assert!(s.contains("2"), "{s}"); // 2 sends, max depth 3
+    }
+
+    #[test]
+    fn summary_reports_campaign_service_section() {
+        let t = Trace::new();
+        t.emit(Event::JobAdmitted { campaign: 0, jobs: 10, interactive: false, vt: 0.0 });
+        t.emit(Event::JobAdmitted { campaign: 1, jobs: 2, interactive: true, vt: 0.5 });
+        t.emit(Event::JobRejected { campaign: 2, jobs: 5, queued: 12, capacity: 12, vt: 0.6 });
+        t.emit(Event::CacheHit { campaign: 3, ligand: 1, vt: 0.7 });
+        t.emit(Event::NodeJoined { node: 4, vt: 0.8 });
+        t.emit(Event::NodeLeft { node: 0, vt: 0.9, requeued: 3 });
+        let s = text_summary(&t.snapshot());
+        assert!(s.contains("2 campaigns admitted (12 jobs)"), "{s}");
+        assert!(s.contains("1 rejected"), "{s}");
+        assert!(s.contains("1 cache hits"), "{s}");
+        assert!(s.contains("1 joins, 1 leaves (3 jobs requeued)"), "{s}");
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! The paper's future-work extension (§6): a ligand-library screening
 //! campaign across a message-passing cluster of heterogeneous nodes, each
-//! running the intra-node heterogeneous schedule.
+//! running the intra-node heterogeneous schedule — submitted through the
+//! campaign service's single entry point (`submit`/`drain`).
 //!
 //! Run with: `cargo run --release -p vs-examples --example cluster_screening`
 
-use vscluster::{synthetic_library, NetModel, SimCluster};
+use vscluster::{synthetic_library, Campaign, NetModel, Service, ServiceConfig, SimCluster};
 use vscreen::prelude::*;
 
 fn main() {
@@ -21,17 +22,25 @@ fn main() {
     );
 
     let strategy = Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() };
+    let screen = |cluster: SimCluster| {
+        let mut svc = Service::new(cluster, ServiceConfig::default());
+        svc.submit(Campaign::library(receptor_atoms, n_spots, library.clone(), strategy));
+        svc.drain()
+    };
 
-    println!("{:>6} {:>14} {:>10} {:>10}", "nodes", "makespan (s)", "speedup", "comm %");
+    println!(
+        "{:>6} {:>14} {:>10} {:>10} {:>12}",
+        "nodes", "makespan (s)", "speedup", "comm %", "utilization"
+    );
     for n in [1usize, 2, 4, 8] {
-        let cluster = SimCluster::uniform(n, NetModel::infiniband(), vscreen::platform::hertz);
-        let r = cluster.screen_library(receptor_atoms, n_spots, &library, strategy);
+        let r = screen(SimCluster::uniform(n, NetModel::infiniband(), vscreen::platform::hertz));
         println!(
-            "{:>6} {:>14.3} {:>9.2}x {:>9.2}%",
+            "{:>6} {:>14.3} {:>9.2}x {:>9.2}% {:>11.1}%",
             n,
             r.makespan,
             r.speedup(),
-            100.0 * r.comm_fraction()
+            100.0 * r.comm_fraction(),
+            100.0 * r.utilization
         );
     }
 
@@ -40,7 +49,7 @@ fn main() {
         vec![vscreen::platform::hertz(), vscreen::platform::jupiter()],
         NetModel::infiniband(),
     );
-    let r = mixed.screen_library(receptor_atoms, n_spots, &library, strategy);
+    let r = screen(mixed);
     let jupiter_jobs = r.assignment.iter().filter(|&&x| x == 1).count();
     println!(
         "\nmixed Hertz+Jupiter cluster: makespan {:.3}s, {} of {} jobs went to Jupiter",
@@ -50,14 +59,12 @@ fn main() {
     );
 
     // Slow interconnect ablation.
-    let slow = SimCluster::uniform(4, NetModel::gigabit_ethernet(), vscreen::platform::hertz)
-        .screen_library(receptor_atoms, n_spots, &library, strategy);
+    let slow =
+        screen(SimCluster::uniform(4, NetModel::gigabit_ethernet(), vscreen::platform::hertz));
+    let fast = screen(SimCluster::uniform(4, NetModel::infiniband(), vscreen::platform::hertz));
     println!(
         "gigabit-ethernet 4-node cluster: comm share {:.2}% (vs InfiniBand {:.2}%)",
         100.0 * slow.comm_fraction(),
-        100.0
-            * SimCluster::uniform(4, NetModel::infiniband(), vscreen::platform::hertz)
-                .screen_library(receptor_atoms, n_spots, &library, strategy)
-                .comm_fraction()
+        100.0 * fast.comm_fraction()
     );
 }

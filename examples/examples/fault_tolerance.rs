@@ -2,12 +2,13 @@
 //! cluster node degrades mid-life (thermal throttling, contention)?
 //! Dynamic job assignment — the paper's "dynamic assignment of jobs to
 //! heterogeneous resources" — absorbs the straggler; a static plan eats
-//! the full slowdown.
+//! the full slowdown. Both run as `Campaign::faulty` submissions through
+//! the campaign service.
 //!
 //! Run with: `cargo run --release -p vs-examples --example fault_tolerance`
 
 use vscluster::{
-    screen_library_faulty, synthetic_library, CampaignSpec, FaultPlan, NetModel, SimCluster,
+    synthetic_library, Campaign, FaultPlan, NetModel, Service, ServiceConfig, SimCluster,
 };
 use vscreen::prelude::*;
 
@@ -15,6 +16,13 @@ fn main() {
     let cluster = SimCluster::uniform(4, NetModel::infiniband(), platform::hertz);
     let jobs = synthetic_library(32, &metaheur::m3(1.0), 7);
     let strategy = Strategy::HomogeneousSplit;
+    let run = |plan: &FaultPlan, dynamic: bool| {
+        let mut svc = Service::new(cluster.clone(), ServiceConfig::default());
+        svc.submit(
+            Campaign::faulty(3264, 16, jobs.clone(), strategy, plan.clone()).dynamic(dynamic),
+        );
+        svc.drain()
+    };
 
     println!("campaign: {} ligand jobs over 4 Hertz nodes\n", jobs.len());
     println!("{:<26} {:>10} {:>10} {:>14}", "fault scenario", "static", "dynamic", "dynamic gain");
@@ -26,9 +34,8 @@ fn main() {
         ("node 2 at 10x slowdown", FaultPlan::straggler(4, 2, 10.0)),
         ("node 2 dead", FaultPlan::straggler(4, 2, 1e9)),
     ] {
-        let spec = CampaignSpec::new(3264, 16, &jobs, strategy, &plan);
-        let s = screen_library_faulty(&cluster, &spec);
-        let d = screen_library_faulty(&cluster, &spec.dynamic(true));
+        let s = run(&plan, false);
+        let d = run(&plan, true);
         println!(
             "{:<26} {:>9.3}s {:>9.3}s {:>13.2}x",
             label,
@@ -41,10 +48,7 @@ fn main() {
     println!("\njob placement under the 4x straggler (node 2 degraded):");
     let plan = FaultPlan::straggler(4, 2, 4.0);
     for (label, dynamic) in [("static", false), ("dynamic", true)] {
-        let r = screen_library_faulty(
-            &cluster,
-            &CampaignSpec::new(3264, 16, &jobs, strategy, &plan).dynamic(dynamic),
-        );
+        let r = run(&plan, dynamic);
         let counts: Vec<usize> =
             (0..4).map(|n| r.assignment.iter().filter(|&&x| x == n).count()).collect();
         println!("  {label:<8} jobs per node: {counts:?}");

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Produce and validate the campaign-service artifact: runs the
+# campaign_snapshot bench (bursty multi-tenant traffic on an elastic
+# 4-node Hertz fleet with one join and one leave, which gates interactive
+# p99 queue latency, >= 85% fleet utilization, zero lost jobs, and a
+# >= 100x cache-hit resubmission speedup), then sanity-checks the emitted
+# JSON. Fails on malformed or missing output.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-target/BENCH_campaign.json}"
+mkdir -p "$(dirname "$OUT")"
+
+echo "==> campaign_snapshot -> $OUT"
+cargo run --release -q -p vs-bench --bin campaign_snapshot -- "$OUT"
+
+[ -s "$OUT" ] || { echo "ERROR: $OUT missing or empty" >&2; exit 1; }
+grep -q '"bench": "campaign"' "$OUT" || { echo "ERROR: $OUT is not a campaign snapshot" >&2; exit 1; }
+grep -q '"scenario": "bursty_elastic"' "$OUT" || { echo "ERROR: $OUT has no bursty-traffic cell" >&2; exit 1; }
+grep -q '"scenario": "cache_resubmission"' "$OUT" || { echo "ERROR: $OUT has no cache cell" >&2; exit 1; }
+grep -q '"interactive_p99_s"' "$OUT" || { echo "ERROR: $OUT has no interactive latency figure" >&2; exit 1; }
+grep -q '"hit_speedup"' "$OUT" || { echo "ERROR: $OUT has no cache speedup figure" >&2; exit 1; }
+grep -q '"warm_device_evals": 0' "$OUT" || { echo "ERROR: warm resubmission touched the device" >&2; exit 1; }
+
+echo "==> campaign report OK: $OUT ($(wc -c < "$OUT") bytes)"

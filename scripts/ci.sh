@@ -29,6 +29,7 @@ cargo test -q -p vsscore --features vscheck-model model_
 cargo test -q -p vsched --features vscheck-model model_
 cargo test -q -p vstrace --features vscheck-model model_
 cargo test -q -p metaheur --features vscheck-model model_
+cargo test -q -p vscluster --features vscheck-model model_
 
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
@@ -47,5 +48,8 @@ scripts/grid_report.sh
 
 echo "==> pipeline report (lockstep vs pipelined engine; gates the idle-fraction drop)"
 scripts/pipeline_report.sh
+
+echo "==> campaign report (multi-tenant service under bursty traffic; gates latency, utilization, cache)"
+scripts/campaign_report.sh
 
 echo "==> OK"

@@ -1,0 +1,95 @@
+//! End-to-end guarantees of the campaign service: bit-identical
+//! determinism under the bursty traffic generator, cache-served
+//! resubmission, and job conservation across elastic fleet events.
+
+use vscluster::{
+    bursty_traffic, synthetic_library, Campaign, NetModel, ScalePlan, Service, ServiceConfig,
+    SimCluster, TrafficConfig,
+};
+use vscreen::prelude::*;
+
+fn fleet(n: usize) -> SimCluster {
+    SimCluster::uniform(n, NetModel::infiniband(), platform::hertz)
+}
+
+fn elastic() -> ScalePlan {
+    ScalePlan::new().join_at(0.05, platform::hertz()).leave_at(0.18, 1)
+}
+
+/// One full bursty run: fresh service, elastic fleet, default traffic.
+fn run(traffic_seed: u64) -> vscluster::CampaignReport {
+    let mut svc = Service::new(fleet(4), ServiceConfig::default());
+    svc.scale(elastic());
+    for c in bursty_traffic(&TrafficConfig::default(), traffic_seed) {
+        svc.submit(c);
+    }
+    svc.drain()
+}
+
+#[test]
+fn same_traffic_seed_yields_bit_identical_reports() {
+    let a = run(1234);
+    let b = run(1234);
+    // Full structural equality: makespan, per-node times, assignment,
+    // latency percentiles, utilization — every field must match exactly.
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_traffic_seed_changes_the_schedule() {
+    let a = run(1234);
+    let b = run(5678);
+    assert_ne!(a, b, "traffic seed must drive arrivals and duplication");
+}
+
+#[test]
+fn duplicate_resubmission_runs_zero_device_evals() {
+    let jobs = synthetic_library(24, &metaheur::m3(1.0), 5);
+    let campaign =
+        || Campaign::library(3264, 16, jobs.clone(), Strategy::HomogeneousSplit).seed(11);
+    let mut svc = Service::new(fleet(4), ServiceConfig::default());
+    svc.submit(campaign());
+    let cold = svc.drain();
+    assert_eq!(cold.cache_hits, 0);
+    assert!(cold.device_evals > 0);
+
+    svc.submit(campaign());
+    let warm = svc.drain();
+    assert_eq!(warm.cache_hits, 24, "every duplicate must be cache-served");
+    assert_eq!(warm.device_evals, 0, "warm run must never touch the device");
+    assert!(
+        warm.makespan < cold.makespan / 100.0,
+        "cache hit too slow: {} vs cold {}",
+        warm.makespan,
+        cold.makespan
+    );
+}
+
+#[test]
+fn elastic_fleet_never_loses_jobs() {
+    // Aggressive churn: two joins, two leaves, saturating traffic.
+    let cfg =
+        TrafficConfig { bulk_campaigns: 3, bulk_jobs: 32, scale: 1.0, ..TrafficConfig::default() };
+    let mut svc = Service::new(fleet(4), ServiceConfig::default());
+    svc.scale(
+        ScalePlan::new()
+            .join_at(0.4, platform::hertz())
+            .join_at(1.1, platform::jupiter())
+            .leave_at(0.9, 0)
+            .leave_at(1.6, 2),
+    );
+    for c in bursty_traffic(&cfg, 99) {
+        svc.submit(c);
+    }
+    let r = svc.drain();
+    assert_eq!(r.campaigns_rejected, 0, "traffic must fit the queue");
+    assert_eq!(
+        r.completed_jobs, r.total_jobs,
+        "jobs lost across node churn: {}/{}",
+        r.completed_jobs, r.total_jobs
+    );
+    assert_eq!(r.node_joins, 2);
+    assert_eq!(r.node_leaves, 2);
+    // Every admitted job landed on a real node or the cache.
+    assert!(r.assignment.iter().all(|&n| n == usize::MAX || n < 6));
+}

@@ -1,7 +1,14 @@
-//! Integration of the cluster extension with the full screening stack.
+//! Integration of the cluster extension with the full screening stack,
+//! driven through the campaign service's single submission API.
 
-use vscluster::{synthetic_library, NetModel, SimCluster};
+use vscluster::{synthetic_library, Campaign, NetModel, Service, ServiceConfig, SimCluster};
 use vscreen::prelude::*;
+
+fn screen(cluster: SimCluster, campaign: Campaign) -> vscluster::CampaignReport {
+    let mut svc = Service::new(cluster, ServiceConfig::default());
+    svc.submit(campaign);
+    svc.drain()
+}
 
 #[test]
 fn campaign_composes_cluster_and_intra_node_scheduling() {
@@ -13,7 +20,7 @@ fn campaign_composes_cluster_and_intra_node_scheduling() {
     ];
     let mut makespans = Vec::new();
     for s in strategies {
-        let r = cluster.screen_library(3264, 32, &library, s);
+        let r = screen(cluster.clone(), Campaign::library(3264, 32, library.clone(), s));
         assert!(r.makespan > 0.0);
         assert!(r.speedup() > 1.3, "{}: {}", s.label(), r.speedup());
         makespans.push(r.makespan);
@@ -38,26 +45,19 @@ fn mixed_metaheuristic_campaign() {
         heavy
     });
     let cluster = SimCluster::uniform(2, NetModel::infiniband(), platform::hertz);
-    let r = cluster.screen_library(3264, 16, &jobs, Strategy::HomogeneousSplit);
+    let r = screen(cluster, Campaign::library(3264, 16, jobs, Strategy::HomogeneousSplit));
     assert_eq!(r.assignment.len(), 8);
-    // LPT assignment: the two heavy M4 jobs must land on different nodes.
-    assert_ne!(r.assignment[6], r.assignment[7], "heavy jobs not spread: {:?}", r.assignment);
+    // LPT expansion sorts the two heavy M4 jobs into assignment slots 0
+    // and 1; longest-first dispatch must spread them across nodes.
+    assert_ne!(r.assignment[0], r.assignment[1], "heavy jobs not spread: {:?}", r.assignment);
 }
 
 #[test]
 fn cluster_of_jupiters_screens_faster_than_one() {
     let library = synthetic_library(16, &metaheur::m2(0.5), 4);
-    let one = SimCluster::uniform(1, NetModel::infiniband(), platform::jupiter).screen_library(
-        8609,
-        32,
-        &library,
-        Strategy::HomogeneousSplit,
-    );
-    let four = SimCluster::uniform(4, NetModel::infiniband(), platform::jupiter).screen_library(
-        8609,
-        32,
-        &library,
-        Strategy::HomogeneousSplit,
-    );
+    let campaign = || Campaign::library(8609, 32, library.clone(), Strategy::HomogeneousSplit);
+    let one = screen(SimCluster::uniform(1, NetModel::infiniband(), platform::jupiter), campaign());
+    let four =
+        screen(SimCluster::uniform(4, NetModel::infiniband(), platform::jupiter), campaign());
     assert!(four.makespan < one.makespan / 2.5, "{} vs {}", four.makespan, one.makespan);
 }
