@@ -3,6 +3,7 @@
 use crate::cost::{CostModel, WorkBatch};
 use crate::spec::DeviceSpec;
 use serde::{Deserialize, Serialize};
+// DETERMINISM: raw std mutex — gpusim state is host-side simulation bookkeeping outside the modeled sync surface (no facade in this crate).
 use std::sync::Mutex;
 
 /// Cumulative execution statistics for one device.

@@ -18,6 +18,7 @@
 use crate::cost::WorkBatch;
 use crate::device::SimDevice;
 use serde::{Deserialize, Serialize};
+// DETERMINISM: raw std mutex — gpusim state is host-side simulation bookkeeping outside the modeled sync surface (no facade in this crate).
 use std::sync::Mutex;
 use vstrace::{Event, Trace, TraceData};
 

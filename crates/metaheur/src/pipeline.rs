@@ -507,6 +507,7 @@ pub fn run_pipelined<E: BatchEvaluator + Send>(
     let c_eval: Channel<Box<SpotToken>> = Channel::new(depth, "score", trace.clone());
     let c_out: Channel<Box<SpotToken>> = Channel::new(depth, "select", trace.clone());
 
+    // DETERMINISM: structured `thread::scope` — joins before returning, stage order is fixed by the channel graph, reviewed with the facade.
     let (evaluations, batch_trace, driver) = std::thread::scope(|scope| {
         let (cs, cb, ce, co) = (&c_seed, &c_breed, &c_eval, &c_out);
         let seeder = scope.spawn(move || seeder_loop(params, spots, cs, cb, trace, costs));

@@ -493,6 +493,7 @@ impl NodeRuntime {
 impl Drop for NodeRuntime {
     fn drop(&mut self) {
         {
+            // PANICS: lock poisoning means a worker already panicked; propagating from drop is deliberate.
             let mut st = self.shared.state.lock().expect("runtime mutex poisoned");
             st.shutdown = true;
         }

@@ -14,14 +14,14 @@
 
 use crate::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::sync::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// Key of one per-ligand docking result: everything that determines the
 /// outcome of the computation. Two submissions with equal keys are the
 /// same work, so the second may be served from the cache; any differing
 /// component (receptor geometry, ligand identity/parameters, RNG seed, or
 /// scoring kernel) changes the key and can never alias.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct CacheKey {
     /// Hash of the receptor side: atom count, surface spots (and target
     /// name for cross-docking).
@@ -197,7 +197,7 @@ pub struct ResultsCache {
 }
 
 struct CacheInner {
-    map: HashMap<CacheKey, CachedResult>,
+    map: BTreeMap<CacheKey, CachedResult>,
     fifo: VecDeque<CacheKey>,
 }
 
@@ -205,10 +205,7 @@ impl ResultsCache {
     /// Cache holding at most `capacity` entries (0 disables caching).
     pub fn new(capacity: usize) -> ResultsCache {
         ResultsCache {
-            inner: Mutex::new(CacheInner {
-                map: HashMap::with_capacity(capacity.min(1024)),
-                fifo: VecDeque::new(),
-            }),
+            inner: Mutex::new(CacheInner { map: BTreeMap::new(), fifo: VecDeque::new() }),
             capacity,
         }
     }

@@ -37,7 +37,7 @@ use crate::library::LigandJob;
 use crate::net::NetModel;
 use gpusim::SimNode;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vsched::{schedule_trace, schedule_trace_faulty, Strategy};
 use vscreen::trace::synthetic_trace;
 use vstrace::{Event, Trace};
@@ -422,7 +422,9 @@ struct CampaignState {
 }
 
 /// Exact memo key of one (node, job-shape, fault-context) cost evaluation.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// `Ord` because the memo is a `BTreeMap` — iteration order must not
+/// depend on the hasher's address seed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 struct CostKey {
     node: usize,
     receptor_atoms: usize,
@@ -472,7 +474,7 @@ pub struct Service {
     served: [f64; 2],
     /// Service virtual clock (persists across drains).
     now: f64,
-    cost_memo: HashMap<CostKey, f64>,
+    cost_memo: BTreeMap<CostKey, f64>,
 }
 
 impl Service {
@@ -514,7 +516,7 @@ impl Service {
             queues: [Vec::new(), Vec::new()],
             served: [0.0, 0.0],
             now: 0.0,
-            cost_memo: HashMap::new(),
+            cost_memo: BTreeMap::new(),
         }
     }
 

@@ -27,6 +27,7 @@
 use crate::coulomb::COULOMB_K;
 use crate::hbond::{hbond_pair, is_hbond_capable_idx};
 use crate::lj::{lj_pair, Frame, PairTable, MIN_DIST_SQ};
+// DETERMINISM: raw std mutex — the grid cache is process-global memoization that outlives any vscheck exploration, like `shared_pool`'s registry.
 use std::sync::{Arc, Mutex, OnceLock};
 use vsmath::{Aabb, F32x8, RigidTransform, SpatialGrid, Vec3};
 use vsmol::{Element, LjTable, Molecule};
@@ -88,8 +89,9 @@ pub struct GridBuildStats {
     pub grids: u32,
     /// Total grid memory, bytes.
     pub bytes: u64,
-    /// Wall-clock seconds the build took (excluded from the determinism
-    /// contract, like `Stamped::mono_ns`).
+    /// Seconds the build took on the caller-supplied clock — the trace
+    /// epoch for [`GridScorer::new_traced`], a constant `0.0` untraced.
+    /// Excluded from the determinism contract, like `Stamped::mono_ns`.
     pub build_seconds: f64,
     /// Whether this scorer reused a cached field instead of building.
     pub cached: bool,
@@ -158,17 +160,26 @@ pub struct GridField {
     type_slot: [usize; Element::COUNT],
     n_slots: usize,
     opts: GridOptions,
-    /// Wall-clock build time (determinism-exempt, reporting only).
+    /// Build time in caller-clock seconds (reporting only; `0.0` for the
+    /// untraced path).
     build_seconds: f64,
 }
 
 impl GridField {
     /// Build the field for one receptor and a ligand element-type bitmask
     /// (bit `Element::index()`). Cost: `nodes × avg-neighbors × types`.
-    fn build(receptor: &Molecule, elem_mask: u32, opts: GridOptions) -> GridField {
+    /// `clock` supplies seconds for the build-time stat — callers pass
+    /// [`vstrace::Trace::now_s`] (or a constant) so this crate never reads
+    /// the OS clock itself.
+    fn build(
+        receptor: &Molecule,
+        elem_mask: u32,
+        opts: GridOptions,
+        clock: &dyn Fn() -> f64,
+    ) -> GridField {
         assert!(opts.spacing > 0.0, "spacing must be positive");
         assert!(opts.cutoff > 0.0, "cutoff must be positive");
-        let t0 = std::time::Instant::now();
+        let t0 = clock();
 
         // Slots in ascending element-index order (deterministic for a mask).
         let mut type_slot = [usize::MAX; Element::COUNT];
@@ -253,7 +264,7 @@ impl GridField {
             type_slot,
             n_slots,
             opts,
-            build_seconds: t0.elapsed().as_secs_f64(),
+            build_seconds: clock() - t0,
         }
     }
 
@@ -285,7 +296,12 @@ fn grid_cache() -> &'static GridCache {
 /// Look up or build the field for a key. Builds happen *outside* the lock
 /// so two threads building different receptors don't serialize; a losing
 /// racer adopts the winner's field.
-fn cached_field(receptor: &Molecule, elem_mask: u32, opts: GridOptions) -> (Arc<GridField>, bool) {
+fn cached_field(
+    receptor: &Molecule,
+    elem_mask: u32,
+    opts: GridOptions,
+    clock: &dyn Fn() -> f64,
+) -> (Arc<GridField>, bool) {
     let key = GridKey {
         receptor: receptor_hash(receptor),
         rec_atoms: receptor.len() as u64,
@@ -299,7 +315,7 @@ fn cached_field(receptor: &Molecule, elem_mask: u32, opts: GridOptions) -> (Arc<
             return (f.clone(), true);
         }
     }
-    let built = Arc::new(GridField::build(receptor, elem_mask, opts));
+    let built = Arc::new(GridField::build(receptor, elem_mask, opts, clock));
     // PANICS: mutex poisoning means a build already panicked; propagate.
     let mut cache = grid_cache().lock().expect("grid cache poisoned");
     if let Some((_, f)) = cache.iter().find(|(k, _)| *k == key) {
@@ -390,6 +406,17 @@ impl GridScorer {
     /// receptor/ligand pair. Cost on a cache miss:
     /// `nodes × avg-neighbors × ligand-element-types`, paid once.
     pub fn new(receptor: &Molecule, ligand: &Molecule, opts: GridOptions) -> GridScorer {
+        // Untraced builds report 0.0 build seconds rather than read the
+        // OS clock; [`GridScorer::new_traced`] threads the trace epoch in.
+        GridScorer::new_with_clock(receptor, ligand, opts, &|| 0.0)
+    }
+
+    fn new_with_clock(
+        receptor: &Molecule,
+        ligand: &Molecule,
+        opts: GridOptions,
+        clock: &dyn Fn() -> f64,
+    ) -> GridScorer {
         assert!(opts.spacing > 0.0, "spacing must be positive");
         assert!(opts.cutoff > 0.0, "cutoff must be positive");
         let lig = ligand.centered();
@@ -397,7 +424,7 @@ impl GridScorer {
         for &e in lig.elements() {
             elem_mask |= 1 << e.index();
         }
-        let (field, cached) = cached_field(receptor, elem_mask, opts);
+        let (field, cached) = cached_field(receptor, elem_mask, opts, clock);
         let stats = GridBuildStats {
             nodes: field.n_nodes as u64,
             grids: field.grid_count(),
@@ -419,7 +446,7 @@ impl GridScorer {
         opts: GridOptions,
         trace: &vstrace::Trace,
     ) -> GridScorer {
-        let scorer = GridScorer::new(receptor, ligand, opts);
+        let scorer = GridScorer::new_with_clock(receptor, ligand, opts, &|| trace.now_s());
         let s = scorer.stats;
         trace.emit(vstrace::Event::GridBuilt {
             nodes: s.nodes,

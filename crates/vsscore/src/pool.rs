@@ -39,7 +39,7 @@
 use crate::scorer::{PoseScratch, ScoreBatch, Scorer};
 use crate::sync::thread::{Builder, JoinHandle};
 use crate::sync::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 use vsmath::RigidTransform;
 use vsmol::Conformation;
@@ -278,12 +278,12 @@ fn worker_loop(shared: &Shared, index: usize) {
 /// Shared pools live for the process; ad-hoc pools from [`CpuPool::new`]
 /// join their workers on drop.
 pub fn shared_pool(threads: usize) -> Arc<CpuPool> {
-    // Deliberately `std::sync::Mutex`, not the crate::sync facade: the
-    // registry is process-global state that outlives any one vscheck
+    // The registry is process-global state that outlives any one vscheck
     // exploration, so it must never be scheduler-managed.
-    static POOLS: OnceLock<std::sync::Mutex<HashMap<usize, Arc<CpuPool>>>> = OnceLock::new();
+    // DETERMINISM: deliberately raw `std::sync::Mutex`, not the crate::sync facade (see above).
+    static POOLS: OnceLock<std::sync::Mutex<BTreeMap<usize, Arc<CpuPool>>>> = OnceLock::new();
     let threads = threads.max(1);
-    let pools = POOLS.get_or_init(|| std::sync::Mutex::new(HashMap::new()));
+    let pools = POOLS.get_or_init(|| std::sync::Mutex::new(BTreeMap::new()));
     // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
     let mut map = pools.lock().expect("shared pool registry poisoned");
     Arc::clone(map.entry(threads).or_insert_with(|| Arc::new(CpuPool::new(threads))))

@@ -14,8 +14,9 @@
 use crate::event::{Event, Stamped};
 use crate::ring::Ring;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+// DETERMINISM: vstrace is the sanctioned base layer — its cold-path registry mutexes sit under the facade everything else imports.
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -30,7 +31,7 @@ struct Sink {
     capacity: usize,
     next_thread: AtomicU32,
     rings: Mutex<Vec<(u32, Arc<Ring>)>>,
-    track_names: Mutex<HashMap<u32, String>>,
+    track_names: Mutex<BTreeMap<u32, String>>,
 }
 
 thread_local! {
@@ -96,11 +97,12 @@ impl Trace {
         Trace {
             inner: Some(Arc::new(Sink {
                 id: NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed),
+                // DETERMINISM: the epoch is the one sanctioned wall-clock read; everything downstream is relative to it.
                 epoch: Instant::now(),
                 capacity,
                 next_thread: AtomicU32::new(0),
                 rings: Mutex::new(Vec::new()),
-                track_names: Mutex::new(HashMap::new()),
+                track_names: Mutex::new(BTreeMap::new()),
             })),
         }
     }
@@ -112,6 +114,17 @@ impl Trace {
 
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Seconds since this trace's epoch; `0.0` on a disabled handle.
+    ///
+    /// This is the sanctioned clock edge for deterministic crates: code
+    /// that wants to *report* wall time (grid build cost, span lengths)
+    /// takes a clock closure from its caller and the caller passes this,
+    /// so `Instant::now()` never appears outside vstrace itself.
+    pub fn now_s(&self) -> f64 {
+        // DETERMINISM: the trace epoch is the one sanctioned wall-clock read; disabled handles return a constant.
+        self.inner.as_ref().map_or(0.0, |s| s.epoch.elapsed().as_secs_f64())
     }
 
     /// Record one event (no-op when disabled).
@@ -153,7 +166,7 @@ impl Trace {
     /// a disabled trace.
     pub fn snapshot(&self) -> TraceData {
         let Some(sink) = &self.inner else {
-            return TraceData { threads: Vec::new(), track_names: HashMap::new(), dropped: 0 };
+            return TraceData { threads: Vec::new(), track_names: BTreeMap::new(), dropped: 0 };
         };
         // PANICS: lock poisoning means a sibling thread panicked while holding it; propagating the panic is deliberate.
         let rings = sink.rings.lock().expect("trace ring registry poisoned").clone();
@@ -205,7 +218,7 @@ pub struct TraceData {
     /// order events.
     pub threads: Vec<ThreadEvents>,
     /// Device/node track id → display name.
-    pub track_names: HashMap<u32, String>,
+    pub track_names: BTreeMap<u32, String>,
     /// Total records lost to wraparound across all threads.
     pub dropped: u64,
 }

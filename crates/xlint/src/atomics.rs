@@ -1,0 +1,158 @@
+//! The `atomic-pairing` pass: a release without an acquire publishes
+//! nothing, and an acquire without a release observes nothing. For every
+//! atomic field in the deterministic crates, a `Release`-class store
+//! (`Release`/`AcqRel`/`SeqCst`) must have at least one `Acquire`-class
+//! load (`Acquire`/`AcqRel`/`SeqCst`) somewhere in the workspace, and
+//! vice versa. RMW operations count on both sides; `compare_exchange`'s
+//! failure ordering counts on the load side; fields touched only with
+//! `Relaxed` claim no publication and are skipped.
+//!
+//! Field identity is the receiver's last segment (`self.done[job].swap`
+//! pairs under `done`), matched globally — the cheap static complement to
+//! vscheck actually exploring the reorderings.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::graph::FileFacts;
+use crate::report::Violation;
+
+fn release_class(o: &str) -> bool {
+    matches!(o, "Release" | "AcqRel" | "SeqCst")
+}
+
+fn acquire_class(o: &str) -> bool {
+    matches!(o, "Acquire" | "AcqRel" | "SeqCst")
+}
+
+/// Run the pass over the deterministic crates' facts.
+pub fn check(files: &[(&Path, &FileFacts)]) -> Vec<Violation> {
+    #[derive(Default)]
+    struct Sides {
+        releases: Vec<(usize, usize)>, // (file, line) of Release-class stores
+        acquires: Vec<(usize, usize)>,
+    }
+    let mut fields: BTreeMap<&str, Sides> = BTreeMap::new();
+    for (fi, (_, f)) in files.iter().enumerate() {
+        for op in &f.atomics {
+            // Unqualified receivers (`|d| d.load(…)`) alias a field this
+            // pass cannot name; they neither flag nor satisfy. The field's
+            // own qualified sites must pair on their own.
+            if !op.qualified {
+                continue;
+            }
+            let e = fields.entry(op.field.as_str()).or_default();
+            if op.is_store && op.orderings.first().is_some_and(|o| release_class(o)) {
+                e.releases.push((fi, op.line));
+            }
+            if op.is_load && op.orderings.iter().any(|o| acquire_class(o)) {
+                e.acquires.push((fi, op.line));
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (field, sides) in &fields {
+        if sides.acquires.is_empty() {
+            for &(fi, line) in &sides.releases {
+                out.push(Violation {
+                    file: files[fi].0.to_path_buf(),
+                    line,
+                    rule: "atomic-pairing",
+                    message: format!(
+                        "`Release`-class store on `{field}` has no `Acquire`/`SeqCst` load \
+                         anywhere in the workspace: nothing can observe the publication"
+                    ),
+                });
+            }
+        }
+        if sides.releases.is_empty() {
+            for &(fi, line) in &sides.acquires {
+                out.push(Violation {
+                    file: files[fi].0.to_path_buf(),
+                    line,
+                    rule: "atomic-pairing",
+                    message: format!(
+                        "`Acquire`-class load of `{field}` has no `Release`/`SeqCst` store \
+                         anywhere in the workspace: there is no publication to synchronize with"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::file_facts;
+    use crate::lexer::lex;
+    use std::path::PathBuf;
+
+    fn run(srcs: &[&str]) -> Vec<Violation> {
+        let mut rels = Vec::new();
+        let mut facts = Vec::new();
+        for (i, src) in srcs.iter().enumerate() {
+            let sf = lex(src);
+            let skip = vec![false; sf.lines.len()];
+            facts.push(file_facts(i, "demo", &sf, &skip));
+            rels.push(PathBuf::from(format!("crates/demo/src/f{i}.rs")));
+        }
+        let files: Vec<(&Path, &FileFacts)> =
+            rels.iter().map(|r| r.as_path()).zip(facts.iter()).collect();
+        check(&files)
+    }
+
+    #[test]
+    fn paired_release_acquire_is_clean() {
+        let v = run(&[
+            "fn pubish(&self) { self.seq.store(1, Ordering::Release); }\n",
+            "fn observe(&self) -> u64 { self.seq.load(Ordering::Acquire) }\n",
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unmatched_release_store_flagged() {
+        let v = run(&["fn pubish(&self) { self.seq.store(1, Ordering::Release); }\n"]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("no `Acquire`"), "{v:?}");
+    }
+
+    #[test]
+    fn unmatched_acquire_load_flagged() {
+        let v = run(&[
+            "fn observe(&self) -> u64 { self.seq.load(Ordering::Acquire) }\n",
+            "fn write(&self) { self.seq.store(1, Ordering::Relaxed); }\n",
+        ]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("no `Release`"), "{v:?}");
+    }
+
+    #[test]
+    fn rmw_counts_on_both_sides() {
+        let v = run(&[
+            "fn a(&self) { self.done.swap(true, Ordering::AcqRel); }\n",
+            "fn b(&self) -> bool { self.done.load(Ordering::Acquire) }\n",
+        ]);
+        assert!(v.is_empty(), "swap is both a release and an acquire: {v:?}");
+    }
+
+    #[test]
+    fn compare_exchange_failure_ordering_is_a_load() {
+        let v = run(&[
+            "fn a(&self) { self.s.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire); }\n",
+        ]);
+        assert!(v.is_empty(), "cx pairs with itself: {v:?}");
+    }
+
+    #[test]
+    fn relaxed_only_field_skipped() {
+        let v = run(&[
+            "fn a(&self) { self.stat.fetch_add(1, Ordering::Relaxed); }\n",
+            "fn b(&self) -> u64 { self.stat.load(Ordering::Relaxed) }\n",
+        ]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

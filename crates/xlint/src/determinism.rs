@@ -1,0 +1,350 @@
+//! The `determinism` pass: deterministic-lib crates feed bit-identity
+//! contracts (goldens, per-seed reports, lockstep-vs-pipelined equality),
+//! so three families of nondeterminism are banned in their production
+//! code unless waived with a `// DETERMINISM:` comment within three lines:
+//!
+//! 1. **Wall clock and OS entropy** — `Instant::now`, `SystemTime`,
+//!    `UNIX_EPOCH`, `RandomState`, `thread_rng`, `from_entropy`,
+//!    `getrandom`. Time belongs to vstrace's epoch (off the determinism
+//!    contract by design); randomness to `vsmath::rng` seeded streams.
+//! 2. **Hash-order iteration** — `for … in` over, or `.iter()`-family
+//!    calls on, bindings whose declared type mentions `HashMap`/`HashSet`.
+//!    Keyed lookup is fine; iteration order is address-seeded and varies
+//!    across runs. Use `BTreeMap`/`BTreeSet` or sort before iterating.
+//! 3. **Raw threading/blocking primitives** — `std::thread` and
+//!    `std::sync::{Mutex, RwLock, Condvar, Barrier, mpsc}` outside the
+//!    per-crate `src/sync.rs` facades, which are the reviewed seam where
+//!    the model checker can substitute its own primitives. (`Arc`,
+//!    atomics and `OnceLock` are memory-layout tools, not schedulers, and
+//!    stay allowed.)
+//!
+//! Host-tool and test classes are exempt: measuring wall time and using
+//! hash maps is exactly what harnesses do.
+
+use crate::lexer::{SourceFile, TokKind};
+use crate::policy::FileEntry;
+use crate::report::Violation;
+use crate::scope::{comment_window_has, DETERMINISM_WINDOW};
+
+/// Identifiers that read the wall clock or OS entropy.
+const CLOCK_ENTROPY_IDENTS: &[(&str, &str)] = &[
+    ("SystemTime", "wall clock"),
+    ("UNIX_EPOCH", "wall clock"),
+    ("RandomState", "OS-entropy hasher seed"),
+    ("thread_rng", "OS entropy"),
+    ("from_entropy", "OS entropy"),
+    ("getrandom", "OS entropy"),
+];
+
+/// `std::sync` members that schedule or block. Everything else re-exported
+/// there (`Arc`, `atomic`, `OnceLock`, `LazyLock`, `Weak`, `Once`) is fine.
+const BANNED_SYNC: &[&str] = &["Mutex", "RwLock", "Condvar", "Barrier", "mpsc"];
+
+/// Iteration methods whose visit order follows the hasher.
+const HASH_ITER_METHODS: &[&str] =
+    &["iter", "iter_mut", "keys", "values", "values_mut", "drain", "retain", "into_iter"];
+
+/// Bindings with hash-ordered types declared in this file:
+/// `name: …HashMap…` (fields, params, type ascriptions) and
+/// `let [mut] name = HashMap::…` both register `name`. Collected
+/// workspace-wide across the deterministic crates so a field declared in
+/// one module is still recognized when a sibling module iterates it.
+pub fn hash_bindings(sf: &SourceFile) -> Vec<String> {
+    let toks = &sf.tokens;
+    let mut hash_bindings: Vec<String> = Vec::new();
+    for k in 0..toks.len() {
+        if !(toks[k].is_ident("HashMap") || toks[k].is_ident("HashSet")) {
+            continue;
+        }
+        // Walk back over the type expression to the `name :` that owns it,
+        // bounded so an unrelated earlier `:` is not misattributed.
+        let mut b = k;
+        let mut steps = 0;
+        while b > 0 && steps < 24 {
+            b -= 1;
+            steps += 1;
+            let t = &toks[b];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') || t.is_ident("let") {
+                break;
+            }
+            if t.is_punct(':')
+                && b > 0
+                && !toks[b - 1].is_punct(':')
+                && !toks.get(b + 1).is_some_and(|n| n.is_punct(':'))
+                && toks[b - 1].kind == TokKind::Ident
+            {
+                hash_bindings.push(toks[b - 1].text.clone());
+                break;
+            }
+        }
+        // `let [mut] name = HashMap::new()`-style initializations.
+        let mut b = k;
+        let mut steps = 0;
+        while b > 0 && steps < 12 {
+            b -= 1;
+            steps += 1;
+            if toks[b].is_punct(';') {
+                break;
+            }
+            if toks[b].is_ident("let") {
+                let mut n = b + 1;
+                if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+                    n += 1;
+                }
+                if let Some(t) = toks.get(n) {
+                    if t.kind == TokKind::Ident {
+                        hash_bindings.push(t.text.clone());
+                    }
+                }
+                break;
+            }
+        }
+    }
+    hash_bindings.sort();
+    hash_bindings.dedup();
+    hash_bindings
+}
+
+/// Run the determinism pass on one deterministic-lib file.
+/// `hash_bindings` is the workspace-wide set from [`hash_bindings`].
+pub fn check(
+    entry: &FileEntry,
+    sf: &SourceFile,
+    in_test: &[bool],
+    hash_bindings: &[String],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let toks = &sf.tokens;
+    let skip = |line: usize| line >= 1 && in_test.get(line - 1).copied().unwrap_or(false);
+    let waived =
+        |line: usize| comment_window_has(&sf.lines, line - 1, DETERMINISM_WINDOW, "DETERMINISM:");
+    let mut push = |line: usize, message: String| {
+        out.push(Violation { file: entry.rel.clone(), line, rule: "determinism", message });
+    };
+    let is_hash_binding =
+        |name: &str| hash_bindings.binary_search_by(|b| b.as_str().cmp(name)).is_ok();
+
+    // `for (k, v) in m.iter()` matches both the method and the for-loop
+    // detector; one finding per line is enough.
+    let mut hash_flagged_lines: std::collections::BTreeSet<usize> =
+        std::collections::BTreeSet::new();
+
+    for k in 0..toks.len() {
+        let t = &toks[k];
+        if t.kind != TokKind::Ident || skip(t.line) || waived(t.line) {
+            continue;
+        }
+
+        // Wall clock / entropy idents.
+        if t.is_ident("Instant")
+            && toks.get(k + 1).is_some_and(|n| n.is_punct(':'))
+            && toks.get(k + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            push(t.line, "`Instant::now()` in deterministic code: thread a clock in from the caller (vstrace's epoch is the sanctioned edge)".into());
+            continue;
+        }
+        if let Some((_, what)) = CLOCK_ENTROPY_IDENTS.iter().find(|(id, _)| t.is_ident(id)) {
+            push(t.line, format!("`{}` ({what}) in deterministic code: use vsmath::rng seeded streams / caller-provided time", t.text));
+            continue;
+        }
+
+        // Raw std::thread / std::sync outside the sync facades.
+        if t.is_ident("std") && !entry.is_facade {
+            let path_next = |at: usize| -> Option<&crate::lexer::Token> {
+                (toks.get(at)?.is_punct(':') && toks.get(at + 1)?.is_punct(':'))
+                    .then(|| toks.get(at + 2))
+                    .flatten()
+            };
+            let Some(seg1) = path_next(k + 1) else { continue };
+            if seg1.is_ident("thread") {
+                push(t.line, "`std::thread` in deterministic code: spawn through the crate's reviewed sync facade or a pool/executor".into());
+                continue;
+            }
+            if seg1.is_ident("sync") {
+                // `std::sync::Member` or `std::sync::{A, B, …}`.
+                if let Some(seg2) = path_next(k + 4) {
+                    if seg2.kind == TokKind::Open && seg2.text == "{" {
+                        if let Some(close) = sf.matching(k + 6) {
+                            for m in toks.iter().take(close).skip(k + 7) {
+                                if BANNED_SYNC.iter().any(|b| m.is_ident(b)) {
+                                    push(
+                                        m.line,
+                                        format!("raw `std::sync::{}` outside the sync facade: import it from `crate::sync` so vscheck can model it", m.text),
+                                    );
+                                }
+                            }
+                        }
+                    } else if let Some(b) = BANNED_SYNC.iter().find(|b| seg2.is_ident(b)).copied() {
+                        push(t.line, format!("raw `std::sync::{b}` outside the sync facade: import it from `crate::sync` so vscheck can model it"));
+                    }
+                }
+                continue;
+            }
+        }
+
+        // Hash-order iteration: `binding.iter()`-family …
+        if HASH_ITER_METHODS.contains(&t.text.as_str())
+            && k >= 2
+            && toks[k - 1].is_punct('.')
+            && toks.get(k + 1).is_some_and(|n| n.kind == TokKind::Open && n.text == "(")
+            && toks[k - 2].kind == TokKind::Ident
+            && is_hash_binding(&toks[k - 2].text)
+            && hash_flagged_lines.insert(t.line)
+        {
+            push(
+                t.line,
+                format!(
+                    "hash-order iteration `{}.{}()`: ordering is address-seeded; use BTreeMap/BTreeSet or sort first",
+                    toks[k - 2].text, t.text
+                ),
+            );
+            continue;
+        }
+
+        // … and `for pat in <expr mentioning a hash binding> {`.
+        if t.is_ident("for") {
+            let mut j = k + 1;
+            // Find the `in` at group depth 0 (skip pattern groups).
+            while j < toks.len() && !toks[j].is_ident("in") {
+                if toks[j].kind == TokKind::Open {
+                    j = sf.matching(j).map_or(j + 1, |c| c + 1);
+                    continue;
+                }
+                if toks[j].kind == TokKind::Close || toks[j].is_punct(';') {
+                    j = toks.len();
+                }
+                j += 1;
+            }
+            let mut e = j + 1;
+            while e < toks.len() && !(toks[e].kind == TokKind::Open && toks[e].text == "{") {
+                if toks[e].kind == TokKind::Ident
+                    && is_hash_binding(&toks[e].text)
+                    && hash_flagged_lines.insert(toks[e].line)
+                {
+                    push(
+                        toks[e].line,
+                        format!(
+                            "hash-order iteration: `for … in` over `{}` (HashMap/HashSet); use BTreeMap/BTreeSet or sort first",
+                            toks[e].text
+                        ),
+                    );
+                    break;
+                }
+                if toks[e].kind == TokKind::Open {
+                    // Arguments of calls in the iterated expression can't
+                    // be the collection being iterated structurally, but a
+                    // hash binding inside still means hash-ordered input —
+                    // keep scanning inside groups.
+                }
+                e += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::policy::Class;
+    use crate::scope::test_scope;
+    use std::path::PathBuf;
+
+    fn run(src: &str) -> Vec<Violation> {
+        run_at("crates/demo/src/lib.rs", src)
+    }
+
+    fn run_at(rel: &str, src: &str) -> Vec<Violation> {
+        let entry = FileEntry {
+            rel: PathBuf::from(rel),
+            src: src.to_string(),
+            crate_name: "demo".into(),
+            class: Class::DeterministicLib,
+            is_facade: rel.ends_with("/src/sync.rs"),
+            is_bin: false,
+        };
+        let sf = lex(src);
+        let in_test = test_scope(&sf);
+        let bindings = hash_bindings(&sf);
+        check(&entry, &sf, &in_test, &bindings)
+    }
+
+    #[test]
+    fn instant_now_flagged_and_waivable() {
+        let v = run("fn f() { let t = Instant::now(); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Instant::now"));
+        let v = run("fn f() {\n    // DETERMINISM: build timing is excluded from the contract.\n    let t = Instant::now();\n}\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn instant_in_string_or_test_scope_not_flagged() {
+        assert!(run("fn f() { let s = \"Instant::now\"; }\n").is_empty());
+        assert!(
+            run("#[cfg(test)]\nmod t {\n    fn f() { let t = Instant::now(); }\n}\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn entropy_idents_flagged() {
+        let v = run("fn f() { let h: RandomState = RandomState::new(); }\n");
+        assert!(!v.is_empty());
+        assert!(v[0].message.contains("entropy"), "{v:?}");
+    }
+
+    #[test]
+    fn hash_map_iteration_flagged_lookup_not() {
+        let src = "struct S { names: HashMap<u32, String> }\nimpl S {\n    fn a(&self) { for (k, v) in self.names.iter() { use_it(k, v); } }\n    fn b(&self) -> Option<&String> { self.names.get(&1) }\n}\n";
+        let v = run(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("names"));
+    }
+
+    #[test]
+    fn for_loop_over_hash_binding_flagged() {
+        let v = run("fn f(m: HashMap<u32, u32>) { for k in &m { touch(k); } }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn let_bound_hashmap_drain_flagged() {
+        let v = run("fn f() { let mut seen = HashMap::new(); seen.drain().count(); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("drain"));
+    }
+
+    #[test]
+    fn btreemap_iteration_fine() {
+        assert!(
+            run("fn f(m: &BTreeMap<u32, u32>) { for k in m.keys() { touch(k); } }\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn raw_std_sync_mutex_flagged_arc_not() {
+        let v = run("use std::sync::{Arc, Mutex, OnceLock};\nfn f() {}\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("Mutex"));
+        assert!(run("use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n").is_empty());
+    }
+
+    #[test]
+    fn std_thread_flagged_outside_facade_allowed_inside() {
+        let v = run("fn f() { std::thread::scope(|s| {}); }\n");
+        assert_eq!(v.len(), 1, "{v:?}");
+        let v =
+            run_at("crates/demo/src/sync.rs", "pub use std::sync::Mutex;\npub use std::thread;\n");
+        assert!(v.is_empty(), "facade is the sanctioned home: {v:?}");
+    }
+
+    #[test]
+    fn determinism_waiver_covers_sync_import() {
+        let v = run(
+            "// DETERMINISM: global cache registry, keyed access only.\nuse std::sync::Mutex;\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,0 +1,225 @@
+//! The `lock-order` pass: flag mutex acquisition-order cycles across the
+//! deterministic crates.
+//!
+//! Per function, the pass records which locks are acquired and the token
+//! span each guard is live for (a `let`-bound guard to the end of its
+//! block, a temporary to its statement's `;`). A name-resolved call graph
+//! then propagates "may acquire" sets through calls, and an order edge
+//! `A → B` is added whenever `B` is acquired — directly or via a call —
+//! while `A`'s guard is still live. Any cycle in the resulting order
+//! graph (including a self-loop from re-acquiring the same lock, or
+//! recursing while holding it) is a potential deadlock and is reported.
+//!
+//! Resolution is deliberately over-approximate — a method call resolves
+//! to every workspace function with that name — so the pass errs toward
+//! false positives, which the zero-violation baseline keeps visible.
+//! vscheck explores real interleavings of the modeled primitives; this
+//! pass is the static mirror that covers code paths the model suites
+//! don't drive.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+use crate::graph::FileFacts;
+use crate::report::Violation;
+
+/// One order edge with an example acquisition site for the report.
+#[derive(Debug, Clone)]
+struct Edge {
+    from: String,
+    to: String,
+    file: PathBuf,
+    line: usize,
+}
+
+/// Run the pass over the per-file facts of the deterministic crates.
+/// Each entry pairs a repo-relative path with that file's facts.
+pub fn check(files: &[(&Path, &FileFacts)]) -> Vec<Violation> {
+    // Global function table: (name → global fn ids) plus per-file offset.
+    let mut fn_offset = Vec::with_capacity(files.len());
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    let mut total = 0usize;
+    for (_, f) in files {
+        fn_offset.push(total);
+        for (i, d) in f.fns.iter().enumerate() {
+            by_name.entry(d.name.as_str()).or_default().push(total + i);
+        }
+        total += f.fns.len();
+    }
+
+    // Direct acquisitions and production call edges per global fn.
+    let mut direct: Vec<BTreeSet<&str>> = vec![BTreeSet::new(); total];
+    let mut callees: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); total];
+    for (fi, (_, f)) in files.iter().enumerate() {
+        for l in &f.locks {
+            direct[fn_offset[fi] + l.caller].insert(l.lock.as_str());
+        }
+        for c in f.calls.iter().filter(|c| !c.in_test) {
+            if let Some(targets) = by_name.get(c.callee.as_str()) {
+                let g = fn_offset[fi] + c.caller;
+                callees[g].extend(targets.iter().copied());
+            }
+        }
+    }
+
+    // Fixpoint: acquires*(g) = direct(g) ∪ ⋃ acquires*(callee).
+    let mut acq: Vec<BTreeSet<&str>> = direct.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for g in 0..total {
+            let mut add: Vec<&str> = Vec::new();
+            for &c in &callees[g] {
+                for l in &acq[c] {
+                    if !acq[g].contains(l) {
+                        add.push(l);
+                    }
+                }
+            }
+            if !add.is_empty() {
+                acq[g].extend(add);
+                changed = true;
+            }
+        }
+    }
+
+    // Order edges: within each fn, lock A held at token t covers every
+    // later direct acquisition and every call made before A's scope ends.
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut edge_set: BTreeSet<(String, String)> = BTreeSet::new();
+    let mut push_edge = |from: &str, to: &str, file: &Path, line: usize, edges: &mut Vec<Edge>| {
+        if edge_set.insert((from.to_string(), to.to_string())) {
+            edges.push(Edge { from: from.into(), to: to.into(), file: file.to_path_buf(), line });
+        }
+    };
+    for (rel, f) in files {
+        for a in &f.locks {
+            for b in &f.locks {
+                if a.caller == b.caller && b.tok > a.tok && b.tok <= a.scope_end {
+                    push_edge(&a.lock, &b.lock, rel, b.line, &mut edges);
+                }
+            }
+            for c in f.calls.iter().filter(|c| !c.in_test) {
+                if c.caller != a.caller || c.tok <= a.tok || c.tok > a.scope_end {
+                    continue;
+                }
+                if let Some(targets) = by_name.get(c.callee.as_str()) {
+                    for &t in targets {
+                        for l in &acq[t] {
+                            push_edge(&a.lock, l, rel, a.line, &mut edges);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Cycle detection: iteratively strip nodes with no outgoing or no
+    // incoming edges; whatever survives participates in a cycle.
+    let mut live: BTreeSet<&str> = BTreeSet::new();
+    for e in &edges {
+        live.insert(&e.from);
+        live.insert(&e.to);
+    }
+    loop {
+        let before = live.len();
+        let has_out: BTreeSet<&str> = edges
+            .iter()
+            .filter(|e| live.contains(e.from.as_str()) && live.contains(e.to.as_str()))
+            .map(|e| e.from.as_str())
+            .collect();
+        let has_in: BTreeSet<&str> = edges
+            .iter()
+            .filter(|e| live.contains(e.from.as_str()) && live.contains(e.to.as_str()))
+            .map(|e| e.to.as_str())
+            .collect();
+        live.retain(|n| has_out.contains(n) && has_in.contains(n));
+        if live.len() == before {
+            break;
+        }
+    }
+
+    let mut out = Vec::new();
+    for e in &edges {
+        if live.contains(e.from.as_str()) && live.contains(e.to.as_str()) {
+            out.push(Violation {
+                file: e.file.clone(),
+                line: e.line,
+                rule: "lock-order",
+                message: format!(
+                    "lock order cycle: `{}` is acquired while `{}` is held, and the reverse \
+                     order is also reachable — pick one order or narrow a guard's scope",
+                    e.to, e.from
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::file_facts;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Violation> {
+        let sf = lex(src);
+        let skip = vec![false; sf.lines.len()];
+        let facts = file_facts(0, "demo", &sf, &skip);
+        check(&[(Path::new("crates/demo/src/lib.rs"), &facts)])
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let v = run("fn a(&self) { let g = self.x.lock(); let h = self.y.lock(); }\n\
+             fn b(&self) { let g = self.x.lock(); let h = self.y.lock(); }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn direct_inversion_is_a_cycle() {
+        let v = run("fn a(&self) { let g = self.x.lock(); let h = self.y.lock(); }\n\
+             fn b(&self) { let g = self.y.lock(); let h = self.x.lock(); }\n");
+        assert!(v.iter().any(|v| v.rule == "lock-order"), "{v:?}");
+    }
+
+    #[test]
+    fn inversion_through_a_call_is_found() {
+        let v = run("fn a(&self) { let g = self.x.lock(); self.helper(); }\n\
+             fn helper(&self) { let h = self.y.lock(); }\n\
+             fn b(&self) { let g = self.y.lock(); let h = self.x.lock(); }\n");
+        assert!(v.iter().any(|v| v.rule == "lock-order"), "{v:?}");
+    }
+
+    #[test]
+    fn sequential_scoped_locks_are_not_nested() {
+        // Temporary guards die at their own statement: no a→b edge.
+        let v = run("fn a(&self) { self.x.lock().push(1); self.y.lock().push(2); }\n\
+             fn b(&self) { self.y.lock().push(1); self.x.lock().push(2); }\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn reacquire_while_held_is_a_self_loop() {
+        let v = run("fn a(&self) { let g = self.x.lock(); let h = self.x.lock(); }\n");
+        assert!(v.iter().any(|v| v.rule == "lock-order"), "{v:?}");
+    }
+
+    #[test]
+    fn recursion_while_holding_is_a_self_loop() {
+        let v = run("fn a(&self) { let g = self.x.lock(); self.a(); }\n");
+        assert!(v.iter().any(|v| v.rule == "lock-order"), "{v:?}");
+    }
+
+    #[test]
+    fn inner_block_scopes_release_before_next_lock() {
+        let v = run(
+            "fn a(&self) {\n    let v = { let g = self.x.lock(); g.get() };\n    let h = self.y.lock();\n}\n\
+             fn b(&self) { let g = self.y.lock(); drop(g); let h = self.x.lock(); }\n",
+        );
+        // x's guard dies inside the inner block, and `drop(g)` in `b`
+        // kills y's guard before x is taken: no edges at all.
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -1,627 +1,53 @@
-//! `xlint` — source-level linter for repo invariants CI cannot express
-//! through `rustc`/`clippy` flags alone.
+//! CLI for the xlint static-analysis suite: `xlint [--json] [root]`.
 //!
-//! Scans `crates/*/src/**.rs` and enforces four rules:
-//!
-//! 1. **`unsafe-safety`** — every `unsafe` block / `unsafe impl` must carry
-//!    a `// SAFETY:` comment on the same line or within the six lines
-//!    above it. (`unsafe fn` *declarations* are exempt: their obligations
-//!    are documented in `# Safety` doc sections, and with
-//!    `deny(unsafe_op_in_unsafe_fn)` the body's unsafe operations need
-//!    their own annotated blocks anyway.)
-//! 2. **`relaxed-ordering`** — `Ordering::Relaxed` may only appear in the
-//!    allowlisted modules that implement the lock-free hot paths (the
-//!    vstrace seqlock ring and sink, the vsscore scorer counters, and the
-//!    vscheck model checker, whose atomics collapse to SeqCst under the
-//!    model anyway). Everywhere else Relaxed is a smell: use a stronger
-//!    ordering or move the code into a reviewed module.
-//! 3. **`no-panic`** — `.unwrap()` / `.expect(` are banned in library
-//!    code outside tests unless waived with a `// PANICS:` comment (same
-//!    line or within two lines above) explaining why the panic is either
-//!    unreachable or the correct response. Binary entry points
-//!    (`src/main.rs`, `src/bin/`) and `#[cfg(test)]` items are exempt.
-//! 4. **`crate-attrs`** — crates whose sources contain no `unsafe` must
-//!    declare `#![forbid(unsafe_code)]`; crates that do use `unsafe` must
-//!    declare `#![deny(unsafe_op_in_unsafe_fn)]`.
-//!
-//! Violations print as `path:line: rule: message` (clickable in most
-//! terminals/editors) and the process exits non-zero. A minimal Rust
-//! lexer strips comments and string/char literals first, so tokens inside
-//! strings or docs never trigger rules, while the stripped-out comment
-//! text is retained per line to find `SAFETY:` / `PANICS:` waivers.
+//! Text mode prints `path:line: rule: message` per violation plus the
+//! one-line summary; `--json` prints the full report (violations and the
+//! model-coverage table) to stdout and moves the summary to stderr. In
+//! both modes the JSON report is also written to `<root>/target/
+//! XLINT_REPORT.json` so CI can diff coverage without re-running. Exits
+//! non-zero iff violations were found.
 
 #![forbid(unsafe_code)]
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-/// How many lines above an `unsafe` token a `// SAFETY:` comment may sit.
-const SAFETY_WINDOW: usize = 6;
-/// How many lines above a panic site a `// PANICS:` waiver may sit.
-const PANICS_WINDOW: usize = 2;
-
-/// Module paths (relative to the repo root) where `Ordering::Relaxed` is
-/// permitted. Keep this list short and reviewed: each entry is a lock-free
-/// hot path whose orderings are argued in its module docs.
-const RELAXED_ALLOWLIST: &[&str] = &[
-    "crates/vstrace/src/ring.rs",
-    "crates/vstrace/src/sink.rs",
-    "crates/vsscore/src/scorer.rs",
-    "crates/vscheck/", // model checker: orderings collapse to SeqCst under the model
-    // Work-stealing chunk deque: the packed range word is the entire
-    // shared state (no payload published through it); orderings argued in
-    // the module docs and model-checked under vscheck-model.
-    "crates/vsched/src/deque.rs",
-];
-
-#[derive(Debug)]
-struct Violation {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: {}: {}", self.file.display(), self.line, self.rule, self.message)
-    }
-}
-
-/// One source line after lexing: `code` has comments and literal contents
-/// blanked out (literal delimiters survive, contents become spaces);
-/// `comment` holds the comment text that was removed from this line.
-struct LexedLine {
-    code: String,
-    comment: String,
-}
-
-/// Lexer state carried across lines.
-enum Mode {
-    Normal,
-    BlockComment { depth: u32 },
-    Str,
-    RawStr { hashes: u32 },
-}
-
-/// Strip comments and string/char literals from Rust source, preserving
-/// line structure. Handles line + nested block comments, plain and raw
-/// (`r#".."#`) strings with `b`/`c` prefixes, escapes, char literals, and
-/// lifetimes (`'a` is not a char literal).
-fn lex(src: &str) -> Vec<LexedLine> {
-    let mut lines = Vec::new();
-    let mut mode = Mode::Normal;
-    for raw in src.lines() {
-        let chars: Vec<char> = raw.chars().collect();
-        let mut code = String::with_capacity(chars.len());
-        let mut comment = String::new();
-        let mut i = 0;
-        while i < chars.len() {
-            match mode {
-                Mode::BlockComment { depth } => {
-                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                        comment.push_str("*/");
-                        i += 2;
-                        mode = if depth == 1 {
-                            Mode::Normal
-                        } else {
-                            Mode::BlockComment { depth: depth - 1 }
-                        };
-                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                        comment.push_str("/*");
-                        i += 2;
-                        mode = Mode::BlockComment { depth: depth + 1 };
-                    } else {
-                        comment.push(chars[i]);
-                        i += 1;
-                    }
-                }
-                Mode::Str => {
-                    if chars[i] == '\\' {
-                        i += 2; // skip the escaped char
-                    } else if chars[i] == '"' {
-                        code.push('"');
-                        i += 1;
-                        mode = Mode::Normal;
-                    } else {
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-                Mode::RawStr { hashes } => {
-                    if chars[i] == '"'
-                        && (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#'))
-                    {
-                        code.push('"');
-                        i += 1 + hashes as usize;
-                        mode = Mode::Normal;
-                    } else {
-                        code.push(' ');
-                        i += 1;
-                    }
-                }
-                Mode::Normal => {
-                    let c = chars[i];
-                    if c == '/' && chars.get(i + 1) == Some(&'/') {
-                        comment.push_str(&chars[i..].iter().collect::<String>());
-                        i = chars.len();
-                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                        comment.push_str("/*");
-                        i += 2;
-                        mode = Mode::BlockComment { depth: 1 };
-                    } else if matches!(c, 'r' | 'b' | 'c')
-                        && !prev_is_ident(&code)
-                        && is_raw_string_start(&chars, i)
-                    {
-                        // consume prefix letters, then hashes, up to the quote
-                        let mut j = i;
-                        while matches!(chars[j], 'r' | 'b' | 'c') {
-                            code.push(chars[j]);
-                            j += 1;
-                        }
-                        let mut hashes = 0u32;
-                        while chars[j] == '#' {
-                            hashes += 1;
-                            j += 1;
-                        }
-                        code.push('"');
-                        i = j + 1;
-                        mode = Mode::RawStr { hashes };
-                    } else if c == 'b' && chars.get(i + 1) == Some(&'"') && !prev_is_ident(&code) {
-                        code.push_str("b\"");
-                        i += 2;
-                        mode = Mode::Str;
-                    } else if c == '"' {
-                        code.push('"');
-                        i += 1;
-                        mode = Mode::Str;
-                    } else if c == '\'' {
-                        // char literal vs lifetime
-                        if chars.get(i + 1) == Some(&'\\') {
-                            // escaped char literal: skip to closing quote
-                            code.push('\'');
-                            i += 2;
-                            while i < chars.len() && chars[i] != '\'' {
-                                i += 1;
-                            }
-                            code.push('\'');
-                            i += 1;
-                        } else if chars.get(i + 2) == Some(&'\'') {
-                            code.push_str("' '");
-                            i += 3;
-                        } else {
-                            // lifetime — keep as-is
-                            code.push('\'');
-                            i += 1;
-                        }
-                    } else {
-                        code.push(c);
-                        i += 1;
-                    }
-                }
-            }
-        }
-        lines.push(LexedLine { code, comment });
-    }
-    lines
-}
-
-fn is_raw_string_start(chars: &[char], i: usize) -> bool {
-    // r"  r#"  br"  br#"  cr"  (prefix letters, one of them `r`, then
-    // optional #s, then the opening quote)
-    let mut j = i;
-    while j < chars.len() && matches!(chars[j], 'r' | 'b' | 'c') && j - i < 2 {
-        j += 1;
-    }
-    if !chars[i..j].contains(&'r') {
-        return false;
-    }
-    while j < chars.len() && chars[j] == '#' {
-        j += 1;
-    }
-    j < chars.len() && chars[j] == '"'
-}
-
-fn prev_is_ident(code: &str) -> bool {
-    code.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
-}
-
-/// Position of `needle` in `hay` as a standalone word (no identifier
-/// characters adjacent on either side), if any.
-fn has_word(hay: &str, needle: &str) -> Option<usize> {
-    let bytes = hay.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(needle) {
-        let start = from + pos;
-        let end = start + needle.len();
-        let ok_before =
-            start == 0 || !(bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_');
-        let ok_after =
-            end >= bytes.len() || !(bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_');
-        if ok_before && ok_after {
-            return Some(start);
-        }
-        from = end;
-    }
-    None
-}
-
-/// Per-line flags for `#[cfg(test)]` scope tracking: true ⇒ the line is
-/// inside a test-only item and exempt from the `no-panic` rule.
-fn test_scope(lines: &[LexedLine]) -> Vec<bool> {
-    let mut in_test = vec![false; lines.len()];
-    let mut depth: i64 = 0;
-    // brace depth at which the current test item's body started
-    let mut test_until: Option<i64> = None;
-    let mut pending_attr = false; // saw #[cfg(test ...)], item body not yet open
-    for (idx, line) in lines.iter().enumerate() {
-        let code = &line.code;
-        if pending_attr || test_until.is_some() {
-            in_test[idx] = true;
-        }
-        if code.contains("#[cfg(test)]")
-            || code.contains("#[cfg(all(test")
-            || code.contains("#[cfg(any(test")
-        {
-            pending_attr = true;
-            in_test[idx] = true;
-        }
-        let opens = code.matches('{').count() as i64;
-        let closes = code.matches('}').count() as i64;
-        if pending_attr && test_until.is_none() {
-            if opens > 0 {
-                test_until = Some(depth);
-                pending_attr = false;
-            } else if code.trim_end().ends_with(';') {
-                // braceless item (`#[cfg(test)] use ...;`) — ends here
-                pending_attr = false;
-            }
-        }
-        depth += opens - closes;
-        if let Some(base) = test_until {
-            if depth <= base {
-                test_until = None;
-            }
-        }
-    }
-    in_test
-}
-
-fn comment_window_has(lines: &[LexedLine], at: usize, window: usize, marker: &str) -> bool {
-    let lo = at.saturating_sub(window);
-    lines[lo..=at].iter().any(|l| l.comment.contains(marker))
-}
-
-/// Lint one file. `rel` is the repo-relative path used for allowlists and
-/// reporting; returns all violations found.
-fn scan_file(rel: &Path, src: &str) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let lines = lex(src);
-    let in_test = test_scope(&lines);
-    let rel_str = rel.to_string_lossy().replace('\\', "/");
-    let relaxed_ok = RELAXED_ALLOWLIST.iter().any(|p| {
-        if p.ends_with('/') {
-            rel_str.starts_with(p)
-        } else {
-            rel_str == *p
-        }
-    });
-    let is_bin = rel_str.contains("/src/bin/") || rel_str.ends_with("/src/main.rs");
-
-    for (idx, line) in lines.iter().enumerate() {
-        let lineno = idx + 1;
-        let code = &line.code;
-
-        // Rule 1: unsafe needs SAFETY. `unsafe fn` declarations are exempt
-        // (deny(unsafe_op_in_unsafe_fn) pushes the obligation onto inner
-        // blocks); `unsafe impl` and `unsafe {` are not.
-        if let Some(pos) = has_word(code, "unsafe") {
-            let after = code[pos + "unsafe".len()..].trim_start();
-            let is_fn_decl = after.starts_with("fn ") || after.starts_with("extern ");
-            if !is_fn_decl && !comment_window_has(&lines, idx, SAFETY_WINDOW, "SAFETY:") {
-                out.push(Violation {
-                    file: rel.to_path_buf(),
-                    line: lineno,
-                    rule: "unsafe-safety",
-                    message: format!(
-                        "`unsafe` without a `// SAFETY:` comment within {SAFETY_WINDOW} lines"
-                    ),
-                });
-            }
-        }
-
-        // Rule 2: Relaxed only in allowlisted lock-free modules.
-        if !relaxed_ok && code.contains("Ordering::Relaxed") {
-            out.push(Violation {
-                file: rel.to_path_buf(),
-                line: lineno,
-                rule: "relaxed-ordering",
-                message: "`Ordering::Relaxed` outside allowlisted lock-free modules \
-                          (see RELAXED_ALLOWLIST in xlint)"
-                    .into(),
-            });
-        }
-
-        // Rule 3: no unwrap/expect in library code outside tests without a
-        // PANICS waiver. `.expect(` counts only when the argument is a
-        // string literal, so user-defined `Result`-returning methods that
-        // happen to be named `expect` (e.g. a parser's `expect(b'{')?`)
-        // are not misflagged.
-        if !is_bin && !in_test[idx] {
-            for pat in [".unwrap()", ".expect("] {
-                let hit = if pat == ".unwrap()" {
-                    code.contains(pat)
-                } else {
-                    code.match_indices(pat).any(|(pos, _)| {
-                        let arg = code[pos + pat.len()..].trim_start();
-                        arg.starts_with('"') || arg.starts_with("r\"")
-                    })
-                };
-                if hit && !comment_window_has(&lines, idx, PANICS_WINDOW, "PANICS:") {
-                    out.push(Violation {
-                        file: rel.to_path_buf(),
-                        line: lineno,
-                        rule: "no-panic",
-                        message: format!(
-                            "`{pat}` in library code without a `// PANICS:` waiver within \
-                             {PANICS_WINDOW} lines"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-    out
-}
-
-/// Rule 4: crate-level attribute coverage. `files` are (rel path, source)
-/// pairs for one crate's `src/`; the crate root is `src/lib.rs` (or
-/// `src/main.rs` for pure binaries).
-fn check_crate_attrs(crate_rel: &Path, files: &[(PathBuf, String)]) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let uses_unsafe =
-        files.iter().any(|(_, src)| lex(src).iter().any(|l| has_word(&l.code, "unsafe").is_some()));
-    let root = files
-        .iter()
-        .find(|(p, _)| p.ends_with("src/lib.rs"))
-        .or_else(|| files.iter().find(|(p, _)| p.ends_with("src/main.rs")));
-    let Some((root_path, root_src)) = root else { return out };
-    let root_code: String = lex(root_src).iter().map(|l| l.code.clone() + "\n").collect();
-    let want =
-        if uses_unsafe { "#![deny(unsafe_op_in_unsafe_fn)]" } else { "#![forbid(unsafe_code)]" };
-    if !root_code.contains(want) {
-        out.push(Violation {
-            file: root_path.clone(),
-            line: 1,
-            rule: "crate-attrs",
-            message: format!(
-                "crate `{}` {} `unsafe`: missing `{want}`",
-                crate_rel.file_name().unwrap_or_default().to_string_lossy(),
-                if uses_unsafe { "uses" } else { "has no" },
-            ),
-        });
-    }
-    out
-}
-
-fn rust_files_under(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(entries) = std::fs::read_dir(&d) else { continue };
-        for e in entries.flatten() {
-            let p = e.path();
-            if p.is_dir() {
-                stack.push(p);
-            } else if p.extension().is_some_and(|x| x == "rs") {
-                out.push(p);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-fn run(root: &Path) -> Vec<Violation> {
-    let mut violations = Vec::new();
-    let crates_dir = root.join("crates");
-    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)
-        .map(|rd| rd.flatten().map(|e| e.path()).filter(|p| p.is_dir()).collect())
-        .unwrap_or_default();
-    crate_dirs.sort();
-    for crate_dir in crate_dirs {
-        let src_dir = crate_dir.join("src");
-        if !src_dir.is_dir() {
-            continue;
-        }
-        let mut files = Vec::new();
-        for abs in rust_files_under(&src_dir) {
-            let rel = abs.strip_prefix(root).unwrap_or(&abs).to_path_buf();
-            match std::fs::read_to_string(&abs) {
-                Ok(src) => files.push((rel, src)),
-                Err(e) => violations.push(Violation {
-                    file: rel,
-                    line: 1,
-                    rule: "io",
-                    message: format!("unreadable: {e}"),
-                }),
-            }
-        }
-        for (rel, src) in &files {
-            violations.extend(scan_file(rel, src));
-        }
-        let crate_rel = crate_dir.strip_prefix(root).unwrap_or(&crate_dir).to_path_buf();
-        violations.extend(check_crate_attrs(&crate_rel, &files));
-    }
-    violations
-}
-
 fn main() -> ExitCode {
-    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
-    let violations = run(&root);
-    if violations.is_empty() {
-        println!("xlint: clean");
-        ExitCode::SUCCESS
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => root = PathBuf::from(other),
+        }
+    }
+
+    let report = xlint::run(&root);
+
+    let report_path = root.join("target").join("XLINT_REPORT.json");
+    let persisted = std::fs::create_dir_all(root.join("target"))
+        .and_then(|()| std::fs::write(&report_path, report.to_json()))
+        .is_ok();
+
+    if json {
+        print!("{}", report.to_json());
+        eprintln!("xlint: {}", report.summary());
     } else {
-        for v in &violations {
+        for v in &report.violations {
             println!("{v}");
         }
-        println!("xlint: {} violation(s)", violations.len());
-        ExitCode::FAILURE
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn lint(src: &str) -> Vec<Violation> {
-        scan_file(Path::new("crates/demo/src/lib.rs"), src)
-    }
-
-    #[test]
-    fn strings_and_comments_are_stripped() {
-        let lines = lex("let s = \"unsafe .unwrap()\"; // Ordering::Relaxed");
-        assert!(!lines[0].code.contains("unsafe"));
-        assert!(!lines[0].code.contains("unwrap"));
-        assert!(!lines[0].code.contains("Relaxed"));
-        assert!(lines[0].comment.contains("Relaxed"));
-    }
-
-    #[test]
-    fn raw_strings_and_nested_block_comments() {
-        let src = "let r = r#\"unsafe { x.unwrap() }\"#;\n/* outer /* unsafe */ still comment */ let x = 1;";
-        let lines = lex(src);
-        assert!(!lines[0].code.contains("unwrap"), "{}", lines[0].code);
-        assert!(!lines[1].code.contains("unsafe"), "{}", lines[1].code);
-        assert!(lines[1].code.contains("let x = 1;"), "{}", lines[1].code);
-    }
-
-    #[test]
-    fn char_literals_and_lifetimes() {
-        let lines = lex("fn f<'a>(c: char) -> bool { c == '\"' || c == '\\'' }");
-        // the quote char literal must not open a string
-        assert!(lines[0].code.contains("fn f<'a>"), "{}", lines[0].code);
-        assert!(!lines[0].code.contains("||") || lines[0].code.contains("||"));
-    }
-
-    #[test]
-    fn unsafe_without_safety_flagged() {
-        let v = lint("fn f() {\n    unsafe { noop() }\n}\n");
-        assert!(v.iter().any(|v| v.rule == "unsafe-safety" && v.line == 2), "{v:?}");
-    }
-
-    #[test]
-    fn unsafe_with_safety_comment_passes() {
-        let v = lint("fn f() {\n    // SAFETY: proven above.\n    unsafe { noop() }\n}\n");
-        assert!(v.iter().all(|v| v.rule != "unsafe-safety"), "{v:?}");
-    }
-
-    #[test]
-    fn unsafe_fn_declaration_exempt_but_impl_not() {
-        let v = lint("unsafe fn raw() {}\nunsafe impl Send for X {}\n");
-        assert!(v.iter().all(|v| v.line != 1), "{v:?}");
-        assert!(v.iter().any(|v| v.rule == "unsafe-safety" && v.line == 2), "{v:?}");
-    }
-
-    #[test]
-    fn unsafe_inside_string_or_ident_ignored() {
-        let v = lint("fn f() { let s = \"unsafe block\"; forbid(unsafe_code); }\n");
-        assert!(v.iter().all(|v| v.rule != "unsafe-safety"), "{v:?}");
-    }
-
-    #[test]
-    fn relaxed_flagged_outside_allowlist() {
-        let v = lint("fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n");
-        assert!(v.iter().any(|v| v.rule == "relaxed-ordering"), "{v:?}");
-    }
-
-    #[test]
-    fn relaxed_allowed_in_allowlisted_file_and_prefix() {
-        for path in ["crates/vstrace/src/ring.rs", "crates/vscheck/src/sched.rs"] {
-            let v = scan_file(Path::new(path), "fn f(a: &A) { a.load(Ordering::Relaxed); }\n");
-            assert!(v.iter().all(|v| v.rule != "relaxed-ordering"), "{path}: {v:?}");
+        if !report.violations.is_empty() {
+            println!("xlint: {} violation(s)", report.violations.len());
+        }
+        println!("xlint: {}", report.summary());
+        if persisted {
+            println!("xlint: report written to {}", report_path.display());
         }
     }
 
-    #[test]
-    fn unwrap_without_waiver_flagged() {
-        let v = lint("fn f(x: Option<u32>) -> u32 { x.unwrap() }\n");
-        assert!(v.iter().any(|v| v.rule == "no-panic"), "{v:?}");
-    }
-
-    #[test]
-    fn unwrap_with_panics_waiver_passes() {
-        let v = lint(
-            "fn f(x: Option<u32>) -> u32 {\n    // PANICS: x is Some by construction.\n    x.unwrap()\n}\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "no-panic"), "{v:?}");
-    }
-
-    #[test]
-    fn expect_in_cfg_test_mod_exempt() {
-        let src = "#[cfg(test)]\nmod tests {\n    fn helper(x: Option<u32>) -> u32 { x.expect(\"set\") }\n}\nfn lib(x: Option<u32>) -> u32 { x.unwrap() }\n";
-        let v = lint(src);
-        assert!(v.iter().all(|v| v.line != 3), "{v:?}");
-        assert!(v.iter().any(|v| v.rule == "no-panic" && v.line == 5), "{v:?}");
-    }
-
-    #[test]
-    fn cfg_all_test_feature_mod_exempt() {
-        let src = "#[cfg(all(test, feature = \"m\"))]\nmod model {\n    fn h(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
-        let v = lint(src);
-        assert!(v.iter().all(|v| v.rule != "no-panic"), "{v:?}");
-    }
-
-    #[test]
-    fn user_defined_expect_method_not_flagged() {
-        // A parser's own `expect(byte)` helper is not Option/Result::expect.
-        let v = lint("fn object(&mut self) -> Result<V, String> { self.expect(b'{')?; todo!() }\n");
-        assert!(v.iter().all(|v| v.rule != "no-panic"), "{v:?}");
-    }
-
-    #[test]
-    fn bin_sources_exempt_from_no_panic() {
-        let v = scan_file(
-            Path::new("crates/demo/src/bin/tool.rs"),
-            "fn main() { std::fs::read(\"x\").unwrap(); }\n",
-        );
-        assert!(v.iter().all(|v| v.rule != "no-panic"), "{v:?}");
-    }
-
-    #[test]
-    fn crate_attr_forbid_required_without_unsafe() {
-        let files = vec![(PathBuf::from("crates/demo/src/lib.rs"), "fn f() {}\n".to_string())];
-        let v = check_crate_attrs(Path::new("crates/demo"), &files);
-        assert!(v.iter().any(|v| v.rule == "crate-attrs" && v.message.contains("forbid")), "{v:?}");
-        let files = vec![(
-            PathBuf::from("crates/demo/src/lib.rs"),
-            "#![forbid(unsafe_code)]\nfn f() {}\n".to_string(),
-        )];
-        assert!(check_crate_attrs(Path::new("crates/demo"), &files).is_empty());
-    }
-
-    #[test]
-    fn crate_attr_deny_required_with_unsafe() {
-        let files = vec![(
-            PathBuf::from("crates/demo/src/lib.rs"),
-            "// SAFETY: demo\nunsafe impl Send for X {}\n".to_string(),
-        )];
-        let v = check_crate_attrs(Path::new("crates/demo"), &files);
-        assert!(
-            v.iter().any(|v| v.rule == "crate-attrs" && v.message.contains("unsafe_op")),
-            "{v:?}"
-        );
-    }
-
-    #[test]
-    fn forbid_attr_in_comment_does_not_count() {
-        let files = vec![(
-            PathBuf::from("crates/demo/src/lib.rs"),
-            "// #![forbid(unsafe_code)]\nfn f() {}\n".to_string(),
-        )];
-        let v = check_crate_attrs(Path::new("crates/demo"), &files);
-        assert!(v.iter().any(|v| v.rule == "crate-attrs"), "{v:?}");
+    if report.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

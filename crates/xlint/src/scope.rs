@@ -1,0 +1,190 @@
+//! Attribute-driven scope tracking and waiver-comment lookup.
+//!
+//! The `cfg` awareness lives here: items under `#[cfg(test)]` (including
+//! `all(test, …)`/`any(test, …)` combinations and `#[test]` functions) are
+//! resolved from the token tree — attribute group → following item extent —
+//! rather than by counting braces in raw text, so strings, nested items,
+//! and multi-line attributes cannot desynchronize the scope.
+
+use crate::lexer::{LexedLine, SourceFile, TokKind};
+
+/// Waiver comment markers and the lookback window (in lines) each allows.
+pub const SAFETY_WINDOW: usize = 6;
+pub const PANICS_WINDOW: usize = 2;
+pub const DETERMINISM_WINDOW: usize = 3;
+
+/// Per-line flags: true ⇒ the line is inside a test-only item (under a
+/// `#[cfg(test)]`-style attribute or a `#[test]` function) and gets the
+/// `test` policy class regardless of the file's class.
+pub fn test_scope(sf: &SourceFile) -> Vec<bool> {
+    let mut flags = vec![false; sf.lines.len()];
+    let toks = &sf.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        let is_attr_start = toks[i].is_punct('#')
+            && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Open && t.text == "[");
+        if !is_attr_start {
+            i += 1;
+            continue;
+        }
+        let Some(close) = sf.matching(i + 1) else {
+            i += 2;
+            continue;
+        };
+        if attr_is_test(sf, i + 2, close) {
+            let start_line = toks[i].line;
+            let end_line = item_extent_end(sf, close + 1).unwrap_or(start_line);
+            for flag in flags
+                .iter_mut()
+                .take(end_line.min(sf.lines.len()))
+                .skip(start_line.saturating_sub(1))
+            {
+                *flag = true;
+            }
+            // Keep scanning *inside* the marked item: nothing further to
+            // find there (it is already marked), but an unrelated sibling
+            // attr may start right after `close`.
+        }
+        i = close + 1;
+    }
+    flags
+}
+
+/// Does the attribute body `tokens[start..close]` gate on `test`?
+/// Matches `test` (the `#[test]` attribute) and `cfg(… test …)` where the
+/// `test` ident is not inside a `not(…)` group.
+fn attr_is_test(sf: &SourceFile, start: usize, close: usize) -> bool {
+    let toks = &sf.tokens;
+    if close == start + 1 && toks[start].is_ident("test") {
+        return true;
+    }
+    if !toks.get(start).is_some_and(|t| t.is_ident("cfg")) {
+        return false;
+    }
+    let mut j = start + 1;
+    let mut skip_until = 0usize; // end of the innermost not(…) group seen
+    while j < close {
+        let t = &toks[j];
+        if t.is_ident("not") && toks.get(j + 1).is_some_and(|n| n.kind == TokKind::Open) {
+            if let Some(not_close) = sf.matching(j + 1) {
+                skip_until = skip_until.max(not_close);
+            }
+        }
+        if t.is_ident("test") && j > skip_until {
+            return true;
+        }
+        j += 1;
+    }
+    false
+}
+
+/// Line on which the item starting at token `start` ends: the matching `}`
+/// of its first top-level brace group, or the `;` that terminates a
+/// braceless item. Leading attributes on the item are skipped.
+fn item_extent_end(sf: &SourceFile, start: usize) -> Option<usize> {
+    let toks = &sf.tokens;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        // Skip stacked attributes.
+        if t.is_punct('#')
+            && toks.get(j + 1).is_some_and(|n| n.kind == TokKind::Open && n.text == "[")
+        {
+            j = sf.matching(j + 1).map_or(j + 2, |c| c + 1);
+            continue;
+        }
+        match t.kind {
+            TokKind::Open if t.text == "{" => {
+                return sf.matching(j).map(|c| toks[c].line);
+            }
+            TokKind::Open => {
+                // Parenthesized/array group in the signature — hop over it.
+                j = sf.matching(j).map_or(j + 1, |c| c + 1);
+                continue;
+            }
+            TokKind::Punct if t.text == ";" => return Some(t.line),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Is `marker` present in a comment on line `at` (0-based) or within
+/// `window` lines above it?
+pub fn comment_window_has(lines: &[LexedLine], at: usize, window: usize, marker: &str) -> bool {
+    let lo = at.saturating_sub(window);
+    let hi = at.min(lines.len().saturating_sub(1));
+    lines[lo..=hi].iter().any(|l| l.comment.contains(marker))
+}
+
+/// Count waiver comments (`SAFETY:`, `PANICS:`, `DETERMINISM:`) in a file —
+/// the `K waivers` figure the summary line tracks across PRs.
+pub fn count_waivers(lines: &[LexedLine]) -> usize {
+    lines
+        .iter()
+        .map(|l| {
+            ["SAFETY:", "PANICS:", "DETERMINISM:"].iter().filter(|m| l.comment.contains(*m)).count()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn flags(src: &str) -> Vec<bool> {
+        test_scope(&lex(src))
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_its_body() {
+        let f =
+            flags("fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn lib2() {}\n");
+        assert_eq!(f, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn cfg_all_test_feature_marks_body() {
+        let f = flags("#[cfg(all(test, feature = \"m\"))]\nmod model {\n    fn h() {}\n}\n");
+        assert_eq!(&f[..3], &[true, true, true]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_production_code() {
+        let f = flags("#[cfg(not(test))]\nfn prod() {\n    work();\n}\n");
+        assert!(!f[2], "{f:?}");
+    }
+
+    #[test]
+    fn bare_test_attribute_marks_fn() {
+        let f = flags("#[test]\nfn checks() {\n    assert!(true);\n}\nfn lib() {}\n");
+        assert_eq!(&f[..5], &[true, true, true, true, false]);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let f = flags("#[cfg(test)]\nuse crate::helper;\nfn lib() {}\n");
+        assert_eq!(&f[..3], &[true, true, false]);
+    }
+
+    #[test]
+    fn stacked_attributes_still_find_the_body() {
+        let f = flags("#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n    fn x() {}\n}\nfn y() {}\n");
+        assert_eq!(&f[..6], &[true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn string_braces_do_not_desync_scope() {
+        let src = "#[cfg(test)]\nmod t {\n    const S: &str = \"}}}{{\";\n    fn x() {}\n}\nfn lib() {}\n";
+        let f = flags(src);
+        assert_eq!(&f[..6], &[true, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn waiver_counting() {
+        let sf = lex("// SAFETY: a\nlet x = 1; // PANICS: b\n// DETERMINISM: c\n// plain\n");
+        assert_eq!(count_waivers(&sf.lines), 3);
+    }
+}

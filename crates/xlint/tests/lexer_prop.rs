@@ -1,0 +1,122 @@
+//! Property tests for the token-tree lexer: random concatenations of Rust
+//! fragments (including pathological literals and comments) must never
+//! panic the lexer, and the invariants below must hold on whatever comes
+//! out. Seeding uses [`vsmath::RngStream`] so a failure replays exactly.
+
+use vsmath::RngStream;
+use xlint::lexer::{lex, TokKind};
+
+/// Fragment pool biased toward the constructs the lexer special-cases.
+const FRAGMENTS: &[&str] = &[
+    "fn f",
+    "{ ",
+    "} ",
+    "( ",
+    ") ",
+    "[ ",
+    "] ",
+    "ident ",
+    "self.done ",
+    "let x = m.lock().unwrap();\n",
+    "\"str \\\" lit\" ",
+    "r#\"raw \" body\"# ",
+    "r##\"nested \"# fence\"## ",
+    "b\"bytes\" ",
+    "'a' ",
+    "'\\n' ",
+    "'static ",
+    "0x1f ",
+    "1.5e3 ",
+    ":: ",
+    ". ",
+    "; ",
+    "// line comment SAFETY: yes\n",
+    "/* block /* nested */ still */ ",
+    "#[cfg(test)]\n",
+    "Ordering::Release ",
+    "\n",
+];
+
+fn random_source(rng: &mut RngStream, fragments: usize) -> String {
+    let mut s = String::new();
+    for _ in 0..fragments {
+        s.push_str(FRAGMENTS[rng.index(FRAGMENTS.len())]);
+    }
+    s
+}
+
+#[test]
+fn random_sources_lex_without_panic_and_pairs_are_sane() {
+    for case in 0..200u64 {
+        let mut rng = RngStream::derive(0x5eed, case);
+        let n = 1 + rng.index(40);
+        let src = random_source(&mut rng, n);
+        let sf = lex(&src);
+        let n_lines = sf.lines.len();
+        for (i, t) in sf.tokens.iter().enumerate() {
+            assert!(t.line >= 1 && t.line <= n_lines, "token line out of range in {src:?}");
+            match t.kind {
+                TokKind::Open => {
+                    if let Some(j) = sf.matching(i) {
+                        assert!(j > i, "close before open in {src:?}");
+                        let close = &sf.tokens[j];
+                        assert_eq!(close.kind, TokKind::Close);
+                        let expect = match t.text.as_str() {
+                            "(" => ")",
+                            "[" => "]",
+                            "{" => "}",
+                            other => panic!("unexpected open {other:?}"),
+                        };
+                        assert_eq!(close.text, expect, "mismatched pair in {src:?}");
+                        assert_eq!(sf.matching(j), Some(i), "pairing not symmetric in {src:?}");
+                    }
+                }
+                TokKind::Close => {
+                    if let Some(j) = sf.matching(i) {
+                        assert!(j < i);
+                        assert_eq!(sf.tokens[j].kind, TokKind::Open);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[test]
+fn lexing_is_deterministic() {
+    let mut rng = RngStream::derive(0xfeed, 0);
+    for _ in 0..50 {
+        let n = 1 + rng.index(60);
+        let src = random_source(&mut rng, n);
+        let a = lex(&src);
+        let b = lex(&src);
+        assert_eq!(a.tokens.len(), b.tokens.len());
+        for (x, y) in a.tokens.iter().zip(&b.tokens) {
+            assert_eq!((&x.kind, &x.text, x.line), (&y.kind, &y.text, y.line));
+        }
+        for (x, y) in a.lines.iter().zip(&b.lines) {
+            assert_eq!((&x.code, &x.comment), (&y.code, &y.comment));
+        }
+    }
+}
+
+#[test]
+fn comments_and_strings_never_leak_into_code() {
+    // Whatever the surrounding soup, a line comment's text must land in
+    // `comment`, never `code`, and string bodies must not surface tokens.
+    let mut rng = RngStream::derive(0xc0de, 0);
+    for _ in 0..100 {
+        let n = rng.index(20);
+        let mut src = random_source(&mut rng, n);
+        // Terminate any open block comment / string the soup left dangling
+        // so the probe line below starts in code context... or don't: the
+        // invariant must hold either way, so probe both raw and terminated.
+        src.push_str("\n*/ \"\n");
+        src.push_str("zz_probe // zz_marker\n");
+        let sf = lex(&src);
+        for l in &sf.lines {
+            assert!(!l.code.contains("zz_marker"), "comment leaked into code: {src:?}");
+        }
+    }
+}

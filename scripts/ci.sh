@@ -15,12 +15,26 @@ cargo fmt --check
 echo "==> cargo clippy"
 cargo clippy --workspace -- -D warnings
 
-echo "==> xlint (repo invariants: SAFETY comments, Relaxed allowlist, no-panic policy, unsafe attrs)"
-# Violations print as file:line: rule: message and fail the build.
-cargo run -q --release -p xlint -- .
+echo "==> xlint (static analysis: 8 rules on the token-tree lexer; DESIGN.md §14)"
+# Violations print as file:line: rule: message and fail the build. The JSON
+# report (including the model-coverage table) lands in target/ for CI to
+# archive; in --json mode stdout carries the same bytes the tool writes.
+mkdir -p target
+cargo run -q --release -p xlint -- --json . > target/XLINT_REPORT.json
+covered=$(grep -o '"covered": [0-9]*' target/XLINT_REPORT.json | grep -o '[0-9]*$')
+baseline=$(cat scripts/xlint_coverage_baseline)
+if [ "$covered" -lt "$baseline" ]; then
+  echo "xlint: model coverage regressed: $covered covered modules < baseline $baseline" >&2
+  exit 1
+elif [ "$covered" -gt "$baseline" ]; then
+  # Coverage may only grow: ratchet the checked-in baseline forward.
+  echo "$covered" > scripts/xlint_coverage_baseline
+  echo "xlint: model coverage grew to $covered modules (baseline ratcheted)"
+fi
 
-echo "==> vscheck self-tests (model checker: seeded mutations + replay)"
+echo "==> vscheck + xlint self-tests (seeded mutations + replay on both checkers)"
 cargo test -q -p vscheck
+cargo test -q -p xlint
 
 echo "==> vscheck model tests (exhaustive interleavings of the concurrency cores)"
 # Bounded by each test's Config (preemption bound + schedule budget) so the

@@ -1,1 +1,3 @@
 //! Placeholder.
+
+#![forbid(unsafe_code)]
