@@ -6,7 +6,7 @@
 //! ```text
 //! dock --receptor rec.pdb --ligand lig.sdf \
 //!      [--meta m1|m2|m3|m4] [--scale 0.2] [--spots 16] \
-//!      [--node hertz|jupiter] [--strategy cpu|hom|het|dynamic|steal] \
+//!      [--node hertz|jupiter] [--strategy cpu|hom|het|dynamic|steal|oracle] \
 //!      [--kernel fused|grid|cells|naive|tiled|run] \
 //!      [--exec lockstep|pipelined|pipelined:4] \
 //!      [--threads 8] [--seed 42] [--out pose.pdb] [--complex complex.pdb]
@@ -78,7 +78,7 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 return Err("usage: dock [--receptor rec.pdb] [--ligand lig.{pdb,sdf}] \
                             [--meta m1..m4] [--scale F] [--spots N] [--node hertz|jupiter] \
-                            [--strategy cpu|hom|het|dynamic|steal] \
+                            [--strategy cpu|hom|het|dynamic|steal|oracle] \
                             [--kernel fused|grid|cells|naive|tiled|run] \
                             [--exec lockstep|pipelined[:depth]] [--threads N] \
                             [--seed N] [--out pose.pdb] [--complex complex.pdb]"
@@ -185,7 +185,10 @@ fn run() -> Result<(), String> {
         "het" => Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
         "dynamic" => Strategy::DynamicQueue { chunk: 512 },
         "steal" => Strategy::WorkSteal { warmup: WarmupConfig::default(), divisor: 2 },
-        other => return Err(format!("unknown strategy {other:?} (cpu|hom|het|dynamic|steal)")),
+        "oracle" => Strategy::Oracle { warmup: WarmupConfig::default(), divisor: 2 },
+        other => {
+            return Err(format!("unknown strategy {other:?} (cpu|hom|het|dynamic|steal|oracle)"))
+        }
     };
 
     // `--exec` selects the engine execution mode (DESIGN.md §12): without

@@ -189,12 +189,16 @@ impl VirtualScreen {
                         ScreenOutcome::from_run(run, node.cpu().clock())
                     }
                     _ => {
-                        // Work stealing runs the *whole* heterogeneous node:
-                        // the host CPU joins the device pool as one more
-                        // lane pulling chunks from the shared deques. The
-                        // split strategies keep the paper's GPU-only
-                        // partitioning (the CPU orchestrates).
-                        let devices = if matches!(strategy, Strategy::WorkSteal { .. }) {
+                        // Work stealing and the learned oracle run the
+                        // *whole* heterogeneous node: the host CPU joins the
+                        // device pool as one more lane pulling chunks from
+                        // the shared deques. The split strategies keep the
+                        // paper's GPU-only partitioning (the CPU
+                        // orchestrates).
+                        let devices = if matches!(
+                            strategy,
+                            Strategy::WorkSteal { .. } | Strategy::Oracle { .. }
+                        ) {
                             let mut d = vec![node.cpu().clone()];
                             d.extend(node.gpus().iter().cloned());
                             d

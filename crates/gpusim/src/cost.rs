@@ -27,7 +27,9 @@ use serde::{Deserialize, Serialize};
 /// interpolator, and the cell-list cutoff kernel do different work per
 /// unit by orders of magnitude — pricing a grid job in pair units would
 /// mispredict it by the ratio of receptor atoms to one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum KernelClass {
     /// One unit = one `ligand × receptor` atom-pair interaction (the dense
     /// Naive/Tiled/Run/Fused kernels). The calibrated default.
@@ -41,6 +43,18 @@ pub enum KernelClass {
     /// the pair math plus neighbor-list chasing (scattered loads, not the
     /// streamed tiles of the dense kernels).
     ShellPairs,
+}
+
+impl KernelClass {
+    /// Stable numeric id for trace payloads (`vstrace` events carry plain
+    /// `u32`s so the trace crate stays independent of this one).
+    pub fn ordinal(self) -> u32 {
+        match self {
+            KernelClass::PairSweep => 0,
+            KernelClass::GridInterp => 1,
+            KernelClass::ShellPairs => 2,
+        }
+    }
 }
 
 /// One scoring kernel invocation: `items` conformations, each computing

@@ -37,6 +37,18 @@
 //! own staleness (a global check would reintroduce the barrier), so
 //! results agree only within search tolerance.
 //!
+//! # Learned-oracle re-seeding
+//!
+//! When the evaluator underneath is a `vsched` executor running
+//! `Strategy::Oracle`, every coalesced batch this engine submits flows
+//! through the same `evaluate_after` seam as the lockstep engine's
+//! generation batches. The executor re-queries its learned cost model for
+//! fresh deque seeds at each such call, so the pipelined engine re-seeds
+//! at (cross-spot) generation boundaries for free — no extra coupling
+//! between the variation stages and the scheduler is needed, and the
+//! determinism contract above is unchanged (the oracle consumes only
+//! virtual-time measurements).
+//!
 //! # Deadlock freedom
 //!
 //! All four channels hold at most `depth` tokens and at most `4·depth`

@@ -18,6 +18,7 @@
 //! never the numeric result — for whichever kernel the scorer is
 //! configured with (DESIGN §7 per-kernel bit-identity).
 
+use crate::oracle::{CostOracle, OracleConfig};
 use crate::partition::proportional_split;
 use crate::runtime::{work_profile, NodeRuntime, StealConfig, StealStats};
 use crate::strategy::Strategy;
@@ -43,19 +44,27 @@ enum AfterWarmup {
     Static,
     /// Seed the work-stealing deques with the weights every batch.
     Steal { divisor: u64 },
+    /// Feed the measurements to the learned cost oracle as the cold-start
+    /// prior and re-seed the deques from its fits every batch.
+    Oracle { divisor: u64 },
 }
 
 enum Mode {
     /// Fixed proportional weights.
     Static(Vec<f64>),
     /// The paper's warm-up phase in progress: the next `left` batches run
-    /// under the equal split while per-device times accumulate; Equation 1
-    /// then fixes the weights and `then` decides what they seed.
-    WarmingUp { left: usize, times: Vec<f64>, then: AfterWarmup },
+    /// under the equal split while per-device times (and, for the oracle,
+    /// executed work units) accumulate; Equation 1 then fixes the weights
+    /// and `then` decides what they seed.
+    WarmingUp { left: usize, times: Vec<f64>, units: Vec<f64>, then: AfterWarmup },
     /// Greedy self-scheduling by virtual clock.
     Dynamic(DynamicChunking),
     /// The runtime's work-stealing drain, seeded by Equation 1 weights.
     Steal { weights: Vec<f64>, cfg: StealConfig },
+    /// The learned-oracle drain (DESIGN.md §15): deques are re-seeded from
+    /// the oracle's current fits before every batch, and every device's
+    /// `(units, seconds)` outcome is fed back as an observation.
+    Oracle { oracle: CostOracle, cfg: StealConfig },
 }
 
 /// A [`BatchEvaluator`] that executes scoring on a set of simulated devices.
@@ -100,6 +109,7 @@ impl DeviceEvaluator {
             Strategy::HeterogeneousSplit { warmup } => Mode::WarmingUp {
                 left: warmup.iterations.max(1),
                 times: vec![0.0; n],
+                units: vec![0.0; n],
                 then: AfterWarmup::Static,
             },
             // The adaptive ablation re-measures continuously; in the
@@ -108,12 +118,20 @@ impl DeviceEvaluator {
             Strategy::AdaptiveSplit { warmup, .. } => Mode::WarmingUp {
                 left: warmup.iterations.max(1),
                 times: vec![0.0; n],
+                units: vec![0.0; n],
                 then: AfterWarmup::Static,
             },
             Strategy::WorkSteal { warmup, divisor } => Mode::WarmingUp {
                 left: warmup.iterations.max(1),
                 times: vec![0.0; n],
+                units: vec![0.0; n],
                 then: AfterWarmup::Steal { divisor: divisor.max(1) },
+            },
+            Strategy::Oracle { warmup, divisor } => Mode::WarmingUp {
+                left: warmup.iterations.max(1),
+                times: vec![0.0; n],
+                units: vec![0.0; n],
+                then: AfterWarmup::Oracle { divisor: divisor.max(1) },
             },
         };
         DeviceEvaluator {
@@ -161,9 +179,18 @@ impl DeviceEvaluator {
     }
 
     /// Cumulative work-stealing statistics (all zeros unless the strategy
-    /// is [`Strategy::WorkSteal`]).
+    /// is [`Strategy::WorkSteal`] or [`Strategy::Oracle`]).
     pub fn steal_stats(&self) -> StealStats {
         self.steal_stats
+    }
+
+    /// The learned cost oracle, once [`Strategy::Oracle`] finished its
+    /// warm-up (`None` before that or under any other strategy).
+    pub fn oracle(&self) -> Option<&CostOracle> {
+        match &self.mode {
+            Mode::Oracle { oracle, .. } => Some(oracle),
+            _ => None,
+        }
     }
 
     /// Test hook: every worker panics on the next `evaluate` call, which
@@ -177,7 +204,9 @@ impl DeviceEvaluator {
     fn shares_for(&self, items: u64) -> Vec<u64> {
         let devices = self.runtime.devices();
         match &self.mode {
-            Mode::Steal { .. } => unreachable!("steal mode does not use contiguous shares"),
+            Mode::Steal { .. } | Mode::Oracle { .. } => {
+                unreachable!("deque-seeded modes do not use contiguous shares")
+            }
             Mode::Static(w) => proportional_split(items, w),
             Mode::WarmingUp { .. } => proportional_split(items, &vec![1.0; devices.len()]),
             Mode::Dynamic(chunking) => {
@@ -220,9 +249,29 @@ impl BatchEvaluator for DeviceEvaluator {
             return;
         }
         let clocks_before: Vec<f64> = self.runtime.devices().iter().map(|d| d.clock()).collect();
+        let items_before: Vec<u64> =
+            self.runtime.devices().iter().map(|d| d.stats().items).collect();
+        let profile = work_profile(self.runtime.scorer());
+        let trace = self.runtime.trace().clone();
 
-        if let Mode::Steal { weights, cfg } = &self.mode {
-            let (weights, cfg) = (weights.clone(), *cfg);
+        // Resolve the deque-seeded modes' weights up front (the oracle
+        // re-queries its fits before *every* batch — that is the point).
+        let seed = match &mut self.mode {
+            Mode::Steal { weights, cfg } => Some((weights.clone(), *cfg)),
+            Mode::Oracle { oracle, cfg } => {
+                let n = clocks_before.len();
+                let weights = oracle.seed_weights(profile.class).unwrap_or_else(|| vec![1.0; n]);
+                if trace.is_enabled() {
+                    trace.emit(Event::Counter {
+                        name: "oracle_reseed",
+                        value: oracle.reseeds() as f64,
+                    });
+                }
+                Some((weights, *cfg))
+            }
+            _ => None,
+        };
+        if let Some((weights, cfg)) = seed {
             let stats = self.runtime.run_steal(confs, &weights, &cfg);
             self.steal_stats.merge(stats);
         } else {
@@ -230,7 +279,6 @@ impl BatchEvaluator for DeviceEvaluator {
             self.runtime.run_shares(confs, &shares);
         }
 
-        let trace = self.runtime.trace().clone();
         if trace.is_enabled() {
             let vt_start = clocks_before.iter().copied().fold(f64::INFINITY, f64::min);
             // For the dense kernels `units_per_item` *is* the pair count;
@@ -245,14 +293,40 @@ impl BatchEvaluator for DeviceEvaluator {
             });
         }
 
-        // Warm-up bookkeeping: accumulate measured per-device times and
-        // hand the Equation 1 weights to the follow-on mode once enough
-        // iterations ran.
-        if let Mode::WarmingUp { left, times, then } = &mut self.mode {
+        // Oracle feedback: every device's `(units, virtual seconds)` for
+        // this batch becomes an observation, refining the fits the *next*
+        // batch's seed will query.
+        if let Mode::Oracle { oracle, .. } = &mut self.mode {
             let devices = self.runtime.devices();
-            for ((t, d), before) in times.iter_mut().zip(devices).zip(&clocks_before) {
-                let dt = d.clock() - before;
-                *t += dt;
+            for (i, d) in devices.iter().enumerate() {
+                let di = d.stats().items - items_before[i];
+                let dt = d.clock() - clocks_before[i];
+                if di > 0 && dt > 0.0 {
+                    let u =
+                        oracle.observe(i, profile.class, (di * profile.units_per_item) as f64, dt);
+                    if trace.is_enabled() {
+                        trace.emit(Event::ModelUpdated {
+                            device: d.id() as u32,
+                            class: profile.class.ordinal(),
+                            predicted: u.predicted,
+                            observed: u.observed,
+                            residual: u.residual,
+                            refit: u.refit,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Warm-up bookkeeping: accumulate measured per-device times (and
+        // executed units, for the oracle prior) and hand the Equation 1
+        // weights to the follow-on mode once enough iterations ran.
+        if let Mode::WarmingUp { left, times, units, then } = &mut self.mode {
+            let devices = self.runtime.devices();
+            for (i, d) in devices.iter().enumerate() {
+                let dt = d.clock() - clocks_before[i];
+                times[i] += dt;
+                units[i] += ((d.stats().items - items_before[i]) * profile.units_per_item) as f64;
                 if trace.is_enabled() {
                     trace.emit(Event::WarmupSample {
                         device: d.id() as u32,
@@ -285,6 +359,16 @@ impl BatchEvaluator for DeviceEvaluator {
                         weights,
                         cfg: StealConfig { divisor: *divisor, min_chunk: 0 },
                     },
+                    AfterWarmup::Oracle { divisor } => {
+                        let mut oracle = CostOracle::new(devices.len(), OracleConfig::default());
+                        if times.iter().all(|&t| t > 0.0) && units.iter().all(|&u| u > 0.0) {
+                            oracle.observe_warmup(profile.class, times, units);
+                        }
+                        Mode::Oracle {
+                            oracle,
+                            cfg: StealConfig { divisor: *divisor, min_chunk: 0 },
+                        }
+                    }
                 };
             }
         }
@@ -527,6 +611,104 @@ mod tests {
         for (x, y) in c.iter().zip(&serial) {
             assert_eq!(x.score.to_bits(), y.score.to_bits());
         }
+    }
+
+    #[test]
+    fn oracle_warms_up_then_tracks_drift() {
+        // The oracle seeds from the warm-up prior, then re-prices a device
+        // that slows 6x mid-run: the fits drift-reset and subsequent seeds
+        // shrink the straggler's share instead of relying on steals.
+        let devs = hertz_devices();
+        let warmup = WarmupConfig { iterations: 2, ..Default::default() };
+        let mut ev =
+            DeviceEvaluator::new(devs.clone(), scorer(), Strategy::Oracle { warmup, divisor: 2 });
+        assert!(ev.oracle().is_none(), "no oracle during warm-up");
+        for i in 0..2 {
+            let mut c = confs(500, 60 + i);
+            ev.evaluate(&mut c);
+        }
+        let o = ev.oracle().expect("warm-up must hand off to the oracle");
+        assert!(o.is_warm(gpusim::KernelClass::PairSweep), "prior must be installed");
+
+        // Healthy batches: fits form, K40c keeps the larger share.
+        let before = (devs[0].stats().items, devs[1].stats().items);
+        let mut c = confs(1000, 62);
+        ev.evaluate(&mut c);
+        let d0 = devs[0].stats().items - before.0;
+        let d1 = devs[1].stats().items - before.1;
+        assert!(d0 > d1, "oracle seed must favor the faster device: {d0}/{d1}");
+
+        // Slow the GTX 580 6x; a few batches later the *seed itself*
+        // reflects the new regime (share ratio widens well past warm-up's).
+        devs[1].set_slowdown(6.0);
+        for i in 0..3 {
+            let mut c = confs(2000, 63 + i);
+            ev.evaluate(&mut c);
+        }
+        let before = (devs[0].stats().items, devs[1].stats().items);
+        let mut c = confs(2000, 70);
+        ev.evaluate(&mut c);
+        let d0 = (devs[0].stats().items - before.0) as f64;
+        let d1 = (devs[1].stats().items - before.1) as f64;
+        let o = ev.oracle().unwrap();
+        assert!(o.fits().iter().any(|(_, f)| f.refits > 0), "6x drift must refit");
+        assert!(d0 / d1.max(1.0) > 4.0, "post-drift seed must starve the straggler: {d0}/{d1}");
+        // Scores stay bit-identical to serial throughout.
+        let sc = scorer();
+        let mut serial = c.clone();
+        let mut scratch = vsscore::PoseScratch::new();
+        sc.score_batch(ScoreBatch::Confs(&mut serial), &mut scratch, Exec::Serial);
+        for (x, y) in c.iter().zip(&serial) {
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+
+    #[test]
+    fn oracle_emits_model_updates_and_reseed_counter() {
+        let devs = hertz_devices();
+        let trace = Trace::new();
+        let warmup = WarmupConfig { iterations: 1, ..Default::default() };
+        let mut ev = DeviceEvaluator::new(devs, scorer(), Strategy::Oracle { warmup, divisor: 2 })
+            .with_trace(trace.clone());
+        for i in 0..3 {
+            let mut c = confs(400, 80 + i);
+            ev.evaluate(&mut c);
+        }
+        let data = trace.snapshot();
+        let kinds: Vec<&str> = data.events().map(|s| s.event.kind()).collect();
+        assert!(kinds.contains(&"ModelUpdated"), "{kinds:?}");
+        assert!(kinds.contains(&"WarmupSample"), "{kinds:?}");
+        let reseeds = data
+            .events()
+            .filter_map(|s| match s.event {
+                Event::Counter { name: "oracle_reseed", value } => Some(value),
+                _ => None,
+            })
+            .fold(0.0f64, f64::max);
+        assert!(reseeds >= 2.0, "each post-warm-up batch re-seeds: {reseeds}");
+    }
+
+    #[test]
+    fn full_metaheuristic_run_through_oracle() {
+        let sc = scorer();
+        let spots = vec![vsmol::Spot {
+            id: 0,
+            center: vsmath::Vec3::new(18.0, 0.0, 0.0),
+            normal: vsmath::Vec3::X,
+            radius: 4.0,
+            anchor_atom: 0,
+        }];
+        let devs = hertz_devices();
+        let mut ev = DeviceEvaluator::new(
+            devs.clone(),
+            sc,
+            Strategy::Oracle { warmup: WarmupConfig::default(), divisor: 2 },
+        );
+        let params = metaheur::m3(0.5);
+        let r = metaheur::run(&params, &spots, &mut ev, 11);
+        assert!(r.best.is_scored());
+        assert_eq!(r.evaluations, params.evals_per_spot());
+        assert!(ev.oracle().is_some());
     }
 
     #[test]

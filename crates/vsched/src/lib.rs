@@ -23,6 +23,10 @@
 //!   disjoint index ranges per batch, and joined on drop), with both a
 //!   contiguous-shares path and a work-stealing drain over per-device
 //!   [`deque`]s seeded by Equation 1 weights;
+//! - [`oracle`] — the online learned cost model (DESIGN.md §15):
+//!   per-(device, kernel-class) exponentially-decayed throughput fits that
+//!   turn the one-shot Equation 1 warm-up into a cold-start prior and
+//!   re-price devices from live batch telemetry, with drift detection;
 //! - [`executor`] — the real-compute path: a
 //!   [`metaheur::BatchEvaluator`] facade over the runtime that resolves a
 //!   [`Strategy`] into per-batch shares or deque seeds and keeps the
@@ -40,6 +44,7 @@
 pub mod cooperative;
 pub mod deque;
 pub mod executor;
+pub mod oracle;
 pub mod partition;
 pub mod replay;
 pub mod runtime;
@@ -50,8 +55,12 @@ pub mod warmup;
 
 pub use deque::ChunkDeque;
 pub use executor::DeviceEvaluator;
+pub use oracle::{CostOracle, FitSnapshot, ModelUpdate, OracleConfig, SharedOracle};
 pub use partition::{equal_split, proportional_split};
-pub use replay::{schedule_trace, schedule_trace_faulty, schedule_trace_timeline, ScheduleReport};
+pub use replay::{
+    schedule_trace, schedule_trace_drift, schedule_trace_faulty, schedule_trace_timeline,
+    ScheduleReport,
+};
 pub use runtime::{drain_deques, work_profile, Claim, NodeRuntime, StealConfig, StealStats};
 pub use spec::EvaluatorSpec;
 pub use strategy::Strategy;

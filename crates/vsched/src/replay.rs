@@ -15,13 +15,14 @@
 //! device determines overall time.
 
 use crate::deque::ChunkDeque;
+use crate::oracle::{CostOracle, OracleConfig};
 use crate::partition::proportional_split;
 use crate::runtime::{drain_deques, StealConfig};
 use crate::strategy::Strategy;
-use gpusim::{EnergyModel, SimDevice, WorkBatch, WorkProfile};
+use gpusim::{EnergyModel, KernelClass, SimDevice, WorkBatch, WorkProfile};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use vstrace::Trace;
+use vstrace::{Event, Trace};
 
 /// Outcome of replaying one workload under one strategy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -246,6 +247,21 @@ pub fn schedule_trace(
             }
             finish_gpu_report(strategy, cpu, gpus, Some(normalize(&weights)), total_items)
         }
+        Strategy::Oracle { .. } => {
+            // The oracle path is the drift engine with no faults: warm-up
+            // becomes the cold-start prior, every batch re-seeds from the
+            // current fits and feeds its outcome back.
+            schedule_trace_drift(
+                cpu,
+                gpus,
+                trace,
+                pairs_per_item,
+                strategy,
+                &[],
+                &Trace::disabled(),
+                None,
+            )
+        }
     }
 }
 
@@ -365,12 +381,81 @@ pub fn schedule_trace_faulty(
     events: &Trace,
 ) -> ScheduleReport {
     assert_eq!(gpu_slowdowns.len(), gpus.len(), "one slowdown factor per GPU");
+    schedule_trace_drift(
+        cpu,
+        gpus,
+        trace,
+        pairs_per_item,
+        strategy,
+        &[(onset_batch, gpu_slowdowns.to_vec())],
+        events,
+        None,
+    )
+}
+
+/// Replay `trace` under `strategy` through a sequence of degradation
+/// *phases*: before batch `phases[k].0` executes, every GPU's slowdown is
+/// set to the matching factor in `phases[k].1` (1.0 restores nominal
+/// speed, so a slow-then-recover drift scenario is two phases). This
+/// generalizes [`schedule_trace_faulty`] — a single phase *is* that
+/// function — and is the harness behind the `sched_snapshot` drift
+/// scenarios.
+///
+/// For [`Strategy::Oracle`], `oracle` optionally carries learned state
+/// across calls (the campaign service's cross-tenant warm start): a warm
+/// oracle skips the warm-up phase entirely and seeds from its fits at
+/// batch 0, and every observation made here updates the caller's model.
+/// Pass `None` for a self-contained run (fresh cold-start oracle). Other
+/// strategies ignore the parameter.
+///
+/// Emits the same events as [`schedule_trace_faulty`] plus
+/// [`Event::ModelUpdated`] per oracle observation and an `oracle_reseed`
+/// counter per seed query.
+///
+/// # Panics
+/// Panics if any phase's factor list length differs from `gpus.len()`, on
+/// [`Strategy::AdaptiveSplit`] (re-measuring mid-run is the ablation this
+/// harness deliberately excludes so onset semantics stay comparable), if a
+/// GPU strategy is given no GPUs, or if a passed-in oracle was built for a
+/// different device count.
+#[allow(clippy::too_many_arguments)]
+pub fn schedule_trace_drift(
+    cpu: &Arc<SimDevice>,
+    gpus: &[Arc<SimDevice>],
+    trace: &[u64],
+    pairs_per_item: u64,
+    strategy: Strategy,
+    phases: &[(usize, Vec<f64>)],
+    events: &Trace,
+    oracle: Option<&mut CostOracle>,
+) -> ScheduleReport {
+    for (_, factors) in phases {
+        assert_eq!(factors.len(), gpus.len(), "one slowdown factor per GPU per phase");
+    }
     cpu.reset();
     for g in gpus {
         g.reset(); // also restores nominal slowdown from any prior replay
     }
     let total_items: u64 = trace.iter().sum();
     let n = gpus.len();
+
+    // Replay scores in the dense pair-sweep regime; the oracle keys its
+    // fits by kernel class, so this is the class every observation lands in.
+    const CLASS: KernelClass = KernelClass::PairSweep;
+
+    // Resolve the oracle for Strategy::Oracle: the caller's (shared,
+    // cross-campaign) model when given, else a fresh cold-start one.
+    let mut local_oracle = None;
+    let mut oracle = match (matches!(strategy, Strategy::Oracle { .. }), oracle) {
+        (false, _) => None,
+        (true, Some(o)) => {
+            assert_eq!(o.n_devices(), n, "oracle device count must match the GPUs");
+            Some(o)
+        }
+        (true, None) => {
+            Some(local_oracle.insert(CostOracle::new(n.max(1), OracleConfig::default())))
+        }
+    };
 
     /// Incremental per-strategy state, advanced one batch at a time so the
     /// fault onset lands exactly where the caller asked.
@@ -388,6 +473,16 @@ pub fn schedule_trace_faulty(
             warm_left: usize,
             measured: Vec<f64>,
             weights: Vec<f64>,
+            cfg: StealConfig,
+        },
+        /// The learned oracle: warm-up measurements (times and executed
+        /// units) become the cold-start prior, then every batch re-seeds
+        /// the deques from the current fits and feeds its outcome back.
+        Oracle {
+            warm_left: usize,
+            measured: Vec<f64>,
+            units: Vec<f64>,
+            last_weights: Vec<f64>,
             cfg: StealConfig,
         },
         /// Self-scheduling: fixed chunks (`Some`) or guided (`None`).
@@ -413,6 +508,19 @@ pub fn schedule_trace_faulty(
             weights: vec![1.0; n],
             cfg: StealConfig { divisor: divisor.max(1), min_chunk: 0 },
         },
+        Strategy::Oracle { warmup, divisor } => St::Oracle {
+            // A warm oracle (prior or full fits from an earlier campaign)
+            // skips the warm-up: its knowledge replaces the measurements.
+            warm_left: match &oracle {
+                // PANICS: the oracle option was just populated for Strategy::Oracle above.
+                Some(o) if o.is_warm(CLASS) => 0,
+                _ => warmup.iterations.max(1),
+            },
+            measured: vec![0.0; n],
+            units: vec![0.0; n],
+            last_weights: vec![1.0; n],
+            cfg: StealConfig { divisor: divisor.max(1), min_chunk: 0 },
+        },
         Strategy::DynamicQueue { chunk } => St::Greedy { fixed: Some(chunk.max(1)), divisor: 1 },
         Strategy::GuidedQueue { divisor } => St::Greedy { fixed: None, divisor: divisor.max(1) },
         Strategy::AdaptiveSplit { .. } => {
@@ -434,10 +542,12 @@ pub fn schedule_trace_faulty(
     };
 
     for (bi, &items) in trace.iter().enumerate() {
-        if bi == onset_batch {
-            for (g, &f) in gpus.iter().zip(gpu_slowdowns) {
-                if f != 1.0 {
-                    g.set_slowdown(f);
+        for (onset, factors) in phases {
+            if *onset == bi {
+                for (g, &f) in gpus.iter().zip(factors) {
+                    if f != 1.0 || g.slowdown() != 1.0 {
+                        g.set_slowdown(f);
+                    }
                 }
             }
         }
@@ -475,6 +585,71 @@ pub fn schedule_trace_faulty(
                     );
                 }
             }
+            St::Oracle { warm_left, measured, units, last_weights, cfg } => {
+                // PANICS: the oracle option is always populated for Strategy::Oracle.
+                let oracle = oracle.as_mut().expect("oracle state for Strategy::Oracle");
+                if *warm_left > 0 {
+                    let shares = proportional_split(items, &vec![1.0; n]);
+                    for (i, (g, &share)) in gpus.iter().zip(&shares).enumerate() {
+                        if share > 0 {
+                            measured[i] +=
+                                g.execute(&WorkBatch::conformations(share, pairs_per_item));
+                            units[i] += (share * pairs_per_item) as f64;
+                        }
+                    }
+                    *warm_left -= 1;
+                    if *warm_left == 0
+                        && measured.iter().all(|&t| t > 0.0)
+                        && units.iter().all(|&u| u > 0.0)
+                    {
+                        oracle.observe_warmup(CLASS, measured, units);
+                    }
+                } else {
+                    let weights = oracle.seed_weights(CLASS).unwrap_or_else(|| vec![1.0; n]);
+                    if events.is_enabled() {
+                        events.emit(Event::Counter {
+                            name: "oracle_reseed",
+                            value: oracle.reseeds() as f64,
+                        });
+                    }
+                    let clocks_before: Vec<f64> = gpus.iter().map(|g| g.clock()).collect();
+                    let deques = seed_deques(items, &weights);
+                    let (claims, _) = drain_deques(
+                        gpus,
+                        &deques,
+                        cfg,
+                        WorkProfile::pairs(pairs_per_item),
+                        None,
+                        events,
+                    );
+                    let mut items_per = vec![0u64; n];
+                    for c in &claims {
+                        items_per[c.device] += u64::from(c.hi - c.lo);
+                    }
+                    for (i, g) in gpus.iter().enumerate() {
+                        let dt = g.clock() - clocks_before[i];
+                        if items_per[i] > 0 && dt > 0.0 {
+                            let u = oracle.observe(
+                                i,
+                                CLASS,
+                                (items_per[i] * pairs_per_item) as f64,
+                                dt,
+                            );
+                            if events.is_enabled() {
+                                events.emit(Event::ModelUpdated {
+                                    device: g.id() as u32,
+                                    class: CLASS.ordinal(),
+                                    predicted: u.predicted,
+                                    observed: u.observed,
+                                    residual: u.residual,
+                                    refit: u.refit,
+                                });
+                            }
+                        }
+                    }
+                    *last_weights = weights;
+                }
+            }
             St::Greedy { fixed, divisor } => {
                 let mut remaining = items;
                 while remaining > 0 {
@@ -506,6 +681,9 @@ pub fn schedule_trace_faulty(
         },
         St::Split { weights, .. } | St::Steal { weights, .. } => {
             finish_gpu_report(strategy, cpu, gpus, Some(normalize(&weights)), total_items)
+        }
+        St::Oracle { last_weights, .. } => {
+            finish_gpu_report(strategy, cpu, gpus, Some(normalize(&last_weights)), total_items)
         }
         St::Greedy { .. } => finish_gpu_report(strategy, cpu, gpus, None, total_items),
     }
@@ -1035,6 +1213,180 @@ mod tests {
         )
         .makespan;
         assert!(degraded > healthy * 2.0, "3x straggler must dominate: {degraded} vs {healthy}");
+    }
+
+    fn oracle() -> Strategy {
+        Strategy::Oracle { warmup: WarmupConfig::default(), divisor: 2 }
+    }
+
+    #[test]
+    fn oracle_replay_healthy_competitive_with_worksteal() {
+        let (cpu, gpus) = hertz();
+        let t_ws = schedule_trace(&cpu, &gpus, &trace(), PAIRS, worksteal()).makespan;
+        let r = schedule_trace(&cpu, &gpus, &trace(), PAIRS, oracle());
+        assert_eq!(r.strategy_label, "Learned oracle");
+        let ratio = r.makespan / t_ws;
+        assert!((0.9..=1.05).contains(&ratio), "healthy oracle {} vs worksteal {t_ws}", r.makespan);
+        let s = r.shares.unwrap();
+        assert!(s[0] > s[1], "fitted seed must favor the K40c: {s:?}");
+    }
+
+    #[test]
+    fn oracle_replay_is_deterministic() {
+        let (cpu, gpus) = hertz();
+        let a = schedule_trace(&cpu, &gpus, &big_trace(), PAIRS, oracle()).makespan;
+        let b = schedule_trace(&cpu, &gpus, &big_trace(), PAIRS, oracle()).makespan;
+        assert_eq!(a.to_bits(), b.to_bits(), "oracle replay must be bit-identical per input");
+    }
+
+    #[test]
+    fn drift_with_no_phases_matches_plain_replay() {
+        let (cpu, gpus) = hertz();
+        for strat in [worksteal(), Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() }]
+        {
+            let plain = schedule_trace(&cpu, &gpus, &trace(), PAIRS, strat).makespan;
+            let drift = schedule_trace_drift(
+                &cpu,
+                &gpus,
+                &trace(),
+                PAIRS,
+                strat,
+                &[],
+                &Trace::disabled(),
+                None,
+            )
+            .makespan;
+            assert_eq!(drift.to_bits(), plain.to_bits(), "{}", strat.label());
+        }
+    }
+
+    #[test]
+    fn drift_scenario_oracle_beats_frozen_percent() {
+        // A device slows 4x mid-run, then recovers: the frozen Percent
+        // split pays the straggler twice (too much work while slow, too
+        // little after recovery); the oracle re-fits within a few batches
+        // on both transitions.
+        let (cpu, gpus) = hertz();
+        let onset = WarmupConfig::default().iterations + 2;
+        let recover = onset + 8;
+        let phases = [(onset, vec![1.0, 4.0]), (recover, vec![1.0, 1.0])];
+        let t_frozen = schedule_trace_drift(
+            &cpu,
+            &gpus,
+            &big_trace(),
+            PAIRS,
+            Strategy::HeterogeneousSplit { warmup: WarmupConfig::default() },
+            &phases,
+            &Trace::disabled(),
+            None,
+        )
+        .makespan;
+        let t_oracle = schedule_trace_drift(
+            &cpu,
+            &gpus,
+            &big_trace(),
+            PAIRS,
+            oracle(),
+            &phases,
+            &Trace::disabled(),
+            None,
+        )
+        .makespan;
+        assert!(
+            t_oracle < t_frozen,
+            "oracle {t_oracle} must strictly beat frozen Percent {t_frozen} under drift"
+        );
+    }
+
+    #[test]
+    fn drift_scenario_oracle_steals_less_than_worksteal() {
+        // Pure work stealing heals drift by migrating chunks every batch;
+        // the oracle re-prices the seed so most of that traffic vanishes.
+        let (cpu, gpus) = hertz();
+        let onset = WarmupConfig::default().iterations + 2;
+        let phases = [(onset, vec![1.0, 4.0]), (onset + 8, vec![1.0, 1.0])];
+        let count_migrations = |strategy: Strategy| {
+            let events = Trace::new();
+            let t = schedule_trace_drift(
+                &cpu,
+                &gpus,
+                &big_trace(),
+                PAIRS,
+                strategy,
+                &phases,
+                &events,
+                None,
+            )
+            .makespan;
+            let steals = events
+                .snapshot()
+                .events()
+                .filter(|s| matches!(s.event, Event::JobMigrated { .. }))
+                .count();
+            (t, steals)
+        };
+        let (t_ws, steals_ws) = count_migrations(worksteal());
+        let (t_or, steals_or) = count_migrations(oracle());
+        assert!(steals_ws > 0, "drift must force the frozen-seed drain to steal");
+        assert!(
+            steals_or < steals_ws,
+            "oracle re-seeding must reduce steal traffic: {steals_or} vs {steals_ws}"
+        );
+        assert!(
+            t_or <= t_ws * 1.02,
+            "oracle {t_or} must not lose to pure stealing {t_ws} under drift"
+        );
+    }
+
+    #[test]
+    fn warm_oracle_skips_warmup_and_stays_deterministic() {
+        // Cross-campaign warm start: a second replay reusing the fitted
+        // oracle skips the equal-split warm-up entirely and seeds from the
+        // fits at batch 0 — and re-running from a cloned oracle is
+        // bit-identical (fits consume only virtual-time measurements).
+        let (cpu, gpus) = hertz();
+        let mut shared = CostOracle::new(gpus.len(), OracleConfig::default());
+        let cold = schedule_trace_drift(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            oracle(),
+            &[],
+            &Trace::disabled(),
+            Some(&mut shared),
+        )
+        .makespan;
+        assert!(shared.is_warm(KernelClass::PairSweep));
+        let mut warm_a = shared.clone();
+        let mut warm_b = shared.clone();
+        let warm1 = schedule_trace_drift(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            oracle(),
+            &[],
+            &Trace::disabled(),
+            Some(&mut warm_a),
+        )
+        .makespan;
+        let warm2 = schedule_trace_drift(
+            &cpu,
+            &gpus,
+            &trace(),
+            PAIRS,
+            oracle(),
+            &[],
+            &Trace::disabled(),
+            Some(&mut warm_b),
+        )
+        .makespan;
+        assert_eq!(warm1.to_bits(), warm2.to_bits(), "warm replays must be bit-identical");
+        assert!(
+            warm1 < cold,
+            "warm start must skip the equal-split warm-up cost: {warm1} vs {cold}"
+        );
     }
 
     #[test]

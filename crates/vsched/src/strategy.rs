@@ -37,6 +37,15 @@ pub enum Strategy {
     /// the tail of the most-loaded victim. Heals mispredicted or degraded
     /// devices that the frozen Percent split would leave stranded.
     WorkSteal { warmup: WarmupConfig, divisor: u64 },
+    /// The learned cost oracle (DESIGN.md §15): the warm-up is ingested as
+    /// a cold-start prior instead of a terminal answer, every batch's
+    /// `(units, virtual seconds)` refines per-(device, kernel-class)
+    /// throughput fits, and the work-stealing deques are re-seeded from
+    /// the *current* fitted rates before each batch. Drift (a device
+    /// slowing or recovering mid-run) re-fits the model within a few
+    /// batches, so seeds track reality and stealing shrinks to a safety
+    /// net.
+    Oracle { warmup: WarmupConfig, divisor: u64 },
 }
 
 impl Strategy {
@@ -50,6 +59,7 @@ impl Strategy {
             Strategy::AdaptiveSplit { .. } => "Adaptive split",
             Strategy::GuidedQueue { .. } => "Guided self-scheduling",
             Strategy::WorkSteal { .. } => "Work stealing",
+            Strategy::Oracle { .. } => "Learned oracle",
         }
     }
 
@@ -69,9 +79,11 @@ impl Strategy {
             | Strategy::DynamicQueue { .. }
             | Strategy::AdaptiveSplit { .. }
             | Strategy::GuidedQueue { .. }
-            // Work stealing derives its seed weights inside the executor /
-            // replay (they are per-batch deque seeds, not a fixed split).
-            | Strategy::WorkSteal { .. } => None,
+            // Work stealing and the oracle derive their seed weights inside
+            // the executor / replay (per-batch deque seeds queried from the
+            // warm-up or the live fits, not a fixed split).
+            | Strategy::WorkSteal { .. }
+            | Strategy::Oracle { .. } => None,
             Strategy::HomogeneousSplit => Some(vec![1.0; devices.len()]),
             Strategy::HeterogeneousSplit { warmup } => {
                 let times = warmup_times(devices, profile, *warmup);

@@ -13,8 +13,24 @@
 //! ```
 //!
 //! The slowest GPU has Percent = 1; a GPU twice as fast has Percent = 0.5."
+//!
+//! # Per-regime warm-up sizing
+//!
+//! The warm-up batch size scales with the kernel's cost regime
+//! ([`WarmupConfig::items_for`]). A flat 8×64 items was tuned for the
+//! pair-sweep regime, whose per-item cost grows with pairs; grid
+//! interpolation is orders of magnitude cheaper per pose, so the same 64
+//! items barely move the device clocks and Equation 1 ratios come out of
+//! transfer noise rather than compute — the split under-samples. Cheaper
+//! regimes therefore warm up with proportionally more items per iteration
+//! (grid-interp 64×, shell-pairs 8×); the pair-sweep size is unchanged so
+//! existing pair-sweep splits are bit-identical to before.
+//!
+//! With the learned oracle ([`crate::oracle`]) these measurements are no
+//! longer a terminal answer: they are ingested as the cold-start prior and
+//! refined by every subsequent batch.
 
-use gpusim::{SimDevice, WorkProfile};
+use gpusim::{KernelClass, SimDevice, WorkProfile};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -24,13 +40,29 @@ use std::sync::Arc;
 pub struct WarmupConfig {
     /// Metaheuristic iterations to time (paper: 5–10).
     pub iterations: usize,
-    /// Candidate solutions scored per iteration per device.
+    /// Candidate solutions scored per iteration per device, for the
+    /// baseline pair-sweep regime. Cheaper regimes scale this up — see
+    /// [`Self::items_for`] and the module docs.
     pub items_per_iteration: u64,
 }
 
 impl Default for WarmupConfig {
     fn default() -> Self {
         WarmupConfig { iterations: 8, items_per_iteration: 64 }
+    }
+}
+
+impl WarmupConfig {
+    /// Items per warm-up iteration for `class`. Cheap-per-pose regimes
+    /// need more poses for the device clocks to move past transfer noise:
+    /// grid interpolation costs ~3 flops per pose-atom versus a full
+    /// pairwise sweep, shell pairs sit in between.
+    pub fn items_for(self, class: KernelClass) -> u64 {
+        match class {
+            KernelClass::PairSweep => self.items_per_iteration,
+            KernelClass::GridInterp => self.items_per_iteration * 64,
+            KernelClass::ShellPairs => self.items_per_iteration * 8,
+        }
     }
 }
 
@@ -51,12 +83,13 @@ pub fn warmup_times(
 ) -> Vec<f64> {
     assert!(!devices.is_empty(), "warm-up needs devices");
     assert!(config.iterations > 0 && config.items_per_iteration > 0, "degenerate warm-up");
+    let items = config.items_for(profile.class);
     devices
         .iter()
         .map(|d| {
             let mut t = 0.0;
             for _ in 0..config.iterations {
-                t += d.execute(&profile.batch(config.items_per_iteration));
+                t += d.execute(&profile.batch(items));
             }
             t
         })
@@ -153,6 +186,26 @@ mod tests {
         for w in completion.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn warmup_items_scale_with_regime_cheapness() {
+        let cfg = WarmupConfig::default();
+        assert_eq!(cfg.items_for(KernelClass::PairSweep), 64);
+        assert_eq!(cfg.items_for(KernelClass::ShellPairs), 64 * 8);
+        assert_eq!(cfg.items_for(KernelClass::GridInterp), 64 * 64);
+    }
+
+    #[test]
+    fn grid_interp_warmup_samples_more_items() {
+        // Same iteration count, but the cheap regime executes enough items
+        // that the measured ratio reflects compute, not per-batch noise.
+        let devs = devices();
+        let profile = WorkProfile::new(4, KernelClass::GridInterp);
+        let times = warmup_times(&devs, profile, WarmupConfig::default());
+        let stats = devs[0].stats();
+        assert_eq!(stats.items, 8 * 64 * 64, "grid-interp warm-up must up-sample");
+        assert!(times.iter().all(|t| *t > 0.0));
     }
 
     #[test]

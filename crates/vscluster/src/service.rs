@@ -38,7 +38,7 @@ use crate::net::NetModel;
 use gpusim::SimNode;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use vsched::{schedule_trace, schedule_trace_faulty, Strategy};
+use vsched::{schedule_trace, schedule_trace_drift, schedule_trace_faulty, SharedOracle, Strategy};
 use vscreen::trace::synthetic_trace;
 use vstrace::{Event, Trace};
 
@@ -475,6 +475,12 @@ pub struct Service {
     /// Service virtual clock (persists across drains).
     now: f64,
     cost_memo: BTreeMap<CostKey, f64>,
+    /// One learned cost oracle per node (plus the [`BASELINE_NODE`]
+    /// pseudo-node), shared across every `Strategy::Oracle` campaign the
+    /// service runs: tenant N+1 starts warm from tenant N's fits. Fits
+    /// consume only virtual-time measurements, so drains stay
+    /// bit-identical per submission order.
+    oracles: BTreeMap<usize, SharedOracle>,
 }
 
 impl Service {
@@ -517,6 +523,7 @@ impl Service {
             served: [0.0, 0.0],
             now: 0.0,
             cost_memo: BTreeMap::new(),
+            oracles: BTreeMap::new(),
         }
     }
 
@@ -541,6 +548,14 @@ impl Service {
     /// The service's virtual clock.
     pub fn now(&self) -> f64 {
         self.now
+    }
+
+    /// Node `ni`'s shared learned-cost oracle, present once any
+    /// `Strategy::Oracle` campaign has executed (or been planned) there.
+    /// Dashboards and tests peek at its fits; campaigns submitted later
+    /// start warm from the same instance.
+    pub fn node_oracle(&self, ni: usize) -> Option<&SharedOracle> {
+        self.oracles.get(&ni)
     }
 
     /// Submit one campaign. Validation panics early; admission control
@@ -1110,6 +1125,12 @@ impl Service {
     /// Healthy compute cost of `jb` on node `ni` (or the node-0 baseline
     /// spec when `ni == BASELINE_NODE`), memoized.
     fn nominal_cost(&mut self, ni: usize, jb: &QueuedJob, strategy: Strategy) -> f64 {
+        if matches!(strategy, Strategy::Oracle { .. }) {
+            // The learned split depends on the shared oracle's current
+            // fits, so it cannot be memoized; a planning peek runs on a
+            // clone and ingests nothing.
+            return self.oracle_cost(ni, jb, strategy, &[], false);
+        }
         let key = self.cost_key(ni, jb, strategy, 1.0, None);
         if let Some(&c) = self.cost_memo.get(&key) {
             return c;
@@ -1121,6 +1142,50 @@ impl Service {
         let c = schedule_trace(node.cpu(), node.gpus(), &batches, pairs, strategy).makespan;
         self.cost_memo.insert(key, c);
         c
+    }
+
+    /// Replay `jb` on node `ni` under the learned-oracle strategy,
+    /// sharing one [`SharedOracle`] per node across campaigns. With
+    /// `ingest` the replay's observations update the shared model (an
+    /// actual execution); without it the replay runs on a clone (a
+    /// planning peek, e.g. the single-node baseline) and the shared fits
+    /// are untouched.
+    fn oracle_cost(
+        &mut self,
+        ni: usize,
+        jb: &QueuedJob,
+        strategy: Strategy,
+        phases: &[(usize, Vec<f64>)],
+        ingest: bool,
+    ) -> f64 {
+        let node =
+            if ni == BASELINE_NODE { self.baseline.clone() } else { self.nodes[ni].node.clone() };
+        let batches = synthetic_trace(&jb.job.params, jb.n_spots);
+        let pairs = jb.job.pairs_per_eval(jb.receptor_atoms);
+        let shared =
+            self.oracles.entry(ni).or_insert_with(|| SharedOracle::new(node.gpus().len())).clone();
+        let emit = ingest && self.trace.is_enabled();
+        let silent = Trace::disabled();
+        let events = if emit { &self.trace } else { &silent };
+        let replay = |oracle: &mut vsched::CostOracle| {
+            schedule_trace_drift(
+                node.cpu(),
+                node.gpus(),
+                &batches,
+                pairs,
+                strategy,
+                phases,
+                events,
+                Some(oracle),
+            )
+            .makespan
+        };
+        if ingest {
+            shared.with(replay)
+        } else {
+            let mut peek = shared.with(|o| o.clone());
+            replay(&mut peek)
+        }
     }
 
     /// True cost of running `jb` on node `ni` under its campaign's fault
@@ -1138,6 +1203,31 @@ impl Service {
             }
             _ => (1.0, None),
         };
+        if let Strategy::Oracle { warmup, .. } = strategy {
+            // Actual executions feed the node's shared oracle (ingest =
+            // true), so the next campaign on this node starts warm. The
+            // fault context becomes a drift phase: a victim lane slows
+            // after warm-up (its prior was measured healthy); a uniform
+            // fault slows every GPU from the first batch.
+            let n_gpus = if ni < self.nodes.len() {
+                self.nodes[ni].node.gpus().len()
+            } else {
+                self.baseline.gpus().len()
+            };
+            let phases: Vec<(usize, Vec<f64>)> = if factor == 1.0 {
+                Vec::new()
+            } else {
+                match victim {
+                    None => vec![(0, vec![factor; n_gpus])],
+                    Some(g) => {
+                        let mut slowdowns = vec![1.0; n_gpus];
+                        slowdowns[g] = factor;
+                        vec![(warmup.iterations, slowdowns)]
+                    }
+                }
+            };
+            return self.oracle_cost(ni, jb, strategy, &phases, true);
+        }
         if factor == 1.0 {
             // Healthy lane: the intra-node faulty replay reduces to the
             // nominal schedule exactly, so both fault models share it.
@@ -1743,5 +1833,78 @@ mod tests {
         let mut svc = service(1);
         let ligands = synthetic_library(1, &metaheur::m1(0.1), 1);
         svc.submit(Campaign::cross_dock(vec![], ligands, Strategy::HomogeneousSplit));
+    }
+
+    // ---- learned-oracle campaigns (cross-tenant warm sharing) ----
+
+    fn oracle() -> Strategy {
+        // m1(0.2) expands to ~7 batches per job; warm-up must finish
+        // inside one replay for the first job to install the prior.
+        let warmup = vsched::WarmupConfig { iterations: 2, items_per_iteration: 64 };
+        Strategy::Oracle { warmup, divisor: 2 }
+    }
+
+    /// A second tenant with ligands the results cache has never seen, so
+    /// its jobs really execute (the only reuse channel is the oracle).
+    fn tenant2() -> Campaign {
+        Campaign::library(3264, 16, synthetic_library(8, &metaheur::m1(0.2), 7), oracle())
+    }
+
+    #[test]
+    fn oracle_campaigns_are_deterministic() {
+        let run = || {
+            let mut svc = service(2);
+            svc.submit(Campaign::library(3264, 16, jobs(8), oracle()));
+            let first = svc.drain();
+            svc.submit(tenant2());
+            (first, svc.drain())
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "shared-oracle drains must stay bit-identical per submission order");
+    }
+
+    #[test]
+    fn second_tenant_starts_warm_from_shared_oracle() {
+        // Cold: tenant 2 alone pays the equal-split warm-up on Hertz's
+        // strongly heterogeneous lanes for every job.
+        let mut cold_svc = service(1);
+        cold_svc.submit(tenant2());
+        let cold = cold_svc.drain().makespan;
+        // Warm: tenant 1 trains node 0's shared oracle first, so tenant
+        // 2's replays skip warm-up and seed the learned split directly.
+        let mut warm_svc = service(1);
+        warm_svc.submit(Campaign::library(3264, 16, jobs(8), oracle()));
+        warm_svc.drain();
+        let before: u64 = warm_svc
+            .node_oracle(0)
+            .expect("tenant 1 must have instantiated the node oracle")
+            .with(|o| o.fits().iter().map(|(_, f)| f.observations).sum());
+        assert!(before > 0, "tenant 1 must leave fitted observations behind");
+        warm_svc.submit(tenant2());
+        let warm = warm_svc.drain().makespan;
+        let after: u64 = warm_svc
+            .node_oracle(0)
+            .unwrap()
+            .with(|o| o.fits().iter().map(|(_, f)| f.observations).sum());
+        assert!(after > before, "tenant 2 must keep feeding the shared model");
+        assert!(warm < cold, "warm-started tenant must beat the cold one: {warm} vs {cold}");
+    }
+
+    #[test]
+    fn oracle_planning_peek_does_not_mutate_shared_fits() {
+        // The single-node baseline in `commit` runs nominal_cost with the
+        // campaign's strategy — for oracle campaigns that is a planning
+        // peek on a clone, so only real node executions (node 0 here)
+        // accumulate observations under the BASELINE_NODE key.
+        let mut svc = service(1);
+        svc.submit(Campaign::library(3264, 16, jobs(4), oracle()));
+        let r = svc.drain();
+        assert!(r.single_node_time > 0.0);
+        let baseline_obs: u64 = svc
+            .node_oracle(BASELINE_NODE)
+            .expect("the baseline peek instantiates a pseudo-node oracle")
+            .with(|o| o.fits().iter().map(|(_, f)| f.observations).sum());
+        assert_eq!(baseline_obs, 0, "planning peeks must never ingest observations");
     }
 }

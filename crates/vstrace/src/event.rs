@@ -77,6 +77,19 @@ pub enum Event {
     /// sampled after a send (`metaheur::pipeline`). `depth` is the number
     /// of queued messages; the channel capacity bounds it.
     StageDepth { stage: &'static str, depth: u32 },
+    /// The learned cost oracle ingested one observation (`vsched::oracle`,
+    /// DESIGN.md §15): device `device` ran a `class` batch (stable kernel
+    /// ordinal: 0 pair-sweep, 1 grid-interp, 2 shell-pairs) in `observed`
+    /// virtual seconds against a `predicted` estimate; `residual` is the
+    /// relative error and `refit` marks a drift-triggered model reset.
+    ModelUpdated {
+        device: u32,
+        class: u32,
+        predicted: f64,
+        observed: f64,
+        residual: f64,
+        refit: bool,
+    },
 }
 
 impl Event {
@@ -101,6 +114,7 @@ impl Event {
             Event::SpanEnd { .. } => "SpanEnd",
             Event::Counter { .. } => "Counter",
             Event::StageDepth { .. } => "StageDepth",
+            Event::ModelUpdated { .. } => "ModelUpdated",
         }
     }
 }
@@ -155,6 +169,14 @@ mod tests {
             Event::SpanEnd { name: "x" },
             Event::Counter { name: "x", value: 1.0 },
             Event::StageDepth { stage: "x", depth: 1 },
+            Event::ModelUpdated {
+                device: 0,
+                class: 0,
+                predicted: 1.0,
+                observed: 1.2,
+                residual: 0.2,
+                refit: false,
+            },
         ];
         let mut kinds: Vec<&str> = evs.iter().map(|e| e.kind()).collect();
         kinds.sort_unstable();

@@ -287,6 +287,21 @@ pub fn chrome_trace_json(data: &TraceData) -> String {
                         num(wall_us)
                     ),
                 ),
+                Event::ModelUpdated { device, class, predicted, observed, residual, refit } => {
+                    push_event(
+                        &mut out,
+                        &format!(
+                            "\"name\": \"ModelUpdated\", \"ph\": \"i\", \"s\": \"t\", \
+                             \"pid\": {WALL_PID}, \"tid\": {tid}, \"ts\": {}, \"args\": {{\
+                             \"device\": {device}, \"class\": {class}, \"predicted\": {}, \
+                             \"observed\": {}, \"residual\": {}, \"refit\": {refit}}}",
+                            num(wall_us),
+                            num(predicted),
+                            num(observed),
+                            num(residual)
+                        ),
+                    )
+                }
             }
         }
     }
@@ -340,6 +355,14 @@ mod tests {
         t.emit(Event::CacheHit { campaign: 2, ligand: 7, vt: 0.002 });
         t.emit(Event::NodeJoined { node: 2, vt: 0.003 });
         t.emit(Event::NodeLeft { node: 0, vt: 0.004, requeued: 1 });
+        t.emit(Event::ModelUpdated {
+            device: 0,
+            class: 0,
+            predicted: 0.002,
+            observed: 0.0024,
+            residual: 0.2,
+            refit: false,
+        });
         t
     }
 
@@ -374,6 +397,7 @@ mod tests {
             "CacheHit",
             "NodeJoined",
             "NodeLeft",
+            "ModelUpdated",
             "best",
         ] {
             assert!(names.contains(&expect), "missing {expect} in {names:?}");

@@ -12,6 +12,25 @@ use std::fmt::Write;
 use vsmath::Histogram;
 
 #[derive(Debug, Default, Clone, Copy)]
+struct ModelAgg {
+    observations: u64,
+    refits: u64,
+    last_residual: f64,
+}
+
+/// Human label for the stable kernel-class ordinal carried by
+/// `Event::ModelUpdated` (`gpusim::KernelClass::ordinal`; vstrace stays
+/// independent of gpusim, so the mapping is repeated here).
+fn class_label(class: u32) -> &'static str {
+    match class {
+        0 => "pair-sweep",
+        1 => "grid-interp",
+        2 => "shell-pairs",
+        _ => "unknown",
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
 struct DeviceAgg {
     busy_s: f64,
     kernel_s: f64,
@@ -45,6 +64,8 @@ pub fn text_summary(data: &TraceData) -> String {
     let mut grid_cached = 0u64;
     let mut grid_build_s = 0.0f64;
     let mut grid_bytes = 0u64;
+    let mut model: BTreeMap<(u32, u32), ModelAgg> = BTreeMap::new();
+    let mut reseeds = 0u64;
 
     for s in data.events() {
         match s.event {
@@ -96,6 +117,16 @@ pub fn text_summary(data: &TraceData) -> String {
             Event::NodeLeft { requeued: r, .. } => {
                 node_leaves += 1;
                 requeued += u64::from(r);
+            }
+            Event::ModelUpdated { device, class, residual, refit, .. } => {
+                let m = model.entry((device, class)).or_default();
+                m.observations += 1;
+                m.refits += u64::from(refit);
+                m.last_residual = residual;
+            }
+            Event::Counter { name: "oracle_reseed", value } => {
+                // The oracle emits its cumulative re-seed count; keep the max.
+                reseeds = reseeds.max(value as u64);
             }
             Event::GridBuilt { bytes, build_s, cached, .. } => {
                 grid_builds += 1;
@@ -201,6 +232,31 @@ pub fn text_summary(data: &TraceData) -> String {
         );
     }
 
+    if !model.is_empty() || reseeds > 0 {
+        let total: u64 = model.values().map(|m| m.observations).sum();
+        let _ = writeln!(
+            out,
+            "\ncost model (learned oracle): {total} observations, {reseeds} re-seeds"
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:<12} {:>12} {:>8} {:>14}",
+            "device", "class", "observations", "refits", "last residual"
+        );
+        for ((device, class), m) in &model {
+            let label =
+                data.track_names.get(device).cloned().unwrap_or_else(|| format!("device {device}"));
+            let _ = writeln!(
+                out,
+                "{label:<24} {:<12} {:>12} {:>8} {:>14.4}",
+                class_label(*class),
+                m.observations,
+                m.refits,
+                m.last_residual
+            );
+        }
+    }
+
     if !stages.is_empty() {
         let _ = writeln!(out, "\nstage channels (pipelined engine):");
         let _ = writeln!(out, "{:<24} {:>8} {:>10}", "stage", "sends", "max depth");
@@ -293,6 +349,41 @@ mod tests {
         assert!(s.contains("1 rejected"), "{s}");
         assert!(s.contains("1 cache hits"), "{s}");
         assert!(s.contains("1 joins, 1 leaves (3 jobs requeued)"), "{s}");
+    }
+
+    #[test]
+    fn summary_reports_cost_model_section() {
+        let t = Trace::new();
+        t.set_track_name(0, "K40c");
+        for (obs, refit) in [(1.05f64, false), (4.2, true), (0.01, false)] {
+            t.emit(Event::ModelUpdated {
+                device: 0,
+                class: 0,
+                predicted: 1.0,
+                observed: obs,
+                residual: obs - 1.0,
+                refit,
+            });
+        }
+        t.emit(Event::ModelUpdated {
+            device: 1,
+            class: 1,
+            predicted: 2.0,
+            observed: 2.0,
+            residual: 0.0,
+            refit: false,
+        });
+        t.emit(Event::Counter { name: "oracle_reseed", value: 5.0 });
+        let s = text_summary(&t.snapshot());
+        assert!(s.contains("cost model (learned oracle): 4 observations, 5 re-seeds"), "{s}");
+        assert!(s.contains("pair-sweep"), "{s}");
+        assert!(s.contains("grid-interp"), "{s}");
+        assert!(s.contains("K40c"), "{s}");
+        // Last residual for (K40c, pair-sweep) is the final event's -0.99.
+        assert!(s.contains("-0.9900"), "{s}");
+        // One drift refit recorded.
+        let line = s.lines().find(|l| l.contains("pair-sweep")).unwrap();
+        assert!(line.contains('1'), "{line}");
     }
 
     #[test]

@@ -2,8 +2,12 @@
 # Rebuild and run the performance snapshots:
 #   BENCH_scoring.json — kernel -> poses/sec at both Table 5 complex sizes;
 #   BENCH_sched.json   — heterogeneous scheduler cell: static Percent split
-#                        vs the work-stealing runtime, healthy and with a
-#                        4x mid-run straggler (gates the >= 1.3x steal gain).
+#                        vs the work-stealing runtime vs the learned cost
+#                        oracle — healthy, 4x mid-run straggler, and a
+#                        drift scenario (4x slowdown that recovers). Gates
+#                        the >= 1.3x steal gain, oracle-beats-frozen under
+#                        drift, oracle-steals-less-than-worksteal, and
+#                        bit-identical oracle re-runs.
 # Pass an alternate output directory as $1 (default: repo root).
 set -euo pipefail
 cd "$(dirname "$0")/.."

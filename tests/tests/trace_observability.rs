@@ -90,3 +90,37 @@ fn exported_trace_agrees_with_device_clocks() {
     assert!(summary.contains("virtual makespan"));
     assert!(summary.contains("Tesla K40c"));
 }
+
+/// A learned-oracle run narrates its cost model: `ModelUpdated` events on
+/// the stream, the re-seed counter, and a "cost model" section in the
+/// text summary — all deterministic across same-seed runs.
+#[test]
+fn oracle_run_reports_cost_model_in_summary() {
+    let run = || {
+        let screen = VirtualScreen::builder(Dataset::TwoBsm).max_spots(2).seed(5).build();
+        let node = platform::hertz();
+        let trace = Trace::new();
+        let p = metaheur::m1(0.1);
+        let warmup = vsched::WarmupConfig { iterations: 1, ..Default::default() };
+        let strategy = Strategy::Oracle { warmup, divisor: 2 };
+        let out = screen.run(RunSpec::on_node(&p, &node, strategy).traced(&trace));
+        (out.best.score, trace.snapshot())
+    };
+    let (best_a, data_a) = run();
+    let (best_b, data_b) = run();
+    // Oracle re-seeding changes schedules, never scores or event payloads.
+    assert_eq!(best_a.to_bits(), best_b.to_bits());
+    assert_eq!(data_a.payloads(), data_b.payloads());
+
+    let updates =
+        data_a.payloads().into_iter().filter(|e| matches!(e, Event::ModelUpdated { .. })).count();
+    assert!(updates > 0, "post-warm-up batches must emit ModelUpdated events");
+
+    let summary = text_summary(&data_a);
+    assert!(
+        summary.contains("cost model (learned oracle):"),
+        "summary must carry the cost-model section:\n{summary}"
+    );
+    assert!(summary.contains("pair-sweep"), "fits are keyed by kernel class:\n{summary}");
+    assert!(summary.contains("re-seeds"), "re-seed count belongs in the section:\n{summary}");
+}
